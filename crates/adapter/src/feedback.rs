@@ -1,0 +1,119 @@
+//! Provider → developer feedback channel.
+//!
+//! "In very rare cases where hints table misses are severe …, the adapter
+//! notifies the developer and proposes re-triggering the profiler and
+//! synthesizer to regenerate the hints table. This regeneration process is
+//! done asynchronously while workflow execution is still in progress"
+//! (§III-A). The channel decouples the online decision path (which must stay
+//! in the microsecond range) from the offline regeneration pipeline.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use serde::{Deserialize, Serialize};
+
+/// Events the adapter emits towards the developer side.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeedbackEvent {
+    /// The miss rate exceeded the configured threshold; the developer should
+    /// re-run the profiler and synthesizer for this workflow.
+    RegenerationRequested {
+        /// Workflow name the hints bundle belongs to.
+        workflow: String,
+        /// Observed miss rate when the request was raised.
+        observed_miss_rate: f64,
+        /// Number of lookups behind the observation.
+        observations: u64,
+    },
+    /// A regenerated bundle was installed; informational.
+    BundleInstalled {
+        /// Workflow name.
+        workflow: String,
+    },
+}
+
+/// An asynchronous, non-blocking feedback channel between the adapter
+/// (producer) and the developer tooling (consumer).
+#[derive(Debug, Clone)]
+pub struct FeedbackChannel {
+    sender: Sender<FeedbackEvent>,
+    receiver: Receiver<FeedbackEvent>,
+}
+
+impl Default for FeedbackChannel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FeedbackChannel {
+    /// Create an unbounded channel.
+    pub fn new() -> Self {
+        let (sender, receiver) = unbounded();
+        FeedbackChannel { sender, receiver }
+    }
+
+    /// Emit an event. Never blocks; if the developer side went away the event
+    /// is dropped (the adapter must not stall the serving path).
+    pub fn emit(&self, event: FeedbackEvent) {
+        let _ = self.sender.send(event);
+    }
+
+    /// Non-blocking poll for the next pending event.
+    pub fn poll(&self) -> Option<FeedbackEvent> {
+        match self.receiver.try_recv() {
+            Ok(ev) => Some(ev),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Drain all pending events.
+    pub fn drain(&self) -> Vec<FeedbackEvent> {
+        std::iter::from_fn(|| self.poll()).collect()
+    }
+
+    /// Number of events waiting to be consumed.
+    pub fn pending(&self) -> usize {
+        self.receiver.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn events_flow_through_the_channel() {
+        let chan = FeedbackChannel::new();
+        assert_eq!(chan.poll(), None);
+        chan.emit(FeedbackEvent::RegenerationRequested {
+            workflow: "IA".to_string(),
+            observed_miss_rate: 0.05,
+            observations: 1000,
+        });
+        chan.emit(FeedbackEvent::BundleInstalled {
+            workflow: "IA".to_string(),
+        });
+        assert_eq!(chan.pending(), 2);
+        let events = chan.drain();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], FeedbackEvent::RegenerationRequested { .. }));
+        assert_eq!(chan.pending(), 0);
+    }
+
+    #[test]
+    fn channel_works_across_threads() {
+        let chan = FeedbackChannel::new();
+        let producer = chan.clone();
+        let handle = thread::spawn(move || {
+            for i in 0..100 {
+                producer.emit(FeedbackEvent::RegenerationRequested {
+                    workflow: format!("wf-{i}"),
+                    observed_miss_rate: 0.02,
+                    observations: i,
+                });
+            }
+        });
+        handle.join().unwrap();
+        assert_eq!(chan.drain().len(), 100);
+    }
+}

@@ -1,0 +1,33 @@
+//! # janus-baselines
+//!
+//! The baseline sizing policies the paper compares Janus against (§V-A):
+//!
+//! **Early binding** — sizes fixed at deployment time from the profiles:
+//! * [`grandslam`] — GrandSLAM \[41\]: every function gets the *same* size,
+//!   the smallest uniform allocation whose per-function P99 latencies sum to
+//!   within the SLO.
+//! * [`grandslam_plus`] — GrandSLAM⁺: the paper's enhancement that removes
+//!   the identical-size constraint; per-function sizes minimising the total
+//!   allocation subject to the same sum-of-P99 constraint.
+//! * [`orion`] — ORION \[6\]: distribution-based sizing; instead of summing
+//!   per-function P99s it sizes against the P99 of the *end-to-end latency
+//!   distribution* (estimated by convolving the profiled distributions),
+//!   which is less conservative and therefore cheaper than GrandSLAM⁺.
+//!
+//! **Late binding**:
+//! * [`OptimalOracle`] — "the best that can be achieved in any late-binding
+//!   solution": an oracle that knows each request's actual execution-time
+//!   factors in advance and provisions the cheapest allocation that still
+//!   meets the SLO (exhaustive search over the CPU grid).
+//!
+//! The Janus variants themselves (Janus, Janus⁻, Janus⁺) live in
+//! `janus-core`, composed from the synthesizer and the adapter.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod early;
+pub mod oracle;
+
+pub use early::{grandslam, grandslam_plus, orion, OrionConfig};
+pub use oracle::OptimalOracle;

@@ -1,0 +1,41 @@
+//! §V-H: online adaptation decision latency.
+//!
+//! The paper reports that the online resource-adaptation decision stays under
+//! 3 ms; this bench measures the table-search path (budget → head allocation)
+//! for the IA and VA hints bundles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use janus_core::deployment::{DeploymentConfig, JanusDeployment};
+use janus_simcore::time::SimDuration;
+use janus_workloads::apps::PaperApp;
+use std::hint::black_box;
+
+fn adapter_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adapter_decision");
+    group.sample_size(40);
+    for app in PaperApp::ALL {
+        let deployment = JanusDeployment::build(&DeploymentConfig {
+            samples_per_point: 400,
+            budget_step_ms: 2.0,
+            ..DeploymentConfig::paper_default(app, 1)
+        })
+        .expect("deployment builds");
+        let bundle = deployment.bundle().clone();
+        group.bench_function(app.short_name(), |b| {
+            let mut adapter =
+                janus_adapter::adapter::Adapter::with_defaults(bundle.clone());
+            let slo_ms = app.default_slo(1).as_millis();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let budget = SimDuration::from_millis(slo_ms * (0.4 + 0.6 * ((i % 100) as f64 / 100.0)));
+                let finished = (i % 3) as usize;
+                black_box(adapter.decide(finished, budget))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adapter_overhead);
+criterion_main!(benches);

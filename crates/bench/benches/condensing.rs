@@ -1,0 +1,38 @@
+//! §V-F / Figure 8: hints-condensing throughput and compression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use janus_profiler::percentiles::Percentile;
+use janus_simcore::resources::Millicores;
+use janus_synthesizer::condense::condense;
+use janus_synthesizer::generation::RawHint;
+use std::hint::black_box;
+
+fn raw_hints(n: usize) -> Vec<RawHint> {
+    (0..n)
+        .map(|i| {
+            // Realistic structure: long runs of identical head sizes that
+            // shrink as the budget grows.
+            let head = 3000 - ((i / 37) as u32 * 100).min(2000);
+            RawHint {
+                budget_ms: 2000.0 + i as f64,
+                allocation: vec![Millicores::new(head), Millicores::new(1000), Millicores::new(1000)],
+                head_percentile: Percentile::P99,
+                expected_cost: f64::from(head) + 2000.0,
+            }
+        })
+        .collect()
+}
+
+fn condensing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("condense");
+    for n in [1_000usize, 5_000, 20_000] {
+        let raw = raw_hints(n);
+        group.bench_function(format!("{n}_raw_hints"), |b| {
+            b.iter(|| black_box(condense(&raw)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, condensing);
+criterion_main!(benches);

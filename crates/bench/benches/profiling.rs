@@ -1,0 +1,25 @@
+//! Developer-side profiling throughput (offline, §III-B).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use janus_profiler::profiler::{Profiler, ProfilerConfig};
+use janus_workloads::apps::{object_detection, question_answering};
+use std::hint::black_box;
+
+fn profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_function");
+    group.sample_size(10);
+    let profiler = Profiler::new(ProfilerConfig {
+        samples_per_point: 500,
+        ..ProfilerConfig::default()
+    })
+    .expect("valid profiler config");
+    for (name, function) in [("od", object_detection()), ("qa", question_answering())] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(profiler.profile_function(&function, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, profiling);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 6b: hint-synthesis time of Janus⁻ / Janus / Janus⁺.
+//!
+//! The paper reports Janus⁺ costing up to ~107× more synthesis time than
+//! Janus; the memoised dynamic program used here narrows the gap (documented
+//! in EXPERIMENTS.md) but the ordering Janus⁻ ≤ Janus ≤ Janus⁺ must hold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use janus_profiler::profiler::{Profiler, ProfilerConfig};
+use janus_synthesizer::synthesizer::{ExplorationDepth, Synthesizer, SynthesizerConfig};
+use janus_workloads::apps::intelligent_assistant;
+use std::hint::black_box;
+
+fn synthesis_cost(c: &mut Criterion) {
+    let profiler = Profiler::new(ProfilerConfig {
+        samples_per_point: 400,
+        ..ProfilerConfig::default()
+    })
+    .expect("valid profiler config");
+    let profile = profiler.profile_workflow(&intelligent_assistant(), 1);
+
+    let mut group = c.benchmark_group("hint_synthesis");
+    group.sample_size(10);
+    for (name, exploration) in [
+        ("janus_minus", ExplorationDepth::None),
+        ("janus", ExplorationDepth::HeadOnly),
+        ("janus_plus", ExplorationDepth::HeadAndNext),
+    ] {
+        group.bench_with_input(BenchmarkId::new("variant", name), &exploration, |b, &expl| {
+            let synthesizer = Synthesizer::new(SynthesizerConfig {
+                exploration: expl,
+                budget_step_ms: 1.0,
+                ..SynthesizerConfig::default()
+            })
+            .expect("valid synthesizer config");
+            b.iter(|| black_box(synthesizer.synthesize(&profile)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, synthesis_cost);
+criterion_main!(benches);

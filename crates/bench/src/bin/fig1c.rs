@@ -1,0 +1,7 @@
+//! Figure 1c: performance interference from co-locating homogeneous functions.
+
+use janus_core::experiments::fig1c_interference;
+
+fn main() {
+    print!("{}", fig1c_interference());
+}

@@ -1,0 +1,13 @@
+//! Figure 2: per-request early-binding vs late-binding comparison.
+
+use janus_bench::Scale;
+use janus_core::experiments::fig2_binding_comparison;
+
+fn main() {
+    let scale = Scale::from_args();
+    let requests = match scale {
+        Scale::Paper => 50,
+        Scale::Quick => 25,
+    };
+    print!("{}", fig2_binding_comparison(requests, 0xF2));
+}

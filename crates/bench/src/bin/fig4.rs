@@ -1,0 +1,37 @@
+//! Figure 4: end-to-end latency CDFs of IA (concurrency 1–3) and VA.
+
+use janus_bench::Scale;
+use janus_core::experiments::fig4_latency_cdfs;
+use janus_workloads::apps::PaperApp;
+
+fn main() {
+    let scale = Scale::from_args();
+    let setups = [
+        (PaperApp::IntelligentAssistant, 1u32),
+        (PaperApp::IntelligentAssistant, 2),
+        (PaperApp::IntelligentAssistant, 3),
+        (PaperApp::VideoAnalyze, 1),
+    ];
+    for (app, conc) in setups {
+        let config = scale.comparison(app, conc);
+        match fig4_latency_cdfs(&config) {
+            Ok(result) => {
+                println!(
+                    "# Figure 4: {} concurrency {} (SLO {:.1} s) E2E latency CDF",
+                    app.short_name(),
+                    conc,
+                    config.slo.as_secs()
+                );
+                for (policy, points) in result.fig4_series(11) {
+                    print!("{policy:>12}:");
+                    for (latency_ms, q) in points {
+                        print!(" ({:.2}s,{q:.1})", latency_ms / 1000.0);
+                    }
+                    println!();
+                }
+                println!();
+            }
+            Err(e) => eprintln!("fig4 failed for {} conc {}: {e}", app.short_name(), conc),
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 5: resource consumption per policy — (a) IA and VA at concurrency 1,
+//! (b) IA at concurrency 2 and 3 (normalised by Optimal).
+
+use janus_bench::Scale;
+use janus_core::comparison::PolicyKind;
+use janus_core::experiments::fig5_resource_consumption;
+use janus_workloads::apps::PaperApp;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Figure 5a: absolute CPU (millicores), concurrency 1");
+    for app in PaperApp::ALL {
+        let config = scale.comparison(app, 1);
+        match fig5_resource_consumption(&config) {
+            Ok(result) => {
+                println!("## {}", app.short_name());
+                for (policy, cpu) in result.fig5_row() {
+                    println!("{policy:>12} {cpu:>10.1}");
+                }
+            }
+            Err(e) => eprintln!("fig5a failed for {}: {e}", app.short_name()),
+        }
+    }
+    println!("\n# Figure 5b: IA normalised CPU at higher concurrency");
+    for conc in [2u32, 3] {
+        let config = scale.comparison(PaperApp::IntelligentAssistant, conc);
+        match fig5_resource_consumption(&config) {
+            Ok(result) => {
+                println!("## IA concurrency {conc} (SLO {:.1} s)", config.slo.as_secs());
+                for (kind, report) in result
+                    .outcome
+                    .config
+                    .policies
+                    .iter()
+                    .zip(&result.outcome.reports)
+                {
+                    let norm = result.outcome.normalized_cpu(*kind).unwrap_or(f64::NAN);
+                    println!(
+                        "{:>12} {:>8.3}  ({:.1} mc)",
+                        kind.name(),
+                        norm,
+                        report.mean_cpu_millicores()
+                    );
+                }
+                let _ = result.outcome.report(PolicyKind::Optimal);
+            }
+            Err(e) => eprintln!("fig5b failed at concurrency {conc}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure 6: resource and synthesis-time cost of Janus vs Janus⁺ across SLOs.
+
+use janus_bench::Scale;
+use janus_core::experiments::fig6_exploration_cost;
+use janus_workloads::apps::PaperApp;
+
+fn main() {
+    let scale = Scale::from_args();
+    let base = scale.comparison(PaperApp::IntelligentAssistant, 1);
+    let slos: &[f64] = match scale {
+        Scale::Paper => &[3.0, 4.0, 5.0, 6.0, 7.0],
+        Scale::Quick => &[3.0, 5.0, 7.0],
+    };
+    match fig6_exploration_cost(slos, &base) {
+        Ok(result) => print!("{result}"),
+        Err(e) => eprintln!("fig6 failed: {e}"),
+    }
+}

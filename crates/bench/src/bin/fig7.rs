@@ -1,0 +1,9 @@
+//! Figure 7: timeout and resilience of the TS function.
+
+use janus_bench::Scale;
+use janus_core::experiments::fig7_timeout_resilience;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", fig7_timeout_resilience(scale.profile_samples(), 0xF7));
+}

@@ -1,0 +1,16 @@
+//! §V-H system overhead: online adaptation latency and hints memory footprint.
+
+use janus_bench::Scale;
+use janus_core::experiments::overhead_report;
+
+fn main() {
+    let scale = Scale::from_args();
+    let decisions = match scale {
+        Scale::Paper => 20_000,
+        Scale::Quick => 2_000,
+    };
+    match overhead_report(decisions, scale.profile_samples(), 0x0B) {
+        Ok(result) => print!("{result}"),
+        Err(e) => eprintln!("overhead report failed: {e}"),
+    }
+}

@@ -1,0 +1,18 @@
+//! Table I: overall resource reduction of Janus vs baselines for IA and VA.
+
+use janus_bench::Scale;
+use janus_core::experiments::table1_overall;
+use janus_workloads::apps::PaperApp;
+
+fn main() {
+    let scale = Scale::from_args();
+    for app in PaperApp::ALL {
+        let config = scale.comparison(app, 1);
+        match table1_overall(&config) {
+            Ok(result) => {
+                println!("{result}");
+            }
+            Err(e) => eprintln!("table1 failed for {}: {e}", app.short_name()),
+        }
+    }
+}

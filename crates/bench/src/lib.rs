@@ -1,0 +1,95 @@
+//! # janus-bench
+//!
+//! Benchmark harness of the Janus reproduction.
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Figure / table binaries** (`src/bin/fig*.rs`, `src/bin/table*.rs`,
+//!   `src/bin/overhead.rs`, `src/bin/run_all.rs`) — each regenerates one
+//!   table or figure of the paper's evaluation and prints the corresponding
+//!   rows / series to stdout. Run them with
+//!   `cargo run --release -p janus-bench --bin fig5`, or everything at once
+//!   with `--bin run_all`. Every binary accepts `--quick` to use a reduced
+//!   configuration (fewer requests / profile samples) for smoke runs.
+//! * **Criterion benches** (`benches/*.rs`) — micro-benchmarks of the system
+//!   costs the paper reports: online adaptation latency (§V-H), hint
+//!   synthesis time (Figure 6b), condensing, profiling throughput and
+//!   end-to-end serving under each policy.
+//!
+//! The mapping from experiment id to binary is listed in `DESIGN.md`;
+//! measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
+
+use janus_core::comparison::ComparisonConfig;
+use janus_workloads::apps::PaperApp;
+
+/// Shared experiment scale used by the figure/table binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-like scale: 1000 requests, 1000 profile samples, 1 ms sweep.
+    Paper,
+    /// Reduced scale for smoke runs and CI (`--quick`).
+    Quick,
+}
+
+impl Scale {
+    /// Parse the scale from process arguments (`--quick` selects the reduced
+    /// configuration).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// Comparison configuration for an application at this scale.
+    pub fn comparison(self, app: PaperApp, concurrency: u32) -> ComparisonConfig {
+        match self {
+            Scale::Paper => ComparisonConfig {
+                requests: 1000,
+                samples_per_point: 1000,
+                budget_step_ms: 1.0,
+                ..ComparisonConfig::paper_default(app, concurrency)
+            },
+            Scale::Quick => ComparisonConfig {
+                requests: 200,
+                samples_per_point: 300,
+                budget_step_ms: 5.0,
+                ..ComparisonConfig::paper_default(app, concurrency)
+            },
+        }
+    }
+
+    /// Profile samples per grid point at this scale.
+    pub fn profile_samples(self) -> usize {
+        match self {
+            Scale::Paper => 1000,
+            Scale::Quick => 300,
+        }
+    }
+
+    /// Trace invocations for the Figure 1a analysis at this scale.
+    pub fn trace_invocations(self) -> usize {
+        match self {
+            Scale::Paper => 50_000,
+            Scale::Quick => 15_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_produce_consistent_configs() {
+        let paper = Scale::Paper.comparison(PaperApp::IntelligentAssistant, 1);
+        let quick = Scale::Quick.comparison(PaperApp::IntelligentAssistant, 1);
+        assert!(paper.requests > quick.requests);
+        assert!(paper.samples_per_point > quick.samples_per_point);
+        assert!(paper.budget_step_ms < quick.budget_step_ms);
+        assert_eq!(paper.slo, quick.slo);
+        assert!(Scale::Paper.profile_samples() > Scale::Quick.profile_samples());
+        assert!(Scale::Paper.trace_invocations() > Scale::Quick.trace_invocations());
+    }
+}

@@ -1,0 +1,291 @@
+//! Paired policy comparisons on identical request sets.
+//!
+//! Every evaluation figure of the paper compares systems serving the *same*
+//! workload, so the comparison runner generates one request set and replays
+//! it under each policy on the same executor configuration. Resource numbers
+//! are then typically normalised by the Optimal oracle, as in Table I and
+//! Figures 5 and 9.
+
+use crate::deployment::{DeploymentConfig, JanusDeployment, JanusVariant};
+use janus_baselines::early::{grandslam, grandslam_plus, orion, OrionConfig};
+use janus_baselines::oracle::OptimalOracle;
+use janus_platform::executor::{ClosedLoopExecutor, ExecutorConfig};
+use janus_platform::outcome::ServingReport;
+use janus_profiler::profile::WorkflowProfile;
+use janus_profiler::profiler::{Profiler, ProfilerConfig};
+use janus_simcore::resources::CoreGrid;
+use janus_simcore::time::SimDuration;
+use janus_synthesizer::synthesizer::SynthesisReport;
+use janus_workloads::apps::PaperApp;
+use janus_workloads::request::{RequestInput, RequestInputGenerator};
+use serde::{Deserialize, Serialize};
+
+/// The sizing policies the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Late-binding oracle with perfect knowledge (normalisation baseline).
+    Optimal,
+    /// ORION: distribution-based early binding.
+    Orion,
+    /// GrandSLAM⁺: per-function early binding on the sum of P99s.
+    GrandSlamPlus,
+    /// GrandSLAM: identical-size early binding.
+    GrandSlam,
+    /// Janus⁻: hints without percentile exploration.
+    JanusMinus,
+    /// Janus: the paper's system.
+    Janus,
+    /// Janus⁺: percentile exploration for the first two functions.
+    JanusPlus,
+}
+
+impl PolicyKind {
+    /// Display name as used in the paper's tables and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Optimal => "Optimal",
+            PolicyKind::Orion => "ORION",
+            PolicyKind::GrandSlamPlus => "GrandSLAM+",
+            PolicyKind::GrandSlam => "GrandSLAM",
+            PolicyKind::JanusMinus => "Janus-",
+            PolicyKind::Janus => "Janus",
+            PolicyKind::JanusPlus => "Janus+",
+        }
+    }
+
+    /// All seven policies in the order Table I / Figure 5 list them.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::Optimal,
+        PolicyKind::Orion,
+        PolicyKind::GrandSlamPlus,
+        PolicyKind::GrandSlam,
+        PolicyKind::JanusMinus,
+        PolicyKind::Janus,
+        PolicyKind::JanusPlus,
+    ];
+
+    /// The subset used by the SLO-sweep figure (Figure 9).
+    pub const SLO_SWEEP: [PolicyKind; 4] = [
+        PolicyKind::Optimal,
+        PolicyKind::Orion,
+        PolicyKind::GrandSlam,
+        PolicyKind::Janus,
+    ];
+
+    /// The Janus variant corresponding to this policy, if any.
+    pub fn janus_variant(self) -> Option<JanusVariant> {
+        match self {
+            PolicyKind::JanusMinus => Some(JanusVariant::Minus),
+            PolicyKind::Janus => Some(JanusVariant::Standard),
+            PolicyKind::JanusPlus => Some(JanusVariant::Plus),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of one comparison run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonConfig {
+    /// Application under test.
+    pub app: PaperApp,
+    /// Concurrency (batch size).
+    pub concurrency: u32,
+    /// End-to-end latency SLO.
+    pub slo: SimDuration,
+    /// Number of requests replayed per policy (1000 in the paper).
+    pub requests: usize,
+    /// Request / profiling seed.
+    pub seed: u64,
+    /// Profiler samples per grid point.
+    pub samples_per_point: usize,
+    /// Synthesizer budget step in milliseconds.
+    pub budget_step_ms: f64,
+    /// Policies to include.
+    pub policies: Vec<PolicyKind>,
+    /// Whether pod startup delays count against latency.
+    pub count_startup_delays: bool,
+}
+
+impl ComparisonConfig {
+    /// The paper's setup for an application at a given concurrency, using the
+    /// default SLO (IA: 3/4/5 s, VA: 1.5 s) and 1000 requests.
+    pub fn paper_default(app: PaperApp, concurrency: u32) -> Self {
+        ComparisonConfig {
+            app,
+            concurrency,
+            slo: app.default_slo(concurrency),
+            requests: 1000,
+            seed: 7,
+            samples_per_point: 1000,
+            budget_step_ms: 1.0,
+            policies: PolicyKind::ALL.to_vec(),
+            count_startup_delays: true,
+        }
+    }
+
+    /// A fast configuration for unit/integration tests: fewer requests,
+    /// fewer profile samples, coarser budget sweep.
+    pub fn quick_for_tests(app: PaperApp, concurrency: u32) -> Self {
+        ComparisonConfig {
+            requests: 150,
+            samples_per_point: 250,
+            budget_step_ms: 10.0,
+            ..Self::paper_default(app, concurrency)
+        }
+    }
+}
+
+/// The outcome of a comparison run: one serving report per policy plus the
+/// synthesis reports of the Janus variants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonOutcome {
+    /// Configuration the run used.
+    pub config: ComparisonConfig,
+    /// Serving reports in the same order as `config.policies`.
+    pub reports: Vec<ServingReport>,
+    /// Synthesis reports for the Janus variants that were built.
+    pub synthesis: Vec<SynthesisReport>,
+}
+
+impl ComparisonOutcome {
+    /// The serving report of one policy, if it was part of the run.
+    pub fn report(&self, kind: PolicyKind) -> Option<&ServingReport> {
+        self.config
+            .policies
+            .iter()
+            .position(|&k| k == kind)
+            .map(|i| &self.reports[i])
+    }
+
+    /// Mean CPU of a policy normalised by the Optimal oracle.
+    pub fn normalized_cpu(&self, kind: PolicyKind) -> Option<f64> {
+        let optimal = self.report(PolicyKind::Optimal)?;
+        Some(self.report(kind)?.cpu_normalized_by(optimal))
+    }
+
+    /// Table I entry: resource reduction of `ours` versus `other`, normalised
+    /// by Optimal, as a percentage.
+    pub fn reduction_percent(&self, ours: PolicyKind, other: PolicyKind) -> Option<f64> {
+        let optimal = self.report(PolicyKind::Optimal)?;
+        Some(self.report(ours)?.reduction_vs(self.report(other)?, optimal) * 100.0)
+    }
+}
+
+/// Run a comparison: profile the workflow once, build every requested policy,
+/// replay the same requests under each of them.
+pub fn run(config: &ComparisonConfig) -> Result<ComparisonOutcome, String> {
+    let workflow = config.app.workflow();
+    let profiler = Profiler::new(ProfilerConfig {
+        samples_per_point: config.samples_per_point,
+        seed: config.seed ^ 0x5EED,
+        ..ProfilerConfig::default()
+    })?;
+    let profile: WorkflowProfile = profiler.profile_workflow(&workflow, config.concurrency);
+
+    let mut generator = RequestInputGenerator::new(config.seed, SimDuration::ZERO);
+    let requests: Vec<RequestInput> = generator.generate(&workflow, config.requests);
+
+    let exec_config = ExecutorConfig {
+        count_startup_delays: config.count_startup_delays,
+        ..ExecutorConfig::paper_serving(config.slo, config.concurrency)
+    };
+    let executor = ClosedLoopExecutor::new(workflow.clone(), exec_config.clone());
+
+    let mut reports = Vec::with_capacity(config.policies.len());
+    let mut synthesis = Vec::new();
+    for &kind in &config.policies {
+        let report = match kind {
+            PolicyKind::Optimal => {
+                let mut oracle = OptimalOracle::new(
+                    &workflow,
+                    &requests,
+                    config.slo,
+                    config.concurrency,
+                    CoreGrid::paper_default(),
+                    &exec_config.interference,
+                );
+                executor.run(&mut oracle, &requests)
+            }
+            PolicyKind::Orion => {
+                let mut policy = orion(&profile, config.slo, &OrionConfig::default());
+                executor.run(&mut policy, &requests)
+            }
+            PolicyKind::GrandSlamPlus => {
+                let mut policy = grandslam_plus(&profile, config.slo);
+                executor.run(&mut policy, &requests)
+            }
+            PolicyKind::GrandSlam => {
+                let mut policy = grandslam(&profile, config.slo);
+                executor.run(&mut policy, &requests)
+            }
+            PolicyKind::JanusMinus | PolicyKind::Janus | PolicyKind::JanusPlus => {
+                let variant = kind.janus_variant().expect("janus kinds have a variant");
+                let dep_config = DeploymentConfig {
+                    app: config.app,
+                    concurrency: config.concurrency,
+                    variant,
+                    weight: 1.0,
+                    samples_per_point: config.samples_per_point,
+                    budget_step_ms: config.budget_step_ms,
+                    seed: config.seed ^ 0x5EED,
+                };
+                let deployment =
+                    JanusDeployment::from_profile(&dep_config, workflow.clone(), profile.clone())?;
+                synthesis.push(deployment.report().clone());
+                let mut policy = deployment.policy();
+                executor.run(&mut policy, &requests)
+            }
+        };
+        reports.push(report);
+    }
+
+    Ok(ComparisonOutcome {
+        config: config.clone(),
+        reports,
+        synthesis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_produces_the_expected_ordering() {
+        let mut config = ComparisonConfig::quick_for_tests(PaperApp::IntelligentAssistant, 1);
+        config.policies = vec![
+            PolicyKind::Optimal,
+            PolicyKind::Orion,
+            PolicyKind::GrandSlam,
+            PolicyKind::Janus,
+        ];
+        let outcome = run(&config).unwrap();
+        assert_eq!(outcome.reports.len(), 4);
+        let optimal = outcome.report(PolicyKind::Optimal).unwrap().mean_cpu_millicores();
+        let orion = outcome.report(PolicyKind::Orion).unwrap().mean_cpu_millicores();
+        let grandslam = outcome.report(PolicyKind::GrandSlam).unwrap().mean_cpu_millicores();
+        let janus = outcome.report(PolicyKind::Janus).unwrap().mean_cpu_millicores();
+        // The headline ordering of Table I / Figure 5.
+        assert!(optimal <= janus, "optimal {optimal} <= janus {janus}");
+        assert!(janus < orion, "janus {janus} < orion {orion}");
+        assert!(orion < grandslam, "orion {orion} < grandslam {grandslam}");
+        // Everyone keeps SLO violations low (P99-style guarantee).
+        for kind in [PolicyKind::Orion, PolicyKind::GrandSlam, PolicyKind::Janus] {
+            let rate = outcome.report(kind).unwrap().slo_violation_rate();
+            assert!(rate <= 0.03, "{} violates too often: {rate}", kind.name());
+        }
+        // Normalisation helpers.
+        assert!(outcome.normalized_cpu(PolicyKind::Janus).unwrap() >= 1.0);
+        assert!(outcome.reduction_percent(PolicyKind::Janus, PolicyKind::GrandSlam).unwrap() > 0.0);
+        assert!(outcome.report(PolicyKind::JanusPlus).is_none());
+    }
+
+    #[test]
+    fn policy_names_and_sets_are_consistent() {
+        assert_eq!(PolicyKind::ALL.len(), 7);
+        assert_eq!(PolicyKind::Janus.name(), "Janus");
+        assert_eq!(PolicyKind::GrandSlamPlus.name(), "GrandSLAM+");
+        assert_eq!(PolicyKind::Janus.janus_variant(), Some(JanusVariant::Standard));
+        assert_eq!(PolicyKind::Orion.janus_variant(), None);
+    }
+}

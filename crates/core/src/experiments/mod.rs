@@ -1,0 +1,25 @@
+//! One runner per table / figure of the paper's evaluation.
+//!
+//! Every runner returns a plain-data result struct (serde-serialisable) whose
+//! `Display` implementation prints the same rows / series the paper reports,
+//! so the `janus-bench` binaries and the examples can regenerate each artefact
+//! with a single call. The experiment-to-module mapping is documented in
+//! `DESIGN.md`; measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
+
+pub mod metrics;
+pub mod motivation;
+pub mod overall;
+pub mod slo_sweep;
+pub mod synthesis;
+
+pub use metrics::{fig7_timeout_resilience, Fig7Result};
+pub use motivation::{
+    fig1a_slack_cdf, fig1b_workset_variance, fig1c_interference, fig2_binding_comparison,
+    Fig1aResult, Fig1bResult, Fig1cResult, Fig2Result,
+};
+pub use overall::{fig4_latency_cdfs, fig5_resource_consumption, table1_overall, OverallResult};
+pub use slo_sweep::{fig9_slo_sweep, Fig9Result};
+pub use synthesis::{
+    fig6_exploration_cost, fig8_hint_counts, overhead_report, table2_weight_impact, Fig6Result,
+    Fig8Result, OverheadResult, Table2Result,
+};

@@ -1,0 +1,172 @@
+//! Overall performance experiments: Table I, Figure 4 and Figure 5 (§V-B).
+
+use crate::comparison::{self, ComparisonConfig, ComparisonOutcome, PolicyKind};
+use janus_workloads::apps::PaperApp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result shared by Table I, Figure 4 and Figure 5: a full policy comparison
+/// for one (application, concurrency) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverallResult {
+    /// The underlying comparison outcome.
+    pub outcome: ComparisonOutcome,
+}
+
+impl OverallResult {
+    /// Application short name ("IA" / "VA").
+    pub fn app_name(&self) -> &'static str {
+        self.outcome.config.app.short_name()
+    }
+
+    /// Table I row: reduction (%) of Janus vs each baseline, normalised by
+    /// Optimal, in the paper's column order.
+    pub fn table1_row(&self) -> Vec<(String, f64)> {
+        [
+            PolicyKind::Orion,
+            PolicyKind::GrandSlamPlus,
+            PolicyKind::GrandSlam,
+            PolicyKind::JanusMinus,
+            PolicyKind::JanusPlus,
+        ]
+        .iter()
+        .filter_map(|&other| {
+            self.outcome
+                .reduction_percent(PolicyKind::Janus, other)
+                .map(|r| (other.name().to_string(), r))
+        })
+        .collect()
+    }
+
+    /// Figure 5 row: mean CPU (millicores) per policy.
+    pub fn fig5_row(&self) -> Vec<(String, f64)> {
+        self.outcome
+            .config
+            .policies
+            .iter()
+            .zip(&self.outcome.reports)
+            .map(|(k, r)| (k.name().to_string(), r.mean_cpu_millicores()))
+            .collect()
+    }
+
+    /// Figure 4 series: `(policy, E2E latency CDF points)`.
+    pub fn fig4_series(&self, points: usize) -> Vec<(String, Vec<(f64, f64)>)> {
+        self.outcome
+            .config
+            .policies
+            .iter()
+            .zip(&self.outcome.reports)
+            .map(|(k, r)| (k.name().to_string(), r.e2e_cdf().points(points)))
+            .collect()
+    }
+
+    /// Maximum SLO violation rate across the Janus variants in this run.
+    pub fn janus_violation_rate(&self) -> f64 {
+        [PolicyKind::JanusMinus, PolicyKind::Janus, PolicyKind::JanusPlus]
+            .iter()
+            .filter_map(|&k| self.outcome.report(k))
+            .map(|r| r.slo_violation_rate())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for OverallResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cfg = &self.outcome.config;
+        writeln!(
+            f,
+            "# {} @ concurrency {} (SLO {:.1} s, {} requests)",
+            self.app_name(),
+            cfg.concurrency,
+            cfg.slo.as_secs(),
+            cfg.requests
+        )?;
+        writeln!(f, "## Figure 5: mean CPU per request (millicores)")?;
+        for (name, cpu) in self.fig5_row() {
+            let norm = cpu
+                / self
+                    .outcome
+                    .report(PolicyKind::Optimal)
+                    .map(|r| r.mean_cpu_millicores())
+                    .unwrap_or(cpu);
+            writeln!(f, "{name:>12} {cpu:>10.1}  (x{norm:.3} of Optimal)")?;
+        }
+        writeln!(f, "## Table I: Janus resource reduction vs baselines (% of Optimal)")?;
+        for (name, reduction) in self.table1_row() {
+            writeln!(f, "{name:>12} {reduction:>8.1}%")?;
+        }
+        writeln!(f, "## SLO compliance")?;
+        for (kind, report) in self.outcome.config.policies.iter().zip(&self.outcome.reports) {
+            writeln!(
+                f,
+                "{:>12} P99 E2E {:>8.2} s, violations {:>6.2}%",
+                kind.name(),
+                report.e2e_percentile(99.0).map(|d| d.as_secs()).unwrap_or(0.0),
+                report.slo_violation_rate() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the Table I / Figure 5a comparison for one application at one
+/// concurrency level.
+pub fn table1_overall(config: &ComparisonConfig) -> Result<OverallResult, String> {
+    Ok(OverallResult {
+        outcome: comparison::run(config)?,
+    })
+}
+
+/// Figure 4: the same run viewed as latency CDFs; provided as an alias so the
+/// bench binaries read naturally.
+pub fn fig4_latency_cdfs(config: &ComparisonConfig) -> Result<OverallResult, String> {
+    table1_overall(config)
+}
+
+/// Figure 5: the same run viewed as resource-consumption bars.
+pub fn fig5_resource_consumption(config: &ComparisonConfig) -> Result<OverallResult, String> {
+    table1_overall(config)
+}
+
+/// Convenience: the standard paper configuration for an app/concurrency.
+pub fn paper_config(app: PaperApp, concurrency: u32) -> ComparisonConfig {
+    ComparisonConfig::paper_default(app, concurrency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overall_result_exposes_table1_and_fig5_views() {
+        let mut config = ComparisonConfig::quick_for_tests(PaperApp::IntelligentAssistant, 1);
+        config.policies = vec![
+            PolicyKind::Optimal,
+            PolicyKind::Orion,
+            PolicyKind::GrandSlam,
+            PolicyKind::GrandSlamPlus,
+            PolicyKind::JanusMinus,
+            PolicyKind::Janus,
+        ];
+        let result = table1_overall(&config).unwrap();
+        assert_eq!(result.app_name(), "IA");
+
+        let row = result.table1_row();
+        assert_eq!(row.len(), 4, "Janus+ not in the run");
+        // Janus improves on every early-binding baseline.
+        for (name, reduction) in &row {
+            if name != "Janus-" {
+                assert!(*reduction > 0.0, "{name} reduction {reduction}");
+            } else {
+                assert!(*reduction >= -1.0, "Janus- close to Janus: {reduction}");
+            }
+        }
+        let fig5 = result.fig5_row();
+        assert_eq!(fig5.len(), 6);
+        let fig4 = result.fig4_series(11);
+        assert_eq!(fig4.len(), 6);
+        assert_eq!(fig4[0].1.len(), 11);
+        assert!(result.janus_violation_rate() <= 0.03);
+        assert!(format!("{result}").contains("Table I"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 9: resource consumption (normalised by Optimal) across SLOs (§V-G).
+
+use crate::comparison::{self, ComparisonConfig, PolicyKind};
+use janus_simcore::time::SimDuration;
+use janus_workloads::apps::PaperApp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Figure 9 data for one application: normalised CPU per policy per SLO.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Result {
+    /// Application short name.
+    pub app: String,
+    /// SLOs evaluated (seconds).
+    pub slos_s: Vec<f64>,
+    /// `(policy, normalised CPU per SLO)` series.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+/// Run the SLO sweep for one application: IA over 3–7 s, VA over 1.5–2.0 s in
+/// the paper; the SLO list is a parameter so tests can use fewer points.
+pub fn fig9_slo_sweep(
+    app: PaperApp,
+    slos_s: &[f64],
+    base: &ComparisonConfig,
+) -> Result<Fig9Result, String> {
+    let policies = [PolicyKind::Orion, PolicyKind::GrandSlam, PolicyKind::Janus];
+    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for &slo in slos_s {
+        let config = ComparisonConfig {
+            app,
+            slo: SimDuration::from_secs(slo),
+            policies: PolicyKind::SLO_SWEEP.to_vec(),
+            ..base.clone()
+        };
+        let outcome = comparison::run(&config)?;
+        for (i, &p) in policies.iter().enumerate() {
+            per_policy[i].push(outcome.normalized_cpu(p).unwrap_or(f64::NAN));
+        }
+    }
+    Ok(Fig9Result {
+        app: app.short_name().to_string(),
+        slos_s: slos_s.to_vec(),
+        series: policies
+            .iter()
+            .zip(per_policy)
+            .map(|(p, v)| (p.name().to_string(), v))
+            .collect(),
+    })
+}
+
+impl Fig9Result {
+    /// Mean advantage (in normalised-CPU points) of Janus over a baseline
+    /// across the sweep.
+    pub fn mean_advantage_over(&self, baseline: &str) -> Option<f64> {
+        let janus = &self.series.iter().find(|(n, _)| n == "Janus")?.1;
+        let base = &self.series.iter().find(|(n, _)| n == baseline)?.1;
+        let diffs: Vec<f64> = janus.iter().zip(base).map(|(j, b)| b - j).collect();
+        Some(diffs.iter().sum::<f64>() / diffs.len() as f64)
+    }
+}
+
+impl fmt::Display for Fig9Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# Figure 9: {} CPU normalised by Optimal vs SLO", self.app)?;
+        write!(f, "{:>12}", "SLO (s)")?;
+        for slo in &self.slos_s {
+            write!(f, "{slo:>8.1}")?;
+        }
+        writeln!(f)?;
+        for (name, series) in &self.series {
+            write!(f, "{name:>12}")?;
+            for v in series {
+                write!(f, "{v:>8.2}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn janus_beats_the_early_binders_across_slos() {
+        let base = ComparisonConfig {
+            requests: 120,
+            samples_per_point: 250,
+            budget_step_ms: 10.0,
+            ..ComparisonConfig::paper_default(PaperApp::IntelligentAssistant, 1)
+        };
+        let result = fig9_slo_sweep(PaperApp::IntelligentAssistant, &[3.0, 4.0], &base).unwrap();
+        assert_eq!(result.slos_s, vec![3.0, 4.0]);
+        assert_eq!(result.series.len(), 3);
+        assert!(result.mean_advantage_over("ORION").unwrap() > 0.0);
+        assert!(result.mean_advantage_over("GrandSLAM").unwrap() > 0.0);
+        assert!(result.mean_advantage_over("nonexistent").is_none());
+        // Every normalised value is >= 1 (nothing beats the oracle).
+        for (_, series) in &result.series {
+            assert!(series.iter().all(|&v| v >= 0.99), "series {series:?}");
+        }
+        assert!(!format!("{result}").is_empty());
+    }
+}

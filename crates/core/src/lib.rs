@@ -1,0 +1,71 @@
+//! # janus-core
+//!
+//! The public facade of the Janus reproduction: *bilaterally engaged runtime
+//! resource adaptation for serverless workflows*.
+//!
+//! Janus lets serverless developers keep their domain knowledge (workflow
+//! structure, execution-time profiles, SLOs) and providers keep their runtime
+//! information, bridging the gap with a compact *hints table*:
+//!
+//! 1. the developer-side **profiler** measures each function's execution time
+//!    across CPU allocations and concurrency levels
+//!    ([`janus_profiler`]),
+//! 2. the developer-side **synthesizer** turns those profiles into condensed
+//!    `⟨t_start, t_end, size⟩` hints (Algorithms 1 and 2,
+//!    [`janus_synthesizer`]),
+//! 3. the provider-side **adapter** searches the hints whenever a function of
+//!    a request finishes and resizes the next function accordingly
+//!    ([`janus_adapter`]).
+//!
+//! This crate wires the three together:
+//!
+//! * [`JanusDeployment`] — the end-to-end pipeline (profile → synthesize →
+//!   deploy adapter) for one workflow, concurrency and SLO.
+//! * [`JanusPolicy`] — the resulting late-binding
+//!   [`SizingPolicy`](janus_platform::policy::SizingPolicy), runnable on the
+//!   same platform executor as every baseline.
+//! * [`comparison`] — paired policy comparisons (Optimal, ORION, GrandSLAM,
+//!   GrandSLAM⁺, Janus⁻, Janus, Janus⁺) over identical request sets.
+//! * [`experiments`] — one runner per table/figure of the paper's evaluation
+//!   (see `DESIGN.md` for the experiment index).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use janus_core::{JanusDeployment, DeploymentConfig};
+//! use janus_workloads::apps::PaperApp;
+//!
+//! // Deploy the Intelligent Assistant workflow with a 3 s SLO.
+//! let config = DeploymentConfig::quick_for_tests(PaperApp::IntelligentAssistant, 1);
+//! let deployment = JanusDeployment::build(&config).expect("valid configuration");
+//! println!(
+//!     "{} condensed hints, synthesised in {:.1} ms",
+//!     deployment.bundle().total_hints(),
+//!     deployment.report().synthesis_time_ms
+//! );
+//! let mut policy = deployment.policy();
+//! // `policy` now sizes functions at runtime; hand it to the platform executor.
+//! # let _ = &mut policy;
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comparison;
+pub mod deployment;
+pub mod experiments;
+pub mod policy;
+
+pub use comparison::{ComparisonConfig, ComparisonOutcome, PolicyKind};
+pub use deployment::{DeploymentConfig, JanusDeployment, JanusVariant};
+pub use policy::JanusPolicy;
+
+// Re-export the component crates under one roof for downstream users.
+pub use janus_adapter as adapter;
+pub use janus_baselines as baselines;
+pub use janus_platform as platform;
+pub use janus_profiler as profiler;
+pub use janus_simcore as simcore;
+pub use janus_synthesizer as synthesizer;
+pub use janus_trace as trace;
+pub use janus_workloads as workloads;

@@ -1,0 +1,274 @@
+//! Closed-loop executor: the evaluation harness of §V.
+//!
+//! The paper evaluates every policy "over 1000 requests" in a closed loop on
+//! a dedicated testbed. The executor replays a pre-generated, policy
+//! independent set of [`RequestInput`]s through the workflow:
+//!
+//! 1. the policy sizes the next function right before it starts (for
+//!    early-binding policies that size never depends on the budget),
+//! 2. a pod is acquired from the warm-pool manager and placed on the cluster,
+//! 3. the function's execution time is produced by the workload model from
+//!    the request's pre-drawn random factor, the allocation, the batch size
+//!    and the co-location degree on the pod's node,
+//! 4. the observed time is fed back to the policy and the remaining budget is
+//!    updated.
+//!
+//! Because the random factors are part of the request, two policies replaying
+//! the same request set face exactly the same inputs — the comparison is
+//! paired, like the paper's.
+
+use crate::outcome::{RequestOutcome, ServingReport};
+use crate::policy::{RequestContext, SizingPolicy};
+use janus_simcore::cluster::{Cluster, ClusterConfig};
+use janus_simcore::interference::InterferenceModel;
+use janus_simcore::pool::{PoolConfig, PoolManager};
+use janus_simcore::time::{SimDuration, SimTime};
+use janus_workloads::request::RequestInput;
+use janus_workloads::workflow::Workflow;
+use serde::{Deserialize, Serialize};
+
+/// Executor configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// End-to-end latency SLO.
+    pub slo: SimDuration,
+    /// Batch size (concurrency) the requests are served at.
+    pub concurrency: u32,
+    /// Whether startup (specialisation / cold start) delays count against the
+    /// request's budget and end-to-end latency.
+    pub count_startup_delays: bool,
+    /// Cluster layout.
+    pub cluster: ClusterConfig,
+    /// Warm-pool manager configuration.
+    pub pool: PoolConfig,
+    /// Interference model applied during execution.
+    pub interference: InterferenceModel,
+}
+
+impl ExecutorConfig {
+    /// The configuration used by the paper-style serving experiments: a
+    /// single large node, warm pools sized for the workflow, startup delays
+    /// counted against the SLO.
+    pub fn paper_serving(slo: SimDuration, concurrency: u32) -> Self {
+        ExecutorConfig {
+            slo,
+            concurrency,
+            count_startup_delays: true,
+            cluster: ClusterConfig::default(),
+            pool: PoolConfig::default(),
+            interference: InterferenceModel::paper_calibrated(),
+        }
+    }
+}
+
+/// Closed-loop workflow executor.
+#[derive(Debug)]
+pub struct ClosedLoopExecutor {
+    workflow: Workflow,
+    config: ExecutorConfig,
+}
+
+impl ClosedLoopExecutor {
+    /// Create an executor for one workflow.
+    pub fn new(workflow: Workflow, config: ExecutorConfig) -> Self {
+        ClosedLoopExecutor { workflow, config }
+    }
+
+    /// The workflow being served.
+    pub fn workflow(&self) -> &Workflow {
+        &self.workflow
+    }
+
+    /// The executor configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Serve one request under `policy`, starting at simulated time `now`,
+    /// using the shared `pool` and `cluster`.
+    fn serve_one(
+        &self,
+        policy: &mut dyn SizingPolicy,
+        request: &RequestInput,
+        pool: &mut PoolManager,
+        cluster: &mut Cluster,
+        now: &mut SimTime,
+    ) -> RequestOutcome {
+        let ctx = RequestContext {
+            request_id: request.id,
+            slo: self.config.slo,
+            concurrency: self.config.concurrency,
+            workflow_len: self.workflow.len(),
+        };
+        policy.on_admit(&ctx);
+
+        let mut remaining = self.config.slo;
+        let mut e2e = SimDuration::ZERO;
+        let mut allocations = Vec::with_capacity(self.workflow.len());
+        let mut function_latencies = Vec::with_capacity(self.workflow.len());
+
+        for (index, function) in self.workflow.functions().iter().enumerate() {
+            let size = policy.size_next(&ctx, index, remaining);
+            let size = size.clamp_to(
+                janus_simcore::resources::Millicores::new(1),
+                self.config.cluster.node_capacity,
+            );
+
+            let acquisition = pool.acquire(function.name(), size, *now);
+            // Place (or re-place) the pod on the cluster for this execution so
+            // co-location accounting reflects concurrently warm instances.
+            let _ = cluster.resize(acquisition.pod, size);
+            if cluster.node_of(acquisition.pod).is_none() {
+                cluster
+                    .place(acquisition.pod, function.name(), size)
+                    .expect("paper-scale cluster always fits one pod per function");
+            }
+            let colocated = cluster.colocation_degree(acquisition.pod, function.name());
+
+            let exec = function.execution_time(
+                size,
+                self.config.concurrency,
+                request.factor(index),
+                colocated,
+                &self.config.interference,
+            );
+            let startup = if self.config.count_startup_delays {
+                acquisition.startup_delay
+            } else {
+                SimDuration::ZERO
+            };
+            let elapsed = exec + startup;
+
+            *now += elapsed;
+            pool.release(acquisition.pod, *now);
+            // Interference comes from concurrently *running* instances;
+            // un-place the pod so idle warm pods do not count as co-located.
+            let _ = cluster.remove(acquisition.pod);
+
+            e2e += elapsed;
+            remaining = (remaining - elapsed).saturate();
+            allocations.push(size);
+            function_latencies.push(exec);
+            policy.on_complete(&ctx, index, exec);
+        }
+
+        RequestOutcome {
+            request_id: request.id,
+            e2e,
+            allocations,
+            function_latencies,
+            slo_met: e2e <= self.config.slo,
+            adaptation_misses: 0,
+        }
+    }
+
+    /// Replay `requests` under `policy` and aggregate the outcomes.
+    pub fn run(&self, policy: &mut dyn SizingPolicy, requests: &[RequestInput]) -> ServingReport {
+        let mut pool = PoolManager::new(self.config.pool.clone());
+        let mut cluster = Cluster::new(&self.config.cluster).expect("validated cluster config");
+        let mut now = SimTime::ZERO;
+        let outcomes = requests
+            .iter()
+            .map(|r| self.serve_one(policy, r, &mut pool, &mut cluster, &mut now))
+            .collect();
+        ServingReport {
+            policy: policy.name().to_string(),
+            workflow: self.workflow.name().to_string(),
+            concurrency: self.config.concurrency,
+            slo: self.config.slo,
+            outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FixedSizingPolicy;
+    use janus_simcore::resources::Millicores;
+    use janus_workloads::apps::intelligent_assistant;
+    use janus_workloads::request::RequestInputGenerator;
+
+    fn requests(n: usize, seed: u64) -> Vec<RequestInput> {
+        RequestInputGenerator::new(seed, SimDuration::ZERO).generate(&intelligent_assistant(), n)
+    }
+
+    fn executor(slo_secs: f64) -> ClosedLoopExecutor {
+        ClosedLoopExecutor::new(
+            intelligent_assistant(),
+            ExecutorConfig::paper_serving(SimDuration::from_secs(slo_secs), 1),
+        )
+    }
+
+    #[test]
+    fn report_covers_every_request_with_full_allocations() {
+        let exec = executor(3.0);
+        let mut policy = FixedSizingPolicy::uniform("max", exec.workflow(), Millicores::new(3000));
+        let report = exec.run(&mut policy, &requests(50, 1));
+        assert_eq!(report.len(), 50);
+        for o in &report.outcomes {
+            assert_eq!(o.allocations.len(), 3);
+            assert_eq!(o.function_latencies.len(), 3);
+            assert_eq!(o.total_cpu(), Millicores::new(9000));
+            assert!(o.e2e.as_millis() > 0.0);
+        }
+        assert_eq!(report.policy, "max");
+        assert_eq!(report.mean_cpu_millicores(), 9000.0);
+    }
+
+    #[test]
+    fn bigger_allocations_yield_lower_latency_and_fewer_violations() {
+        let exec = executor(3.0);
+        let reqs = requests(300, 2);
+        let mut small = FixedSizingPolicy::uniform("min", exec.workflow(), Millicores::new(1000));
+        let mut large = FixedSizingPolicy::uniform("max", exec.workflow(), Millicores::new(3000));
+        let small_report = exec.run(&mut small, &reqs);
+        let large_report = exec.run(&mut large, &reqs);
+        assert!(
+            large_report.e2e_summary().unwrap().mean < small_report.e2e_summary().unwrap().mean
+        );
+        assert!(large_report.slo_violation_rate() <= small_report.slo_violation_rate());
+        // With everything at Kmin the 3s SLO must be at risk for tail requests.
+        assert!(small_report.slo_violation_rate() > 0.0);
+        // With everything at Kmax the SLO holds for essentially all requests.
+        assert!(large_report.slo_violation_rate() < 0.02);
+    }
+
+    #[test]
+    fn replaying_the_same_requests_is_deterministic() {
+        let exec = executor(3.0);
+        let reqs = requests(40, 3);
+        let mut p1 = FixedSizingPolicy::uniform("a", exec.workflow(), Millicores::new(2000));
+        let mut p2 = FixedSizingPolicy::uniform("a", exec.workflow(), Millicores::new(2000));
+        let r1 = exec.run(&mut p1, &reqs);
+        let r2 = exec.run(&mut p2, &reqs);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn startup_delays_can_be_excluded() {
+        let reqs = requests(20, 4);
+        let with = ClosedLoopExecutor::new(
+            intelligent_assistant(),
+            ExecutorConfig {
+                count_startup_delays: true,
+                ..ExecutorConfig::paper_serving(SimDuration::from_secs(3.0), 1)
+            },
+        );
+        let without = ClosedLoopExecutor::new(
+            intelligent_assistant(),
+            ExecutorConfig {
+                count_startup_delays: false,
+                ..ExecutorConfig::paper_serving(SimDuration::from_secs(3.0), 1)
+            },
+        );
+        let mut p = FixedSizingPolicy::uniform("x", with.workflow(), Millicores::new(2000));
+        let r_with = with.run(&mut p, &reqs);
+        let mut p = FixedSizingPolicy::uniform("x", without.workflow(), Millicores::new(2000));
+        let r_without = without.run(&mut p, &reqs);
+        assert!(
+            r_with.e2e_summary().unwrap().mean >= r_without.e2e_summary().unwrap().mean,
+            "counting startup delays can only increase E2E"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # janus-platform
+//!
+//! The serverless workflow *serving* platform of the reproduction: the piece
+//! that corresponds to the Fission deployment plus the lightweight Flask
+//! server the paper's prototype uses to trace requests and apply adaptation
+//! decisions.
+//!
+//! The platform is deliberately **policy-agnostic**: every sizing approach
+//! evaluated in the paper — the early-binding baselines (ORION, GrandSLAM,
+//! GrandSLAM⁺), the late-binding variants (Janus, Janus⁻, Janus⁺), and the
+//! Optimal oracle — implements the same [`policy::SizingPolicy`] trait and is
+//! executed by the same machinery, so resource/latency comparisons are
+//! apples-to-apples:
+//!
+//! * [`policy`] — the [`SizingPolicy`](policy::SizingPolicy) trait and the
+//!   per-request [`RequestContext`](policy::RequestContext).
+//! * [`executor`] — the closed-loop executor used by the evaluation: replays
+//!   a fixed set of [`RequestInput`](janus_workloads::request::RequestInput)s
+//!   through the workflow on top of the pool manager and cluster, invoking
+//!   the policy before every function start.
+//! * [`openloop`] — an open-loop, event-driven serving simulation with
+//!   Poisson arrivals and horizontal scaling, exercising the discrete-event
+//!   engine (used for the queueing/extension experiments).
+//! * [`outcome`] — per-request outcomes and aggregated serving reports.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod executor;
+pub mod openloop;
+pub mod outcome;
+pub mod policy;
+
+pub use executor::{ClosedLoopExecutor, ExecutorConfig};
+pub use openloop::{OpenLoopConfig, OpenLoopSimulation};
+pub use outcome::{RequestOutcome, ServingReport};
+pub use policy::{FixedSizingPolicy, RequestContext, SizingPolicy};

@@ -1,0 +1,332 @@
+//! Open-loop, event-driven serving simulation.
+//!
+//! The closed-loop executor in [`crate::executor`] reproduces the paper's
+//! evaluation methodology (replay 1000 requests back-to-back). This module
+//! exercises the platform the way a production deployment would see it:
+//! requests arrive according to a Poisson process, several workflows are in
+//! flight at once, pods are shared through the warm pool, and co-location of
+//! concurrently running instances creates real interference. It is used by
+//! the queueing / load extension experiments and by integration tests of the
+//! discrete-event substrate.
+
+use crate::outcome::{RequestOutcome, ServingReport};
+use crate::policy::{RequestContext, SizingPolicy};
+use janus_simcore::cluster::{Cluster, ClusterConfig};
+use janus_simcore::engine::{Engine, EngineConfig};
+use janus_simcore::interference::InterferenceModel;
+use janus_simcore::pod::PodId;
+use janus_simcore::pool::{PoolConfig, PoolManager};
+use janus_simcore::resources::Millicores;
+use janus_simcore::time::{SimDuration, SimTime};
+use janus_workloads::request::RequestInput;
+use janus_workloads::workflow::Workflow;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Open-loop simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoopConfig {
+    /// End-to-end latency SLO.
+    pub slo: SimDuration,
+    /// Batch size (concurrency) requests are served at.
+    pub concurrency: u32,
+    /// Cluster layout.
+    pub cluster: ClusterConfig,
+    /// Warm-pool configuration.
+    pub pool: PoolConfig,
+    /// Interference model.
+    pub interference: InterferenceModel,
+    /// Whether startup delays count against latency.
+    pub count_startup_delays: bool,
+}
+
+impl OpenLoopConfig {
+    /// Default open-loop setup for a given SLO.
+    pub fn new(slo: SimDuration) -> Self {
+        OpenLoopConfig {
+            slo,
+            concurrency: 1,
+            cluster: ClusterConfig::default(),
+            pool: PoolConfig::default(),
+            interference: InterferenceModel::paper_calibrated(),
+            count_startup_delays: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    Arrival(RequestInput),
+    FunctionComplete {
+        request_id: u64,
+        index: usize,
+        pod: PodId,
+        exec: SimDuration,
+        elapsed: SimDuration,
+    },
+}
+
+#[derive(Debug)]
+struct InFlight {
+    input: RequestInput,
+    started_at: SimTime,
+    e2e: SimDuration,
+    allocations: Vec<Millicores>,
+    latencies: Vec<SimDuration>,
+}
+
+/// Event-driven serving simulation.
+#[derive(Debug)]
+pub struct OpenLoopSimulation {
+    workflow: Workflow,
+    config: OpenLoopConfig,
+}
+
+impl OpenLoopSimulation {
+    /// Create a simulation for one workflow.
+    pub fn new(workflow: Workflow, config: OpenLoopConfig) -> Self {
+        OpenLoopSimulation { workflow, config }
+    }
+
+    /// Run the simulation: `requests` arrive at their `arrival_offset`s and
+    /// are served concurrently under `policy`.
+    pub fn run(&self, policy: &mut dyn SizingPolicy, requests: &[RequestInput]) -> ServingReport {
+        let mut engine: Engine<Event> = Engine::new(EngineConfig::default());
+        let mut pool = PoolManager::new(self.config.pool.clone());
+        let mut cluster = Cluster::new(&self.config.cluster).expect("validated cluster config");
+        let mut inflight: HashMap<u64, InFlight> = HashMap::new();
+        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
+
+        for req in requests {
+            engine
+                .schedule_at(SimTime::ZERO + req.arrival_offset, Event::Arrival(req.clone()))
+                .expect("arrivals are in the future");
+        }
+
+        // The event loop is written iteratively (rather than via Engine::run)
+        // because each event needs mutable access to the policy, pool and
+        // cluster in addition to the engine.
+        while let Some(ev) = engine.next_event() {
+            let now = engine.now();
+            match ev.payload {
+                Event::Arrival(input) => {
+                    let ctx = self.ctx(&input);
+                    policy.on_admit(&ctx);
+                    let state = InFlight {
+                        input,
+                        started_at: now,
+                        e2e: SimDuration::ZERO,
+                        allocations: Vec::new(),
+                        latencies: Vec::new(),
+                    };
+                    let request_id = state.input.id;
+                    inflight.insert(request_id, state);
+                    self.start_function(
+                        policy,
+                        &mut inflight,
+                        request_id,
+                        0,
+                        now,
+                        &mut pool,
+                        &mut cluster,
+                        &mut engine,
+                    );
+                }
+                Event::FunctionComplete {
+                    request_id,
+                    index,
+                    pod,
+                    exec,
+                    elapsed,
+                } => {
+                    pool.release(pod, now);
+                    // Idle warm pods must not count towards co-location
+                    // interference; only running instances contend.
+                    let _ = cluster.remove(pod);
+                    let finished_len = {
+                        let state = inflight.get_mut(&request_id).expect("in-flight request");
+                        state.e2e += elapsed;
+                        state.latencies.push(exec);
+                        state.latencies.len()
+                    };
+                    let ctx = self.ctx(&inflight[&request_id].input);
+                    policy.on_complete(&ctx, index, exec);
+                    if finished_len == self.workflow.len() {
+                        let state = inflight.remove(&request_id).expect("in-flight request");
+                        outcomes.push(RequestOutcome {
+                            request_id,
+                            e2e: state.e2e,
+                            slo_met: state.e2e <= self.config.slo,
+                            allocations: state.allocations,
+                            function_latencies: state.latencies,
+                            adaptation_misses: 0,
+                        });
+                    } else {
+                        self.start_function(
+                            policy,
+                            &mut inflight,
+                            request_id,
+                            index + 1,
+                            now,
+                            &mut pool,
+                            &mut cluster,
+                            &mut engine,
+                        );
+                    }
+                }
+            }
+        }
+
+        outcomes.sort_by_key(|o| o.request_id);
+        ServingReport {
+            policy: policy.name().to_string(),
+            workflow: self.workflow.name().to_string(),
+            concurrency: self.config.concurrency,
+            slo: self.config.slo,
+            outcomes,
+        }
+    }
+
+    fn ctx(&self, input: &RequestInput) -> RequestContext {
+        RequestContext {
+            request_id: input.id,
+            slo: self.config.slo,
+            concurrency: self.config.concurrency,
+            workflow_len: self.workflow.len(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_function(
+        &self,
+        policy: &mut dyn SizingPolicy,
+        inflight: &mut HashMap<u64, InFlight>,
+        request_id: u64,
+        index: usize,
+        now: SimTime,
+        pool: &mut PoolManager,
+        cluster: &mut Cluster,
+        engine: &mut Engine<Event>,
+    ) {
+        let state = inflight.get_mut(&request_id).expect("in-flight request");
+        let ctx = RequestContext {
+            request_id,
+            slo: self.config.slo,
+            concurrency: self.config.concurrency,
+            workflow_len: self.workflow.len(),
+        };
+        let elapsed_wall = now.saturating_since(state.started_at);
+        let remaining = (self.config.slo - elapsed_wall).saturate();
+        let size = policy
+            .size_next(&ctx, index, remaining)
+            .clamp_to(Millicores::new(1), self.config.cluster.node_capacity);
+
+        let function = self.workflow.function(index).expect("index within workflow");
+        let acquisition = pool.acquire(function.name(), size, now);
+        let _ = cluster.resize(acquisition.pod, size);
+        if cluster.node_of(acquisition.pod).is_none() {
+            // If the cluster is saturated, fall back to running unplaced (no
+            // extra interference) rather than rejecting the request.
+            let _ = cluster.place(acquisition.pod, function.name(), size);
+        }
+        let colocated = cluster.colocation_degree(acquisition.pod, function.name());
+        let exec = function.execution_time(
+            size,
+            self.config.concurrency,
+            state.input.factor(index),
+            colocated,
+            &self.config.interference,
+        );
+        let startup = if self.config.count_startup_delays {
+            acquisition.startup_delay
+        } else {
+            SimDuration::ZERO
+        };
+        state.allocations.push(size);
+        engine.schedule_in(
+            exec + startup,
+            Event::FunctionComplete {
+                request_id,
+                index,
+                pod: acquisition.pod,
+                exec,
+                elapsed: exec + startup,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FixedSizingPolicy;
+    use janus_workloads::apps::intelligent_assistant;
+    use janus_workloads::request::RequestInputGenerator;
+
+    #[test]
+    fn open_loop_serves_every_request_exactly_once() {
+        let ia = intelligent_assistant();
+        let sim = OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let reqs = RequestInputGenerator::new(9, SimDuration::from_millis(200.0)).generate(&ia, 80);
+        let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000));
+        let report = sim.run(&mut policy, &reqs);
+        assert_eq!(report.len(), 80);
+        let ids: std::collections::HashSet<u64> = report.outcomes.iter().map(|o| o.request_id).collect();
+        assert_eq!(ids.len(), 80);
+        for o in &report.outcomes {
+            assert_eq!(o.allocations.len(), 3);
+            assert_eq!(o.function_latencies.len(), 3);
+        }
+    }
+
+    #[test]
+    fn heavier_load_increases_latency_via_interference() {
+        let ia = intelligent_assistant();
+        let sim = OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let light = RequestInputGenerator::new(5, SimDuration::from_millis(3000.0)).generate(&ia, 60);
+        let heavy = RequestInputGenerator::new(5, SimDuration::from_millis(50.0)).generate(&ia, 60);
+        let mut p1 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000));
+        let light_report = sim.run(&mut p1, &light);
+        let mut p2 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000));
+        let heavy_report = sim.run(&mut p2, &heavy);
+        // With 50 ms inter-arrival many requests overlap, co-locating pods of
+        // the same function and prolonging execution.
+        assert!(
+            heavy_report.e2e_summary().unwrap().mean > light_report.e2e_summary().unwrap().mean
+        );
+    }
+
+    #[test]
+    fn closed_and_open_loop_agree_for_serial_arrivals() {
+        // When arrivals are so sparse that requests never overlap, the open
+        // loop degenerates to the closed loop's behaviour (modulo warm-pool
+        // state differences in startup delays).
+        let ia = intelligent_assistant();
+        let sim = OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let mut reqs =
+            RequestInputGenerator::new(11, SimDuration::ZERO).generate(&ia, 20);
+        for (i, r) in reqs.iter_mut().enumerate() {
+            // Deterministically spaced far apart so executions never overlap.
+            r.arrival_offset = SimDuration::from_secs(100.0 * i as f64);
+        }
+        let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2500));
+        let open = sim.run(&mut policy, &reqs);
+        let exec = crate::executor::ClosedLoopExecutor::new(
+            ia.clone(),
+            crate::executor::ExecutorConfig::paper_serving(SimDuration::from_secs(3.0), 1),
+        );
+        let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2500));
+        let closed = exec.run(&mut policy, &reqs);
+        // Same inputs, same allocations: execution times must match exactly.
+        for (o, c) in open.outcomes.iter().zip(closed.outcomes.iter()) {
+            assert_eq!(o.request_id, c.request_id);
+            for (i, (a, b)) in o.function_latencies.iter().zip(c.function_latencies.iter()).enumerate() {
+                assert!(
+                    (a.as_millis() - b.as_millis()).abs() < 1e-9,
+                    "req {} fn {}: open {} vs closed {}",
+                    o.request_id, i, a.as_millis(), b.as_millis()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-request outcomes and aggregated serving reports.
+
+use janus_simcore::resources::Millicores;
+use janus_simcore::stats::{Cdf, Summary};
+use janus_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The result of serving one workflow request under one sizing policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// Request identifier (matches the replayed [`RequestInput`]).
+    ///
+    /// [`RequestInput`]: janus_workloads::request::RequestInput
+    pub request_id: u64,
+    /// End-to-end latency, including startup delays.
+    pub e2e: SimDuration,
+    /// CPU allocation each function actually executed with (head to tail).
+    pub allocations: Vec<Millicores>,
+    /// Observed execution time of each function.
+    pub function_latencies: Vec<SimDuration>,
+    /// Whether the end-to-end latency met the SLO.
+    pub slo_met: bool,
+    /// Number of hint-table misses (late-binding policies only; 0 otherwise).
+    pub adaptation_misses: u32,
+}
+
+impl RequestOutcome {
+    /// Total CPU consumption of the request: the sum of the allocations its
+    /// functions ran with — the "CPU (Millicore)" metric of Figure 5.
+    pub fn total_cpu(&self) -> Millicores {
+        self.allocations.iter().copied().sum()
+    }
+}
+
+/// Aggregated results of serving a request set under one policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Policy name.
+    pub policy: String,
+    /// Workflow name.
+    pub workflow: String,
+    /// Concurrency (batch size).
+    pub concurrency: u32,
+    /// SLO the requests were served under.
+    pub slo: SimDuration,
+    /// Per-request outcomes (in request order).
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+impl ServingReport {
+    /// Number of requests served.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True when no requests were served.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Mean per-request CPU consumption in millicores (Figure 5 / Table I).
+    pub fn mean_cpu_millicores(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| f64::from(o.total_cpu().get()))
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Fraction of requests that violated the SLO.
+    pub fn slo_violation_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| !o.slo_met).count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// End-to-end latency CDF (Figure 4).
+    pub fn e2e_cdf(&self) -> Cdf {
+        Cdf::from_samples(
+            &self
+                .outcomes
+                .iter()
+                .map(|o| o.e2e.as_millis())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// End-to-end latency summary statistics.
+    pub fn e2e_summary(&self) -> Option<Summary> {
+        Summary::from_samples(
+            &self
+                .outcomes
+                .iter()
+                .map(|o| o.e2e.as_millis())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The end-to-end latency at a given percentile (e.g. 99.0 for the P99
+    /// SLO check).
+    pub fn e2e_percentile(&self, p: f64) -> Option<SimDuration> {
+        janus_simcore::stats::percentile(
+            &self
+                .outcomes
+                .iter()
+                .map(|o| o.e2e.as_millis())
+                .collect::<Vec<_>>(),
+            p,
+        )
+        .map(SimDuration::from_millis)
+    }
+
+    /// Total hint-table misses across all requests.
+    pub fn total_misses(&self) -> u64 {
+        self.outcomes.iter().map(|o| u64::from(o.adaptation_misses)).sum()
+    }
+
+    /// Mean per-request CPU of this report divided by that of `baseline` —
+    /// the "normalized by Optimal" presentation used throughout §V.
+    pub fn cpu_normalized_by(&self, baseline: &ServingReport) -> f64 {
+        let base = baseline.mean_cpu_millicores();
+        if base <= f64::EPSILON {
+            return f64::INFINITY;
+        }
+        self.mean_cpu_millicores() / base
+    }
+
+    /// Relative resource reduction of this policy versus `other`, normalised
+    /// by `optimal` — the quantity reported in Table I:
+    /// `(other − self) / optimal`.
+    pub fn reduction_vs(&self, other: &ServingReport, optimal: &ServingReport) -> f64 {
+        let opt = optimal.mean_cpu_millicores();
+        if opt <= f64::EPSILON {
+            return 0.0;
+        }
+        (other.mean_cpu_millicores() - self.mean_cpu_millicores()) / opt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, e2e_ms: f64, cpu: &[u32], slo_ms: f64) -> RequestOutcome {
+        RequestOutcome {
+            request_id: id,
+            e2e: SimDuration::from_millis(e2e_ms),
+            allocations: cpu.iter().map(|&c| Millicores::new(c)).collect(),
+            function_latencies: vec![SimDuration::from_millis(e2e_ms / cpu.len() as f64); cpu.len()],
+            slo_met: e2e_ms <= slo_ms,
+            adaptation_misses: 0,
+        }
+    }
+
+    fn report(policy: &str, cpus: &[u32], e2es: &[f64]) -> ServingReport {
+        ServingReport {
+            policy: policy.to_string(),
+            workflow: "IA".to_string(),
+            concurrency: 1,
+            slo: SimDuration::from_secs(3.0),
+            outcomes: e2es
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| outcome(i as u64, e, cpus, 3000.0))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn total_cpu_is_the_sum_of_allocations() {
+        let o = outcome(0, 2000.0, &[1500, 1200, 1000], 3000.0);
+        assert_eq!(o.total_cpu(), Millicores::new(3700));
+        assert!(o.slo_met);
+    }
+
+    #[test]
+    fn report_aggregates_cpu_and_violations() {
+        let r = report("janus", &[1000, 1000, 1000], &[2000.0, 2500.0, 3500.0, 2800.0]);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.mean_cpu_millicores(), 3000.0);
+        assert!((r.slo_violation_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(r.total_misses(), 0);
+        let cdf = r.e2e_cdf();
+        assert_eq!(cdf.len(), 4);
+        assert!(r.e2e_summary().unwrap().max >= 3500.0);
+        assert!(r.e2e_percentile(99.0).unwrap().as_millis() > 3000.0);
+    }
+
+    #[test]
+    fn normalisation_and_reduction_match_table_1_semantics() {
+        let optimal = report("optimal", &[1000, 1000, 1000], &[2000.0]);
+        let janus = report("janus", &[1100, 1100, 1100], &[2400.0]);
+        let orion = report("orion", &[1400, 1400, 1400], &[2100.0]);
+        assert!((janus.cpu_normalized_by(&optimal) - 1.1).abs() < 1e-12);
+        // (4200 - 3300) / 3000 = 0.3
+        assert!((janus.reduction_vs(&orion, &optimal) - 0.3).abs() < 1e-12);
+        let empty = ServingReport {
+            policy: "x".into(),
+            workflow: "IA".into(),
+            concurrency: 1,
+            slo: SimDuration::from_secs(3.0),
+            outcomes: vec![],
+        };
+        assert_eq!(empty.mean_cpu_millicores(), 0.0);
+        assert_eq!(empty.slo_violation_rate(), 0.0);
+        assert!(empty.e2e_summary().is_none());
+    }
+}

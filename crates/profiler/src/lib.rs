@@ -1,0 +1,32 @@
+//! # janus-profiler
+//!
+//! The developer-side **profiler** of Janus (§III-B).
+//!
+//! The profiler collects the execution time of every function in a workflow
+//! under varying CPU allocations (1000–3000 millicores, step 100) and
+//! concurrency levels (batch sizes), then extracts the execution-time
+//! distribution at a configurable set of percentiles (P1–P99 with a step of 5
+//! by default). The resulting [`FunctionProfile`]s expose the three
+//! quantities the synthesizer consumes:
+//!
+//! * `L(p, k)` — profiled execution time at percentile `p` and allocation `k`
+//!   ([`FunctionProfile::latency`]),
+//! * `D(p, k) = L(99, k) − L(p, k)` — the **timeout** metric quantifying the
+//!   potential over-time execution when provisioning at percentile `p`
+//!   ([`FunctionProfile::timeout`], Eq. 1),
+//! * `R(p, k) = L(p, k) − L(p, Kmax)` — the **resilience** metric quantifying
+//!   how much execution time can still be absorbed by scaling the function up
+//!   to `Kmax` ([`FunctionProfile::resilience`], Eq. 2; the paper states the
+//!   metric as the achievable reduction when scaling up, which is the
+//!   non-negative orientation used here).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod percentiles;
+pub mod profile;
+pub mod profiler;
+
+pub use percentiles::{Percentile, PercentileGrid};
+pub use profile::{FunctionProfile, WorkflowProfile};
+pub use profiler::{Profiler, ProfilerConfig};

@@ -1,0 +1,285 @@
+//! Cluster of worker nodes with pod placement.
+//!
+//! The testbed in the paper is a single 52-core server running Fission, but
+//! the co-location analysis (§II-B) and the interference model require
+//! explicit nodes. The cluster supports the two placement behaviours the
+//! paper discusses:
+//!
+//! * [`PlacementPolicy::PackSameFunction`] — commercial platforms pack
+//!   instances of the same function onto the same VM (Alibaba Function
+//!   Compute packs 65 % of VMs exclusively with one function). This is the
+//!   default and is what creates the interference of Figure 1c.
+//! * [`PlacementPolicy::Spread`] — spread pods across the least-loaded nodes,
+//!   a common mitigation baseline.
+
+use crate::error::SimError;
+use crate::node::{Node, NodeId};
+use crate::pod::PodId;
+use crate::resources::Millicores;
+use crate::SimResult;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How pods are assigned to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Prefer the node already hosting the most pods of the same function
+    /// (models production packing and maximises interference).
+    PackSameFunction,
+    /// Prefer the node with the most free capacity (spreads load, minimises
+    /// interference).
+    Spread,
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Per-node CPU capacity.
+    pub node_capacity: Millicores,
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        // The paper's serving testbed: one 52-core server.
+        ClusterConfig {
+            nodes: 1,
+            node_capacity: Millicores::from_cores(52),
+            placement: PlacementPolicy::PackSameFunction,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.nodes == 0 {
+            return Err(SimError::InvalidConfig("cluster needs at least one node".into()));
+        }
+        if self.node_capacity.get() == 0 {
+            return Err(SimError::InvalidConfig("node capacity must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A cluster of nodes tracking where every pod is placed.
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    placement: PlacementPolicy,
+    pod_to_node: HashMap<PodId, NodeId>,
+}
+
+impl Cluster {
+    /// Build a cluster from its configuration.
+    pub fn new(config: &ClusterConfig) -> SimResult<Self> {
+        config.validate()?;
+        let nodes = (0..config.nodes)
+            .map(|i| Node::new(NodeId(i as u32), config.node_capacity))
+            .collect();
+        Ok(Cluster {
+            nodes,
+            placement: config.placement,
+            pod_to_node: HashMap::new(),
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.0 as usize)
+    }
+
+    /// Total allocated CPU across all nodes.
+    pub fn total_allocated(&self) -> Millicores {
+        self.nodes.iter().map(Node::allocated).sum()
+    }
+
+    /// Total capacity across all nodes.
+    pub fn total_capacity(&self) -> Millicores {
+        self.nodes.iter().map(Node::capacity).sum()
+    }
+
+    /// Cluster-wide utilisation in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.total_capacity().get();
+        if cap == 0 {
+            return 0.0;
+        }
+        f64::from(self.total_allocated().get()) / f64::from(cap)
+    }
+
+    fn pick_node(&self, function: &str, allocation: Millicores) -> Option<usize> {
+        let fitting = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.can_fit(allocation));
+        match self.placement {
+            PlacementPolicy::PackSameFunction => fitting
+                .max_by_key(|(_, n)| (n.colocated_count(function), n.free().get()))
+                .map(|(i, _)| i),
+            PlacementPolicy::Spread => fitting
+                .max_by_key(|(_, n)| n.free().get())
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Place a pod running `function` with `allocation` CPU. Returns the node
+    /// chosen, or an error if no node can fit the allocation.
+    pub fn place(
+        &mut self,
+        pod: PodId,
+        function: &str,
+        allocation: Millicores,
+    ) -> SimResult<NodeId> {
+        let best_free = self
+            .nodes
+            .iter()
+            .map(|n| n.free())
+            .max()
+            .unwrap_or(Millicores::ZERO);
+        let idx = self
+            .pick_node(function, allocation)
+            .ok_or(SimError::InsufficientCapacity {
+                requested: allocation,
+                available: best_free,
+            })?;
+        self.nodes[idx].place(pod, function, allocation)?;
+        let node_id = self.nodes[idx].id();
+        self.pod_to_node.insert(pod, node_id);
+        Ok(node_id)
+    }
+
+    /// Remove a pod from its node.
+    pub fn remove(&mut self, pod: PodId) -> SimResult<()> {
+        let node_id = self
+            .pod_to_node
+            .remove(&pod)
+            .ok_or_else(|| SimError::UnknownEntity(format!("{pod}")))?;
+        self.nodes[node_id.0 as usize].evict(pod)?;
+        Ok(())
+    }
+
+    /// Resize a placed pod.
+    pub fn resize(&mut self, pod: PodId, allocation: Millicores) -> SimResult<()> {
+        let node_id = self
+            .pod_to_node
+            .get(&pod)
+            .ok_or_else(|| SimError::UnknownEntity(format!("{pod}")))?;
+        self.nodes[node_id.0 as usize].resize(pod, allocation)
+    }
+
+    /// The node currently hosting `pod`.
+    pub fn node_of(&self, pod: PodId) -> Option<NodeId> {
+        self.pod_to_node.get(&pod).copied()
+    }
+
+    /// How many pods of `function` are co-located with `pod` on its node
+    /// (including `pod` itself). Returns 1 if the pod is unknown, i.e. no
+    /// interference.
+    pub fn colocation_degree(&self, pod: PodId, function: &str) -> usize {
+        match self.node_of(pod) {
+            Some(node_id) => self.nodes[node_id.0 as usize]
+                .colocated_count(function)
+                .max(1),
+            None => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(nodes: usize, policy: PlacementPolicy) -> Cluster {
+        Cluster::new(&ClusterConfig {
+            nodes,
+            node_capacity: Millicores::from_cores(8),
+            placement: policy,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn pack_policy_colocates_same_function() {
+        let mut c = cluster(3, PlacementPolicy::PackSameFunction);
+        let n1 = c.place(PodId(1), "od", Millicores::new(1000)).unwrap();
+        let n2 = c.place(PodId(2), "od", Millicores::new(1000)).unwrap();
+        let n3 = c.place(PodId(3), "od", Millicores::new(1000)).unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(n2, n3);
+        assert_eq!(c.colocation_degree(PodId(3), "od"), 3);
+    }
+
+    #[test]
+    fn spread_policy_balances_load() {
+        let mut c = cluster(3, PlacementPolicy::Spread);
+        c.place(PodId(1), "od", Millicores::new(1000)).unwrap();
+        c.place(PodId(2), "od", Millicores::new(1000)).unwrap();
+        c.place(PodId(3), "od", Millicores::new(1000)).unwrap();
+        let nodes: std::collections::HashSet<_> =
+            [PodId(1), PodId(2), PodId(3)].iter().map(|p| c.node_of(*p).unwrap()).collect();
+        assert_eq!(nodes.len(), 3, "spread places each pod on its own node");
+        assert_eq!(c.colocation_degree(PodId(1), "od"), 1);
+    }
+
+    #[test]
+    fn placement_overflows_to_other_nodes_when_full() {
+        let mut c = cluster(2, PlacementPolicy::PackSameFunction);
+        c.place(PodId(1), "od", Millicores::new(7000)).unwrap();
+        let n2 = c.place(PodId(2), "od", Millicores::new(3000)).unwrap();
+        assert_ne!(c.node_of(PodId(1)).unwrap(), n2, "second pod spills over");
+        // Totally full cluster rejects placement.
+        c.place(PodId(3), "od", Millicores::new(5000)).unwrap();
+        let err = c.place(PodId(4), "od", Millicores::new(6000)).unwrap_err();
+        assert!(matches!(err, SimError::InsufficientCapacity { .. }));
+    }
+
+    #[test]
+    fn remove_and_resize_update_accounting() {
+        let mut c = cluster(1, PlacementPolicy::PackSameFunction);
+        c.place(PodId(1), "od", Millicores::new(2000)).unwrap();
+        assert_eq!(c.total_allocated().get(), 2000);
+        c.resize(PodId(1), Millicores::new(3000)).unwrap();
+        assert_eq!(c.total_allocated().get(), 3000);
+        c.remove(PodId(1)).unwrap();
+        assert_eq!(c.total_allocated().get(), 0);
+        assert!(c.remove(PodId(1)).is_err());
+        assert!(c.resize(PodId(1), Millicores::new(1000)).is_err());
+        assert_eq!(c.colocation_degree(PodId(1), "od"), 1);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(Cluster::new(&ClusterConfig {
+            nodes: 0,
+            node_capacity: Millicores::from_cores(1),
+            placement: PlacementPolicy::Spread,
+        })
+        .is_err());
+        assert!(Cluster::new(&ClusterConfig {
+            nodes: 1,
+            node_capacity: Millicores::ZERO,
+            placement: PlacementPolicy::Spread,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn utilization_reflects_allocations() {
+        let mut c = cluster(2, PlacementPolicy::Spread);
+        assert_eq!(c.utilization(), 0.0);
+        c.place(PodId(1), "od", Millicores::from_cores(8)).unwrap();
+        assert!((c.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(c.total_capacity(), Millicores::from_cores(16));
+    }
+}

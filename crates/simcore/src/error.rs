@@ -1,0 +1,80 @@
+//! Error type shared across the simulator substrate.
+
+use crate::resources::Millicores;
+use std::fmt;
+
+/// Errors produced by the simulated serverless platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A node does not have enough free capacity for the requested allocation.
+    InsufficientCapacity {
+        /// Capacity requested by the placement.
+        requested: Millicores,
+        /// Free capacity available on the best candidate node.
+        available: Millicores,
+    },
+    /// Referenced an entity (pod, node, function) that does not exist.
+    UnknownEntity(String),
+    /// A pod was driven through an invalid lifecycle transition.
+    InvalidTransition {
+        /// Entity involved.
+        entity: String,
+        /// Description of the attempted transition.
+        detail: String,
+    },
+    /// A configuration value was rejected during validation.
+    InvalidConfig(String),
+    /// The event queue was asked to schedule an event in the past.
+    TimeTravel {
+        /// Current simulation time (ms).
+        now_ms: f64,
+        /// Requested event time (ms).
+        requested_ms: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InsufficientCapacity {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient capacity: requested {requested}, available {available}"
+            ),
+            SimError::UnknownEntity(name) => write!(f, "unknown entity: {name}"),
+            SimError::InvalidTransition { entity, detail } => {
+                write!(f, "invalid transition on {entity}: {detail}")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::TimeTravel { now_ms, requested_ms } => write!(
+                f,
+                "cannot schedule event at {requested_ms}ms before current time {now_ms}ms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = SimError::InsufficientCapacity {
+            requested: Millicores::new(3000),
+            available: Millicores::new(1200),
+        };
+        assert!(e.to_string().contains("3000mc"));
+        assert!(e.to_string().contains("1200mc"));
+
+        let e = SimError::TimeTravel {
+            now_ms: 10.0,
+            requested_ms: 5.0,
+        };
+        assert!(e.to_string().contains("before current time"));
+    }
+}

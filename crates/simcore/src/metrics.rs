@@ -1,0 +1,164 @@
+//! Lightweight metrics registry.
+//!
+//! The evaluation harness records many named counters (SLO violations, hint
+//! misses, cold starts) and sample streams (E2E latency, per-request CPU).
+//! This registry is intentionally simple and thread-safe so the rayon-parallel
+//! synthesizer and concurrent serving loops can share one instance.
+
+use crate::stats::Summary;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A named, thread-safe metrics registry of counters and sample series.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    samples: RwLock<HashMap<String, Arc<RwLock<Vec<f64>>>>>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn counter_handle(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut write = self.counters.write();
+        Arc::clone(
+            write
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    fn series_handle(&self, name: &str) -> Arc<RwLock<Vec<f64>>> {
+        if let Some(s) = self.samples.read().get(name) {
+            return Arc::clone(s);
+        }
+        let mut write = self.samples.write();
+        Arc::clone(
+            write
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(RwLock::new(Vec::new()))),
+        )
+    }
+
+    /// Increment a counter by `delta`.
+    pub fn incr(&self, name: &str, delta: u64) {
+        self.counter_handle(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Read a counter (0 if it was never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Append an observation to a sample series.
+    pub fn record(&self, name: &str, value: f64) {
+        self.series_handle(name).write().push(value);
+    }
+
+    /// Snapshot of a sample series (empty if never recorded).
+    pub fn series(&self, name: &str) -> Vec<f64> {
+        self.samples
+            .read()
+            .get(name)
+            .map(|s| s.read().clone())
+            .unwrap_or_default()
+    }
+
+    /// Summary statistics for a series, if it has any observations.
+    pub fn summary(&self, name: &str) -> Option<Summary> {
+        let series = self.series(name);
+        Summary::from_samples(&series)
+    }
+
+    /// Names of all counters.
+    pub fn counter_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.counters.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of all sample series.
+    pub fn series_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.samples.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Reset everything (used between experiment repetitions).
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.samples.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.counter("slo_violations"), 0);
+        m.incr("slo_violations", 1);
+        m.incr("slo_violations", 2);
+        assert_eq!(m.counter("slo_violations"), 3);
+        assert_eq!(m.counter_names(), vec!["slo_violations".to_string()]);
+    }
+
+    #[test]
+    fn series_summarise() {
+        let m = MetricsRegistry::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.record("e2e", v);
+        }
+        let s = m.summary("e2e").unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!(m.summary("missing").is_none());
+        assert_eq!(m.series("e2e").len(), 4);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = MetricsRegistry::new();
+        m.incr("a", 1);
+        m.record("b", 1.0);
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.series("b").is_empty());
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let m = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for i in 0..1000 {
+                        m.incr("hits", 1);
+                        m.record("lat", i as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.counter("hits"), 4000);
+        assert_eq!(m.series("lat").len(), 4000);
+    }
+}

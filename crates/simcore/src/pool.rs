@@ -1,0 +1,336 @@
+//! Warm-pool manager, modelled on the Fission PoolManager executor.
+//!
+//! The paper uses the PoolManager "due to its excellent performance against
+//! cold starts" (§V-A): a pool of generic pods is kept warm per node, and
+//! specialising a warm pod to a function costs a small specialisation delay
+//! rather than a full cold start.
+
+use crate::pod::{Pod, PodId, PodState};
+use crate::resources::Millicores;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Pool-manager configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Number of generic pods kept warm.
+    pub pool_size: usize,
+    /// Initial CPU allocation of pool pods (resized on specialisation).
+    pub initial_allocation: Millicores,
+    /// Latency of specialising a warm generic pod to a function.
+    pub specialization_delay: SimDuration,
+    /// Latency of a full cold start (pool empty).
+    pub cold_start_delay: SimDuration,
+    /// Idle duration after which a specialised pod is recycled back to the
+    /// generic pool.
+    pub idle_recycle_after: SimDuration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            pool_size: 8,
+            initial_allocation: Millicores::new(1000),
+            // Fission poolmgr specialisation is tens of milliseconds; cold
+            // starts (pod creation + image pull hit) are hundreds.
+            specialization_delay: SimDuration::from_millis(25.0),
+            cold_start_delay: SimDuration::from_millis(450.0),
+            idle_recycle_after: SimDuration::from_secs(120.0),
+        }
+    }
+}
+
+/// Outcome of acquiring a pod for a function invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Acquisition {
+    /// The pod serving the invocation.
+    pub pod: PodId,
+    /// Startup latency paid before execution can begin.
+    pub startup_delay: SimDuration,
+    /// True if this was a warm-pool hit (specialised pod reused or generic
+    /// pod specialised), false for a cold start.
+    pub warm_hit: bool,
+}
+
+/// Warm-pool manager tracking generic pods, specialised idle pods and
+/// hit/miss statistics.
+#[derive(Debug)]
+pub struct PoolManager {
+    config: PoolConfig,
+    next_pod: u64,
+    /// Generic warm pods ready to be specialised.
+    generic: VecDeque<PodId>,
+    /// Idle pods already specialised, keyed by function.
+    warm_by_function: HashMap<String, VecDeque<PodId>>,
+    /// All pods ever created, by id.
+    pods: HashMap<PodId, Pod>,
+    /// Last time each idle pod went idle (for recycling).
+    idle_since: HashMap<PodId, SimTime>,
+    warm_hits: u64,
+    cold_starts: u64,
+}
+
+impl PoolManager {
+    /// Create a pool manager and pre-provision its generic pool at time zero.
+    pub fn new(config: PoolConfig) -> Self {
+        let mut mgr = PoolManager {
+            config,
+            next_pod: 0,
+            generic: VecDeque::new(),
+            warm_by_function: HashMap::new(),
+            pods: HashMap::new(),
+            idle_since: HashMap::new(),
+            warm_hits: 0,
+            cold_starts: 0,
+        };
+        mgr.refill(SimTime::ZERO);
+        mgr
+    }
+
+    /// Current pool configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Number of generic pods currently available.
+    pub fn generic_available(&self) -> usize {
+        self.generic.len()
+    }
+
+    /// Number of idle specialised pods for `function`.
+    pub fn warm_available(&self, function: &str) -> usize {
+        self.warm_by_function
+            .get(function)
+            .map(VecDeque::len)
+            .unwrap_or(0)
+    }
+
+    /// Total warm-pool hits so far.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits
+    }
+
+    /// Total cold starts so far.
+    pub fn cold_starts(&self) -> u64 {
+        self.cold_starts
+    }
+
+    /// Warm-hit rate in `[0, 1]` (1.0 if nothing acquired yet).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.cold_starts;
+        if total == 0 {
+            return 1.0;
+        }
+        self.warm_hits as f64 / total as f64
+    }
+
+    fn new_pod(&mut self, now: SimTime) -> PodId {
+        let id = PodId(self.next_pod);
+        self.next_pod += 1;
+        let pod = Pod::generic(id, self.config.initial_allocation, now);
+        self.pods.insert(id, pod);
+        id
+    }
+
+    /// Top the generic pool back up to its configured size.
+    pub fn refill(&mut self, now: SimTime) {
+        while self.generic.len() < self.config.pool_size {
+            let id = self.new_pod(now);
+            self.generic.push_back(id);
+        }
+    }
+
+    /// Acquire a pod to run `function` with `allocation` CPU at time `now`.
+    ///
+    /// Preference order (mirroring Fission poolmgr):
+    /// 1. an idle pod already specialised to the function → warm hit, no
+    ///    specialisation delay;
+    /// 2. a generic pool pod → warm hit, specialisation delay;
+    /// 3. nothing available → cold start.
+    pub fn acquire(&mut self, function: &str, allocation: Millicores, now: SimTime) -> Acquisition {
+        // 1. Reuse a specialised idle pod.
+        if let Some(queue) = self.warm_by_function.get_mut(function) {
+            if let Some(pod_id) = queue.pop_front() {
+                self.idle_since.remove(&pod_id);
+                let pod = self.pods.get_mut(&pod_id).expect("tracked pod exists");
+                pod.resize(allocation).expect("idle pod resize");
+                pod.start_execution().expect("warm pod starts");
+                self.warm_hits += 1;
+                return Acquisition {
+                    pod: pod_id,
+                    startup_delay: SimDuration::ZERO,
+                    warm_hit: true,
+                };
+            }
+        }
+        // 2. Specialise a generic pod.
+        if let Some(pod_id) = self.generic.pop_front() {
+            let pod = self.pods.get_mut(&pod_id).expect("tracked pod exists");
+            pod.specialize(function).expect("generic pod specialises");
+            pod.resize(allocation).expect("pod resize");
+            pod.start_execution().expect("specialised pod starts");
+            self.warm_hits += 1;
+            return Acquisition {
+                pod: pod_id,
+                startup_delay: self.config.specialization_delay,
+                warm_hit: true,
+            };
+        }
+        // 3. Cold start.
+        let pod_id = self.new_pod(now);
+        let pod = self.pods.get_mut(&pod_id).expect("new pod exists");
+        pod.specialize(function).expect("new pod specialises");
+        pod.resize(allocation).expect("pod resize");
+        pod.start_execution().expect("new pod starts");
+        self.cold_starts += 1;
+        Acquisition {
+            pod: pod_id,
+            startup_delay: self.config.cold_start_delay,
+            warm_hit: false,
+        }
+    }
+
+    /// Return a pod after its execution finished; it becomes an idle
+    /// specialised pod available for reuse.
+    pub fn release(&mut self, pod_id: PodId, now: SimTime) {
+        let Some(pod) = self.pods.get_mut(&pod_id) else {
+            return;
+        };
+        if pod.state() == PodState::Running {
+            pod.finish_execution().expect("running pod finishes");
+        }
+        if let Some(function) = pod.function().map(str::to_string) {
+            self.warm_by_function
+                .entry(function)
+                .or_default()
+                .push_back(pod_id);
+            self.idle_since.insert(pod_id, now);
+        }
+    }
+
+    /// Recycle specialised pods idle for longer than the configured window
+    /// and top the generic pool back up. Returns how many pods were recycled.
+    pub fn recycle_idle(&mut self, now: SimTime) -> usize {
+        let cutoff = self.config.idle_recycle_after;
+        let mut recycled = 0;
+        let expired: Vec<PodId> = self
+            .idle_since
+            .iter()
+            .filter(|(_, since)| now.saturating_since(**since) >= cutoff)
+            .map(|(id, _)| *id)
+            .collect();
+        for pod_id in expired {
+            self.idle_since.remove(&pod_id);
+            for queue in self.warm_by_function.values_mut() {
+                queue.retain(|id| *id != pod_id);
+            }
+            if let Some(pod) = self.pods.get_mut(&pod_id) {
+                let _ = pod.terminate();
+            }
+            recycled += 1;
+        }
+        self.refill(now);
+        recycled
+    }
+
+    /// Mutable access to a pod (e.g. for a resize while it is idle or running).
+    pub fn pod_mut(&mut self, pod_id: PodId) -> Option<&mut Pod> {
+        self.pods.get_mut(&pod_id)
+    }
+
+    /// Immutable access to a pod.
+    pub fn pod(&self, pod_id: PodId) -> Option<&Pod> {
+        self.pods.get(&pod_id)
+    }
+
+    /// Total pods ever created.
+    pub fn total_pods(&self) -> usize {
+        self.pods.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(size: usize) -> PoolManager {
+        PoolManager::new(PoolConfig {
+            pool_size: size,
+            ..PoolConfig::default()
+        })
+    }
+
+    #[test]
+    fn generic_pool_is_preprovisioned() {
+        let mgr = pool(4);
+        assert_eq!(mgr.generic_available(), 4);
+        assert_eq!(mgr.total_pods(), 4);
+    }
+
+    #[test]
+    fn first_acquire_specialises_a_generic_pod() {
+        let mut mgr = pool(2);
+        let acq = mgr.acquire("od", Millicores::new(2000), SimTime::ZERO);
+        assert!(acq.warm_hit);
+        assert_eq!(acq.startup_delay, mgr.config().specialization_delay);
+        assert_eq!(mgr.generic_available(), 1);
+        let pod = mgr.pod(acq.pod).unwrap();
+        assert_eq!(pod.function(), Some("od"));
+        assert_eq!(pod.allocation(), Millicores::new(2000));
+        assert_eq!(pod.state(), PodState::Running);
+    }
+
+    #[test]
+    fn released_pod_is_reused_without_delay() {
+        let mut mgr = pool(2);
+        let acq1 = mgr.acquire("od", Millicores::new(1500), SimTime::ZERO);
+        mgr.release(acq1.pod, SimTime::from_millis(100.0));
+        assert_eq!(mgr.warm_available("od"), 1);
+        let acq2 = mgr.acquire("od", Millicores::new(2500), SimTime::from_millis(200.0));
+        assert_eq!(acq2.pod, acq1.pod, "same pod reused");
+        assert_eq!(acq2.startup_delay, SimDuration::ZERO);
+        assert_eq!(
+            mgr.pod(acq2.pod).unwrap().allocation(),
+            Millicores::new(2500),
+            "reuse applies the new allocation"
+        );
+    }
+
+    #[test]
+    fn exhausted_pool_falls_back_to_cold_start() {
+        let mut mgr = pool(1);
+        let a = mgr.acquire("od", Millicores::new(1000), SimTime::ZERO);
+        assert!(a.warm_hit);
+        let b = mgr.acquire("qa", Millicores::new(1000), SimTime::ZERO);
+        assert!(!b.warm_hit);
+        assert_eq!(b.startup_delay, mgr.config().cold_start_delay);
+        assert_eq!(mgr.cold_starts(), 1);
+        assert_eq!(mgr.warm_hits(), 1);
+        assert!((mgr.warm_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_pods_are_recycled_after_timeout() {
+        let mut mgr = pool(1);
+        let acq = mgr.acquire("od", Millicores::new(1000), SimTime::ZERO);
+        mgr.release(acq.pod, SimTime::from_millis(0.0));
+        assert_eq!(mgr.warm_available("od"), 1);
+        let not_yet = mgr.recycle_idle(SimTime::from_secs(1.0));
+        assert_eq!(not_yet, 0);
+        let recycled = mgr.recycle_idle(SimTime::from_secs(200.0));
+        assert_eq!(recycled, 1);
+        assert_eq!(mgr.warm_available("od"), 0);
+        assert_eq!(
+            mgr.generic_available(),
+            1,
+            "generic pool refilled after recycling"
+        );
+    }
+
+    #[test]
+    fn warm_hit_rate_defaults_to_one() {
+        let mgr = pool(1);
+        assert_eq!(mgr.warm_hit_rate(), 1.0);
+    }
+}

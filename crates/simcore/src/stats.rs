@@ -1,0 +1,306 @@
+//! Percentile / CDF statistics shared by the profiler, the trace analyser and
+//! the evaluation harness.
+//!
+//! The paper works almost exclusively in percentiles (P1–P99 profiles, P99
+//! SLOs, P99/P50 variability ratios), so these helpers are used everywhere.
+
+use serde::{Deserialize, Serialize};
+
+/// Compute the `p`-th percentile (0 < p <= 100) of a sample set using linear
+/// interpolation between closest ranks (the same convention as
+/// `numpy.percentile(..., interpolation="linear")`, which the paper's pandas
+/// based prototype uses).
+///
+/// Returns `None` for an empty sample set or an out-of-range percentile.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=100.0).contains(&p) || p.is_nan() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Some(percentile_of_sorted(&sorted, p))
+}
+
+/// Percentile of an already-sorted (ascending) sample set. Panics in debug
+/// builds if the slice is not sorted.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Summary statistics over a sample set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (P50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarise a sample set. Returns `None` for an empty set.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        Some(Summary {
+            count,
+            mean,
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p95: percentile_of_sorted(&sorted, 95.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+            std_dev: var.sqrt(),
+        })
+    }
+
+    /// The P99/P50 tail-to-median ratio the paper uses to quantify runtime
+    /// variability (e.g. 2.17× for QA at concurrency 1).
+    pub fn tail_ratio(&self) -> f64 {
+        if self.p50 <= f64::EPSILON {
+            return f64::INFINITY;
+        }
+        self.p99 / self.p50
+    }
+}
+
+/// An empirical cumulative distribution function, used for the latency CDFs of
+/// Figure 4 and the slack CDF of Figure 1a.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build a CDF from raw samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Cdf { sorted }
+    }
+
+    /// Number of samples behind the CDF.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x` (the CDF value at `x`).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Value at quantile `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(percentile_of_sorted(&self.sorted, q * 100.0))
+    }
+
+    /// Evenly spaced `(value, cumulative fraction)` points suitable for
+    /// plotting or printing a figure series.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1).max(1) as f64;
+                (percentile_of_sorted(&self.sorted, q * 100.0), q)
+            })
+            .collect()
+    }
+
+    /// Underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Online mean/variance accumulator (Welford). Used by long-running serving
+/// loops where storing every sample would be wasteful.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation into the accumulator.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded observations (0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (None if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (None if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&samples, 0.0), Some(1.0));
+        assert_eq!(percentile(&samples, 100.0), Some(4.0));
+        assert_eq!(percentile(&samples, 50.0), Some(2.5));
+        assert!((percentile(&samples, 25.0).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_input() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[1.0], 101.0), None);
+        assert_eq!(percentile(&[1.0], -1.0), None);
+        assert_eq!(percentile(&[1.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn summary_matches_hand_computed_values() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::from_samples(&samples).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(Summary::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn cdf_fraction_and_quantile_agree() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let cdf = Cdf::from_samples(&samples);
+        assert_eq!(cdf.len(), 100);
+        assert!((cdf.fraction_below(50.0) - 0.5).abs() < 0.01);
+        assert!((cdf.quantile(0.5).unwrap() - 50.5).abs() < 0.01);
+        assert_eq!(cdf.fraction_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_below(1000.0), 1.0);
+        let pts = cdf.points(11);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[10].1, 1.0);
+    }
+
+    #[test]
+    fn running_stats_match_batch_summary() {
+        let samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut rs = RunningStats::new();
+        for s in samples {
+            rs.record(s);
+        }
+        let batch = Summary::from_samples(&samples).unwrap();
+        assert!((rs.mean() - batch.mean).abs() < 1e-12);
+        assert!((rs.std_dev() - batch.std_dev).abs() < 1e-9);
+        assert_eq!(rs.min(), Some(1.0));
+        assert_eq!(rs.max(), Some(9.0));
+        assert_eq!(rs.count(), 8);
+    }
+
+    #[test]
+    fn tail_ratio_quantifies_skew() {
+        let mut samples = vec![10.0; 99];
+        samples.push(100.0);
+        let s = Summary::from_samples(&samples).unwrap();
+        assert!(s.tail_ratio() > 1.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Hints generation — Algorithm 1 of the paper.
+//!
+//! For a (sub-)workflow `F = ⟨f₁, …, f_N⟩` and a time budget `t`, the
+//! generator chooses a percentile `p` for the head function and CPU
+//! allocations `k₁ … k_N` minimising the expected resource consumption
+//!
+//! ```text
+//! s = W·k₁ + (p/100)·Σ_{i≥2} k_i + (1 − p/100)·(N−1)·Kmax        (Eq. 4)
+//! ```
+//!
+//! subject to the budget constraint `L₁(p,k₁) + Σ_{i≥2} L_i(99,k_i) ≤ t`
+//! (Eq. 5) and the resilience constraint `D₁(p,k₁) ≤ Σ_{i≥2} R_i(99,k_i)`
+//! (Eq. 6): any over-time execution of the head must be absorbable by scaling
+//! the downstream functions up to `Kmax`.
+//!
+//! The paper presents the search as a recursion (`generate(F, t, P)` calling
+//! itself on `F \ f₁`); because the recursive sub-problems only depend on the
+//! *remaining functions* and the *residual budget*, this implementation
+//! memoises them in per-level dynamic-programming tables indexed by the
+//! residual budget at millisecond granularity — the same exploration, orders
+//! of magnitude fewer redundant evaluations, which is what makes the 1 ms
+//! budget sweep of §V-F tractable. Levels are filled bottom-up and each level
+//! is computed in parallel with rayon ("the synthesizer explores different
+//! percentiles concurrently", §IV-A).
+
+use crate::hints::{CondensedHint, HintsTable};
+use janus_profiler::percentiles::{Percentile, PercentileGrid};
+use janus_profiler::profile::WorkflowProfile;
+use janus_simcore::resources::Millicores;
+use janus_simcore::time::SimDuration;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the hint generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationConfig {
+    /// Weight `W` applied to the head function's allocation in the objective
+    /// (Insight 4: "heavier head").
+    pub weight: f64,
+    /// Candidate percentiles for functions that are allowed to explore below
+    /// the tail (Insight 2: "moderate percentile exploration").
+    pub percentiles: PercentileGrid,
+    /// How many leading functions of the sub-workflow explore lower
+    /// percentiles: 0 = Janus⁻, 1 = Janus, 2 = Janus⁺.
+    pub exploration_depth: usize,
+    /// Granularity of the time-budget sweep in milliseconds (1 ms in §V-F).
+    pub budget_step_ms: f64,
+}
+
+impl Default for GenerationConfig {
+    fn default() -> Self {
+        GenerationConfig {
+            weight: 1.0,
+            percentiles: PercentileGrid::paper_default(),
+            exploration_depth: 1,
+            budget_step_ms: 1.0,
+        }
+    }
+}
+
+impl GenerationConfig {
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.weight.is_finite() && self.weight >= 1.0) {
+            return Err(format!("weight must be >= 1, got {}", self.weight));
+        }
+        if !(self.budget_step_ms.is_finite() && self.budget_step_ms >= 0.1) {
+            return Err(format!("budget step must be >= 0.1 ms, got {}", self.budget_step_ms));
+        }
+        Ok(())
+    }
+}
+
+/// A raw (pre-condensing) hint: the full allocation plan for one time budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawHint {
+    /// Time budget this hint was generated for (ms).
+    pub budget_ms: f64,
+    /// Planned CPU allocation per remaining function (head first).
+    pub allocation: Vec<Millicores>,
+    /// Percentile chosen for the head function.
+    pub head_percentile: Percentile,
+    /// Expected resource consumption `s` of Eq. 4 (millicores).
+    pub expected_cost: f64,
+}
+
+/// One dynamic-programming cell: the best plan for a suffix level at one
+/// quantised residual budget.
+#[derive(Debug, Clone, Copy)]
+struct LevelEntry {
+    feasible: bool,
+    head_cores: Millicores,
+    head_percentile: Percentile,
+    /// Expected cost of this level's objective (used only for argmin here).
+    expected_cost: f64,
+    /// Sum of planned allocations over this suffix (head + downstream plan).
+    planned_cores: f64,
+    /// Σ R_i(tail, k_i) over this suffix — downstream absorption capacity
+    /// offered to the caller.
+    resilience_ms: f64,
+    /// Σ L_i(plan) over this suffix — planned latency, for diagnostics.
+    planned_latency_ms: f64,
+}
+
+impl LevelEntry {
+    fn infeasible() -> Self {
+        LevelEntry {
+            feasible: false,
+            head_cores: Millicores::ZERO,
+            head_percentile: Percentile::P99,
+            expected_cost: f64::INFINITY,
+            planned_cores: f64::INFINITY,
+            resilience_ms: 0.0,
+            planned_latency_ms: f64::INFINITY,
+        }
+    }
+}
+
+/// The hint generator for one sub-workflow profile.
+#[derive(Debug)]
+pub struct HintGenerator<'a> {
+    profile: &'a WorkflowProfile,
+    config: &'a GenerationConfig,
+    /// `levels[i][b]` = best plan for functions `i..N` with residual budget
+    /// `b` milliseconds (quantised down).
+    levels: Vec<Vec<LevelEntry>>,
+    /// Upper bound (ms, inclusive) of the DP budget axis.
+    horizon_ms: usize,
+}
+
+impl<'a> HintGenerator<'a> {
+    /// Build the generator and fill the dynamic-programming tables.
+    ///
+    /// `horizon` bounds the budget axis; budgets above it are clamped (they
+    /// are trivially served by the minimum allocation).
+    pub fn new(
+        profile: &'a WorkflowProfile,
+        config: &'a GenerationConfig,
+        horizon: SimDuration,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let tail = config.percentiles.tail();
+        let natural_max = profile.max_budget(tail).as_millis();
+        let horizon_ms = horizon.as_millis().max(natural_max).ceil() as usize + 1;
+        let mut gen = HintGenerator {
+            profile,
+            config,
+            levels: Vec::new(),
+            horizon_ms,
+        };
+        gen.fill_levels();
+        Ok(gen)
+    }
+
+    /// The profile this generator plans for.
+    pub fn profile(&self) -> &WorkflowProfile {
+        self.profile
+    }
+
+    fn tail(&self) -> Percentile {
+        self.config.percentiles.tail()
+    }
+
+    fn fill_levels(&mut self) {
+        let n = self.profile.len();
+        let mut levels: Vec<Vec<LevelEntry>> = Vec::with_capacity(n);
+        // Fill from the last function backwards.
+        let mut downstream: Option<Vec<LevelEntry>> = None;
+        for i in (0..n).rev() {
+            let level = self.fill_level(i, downstream.as_deref());
+            if let Some(prev) = downstream {
+                levels.push(prev);
+            }
+            downstream = Some(level);
+        }
+        levels.push(downstream.expect("at least one level"));
+        // `levels` currently holds [level_{n-1}, ..., level_0]; reverse so
+        // that `levels[i]` corresponds to suffix starting at function i.
+        levels.reverse();
+        self.levels = levels;
+    }
+
+    /// Compute the DP row for suffix level `i` given the row of level `i+1`.
+    fn fill_level(&self, i: usize, downstream: Option<&[LevelEntry]>) -> Vec<LevelEntry> {
+        let tail = self.tail();
+        let grid = self.profile.grid();
+        let func = self.profile.function(i).expect("level index in range");
+        let n_remaining = self.profile.len() - i;
+        let explore = i < self.config.exploration_depth && n_remaining > 1;
+        let weight = if i == 0 { self.config.weight } else { 1.0 };
+        let kmax_mc = f64::from(grid.max.get());
+
+        // Candidate percentiles for this level's head.
+        let candidates: Vec<Percentile> = if explore {
+            self.config.percentiles.values().to_vec()
+        } else {
+            vec![tail]
+        };
+
+        // Pre-compute the per-allocation latency/timeout/resilience rows for
+        // every candidate percentile so the inner budget loop is lookups only.
+        struct Cand {
+            percentile: Percentile,
+            prob: f64,
+            latency: Vec<f64>,
+            timeout: Vec<f64>,
+        }
+        let cands: Vec<Cand> = candidates
+            .iter()
+            .map(|&p| Cand {
+                percentile: p,
+                prob: p.probability(),
+                latency: grid.iter().map(|mc| func.latency(p, mc).as_millis()).collect(),
+                timeout: grid
+                    .iter()
+                    .map(|mc| func.timeout(p, mc, tail).as_millis())
+                    .collect(),
+            })
+            .collect();
+        let tail_latency: Vec<f64> = grid.iter().map(|mc| func.latency(tail, mc).as_millis()).collect();
+        let tail_resilience: Vec<f64> = grid
+            .iter()
+            .map(|mc| func.resilience(tail, mc).as_millis())
+            .collect();
+        let allocations: Vec<Millicores> = grid.iter().collect();
+
+        (0..=self.horizon_ms)
+            .into_par_iter()
+            .map(|budget_ms| {
+                let budget = budget_ms as f64;
+                let mut best = LevelEntry::infeasible();
+                for cand in &cands {
+                    for (ki, &mc) in allocations.iter().enumerate() {
+                        let head_latency = cand.latency[ki];
+                        if head_latency > budget {
+                            continue;
+                        }
+                        let (cost, planned_cores, resilience, planned_latency) = match downstream {
+                            None => {
+                                // Last function: it must finish within the
+                                // budget at the tail percentile — there is no
+                                // downstream slack left to absorb a timeout —
+                                // so exploration is disabled for it (the
+                                // `explore` flag already guarantees this).
+                                let k = f64::from(mc.get());
+                                (
+                                    weight * k,
+                                    k,
+                                    tail_resilience[ki],
+                                    tail_latency[ki],
+                                )
+                            }
+                            Some(down) => {
+                                let residual = (budget - head_latency).floor();
+                                if residual < 0.0 {
+                                    continue;
+                                }
+                                let down_entry = &down[(residual as usize).min(self.horizon_ms)];
+                                if !down_entry.feasible {
+                                    continue;
+                                }
+                                // Resilience constraint (Eq. 6): the head's
+                                // potential timeout must not exceed what the
+                                // downstream plan can absorb by scaling up.
+                                if cand.timeout[ki] > down_entry.resilience_ms {
+                                    continue;
+                                }
+                                let k = f64::from(mc.get());
+                                let downstream_count = (n_remaining - 1) as f64;
+                                let cost = weight * k
+                                    + cand.prob * down_entry.planned_cores
+                                    + (1.0 - cand.prob) * downstream_count * kmax_mc;
+                                (
+                                    cost,
+                                    k + down_entry.planned_cores,
+                                    tail_resilience[ki] + down_entry.resilience_ms,
+                                    tail_latency[ki] + down_entry.planned_latency_ms,
+                                )
+                            }
+                        };
+                        if cost < best.expected_cost {
+                            best = LevelEntry {
+                                feasible: true,
+                                head_cores: mc,
+                                head_percentile: cand.percentile,
+                                expected_cost: cost,
+                                planned_cores: planned_cores,
+                                resilience_ms: resilience,
+                                planned_latency_ms: planned_latency,
+                            };
+                        }
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    fn quantize(&self, budget_ms: f64) -> usize {
+        budget_ms.floor().clamp(0.0, self.horizon_ms as f64) as usize
+    }
+
+    /// `generate(F, t)`: the best plan for the full suffix under budget `t`,
+    /// or `None` if no allocation can meet it.
+    pub fn generate(&self, budget: SimDuration) -> Option<RawHint> {
+        let entry = self.levels[0][self.quantize(budget.as_millis())];
+        if !entry.feasible {
+            return None;
+        }
+        Some(RawHint {
+            budget_ms: budget.as_millis(),
+            allocation: self.reconstruct(budget.as_millis()),
+            head_percentile: entry.head_percentile,
+            expected_cost: entry.expected_cost,
+        })
+    }
+
+    /// Reconstruct the full allocation vector by walking the DP levels.
+    fn reconstruct(&self, budget_ms: f64) -> Vec<Millicores> {
+        let mut allocation = Vec::with_capacity(self.profile.len());
+        let mut budget = budget_ms;
+        for i in 0..self.profile.len() {
+            let entry = self.levels[i][self.quantize(budget)];
+            if !entry.feasible {
+                break;
+            }
+            allocation.push(entry.head_cores);
+            let func = self.profile.function(i).expect("index in range");
+            let consumed = func
+                .latency(entry.head_percentile, entry.head_cores)
+                .as_millis();
+            budget = (budget - consumed).floor();
+        }
+        allocation
+    }
+
+    /// The smallest budget (ms) with a feasible plan, scanning upward from
+    /// the profile's `Tmin`.
+    pub fn min_feasible_budget_ms(&self) -> Option<f64> {
+        (0..=self.horizon_ms)
+            .find(|&b| self.levels[0][b].feasible)
+            .map(|b| b as f64)
+    }
+
+    /// Sweep every budget in `[from, to]` with the configured step and emit
+    /// the raw hints (skipping infeasible budgets). This is the outer loop of
+    /// Algorithm 1 (lines 2–4).
+    pub fn sweep(&self, from: SimDuration, to: SimDuration) -> Vec<RawHint> {
+        let step = self.config.budget_step_ms;
+        let from_ms = from.as_millis().max(0.0);
+        let to_ms = to.as_millis().min(self.horizon_ms as f64);
+        if to_ms < from_ms {
+            return Vec::new();
+        }
+        let steps = ((to_ms - from_ms) / step).floor() as usize;
+        (0..=steps)
+            .into_par_iter()
+            .filter_map(|i| {
+                let budget = from_ms + i as f64 * step;
+                self.generate(SimDuration::from_millis(budget))
+            })
+            .collect()
+    }
+
+    /// Sweep the natural budget range `[Tmin, Tmax]` of the profile (Eq. 3),
+    /// condense the result (Algorithm 2) and return the table together with
+    /// the raw hints. `suffix_start` labels which sub-workflow this is.
+    pub fn build_table(
+        &self,
+        suffix_start: usize,
+        range: Option<(SimDuration, SimDuration)>,
+    ) -> (HintsTable, Vec<RawHint>) {
+        let low = self.config.percentiles.lowest();
+        let tail = self.tail();
+        let (from, to) = range.unwrap_or_else(|| {
+            (self.profile.min_budget(low), self.profile.max_budget(tail))
+        });
+        let raw = self.sweep(from, to);
+        let rows = crate::condense::condense(&raw);
+        let table = HintsTable::new(suffix_start, raw.len(), rows)
+            .expect("condensed rows are sorted and disjoint by construction");
+        (table, raw)
+    }
+}
+
+/// Convenience: condensed rows for a raw sweep (re-exported for tests).
+pub fn condense_raw(raw: &[RawHint]) -> Vec<CondensedHint> {
+    crate::condense::condense(raw)
+}

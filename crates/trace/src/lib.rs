@@ -1,0 +1,22 @@
+//! # janus-trace
+//!
+//! Synthetic production-trace substrate for the motivation analysis of §II-A.
+//!
+//! The paper quantifies early-binding resource inefficiency on the Microsoft
+//! Azure Functions 2019 dataset: under a P99-derived SLO, "more than 60 % of
+//! function invocations have slacks over 60 %", and for the top-100 most
+//! popular functions (81.6 % of all invocations) "only 20 % of the
+//! invocations … have slacks less than 40 %". The dataset itself is not
+//! redistributable, so [`synth`] generates a trace with the published
+//! characteristics (Zipf-like popularity, log-normally distributed
+//! execution times with heavy per-function skew) and [`slack`] reproduces the
+//! slack-CDF analysis of Figure 1a on top of it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod slack;
+pub mod synth;
+
+pub use slack::{SlackAnalysis, SlackCdfs};
+pub use synth::{Invocation, Trace, TraceConfig};

@@ -1,0 +1,141 @@
+//! Per-request sampled inputs.
+//!
+//! For runtime resource adaptation to be meaningful the *same* request must
+//! see a consistent world regardless of which sizing policy serves it: if the
+//! image happens to contain 14 objects, OD is slow for every policy. A
+//! [`RequestInput`] therefore captures the per-function random factors
+//! (working-set scale × noise) drawn once per request; policies only change
+//! the resource knobs.
+//!
+//! This also makes policy comparisons paired (the same 1000 requests are
+//! replayed under every policy), which is how the paper's evaluation compares
+//! systems on identical workloads.
+
+use crate::workflow::Workflow;
+use janus_simcore::rng::SimRng;
+use janus_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The immutable, policy-independent part of one workflow request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestInput {
+    /// Request identifier (sequence number within the experiment).
+    pub id: u64,
+    /// Arrival offset from the start of the experiment.
+    pub arrival_offset: SimDuration,
+    /// Random latency factor per function (same order as the workflow's
+    /// function list): working-set scale × residual noise.
+    pub factors: Vec<f64>,
+}
+
+impl RequestInput {
+    /// The random factor of function `index` (1.0 if out of range, which can
+    /// only happen if the workflow was modified after generation).
+    pub fn factor(&self, index: usize) -> f64 {
+        self.factors.get(index).copied().unwrap_or(1.0)
+    }
+}
+
+/// Generates a reproducible stream of [`RequestInput`]s for a workflow.
+#[derive(Debug)]
+pub struct RequestInputGenerator {
+    rng: SimRng,
+    next_id: u64,
+    clock: SimDuration,
+    mean_inter_arrival: SimDuration,
+}
+
+impl RequestInputGenerator {
+    /// Create a generator with Poisson arrivals of the given mean
+    /// inter-arrival time. Use `SimDuration::ZERO` for a closed-loop
+    /// (back-to-back) workload, matching the paper's 1000-request runs.
+    pub fn new(seed: u64, mean_inter_arrival: SimDuration) -> Self {
+        RequestInputGenerator {
+            rng: SimRng::seed_from_u64(seed),
+            next_id: 0,
+            clock: SimDuration::ZERO,
+            mean_inter_arrival,
+        }
+    }
+
+    /// Generate the next request for `workflow`.
+    pub fn next_request(&mut self, workflow: &Workflow) -> RequestInput {
+        let id = self.next_id;
+        self.next_id += 1;
+        if self.mean_inter_arrival.as_millis() > 0.0 {
+            let gap = self.rng.exponential(self.mean_inter_arrival.as_millis());
+            self.clock += SimDuration::from_millis(gap);
+        }
+        let mut fn_rng = self.rng.fork(id);
+        let factors = workflow
+            .functions()
+            .iter()
+            .map(|f| f.sample_random_factor(&mut fn_rng))
+            .collect();
+        RequestInput {
+            id,
+            arrival_offset: self.clock,
+            factors,
+        }
+    }
+
+    /// Generate a batch of `n` requests.
+    pub fn generate(&mut self, workflow: &Workflow, n: usize) -> Vec<RequestInput> {
+        (0..n).map(|_| self.next_request(workflow)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::intelligent_assistant;
+
+    #[test]
+    fn requests_have_one_factor_per_function() {
+        let ia = intelligent_assistant();
+        let mut gen = RequestInputGenerator::new(1, SimDuration::ZERO);
+        let reqs = gen.generate(&ia, 10);
+        assert_eq!(reqs.len(), 10);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(r.factors.len(), 3);
+            assert!(r.factors.iter().all(|&f| f > 0.0));
+            assert_eq!(r.arrival_offset, SimDuration::ZERO, "closed loop");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let ia = intelligent_assistant();
+        let a = RequestInputGenerator::new(42, SimDuration::ZERO).generate(&ia, 20);
+        let b = RequestInputGenerator::new(42, SimDuration::ZERO).generate(&ia, 20);
+        let c = RequestInputGenerator::new(43, SimDuration::ZERO).generate(&ia, 20);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotone_and_spread() {
+        let ia = intelligent_assistant();
+        let mut gen = RequestInputGenerator::new(7, SimDuration::from_millis(100.0));
+        let reqs = gen.generate(&ia, 200);
+        let mut prev = SimDuration::ZERO;
+        for r in &reqs {
+            assert!(r.arrival_offset >= prev);
+            prev = r.arrival_offset;
+        }
+        let mean_gap = reqs.last().unwrap().arrival_offset.as_millis() / 200.0;
+        assert!(mean_gap > 60.0 && mean_gap < 150.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn factor_out_of_range_defaults_to_one() {
+        let r = RequestInput {
+            id: 0,
+            arrival_offset: SimDuration::ZERO,
+            factors: vec![1.5],
+        };
+        assert_eq!(r.factor(0), 1.5);
+        assert_eq!(r.factor(5), 1.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: deploy the Intelligent Assistant workflow with Janus and serve
+//! a handful of requests.
+//!
+//! ```text
+//! cargo run --release -p janus-core --example quickstart
+//! ```
+
+use janus_core::deployment::{DeploymentConfig, JanusDeployment};
+use janus_core::platform::executor::{ClosedLoopExecutor, ExecutorConfig};
+use janus_core::workloads::apps::PaperApp;
+use janus_core::workloads::request::RequestInputGenerator;
+use janus_simcore::time::SimDuration;
+
+fn main() -> Result<(), String> {
+    // 1. Developer side: profile the workflow and synthesize the hints table.
+    let app = PaperApp::IntelligentAssistant;
+    let config = DeploymentConfig {
+        samples_per_point: 400,
+        budget_step_ms: 2.0,
+        ..DeploymentConfig::paper_default(app, 1)
+    };
+    let deployment = JanusDeployment::build(&config)?;
+    println!(
+        "Synthesized {} condensed hints ({} raw, {:.1}% compression) in {:.1} ms",
+        deployment.bundle().total_hints(),
+        deployment.report().raw_hints,
+        deployment.report().compression_ratio * 100.0,
+        deployment.report().synthesis_time_ms,
+    );
+    for table in &deployment.bundle().tables {
+        println!(
+            "  sub-workflow starting at function {}: {} rows covering {:.0}–{:.0} ms",
+            table.suffix_start,
+            table.len(),
+            table.min_budget_ms().unwrap_or(0.0),
+            table.max_budget_ms().unwrap_or(0.0)
+        );
+    }
+
+    // 2. Provider side: serve requests with the adapter-backed policy.
+    let workflow = deployment.workflow().clone();
+    let slo = app.default_slo(1);
+    let executor = ClosedLoopExecutor::new(workflow.clone(), ExecutorConfig::paper_serving(slo, 1));
+    let requests = RequestInputGenerator::new(42, SimDuration::ZERO).generate(&workflow, 20);
+    let mut policy = deployment.policy();
+    let report = executor.run(&mut policy, &requests);
+
+    println!("\nServed {} requests under a {:.1} s SLO:", report.len(), slo.as_secs());
+    for outcome in &report.outcomes {
+        println!(
+            "  request {:>2}: E2E {:>7.1} ms, CPU {:>5} mc, SLO {}",
+            outcome.request_id,
+            outcome.e2e.as_millis(),
+            outcome.total_cpu().get(),
+            if outcome.slo_met { "met" } else { "VIOLATED" }
+        );
+    }
+    println!(
+        "\nmean CPU {:.1} mc, P99 E2E {:.2} s, hint hit rate {:.1}%, mean decision {:.1} µs",
+        report.mean_cpu_millicores(),
+        report.e2e_percentile(99.0).map(|d| d.as_secs()).unwrap_or(0.0),
+        policy.adapter().hit_rate() * 100.0,
+        policy.adapter().mean_decision_time_us(),
+    );
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! Cross-crate integration test: the full bilateral pipeline.
+//!
+//! Profiles the paper's workflows (janus-workloads + janus-profiler),
+//! synthesizes hints (janus-synthesizer), deploys the adapter
+//! (janus-adapter), serves requests on the platform (janus-platform) and
+//! checks the headline evaluation claims against the baselines
+//! (janus-baselines).
+
+use janus_core::comparison::{self, ComparisonConfig, PolicyKind};
+use janus_core::deployment::{DeploymentConfig, JanusDeployment, JanusVariant};
+use janus_core::platform::executor::{ClosedLoopExecutor, ExecutorConfig};
+use janus_core::workloads::apps::PaperApp;
+use janus_core::workloads::request::RequestInputGenerator;
+use janus_simcore::time::SimDuration;
+
+fn quick(app: PaperApp, concurrency: u32) -> ComparisonConfig {
+    ComparisonConfig {
+        requests: 200,
+        samples_per_point: 300,
+        budget_step_ms: 5.0,
+        ..ComparisonConfig::paper_default(app, concurrency)
+    }
+}
+
+#[test]
+fn table1_headline_holds_for_ia() {
+    let outcome = comparison::run(&quick(PaperApp::IntelligentAssistant, 1)).unwrap();
+    let optimal = outcome.report(PolicyKind::Optimal).unwrap();
+    let janus = outcome.report(PolicyKind::Janus).unwrap();
+    let orion = outcome.report(PolicyKind::Orion).unwrap();
+    let grandslam = outcome.report(PolicyKind::GrandSlam).unwrap();
+    let grandslam_plus = outcome.report(PolicyKind::GrandSlamPlus).unwrap();
+    let janus_minus = outcome.report(PolicyKind::JanusMinus).unwrap();
+    let janus_plus = outcome.report(PolicyKind::JanusPlus).unwrap();
+
+    // Who wins: Optimal <= Janus+ <= Janus <= Janus- and Janus < every early binder.
+    assert!(optimal.mean_cpu_millicores() <= janus.mean_cpu_millicores());
+    assert!(janus_plus.mean_cpu_millicores() <= janus.mean_cpu_millicores() + 50.0);
+    assert!(janus.mean_cpu_millicores() <= janus_minus.mean_cpu_millicores() + 1e-9);
+    assert!(janus.mean_cpu_millicores() < orion.mean_cpu_millicores());
+    assert!(orion.mean_cpu_millicores() < grandslam_plus.mean_cpu_millicores());
+    assert!(grandslam_plus.mean_cpu_millicores() <= grandslam.mean_cpu_millicores());
+
+    // Everyone keeps the P99-style SLO guarantee (small violation rates).
+    for kind in PolicyKind::ALL {
+        let rate = outcome.report(kind).unwrap().slo_violation_rate();
+        assert!(rate <= 0.03, "{} violation rate {rate}", kind.name());
+    }
+
+    // The Table I reductions are positive for every early-binding baseline.
+    for other in [PolicyKind::Orion, PolicyKind::GrandSlamPlus, PolicyKind::GrandSlam] {
+        let reduction = outcome.reduction_percent(PolicyKind::Janus, other).unwrap();
+        assert!(reduction > 0.0, "reduction vs {} was {reduction}", other.name());
+    }
+}
+
+#[test]
+fn table1_headline_holds_for_va() {
+    let outcome = comparison::run(&quick(PaperApp::VideoAnalyze, 1)).unwrap();
+    let janus = outcome.report(PolicyKind::Janus).unwrap();
+    let orion = outcome.report(PolicyKind::Orion).unwrap();
+    let grandslam = outcome.report(PolicyKind::GrandSlam).unwrap();
+    assert!(janus.mean_cpu_millicores() < orion.mean_cpu_millicores());
+    assert!(orion.mean_cpu_millicores() < grandslam.mean_cpu_millicores());
+    assert!(janus.slo_violation_rate() <= 0.03);
+    assert!(outcome
+        .reduction_percent(PolicyKind::Janus, PolicyKind::GrandSlamPlus)
+        .unwrap()
+        > 0.0);
+}
+
+#[test]
+fn higher_concurrency_magnifies_early_binding_overprovisioning() {
+    // §V-B: at concurrency 2–3 the early binders over-allocate even more
+    // relative to Optimal, while Janus tracks the variance at runtime.
+    let conc1 = comparison::run(&ComparisonConfig {
+        policies: vec![PolicyKind::Optimal, PolicyKind::GrandSlam, PolicyKind::Janus],
+        ..quick(PaperApp::IntelligentAssistant, 1)
+    })
+    .unwrap();
+    let conc2 = comparison::run(&ComparisonConfig {
+        policies: vec![PolicyKind::Optimal, PolicyKind::GrandSlam, PolicyKind::Janus],
+        ..quick(PaperApp::IntelligentAssistant, 2)
+    })
+    .unwrap();
+    let janus_norm_1 = conc1.normalized_cpu(PolicyKind::Janus).unwrap();
+    let janus_norm_2 = conc2.normalized_cpu(PolicyKind::Janus).unwrap();
+    let gs_norm_2 = conc2.normalized_cpu(PolicyKind::GrandSlam).unwrap();
+    assert!(gs_norm_2 > janus_norm_2, "GrandSLAM {gs_norm_2} vs Janus {janus_norm_2}");
+    assert!(janus_norm_1 < 1.6 && janus_norm_2 < 1.6, "Janus stays near Optimal");
+    assert!(
+        conc2.report(PolicyKind::Janus).unwrap().slo_violation_rate() <= 0.03,
+        "Janus keeps the 4s SLO at concurrency 2"
+    );
+}
+
+#[test]
+fn janus_variants_differ_only_in_percentile_exploration() {
+    let app = PaperApp::IntelligentAssistant;
+    let base = DeploymentConfig {
+        samples_per_point: 300,
+        budget_step_ms: 5.0,
+        ..DeploymentConfig::paper_default(app, 1)
+    };
+    let standard = JanusDeployment::build(&base).unwrap();
+    let minus = JanusDeployment::from_profile(
+        &DeploymentConfig { variant: JanusVariant::Minus, ..base.clone() },
+        standard.workflow().clone(),
+        standard.profile().clone(),
+    )
+    .unwrap();
+
+    // Janus- plans every row at the tail percentile; Janus uses lower ones too.
+    let minus_all_tail = minus
+        .bundle()
+        .tables
+        .iter()
+        .flat_map(|t| t.rows())
+        .all(|r| r.head_percentile.value() >= 99.0);
+    assert!(minus_all_tail);
+    let standard_explores = standard
+        .bundle()
+        .tables
+        .iter()
+        .flat_map(|t| t.rows())
+        .any(|r| r.head_percentile.value() < 99.0);
+    assert!(standard_explores);
+
+    // Serving with either variant keeps the SLO; Janus is at least as cheap.
+    let workflow = standard.workflow().clone();
+    let slo = app.default_slo(1);
+    let executor = ClosedLoopExecutor::new(workflow.clone(), ExecutorConfig::paper_serving(slo, 1));
+    let requests = RequestInputGenerator::new(5, SimDuration::ZERO).generate(&workflow, 200);
+    let mut standard_policy = standard.policy();
+    let mut minus_policy = minus.policy();
+    let standard_report = executor.run(&mut standard_policy, &requests);
+    let minus_report = executor.run(&mut minus_policy, &requests);
+    assert!(standard_report.mean_cpu_millicores() <= minus_report.mean_cpu_millicores() + 1e-9);
+    assert!(standard_report.slo_violation_rate() <= 0.03);
+    assert!(minus_report.slo_violation_rate() <= 0.03);
+}
+
+#[test]
+fn adapter_decisions_stay_fast_at_serving_scale() {
+    // §V-H: the online decision path must stay far below 3 ms even after
+    // thousands of decisions.
+    let deployment = JanusDeployment::build(&DeploymentConfig {
+        samples_per_point: 300,
+        budget_step_ms: 5.0,
+        ..DeploymentConfig::paper_default(PaperApp::IntelligentAssistant, 1)
+    })
+    .unwrap();
+    let workflow = deployment.workflow().clone();
+    let executor = ClosedLoopExecutor::new(
+        workflow.clone(),
+        ExecutorConfig::paper_serving(SimDuration::from_secs(3.0), 1),
+    );
+    let requests = RequestInputGenerator::new(11, SimDuration::ZERO).generate(&workflow, 500);
+    let mut policy = deployment.policy();
+    let _report = executor.run(&mut policy, &requests);
+    assert_eq!(policy.adapter().decisions(), 1500, "3 decisions per request");
+    assert!(policy.adapter().mean_decision_time_us() < 3000.0);
+    assert!(policy.adapter().hit_rate() > 0.97, "hit rate {}", policy.adapter().hit_rate());
+}

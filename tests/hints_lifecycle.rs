@@ -1,0 +1,116 @@
+//! Integration test of the hints lifecycle across the developer/provider
+//! boundary: synthesis → JSON submission → adapter deployment → miss-rate
+//! supervision → asynchronous regeneration.
+
+use janus_core::adapter::adapter::{Adapter, AdapterConfig};
+use janus_core::adapter::feedback::{FeedbackChannel, FeedbackEvent};
+use janus_core::deployment::{DeploymentConfig, JanusDeployment};
+use janus_core::synthesizer::hints::HintsBundle;
+use janus_core::workloads::apps::PaperApp;
+use janus_simcore::resources::Millicores;
+use janus_simcore::time::SimDuration;
+
+fn deployment(app: PaperApp) -> JanusDeployment {
+    JanusDeployment::build(&DeploymentConfig {
+        samples_per_point: 300,
+        budget_step_ms: 5.0,
+        ..DeploymentConfig::paper_default(app, 1)
+    })
+    .unwrap()
+}
+
+#[test]
+fn hints_survive_the_json_handoff_between_developer_and_provider() {
+    // The developer submits the bundle as JSON (the paper's hints table is a
+    // pandas DataFrame serialised to the provider); the provider's adapter
+    // must make identical decisions from the deserialised copy.
+    let deployment = deployment(PaperApp::IntelligentAssistant);
+    let json = deployment.bundle().to_json().unwrap();
+    assert!(json.contains("tables"));
+    let parsed = HintsBundle::from_json(&json).unwrap();
+    assert_eq!(&parsed, deployment.bundle());
+
+    let mut original = Adapter::new(deployment.bundle().clone(), AdapterConfig::default());
+    let mut restored = Adapter::new(parsed, AdapterConfig::default());
+    for i in 0..200 {
+        let budget = SimDuration::from_millis(1000.0 + 25.0 * f64::from(i));
+        for finished in 0..3 {
+            let a = original.decide(finished, budget);
+            let b = restored.decide(finished, budget);
+            assert_eq!(a.head_cores, b.head_cores);
+            assert_eq!(a.source, b.source);
+        }
+    }
+}
+
+#[test]
+fn condensed_tables_are_compact_like_the_paper() {
+    // §V-F: after condensing, IA needs fewer than ~150 hints and VA fewer
+    // than ~100, with compression ratios above 90 %.
+    let ia = deployment(PaperApp::IntelligentAssistant);
+    let va = deployment(PaperApp::VideoAnalyze);
+    assert!(ia.bundle().total_hints() < 400, "IA hints {}", ia.bundle().total_hints());
+    assert!(va.bundle().total_hints() < 250, "VA hints {}", va.bundle().total_hints());
+    assert!(ia.report().compression_ratio > 0.5);
+    assert!(va.report().compression_ratio > 0.5);
+    // Hints memory footprint stays tiny (paper: ~12 MB including the Python
+    // runtime; the tables themselves are kilobytes).
+    assert!(ia.bundle().approx_size_bytes() < 64 * 1024);
+    assert!(va.bundle().approx_size_bytes() < 64 * 1024);
+}
+
+#[test]
+fn sustained_misses_trigger_regeneration_and_recovery() {
+    let deployment = deployment(PaperApp::VideoAnalyze);
+    let mut adapter = Adapter::new(deployment.bundle().clone(), AdapterConfig::default());
+    let feedback = FeedbackChannel::new();
+
+    // Budgets far below anything profiled: every lookup misses and the
+    // adapter protects the SLO by scaling to Kmax.
+    for _ in 0..300 {
+        let decision = adapter.decide(0, SimDuration::from_millis(40.0));
+        assert_eq!(decision.head_cores, Millicores::new(3000));
+    }
+    assert!(adapter.miss_rate() > 0.99);
+    assert!(adapter.regeneration_recommended());
+    feedback.emit(FeedbackEvent::RegenerationRequested {
+        workflow: deployment.bundle().workflow.clone(),
+        observed_miss_rate: adapter.miss_rate(),
+        observations: adapter.decisions(),
+    });
+
+    // The developer re-runs profiling/synthesis asynchronously and submits a
+    // fresh bundle; supervision resets and normal budgets hit again.
+    let regenerated = deployment.bundle().clone();
+    adapter.install_bundle(regenerated);
+    feedback.emit(FeedbackEvent::BundleInstalled {
+        workflow: deployment.bundle().workflow.clone(),
+    });
+    assert!(!adapter.regeneration_recommended());
+    let decision = adapter.decide(0, SimDuration::from_millis(1400.0));
+    assert!(decision.source != janus_core::adapter::adapter::DecisionSource::MissScaleToMax);
+    assert_eq!(feedback.drain().len(), 2);
+}
+
+#[test]
+fn weight_specific_tables_are_kept_separately() {
+    // §IV-B: "the synthesizer maintains individual hint tables for different
+    // weights" — bundles built with different weights are distinct artefacts.
+    let base = DeploymentConfig {
+        samples_per_point: 300,
+        budget_step_ms: 5.0,
+        ..DeploymentConfig::paper_default(PaperApp::IntelligentAssistant, 1)
+    };
+    let w1 = JanusDeployment::build(&base).unwrap();
+    let w3 = JanusDeployment::from_profile(
+        &DeploymentConfig { weight: 3.0, ..base.clone() },
+        w1.workflow().clone(),
+        w1.profile().clone(),
+    )
+    .unwrap();
+    assert_eq!(w1.bundle().weight, 1.0);
+    assert_eq!(w3.bundle().weight, 3.0);
+    assert_ne!(w1.bundle(), w3.bundle());
+    // Higher weights never enlarge the table (Figure 8's trend).
+    assert!(w3.bundle().total_hints() <= w1.bundle().total_hints() + 40);
+}

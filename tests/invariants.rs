@@ -1,0 +1,143 @@
+//! Property-based invariants spanning the profiler, synthesizer and adapter.
+
+use janus_core::profiler::percentiles::{Percentile, PercentileGrid};
+use janus_core::profiler::profile::FunctionProfile;
+use janus_core::synthesizer::condense::condense;
+use janus_core::synthesizer::generation::{GenerationConfig, HintGenerator, RawHint};
+use janus_core::synthesizer::hints::{HintsTable, LookupOutcome};
+use janus_profiler::profile::WorkflowProfile;
+use janus_simcore::resources::{CoreGrid, Millicores};
+use janus_simcore::stats::percentile;
+use janus_simcore::time::SimDuration;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Build a synthetic, deterministic profile whose latency shrinks with cores.
+fn synthetic_profile(base: f64, spread: f64) -> FunctionProfile {
+    let grid = CoreGrid::paper_default();
+    let mut samples = BTreeMap::new();
+    for mc in grid.iter() {
+        let scale = 1000.0 / f64::from(mc.get());
+        let s: Vec<f64> = (0..=100)
+            .map(|p| base * scale * (1.0 + spread * f64::from(p) / 100.0))
+            .collect();
+        samples.insert(mc.get(), s);
+    }
+    FunctionProfile::from_samples("f", 1, grid, samples).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sample percentile is bounded by the sample min/max and monotone in p.
+    #[test]
+    fn percentile_is_bounded_and_monotone(
+        mut values in prop::collection::vec(0.1f64..10_000.0, 1..200),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let lo = p1.min(p2);
+        let hi = p1.max(p2);
+        let q_lo = percentile(&values, lo).unwrap();
+        let q_hi = percentile(&values, hi).unwrap();
+        values.sort_by(|a, b| a.total_cmp(b));
+        prop_assert!(q_lo <= q_hi + 1e-9);
+        prop_assert!(q_lo >= values[0] - 1e-9);
+        prop_assert!(q_hi <= values[values.len() - 1] + 1e-9);
+    }
+
+    /// Condensing never changes any budget's head-size decision and always
+    /// produces sorted, non-overlapping rows.
+    #[test]
+    fn condensing_preserves_decisions(
+        sizes in prop::collection::vec(1u32..=20, 1..400),
+    ) {
+        let raw: Vec<RawHint> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| RawHint {
+                budget_ms: 1000.0 + i as f64,
+                allocation: vec![Millicores::new(s * 100 + 1000), Millicores::new(1000)],
+                head_percentile: Percentile::P99,
+                expected_cost: f64::from(*s),
+            })
+            .collect();
+        let rows = condense(&raw);
+        prop_assert!(rows.len() <= raw.len());
+        for w in rows.windows(2) {
+            prop_assert!(w[0].end_ms < w[1].start_ms);
+        }
+        let table = HintsTable::new(0, raw.len(), rows).unwrap();
+        for hint in &raw {
+            match table.lookup(SimDuration::from_millis(hint.budget_ms)) {
+                LookupOutcome::Hit { head_cores } | LookupOutcome::AboveRange { head_cores } => {
+                    prop_assert_eq!(head_cores, hint.allocation[0]);
+                }
+                LookupOutcome::Miss => prop_assert!(false, "raw budget must stay covered"),
+            }
+        }
+    }
+
+    /// Timeout and resilience are non-negative for every (percentile, cores)
+    /// pair, and the generator's plans respect the budget constraint.
+    #[test]
+    fn generated_plans_respect_the_budget(
+        base in 100.0f64..600.0,
+        spread in 0.2f64..1.5,
+        budget_ms in 600.0f64..6000.0,
+    ) {
+        let f1 = synthetic_profile(base, spread);
+        let f2 = synthetic_profile(base * 0.8, spread);
+        let profile = WorkflowProfile::new("wf", 1, CoreGrid::paper_default(), vec![f1.clone(), f2]).unwrap();
+
+        // Metric invariants.
+        for p in PercentileGrid::paper_default().iter() {
+            for mc in CoreGrid::paper_default().iter() {
+                prop_assert!(f1.timeout(p, mc, Percentile::P99).as_millis() >= -1e-9);
+                prop_assert!(f1.resilience(p, mc).as_millis() >= -1e-9);
+            }
+        }
+
+        let config = GenerationConfig::default();
+        let generator = HintGenerator::new(&profile, &config, SimDuration::from_millis(8000.0)).unwrap();
+        if let Some(hint) = generator.generate(SimDuration::from_millis(budget_ms)) {
+            prop_assert_eq!(hint.allocation.len(), 2);
+            // The planned P99 latencies (head at its chosen percentile, tail at
+            // P99) must fit within the requested budget.
+            let head = profile.function(0).unwrap();
+            let tail = profile.function(1).unwrap();
+            let planned = head
+                .latency(hint.head_percentile, hint.allocation[0])
+                .as_millis()
+                + tail.latency(Percentile::P99, hint.allocation[1]).as_millis();
+            prop_assert!(planned <= budget_ms + 2.0, "planned {planned} > budget {budget_ms}");
+            // And the timeout of the head is covered by the tail's resilience.
+            let d = head
+                .timeout(hint.head_percentile, hint.allocation[0], Percentile::P99)
+                .as_millis();
+            let r = tail.resilience(Percentile::P99, hint.allocation[1]).as_millis();
+            prop_assert!(d <= r + 1e-6, "timeout {d} exceeds resilience {r}");
+        }
+    }
+
+    /// Hints-table lookups are total over [min, max]: any budget inside the
+    /// covered range is a hit, anything above resolves to the cheapest row.
+    #[test]
+    fn lookups_inside_the_range_never_miss(
+        base in 150.0f64..500.0,
+        budget_frac in 0.0f64..1.0,
+    ) {
+        let f1 = synthetic_profile(base, 0.8);
+        let profile = WorkflowProfile::new("wf", 1, CoreGrid::paper_default(), vec![f1]).unwrap();
+        let config = GenerationConfig::default();
+        let generator = HintGenerator::new(&profile, &config, SimDuration::from_millis(4000.0)).unwrap();
+        let (table, raw) = generator.build_table(0, None);
+        prop_assume!(!table.is_empty());
+        prop_assert!(table.len() <= raw.len());
+        let lo = table.min_budget_ms().unwrap();
+        let hi = table.max_budget_ms().unwrap();
+        let budget = lo + budget_frac * (hi - lo);
+        prop_assert!(table.lookup(SimDuration::from_millis(budget)).is_hit());
+        prop_assert!(table.lookup(SimDuration::from_millis(hi + 10_000.0)).is_hit());
+    }
+}
