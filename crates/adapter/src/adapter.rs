@@ -115,7 +115,8 @@ impl Adapter {
             LookupOutcome::AboveRange { head_cores } => (head_cores, DecisionSource::AboveRange),
             LookupOutcome::Miss => (self.config.miss_fallback, DecisionSource::MissScaleToMax),
         };
-        self.supervisor.observe(source != DecisionSource::MissScaleToMax);
+        self.supervisor
+            .observe(source != DecisionSource::MissScaleToMax);
         let decision_time_us = started.elapsed().as_secs_f64() * 1e6;
         self.decisions += 1;
         self.total_decision_time_us += decision_time_us;
@@ -249,7 +250,10 @@ mod tests {
         for i in 0..1000 {
             adapter.decide(0, SimDuration::from_millis(2000.0 + f64::from(i)));
         }
-        assert!(adapter.mean_decision_time_us() < 3000.0, "mean under 3 ms (§V-H)");
+        assert!(
+            adapter.mean_decision_time_us() < 3000.0,
+            "mean under 3 ms (§V-H)"
+        );
         assert!(adapter.max_decision_time_us() >= adapter.mean_decision_time_us());
     }
 

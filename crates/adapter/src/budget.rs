@@ -92,9 +92,18 @@ mod tests {
     #[test]
     fn wall_clock_budget_accounts_for_queueing() {
         let b = BudgetTracker::new(SimDuration::from_secs(2.0), SimTime::from_millis(1000.0));
-        assert_eq!(b.remaining_at(SimTime::from_millis(1000.0)).as_millis(), 2000.0);
-        assert_eq!(b.remaining_at(SimTime::from_millis(2500.0)).as_millis(), 500.0);
-        assert_eq!(b.remaining_at(SimTime::from_millis(9999.0)), SimDuration::ZERO);
+        assert_eq!(
+            b.remaining_at(SimTime::from_millis(1000.0)).as_millis(),
+            2000.0
+        );
+        assert_eq!(
+            b.remaining_at(SimTime::from_millis(2500.0)).as_millis(),
+            500.0
+        );
+        assert_eq!(
+            b.remaining_at(SimTime::from_millis(9999.0)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

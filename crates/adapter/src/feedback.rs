@@ -7,8 +7,9 @@
 //! (§III-A). The channel decouples the online decision path (which must stay
 //! in the microsecond range) from the offline regeneration pipeline.
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 /// Events the adapter emits towards the developer side.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,47 +33,54 @@ pub enum FeedbackEvent {
 
 /// An asynchronous, non-blocking feedback channel between the adapter
 /// (producer) and the developer tooling (consumer).
-#[derive(Debug, Clone)]
+///
+/// Implemented as a shared lock-guarded queue rather than an external channel
+/// crate: producers and consumers are both non-blocking, clones share the
+/// same queue, and the serving path only ever takes the lock for a push.
+#[derive(Debug, Clone, Default)]
 pub struct FeedbackChannel {
-    sender: Sender<FeedbackEvent>,
-    receiver: Receiver<FeedbackEvent>,
-}
-
-impl Default for FeedbackChannel {
-    fn default() -> Self {
-        Self::new()
-    }
+    queue: Arc<Mutex<VecDeque<FeedbackEvent>>>,
 }
 
 impl FeedbackChannel {
-    /// Create an unbounded channel.
+    /// Create an empty channel.
     pub fn new() -> Self {
-        let (sender, receiver) = unbounded();
-        FeedbackChannel { sender, receiver }
+        Self::default()
     }
 
-    /// Emit an event. Never blocks; if the developer side went away the event
-    /// is dropped (the adapter must not stall the serving path).
+    /// Emit an event. Never blocks on a consumer; if the developer side went
+    /// away the event simply waits in the queue (the adapter must not stall
+    /// the serving path).
     pub fn emit(&self, event: FeedbackEvent) {
-        let _ = self.sender.send(event);
+        self.queue
+            .lock()
+            .expect("feedback queue lock poisoned")
+            .push_back(event);
     }
 
     /// Non-blocking poll for the next pending event.
     pub fn poll(&self) -> Option<FeedbackEvent> {
-        match self.receiver.try_recv() {
-            Ok(ev) => Some(ev),
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
-        }
+        self.queue
+            .lock()
+            .expect("feedback queue lock poisoned")
+            .pop_front()
     }
 
     /// Drain all pending events.
     pub fn drain(&self) -> Vec<FeedbackEvent> {
-        std::iter::from_fn(|| self.poll()).collect()
+        self.queue
+            .lock()
+            .expect("feedback queue lock poisoned")
+            .drain(..)
+            .collect()
     }
 
     /// Number of events waiting to be consumed.
     pub fn pending(&self) -> usize {
-        self.receiver.len()
+        self.queue
+            .lock()
+            .expect("feedback queue lock poisoned")
+            .len()
     }
 }
 
@@ -96,7 +104,10 @@ mod tests {
         assert_eq!(chan.pending(), 2);
         let events = chan.drain();
         assert_eq!(events.len(), 2);
-        assert!(matches!(events[0], FeedbackEvent::RegenerationRequested { .. }));
+        assert!(matches!(
+            events[0],
+            FeedbackEvent::RegenerationRequested { .. }
+        ));
         assert_eq!(chan.pending(), 0);
     }
 

@@ -5,19 +5,19 @@
 //! runtime, which is exactly the early-binding behaviour whose inefficiency
 //! the paper quantifies.
 
+use janus_platform::policy::FixedSizingPolicy;
 use janus_profiler::percentiles::Percentile;
 use janus_profiler::profile::WorkflowProfile;
 use janus_simcore::resources::Millicores;
 use janus_simcore::rng::SimRng;
 use janus_simcore::stats::percentile_of_sorted;
 use janus_simcore::time::SimDuration;
-use janus_platform::policy::FixedSizingPolicy;
 use serde::{Deserialize, Serialize};
 
 /// GrandSLAM \[41\]: identical sizes for all functions. Returns the smallest
 /// uniform allocation `k` on the grid such that `Σ_i L_i(99, k) ≤ slo`; falls
 /// back to `Kmax` everywhere if even that is infeasible.
-pub fn grandslam(profile: &WorkflowProfile, slo: SimDuration) -> FixedSizingPolicy {
+pub fn grandslam(profile: &WorkflowProfile, slo: SimDuration) -> Result<FixedSizingPolicy, String> {
     let grid = profile.grid();
     let uniform = grid.iter().find(|&k| {
         let total: SimDuration = profile
@@ -36,7 +36,10 @@ pub fn grandslam(profile: &WorkflowProfile, slo: SimDuration) -> FixedSizingPoli
 ///
 /// Solved exactly with a budget-quantised dynamic program over the chain
 /// (1 ms granularity), the same structure the Janus synthesizer uses.
-pub fn grandslam_plus(profile: &WorkflowProfile, slo: SimDuration) -> FixedSizingPolicy {
+pub fn grandslam_plus(
+    profile: &WorkflowProfile,
+    slo: SimDuration,
+) -> Result<FixedSizingPolicy, String> {
     let sizes = min_total_cores_for_budget(profile, slo, Percentile::P99)
         .unwrap_or_else(|| vec![profile.grid().max; profile.len()]);
     FixedSizingPolicy::new("GrandSLAM+", sizes)
@@ -74,7 +77,11 @@ impl Default for OrionConfig {
 /// P99s) meets the SLO, starting from all-`Kmax` and greedily shrinking the
 /// allocation whose reduction keeps the constraint satisfied at the lowest
 /// latency cost.
-pub fn orion(profile: &WorkflowProfile, slo: SimDuration, config: &OrionConfig) -> FixedSizingPolicy {
+pub fn orion(
+    profile: &WorkflowProfile,
+    slo: SimDuration,
+    config: &OrionConfig,
+) -> Result<FixedSizingPolicy, String> {
     let grid = profile.grid();
     let target_ms = slo.as_millis() * config.safety_margin;
     let mut sizes: Vec<Millicores> = vec![grid.max; profile.len()];
@@ -85,7 +92,9 @@ pub fn orion(profile: &WorkflowProfile, slo: SimDuration, config: &OrionConfig) 
     loop {
         let mut best: Option<(usize, f64)> = None;
         for i in 0..sizes.len() {
-            let Some(idx) = grid.index_of(sizes[i]) else { continue };
+            let Some(idx) = grid.index_of(sizes[i]) else {
+                continue;
+            };
             if idx == 0 {
                 continue;
             }
@@ -187,10 +196,14 @@ pub fn min_total_cores_for_budget(
     next[horizon]?;
     let mut sizes = Vec::with_capacity(n);
     let mut b = horizon;
-    for i in 0..n {
-        let k = choices[i][b]?;
+    for (i, row) in choices.iter().enumerate() {
+        let k = row[b]?;
         sizes.push(k);
-        let lat = profile.function(i).expect("in range").latency(p, k).as_millis();
+        let lat = profile
+            .function(i)
+            .expect("in range")
+            .latency(p, k)
+            .as_millis();
         b = (b as f64 - lat).floor().max(0.0) as usize;
     }
     Some(sizes)
@@ -216,7 +229,7 @@ mod tests {
     fn grandslam_uses_identical_sizes_meeting_the_slo() {
         let profile = ia_profile();
         let slo = SimDuration::from_secs(3.0);
-        let policy = grandslam(&profile, slo);
+        let policy = grandslam(&profile, slo).unwrap();
         let sizes = policy.sizes().to_vec();
         assert!(sizes.windows(2).all(|w| w[0] == w[1]), "identical sizes");
         let total: SimDuration = profile
@@ -242,9 +255,14 @@ mod tests {
     fn grandslam_plus_is_no_more_expensive_than_grandslam() {
         let profile = ia_profile();
         let slo = SimDuration::from_secs(3.0);
-        let gs = grandslam(&profile, slo);
-        let gsp = grandslam_plus(&profile, slo);
-        assert!(gsp.total() <= gs.total(), "{} vs {}", gsp.total(), gs.total());
+        let gs = grandslam(&profile, slo).unwrap();
+        let gsp = grandslam_plus(&profile, slo).unwrap();
+        assert!(
+            gsp.total() <= gs.total(),
+            "{} vs {}",
+            gsp.total(),
+            gs.total()
+        );
         // The per-function plan still meets the sum-of-P99 constraint.
         let total: SimDuration = profile
             .functions()
@@ -261,10 +279,18 @@ mod tests {
         // distribution-aware sizing beats the sum-of-P99 approach.
         let profile = ia_profile();
         let slo = SimDuration::from_secs(3.0);
-        let gsp = grandslam_plus(&profile, slo);
-        let ori = orion(&profile, slo, &OrionConfig::default());
-        assert!(ori.total() <= gsp.total(), "{} vs {}", ori.total(), gsp.total());
-        assert!(ori.total() >= Millicores::new(3000), "cannot go below 3x Kmin");
+        let gsp = grandslam_plus(&profile, slo).unwrap();
+        let ori = orion(&profile, slo, &OrionConfig::default()).unwrap();
+        assert!(
+            ori.total() <= gsp.total(),
+            "{} vs {}",
+            ori.total(),
+            gsp.total()
+        );
+        assert!(
+            ori.total() >= Millicores::new(3000),
+            "cannot go below 3x Kmin"
+        );
     }
 
     #[test]
@@ -272,9 +298,9 @@ mod tests {
         let profile = ia_profile();
         let slo = SimDuration::from_millis(200.0);
         for policy in [
-            grandslam(&profile, slo),
-            grandslam_plus(&profile, slo),
-            orion(&profile, slo, &OrionConfig::default()),
+            grandslam(&profile, slo).unwrap(),
+            grandslam_plus(&profile, slo).unwrap(),
+            orion(&profile, slo, &OrionConfig::default()).unwrap(),
         ] {
             assert!(
                 policy.sizes().iter().all(|&k| k == profile.grid().max),
@@ -323,7 +349,9 @@ mod tests {
                     assert!(dp_total >= brute_total, "DP cannot beat exact optimum");
                 }
                 (None, None) => {}
-                (dp, brute) => panic!("feasibility disagreement at {slo_ms}: dp={dp:?} brute={brute:?}"),
+                (dp, brute) => {
+                    panic!("feasibility disagreement at {slo_ms}: dp={dp:?} brute={brute:?}")
+                }
             }
         }
     }

@@ -88,7 +88,9 @@ impl OptimalOracle {
         let latencies: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 grid.iter()
-                    .map(|k| Self::actual_latency(workflow, request, i, k, concurrency, interference))
+                    .map(|k| {
+                        Self::actual_latency(workflow, request, i, k, concurrency, interference)
+                    })
                     .collect()
             })
             .collect();
@@ -123,7 +125,9 @@ impl OptimalOracle {
                     break;
                 }
             }
-            return best.map(|(_, plan)| plan).unwrap_or_else(|| vec![grid.max; n]);
+            return best
+                .map(|(_, plan)| plan)
+                .unwrap_or_else(|| vec![grid.max; n]);
         }
 
         // Longer workflows: budget-quantised DP (1 ms).
@@ -226,7 +230,8 @@ mod tests {
         let (ia, reqs) = setup(100);
         let slo = SimDuration::from_secs(3.0);
         let interference = InterferenceModel::paper_calibrated();
-        let oracle = OptimalOracle::new(&ia, &reqs, slo, 1, CoreGrid::paper_default(), &interference);
+        let oracle =
+            OptimalOracle::new(&ia, &reqs, slo, 1, CoreGrid::paper_default(), &interference);
         for r in &reqs {
             let plan = oracle.plan(r.id).unwrap();
             assert_eq!(plan.len(), 3);
@@ -301,14 +306,21 @@ mod tests {
     fn oracle_is_cheapest_among_slo_meeting_policies_in_serving() {
         let (ia, reqs) = setup(200);
         let slo = SimDuration::from_secs(3.0);
-        let exec = ClosedLoopExecutor::new(ia.clone(), ExecutorConfig {
-            count_startup_delays: false,
-            ..ExecutorConfig::paper_serving(slo, 1)
-        });
+        let exec = ClosedLoopExecutor::new(
+            ia.clone(),
+            ExecutorConfig {
+                count_startup_delays: false,
+                ..ExecutorConfig::paper_serving(slo, 1)
+            },
+        );
         let interference = exec.config().interference.clone();
-        let mut oracle = OptimalOracle::new(&ia, &reqs, slo, 1, CoreGrid::paper_default(), &interference);
+        let mut oracle =
+            OptimalOracle::new(&ia, &reqs, slo, 1, CoreGrid::paper_default(), &interference);
         let report = exec.run(&mut oracle, &reqs);
-        assert!(report.slo_violation_rate() < 0.02, "oracle respects the SLO");
+        assert!(
+            report.slo_violation_rate() < 0.02,
+            "oracle respects the SLO"
+        );
         // The oracle can never use fewer than 3 * Kmin millicores.
         assert!(report.mean_cpu_millicores() >= 3000.0);
         // And must be cheaper than provisioning everything at Kmax.
@@ -333,7 +345,10 @@ mod tests {
             concurrency: 1,
             workflow_len: 3,
         };
-        assert_eq!(oracle.size_next(&ctx, 0, SimDuration::from_secs(3.0)), Millicores::new(3000));
+        assert_eq!(
+            oracle.size_next(&ctx, 0, SimDuration::from_secs(3.0)),
+            Millicores::new(3000)
+        );
         assert!(oracle.plan(999).is_none());
         assert!(oracle.is_late_binding());
     }

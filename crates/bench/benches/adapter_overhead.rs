@@ -22,13 +22,13 @@ fn adapter_overhead(c: &mut Criterion) {
         .expect("deployment builds");
         let bundle = deployment.bundle().clone();
         group.bench_function(app.short_name(), |b| {
-            let mut adapter =
-                janus_adapter::adapter::Adapter::with_defaults(bundle.clone());
+            let mut adapter = janus_adapter::adapter::Adapter::with_defaults(bundle.clone());
             let slo_ms = app.default_slo(1).as_millis();
             let mut i = 0u64;
             b.iter(|| {
                 i = i.wrapping_add(1);
-                let budget = SimDuration::from_millis(slo_ms * (0.4 + 0.6 * ((i % 100) as f64 / 100.0)));
+                let budget =
+                    SimDuration::from_millis(slo_ms * (0.4 + 0.6 * ((i % 100) as f64 / 100.0)));
                 let finished = (i % 3) as usize;
                 black_box(adapter.decide(finished, budget))
             });

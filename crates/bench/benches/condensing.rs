@@ -15,7 +15,11 @@ fn raw_hints(n: usize) -> Vec<RawHint> {
             let head = 3000 - ((i / 37) as u32 * 100).min(2000);
             RawHint {
                 budget_ms: 2000.0 + i as f64,
-                allocation: vec![Millicores::new(head), Millicores::new(1000), Millicores::new(1000)],
+                allocation: vec![
+                    Millicores::new(head),
+                    Millicores::new(1000),
+                    Millicores::new(1000),
+                ],
                 head_percentile: Percentile::P99,
                 expected_cost: f64::from(head) + 2000.0,
             }

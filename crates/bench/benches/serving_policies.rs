@@ -39,13 +39,13 @@ fn serving_policies(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("grandslam", |b| {
         b.iter(|| {
-            let mut policy = grandslam(&profile, slo);
+            let mut policy = grandslam(&profile, slo).expect("grandslam builds");
             black_box(executor.run(&mut policy, &requests))
         })
     });
     group.bench_function("orion", |b| {
         b.iter(|| {
-            let mut policy = orion(&profile, slo, &OrionConfig::default());
+            let mut policy = orion(&profile, slo, &OrionConfig::default()).expect("orion builds");
             black_box(executor.run(&mut policy, &requests))
         })
     });

@@ -2,7 +2,7 @@
 //!
 //! The paper reports Janus⁺ costing up to ~107× more synthesis time than
 //! Janus; the memoised dynamic program used here narrows the gap (documented
-//! in EXPERIMENTS.md) but the ordering Janus⁻ ≤ Janus ≤ Janus⁺ must hold.
+//! here) but the ordering Janus⁻ ≤ Janus ≤ Janus⁺ must hold.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use janus_profiler::profiler::{Profiler, ProfilerConfig};
@@ -25,15 +25,19 @@ fn synthesis_cost(c: &mut Criterion) {
         ("janus", ExplorationDepth::HeadOnly),
         ("janus_plus", ExplorationDepth::HeadAndNext),
     ] {
-        group.bench_with_input(BenchmarkId::new("variant", name), &exploration, |b, &expl| {
-            let synthesizer = Synthesizer::new(SynthesizerConfig {
-                exploration: expl,
-                budget_step_ms: 1.0,
-                ..SynthesizerConfig::default()
-            })
-            .expect("valid synthesizer config");
-            b.iter(|| black_box(synthesizer.synthesize(&profile)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("variant", name),
+            &exploration,
+            |b, &expl| {
+                let synthesizer = Synthesizer::new(SynthesizerConfig {
+                    exploration: expl,
+                    budget_step_ms: 1.0,
+                    ..SynthesizerConfig::default()
+                })
+                .expect("valid synthesizer config");
+                b.iter(|| black_box(synthesizer.synthesize(&profile)));
+            },
+        );
     }
     group.finish();
 }

@@ -1,10 +1,10 @@
 //! Figure 1a: slack CDF of function invocations in an Azure-like trace.
 
-use janus_bench::Scale;
+use janus_bench::BenchFlags;
 use janus_core::experiments::fig1a_slack_cdf;
 
 fn main() {
-    let scale = Scale::from_args();
-    let result = fig1a_slack_cdf(scale.trace_invocations(), 0xA2C5E);
+    let flags = BenchFlags::parse();
+    let result = fig1a_slack_cdf(flags.trace_invocations(), flags.seed_or(0xA2C5E));
     print!("{result}");
 }

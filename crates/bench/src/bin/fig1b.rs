@@ -1,10 +1,10 @@
 //! Figure 1b: function latency variance caused by varying working sets.
 
-use janus_bench::Scale;
+use janus_bench::BenchFlags;
 use janus_core::experiments::fig1b_workset_variance;
 
 fn main() {
-    let scale = Scale::from_args();
-    let result = fig1b_workset_variance(scale.profile_samples(), 0xF1B);
+    let flags = BenchFlags::parse();
+    let result = fig1b_workset_variance(flags.profile_samples(), flags.seed_or(0xF1B));
     print!("{result}");
 }

@@ -1,13 +1,13 @@
 //! Figure 2: per-request early-binding vs late-binding comparison.
 
-use janus_bench::Scale;
+use janus_bench::{BenchFlags, Scale};
 use janus_core::experiments::fig2_binding_comparison;
 
 fn main() {
-    let scale = Scale::from_args();
-    let requests = match scale {
+    let flags = BenchFlags::parse();
+    let requests = match flags.scale {
         Scale::Paper => 50,
         Scale::Quick => 25,
     };
-    print!("{}", fig2_binding_comparison(requests, 0xF2));
+    print!("{}", fig2_binding_comparison(requests, flags.seed_or(0xF2)));
 }

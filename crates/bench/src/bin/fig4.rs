@@ -1,11 +1,11 @@
 //! Figure 4: end-to-end latency CDFs of IA (concurrency 1–3) and VA.
 
-use janus_bench::Scale;
+use janus_bench::BenchFlags;
 use janus_core::experiments::fig4_latency_cdfs;
 use janus_workloads::apps::PaperApp;
 
 fn main() {
-    let scale = Scale::from_args();
+    let flags = BenchFlags::parse();
     let setups = [
         (PaperApp::IntelligentAssistant, 1u32),
         (PaperApp::IntelligentAssistant, 2),
@@ -13,7 +13,7 @@ fn main() {
         (PaperApp::VideoAnalyze, 1),
     ];
     for (app, conc) in setups {
-        let config = scale.comparison(app, conc);
+        let config = flags.comparison(app, conc);
         match fig4_latency_cdfs(&config) {
             Ok(result) => {
                 println!(

@@ -1,16 +1,16 @@
 //! Figure 5: resource consumption per policy — (a) IA and VA at concurrency 1,
 //! (b) IA at concurrency 2 and 3 (normalised by Optimal).
 
-use janus_bench::Scale;
+use janus_bench::BenchFlags;
 use janus_core::comparison::PolicyKind;
 use janus_core::experiments::fig5_resource_consumption;
 use janus_workloads::apps::PaperApp;
 
 fn main() {
-    let scale = Scale::from_args();
+    let flags = BenchFlags::parse();
     println!("# Figure 5a: absolute CPU (millicores), concurrency 1");
     for app in PaperApp::ALL {
-        let config = scale.comparison(app, 1);
+        let config = flags.comparison(app, 1);
         match fig5_resource_consumption(&config) {
             Ok(result) => {
                 println!("## {}", app.short_name());
@@ -23,10 +23,13 @@ fn main() {
     }
     println!("\n# Figure 5b: IA normalised CPU at higher concurrency");
     for conc in [2u32, 3] {
-        let config = scale.comparison(PaperApp::IntelligentAssistant, conc);
+        let config = flags.comparison(PaperApp::IntelligentAssistant, conc);
         match fig5_resource_consumption(&config) {
             Ok(result) => {
-                println!("## IA concurrency {conc} (SLO {:.1} s)", config.slo.as_secs());
+                println!(
+                    "## IA concurrency {conc} (SLO {:.1} s)",
+                    config.slo.as_secs()
+                );
                 for (kind, report) in result
                     .outcome
                     .config

@@ -1,13 +1,13 @@
 //! Figure 6: resource and synthesis-time cost of Janus vs Janus⁺ across SLOs.
 
-use janus_bench::Scale;
+use janus_bench::{BenchFlags, Scale};
 use janus_core::experiments::fig6_exploration_cost;
 use janus_workloads::apps::PaperApp;
 
 fn main() {
-    let scale = Scale::from_args();
-    let base = scale.comparison(PaperApp::IntelligentAssistant, 1);
-    let slos: &[f64] = match scale {
+    let flags = BenchFlags::parse();
+    let base = flags.comparison(PaperApp::IntelligentAssistant, 1);
+    let slos: &[f64] = match flags.scale {
         Scale::Paper => &[3.0, 4.0, 5.0, 6.0, 7.0],
         Scale::Quick => &[3.0, 5.0, 7.0],
     };

@@ -1,9 +1,12 @@
 //! Figure 7: timeout and resilience of the TS function.
 
-use janus_bench::Scale;
+use janus_bench::BenchFlags;
 use janus_core::experiments::fig7_timeout_resilience;
 
 fn main() {
-    let scale = Scale::from_args();
-    print!("{}", fig7_timeout_resilience(scale.profile_samples(), 0xF7));
+    let flags = BenchFlags::parse();
+    print!(
+        "{}",
+        fig7_timeout_resilience(flags.profile_samples(), flags.seed_or(0xF7))
+    );
 }

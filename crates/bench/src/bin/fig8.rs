@@ -1,12 +1,12 @@
 //! Figure 8: number of condensed hints for IA and VA under different weights.
 
-use janus_bench::Scale;
+use janus_bench::BenchFlags;
 use janus_core::experiments::fig8_hint_counts;
 
 fn main() {
-    let scale = Scale::from_args();
+    let flags = BenchFlags::parse();
     let weights = [1.0, 1.5, 2.0, 2.5, 3.0];
-    match fig8_hint_counts(&weights, scale.profile_samples(), 0xF8) {
+    match fig8_hint_counts(&weights, flags.profile_samples(), flags.seed_or(0xF8)) {
         Ok(result) => print!("{result}"),
         Err(e) => eprintln!("fig8 failed: {e}"),
     }

@@ -1,25 +1,25 @@
 //! Figure 9: resource consumption (normalised by Optimal) under varying SLOs.
 
-use janus_bench::Scale;
+use janus_bench::{BenchFlags, Scale};
 use janus_core::experiments::fig9_slo_sweep;
 use janus_workloads::apps::PaperApp;
 
 fn main() {
-    let scale = Scale::from_args();
-    let ia_slos: &[f64] = match scale {
+    let flags = BenchFlags::parse();
+    let ia_slos: &[f64] = match flags.scale {
         Scale::Paper => &[3.0, 4.0, 5.0, 6.0, 7.0],
         Scale::Quick => &[3.0, 5.0, 7.0],
     };
-    let va_slos: &[f64] = match scale {
+    let va_slos: &[f64] = match flags.scale {
         Scale::Paper => &[1.5, 1.6, 1.7, 1.8, 1.9, 2.0],
         Scale::Quick => &[1.5, 1.75, 2.0],
     };
-    let base_ia = scale.comparison(PaperApp::IntelligentAssistant, 1);
+    let base_ia = flags.comparison(PaperApp::IntelligentAssistant, 1);
     match fig9_slo_sweep(PaperApp::IntelligentAssistant, ia_slos, &base_ia) {
         Ok(result) => print!("{result}"),
         Err(e) => eprintln!("fig9 (IA) failed: {e}"),
     }
-    let base_va = scale.comparison(PaperApp::VideoAnalyze, 1);
+    let base_va = flags.comparison(PaperApp::VideoAnalyze, 1);
     match fig9_slo_sweep(PaperApp::VideoAnalyze, va_slos, &base_va) {
         Ok(result) => print!("{result}"),
         Err(e) => eprintln!("fig9 (VA) failed: {e}"),

@@ -1,15 +1,15 @@
 //! §V-H system overhead: online adaptation latency and hints memory footprint.
 
-use janus_bench::Scale;
+use janus_bench::{BenchFlags, Scale};
 use janus_core::experiments::overhead_report;
 
 fn main() {
-    let scale = Scale::from_args();
-    let decisions = match scale {
+    let flags = BenchFlags::parse();
+    let decisions = match flags.scale {
         Scale::Paper => 20_000,
         Scale::Quick => 2_000,
     };
-    match overhead_report(decisions, scale.profile_samples(), 0x0B) {
+    match overhead_report(decisions, flags.profile_samples(), flags.seed_or(0x0B)) {
         Ok(result) => print!("{result}"),
         Err(e) => eprintln!("overhead report failed: {e}"),
     }

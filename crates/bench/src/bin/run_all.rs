@@ -5,56 +5,69 @@
 //! cargo run --release -p janus-bench --bin run_all -- --quick # smoke scale
 //! ```
 
-use janus_bench::Scale;
+use janus_bench::{BenchFlags, Scale};
 use janus_core::experiments as exp;
 use janus_workloads::apps::PaperApp;
 
 fn main() {
-    let scale = Scale::from_args();
+    let flags = BenchFlags::parse();
     println!("===== Figure 1a =====");
-    print!("{}", exp::fig1a_slack_cdf(scale.trace_invocations(), 0xA2C5E));
+    print!(
+        "{}",
+        exp::fig1a_slack_cdf(flags.trace_invocations(), flags.seed_or(0xA2C5E))
+    );
     println!("\n===== Figure 1b =====");
-    print!("{}", exp::fig1b_workset_variance(scale.profile_samples(), 0xF1B));
+    print!(
+        "{}",
+        exp::fig1b_workset_variance(flags.profile_samples(), flags.seed_or(0xF1B))
+    );
     println!("\n===== Figure 1c =====");
     print!("{}", exp::fig1c_interference());
     println!("\n===== Figure 2 =====");
-    print!("{}", exp::fig2_binding_comparison(50, 0xF2));
+    print!("{}", exp::fig2_binding_comparison(50, flags.seed_or(0xF2)));
 
     println!("\n===== Table I / Figures 4 & 5 =====");
     for app in PaperApp::ALL {
-        match exp::table1_overall(&scale.comparison(app, 1)) {
+        match exp::table1_overall(&flags.comparison(app, 1)) {
             Ok(result) => println!("{result}"),
             Err(e) => eprintln!("table1 failed for {}: {e}", app.short_name()),
         }
     }
     for conc in [2u32, 3] {
-        match exp::table1_overall(&scale.comparison(PaperApp::IntelligentAssistant, conc)) {
+        match exp::table1_overall(&flags.comparison(PaperApp::IntelligentAssistant, conc)) {
             Ok(result) => println!("{result}"),
             Err(e) => eprintln!("fig5b failed for concurrency {conc}: {e}"),
         }
     }
 
     println!("\n===== Figure 6 =====");
-    let slos: &[f64] = match scale {
+    let slos: &[f64] = match flags.scale {
         Scale::Paper => &[3.0, 4.0, 5.0, 6.0, 7.0],
         Scale::Quick => &[3.0, 5.0, 7.0],
     };
-    match exp::fig6_exploration_cost(slos, &scale.comparison(PaperApp::IntelligentAssistant, 1)) {
+    match exp::fig6_exploration_cost(slos, &flags.comparison(PaperApp::IntelligentAssistant, 1)) {
         Ok(result) => print!("{result}"),
         Err(e) => eprintln!("fig6 failed: {e}"),
     }
 
     println!("\n===== Figure 7 =====");
-    print!("{}", exp::fig7_timeout_resilience(scale.profile_samples(), 0xF7));
+    print!(
+        "{}",
+        exp::fig7_timeout_resilience(flags.profile_samples(), flags.seed_or(0xF7))
+    );
 
     println!("\n===== Figure 8 =====");
-    match exp::fig8_hint_counts(&[1.0, 1.5, 2.0, 2.5, 3.0], scale.profile_samples(), 0xF8) {
+    match exp::fig8_hint_counts(
+        &[1.0, 1.5, 2.0, 2.5, 3.0],
+        flags.profile_samples(),
+        flags.seed_or(0xF8),
+    ) {
         Ok(result) => print!("{result}"),
         Err(e) => eprintln!("fig8 failed: {e}"),
     }
 
     println!("\n===== Table II =====");
-    match exp::table2_weight_impact(&[1.0, 3.0], scale.profile_samples(), 0x72) {
+    match exp::table2_weight_impact(&[1.0, 3.0], flags.profile_samples(), flags.seed_or(0x72)) {
         Ok(result) => print!("{result}"),
         Err(e) => eprintln!("table2 failed: {e}"),
     }
@@ -63,26 +76,26 @@ fn main() {
     match exp::fig9_slo_sweep(
         PaperApp::IntelligentAssistant,
         slos,
-        &scale.comparison(PaperApp::IntelligentAssistant, 1),
+        &flags.comparison(PaperApp::IntelligentAssistant, 1),
     ) {
         Ok(result) => print!("{result}"),
         Err(e) => eprintln!("fig9 IA failed: {e}"),
     }
-    let va_slos: &[f64] = match scale {
+    let va_slos: &[f64] = match flags.scale {
         Scale::Paper => &[1.5, 1.6, 1.7, 1.8, 1.9, 2.0],
         Scale::Quick => &[1.5, 1.75, 2.0],
     };
     match exp::fig9_slo_sweep(
         PaperApp::VideoAnalyze,
         va_slos,
-        &scale.comparison(PaperApp::VideoAnalyze, 1),
+        &flags.comparison(PaperApp::VideoAnalyze, 1),
     ) {
         Ok(result) => print!("{result}"),
         Err(e) => eprintln!("fig9 VA failed: {e}"),
     }
 
     println!("\n===== System overhead (§V-H) =====");
-    match exp::overhead_report(5_000, scale.profile_samples(), 0x0B) {
+    match exp::overhead_report(5_000, flags.profile_samples(), flags.seed_or(0x0B)) {
         Ok(result) => print!("{result}"),
         Err(e) => eprintln!("overhead failed: {e}"),
     }

@@ -1,13 +1,13 @@
 //! Table I: overall resource reduction of Janus vs baselines for IA and VA.
 
-use janus_bench::Scale;
+use janus_bench::BenchFlags;
 use janus_core::experiments::table1_overall;
 use janus_workloads::apps::PaperApp;
 
 fn main() {
-    let scale = Scale::from_args();
+    let flags = BenchFlags::parse();
     for app in PaperApp::ALL {
-        let config = scale.comparison(app, 1);
+        let config = flags.comparison(app, 1);
         match table1_overall(&config) {
             Ok(result) => {
                 println!("{result}");

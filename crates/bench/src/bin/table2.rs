@@ -1,11 +1,11 @@
 //! Table II: head-function allocation and percentile under weights 1 and 3.
 
-use janus_bench::Scale;
+use janus_bench::BenchFlags;
 use janus_core::experiments::table2_weight_impact;
 
 fn main() {
-    let scale = Scale::from_args();
-    match table2_weight_impact(&[1.0, 3.0], scale.profile_samples(), 0x72) {
+    let flags = BenchFlags::parse();
+    match table2_weight_impact(&[1.0, 3.0], flags.profile_samples(), flags.seed_or(0x72)) {
         Ok(result) => print!("{result}"),
         Err(e) => eprintln!("table2 failed: {e}"),
     }

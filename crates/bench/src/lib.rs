@@ -9,17 +9,21 @@
 //!   table or figure of the paper's evaluation and prints the corresponding
 //!   rows / series to stdout. Run them with
 //!   `cargo run --release -p janus-bench --bin fig5`, or everything at once
-//!   with `--bin run_all`. Every binary accepts `--quick` to use a reduced
-//!   configuration (fewer requests / profile samples) for smoke runs.
+//!   with `--bin run_all`. Every binary accepts the shared [`BenchFlags`]
+//!   flags: `--quick` (reduced scale for smoke runs), `--seed N` (override
+//!   the serving/profiling seed) and `--help`.
 //! * **Criterion benches** (`benches/*.rs`) — micro-benchmarks of the system
 //!   costs the paper reports: online adaptation latency (§V-H), hint
 //!   synthesis time (Figure 6b), condensing, profiling throughput and
 //!   end-to-end serving under each policy.
 //!
 //! The mapping from experiment id to binary is listed in `DESIGN.md`;
-//! measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
+//! serving itself always goes through
+//! [`ServingSession`](janus_core::session::ServingSession) — the comparison
+//! configs produced here resolve to session runs.
 
 use janus_core::comparison::ComparisonConfig;
+use janus_core::session::ServingSessionBuilder;
 use janus_workloads::apps::PaperApp;
 
 /// Shared experiment scale used by the figure/table binaries.
@@ -32,16 +36,6 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parse the scale from process arguments (`--quick` selects the reduced
-    /// configuration).
-    pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--quick") {
-            Scale::Quick
-        } else {
-            Scale::Paper
-        }
-    }
-
     /// Comparison configuration for an application at this scale.
     pub fn comparison(self, app: PaperApp, concurrency: u32) -> ComparisonConfig {
         match self {
@@ -77,9 +71,124 @@ impl Scale {
     }
 }
 
+/// The one flag parser every fig/table binary shares (replacing the old
+/// per-binary `std::env::args()` scanning).
+///
+/// Recognised flags: `--quick`, `--paper` (default), `--seed <u64>`,
+/// `--help`/`-h`. Unknown flags abort with a usage message so typos cannot
+/// silently run a multi-minute experiment at the wrong scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchFlags {
+    /// Experiment scale (`--quick` selects [`Scale::Quick`]).
+    pub scale: Scale,
+    /// Optional serving/profiling seed override (`--seed N`).
+    pub seed: Option<u64>,
+}
+
+impl Default for BenchFlags {
+    fn default() -> Self {
+        BenchFlags {
+            scale: Scale::Paper,
+            seed: None,
+        }
+    }
+}
+
+impl BenchFlags {
+    /// Usage string shared by every binary.
+    pub const USAGE: &'static str = "usage: <bin> [--quick | --paper] [--seed N] [--help]\n\
+        \x20 --quick    reduced scale (fewer requests / profile samples) for smoke runs\n\
+        \x20 --paper    paper scale (default)\n\
+        \x20 --seed N   override the serving/profiling seed\n\
+        \x20 --help     print this message";
+
+    /// Parse the process arguments; prints usage and exits on `--help` or on
+    /// an invalid invocation.
+    pub fn parse() -> BenchFlags {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", Self::USAGE);
+            std::process::exit(0);
+        }
+        match Self::from_args(args) {
+            Ok(flags) => flags,
+            Err(e) => {
+                eprintln!("{e}\n{}", Self::USAGE);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit argument list (testable core of [`parse`]).
+    pub fn from_args<I>(args: I) -> Result<BenchFlags, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut flags = BenchFlags::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => flags.scale = Scale::Quick,
+                "--paper" => flags.scale = Scale::Paper,
+                "--seed" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| "--seed needs a value".to_string())?;
+                    flags.seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|e| format!("invalid --seed `{value}`: {e}"))?,
+                    );
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Comparison configuration at the parsed scale, with the seed override
+    /// applied.
+    pub fn comparison(&self, app: PaperApp, concurrency: u32) -> ComparisonConfig {
+        let mut config = self.scale.comparison(app, concurrency);
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+
+    /// The equivalent [`ServingSession`](janus_core::session::ServingSession)
+    /// builder for binaries that serve directly rather than through an
+    /// experiment runner.
+    pub fn session(&self, app: PaperApp, concurrency: u32) -> ServingSessionBuilder {
+        self.comparison(app, concurrency).session()
+    }
+
+    /// The experiment seed: the `--seed` override when given, otherwise the
+    /// binary's default (each figure has its own, so figures stay
+    /// independent).
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Profile samples per grid point at the parsed scale.
+    pub fn profile_samples(&self) -> usize {
+        self.scale.profile_samples()
+    }
+
+    /// Trace invocations for Figure 1a at the parsed scale.
+    pub fn trace_invocations(&self) -> usize {
+        self.scale.trace_invocations()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use janus_core::session::Load;
+
+    fn parse(args: &[&str]) -> Result<BenchFlags, String> {
+        BenchFlags::from_args(args.iter().map(|s| s.to_string()))
+    }
 
     #[test]
     fn scales_produce_consistent_configs() {
@@ -91,5 +200,45 @@ mod tests {
         assert_eq!(paper.slo, quick.slo);
         assert!(Scale::Paper.profile_samples() > Scale::Quick.profile_samples());
         assert!(Scale::Paper.trace_invocations() > Scale::Quick.trace_invocations());
+    }
+
+    #[test]
+    fn flags_parse_scale_and_seed() {
+        assert_eq!(parse(&[]).unwrap(), BenchFlags::default());
+        assert_eq!(parse(&["--quick"]).unwrap().scale, Scale::Quick);
+        assert_eq!(parse(&["--quick", "--paper"]).unwrap().scale, Scale::Paper);
+        let flags = parse(&["--quick", "--seed", "99"]).unwrap();
+        assert_eq!(flags.seed, Some(99));
+        assert_eq!(flags.comparison(PaperApp::IntelligentAssistant, 1).seed, 99);
+    }
+
+    #[test]
+    fn flags_reject_typos_and_bad_seeds() {
+        assert!(parse(&["--qiuck"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["--seed"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--seed", "abc"])
+            .unwrap_err()
+            .contains("invalid --seed"));
+    }
+
+    #[test]
+    fn flags_produce_a_runnable_session_builder() {
+        let flags = parse(&["--quick", "--seed", "5"]).unwrap();
+        // The builder inherits the comparison config's seven paper policies;
+        // appending one of them again is rejected as a duplicate.
+        let err = flags
+            .session(PaperApp::IntelligentAssistant, 1)
+            .policy("GrandSLAM")
+            .load(Load::Closed { requests: 5 })
+            .build()
+            .unwrap_err();
+        assert!(err.contains("added twice"), "{err}");
+        let session = flags
+            .session(PaperApp::IntelligentAssistant, 1)
+            .load(Load::Closed { requests: 5 })
+            .build()
+            .unwrap();
+        assert_eq!(session.policies().len(), 7);
+        assert_eq!(session.policies()[0], "Optimal");
     }
 }

@@ -1,26 +1,28 @@
-//! Paired policy comparisons on identical request sets.
+//! Legacy paired-comparison surface, now a thin shim over
+//! [`ServingSession`](crate::session::ServingSession).
 //!
 //! Every evaluation figure of the paper compares systems serving the *same*
-//! workload, so the comparison runner generates one request set and replays
-//! it under each policy on the same executor configuration. Resource numbers
-//! are then typically normalised by the Optimal oracle, as in Table I and
-//! Figures 5 and 9.
+//! workload; the session runner generates one request set and replays it
+//! under each policy. This module keeps the original experiment-runner
+//! surface — [`PolicyKind`], [`ComparisonConfig`], [`run`] — compiling on top
+//! of the open [`PolicyRegistry`](crate::registry::PolicyRegistry).
+//!
+//! **Migration (see `DESIGN.md`):** `PolicyKind` is a closed enum over the
+//! paper's seven built-ins and exists only for the legacy runners; new code
+//! should address policies by registered name through
+//! `ServingSession::builder()`, which also admits custom policies.
 
-use crate::deployment::{DeploymentConfig, JanusDeployment, JanusVariant};
-use janus_baselines::early::{grandslam, grandslam_plus, orion, OrionConfig};
-use janus_baselines::oracle::OptimalOracle;
-use janus_platform::executor::{ClosedLoopExecutor, ExecutorConfig};
+use crate::deployment::JanusVariant;
+use crate::session::{Load, ServingSession};
 use janus_platform::outcome::ServingReport;
-use janus_profiler::profile::WorkflowProfile;
-use janus_profiler::profiler::{Profiler, ProfilerConfig};
-use janus_simcore::resources::CoreGrid;
 use janus_simcore::time::SimDuration;
 use janus_synthesizer::synthesizer::SynthesisReport;
 use janus_workloads::apps::PaperApp;
-use janus_workloads::request::{RequestInput, RequestInputGenerator};
 use serde::{Deserialize, Serialize};
 
-/// The sizing policies the paper evaluates.
+/// The sizing policies the paper evaluates — a closed shim over the open
+/// registry: [`PolicyKind::name`] is exactly the name the built-in factory is
+/// registered under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PolicyKind {
     /// Late-binding oracle with perfect knowledge (normalisation baseline).
@@ -40,7 +42,9 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Display name as used in the paper's tables and figures.
+    /// Display name as used in the paper's tables and figures, and as the
+    /// key the policy is registered under in
+    /// [`PolicyRegistry::with_builtins`](crate::registry::PolicyRegistry::with_builtins).
     pub fn name(self) -> &'static str {
         match self {
             PolicyKind::Optimal => "Optimal",
@@ -51,6 +55,11 @@ impl PolicyKind {
             PolicyKind::Janus => "Janus",
             PolicyKind::JanusPlus => "Janus+",
         }
+    }
+
+    /// The kind registered under `name`, if it is one of the built-ins.
+    pub fn from_name(name: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
     /// All seven policies in the order Table I / Figure 5 list them.
@@ -133,6 +142,23 @@ impl ComparisonConfig {
             ..Self::paper_default(app, concurrency)
         }
     }
+
+    /// The equivalent [`ServingSession`] builder: the modern way to run what
+    /// this config describes, and the path [`run`] itself takes.
+    pub fn session(&self) -> crate::session::ServingSessionBuilder {
+        ServingSession::builder()
+            .app(self.app)
+            .slo(self.slo)
+            .concurrency(self.concurrency)
+            .policies(self.policies.iter().map(|k| k.name()))
+            .load(Load::Closed {
+                requests: self.requests,
+            })
+            .seed(self.seed)
+            .samples_per_point(self.samples_per_point)
+            .budget_step_ms(self.budget_step_ms)
+            .count_startup_delays(self.count_startup_delays)
+    }
 }
 
 /// The outcome of a comparison run: one serving report per policy plus the
@@ -167,82 +193,28 @@ impl ComparisonOutcome {
     /// by Optimal, as a percentage.
     pub fn reduction_percent(&self, ours: PolicyKind, other: PolicyKind) -> Option<f64> {
         let optimal = self.report(PolicyKind::Optimal)?;
-        Some(self.report(ours)?.reduction_vs(self.report(other)?, optimal) * 100.0)
+        Some(
+            self.report(ours)?
+                .reduction_vs(self.report(other)?, optimal)
+                * 100.0,
+        )
     }
 }
 
-/// Run a comparison: profile the workflow once, build every requested policy,
-/// replay the same requests under each of them.
+/// Run a comparison through the unified session runner: profile the workflow
+/// once, build every requested policy from the registry, replay the same
+/// requests under each of them.
 pub fn run(config: &ComparisonConfig) -> Result<ComparisonOutcome, String> {
-    let workflow = config.app.workflow();
-    let profiler = Profiler::new(ProfilerConfig {
-        samples_per_point: config.samples_per_point,
-        seed: config.seed ^ 0x5EED,
-        ..ProfilerConfig::default()
-    })?;
-    let profile: WorkflowProfile = profiler.profile_workflow(&workflow, config.concurrency);
-
-    let mut generator = RequestInputGenerator::new(config.seed, SimDuration::ZERO);
-    let requests: Vec<RequestInput> = generator.generate(&workflow, config.requests);
-
-    let exec_config = ExecutorConfig {
-        count_startup_delays: config.count_startup_delays,
-        ..ExecutorConfig::paper_serving(config.slo, config.concurrency)
-    };
-    let executor = ClosedLoopExecutor::new(workflow.clone(), exec_config.clone());
-
-    let mut reports = Vec::with_capacity(config.policies.len());
-    let mut synthesis = Vec::new();
-    for &kind in &config.policies {
-        let report = match kind {
-            PolicyKind::Optimal => {
-                let mut oracle = OptimalOracle::new(
-                    &workflow,
-                    &requests,
-                    config.slo,
-                    config.concurrency,
-                    CoreGrid::paper_default(),
-                    &exec_config.interference,
-                );
-                executor.run(&mut oracle, &requests)
-            }
-            PolicyKind::Orion => {
-                let mut policy = orion(&profile, config.slo, &OrionConfig::default());
-                executor.run(&mut policy, &requests)
-            }
-            PolicyKind::GrandSlamPlus => {
-                let mut policy = grandslam_plus(&profile, config.slo);
-                executor.run(&mut policy, &requests)
-            }
-            PolicyKind::GrandSlam => {
-                let mut policy = grandslam(&profile, config.slo);
-                executor.run(&mut policy, &requests)
-            }
-            PolicyKind::JanusMinus | PolicyKind::Janus | PolicyKind::JanusPlus => {
-                let variant = kind.janus_variant().expect("janus kinds have a variant");
-                let dep_config = DeploymentConfig {
-                    app: config.app,
-                    concurrency: config.concurrency,
-                    variant,
-                    weight: 1.0,
-                    samples_per_point: config.samples_per_point,
-                    budget_step_ms: config.budget_step_ms,
-                    seed: config.seed ^ 0x5EED,
-                };
-                let deployment =
-                    JanusDeployment::from_profile(&dep_config, workflow.clone(), profile.clone())?;
-                synthesis.push(deployment.report().clone());
-                let mut policy = deployment.policy();
-                executor.run(&mut policy, &requests)
-            }
-        };
-        reports.push(report);
-    }
-
+    let session = config.session().build()?;
+    let report = session.run()?;
     Ok(ComparisonOutcome {
         config: config.clone(),
-        reports,
-        synthesis,
+        reports: report.policies.iter().map(|p| p.serving.clone()).collect(),
+        synthesis: report
+            .policies
+            .into_iter()
+            .filter_map(|p| p.synthesis)
+            .collect(),
     })
 }
 
@@ -261,10 +233,22 @@ mod tests {
         ];
         let outcome = run(&config).unwrap();
         assert_eq!(outcome.reports.len(), 4);
-        let optimal = outcome.report(PolicyKind::Optimal).unwrap().mean_cpu_millicores();
-        let orion = outcome.report(PolicyKind::Orion).unwrap().mean_cpu_millicores();
-        let grandslam = outcome.report(PolicyKind::GrandSlam).unwrap().mean_cpu_millicores();
-        let janus = outcome.report(PolicyKind::Janus).unwrap().mean_cpu_millicores();
+        let optimal = outcome
+            .report(PolicyKind::Optimal)
+            .unwrap()
+            .mean_cpu_millicores();
+        let orion = outcome
+            .report(PolicyKind::Orion)
+            .unwrap()
+            .mean_cpu_millicores();
+        let grandslam = outcome
+            .report(PolicyKind::GrandSlam)
+            .unwrap()
+            .mean_cpu_millicores();
+        let janus = outcome
+            .report(PolicyKind::Janus)
+            .unwrap()
+            .mean_cpu_millicores();
         // The headline ordering of Table I / Figure 5.
         assert!(optimal <= janus, "optimal {optimal} <= janus {janus}");
         assert!(janus < orion, "janus {janus} < orion {orion}");
@@ -276,7 +260,12 @@ mod tests {
         }
         // Normalisation helpers.
         assert!(outcome.normalized_cpu(PolicyKind::Janus).unwrap() >= 1.0);
-        assert!(outcome.reduction_percent(PolicyKind::Janus, PolicyKind::GrandSlam).unwrap() > 0.0);
+        assert!(
+            outcome
+                .reduction_percent(PolicyKind::Janus, PolicyKind::GrandSlam)
+                .unwrap()
+                > 0.0
+        );
         assert!(outcome.report(PolicyKind::JanusPlus).is_none());
     }
 
@@ -285,7 +274,19 @@ mod tests {
         assert_eq!(PolicyKind::ALL.len(), 7);
         assert_eq!(PolicyKind::Janus.name(), "Janus");
         assert_eq!(PolicyKind::GrandSlamPlus.name(), "GrandSLAM+");
-        assert_eq!(PolicyKind::Janus.janus_variant(), Some(JanusVariant::Standard));
+        assert_eq!(
+            PolicyKind::Janus.janus_variant(),
+            Some(JanusVariant::Standard)
+        );
         assert_eq!(PolicyKind::Orion.janus_variant(), None);
+        assert_eq!(PolicyKind::from_name("Janus+"), Some(PolicyKind::JanusPlus));
+        assert_eq!(PolicyKind::from_name("janus"), None);
+    }
+
+    #[test]
+    fn the_shim_matches_the_registry_builtins_one_to_one() {
+        let registry = crate::registry::PolicyRegistry::with_builtins();
+        let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(registry.names(), names);
     }
 }

@@ -39,7 +39,11 @@ pub fn fig7_timeout_resilience(samples: usize, seed: u64) -> Fig7Result {
                 .iter()
                 .map(|&mc| {
                     profile_c1
-                        .timeout(pct, janus_simcore::resources::Millicores::new(mc), Percentile::P99)
+                        .timeout(
+                            pct,
+                            janus_simcore::resources::Millicores::new(mc),
+                            Percentile::P99,
+                        )
                         .as_secs()
                 })
                 .collect();
@@ -55,7 +59,10 @@ pub fn fig7_timeout_resilience(samples: usize, seed: u64) -> Fig7Result {
                 .iter()
                 .map(|&mc| {
                     profile
-                        .resilience(Percentile::P99, janus_simcore::resources::Millicores::new(mc))
+                        .resilience(
+                            Percentile::P99,
+                            janus_simcore::resources::Millicores::new(mc),
+                        )
                         .as_secs()
                 })
                 .collect();
@@ -120,7 +127,10 @@ mod tests {
         // concurrency.
         for (_, series) in &r.resilience {
             assert!(series.windows(2).all(|w| w[1] <= w[0] + 1e-9));
-            assert!(series.last().unwrap().abs() < 1e-9, "resilience at Kmax is 0");
+            assert!(
+                series.last().unwrap().abs() < 1e-9,
+                "resilience at Kmax is 0"
+            );
         }
         let c1 = &r.resilience[0].1;
         let c3 = &r.resilience[2].1;

@@ -4,7 +4,7 @@
 //! `Display` implementation prints the same rows / series the paper reports,
 //! so the `janus-bench` binaries and the examples can regenerate each artefact
 //! with a single call. The experiment-to-module mapping is documented in
-//! `DESIGN.md`; measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
+//! `DESIGN.md` (§3, experiment index).
 
 pub mod metrics;
 pub mod motivation;

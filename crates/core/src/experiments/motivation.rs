@@ -55,7 +55,11 @@ pub fn fig1a_slack_cdf(invocations: usize, seed: u64) -> Fig1aResult {
 impl fmt::Display for Fig1aResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "# Figure 1a: slack CDF under P99 SLOs")?;
-        writeln!(f, "# top-100 functions account for {:.1}% of invocations", self.popular_fraction * 100.0)?;
+        writeln!(
+            f,
+            "# top-100 functions account for {:.1}% of invocations",
+            self.popular_fraction * 100.0
+        )?;
         writeln!(f, "{:>8} {:>10} {:>10}", "slack", "CDF(all)", "CDF(pop)")?;
         for i in 0..self.all.len() {
             writeln!(
@@ -64,7 +68,11 @@ impl fmt::Display for Fig1aResult {
                 self.all[i].0, self.all[i].1, self.popular[i].1
             )?;
         }
-        writeln!(f, "invocations with slack > 0.6 (all): {:.1}%", self.frac_all_above_60 * 100.0)?;
+        writeln!(
+            f,
+            "invocations with slack > 0.6 (all): {:.1}%",
+            self.frac_all_above_60 * 100.0
+        )?;
         writeln!(
             f,
             "popular invocations with slack < 0.4: {:.1}%",
@@ -94,8 +102,12 @@ pub fn fig1b_workset_variance(samples: usize, seed: u64) -> Fig1bResult {
         .iter()
         .map(|func| {
             let profile = profiler.profile_function(func, 1);
-            let p1 = profile.latency(Percentile::P1, Millicores::new(2000)).as_secs();
-            let p99 = profile.latency(Percentile::P99, Millicores::new(2000)).as_secs();
+            let p1 = profile
+                .latency(Percentile::P1, Millicores::new(2000))
+                .as_secs();
+            let p99 = profile
+                .latency(Percentile::P99, Millicores::new(2000))
+                .as_secs();
             (func.name().to_uppercase(), p1, p99, p99 / p1)
         })
         .collect();
@@ -104,8 +116,15 @@ pub fn fig1b_workset_variance(samples: usize, seed: u64) -> Fig1bResult {
 
 impl fmt::Display for Fig1bResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "# Figure 1b: latency variance from varying working sets (2000 mc)")?;
-        writeln!(f, "{:>6} {:>10} {:>10} {:>8}", "func", "P1 (s)", "P99 (s)", "ratio")?;
+        writeln!(
+            f,
+            "# Figure 1b: latency variance from varying working sets (2000 mc)"
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>10} {:>10} {:>8}",
+            "func", "P1 (s)", "P99 (s)", "ratio"
+        )?;
         for (name, p1, p99, ratio) in &self.rows {
             writeln!(f, "{name:>6} {p1:>10.3} {p99:>10.3} {ratio:>8.2}")?;
         }
@@ -145,8 +164,16 @@ pub fn fig1c_interference() -> Fig1cResult {
 
 impl fmt::Display for Fig1cResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "# Figure 1c: normalized latency vs co-located instances (1..6)")?;
-        writeln!(f, "{:>8} {}", "dim", (1..=6).map(|n| format!("{n:>7}")).collect::<String>())?;
+        writeln!(
+            f,
+            "# Figure 1c: normalized latency vs co-located instances (1..6)"
+        )?;
+        writeln!(
+            f,
+            "{:>8} {}",
+            "dim",
+            (1..=6).map(|n| format!("{n:>7}")).collect::<String>()
+        )?;
         for (dim, series) in &self.rows {
             write!(f, "{dim:>8} ")?;
             for v in series {
@@ -187,7 +214,7 @@ pub fn fig2_binding_comparison(requests: usize, seed: u64) -> Fig2Result {
     let exec_config = ExecutorConfig::paper_serving(slo, 1);
     let executor = ClosedLoopExecutor::new(workflow.clone(), exec_config.clone());
 
-    let mut early = grandslam(&profile, slo);
+    let mut early = grandslam(&profile, slo).expect("IA workflow is non-empty");
     let early_report = executor.run(&mut early, &reqs);
 
     let deployment = JanusDeployment::from_profile(
@@ -236,7 +263,11 @@ pub fn fig2_binding_comparison(requests: usize, seed: u64) -> Fig2Result {
 
 impl fmt::Display for Fig2Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "# Figure 2: early-binding vs late-binding (SLO {:.1} s)", self.slo_s)?;
+        writeln!(
+            f,
+            "# Figure 2: early-binding vs late-binding (SLO {:.1} s)",
+            self.slo_s
+        )?;
         writeln!(
             f,
             "{:>5} {:>10} {:>10} {:>12} {:>12}",
@@ -299,10 +330,18 @@ mod tests {
     fn fig2_late_binding_reduces_cpu_within_slo() {
         let r = fig2_binding_comparison(40, 11);
         assert_eq!(r.rows.len(), 40);
-        assert!(r.mean_cpu_reduction > 0.1, "reduction {}", r.mean_cpu_reduction);
+        assert!(
+            r.mean_cpu_reduction > 0.1,
+            "reduction {}",
+            r.mean_cpu_reduction
+        );
         // Late binding trades time for resources but must stay within the SLO
         // for the overwhelming majority of requests.
-        let violations = r.rows.iter().filter(|(_, _, late, _, _)| *late > r.slo_s).count();
+        let violations = r
+            .rows
+            .iter()
+            .filter(|(_, _, late, _, _)| *late > r.slo_s)
+            .count();
         assert!(violations <= 1, "late binding violations {violations}");
         assert!(!format!("{r}").is_empty());
     }

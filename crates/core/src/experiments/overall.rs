@@ -62,11 +62,15 @@ impl OverallResult {
 
     /// Maximum SLO violation rate across the Janus variants in this run.
     pub fn janus_violation_rate(&self) -> f64 {
-        [PolicyKind::JanusMinus, PolicyKind::Janus, PolicyKind::JanusPlus]
-            .iter()
-            .filter_map(|&k| self.outcome.report(k))
-            .map(|r| r.slo_violation_rate())
-            .fold(0.0, f64::max)
+        [
+            PolicyKind::JanusMinus,
+            PolicyKind::Janus,
+            PolicyKind::JanusPlus,
+        ]
+        .iter()
+        .filter_map(|&k| self.outcome.report(k))
+        .map(|r| r.slo_violation_rate())
+        .fold(0.0, f64::max)
     }
 }
 
@@ -91,17 +95,29 @@ impl fmt::Display for OverallResult {
                     .unwrap_or(cpu);
             writeln!(f, "{name:>12} {cpu:>10.1}  (x{norm:.3} of Optimal)")?;
         }
-        writeln!(f, "## Table I: Janus resource reduction vs baselines (% of Optimal)")?;
+        writeln!(
+            f,
+            "## Table I: Janus resource reduction vs baselines (% of Optimal)"
+        )?;
         for (name, reduction) in self.table1_row() {
             writeln!(f, "{name:>12} {reduction:>8.1}%")?;
         }
         writeln!(f, "## SLO compliance")?;
-        for (kind, report) in self.outcome.config.policies.iter().zip(&self.outcome.reports) {
+        for (kind, report) in self
+            .outcome
+            .config
+            .policies
+            .iter()
+            .zip(&self.outcome.reports)
+        {
             writeln!(
                 f,
                 "{:>12} P99 E2E {:>8.2} s, violations {:>6.2}%",
                 kind.name(),
-                report.e2e_percentile(99.0).map(|d| d.as_secs()).unwrap_or(0.0),
+                report
+                    .e2e_percentile(99.0)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0.0),
                 report.slo_violation_rate() * 100.0
             )?;
         }

@@ -52,7 +52,10 @@ impl Fig6Result {
 
 /// Run Figure 6 for IA: serve under Janus and Janus⁺ at each SLO and record
 /// the synthesis time of each hints bundle.
-pub fn fig6_exploration_cost(slos_s: &[f64], base: &ComparisonConfig) -> Result<Fig6Result, String> {
+pub fn fig6_exploration_cost(
+    slos_s: &[f64],
+    base: &ComparisonConfig,
+) -> Result<Fig6Result, String> {
     let mut result = Fig6Result {
         slos_s: slos_s.to_vec(),
         janus_cpu: Vec::new(),
@@ -67,9 +70,12 @@ pub fn fig6_exploration_cost(slos_s: &[f64], base: &ComparisonConfig) -> Result<
             ..base.clone()
         };
         let outcome = comparison::run(&config)?;
-        result
-            .janus_cpu
-            .push(outcome.report(PolicyKind::Janus).expect("janus in run").mean_cpu_millicores());
+        result.janus_cpu.push(
+            outcome
+                .report(PolicyKind::Janus)
+                .expect("janus in run")
+                .mean_cpu_millicores(),
+        );
         result.janus_plus_cpu.push(
             outcome
                 .report(PolicyKind::JanusPlus)
@@ -109,8 +115,16 @@ impl fmt::Display for Fig6Result {
                 self.janus_plus_time_s[i]
             )?;
         }
-        writeln!(f, "mean Janus+ CPU saving: {:.2}%", self.mean_plus_saving() * 100.0)?;
-        writeln!(f, "mean Janus+ synthesis-time blow-up: {:.1}x", self.mean_time_blowup())
+        writeln!(
+            f,
+            "mean Janus+ CPU saving: {:.2}%",
+            self.mean_plus_saving() * 100.0
+        )?;
+        writeln!(
+            f,
+            "mean Janus+ synthesis-time blow-up: {:.1}x",
+            self.mean_time_blowup()
+        )
     }
 }
 
@@ -125,7 +139,11 @@ pub struct Fig8Result {
 
 /// Run Figure 8: condensed-hint counts for IA (concurrency 1–3, budget ranges
 /// 2–7 s / 3–7 s / 4–10 s) and VA (1.5–2 s), for weights 1–3.
-pub fn fig8_hint_counts(weights: &[f64], samples_per_point: usize, seed: u64) -> Result<Fig8Result, String> {
+pub fn fig8_hint_counts(
+    weights: &[f64],
+    samples_per_point: usize,
+    seed: u64,
+) -> Result<Fig8Result, String> {
     let profiler = Profiler::new(ProfilerConfig {
         samples_per_point,
         seed,
@@ -133,9 +151,24 @@ pub fn fig8_hint_counts(weights: &[f64], samples_per_point: usize, seed: u64) ->
     })?;
     // (label, app, concurrency, explicit full-workflow budget range in ms).
     let setups: [(&str, PaperApp, u32, (f64, f64)); 4] = [
-        ("IA conc=1", PaperApp::IntelligentAssistant, 1, (2000.0, 7000.0)),
-        ("IA conc=2", PaperApp::IntelligentAssistant, 2, (3000.0, 7000.0)),
-        ("IA conc=3", PaperApp::IntelligentAssistant, 3, (4000.0, 10000.0)),
+        (
+            "IA conc=1",
+            PaperApp::IntelligentAssistant,
+            1,
+            (2000.0, 7000.0),
+        ),
+        (
+            "IA conc=2",
+            PaperApp::IntelligentAssistant,
+            2,
+            (3000.0, 7000.0),
+        ),
+        (
+            "IA conc=3",
+            PaperApp::IntelligentAssistant,
+            3,
+            (4000.0, 10000.0),
+        ),
         ("VA conc=1", PaperApp::VideoAnalyze, 1, (1500.0, 2000.0)),
     ];
     let mut series = Vec::new();
@@ -191,7 +224,11 @@ pub struct Table2Result {
 /// Compute Table II: the budget-weighted average head allocation and head
 /// percentile of the full-workflow hints table under each weight, over the
 /// 4–10 s budget window §V-E sweeps.
-pub fn table2_weight_impact(weights: &[f64], samples_per_point: usize, seed: u64) -> Result<Table2Result, String> {
+pub fn table2_weight_impact(
+    weights: &[f64],
+    samples_per_point: usize,
+    seed: u64,
+) -> Result<Table2Result, String> {
     let profiler = Profiler::new(ProfilerConfig {
         samples_per_point,
         seed,
@@ -231,8 +268,15 @@ pub fn table2_weight_impact(weights: &[f64], samples_per_point: usize, seed: u64
 
 impl fmt::Display for Table2Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "# Table II: head-function allocation and percentile vs weight (IA)")?;
-        writeln!(f, "{:>8} {:>16} {:>14}", "weight", "CPU (millicore)", "percentile (%)")?;
+        writeln!(
+            f,
+            "# Table II: head-function allocation and percentile vs weight (IA)"
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>16} {:>14}",
+            "weight", "CPU (millicore)", "percentile (%)"
+        )?;
         for (w, cpu, pct) in &self.rows {
             writeln!(f, "{w:>8.1} {cpu:>16.1} {pct:>14.1}")?;
         }
@@ -274,7 +318,9 @@ pub fn overhead_report(
             workflow_len: deployment.workflow().len(),
         };
         for i in 0..decisions_per_workflow {
-            let budget = SimDuration::from_millis(slo_ms * (0.3 + 0.7 * (i as f64 / decisions_per_workflow as f64)));
+            let budget = SimDuration::from_millis(
+                slo_ms * (0.3 + 0.7 * (i as f64 / decisions_per_workflow as f64)),
+            );
             let index = i % deployment.workflow().len();
             let _ = policy.size_next(&ctx, index, budget);
         }
@@ -322,8 +368,14 @@ mod tests {
             // §V-F: hints stay compact (IA < ~150, VA < ~100) and condensing
             // achieves > 90 % compression.
             assert!(counts[0] < 400, "{label}: {} hints", counts[0]);
-            assert!(counts[1] <= counts[0] + 30, "{label}: weight 3 should not blow up the table");
-            assert!(compressions.iter().all(|&c| c > 0.8), "{label} compression {compressions:?}");
+            assert!(
+                counts[1] <= counts[0] + 30,
+                "{label}: weight 3 should not blow up the table"
+            );
+            assert!(
+                compressions.iter().all(|&c| c > 0.8),
+                "{label} compression {compressions:?}"
+            );
         }
         assert!(!format!("{r}").is_empty());
     }
@@ -349,7 +401,10 @@ mod tests {
             assert!(*mean_us < 3000.0, "{wf} mean decision {mean_us} µs");
             assert!(*max_us >= *mean_us);
             assert!(*bytes > 0 && *hints > 0);
-            assert!(*bytes < 12 * 1024 * 1024, "{wf} bundle {bytes} bytes under 12 MB");
+            assert!(
+                *bytes < 12 * 1024 * 1024,
+                "{wf} bundle {bytes} bytes under 12 MB"
+            );
         }
         assert!(!format!("{r}").is_empty());
     }
@@ -365,11 +420,23 @@ mod tests {
         let r = fig6_exploration_cost(&[3.0, 5.0], &base).unwrap();
         assert_eq!(r.slos_s.len(), 2);
         // Janus+ never uses more CPU than Janus (larger search space)…
-        assert!(r.mean_plus_saving() > -0.02, "saving {}", r.mean_plus_saving());
-        assert!(r.mean_plus_saving() < 0.10, "saving should be small: {}", r.mean_plus_saving());
+        assert!(
+            r.mean_plus_saving() > -0.02,
+            "saving {}",
+            r.mean_plus_saving()
+        );
+        assert!(
+            r.mean_plus_saving() < 0.10,
+            "saving should be small: {}",
+            r.mean_plus_saving()
+        );
         // …and never pays a *lower* synthesis cost (the memoised DP keeps the
-        // blow-up far below the paper's 107x; see EXPERIMENTS.md).
-        assert!(r.mean_time_blowup() > 0.5, "blow-up {}", r.mean_time_blowup());
+        // blow-up far below the paper's 107x).
+        assert!(
+            r.mean_time_blowup() > 0.5,
+            "blow-up {}",
+            r.mean_time_blowup()
+        );
         assert!(!format!("{r}").is_empty());
     }
 }

@@ -19,33 +19,43 @@
 //!
 //! This crate wires the three together:
 //!
+//! * [`session`] — **the serving entry point**: a [`ServingSession`] builder
+//!   that profiles a workflow, resolves policies by name and replays one
+//!   request set under each of them, in closed- or open-loop, returning a
+//!   normalized [`SessionReport`].
+//! * [`registry`] — the open [`PolicyRegistry`]: the paper's seven policies
+//!   as pre-registered [`PolicyFactory`]s, plus registration of custom
+//!   policies from any downstream crate.
 //! * [`JanusDeployment`] — the end-to-end pipeline (profile → synthesize →
 //!   deploy adapter) for one workflow, concurrency and SLO.
 //! * [`JanusPolicy`] — the resulting late-binding
 //!   [`SizingPolicy`](janus_platform::policy::SizingPolicy), runnable on the
 //!   same platform executor as every baseline.
-//! * [`comparison`] — paired policy comparisons (Optimal, ORION, GrandSLAM,
-//!   GrandSLAM⁺, Janus⁻, Janus, Janus⁺) over identical request sets.
+//! * [`comparison`] — the legacy paired-comparison surface, now a thin shim
+//!   over [`session`] (the closed `PolicyKind` enum maps one-to-one onto the
+//!   registry's built-in names).
 //! * [`experiments`] — one runner per table/figure of the paper's evaluation
 //!   (see `DESIGN.md` for the experiment index).
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use janus_core::{JanusDeployment, DeploymentConfig};
+//! use janus_core::session::{Load, ServingSession};
 //! use janus_workloads::apps::PaperApp;
 //!
-//! // Deploy the Intelligent Assistant workflow with a 3 s SLO.
-//! let config = DeploymentConfig::quick_for_tests(PaperApp::IntelligentAssistant, 1);
-//! let deployment = JanusDeployment::build(&config).expect("valid configuration");
-//! println!(
-//!     "{} condensed hints, synthesised in {:.1} ms",
-//!     deployment.bundle().total_hints(),
-//!     deployment.report().synthesis_time_ms
-//! );
-//! let mut policy = deployment.policy();
-//! // `policy` now sizes functions at runtime; hand it to the platform executor.
-//! # let _ = &mut policy;
+//! // Serve the Intelligent Assistant under its paper SLO, comparing the
+//! // paper's system against GrandSLAM on an identical request set.
+//! let report = ServingSession::builder()
+//!     .app(PaperApp::IntelligentAssistant)
+//!     .concurrency(1)
+//!     .policy("Janus")
+//!     .policy("GrandSLAM")
+//!     .load(Load::Closed { requests: 40 })
+//!     .quick() // test-scale profiling; drop for paper scale
+//!     .run()
+//!     .expect("session runs");
+//! assert!(report.normalized_cpu("GrandSLAM", "Janus").unwrap() > 1.0);
+//! assert!(report.slo_attainment("Janus").unwrap() >= 0.9);
 //! ```
 
 #![warn(missing_docs)]
@@ -55,10 +65,14 @@ pub mod comparison;
 pub mod deployment;
 pub mod experiments;
 pub mod policy;
+pub mod registry;
+pub mod session;
 
 pub use comparison::{ComparisonConfig, ComparisonOutcome, PolicyKind};
 pub use deployment::{DeploymentConfig, JanusDeployment, JanusVariant};
 pub use policy::JanusPolicy;
+pub use registry::{BuiltPolicy, PolicyContext, PolicyFactory, PolicyRegistry};
+pub use session::{Load, PolicyReport, ServingSession, SessionReport};
 
 // Re-export the component crates under one roof for downstream users.
 pub use janus_adapter as adapter;

@@ -118,7 +118,8 @@ mod tests {
 
     #[test]
     fn policy_forwards_table_decisions() {
-        let mut policy = JanusPolicy::new("Janus", Adapter::new(bundle(), AdapterConfig::default()));
+        let mut policy =
+            JanusPolicy::new("Janus", Adapter::new(bundle(), AdapterConfig::default()));
         assert!(policy.is_late_binding());
         assert_eq!(policy.name(), "Janus");
         let k0 = policy.size_next(&ctx(), 0, SimDuration::from_secs(3.0));
@@ -131,7 +132,8 @@ mod tests {
 
     #[test]
     fn misses_scale_to_kmax_and_are_counted() {
-        let mut policy = JanusPolicy::new("Janus", Adapter::new(bundle(), AdapterConfig::default()));
+        let mut policy =
+            JanusPolicy::new("Janus", Adapter::new(bundle(), AdapterConfig::default()));
         let k = policy.size_next(&ctx(), 0, SimDuration::from_millis(100.0));
         assert_eq!(k, Millicores::new(3000));
         // Unknown suffix index is also a miss.

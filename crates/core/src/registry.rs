@@ -1,0 +1,465 @@
+//! The open policy registry: how sizing policies are instantiated.
+//!
+//! The paper's thesis is that the hints interface lets *any* provider-side
+//! policy plug into *any* developer-side workflow. The registry makes the
+//! reproduction's API live up to that: a policy is anything that can build a
+//! [`SizingPolicy`](janus_platform::policy::SizingPolicy) from a
+//! [`PolicyContext`] (the workflow, its profile, the SLO, and the request
+//! set), registered under a display name. The seven policies of the paper's
+//! evaluation are pre-registered built-ins; downstream crates register their
+//! own policies with [`PolicyRegistry::register`] (or the closure shorthand
+//! [`PolicyRegistry::register_fn`]) without touching any `janus-*` crate.
+//!
+//! The legacy closed `PolicyKind` enum in [`crate::comparison`] is now a thin
+//! shim that resolves through this registry — see `DESIGN.md` for the
+//! migration guide.
+
+use janus_baselines::early::{grandslam, grandslam_plus, orion, OrionConfig};
+use janus_baselines::oracle::OptimalOracle;
+use janus_platform::policy::SizingPolicy;
+use janus_profiler::profile::WorkflowProfile;
+use janus_simcore::interference::InterferenceModel;
+use janus_simcore::resources::CoreGrid;
+use janus_simcore::time::SimDuration;
+use janus_synthesizer::synthesizer::{
+    ExplorationDepth, SynthesisReport, Synthesizer, SynthesizerConfig,
+};
+use janus_workloads::request::RequestInput;
+use janus_workloads::workflow::Workflow;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::policy::JanusPolicy;
+use janus_adapter::adapter::{Adapter, AdapterConfig};
+
+/// Offline synthesis knobs shared by hint-based policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthesisSettings {
+    /// Head-function weight `W` (Insight 4).
+    pub weight: f64,
+    /// Budget sweep granularity in milliseconds (1 ms in §V-F).
+    pub budget_step_ms: f64,
+}
+
+impl Default for SynthesisSettings {
+    fn default() -> Self {
+        SynthesisSettings {
+            weight: 1.0,
+            budget_step_ms: 1.0,
+        }
+    }
+}
+
+/// Everything a factory may consult when instantiating a policy for one
+/// serving run. Borrowed from the running [`ServingSession`]; factories must
+/// not assume any field outlives the build call.
+///
+/// [`ServingSession`]: crate::session::ServingSession
+pub struct PolicyContext<'a> {
+    /// The workflow being served.
+    pub workflow: &'a Workflow,
+    /// Execution-time profiles of the workflow at `concurrency`.
+    pub profile: &'a WorkflowProfile,
+    /// End-to-end latency SLO.
+    pub slo: SimDuration,
+    /// Batch size (concurrency) requests are served at.
+    pub concurrency: u32,
+    /// The full request set of the run. Most policies ignore it; the Optimal
+    /// oracle reads the pre-drawn execution factors from it.
+    pub requests: &'a [RequestInput],
+    /// CPU allocation grid of the platform.
+    pub grid: CoreGrid,
+    /// Interference model of the serving platform.
+    pub interference: &'a InterferenceModel,
+    /// Session seed (already mixed for profiling; use for policy-local RNG).
+    pub seed: u64,
+    /// Synthesis knobs for hint-based policies.
+    pub synthesis: SynthesisSettings,
+}
+
+/// A policy instance ready to serve, plus any offline artefacts produced
+/// while building it.
+pub struct BuiltPolicy {
+    /// The policy the executor will drive.
+    pub policy: Box<dyn SizingPolicy>,
+    /// Synthesis statistics, for policies that ran the hints pipeline.
+    pub synthesis: Option<SynthesisReport>,
+}
+
+impl BuiltPolicy {
+    /// Wrap a policy with no offline artefacts.
+    pub fn plain(policy: impl SizingPolicy + 'static) -> Self {
+        BuiltPolicy {
+            policy: Box::new(policy),
+            synthesis: None,
+        }
+    }
+
+    /// Wrap a policy together with its synthesis report.
+    pub fn with_synthesis(policy: impl SizingPolicy + 'static, report: SynthesisReport) -> Self {
+        BuiltPolicy {
+            policy: Box::new(policy),
+            synthesis: Some(report),
+        }
+    }
+}
+
+impl fmt::Debug for BuiltPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BuiltPolicy")
+            .field("policy", &self.policy.name())
+            .field("synthesis", &self.synthesis.is_some())
+            .finish()
+    }
+}
+
+/// An object-safe factory that instantiates one named sizing policy.
+///
+/// Implementations live anywhere — the built-ins below wrap the baseline
+/// constructors and the Janus pipeline, and downstream crates implement the
+/// trait for their own policies. `build` is called once per serving run, so
+/// per-run state (hit counters, adapters) belongs in the returned policy, not
+/// in the factory.
+pub trait PolicyFactory: Send + Sync {
+    /// Display name the policy is registered (and reported) under.
+    fn name(&self) -> &str;
+
+    /// Instantiate the policy for one serving run.
+    fn build(&self, ctx: &PolicyContext<'_>) -> Result<BuiltPolicy, String>;
+}
+
+/// An ordered, open registry of [`PolicyFactory`]s.
+///
+/// Registration order is preserved (it drives default report ordering);
+/// registering a factory under an existing name replaces the earlier entry,
+/// so sessions can override a built-in without forking the registry.
+#[derive(Clone, Default)]
+pub struct PolicyRegistry {
+    factories: Vec<Arc<dyn PolicyFactory>>,
+}
+
+impl fmt::Debug for PolicyRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyRegistry")
+            .field("policies", &self.names())
+            .finish()
+    }
+}
+
+impl PolicyRegistry {
+    /// An empty registry (no built-ins).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with the paper's seven policies, in Table I
+    /// order: Optimal, ORION, GrandSLAM+, GrandSLAM, Janus-, Janus, Janus+.
+    pub fn with_builtins() -> Self {
+        let mut registry = PolicyRegistry::new();
+        registry.register(Arc::new(OptimalFactory));
+        registry.register(Arc::new(OrionFactory::default()));
+        registry.register(Arc::new(GrandSlamFactory { per_function: true }));
+        registry.register(Arc::new(GrandSlamFactory {
+            per_function: false,
+        }));
+        registry.register(Arc::new(JanusFactory::new(ExplorationDepth::None)));
+        registry.register(Arc::new(JanusFactory::new(ExplorationDepth::HeadOnly)));
+        registry.register(Arc::new(JanusFactory::new(ExplorationDepth::HeadAndNext)));
+        registry
+    }
+
+    /// Register a factory. Replaces any earlier factory with the same name
+    /// (keeping its position), otherwise appends.
+    pub fn register(&mut self, factory: Arc<dyn PolicyFactory>) -> &mut Self {
+        match self
+            .factories
+            .iter()
+            .position(|f| f.name() == factory.name())
+        {
+            Some(i) => self.factories[i] = factory,
+            None => self.factories.push(factory),
+        }
+        self
+    }
+
+    /// Closure shorthand for [`register`](Self::register).
+    pub fn register_fn<F>(&mut self, name: impl Into<String>, build: F) -> &mut Self
+    where
+        F: Fn(&PolicyContext<'_>) -> Result<BuiltPolicy, String> + Send + Sync + 'static,
+    {
+        self.register(Arc::new(FnFactory {
+            name: name.into(),
+            build,
+        }))
+    }
+
+    /// Look a factory up by its registered name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn PolicyFactory>> {
+        self.factories.iter().find(|f| f.name() == name).cloned()
+    }
+
+    /// Instantiate the named policy, with an informative error for unknown
+    /// names.
+    pub fn build(&self, name: &str, ctx: &PolicyContext<'_>) -> Result<BuiltPolicy, String> {
+        let factory = self.get(name).ok_or_else(|| {
+            format!(
+                "unknown policy `{name}`; registered policies: {}",
+                self.names().join(", ")
+            )
+        })?;
+        let built = factory.build(ctx)?;
+        Ok(built)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.factories.iter().map(|f| f.name()).collect()
+    }
+
+    /// Number of registered factories.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+struct FnFactory<F> {
+    name: String,
+    build: F,
+}
+
+impl<F> PolicyFactory for FnFactory<F>
+where
+    F: Fn(&PolicyContext<'_>) -> Result<BuiltPolicy, String> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, ctx: &PolicyContext<'_>) -> Result<BuiltPolicy, String> {
+        (self.build)(ctx)
+    }
+}
+
+/// Built-in: the late-binding Optimal oracle (normalisation baseline).
+pub struct OptimalFactory;
+
+impl PolicyFactory for OptimalFactory {
+    fn name(&self) -> &str {
+        "Optimal"
+    }
+
+    fn build(&self, ctx: &PolicyContext<'_>) -> Result<BuiltPolicy, String> {
+        Ok(BuiltPolicy::plain(OptimalOracle::new(
+            ctx.workflow,
+            ctx.requests,
+            ctx.slo,
+            ctx.concurrency,
+            ctx.grid,
+            ctx.interference,
+        )))
+    }
+}
+
+/// Built-in: ORION's distribution-based early binding.
+#[derive(Default)]
+pub struct OrionFactory {
+    /// Convolution configuration (Monte-Carlo draws, target percentile).
+    pub config: OrionConfig,
+}
+
+impl PolicyFactory for OrionFactory {
+    fn name(&self) -> &str {
+        "ORION"
+    }
+
+    fn build(&self, ctx: &PolicyContext<'_>) -> Result<BuiltPolicy, String> {
+        Ok(BuiltPolicy::plain(orion(
+            ctx.profile,
+            ctx.slo,
+            &self.config,
+        )?))
+    }
+}
+
+/// Built-in: GrandSLAM (identical sizes) and GrandSLAM+ (per-function sizes).
+pub struct GrandSlamFactory {
+    /// `false` for the original identical-size GrandSLAM, `true` for the
+    /// paper's per-function GrandSLAM+ enhancement.
+    pub per_function: bool,
+}
+
+impl PolicyFactory for GrandSlamFactory {
+    fn name(&self) -> &str {
+        if self.per_function {
+            "GrandSLAM+"
+        } else {
+            "GrandSLAM"
+        }
+    }
+
+    fn build(&self, ctx: &PolicyContext<'_>) -> Result<BuiltPolicy, String> {
+        let policy = if self.per_function {
+            grandslam_plus(ctx.profile, ctx.slo)?
+        } else {
+            grandslam(ctx.profile, ctx.slo)?
+        };
+        Ok(BuiltPolicy::plain(policy))
+    }
+}
+
+/// Built-in: the three Janus variants (profile → synthesize → adapter),
+/// parameterised by percentile-exploration depth.
+pub struct JanusFactory {
+    exploration: ExplorationDepth,
+}
+
+impl JanusFactory {
+    /// A factory for the variant with the given exploration depth.
+    pub fn new(exploration: ExplorationDepth) -> Self {
+        JanusFactory { exploration }
+    }
+}
+
+impl PolicyFactory for JanusFactory {
+    fn name(&self) -> &str {
+        self.exploration.variant_name()
+    }
+
+    fn build(&self, ctx: &PolicyContext<'_>) -> Result<BuiltPolicy, String> {
+        let synthesizer = Synthesizer::new(SynthesizerConfig {
+            weight: ctx.synthesis.weight,
+            exploration: self.exploration,
+            budget_step_ms: ctx.synthesis.budget_step_ms,
+            ..SynthesizerConfig::default()
+        })?;
+        let (bundle, report) = synthesizer.synthesize(ctx.profile);
+        let policy = JanusPolicy::new(
+            self.exploration.variant_name(),
+            Adapter::new(bundle, AdapterConfig::default()),
+        );
+        Ok(BuiltPolicy::with_synthesis(policy, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_platform::policy::FixedSizingPolicy;
+    use janus_profiler::profiler::{Profiler, ProfilerConfig};
+    use janus_simcore::resources::Millicores;
+    use janus_workloads::apps::intelligent_assistant;
+    use janus_workloads::request::RequestInputGenerator;
+
+    fn with_ctx<R>(f: impl FnOnce(&PolicyContext<'_>) -> R) -> R {
+        let workflow = intelligent_assistant();
+        let profile = Profiler::new(ProfilerConfig {
+            samples_per_point: 250,
+            ..ProfilerConfig::default()
+        })
+        .unwrap()
+        .profile_workflow(&workflow, 1);
+        let requests = RequestInputGenerator::new(1, SimDuration::ZERO).generate(&workflow, 10);
+        let interference = InterferenceModel::paper_calibrated();
+        let ctx = PolicyContext {
+            workflow: &workflow,
+            profile: &profile,
+            slo: SimDuration::from_secs(3.0),
+            concurrency: 1,
+            requests: &requests,
+            grid: CoreGrid::paper_default(),
+            interference: &interference,
+            seed: 1,
+            synthesis: SynthesisSettings {
+                budget_step_ms: 10.0,
+                ..SynthesisSettings::default()
+            },
+        };
+        f(&ctx)
+    }
+
+    #[test]
+    fn builtins_cover_the_papers_seven_policies_in_order() {
+        let registry = PolicyRegistry::with_builtins();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "Optimal",
+                "ORION",
+                "GrandSLAM+",
+                "GrandSLAM",
+                "Janus-",
+                "Janus",
+                "Janus+"
+            ]
+        );
+        assert_eq!(registry.len(), 7);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn every_builtin_builds_a_policy_with_its_registered_name() {
+        with_ctx(|ctx| {
+            let registry = PolicyRegistry::with_builtins();
+            for name in registry.names() {
+                let built = registry.build(name, ctx).unwrap();
+                assert_eq!(built.policy.name(), name);
+                let is_janus = name.starts_with("Janus");
+                assert_eq!(built.synthesis.is_some(), is_janus, "{name}");
+            }
+        });
+    }
+
+    #[test]
+    fn unknown_names_report_the_known_ones() {
+        with_ctx(|ctx| {
+            let registry = PolicyRegistry::with_builtins();
+            let err = registry.build("nope", ctx).unwrap_err();
+            assert!(err.contains("unknown policy `nope`"), "{err}");
+            assert!(err.contains("Janus+"), "{err}");
+        });
+    }
+
+    #[test]
+    fn custom_factories_can_replace_and_extend_builtins() {
+        with_ctx(|ctx| {
+            let mut registry = PolicyRegistry::with_builtins();
+            registry.register_fn("AllMax", |ctx| {
+                Ok(BuiltPolicy::plain(FixedSizingPolicy::uniform(
+                    "AllMax",
+                    ctx.workflow,
+                    ctx.grid.max,
+                )?))
+            });
+            assert_eq!(registry.len(), 8);
+            let built = registry.build("AllMax", ctx).unwrap();
+            assert_eq!(built.policy.name(), "AllMax");
+
+            // Replacing keeps the original position.
+            registry.register_fn("ORION", |ctx| {
+                Ok(BuiltPolicy::plain(FixedSizingPolicy::uniform(
+                    "ORION",
+                    ctx.workflow,
+                    Millicores::new(2222),
+                )?))
+            });
+            assert_eq!(registry.len(), 8);
+            assert_eq!(registry.names()[1], "ORION");
+            let mut built = registry.build("ORION", ctx).unwrap();
+            let ctx_req = janus_platform::policy::RequestContext {
+                request_id: 0,
+                slo: ctx.slo,
+                concurrency: 1,
+                workflow_len: ctx.workflow.len(),
+            };
+            assert_eq!(
+                built.policy.size_next(&ctx_req, 0, ctx.slo),
+                Millicores::new(2222)
+            );
+        });
+    }
+}

@@ -1,0 +1,654 @@
+//! One entry point for serving: the [`ServingSession`] builder.
+//!
+//! Before this module, running a policy against a workload meant choosing
+//! between three incompatible surfaces: `ComparisonConfig` + `comparison::run`
+//! for paired comparisons, a hand-wired
+//! [`ClosedLoopExecutor`](janus_platform::executor::ClosedLoopExecutor), or a
+//! hand-wired [`OpenLoopSimulation`](janus_platform::openloop::OpenLoopSimulation)
+//! for Poisson arrivals. A session unifies them:
+//!
+//! ```
+//! use janus_core::session::{Load, ServingSession};
+//!
+//! let report = ServingSession::builder()
+//!     .app(janus_core::workloads::apps::PaperApp::IntelligentAssistant)
+//!     .concurrency(1)
+//!     .policy("Janus")
+//!     .policy("GrandSLAM")
+//!     .load(Load::Closed { requests: 50 })
+//!     .quick() // test-scale profiling; drop for paper scale
+//!     .run()
+//!     .expect("session runs");
+//! assert_eq!(report.names(), vec!["Janus", "GrandSLAM"]);
+//! assert!(report.slo_attainment("Janus").unwrap() >= 0.9);
+//! ```
+//!
+//! Policies are resolved by name through a [`PolicyRegistry`] — by default
+//! the built-in seven of the paper; register your own factory on the builder
+//! and serve it by name without touching any `janus-*` crate. Every policy in
+//! the session replays the *same* request set (paired comparison, as in the
+//! paper's evaluation), whether the load is closed- or open-loop.
+
+use crate::registry::{PolicyContext, PolicyFactory, PolicyRegistry, SynthesisSettings};
+use janus_platform::executor::{ClosedLoopExecutor, ExecutorConfig};
+use janus_platform::openloop::{OpenLoopConfig, OpenLoopSimulation};
+use janus_platform::outcome::ServingReport;
+use janus_profiler::profiler::{Profiler, ProfilerConfig};
+use janus_simcore::resources::CoreGrid;
+use janus_simcore::time::SimDuration;
+use janus_synthesizer::synthesizer::SynthesisReport;
+use janus_workloads::apps::PaperApp;
+use janus_workloads::request::{RequestInput, RequestInputGenerator};
+use janus_workloads::workflow::Workflow;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// How requests are offered to the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Load {
+    /// Closed loop: `requests` replayed back-to-back, one in flight at a
+    /// time — the paper's evaluation methodology (§V).
+    Closed {
+        /// Number of requests replayed per policy.
+        requests: usize,
+    },
+    /// Open loop: `requests` arrive as a Poisson process at `rps` requests
+    /// per second; several are in flight at once and co-located instances
+    /// interfere — the production-shaped extension.
+    Open {
+        /// Number of requests generated per policy.
+        requests: usize,
+        /// Mean arrival rate (requests per second).
+        rps: f64,
+    },
+}
+
+impl Load {
+    /// Number of requests this load generates.
+    pub fn requests(&self) -> usize {
+        match *self {
+            Load::Closed { requests } | Load::Open { requests, .. } => requests,
+        }
+    }
+
+    fn mean_inter_arrival(&self) -> Result<SimDuration, String> {
+        match *self {
+            Load::Closed { .. } => Ok(SimDuration::ZERO),
+            Load::Open { rps, .. } => {
+                if !(rps.is_finite() && rps > 0.0) {
+                    return Err(format!("open-loop rps must be positive, got {rps}"));
+                }
+                Ok(SimDuration::from_millis(1000.0 / rps))
+            }
+        }
+    }
+}
+
+/// Builder for a [`ServingSession`]. Obtain with [`ServingSession::builder`].
+#[derive(Debug, Clone)]
+pub struct ServingSessionBuilder {
+    app: Option<PaperApp>,
+    workflow: Option<Workflow>,
+    slo: Option<SimDuration>,
+    concurrency: u32,
+    policies: Vec<String>,
+    load: Load,
+    seed: u64,
+    samples_per_point: usize,
+    synthesis: SynthesisSettings,
+    count_startup_delays: bool,
+    registry: PolicyRegistry,
+}
+
+impl Default for ServingSessionBuilder {
+    fn default() -> Self {
+        ServingSessionBuilder {
+            app: None,
+            workflow: None,
+            slo: None,
+            concurrency: 1,
+            policies: Vec::new(),
+            load: Load::Closed { requests: 1000 },
+            seed: 7,
+            samples_per_point: 1000,
+            synthesis: SynthesisSettings::default(),
+            count_startup_delays: true,
+            registry: PolicyRegistry::with_builtins(),
+        }
+    }
+}
+
+impl ServingSessionBuilder {
+    /// Serve one of the paper's applications (workflow + default SLO).
+    pub fn app(mut self, app: PaperApp) -> Self {
+        self.app = Some(app);
+        self
+    }
+
+    /// Serve a custom workflow. Requires an explicit [`slo`](Self::slo).
+    pub fn workflow(mut self, workflow: Workflow) -> Self {
+        self.workflow = Some(workflow);
+        self
+    }
+
+    /// End-to-end latency SLO. Defaults to the app's paper SLO when an app
+    /// is set; mandatory for custom workflows.
+    pub fn slo(mut self, slo: SimDuration) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Batch size (concurrency) requests are served at. Default 1.
+    pub fn concurrency(mut self, concurrency: u32) -> Self {
+        self.concurrency = concurrency;
+        self
+    }
+
+    /// Add one policy by registered name ("Janus+", "ORION", …). Call
+    /// repeatedly to build a paired comparison; order is preserved.
+    pub fn policy(mut self, name: impl Into<String>) -> Self {
+        self.policies.push(name.into());
+        self
+    }
+
+    /// Add several policies by name.
+    pub fn policies<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.policies.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Request load. Default: `Load::Closed { requests: 1000 }`.
+    pub fn load(mut self, load: Load) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Master seed for request generation and profiling. Default 7.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Profiler samples per (allocation, concurrency) grid point.
+    /// Default 1000 (the paper's scale).
+    pub fn samples_per_point(mut self, samples: usize) -> Self {
+        self.samples_per_point = samples;
+        self
+    }
+
+    /// Budget sweep granularity for hint synthesis, in ms. Default 1.0.
+    pub fn budget_step_ms(mut self, step: f64) -> Self {
+        self.synthesis.budget_step_ms = step;
+        self
+    }
+
+    /// Head-function weight `W` for hint synthesis. Default 1.0.
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.synthesis.weight = weight;
+        self
+    }
+
+    /// Whether pod startup delays count against latency. Default true.
+    pub fn count_startup_delays(mut self, count: bool) -> Self {
+        self.count_startup_delays = count;
+        self
+    }
+
+    /// Replace the policy registry (default: the built-in seven).
+    pub fn registry(mut self, registry: PolicyRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Register an additional policy factory on this session's registry.
+    pub fn register(mut self, factory: Arc<dyn PolicyFactory>) -> Self {
+        self.registry.register(factory);
+        self
+    }
+
+    /// Register a closure-based policy factory on this session's registry.
+    pub fn register_fn<F>(mut self, name: impl Into<String>, build: F) -> Self
+    where
+        F: Fn(&PolicyContext<'_>) -> Result<crate::registry::BuiltPolicy, String>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.registry.register_fn(name, build);
+        self
+    }
+
+    /// Reduced scale for tests and smoke runs: fewer profiler samples and a
+    /// coarser synthesis sweep, preserving every code path.
+    pub fn quick(mut self) -> Self {
+        self.samples_per_point = 300;
+        self.synthesis.budget_step_ms = 5.0;
+        self
+    }
+
+    /// Validate and finalise the session.
+    pub fn build(self) -> Result<ServingSession, String> {
+        let (workflow, app) = match (self.workflow, self.app) {
+            (Some(_), Some(_)) => {
+                // Accepting both would silently serve the custom workflow
+                // under the app's default SLO and batching rules.
+                return Err("set either .app(..) or .workflow(..), not both".into());
+            }
+            (Some(workflow), None) => (workflow, None),
+            (None, Some(app)) => (app.workflow(), Some(app)),
+            (None, None) => {
+                return Err("session needs .app(..) or .workflow(..)".into());
+            }
+        };
+        if workflow.is_empty() {
+            return Err("cannot serve an empty workflow".into());
+        }
+        if self.concurrency == 0 {
+            return Err("concurrency must be at least 1".into());
+        }
+        if app == Some(PaperApp::VideoAnalyze) && self.concurrency > 1 {
+            return Err("VA cannot batch (FE and ICO are non-batchable); use concurrency 1".into());
+        }
+        let slo = match (self.slo, app) {
+            (Some(slo), _) => slo,
+            (None, Some(app)) => app.default_slo(self.concurrency),
+            (None, None) => {
+                return Err("custom workflows need an explicit .slo(..)".into());
+            }
+        };
+        if slo <= SimDuration::ZERO {
+            return Err("SLO must be positive".into());
+        }
+        if self.policies.is_empty() {
+            return Err(format!(
+                "session needs at least one .policy(..); registered: {}",
+                self.registry.names().join(", ")
+            ));
+        }
+        // Reports are addressed by name, so a duplicate would run but be
+        // unreachable through every SessionReport accessor.
+        for (i, name) in self.policies.iter().enumerate() {
+            if self.policies[..i].contains(name) {
+                return Err(format!("policy `{name}` was added twice"));
+            }
+        }
+        if self.load.requests() == 0 {
+            return Err("load must offer at least one request".into());
+        }
+        self.load.mean_inter_arrival()?;
+        if self.samples_per_point == 0 {
+            return Err("samples_per_point must be at least 1".into());
+        }
+        Ok(ServingSession {
+            workflow,
+            slo,
+            concurrency: self.concurrency,
+            policies: self.policies,
+            load: self.load,
+            seed: self.seed,
+            samples_per_point: self.samples_per_point,
+            synthesis: self.synthesis,
+            count_startup_delays: self.count_startup_delays,
+            registry: self.registry,
+        })
+    }
+
+    /// Build and immediately run the session.
+    pub fn run(self) -> Result<SessionReport, String> {
+        self.build()?.run()
+    }
+}
+
+/// A validated serving session: one workflow, one SLO, one load shape, any
+/// number of registered policies replaying the same requests.
+#[derive(Debug)]
+pub struct ServingSession {
+    workflow: Workflow,
+    slo: SimDuration,
+    concurrency: u32,
+    policies: Vec<String>,
+    load: Load,
+    seed: u64,
+    samples_per_point: usize,
+    synthesis: SynthesisSettings,
+    count_startup_delays: bool,
+    registry: PolicyRegistry,
+}
+
+impl ServingSession {
+    /// Start building a session.
+    pub fn builder() -> ServingSessionBuilder {
+        ServingSessionBuilder::default()
+    }
+
+    /// The workflow this session serves.
+    pub fn workflow(&self) -> &Workflow {
+        &self.workflow
+    }
+
+    /// The SLO requests are served under.
+    pub fn slo(&self) -> SimDuration {
+        self.slo
+    }
+
+    /// The policy names that will run, in order.
+    pub fn policies(&self) -> &[String] {
+        &self.policies
+    }
+
+    /// The session's policy registry.
+    pub fn registry(&self) -> &PolicyRegistry {
+        &self.registry
+    }
+
+    /// Profile the workflow, generate one request set, and replay it under
+    /// every configured policy. Deterministic in the session seed: running
+    /// twice yields identical reports.
+    pub fn run(&self) -> Result<SessionReport, String> {
+        let profiler = Profiler::new(ProfilerConfig {
+            samples_per_point: self.samples_per_point,
+            seed: self.seed ^ 0x5EED,
+            ..ProfilerConfig::default()
+        })?;
+        let profile = profiler.profile_workflow(&self.workflow, self.concurrency);
+
+        let mut generator = RequestInputGenerator::new(self.seed, self.load.mean_inter_arrival()?);
+        let requests: Vec<RequestInput> = generator.generate(&self.workflow, self.load.requests());
+
+        let exec_config = ExecutorConfig {
+            count_startup_delays: self.count_startup_delays,
+            ..ExecutorConfig::paper_serving(self.slo, self.concurrency)
+        };
+        let ctx = PolicyContext {
+            workflow: &self.workflow,
+            profile: &profile,
+            slo: self.slo,
+            concurrency: self.concurrency,
+            requests: &requests,
+            grid: CoreGrid::paper_default(),
+            interference: &exec_config.interference,
+            seed: self.seed,
+            synthesis: self.synthesis,
+        };
+
+        let mut policies = Vec::with_capacity(self.policies.len());
+        for name in &self.policies {
+            let mut built = self.registry.build(name, &ctx)?;
+            let serving = match self.load {
+                Load::Closed { .. } => {
+                    ClosedLoopExecutor::new(self.workflow.clone(), exec_config.clone())
+                        .run(built.policy.as_mut(), &requests)
+                }
+                Load::Open { .. } => {
+                    let open_config = OpenLoopConfig {
+                        slo: self.slo,
+                        concurrency: self.concurrency,
+                        cluster: exec_config.cluster.clone(),
+                        pool: exec_config.pool.clone(),
+                        interference: exec_config.interference.clone(),
+                        count_startup_delays: self.count_startup_delays,
+                    };
+                    OpenLoopSimulation::new(self.workflow.clone(), open_config)
+                        .run(built.policy.as_mut(), &requests)
+                }
+            };
+            policies.push(PolicyReport {
+                name: name.clone(),
+                mean_decision_time_us: built.policy.mean_decision_time_us(),
+                serving,
+                synthesis: built.synthesis,
+            });
+        }
+
+        let report = SessionReport {
+            workflow: self.workflow.name().to_string(),
+            slo: self.slo,
+            concurrency: self.concurrency,
+            load: self.load,
+            seed: self.seed,
+            policies,
+        };
+        report.validate()?;
+        Ok(report)
+    }
+}
+
+/// Everything one policy produced in a session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyReport {
+    /// Registered policy name.
+    pub name: String,
+    /// Mean `size_next` decision latency in µs, if the policy tracks it.
+    pub mean_decision_time_us: Option<f64>,
+    /// Per-request serving outcomes.
+    pub serving: ServingReport,
+    /// Offline synthesis statistics (hint-based policies only).
+    pub synthesis: Option<SynthesisReport>,
+}
+
+impl PolicyReport {
+    /// Fraction of requests that met the SLO, in `[0, 1]`.
+    pub fn slo_attainment(&self) -> f64 {
+        1.0 - self.serving.slo_violation_rate()
+    }
+}
+
+/// The normalized outcome of a [`ServingSession`] run: one
+/// [`PolicyReport`] per configured policy, in configuration order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Workflow name.
+    pub workflow: String,
+    /// SLO the session served under.
+    pub slo: SimDuration,
+    /// Batch size (concurrency).
+    pub concurrency: u32,
+    /// Load shape offered.
+    pub load: Load,
+    /// Session seed.
+    pub seed: u64,
+    /// Per-policy results, in configuration order.
+    pub policies: Vec<PolicyReport>,
+}
+
+impl SessionReport {
+    /// Policy names in report order.
+    pub fn names(&self) -> Vec<&str> {
+        self.policies.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// The full report of one policy.
+    pub fn report(&self, name: &str) -> Option<&PolicyReport> {
+        self.policies.iter().find(|p| p.name == name)
+    }
+
+    /// One policy's serving report.
+    pub fn serving(&self, name: &str) -> Option<&ServingReport> {
+        self.report(name).map(|p| &p.serving)
+    }
+
+    /// One policy's SLO attainment in `[0, 1]`.
+    pub fn slo_attainment(&self, name: &str) -> Option<f64> {
+        self.report(name).map(PolicyReport::slo_attainment)
+    }
+
+    /// One policy's mean per-request CPU in millicores.
+    pub fn mean_cpu_millicores(&self, name: &str) -> Option<f64> {
+        self.report(name).map(|p| p.serving.mean_cpu_millicores())
+    }
+
+    /// Mean CPU of `name` normalised by `baseline` (the "normalized by
+    /// Optimal" presentation of §V).
+    pub fn normalized_cpu(&self, name: &str, baseline: &str) -> Option<f64> {
+        let base = self.serving(baseline)?;
+        Some(self.serving(name)?.cpu_normalized_by(base))
+    }
+
+    /// Structural invariants every well-formed report satisfies; `run`
+    /// checks this before returning.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.policies.is_empty() {
+            return Err("session report has no policies".into());
+        }
+        for p in &self.policies {
+            let attainment = p.slo_attainment();
+            if !(0.0..=1.0).contains(&attainment) {
+                return Err(format!(
+                    "policy {}: SLO attainment {attainment} outside [0, 1]",
+                    p.name
+                ));
+            }
+            if p.serving.is_empty() {
+                return Err(format!("policy {}: served no requests", p.name));
+            }
+            if p.serving.mean_cpu_millicores() <= 0.0 {
+                return Err(format!("policy {}: non-positive resource usage", p.name));
+            }
+            for outcome in &p.serving.outcomes {
+                if outcome.allocations.is_empty() {
+                    return Err(format!(
+                        "policy {}: request {} ran no functions",
+                        p.name, outcome.request_id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_builder() -> ServingSessionBuilder {
+        ServingSession::builder()
+            .app(PaperApp::IntelligentAssistant)
+            .quick()
+            .load(Load::Closed { requests: 40 })
+    }
+
+    #[test]
+    fn builder_rejects_incomplete_or_invalid_sessions() {
+        let err = ServingSession::builder()
+            .policy("Janus")
+            .build()
+            .unwrap_err();
+        assert!(err.contains(".app("), "{err}");
+        let err = quick_builder().build().unwrap_err();
+        assert!(err.contains("at least one .policy"), "{err}");
+        let err = quick_builder()
+            .policy("Janus")
+            .concurrency(0)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("concurrency"), "{err}");
+        let err = ServingSession::builder()
+            .app(PaperApp::VideoAnalyze)
+            .concurrency(2)
+            .policy("Janus")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("VA cannot batch"), "{err}");
+        let err = quick_builder()
+            .policy("Janus")
+            .load(Load::Open {
+                requests: 10,
+                rps: 0.0,
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.contains("rps"), "{err}");
+        let err = quick_builder()
+            .policy("Janus")
+            .load(Load::Closed { requests: 0 })
+            .build()
+            .unwrap_err();
+        assert!(err.contains("at least one request"), "{err}");
+        let err = quick_builder()
+            .workflow(PaperApp::IntelligentAssistant.workflow())
+            .policy("Janus")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        let err = quick_builder()
+            .policy("Janus")
+            .policy("Janus")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("added twice"), "{err}");
+    }
+
+    #[test]
+    fn closed_loop_session_reports_every_policy_in_order() {
+        let report = quick_builder()
+            .policies(["GrandSLAM", "Janus"])
+            .run()
+            .unwrap();
+        assert_eq!(report.names(), vec!["GrandSLAM", "Janus"]);
+        for name in ["GrandSLAM", "Janus"] {
+            let p = report.report(name).unwrap();
+            assert_eq!(p.serving.len(), 40);
+            assert!((0.0..=1.0).contains(&p.slo_attainment()));
+            assert!(p.serving.mean_cpu_millicores() > 0.0);
+        }
+        // The hint pipeline ran for Janus only.
+        assert!(report.report("Janus").unwrap().synthesis.is_some());
+        assert!(report.report("GrandSLAM").unwrap().synthesis.is_none());
+        assert!(report.normalized_cpu("GrandSLAM", "Janus").unwrap() > 1.0);
+        assert!(report.report("ORION").is_none());
+    }
+
+    #[test]
+    fn open_loop_sessions_share_the_request_set_across_policies() {
+        let report = quick_builder()
+            .policies(["GrandSLAM", "Janus"])
+            .load(Load::Open {
+                requests: 50,
+                rps: 2.0,
+            })
+            .run()
+            .unwrap();
+        let a = report.serving("GrandSLAM").unwrap();
+        let b = report.serving("Janus").unwrap();
+        assert_eq!(a.len(), 50);
+        assert_eq!(b.len(), 50);
+        let ids_a: Vec<u64> = a.outcomes.iter().map(|o| o.request_id).collect();
+        let ids_b: Vec<u64> = b.outcomes.iter().map(|o| o.request_id).collect();
+        assert_eq!(ids_a, ids_b, "paired comparison replays identical requests");
+    }
+
+    #[test]
+    fn sessions_are_deterministic_in_the_seed() {
+        let run = |seed: u64| quick_builder().policy("Janus").seed(seed).run().unwrap();
+        let r1 = run(11);
+        let r2 = run(11);
+        let r3 = run(12);
+        assert_eq!(r1.serving("Janus").unwrap(), r2.serving("Janus").unwrap());
+        assert_ne!(r1.serving("Janus").unwrap(), r3.serving("Janus").unwrap());
+    }
+
+    #[test]
+    fn custom_workflows_need_an_explicit_slo() {
+        let workflow = PaperApp::IntelligentAssistant.workflow();
+        let err = ServingSession::builder()
+            .workflow(workflow.clone())
+            .policy("GrandSLAM")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("explicit .slo"), "{err}");
+        let report = ServingSession::builder()
+            .workflow(workflow)
+            .slo(SimDuration::from_secs(3.0))
+            .policy("GrandSLAM")
+            .quick()
+            .load(Load::Closed { requests: 10 })
+            .run()
+            .unwrap();
+        assert_eq!(report.policies.len(), 1);
+    }
+}

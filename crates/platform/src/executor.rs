@@ -203,7 +203,8 @@ mod tests {
     #[test]
     fn report_covers_every_request_with_full_allocations() {
         let exec = executor(3.0);
-        let mut policy = FixedSizingPolicy::uniform("max", exec.workflow(), Millicores::new(3000));
+        let mut policy =
+            FixedSizingPolicy::uniform("max", exec.workflow(), Millicores::new(3000)).unwrap();
         let report = exec.run(&mut policy, &requests(50, 1));
         assert_eq!(report.len(), 50);
         for o in &report.outcomes {
@@ -220,8 +221,10 @@ mod tests {
     fn bigger_allocations_yield_lower_latency_and_fewer_violations() {
         let exec = executor(3.0);
         let reqs = requests(300, 2);
-        let mut small = FixedSizingPolicy::uniform("min", exec.workflow(), Millicores::new(1000));
-        let mut large = FixedSizingPolicy::uniform("max", exec.workflow(), Millicores::new(3000));
+        let mut small =
+            FixedSizingPolicy::uniform("min", exec.workflow(), Millicores::new(1000)).unwrap();
+        let mut large =
+            FixedSizingPolicy::uniform("max", exec.workflow(), Millicores::new(3000)).unwrap();
         let small_report = exec.run(&mut small, &reqs);
         let large_report = exec.run(&mut large, &reqs);
         assert!(
@@ -238,8 +241,10 @@ mod tests {
     fn replaying_the_same_requests_is_deterministic() {
         let exec = executor(3.0);
         let reqs = requests(40, 3);
-        let mut p1 = FixedSizingPolicy::uniform("a", exec.workflow(), Millicores::new(2000));
-        let mut p2 = FixedSizingPolicy::uniform("a", exec.workflow(), Millicores::new(2000));
+        let mut p1 =
+            FixedSizingPolicy::uniform("a", exec.workflow(), Millicores::new(2000)).unwrap();
+        let mut p2 =
+            FixedSizingPolicy::uniform("a", exec.workflow(), Millicores::new(2000)).unwrap();
         let r1 = exec.run(&mut p1, &reqs);
         let r2 = exec.run(&mut p2, &reqs);
         assert_eq!(r1, r2);
@@ -262,9 +267,11 @@ mod tests {
                 ..ExecutorConfig::paper_serving(SimDuration::from_secs(3.0), 1)
             },
         );
-        let mut p = FixedSizingPolicy::uniform("x", with.workflow(), Millicores::new(2000));
+        let mut p =
+            FixedSizingPolicy::uniform("x", with.workflow(), Millicores::new(2000)).unwrap();
         let r_with = with.run(&mut p, &reqs);
-        let mut p = FixedSizingPolicy::uniform("x", without.workflow(), Millicores::new(2000));
+        let mut p =
+            FixedSizingPolicy::uniform("x", without.workflow(), Millicores::new(2000)).unwrap();
         let r_without = without.run(&mut p, &reqs);
         assert!(
             r_with.e2e_summary().unwrap().mean >= r_without.e2e_summary().unwrap().mean,

@@ -99,7 +99,10 @@ impl OpenLoopSimulation {
 
         for req in requests {
             engine
-                .schedule_at(SimTime::ZERO + req.arrival_offset, Event::Arrival(req.clone()))
+                .schedule_at(
+                    SimTime::ZERO + req.arrival_offset,
+                    Event::Arrival(req.clone()),
+                )
                 .expect("arrivals are in the future");
         }
 
@@ -221,7 +224,10 @@ impl OpenLoopSimulation {
             .size_next(&ctx, index, remaining)
             .clamp_to(Millicores::new(1), self.config.cluster.node_capacity);
 
-        let function = self.workflow.function(index).expect("index within workflow");
+        let function = self
+            .workflow
+            .function(index)
+            .expect("index within workflow");
         let acquisition = pool.acquire(function.name(), size, now);
         let _ = cluster.resize(acquisition.pod, size);
         if cluster.node_of(acquisition.pod).is_none() {
@@ -266,12 +272,14 @@ mod tests {
     #[test]
     fn open_loop_serves_every_request_exactly_once() {
         let ia = intelligent_assistant();
-        let sim = OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
         let reqs = RequestInputGenerator::new(9, SimDuration::from_millis(200.0)).generate(&ia, 80);
-        let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000));
+        let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
         let report = sim.run(&mut policy, &reqs);
         assert_eq!(report.len(), 80);
-        let ids: std::collections::HashSet<u64> = report.outcomes.iter().map(|o| o.request_id).collect();
+        let ids: std::collections::HashSet<u64> =
+            report.outcomes.iter().map(|o| o.request_id).collect();
         assert_eq!(ids.len(), 80);
         for o in &report.outcomes {
             assert_eq!(o.allocations.len(), 3);
@@ -282,12 +290,14 @@ mod tests {
     #[test]
     fn heavier_load_increases_latency_via_interference() {
         let ia = intelligent_assistant();
-        let sim = OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
-        let light = RequestInputGenerator::new(5, SimDuration::from_millis(3000.0)).generate(&ia, 60);
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let light =
+            RequestInputGenerator::new(5, SimDuration::from_millis(3000.0)).generate(&ia, 60);
         let heavy = RequestInputGenerator::new(5, SimDuration::from_millis(50.0)).generate(&ia, 60);
-        let mut p1 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000));
+        let mut p1 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
         let light_report = sim.run(&mut p1, &light);
-        let mut p2 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000));
+        let mut p2 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
         let heavy_report = sim.run(&mut p2, &heavy);
         // With 50 ms inter-arrival many requests overlap, co-locating pods of
         // the same function and prolonging execution.
@@ -302,29 +312,37 @@ mod tests {
         // loop degenerates to the closed loop's behaviour (modulo warm-pool
         // state differences in startup delays).
         let ia = intelligent_assistant();
-        let sim = OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
-        let mut reqs =
-            RequestInputGenerator::new(11, SimDuration::ZERO).generate(&ia, 20);
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let mut reqs = RequestInputGenerator::new(11, SimDuration::ZERO).generate(&ia, 20);
         for (i, r) in reqs.iter_mut().enumerate() {
             // Deterministically spaced far apart so executions never overlap.
             r.arrival_offset = SimDuration::from_secs(100.0 * i as f64);
         }
-        let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2500));
+        let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2500)).unwrap();
         let open = sim.run(&mut policy, &reqs);
         let exec = crate::executor::ClosedLoopExecutor::new(
             ia.clone(),
             crate::executor::ExecutorConfig::paper_serving(SimDuration::from_secs(3.0), 1),
         );
-        let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2500));
+        let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2500)).unwrap();
         let closed = exec.run(&mut policy, &reqs);
         // Same inputs, same allocations: execution times must match exactly.
         for (o, c) in open.outcomes.iter().zip(closed.outcomes.iter()) {
             assert_eq!(o.request_id, c.request_id);
-            for (i, (a, b)) in o.function_latencies.iter().zip(c.function_latencies.iter()).enumerate() {
+            for (i, (a, b)) in o
+                .function_latencies
+                .iter()
+                .zip(c.function_latencies.iter())
+                .enumerate()
+            {
                 assert!(
                     (a.as_millis() - b.as_millis()).abs() < 1e-9,
                     "req {} fn {}: open {} vs closed {}",
-                    o.request_id, i, a.as_millis(), b.as_millis()
+                    o.request_id,
+                    i,
+                    a.as_millis(),
+                    b.as_millis()
                 );
             }
         }

@@ -116,7 +116,10 @@ impl ServingReport {
 
     /// Total hint-table misses across all requests.
     pub fn total_misses(&self) -> u64 {
-        self.outcomes.iter().map(|o| u64::from(o.adaptation_misses)).sum()
+        self.outcomes
+            .iter()
+            .map(|o| u64::from(o.adaptation_misses))
+            .sum()
     }
 
     /// Mean per-request CPU of this report divided by that of `baseline` —
@@ -150,7 +153,10 @@ mod tests {
             request_id: id,
             e2e: SimDuration::from_millis(e2e_ms),
             allocations: cpu.iter().map(|&c| Millicores::new(c)).collect(),
-            function_latencies: vec![SimDuration::from_millis(e2e_ms / cpu.len() as f64); cpu.len()],
+            function_latencies: vec![
+                SimDuration::from_millis(e2e_ms / cpu.len() as f64);
+                cpu.len()
+            ],
             slo_met: e2e_ms <= slo_ms,
             adaptation_misses: 0,
         }
@@ -179,7 +185,11 @@ mod tests {
 
     #[test]
     fn report_aggregates_cpu_and_violations() {
-        let r = report("janus", &[1000, 1000, 1000], &[2000.0, 2500.0, 3500.0, 2800.0]);
+        let r = report(
+            "janus",
+            &[1000, 1000, 1000],
+            &[2000.0, 2500.0, 3500.0, 2800.0],
+        );
         assert_eq!(r.len(), 4);
         assert!(!r.is_empty());
         assert_eq!(r.mean_cpu_millicores(), 3000.0);

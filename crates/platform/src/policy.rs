@@ -74,20 +74,27 @@ pub struct FixedSizingPolicy {
 
 impl FixedSizingPolicy {
     /// Create a fixed policy from per-function sizes.
-    pub fn new(name: impl Into<String>, sizes: Vec<Millicores>) -> Self {
-        FixedSizingPolicy {
-            name: name.into(),
-            sizes,
+    ///
+    /// The size vector must be non-empty — `size_next` answers for *every*
+    /// function index (out-of-range indices fall back to the last size), so
+    /// an empty vector would leave it with no answer at all.
+    pub fn new(name: impl Into<String>, sizes: Vec<Millicores>) -> Result<Self, String> {
+        let name = name.into();
+        if sizes.is_empty() {
+            return Err(format!("fixed policy `{name}` needs at least one size"));
         }
+        Ok(FixedSizingPolicy { name, sizes })
     }
 
     /// Create a fixed policy assigning the same size to every function of
-    /// `workflow` (GrandSLAM's "identical sizes" constraint).
-    pub fn uniform(name: impl Into<String>, workflow: &Workflow, size: Millicores) -> Self {
-        FixedSizingPolicy {
-            name: name.into(),
-            sizes: vec![size; workflow.len()],
-        }
+    /// `workflow` (GrandSLAM's "identical sizes" constraint). Fails on an
+    /// empty workflow for the same reason as [`new`](Self::new).
+    pub fn uniform(
+        name: impl Into<String>,
+        workflow: &Workflow,
+        size: Millicores,
+    ) -> Result<Self, String> {
+        Self::new(name, vec![size; workflow.len()])
     }
 
     /// The configured sizes.
@@ -118,8 +125,9 @@ impl SizingPolicy for FixedSizingPolicy {
     ) -> Millicores {
         self.sizes
             .get(index)
+            .or_else(|| self.sizes.last())
             .copied()
-            .unwrap_or_else(|| *self.sizes.last().expect("fixed policy has at least one size"))
+            .expect("constructor guarantees a non-empty size vector")
     }
 }
 
@@ -141,14 +149,28 @@ mod tests {
     fn fixed_policy_returns_configured_sizes() {
         let mut p = FixedSizingPolicy::new(
             "fixed",
-            vec![Millicores::new(2000), Millicores::new(1500), Millicores::new(1000)],
-        );
+            vec![
+                Millicores::new(2000),
+                Millicores::new(1500),
+                Millicores::new(1000),
+            ],
+        )
+        .unwrap();
         assert_eq!(p.name(), "fixed");
         assert!(!p.is_late_binding());
-        assert_eq!(p.size_next(&ctx(), 0, SimDuration::from_secs(3.0)), Millicores::new(2000));
-        assert_eq!(p.size_next(&ctx(), 2, SimDuration::from_secs(0.1)), Millicores::new(1000));
+        assert_eq!(
+            p.size_next(&ctx(), 0, SimDuration::from_secs(3.0)),
+            Millicores::new(2000)
+        );
+        assert_eq!(
+            p.size_next(&ctx(), 2, SimDuration::from_secs(0.1)),
+            Millicores::new(1000)
+        );
         // Out-of-range index falls back to the last size instead of panicking.
-        assert_eq!(p.size_next(&ctx(), 9, SimDuration::ZERO), Millicores::new(1000));
+        assert_eq!(
+            p.size_next(&ctx(), 9, SimDuration::ZERO),
+            Millicores::new(1000)
+        );
         assert_eq!(p.total(), Millicores::new(4500));
         assert_eq!(p.mean_decision_time_us(), None);
     }
@@ -156,8 +178,14 @@ mod tests {
     #[test]
     fn uniform_policy_matches_workflow_length() {
         let ia = intelligent_assistant();
-        let p = FixedSizingPolicy::uniform("grandslam", &ia, Millicores::new(2200));
+        let p = FixedSizingPolicy::uniform("grandslam", &ia, Millicores::new(2200)).unwrap();
         assert_eq!(p.sizes().len(), 3);
         assert!(p.sizes().iter().all(|&s| s == Millicores::new(2200)));
+    }
+
+    #[test]
+    fn empty_size_vectors_are_rejected_instead_of_panicking_later() {
+        let err = FixedSizingPolicy::new("empty", Vec::new()).unwrap_err();
+        assert!(err.contains("at least one size"), "{err}");
     }
 }

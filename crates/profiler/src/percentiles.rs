@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A percentile in the open interval (0, 100).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Percentile(f64);
 
 impl Percentile {
@@ -52,6 +52,12 @@ impl fmt::Display for Percentile {
 }
 
 impl Eq for Percentile {}
+
+impl PartialOrd for Percentile {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl Ord for Percentile {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -178,7 +184,10 @@ mod tests {
     fn stricter_tail_grid() {
         let g = PercentileGrid::with_tail(Percentile::new(99.9).unwrap()).unwrap();
         assert_eq!(g.tail().value(), 99.9);
-        assert!(g.values().iter().all(|p| p.value() < 99.0 || p.value() == 99.9));
+        assert!(g
+            .values()
+            .iter()
+            .all(|p| p.value() < 99.0 || p.value() == 99.9));
         assert!(PercentileGrid::with_tail(Percentile::P50).is_err());
     }
 

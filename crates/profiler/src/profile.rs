@@ -103,9 +103,7 @@ impl FunctionProfile {
     /// The minimum allocation on the grid whose latency at percentile `p`
     /// stays within `budget`, or `None` if even `Kmax` cannot meet it.
     pub fn min_cores_for(&self, p: Percentile, budget: SimDuration) -> Option<Millicores> {
-        self.grid
-            .iter()
-            .find(|&mc| self.latency(p, mc) <= budget)
+        self.grid.iter().find(|&mc| self.latency(p, mc) <= budget)
     }
 
     /// All raw (sorted) samples at one allocation; used by tests and the
@@ -138,7 +136,10 @@ impl WorkflowProfile {
         }
         for f in &functions {
             if f.grid() != grid {
-                return Err(format!("function {} profiled on a different grid", f.function()));
+                return Err(format!(
+                    "function {} profiled on a different grid",
+                    f.function()
+                ));
             }
             if f.concurrency() != concurrency {
                 return Err(format!(
@@ -268,20 +269,27 @@ mod tests {
 
         // Timeout at the tail percentile is zero; resilience at Kmax is zero.
         assert!(p.timeout(Percentile::P99, mc, Percentile::P99).is_zero());
-        assert!(p.resilience(Percentile::P99, Millicores::new(3000)).is_zero());
+        assert!(p
+            .resilience(Percentile::P99, Millicores::new(3000))
+            .is_zero());
     }
 
     #[test]
     fn min_cores_for_budget_picks_smallest_feasible_allocation() {
         let p = synthetic("od", 100.0);
         // At P99 latency(k) = 199 * 1000/k; budget 150ms needs k >= 1327 -> 1400 on grid.
-        let mc = p.min_cores_for(Percentile::P99, SimDuration::from_millis(150.0)).unwrap();
+        let mc = p
+            .min_cores_for(Percentile::P99, SimDuration::from_millis(150.0))
+            .unwrap();
         assert_eq!(mc, Millicores::new(1400));
         // Impossible budget.
-        assert!(p.min_cores_for(Percentile::P99, SimDuration::from_millis(1.0)).is_none());
+        assert!(p
+            .min_cores_for(Percentile::P99, SimDuration::from_millis(1.0))
+            .is_none());
         // Budget loose enough for Kmin.
         assert_eq!(
-            p.min_cores_for(Percentile::P99, SimDuration::from_millis(500.0)).unwrap(),
+            p.min_cores_for(Percentile::P99, SimDuration::from_millis(500.0))
+                .unwrap(),
             Millicores::new(1000)
         );
     }
@@ -316,7 +324,11 @@ mod tests {
             "ia",
             1,
             CoreGrid::paper_default(),
-            vec![synthetic("od", 100.0), synthetic("qa", 80.0), synthetic("ts", 60.0)],
+            vec![
+                synthetic("od", 100.0),
+                synthetic("qa", 80.0),
+                synthetic("ts", 60.0),
+            ],
         )
         .unwrap();
         assert_eq!(wf.len(), 3);
@@ -335,7 +347,11 @@ mod tests {
             "ia",
             1,
             CoreGrid::paper_default(),
-            vec![synthetic("od", 100.0), synthetic("qa", 80.0), synthetic("ts", 60.0)],
+            vec![
+                synthetic("od", 100.0),
+                synthetic("qa", 80.0),
+                synthetic("ts", 60.0),
+            ],
         )
         .unwrap();
         let tail = wf.suffix(1).unwrap();
@@ -356,6 +372,9 @@ mod tests {
         assert!(WorkflowProfile::new("ia", 1, grid, vec![mismatched]).is_err());
         assert!(WorkflowProfile::new("ia", 1, grid, vec![]).is_err());
         let ok = synthetic("od", 10.0);
-        assert!(WorkflowProfile::new("ia", 2, grid, vec![ok]).is_err(), "concurrency mismatch");
+        assert!(
+            WorkflowProfile::new("ia", 2, grid, vec![ok]).is_err(),
+            "concurrency mismatch"
+        );
     }
 }

@@ -222,8 +222,16 @@ mod tests {
         let d_low_cores = p.timeout(Percentile::P50, Millicores::new(1000), Percentile::P99);
         let d_high_cores = p.timeout(Percentile::P50, Millicores::new(3000), Percentile::P99);
         assert!(d_high_cores < d_low_cores);
-        let d_p25 = p.timeout(Percentile::new(25.0).unwrap(), Millicores::new(2000), Percentile::P99);
-        let d_p75 = p.timeout(Percentile::new(75.0).unwrap(), Millicores::new(2000), Percentile::P99);
+        let d_p25 = p.timeout(
+            Percentile::new(25.0).unwrap(),
+            Millicores::new(2000),
+            Percentile::P99,
+        );
+        let d_p75 = p.timeout(
+            Percentile::new(75.0).unwrap(),
+            Millicores::new(2000),
+            Percentile::P99,
+        );
         assert!(d_p75 < d_p25);
     }
 

@@ -57,10 +57,14 @@ impl ClusterConfig {
     /// Validate the configuration.
     pub fn validate(&self) -> SimResult<()> {
         if self.nodes == 0 {
-            return Err(SimError::InvalidConfig("cluster needs at least one node".into()));
+            return Err(SimError::InvalidConfig(
+                "cluster needs at least one node".into(),
+            ));
         }
         if self.node_capacity.get() == 0 {
-            return Err(SimError::InvalidConfig("node capacity must be positive".into()));
+            return Err(SimError::InvalidConfig(
+                "node capacity must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -127,9 +131,7 @@ impl Cluster {
             PlacementPolicy::PackSameFunction => fitting
                 .max_by_key(|(_, n)| (n.colocated_count(function), n.free().get()))
                 .map(|(i, _)| i),
-            PlacementPolicy::Spread => fitting
-                .max_by_key(|(_, n)| n.free().get())
-                .map(|(i, _)| i),
+            PlacementPolicy::Spread => fitting.max_by_key(|(_, n)| n.free().get()).map(|(i, _)| i),
         }
     }
 
@@ -226,8 +228,10 @@ mod tests {
         c.place(PodId(1), "od", Millicores::new(1000)).unwrap();
         c.place(PodId(2), "od", Millicores::new(1000)).unwrap();
         c.place(PodId(3), "od", Millicores::new(1000)).unwrap();
-        let nodes: std::collections::HashSet<_> =
-            [PodId(1), PodId(2), PodId(3)].iter().map(|p| c.node_of(*p).unwrap()).collect();
+        let nodes: std::collections::HashSet<_> = [PodId(1), PodId(2), PodId(3)]
+            .iter()
+            .map(|p| c.node_of(*p).unwrap())
+            .collect();
         assert_eq!(nodes.len(), 3, "spread places each pod on its own node");
         assert_eq!(c.colocation_degree(PodId(1), "od"), 1);
     }

@@ -103,7 +103,10 @@ impl<E> Engine<E> {
                 return None;
             }
         }
-        debug_assert!(ev.at >= self.now, "event queue produced an event in the past");
+        debug_assert!(
+            ev.at >= self.now,
+            "event queue produced an event in the past"
+        );
         self.now = ev.at;
         self.processed += 1;
         Some(ev)
@@ -178,7 +181,9 @@ mod tests {
         engine.schedule_in(SimDuration::from_millis(10.0), 1);
         engine.next_event();
         assert_eq!(engine.now().as_millis(), 10.0);
-        let err = engine.schedule_at(SimTime::from_millis(5.0), 2).unwrap_err();
+        let err = engine
+            .schedule_at(SimTime::from_millis(5.0), 2)
+            .unwrap_err();
         assert!(matches!(err, SimError::TimeTravel { .. }));
     }
 

@@ -48,7 +48,10 @@ impl fmt::Display for SimError {
                 write!(f, "invalid transition on {entity}: {detail}")
             }
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            SimError::TimeTravel { now_ms, requested_ms } => write!(
+            SimError::TimeTravel {
+                now_ms,
+                requested_ms,
+            } => write!(
                 f,
                 "cannot schedule event at {requested_ms}ms before current time {now_ms}ms"
             ),

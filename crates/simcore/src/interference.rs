@@ -92,16 +92,31 @@ impl InterferenceModel {
     /// Network ≈ 8.1×.
     pub fn paper_calibrated() -> Self {
         InterferenceModel {
-            cpu: SlowdownCurve { coeff: 0.18, exp: 1.0 },
-            memory: SlowdownCurve { coeff: 0.55, exp: 1.28 },
-            io: SlowdownCurve { coeff: 0.33, exp: 1.23 },
-            network: SlowdownCurve { coeff: 0.80, exp: 1.35 },
+            cpu: SlowdownCurve {
+                coeff: 0.18,
+                exp: 1.0,
+            },
+            memory: SlowdownCurve {
+                coeff: 0.55,
+                exp: 1.28,
+            },
+            io: SlowdownCurve {
+                coeff: 0.33,
+                exp: 1.23,
+            },
+            network: SlowdownCurve {
+                coeff: 0.80,
+                exp: 1.35,
+            },
         }
     }
 
     /// A model with no interference at all (ablation / unit-test baseline).
     pub fn none() -> Self {
-        let flat = SlowdownCurve { coeff: 0.0, exp: 1.0 };
+        let flat = SlowdownCurve {
+            coeff: 0.0,
+            exp: 1.0,
+        };
         InterferenceModel {
             cpu: flat,
             memory: flat,
@@ -173,7 +188,10 @@ mod tests {
         let cpu6 = m.slowdown(ResourceDimension::Cpu, 6);
         assert!(net6 > 7.0 && net6 < 9.5, "network worst (~8.1x): {net6}");
         assert!(cpu6 > 1.5 && cpu6 < 2.5, "cpu mildest (~1.9x): {cpu6}");
-        assert!(net6 > mem6 && mem6 > io6 && io6 > cpu6, "ordering per Fig 1c");
+        assert!(
+            net6 > mem6 && mem6 > io6 && io6 > cpu6,
+            "ordering per Fig 1c"
+        );
     }
 
     #[test]
@@ -188,8 +206,13 @@ mod tests {
 
     #[test]
     fn with_curve_overrides_one_dimension() {
-        let m = InterferenceModel::none()
-            .with_curve(ResourceDimension::Cpu, SlowdownCurve { coeff: 1.0, exp: 1.0 });
+        let m = InterferenceModel::none().with_curve(
+            ResourceDimension::Cpu,
+            SlowdownCurve {
+                coeff: 1.0,
+                exp: 1.0,
+            },
+        );
         assert_eq!(m.slowdown(ResourceDimension::Cpu, 3), 3.0);
         assert_eq!(m.slowdown(ResourceDimension::Memory, 3), 1.0);
     }

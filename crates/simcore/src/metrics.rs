@@ -2,14 +2,14 @@
 //!
 //! The evaluation harness records many named counters (SLO violations, hint
 //! misses, cold starts) and sample streams (E2E latency, per-request CPU).
-//! This registry is intentionally simple and thread-safe so the rayon-parallel
+//! This registry is intentionally simple and thread-safe so the thread-parallel
 //! synthesizer and concurrent serving loops can share one instance.
 
 use crate::stats::Summary;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// A named, thread-safe metrics registry of counters and sample series.
 #[derive(Debug, Default)]
@@ -25,10 +25,15 @@ impl MetricsRegistry {
     }
 
     fn counter_handle(&self, name: &str) -> Arc<AtomicU64> {
-        if let Some(c) = self.counters.read().get(name) {
+        if let Some(c) = self
+            .counters
+            .read()
+            .expect("metrics lock poisoned")
+            .get(name)
+        {
             return Arc::clone(c);
         }
-        let mut write = self.counters.write();
+        let mut write = self.counters.write().expect("metrics lock poisoned");
         Arc::clone(
             write
                 .entry(name.to_string())
@@ -37,10 +42,15 @@ impl MetricsRegistry {
     }
 
     fn series_handle(&self, name: &str) -> Arc<RwLock<Vec<f64>>> {
-        if let Some(s) = self.samples.read().get(name) {
+        if let Some(s) = self
+            .samples
+            .read()
+            .expect("metrics lock poisoned")
+            .get(name)
+        {
             return Arc::clone(s);
         }
-        let mut write = self.samples.write();
+        let mut write = self.samples.write().expect("metrics lock poisoned");
         Arc::clone(
             write
                 .entry(name.to_string())
@@ -50,13 +60,15 @@ impl MetricsRegistry {
 
     /// Increment a counter by `delta`.
     pub fn incr(&self, name: &str, delta: u64) {
-        self.counter_handle(name).fetch_add(delta, Ordering::Relaxed);
+        self.counter_handle(name)
+            .fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Read a counter (0 if it was never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
             .read()
+            .expect("metrics lock poisoned")
             .get(name)
             .map(|c| c.load(Ordering::Relaxed))
             .unwrap_or(0)
@@ -64,15 +76,19 @@ impl MetricsRegistry {
 
     /// Append an observation to a sample series.
     pub fn record(&self, name: &str, value: f64) {
-        self.series_handle(name).write().push(value);
+        self.series_handle(name)
+            .write()
+            .expect("metrics lock poisoned")
+            .push(value);
     }
 
     /// Snapshot of a sample series (empty if never recorded).
     pub fn series(&self, name: &str) -> Vec<f64> {
         self.samples
             .read()
+            .expect("metrics lock poisoned")
             .get(name)
-            .map(|s| s.read().clone())
+            .map(|s| s.read().expect("metrics lock poisoned").clone())
             .unwrap_or_default()
     }
 
@@ -84,22 +100,37 @@ impl MetricsRegistry {
 
     /// Names of all counters.
     pub fn counter_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.counters.read().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .counters
+            .read()
+            .expect("metrics lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
         names.sort();
         names
     }
 
     /// Names of all sample series.
     pub fn series_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.samples.read().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .samples
+            .read()
+            .expect("metrics lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
         names.sort();
         names
     }
 
     /// Reset everything (used between experiment repetitions).
     pub fn reset(&self) {
-        self.counters.write().clear();
-        self.samples.write().clear();
+        self.counters
+            .write()
+            .expect("metrics lock poisoned")
+            .clear();
+        self.samples.write().expect("metrics lock poisoned").clear();
     }
 }
 

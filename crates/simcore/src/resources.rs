@@ -155,7 +155,7 @@ impl CoreGrid {
 
     /// True if `mc` lies exactly on the grid.
     pub fn contains(&self, mc: Millicores) -> bool {
-        mc >= self.min && mc <= self.max && (mc.get() - self.min.get()) % self.step == 0
+        mc >= self.min && mc <= self.max && (mc.get() - self.min.get()).is_multiple_of(self.step)
     }
 
     /// Index of a grid point (None if not on the grid).

@@ -4,38 +4,62 @@
 //! execution-time noise, interference jitter, trace synthesis) draws from a
 //! [`SimRng`] seeded explicitly, so experiments are reproducible bit-for-bit.
 //!
-//! `rand_distr` is not in the allowed dependency set, so the handful of
-//! distributions the paper's workloads need (log-normal, Zipf-like popularity,
-//! bounded integers) are implemented here directly on top of `rand`.
+//! External RNG crates are not in the allowed dependency set, so the
+//! generator itself — xoshiro256++ seeded through SplitMix64, the same
+//! construction `rand`'s `SmallRng` family uses — and the handful of
+//! distributions the paper's workloads need (log-normal, Zipf-like
+//! popularity, bounded integers) are implemented here directly.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// Deterministic RNG wrapper with the distribution samplers used by the
-/// workload and trace models.
+/// Deterministic RNG (xoshiro256++) with the distribution samplers used by
+/// the workload and trace models.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Create an RNG from an explicit 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state, as
+        // recommended by the xoshiro authors; guarantees a non-zero state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
+    }
+
+    /// Next raw 64-bit output of the generator.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3.rotate_left(45)];
+        result
     }
 
     /// Derive an independent child RNG. Used to give each function / request
     /// its own stream so reordering one experiment does not perturb another.
     pub fn fork(&mut self, tag: u64) -> SimRng {
-        let seed = self.inner.next_u64() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.next_u64() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from_u64(seed)
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard dyadic-rational mapping onto [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[low, high)`.
@@ -47,7 +71,14 @@ impl SimRng {
     /// Uniform integer in `[low, high]` (inclusive).
     pub fn int_range(&mut self, low: u64, high: u64) -> u64 {
         debug_assert!(high >= low);
-        self.inner.gen_range(low..=high)
+        let span = high - low;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Lemire's multiply-shift bounded sampling; the bias is < 2^-64 per
+        // draw, far below anything the statistical tests can resolve.
+        let range = span + 1;
+        low + ((u128::from(self.next_u64()) * u128::from(range)) >> 64) as u64
     }
 
     /// Standard normal sample via the Box–Muller transform.
@@ -118,13 +149,8 @@ impl SimRng {
     /// Pick one element of a slice uniformly at random.
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         assert!(!items.is_empty(), "cannot choose from an empty slice");
-        let idx = self.inner.gen_range(0..items.len());
+        let idx = self.int_range(0, items.len() as u64 - 1) as usize;
         &items[idx]
-    }
-
-    /// Access to the raw `rand::Rng` for callers that need other primitives.
-    pub fn raw(&mut self) -> &mut impl Rng {
-        &mut self.inner
     }
 }
 
@@ -149,6 +175,15 @@ mod tests {
         let s1: Vec<f64> = (0..10).map(|_| fork1.uniform()).collect();
         let s2: Vec<f64> = (0..10).map(|_| fork2.uniform()).collect();
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn uniform_stays_in_the_half_open_interval() {
+        let mut rng = SimRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let v = rng.uniform();
+            assert!((0.0..1.0).contains(&v), "out of range: {v}");
+        }
     }
 
     #[test]

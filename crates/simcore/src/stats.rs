@@ -25,7 +25,10 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
 /// builds if the slice is not sorted.
 pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

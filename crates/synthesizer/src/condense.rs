@@ -145,7 +145,13 @@ mod tests {
         // rows yields the same head size.
         let raw: Vec<RawHint> = (0..500)
             .map(|i| {
-                let head = if i < 200 { 3000 } else if i < 350 { 2000 } else { 1000 };
+                let head = if i < 200 {
+                    3000
+                } else if i < 350 {
+                    2000
+                } else {
+                    1000
+                };
                 hint(1000.0 + i as f64, head)
             })
             .collect();

@@ -65,7 +65,10 @@ impl GenerationConfig {
             return Err(format!("weight must be >= 1, got {}", self.weight));
         }
         if !(self.budget_step_ms.is_finite() && self.budget_step_ms >= 0.1) {
-            return Err(format!("budget step must be >= 0.1 ms, got {}", self.budget_step_ms));
+            return Err(format!(
+                "budget step must be >= 0.1 ms, got {}",
+                self.budget_step_ms
+            ));
         }
         Ok(())
     }
@@ -210,14 +213,20 @@ impl<'a> HintGenerator<'a> {
             .map(|&p| Cand {
                 percentile: p,
                 prob: p.probability(),
-                latency: grid.iter().map(|mc| func.latency(p, mc).as_millis()).collect(),
+                latency: grid
+                    .iter()
+                    .map(|mc| func.latency(p, mc).as_millis())
+                    .collect(),
                 timeout: grid
                     .iter()
                     .map(|mc| func.timeout(p, mc, tail).as_millis())
                     .collect(),
             })
             .collect();
-        let tail_latency: Vec<f64> = grid.iter().map(|mc| func.latency(tail, mc).as_millis()).collect();
+        let tail_latency: Vec<f64> = grid
+            .iter()
+            .map(|mc| func.latency(tail, mc).as_millis())
+            .collect();
         let tail_resilience: Vec<f64> = grid
             .iter()
             .map(|mc| func.resilience(tail, mc).as_millis())
@@ -243,12 +252,7 @@ impl<'a> HintGenerator<'a> {
                                 // so exploration is disabled for it (the
                                 // `explore` flag already guarantees this).
                                 let k = f64::from(mc.get());
-                                (
-                                    weight * k,
-                                    k,
-                                    tail_resilience[ki],
-                                    tail_latency[ki],
-                                )
+                                (weight * k, k, tail_resilience[ki], tail_latency[ki])
                             }
                             Some(down) => {
                                 let residual = (budget - head_latency).floor();
@@ -284,7 +288,7 @@ impl<'a> HintGenerator<'a> {
                                 head_cores: mc,
                                 head_percentile: cand.percentile,
                                 expected_cost: cost,
-                                planned_cores: planned_cores,
+                                planned_cores,
                                 resilience_ms: resilience,
                                 planned_latency_ms: planned_latency,
                             };
@@ -372,9 +376,8 @@ impl<'a> HintGenerator<'a> {
     ) -> (HintsTable, Vec<RawHint>) {
         let low = self.config.percentiles.lowest();
         let tail = self.tail();
-        let (from, to) = range.unwrap_or_else(|| {
-            (self.profile.min_budget(low), self.profile.max_budget(tail))
-        });
+        let (from, to) =
+            range.unwrap_or_else(|| (self.profile.min_budget(low), self.profile.max_budget(tail)));
         let raw = self.sweep(from, to);
         let rows = crate::condense::condense(&raw);
         let table = HintsTable::new(suffix_start, raw.len(), rows)

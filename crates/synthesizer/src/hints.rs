@@ -90,7 +90,10 @@ impl HintsTable {
         }
         for r in &rows {
             if r.start_ms > r.end_ms {
-                return Err(format!("hint row has start {} > end {}", r.start_ms, r.end_ms));
+                return Err(format!(
+                    "hint row has start {} > end {}",
+                    r.start_ms, r.end_ms
+                ));
             }
         }
         Ok(HintsTable {
@@ -210,13 +213,110 @@ impl HintsBundle {
 
     /// Serialise the bundle to JSON — the artefact "submitted to the adapter
     /// on the serverless platform".
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> Result<String, String> {
+        use crate::json::Value;
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                let rows = t
+                    .rows()
+                    .iter()
+                    .map(|r| {
+                        Value::Obj(vec![
+                            ("start_ms".into(), Value::Num(r.start_ms)),
+                            ("end_ms".into(), Value::Num(r.end_ms)),
+                            (
+                                "head_cores".into(),
+                                Value::Num(f64::from(r.head_cores.get())),
+                            ),
+                            (
+                                "head_percentile".into(),
+                                Value::Num(r.head_percentile.value()),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Value::Obj(vec![
+                    ("suffix_start".into(), Value::Num(t.suffix_start as f64)),
+                    ("raw_hint_count".into(), Value::Num(t.raw_hint_count as f64)),
+                    ("rows".into(), Value::Arr(rows)),
+                ])
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            ("workflow".into(), Value::Str(self.workflow.clone())),
+            (
+                "concurrency".into(),
+                Value::Num(f64::from(self.concurrency)),
+            ),
+            ("weight".into(), Value::Num(self.weight)),
+            ("tables".into(), Value::Arr(tables)),
+        ]);
+        Ok(doc.to_pretty())
     }
 
-    /// Parse a bundle from JSON.
-    pub fn from_json(s: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(s)
+    /// Parse a bundle from JSON, re-validating every table invariant.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let doc = crate::json::parse(s)?;
+        let num = |v: &crate::json::Value, field: &str| -> Result<f64, String> {
+            v.require(field)?
+                .as_f64()
+                .ok_or_else(|| format!("field `{field}` is not a number"))
+        };
+        // `as` casts would silently saturate negative / fractional values;
+        // reject them instead, like a typed deserializer would.
+        let uint = |v: &crate::json::Value, field: &str| -> Result<u64, String> {
+            let n = num(v, field)?;
+            if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64) {
+                return Err(format!(
+                    "field `{field}` must be a non-negative integer, got {n}"
+                ));
+            }
+            Ok(n as u64)
+        };
+        let workflow = doc
+            .require("workflow")?
+            .as_str()
+            .ok_or("field `workflow` is not a string")?
+            .to_string();
+        let concurrency = u32::try_from(uint(&doc, "concurrency")?)
+            .map_err(|_| "field `concurrency` exceeds u32::MAX".to_string())?;
+        let weight = num(&doc, "weight")?;
+        let mut tables = Vec::new();
+        for t in doc
+            .require("tables")?
+            .as_array()
+            .ok_or("field `tables` is not an array")?
+        {
+            let mut rows = Vec::new();
+            for r in t
+                .require("rows")?
+                .as_array()
+                .ok_or("field `rows` is not an array")?
+            {
+                rows.push(CondensedHint {
+                    start_ms: num(r, "start_ms")?,
+                    end_ms: num(r, "end_ms")?,
+                    head_cores: Millicores::new(
+                        u32::try_from(uint(r, "head_cores")?)
+                            .map_err(|_| "field `head_cores` exceeds u32::MAX".to_string())?,
+                    ),
+                    head_percentile: Percentile::new(num(r, "head_percentile")?)?,
+                });
+            }
+            tables.push(HintsTable::new(
+                uint(t, "suffix_start")? as usize,
+                uint(t, "raw_hint_count")? as usize,
+                rows,
+            )?);
+        }
+        Ok(HintsBundle {
+            workflow,
+            concurrency,
+            weight,
+            tables,
+        })
     }
 }
 
@@ -237,7 +337,11 @@ mod tests {
         HintsTable::new(
             0,
             3000,
-            vec![row(1000.0, 1499.0, 3000), row(1500.0, 2199.0, 2000), row(2200.0, 4000.0, 1000)],
+            vec![
+                row(1000.0, 1499.0, 3000),
+                row(1500.0, 2199.0, 2000),
+                row(2200.0, 4000.0, 1000),
+            ],
         )
         .unwrap()
     }
@@ -247,48 +351,75 @@ mod tests {
         let t = table();
         assert_eq!(
             t.lookup(SimDuration::from_millis(1200.0)),
-            LookupOutcome::Hit { head_cores: Millicores::new(3000) }
+            LookupOutcome::Hit {
+                head_cores: Millicores::new(3000)
+            }
         );
         assert_eq!(
             t.lookup(SimDuration::from_millis(1500.0)),
-            LookupOutcome::Hit { head_cores: Millicores::new(2000) }
+            LookupOutcome::Hit {
+                head_cores: Millicores::new(2000)
+            }
         );
         assert_eq!(
             t.lookup(SimDuration::from_millis(2199.0)),
-            LookupOutcome::Hit { head_cores: Millicores::new(2000) }
+            LookupOutcome::Hit {
+                head_cores: Millicores::new(2000)
+            }
         );
         assert_eq!(
             t.lookup(SimDuration::from_millis(3000.0)),
-            LookupOutcome::Hit { head_cores: Millicores::new(1000) }
+            LookupOutcome::Hit {
+                head_cores: Millicores::new(1000)
+            }
         );
     }
 
     #[test]
     fn lookup_below_range_misses_and_above_range_uses_cheapest() {
         let t = table();
-        assert_eq!(t.lookup(SimDuration::from_millis(500.0)), LookupOutcome::Miss);
+        assert_eq!(
+            t.lookup(SimDuration::from_millis(500.0)),
+            LookupOutcome::Miss
+        );
         assert!(!t.lookup(SimDuration::from_millis(500.0)).is_hit());
         assert_eq!(
             t.lookup(SimDuration::from_millis(9999.0)),
-            LookupOutcome::AboveRange { head_cores: Millicores::new(1000) }
+            LookupOutcome::AboveRange {
+                head_cores: Millicores::new(1000)
+            }
         );
-        assert!(t
-            .lookup(SimDuration::from_millis(9999.0))
-            .is_hit());
+        assert!(t.lookup(SimDuration::from_millis(9999.0)).is_hit());
     }
 
     #[test]
     fn gaps_between_rows_are_misses() {
-        let t = HintsTable::new(0, 10, vec![row(1000.0, 1100.0, 2000), row(1500.0, 1600.0, 1000)]).unwrap();
-        assert_eq!(t.lookup(SimDuration::from_millis(1300.0)), LookupOutcome::Miss);
+        let t = HintsTable::new(
+            0,
+            10,
+            vec![row(1000.0, 1100.0, 2000), row(1500.0, 1600.0, 1000)],
+        )
+        .unwrap();
+        assert_eq!(
+            t.lookup(SimDuration::from_millis(1300.0)),
+            LookupOutcome::Miss
+        );
     }
 
     #[test]
     fn overlapping_or_inverted_rows_are_rejected() {
-        assert!(HintsTable::new(0, 10, vec![row(1000.0, 1600.0, 2000), row(1500.0, 1700.0, 1000)]).is_err());
+        assert!(HintsTable::new(
+            0,
+            10,
+            vec![row(1000.0, 1600.0, 2000), row(1500.0, 1700.0, 1000)]
+        )
+        .is_err());
         assert!(HintsTable::new(0, 10, vec![row(1000.0, 900.0, 2000)]).is_err());
         let empty = HintsTable::new(0, 0, vec![]).unwrap();
-        assert_eq!(empty.lookup(SimDuration::from_millis(100.0)), LookupOutcome::Miss);
+        assert_eq!(
+            empty.lookup(SimDuration::from_millis(100.0)),
+            LookupOutcome::Miss
+        );
         assert!(empty.is_empty());
         assert_eq!(empty.min_budget_ms(), None);
     }
@@ -308,7 +439,10 @@ mod tests {
             workflow: "IA".to_string(),
             concurrency: 1,
             weight: 1.0,
-            tables: vec![table(), HintsTable::new(1, 100, vec![row(500.0, 900.0, 1500)]).unwrap()],
+            tables: vec![
+                table(),
+                HintsTable::new(1, 100, vec![row(500.0, 900.0, 1500)]).unwrap(),
+            ],
         };
         assert_eq!(bundle.total_hints(), 4);
         assert_eq!(bundle.total_raw_hints(), 3100);
@@ -319,5 +453,33 @@ mod tests {
         let json = bundle.to_json().unwrap();
         let parsed = HintsBundle::from_json(&json).unwrap();
         assert_eq!(parsed, bundle);
+    }
+
+    #[test]
+    fn from_json_rejects_saturating_numeric_fields() {
+        let base = HintsBundle {
+            workflow: "IA".to_string(),
+            concurrency: 1,
+            weight: 1.0,
+            tables: vec![HintsTable::new(0, 10, vec![row(500.0, 900.0, 1500)]).unwrap()],
+        };
+        let json = base.to_json().unwrap();
+        // A negative allocation must not silently become 0 mc.
+        let err =
+            HintsBundle::from_json(&json.replace("\"head_cores\": 1500", "\"head_cores\": -5"))
+                .unwrap_err();
+        assert!(err.contains("head_cores"), "{err}");
+        // A fractional concurrency must not silently truncate.
+        let err =
+            HintsBundle::from_json(&json.replace("\"concurrency\": 1", "\"concurrency\": 2.7"))
+                .unwrap_err();
+        assert!(err.contains("concurrency"), "{err}");
+        // Non-finite weights encode as null, which the typed reader rejects.
+        let mut nan_bundle = base.clone();
+        nan_bundle.weight = f64::NAN;
+        let nan_json = nan_bundle.to_json().unwrap();
+        assert!(!nan_json.contains("NaN"), "output stays valid JSON");
+        let err = HintsBundle::from_json(&nan_json).unwrap_err();
+        assert!(err.contains("weight"), "{err}");
     }
 }

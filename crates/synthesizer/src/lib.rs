@@ -31,6 +31,7 @@
 pub mod condense;
 pub mod generation;
 pub mod hints;
+pub mod json;
 pub mod synthesizer;
 
 pub use condense::condense;

@@ -164,8 +164,8 @@ impl Synthesizer {
         let mut raw_total = 0usize;
         for start in 0..profile.len() {
             let suffix = profile.suffix(start).expect("suffix start in range");
-            let generator = HintGenerator::new(&suffix, &gen_config, horizon)
-                .expect("validated configuration");
+            let generator =
+                HintGenerator::new(&suffix, &gen_config, horizon).expect("validated configuration");
             let range = if start == 0 {
                 self.config
                     .full_range_ms
@@ -277,7 +277,11 @@ mod tests {
         assert_eq!(bundle.tables.len(), 3);
         assert_eq!(report.condensed_hints, bundle.total_hints());
         assert!(report.raw_hints > bundle.total_hints());
-        assert!(report.compression_ratio > 0.5, "compression {}", report.compression_ratio);
+        assert!(
+            report.compression_ratio > 0.5,
+            "compression {}",
+            report.compression_ratio
+        );
         // A 3 s budget must be a hit for the full workflow at concurrency 1.
         let full = bundle.table_after(0).unwrap();
         assert!(full.lookup(SimDuration::from_secs(3.0)).is_hit());
@@ -295,11 +299,20 @@ mod tests {
         let tight = table.lookup(SimDuration::from_millis(2850.0));
         let loose = table.lookup(SimDuration::from_millis(6000.0));
         let cores = |o: LookupOutcome| match o {
-            LookupOutcome::Hit { head_cores } | LookupOutcome::AboveRange { head_cores } => head_cores,
+            LookupOutcome::Hit { head_cores } | LookupOutcome::AboveRange { head_cores } => {
+                head_cores
+            }
             LookupOutcome::Miss => Millicores::ZERO,
         };
-        assert!(cores(tight) >= cores(loose), "tighter budgets need more cores");
-        assert_eq!(cores(loose), Millicores::new(1000), "loose budgets settle at Kmin");
+        assert!(
+            cores(tight) >= cores(loose),
+            "tighter budgets need more cores"
+        );
+        assert_eq!(
+            cores(loose),
+            Millicores::new(1000),
+            "loose budgets settle at Kmin"
+        );
     }
 
     #[test]
@@ -324,7 +337,10 @@ mod tests {
             .iter()
             .flat_map(|t| t.rows())
             .any(|r| r.head_percentile.value() < 99.0);
-        assert!(explored, "Janus should pick sub-P99 percentiles for some budgets");
+        assert!(
+            explored,
+            "Janus should pick sub-P99 percentiles for some budgets"
+        );
     }
 
     #[test]
@@ -345,13 +361,22 @@ mod tests {
             };
             let generator =
                 HintGenerator::new(&profile, &gen_cfg, SimDuration::from_secs(8.0)).unwrap();
-            generator.generate(budget).expect("3s budget feasible").expected_cost
+            generator
+                .generate(budget)
+                .expect("3s budget feasible")
+                .expected_cost
         };
         let janus = cores_for(ExplorationDepth::HeadOnly);
         let janus_minus = cores_for(ExplorationDepth::None);
         let janus_plus = cores_for(ExplorationDepth::HeadAndNext);
-        assert!(janus <= janus_minus + 1e-9, "Janus {janus} vs Janus- {janus_minus}");
-        assert!(janus_plus <= janus + 1e-9, "Janus+ {janus_plus} vs Janus {janus}");
+        assert!(
+            janus <= janus_minus + 1e-9,
+            "Janus {janus} vs Janus- {janus_minus}"
+        );
+        assert!(
+            janus_plus <= janus + 1e-9,
+            "Janus+ {janus_plus} vs Janus {janus}"
+        );
     }
 
     #[test]
@@ -361,16 +386,24 @@ mod tests {
         let synthesizer = Synthesizer::with_defaults();
         let results = synthesizer.synthesize_weights(&profile, &[1.0, 3.0]);
         assert_eq!(results.len(), 2);
-        let head_at = |bundle: &HintsBundle, budget_ms: f64| {
-            match bundle.table_after(0).unwrap().lookup(SimDuration::from_millis(budget_ms)) {
-                LookupOutcome::Hit { head_cores } | LookupOutcome::AboveRange { head_cores } => head_cores,
-                LookupOutcome::Miss => Millicores::new(u32::MAX),
+        let head_at = |bundle: &HintsBundle, budget_ms: f64| match bundle
+            .table_after(0)
+            .unwrap()
+            .lookup(SimDuration::from_millis(budget_ms))
+        {
+            LookupOutcome::Hit { head_cores } | LookupOutcome::AboveRange { head_cores } => {
+                head_cores
             }
+            LookupOutcome::Miss => Millicores::new(u32::MAX),
         };
         // Average over a few budgets in the interesting region.
         let budgets = [2800.0, 3000.0, 3200.0, 3600.0, 4000.0];
         let avg = |bundle: &HintsBundle| {
-            budgets.iter().map(|&b| f64::from(head_at(bundle, b).get())).sum::<f64>() / budgets.len() as f64
+            budgets
+                .iter()
+                .map(|&b| f64::from(head_at(bundle, b).get()))
+                .sum::<f64>()
+                / budgets.len() as f64
         };
         let w1 = avg(&results[0].0);
         let w3 = avg(&results[1].0);

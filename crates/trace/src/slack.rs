@@ -106,7 +106,7 @@ mod tests {
         let t = trace();
         let analysis = SlackAnalysis::from_trace(&t);
         let cdfs = analysis.cdfs(&t, 100);
-        assert_eq!(cdfs.all.len() + 0, t.len());
+        assert_eq!(cdfs.all.len(), t.len());
         // Every slack is within [0, 1].
         assert!(cdfs.all.samples().iter().all(|&s| (0.0..=1.0).contains(&s)));
         // §II-A: "more than 60% of function invocations have slacks over 60%".

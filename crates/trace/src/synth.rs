@@ -89,8 +89,7 @@ impl Trace {
             .map(|_| {
                 // zipf returns rank 1..=functions; rank 1 = most popular = id 0.
                 let function_id = rng.zipf(config.functions, config.popularity_exponent) - 1;
-                let duration_ms =
-                    medians[function_id] * rng.lognormal_noise(sigmas[function_id]);
+                let duration_ms = medians[function_id] * rng.lognormal_noise(sigmas[function_id]);
                 Invocation {
                     function_id,
                     duration_ms,
@@ -178,8 +177,16 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(Trace::generate(&TraceConfig { functions: 0, ..TraceConfig::default() }).is_err());
-        assert!(Trace::generate(&TraceConfig { invocations: 0, ..TraceConfig::default() }).is_err());
+        assert!(Trace::generate(&TraceConfig {
+            functions: 0,
+            ..TraceConfig::default()
+        })
+        .is_err());
+        assert!(Trace::generate(&TraceConfig {
+            invocations: 0,
+            ..TraceConfig::default()
+        })
+        .is_err());
         assert!(Trace::generate(&TraceConfig {
             sigma_range: (1.0, 0.5),
             ..TraceConfig::default()

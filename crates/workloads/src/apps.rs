@@ -14,8 +14,7 @@
 //!   batchable, so VA only runs at concurrency 1. SLO: 1.5 s.
 //!
 //! Calibration constants below were chosen so that the profile statistics the
-//! paper reports (tail ratios, SLO feasibility at Kmin/Kmax) hold; see
-//! EXPERIMENTS.md for the measured values.
+//! paper reports (tail ratios, SLO feasibility at Kmin/Kmax) hold.
 
 use crate::function::FunctionModel;
 use crate::latency::LatencyParams;
@@ -195,7 +194,11 @@ pub fn intelligent_assistant() -> Workflow {
 pub fn video_analyze() -> Workflow {
     Workflow::chain(
         "VA",
-        vec![frame_extraction(), image_classification(), image_compression()],
+        vec![
+            frame_extraction(),
+            image_classification(),
+            image_compression(),
+        ],
     )
     .expect("VA chain is valid")
 }
@@ -260,7 +263,11 @@ mod tests {
     #[test]
     fn va_functions_have_mild_tail_ratios() {
         // §V-A: VA P99/P50 between roughly 1.3 and 1.7.
-        for f in [frame_extraction(), image_classification(), image_compression()] {
+        for f in [
+            frame_extraction(),
+            image_classification(),
+            image_compression(),
+        ] {
             let r = tail_ratio(&f, 2000, 1, 13);
             assert!(r > 1.2 && r < 1.9, "{} tail ratio {r}", f.name());
         }
@@ -282,8 +289,14 @@ mod tests {
             .iter()
             .map(|f| f.deterministic_ms(Millicores::new(1000), 1))
             .sum();
-        assert!(at_kmax * 2.0 < 3000.0, "tail at Kmax fits in SLO: {at_kmax}");
-        assert!(at_kmin * 2.5 > 3000.0, "tail at Kmin exceeds SLO: {at_kmin}");
+        assert!(
+            at_kmax * 2.0 < 3000.0,
+            "tail at Kmax fits in SLO: {at_kmax}"
+        );
+        assert!(
+            at_kmin * 2.5 > 3000.0,
+            "tail at Kmin exceeds SLO: {at_kmin}"
+        );
     }
 
     #[test]
@@ -299,8 +312,14 @@ mod tests {
             .iter()
             .map(|f| f.deterministic_ms(Millicores::new(1000), 1))
             .sum();
-        assert!(at_kmax * 1.5 < 1500.0, "VA tail at Kmax fits 1.5s SLO: {at_kmax}");
-        assert!(at_kmin * 1.4 > 1500.0, "VA tail at Kmin stresses the SLO: {at_kmin}");
+        assert!(
+            at_kmax * 1.5 < 1500.0,
+            "VA tail at Kmax fits 1.5s SLO: {at_kmax}"
+        );
+        assert!(
+            at_kmin * 1.4 > 1500.0,
+            "VA tail at Kmin stresses the SLO: {at_kmin}"
+        );
     }
 
     #[test]
@@ -311,7 +330,10 @@ mod tests {
         let qa = question_answering();
         let r1 = tail_ratio(&qa, 2000, 1, 17);
         let r2 = tail_ratio(&qa, 2000, 2, 17);
-        assert!(r2 >= r1 * 0.95, "conc-2 ratio {r2} should not collapse vs {r1}");
+        assert!(
+            r2 >= r1 * 0.95,
+            "conc-2 ratio {r2} should not collapse vs {r1}"
+        );
     }
 
     #[test]

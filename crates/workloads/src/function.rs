@@ -97,7 +97,8 @@ impl FunctionModel {
     /// Deterministic execution time at allocation `mc` and requested batch
     /// size `batch` (nominal working set, no interference, no noise).
     pub fn deterministic_ms(&self, mc: Millicores, batch: u32) -> f64 {
-        self.params.deterministic_ms(mc, self.effective_batch(batch))
+        self.params
+            .deterministic_ms(mc, self.effective_batch(batch))
     }
 
     /// Sample the request-specific random factor (working-set scale × noise).
@@ -168,7 +169,11 @@ mod tests {
             "bad",
             ResourceDimension::Cpu,
             true,
-            LatencyParams { base_ms: -5.0, serial_fraction: 0.2, batch_overhead: 0.1 },
+            LatencyParams {
+                base_ms: -5.0,
+                serial_fraction: 0.2,
+                batch_overhead: 0.1
+            },
             WorksetDistribution::Constant,
             0.1,
         )
@@ -177,7 +182,11 @@ mod tests {
             "bad",
             ResourceDimension::Cpu,
             true,
-            LatencyParams { base_ms: 5.0, serial_fraction: 0.2, batch_overhead: 0.1 },
+            LatencyParams {
+                base_ms: 5.0,
+                serial_fraction: 0.2,
+                batch_overhead: 0.1
+            },
             WorksetDistribution::Constant,
             5.0,
         )
@@ -199,7 +208,11 @@ mod tests {
             "fe",
             ResourceDimension::Io,
             false,
-            LatencyParams { base_ms: 200.0, serial_fraction: 0.3, batch_overhead: 0.5 },
+            LatencyParams {
+                base_ms: 200.0,
+                serial_fraction: 0.3,
+                batch_overhead: 0.5,
+            },
             WorksetDistribution::Constant,
             0.0,
         )
@@ -211,7 +224,10 @@ mod tests {
         );
         let b = model();
         assert_eq!(b.effective_batch(3), 3);
-        assert!(b.deterministic_ms(Millicores::new(1000), 3) > b.deterministic_ms(Millicores::new(1000), 1));
+        assert!(
+            b.deterministic_ms(Millicores::new(1000), 3)
+                > b.deterministic_ms(Millicores::new(1000), 1)
+        );
     }
 
     #[test]
@@ -222,7 +238,8 @@ mod tests {
         let t1 = m.execution_time(Millicores::new(1000), 1, f, 1, &InterferenceModel::none());
         let t2 = m.execution_time(Millicores::new(3000), 1, f, 1, &InterferenceModel::none());
         // Same random factor: the ratio equals the deterministic ratio.
-        let expected = m.deterministic_ms(Millicores::new(1000), 1) / m.deterministic_ms(Millicores::new(3000), 1);
+        let expected = m.deterministic_ms(Millicores::new(1000), 1)
+            / m.deterministic_ms(Millicores::new(3000), 1);
         assert!(((t1 / t2) - expected).abs() < 1e-9);
     }
 
@@ -232,7 +249,11 @@ mod tests {
             "net",
             ResourceDimension::Network,
             true,
-            LatencyParams { base_ms: 100.0, serial_fraction: 0.2, batch_overhead: 0.1 },
+            LatencyParams {
+                base_ms: 100.0,
+                serial_fraction: 0.2,
+                batch_overhead: 0.1,
+            },
             WorksetDistribution::Constant,
             0.0,
         )

@@ -52,7 +52,9 @@ impl LatencyParams {
     /// Deterministic execution time (ms) at allocation `mc` and batch size
     /// `batch` for the nominal working set.
     pub fn deterministic_ms(&self, mc: Millicores, batch: u32) -> f64 {
-        self.base_ms * amdahl_speedup(self.serial_fraction, mc) * batch_factor(self.batch_overhead, batch)
+        self.base_ms
+            * amdahl_speedup(self.serial_fraction, mc)
+            * batch_factor(self.batch_overhead, batch)
     }
 }
 
@@ -101,8 +103,10 @@ mod tests {
     #[test]
     fn diminishing_returns_with_more_cores() {
         // Gain from 1000->2000 must exceed gain from 2000->3000 (Fig. 7b).
-        let g1 = amdahl_speedup(0.3, Millicores::new(1000)) - amdahl_speedup(0.3, Millicores::new(2000));
-        let g2 = amdahl_speedup(0.3, Millicores::new(2000)) - amdahl_speedup(0.3, Millicores::new(3000));
+        let g1 =
+            amdahl_speedup(0.3, Millicores::new(1000)) - amdahl_speedup(0.3, Millicores::new(2000));
+        let g2 =
+            amdahl_speedup(0.3, Millicores::new(2000)) - amdahl_speedup(0.3, Millicores::new(3000));
         assert!(g1 > g2);
     }
 
@@ -135,11 +139,23 @@ mod tests {
 
     #[test]
     fn invalid_params_are_rejected() {
-        let bad = LatencyParams { base_ms: -1.0, serial_fraction: 0.2, batch_overhead: 0.1 };
+        let bad = LatencyParams {
+            base_ms: -1.0,
+            serial_fraction: 0.2,
+            batch_overhead: 0.1,
+        };
         assert!(bad.validate().is_err());
-        let bad = LatencyParams { base_ms: 10.0, serial_fraction: 1.5, batch_overhead: 0.1 };
+        let bad = LatencyParams {
+            base_ms: 10.0,
+            serial_fraction: 1.5,
+            batch_overhead: 0.1,
+        };
         assert!(bad.validate().is_err());
-        let bad = LatencyParams { base_ms: 10.0, serial_fraction: 0.5, batch_overhead: 2.0 };
+        let bad = LatencyParams {
+            base_ms: 10.0,
+            serial_fraction: 0.5,
+            batch_overhead: 2.0,
+        };
         assert!(bad.validate().is_err());
     }
 }

@@ -101,7 +101,11 @@ mod tests {
         let fns = all();
         assert_eq!(fns.len(), 4);
         let dims: std::collections::HashSet<_> = fns.iter().map(|f| f.dominant()).collect();
-        assert_eq!(dims.len(), 4, "each microbenchmark stresses a distinct dimension");
+        assert_eq!(
+            dims.len(),
+            4,
+            "each microbenchmark stresses a distinct dimension"
+        );
     }
 
     #[test]
@@ -117,7 +121,10 @@ mod tests {
         let mem = slowdown(&memory_intensive());
         let io = slowdown(&io_intensive());
         let net = slowdown(&network_intensive());
-        assert!(net > mem && mem > io && io > cpu, "net {net}, mem {mem}, io {io}, cpu {cpu}");
+        assert!(
+            net > mem && mem > io && io > cpu,
+            "net {net}, mem {mem}, io {io}, cpu {cpu}"
+        );
         assert!(net > 7.0, "network-bound slowdown ~8.1x, got {net}");
         assert!(cpu < 2.5, "cpu-bound slowdown mild, got {cpu}");
     }

@@ -52,7 +52,10 @@ pub struct Workflow {
 
 impl Workflow {
     /// Build a chain workflow: one function per stage, executed in order.
-    pub fn chain(name: impl Into<String>, functions: Vec<FunctionModel>) -> Result<Self, WorkflowError> {
+    pub fn chain(
+        name: impl Into<String>,
+        functions: Vec<FunctionModel>,
+    ) -> Result<Self, WorkflowError> {
         let stages = (0..functions.len()).map(|i| vec![i]).collect();
         Self::staged(name, functions, stages)
     }
@@ -191,7 +194,11 @@ mod tests {
             name,
             ResourceDimension::Cpu,
             true,
-            LatencyParams { base_ms: 100.0, serial_fraction: 0.2, batch_overhead: 0.3 },
+            LatencyParams {
+                base_ms: 100.0,
+                serial_fraction: 0.2,
+                batch_overhead: 0.3,
+            },
             WorksetDistribution::Constant,
             0.1,
         )
@@ -212,7 +219,10 @@ mod tests {
 
     #[test]
     fn empty_and_duplicate_workflows_are_rejected() {
-        assert_eq!(Workflow::chain("x", vec![]).unwrap_err(), WorkflowError::Empty);
+        assert_eq!(
+            Workflow::chain("x", vec![]).unwrap_err(),
+            WorkflowError::Empty
+        );
         let err = Workflow::chain("x", vec![f("a"), f("a")]).unwrap_err();
         assert_eq!(err, WorkflowError::DuplicateFunction("a".to_string()));
     }
@@ -259,7 +269,11 @@ mod tests {
             "fe",
             ResourceDimension::Io,
             false,
-            LatencyParams { base_ms: 100.0, serial_fraction: 0.2, batch_overhead: 0.3 },
+            LatencyParams {
+                base_ms: 100.0,
+                serial_fraction: 0.2,
+                batch_overhead: 0.3,
+            },
             WorksetDistribution::Constant,
             0.1,
         )

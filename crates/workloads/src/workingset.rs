@@ -84,7 +84,10 @@ impl WorksetDistribution {
 
     /// VA inputs: videos with identical duration/resolution → mild variation.
     pub fn fixed_video() -> Self {
-        WorksetDistribution::Uniform { min: 0.9, max: 1.15 }
+        WorksetDistribution::Uniform {
+            min: 0.9,
+            max: 1.15,
+        }
     }
 
     /// Sample a latency scale factor.
@@ -183,7 +186,7 @@ mod tests {
         let max = s.iter().cloned().fold(0.0, f64::max);
         // 1 object -> 0.625, 15 objects -> 1.68; variation ~2.7x from the
         // working set alone (noise pushes the observed Fig 1b ratio to ~3.8x).
-        assert!(min >= 0.6 && min < 0.7, "min {min}");
+        assert!((0.6..0.7).contains(&min), "min {min}");
         assert!(max > 1.6 && max <= 1.7, "max {max}");
         assert!(d.max_variation() > 2.5 && d.max_variation() < 3.0);
     }
@@ -216,10 +219,16 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(WorksetDistribution::LogNormal { sigma: -0.1, min: 0.5, max: 2.0 }
+        assert!(WorksetDistribution::LogNormal {
+            sigma: -0.1,
+            min: 0.5,
+            max: 2.0
+        }
+        .validate()
+        .is_err());
+        assert!(WorksetDistribution::Uniform { min: 2.0, max: 1.0 }
             .validate()
             .is_err());
-        assert!(WorksetDistribution::Uniform { min: 2.0, max: 1.0 }.validate().is_err());
     }
 
     #[test]

@@ -1,56 +1,62 @@
 //! Intelligent Assistant scenario: compare Janus against the early-binding
 //! baselines and the Optimal oracle on the OD → QA → TS chain (the paper's
-//! primary workload).
+//! primary workload), through one [`ServingSession`].
 //!
 //! ```text
 //! cargo run --release -p janus-core --example intelligent_assistant
 //! ```
+//!
+//! [`ServingSession`]: janus_core::session::ServingSession
 
-use janus_core::comparison::{self, ComparisonConfig, PolicyKind};
+use janus_core::comparison::PolicyKind;
+use janus_core::session::{Load, ServingSession};
 use janus_core::workloads::apps::PaperApp;
 
 fn main() -> Result<(), String> {
-    let config = ComparisonConfig {
-        requests: 300,
-        samples_per_point: 400,
-        budget_step_ms: 2.0,
-        ..ComparisonConfig::paper_default(PaperApp::IntelligentAssistant, 1)
-    };
+    let session = ServingSession::builder()
+        .app(PaperApp::IntelligentAssistant)
+        .concurrency(1)
+        .policies(PolicyKind::ALL.iter().map(|k| k.name()))
+        .load(Load::Closed { requests: 300 })
+        .samples_per_point(400)
+        .budget_step_ms(2.0)
+        .build()?;
     println!(
-        "Serving {} IA requests at concurrency {} under a {:.1} s SLO…\n",
-        config.requests,
-        config.concurrency,
-        config.slo.as_secs()
+        "Serving 300 IA requests at concurrency 1 under a {:.1} s SLO…\n",
+        session.slo().as_secs()
     );
-    let outcome = comparison::run(&config)?;
+    let report = session.run()?;
 
     println!(
         "{:>12} {:>12} {:>12} {:>10} {:>10}",
         "policy", "mean CPU mc", "vs Optimal", "P99 E2E s", "violations"
     );
-    for kind in PolicyKind::ALL {
-        if let Some(report) = outcome.report(kind) {
-            println!(
-                "{:>12} {:>12.1} {:>12.3} {:>10.2} {:>9.1}%",
-                kind.name(),
-                report.mean_cpu_millicores(),
-                outcome.normalized_cpu(kind).unwrap_or(f64::NAN),
-                report.e2e_percentile(99.0).map(|d| d.as_secs()).unwrap_or(0.0),
-                report.slo_violation_rate() * 100.0
-            );
-        }
+    for policy in &report.policies {
+        println!(
+            "{:>12} {:>12.1} {:>12.3} {:>10.2} {:>9.1}%",
+            policy.name,
+            policy.serving.mean_cpu_millicores(),
+            report
+                .normalized_cpu(&policy.name, "Optimal")
+                .unwrap_or(f64::NAN),
+            policy
+                .serving
+                .e2e_percentile(99.0)
+                .map(|d| d.as_secs())
+                .unwrap_or(0.0),
+            policy.serving.slo_violation_rate() * 100.0
+        );
     }
 
     println!("\nTable I style reductions (normalised by Optimal):");
-    for other in [
-        PolicyKind::Orion,
-        PolicyKind::GrandSlamPlus,
-        PolicyKind::GrandSlam,
-        PolicyKind::JanusMinus,
-        PolicyKind::JanusPlus,
-    ] {
-        if let Some(reduction) = outcome.reduction_percent(PolicyKind::Janus, other) {
-            println!("  Janus vs {:>12}: {:>6.1}%", other.name(), reduction);
+    let optimal_cpu = report
+        .mean_cpu_millicores("Optimal")
+        .expect("Optimal is in the session");
+    let janus_cpu = report.mean_cpu_millicores("Janus").expect("Janus ran");
+    for other in ["ORION", "GrandSLAM+", "GrandSLAM", "Janus-", "Janus+"] {
+        if let Some(other_cpu) = report.mean_cpu_millicores(other) {
+            let reduction = (other_cpu - janus_cpu) / optimal_cpu * 100.0;
+            println!("  Janus vs {other:>12}: {reduction:>6.1}%");
         }
     }
     Ok(())

@@ -1,45 +1,47 @@
 //! Open-loop load experiment (extension): Poisson arrivals served by the
 //! event-driven platform simulation, with Janus adapting each in-flight
-//! request independently while co-located instances interfere.
+//! request independently while co-located instances interfere. One
+//! [`ServingSession`] per arrival rate — the same builder as the closed-loop
+//! experiments, with `Load::Open`.
 //!
 //! ```text
 //! cargo run --release -p janus-core --example openloop_load
 //! ```
+//!
+//! [`ServingSession`]: janus_core::session::ServingSession
 
-use janus_core::deployment::{DeploymentConfig, JanusDeployment};
-use janus_core::platform::openloop::{OpenLoopConfig, OpenLoopSimulation};
+use janus_core::session::{Load, ServingSession};
 use janus_core::workloads::apps::PaperApp;
-use janus_core::workloads::request::RequestInputGenerator;
-use janus_simcore::time::SimDuration;
 
 fn main() -> Result<(), String> {
-    let app = PaperApp::IntelligentAssistant;
-    let deployment = JanusDeployment::build(&DeploymentConfig {
-        samples_per_point: 400,
-        budget_step_ms: 2.0,
-        ..DeploymentConfig::paper_default(app, 1)
-    })?;
-    let workflow = deployment.workflow().clone();
-    let slo = app.default_slo(1);
-    let sim = OpenLoopSimulation::new(workflow.clone(), OpenLoopConfig::new(slo));
-
     println!("Open-loop IA serving under Janus at increasing arrival rates:\n");
     println!(
         "{:>18} {:>10} {:>10} {:>12} {:>12}",
         "mean inter-arrival", "requests", "mean CPU", "P99 E2E (s)", "violations"
     );
     for inter_arrival_ms in [2000.0, 800.0, 300.0, 120.0] {
-        let requests = RequestInputGenerator::new(9, SimDuration::from_millis(inter_arrival_ms))
-            .generate(&workflow, 300);
-        let mut policy = deployment.policy();
-        let report = sim.run(&mut policy, &requests);
+        let report = ServingSession::builder()
+            .app(PaperApp::IntelligentAssistant)
+            .policy("Janus")
+            .load(Load::Open {
+                requests: 300,
+                rps: 1000.0 / inter_arrival_ms,
+            })
+            .samples_per_point(400)
+            .budget_step_ms(2.0)
+            .seed(9)
+            .run()?;
+        let janus = &report.report("Janus").expect("Janus ran").serving;
         println!(
             "{:>15} ms {:>10} {:>10.1} {:>12.2} {:>11.1}%",
             inter_arrival_ms,
-            report.len(),
-            report.mean_cpu_millicores(),
-            report.e2e_percentile(99.0).map(|d| d.as_secs()).unwrap_or(0.0),
-            report.slo_violation_rate() * 100.0
+            janus.len(),
+            janus.mean_cpu_millicores(),
+            janus
+                .e2e_percentile(99.0)
+                .map(|d| d.as_secs())
+                .unwrap_or(0.0),
+            janus.slo_violation_rate() * 100.0
         );
     }
     println!(

@@ -1,52 +1,47 @@
-//! Quickstart: deploy the Intelligent Assistant workflow with Janus and serve
-//! a handful of requests.
+//! Quickstart: serve the Intelligent Assistant workflow with Janus through
+//! the unified [`ServingSession`] builder.
 //!
 //! ```text
 //! cargo run --release -p janus-core --example quickstart
 //! ```
+//!
+//! [`ServingSession`]: janus_core::session::ServingSession
 
-use janus_core::deployment::{DeploymentConfig, JanusDeployment};
-use janus_core::platform::executor::{ClosedLoopExecutor, ExecutorConfig};
+use janus_core::session::{Load, ServingSession};
 use janus_core::workloads::apps::PaperApp;
-use janus_core::workloads::request::RequestInputGenerator;
-use janus_simcore::time::SimDuration;
 
 fn main() -> Result<(), String> {
-    // 1. Developer side: profile the workflow and synthesize the hints table.
+    // One entry point drives the whole bilateral pipeline: the session
+    // profiles the workflow (developer side), synthesizes hints for the
+    // Janus policy (developer side), deploys the adapter (provider side)
+    // and replays requests on the platform.
     let app = PaperApp::IntelligentAssistant;
-    let config = DeploymentConfig {
-        samples_per_point: 400,
-        budget_step_ms: 2.0,
-        ..DeploymentConfig::paper_default(app, 1)
-    };
-    let deployment = JanusDeployment::build(&config)?;
+    let report = ServingSession::builder()
+        .app(app)
+        .concurrency(1)
+        .policy("Janus")
+        .load(Load::Closed { requests: 20 })
+        .samples_per_point(400)
+        .budget_step_ms(2.0)
+        .seed(42)
+        .run()?;
+
+    let janus = report.report("Janus").expect("Janus ran");
+    let synthesis = janus.synthesis.as_ref().expect("Janus synthesizes hints");
     println!(
         "Synthesized {} condensed hints ({} raw, {:.1}% compression) in {:.1} ms",
-        deployment.bundle().total_hints(),
-        deployment.report().raw_hints,
-        deployment.report().compression_ratio * 100.0,
-        deployment.report().synthesis_time_ms,
+        synthesis.condensed_hints,
+        synthesis.raw_hints,
+        synthesis.compression_ratio * 100.0,
+        synthesis.synthesis_time_ms,
     );
-    for table in &deployment.bundle().tables {
-        println!(
-            "  sub-workflow starting at function {}: {} rows covering {:.0}–{:.0} ms",
-            table.suffix_start,
-            table.len(),
-            table.min_budget_ms().unwrap_or(0.0),
-            table.max_budget_ms().unwrap_or(0.0)
-        );
-    }
 
-    // 2. Provider side: serve requests with the adapter-backed policy.
-    let workflow = deployment.workflow().clone();
-    let slo = app.default_slo(1);
-    let executor = ClosedLoopExecutor::new(workflow.clone(), ExecutorConfig::paper_serving(slo, 1));
-    let requests = RequestInputGenerator::new(42, SimDuration::ZERO).generate(&workflow, 20);
-    let mut policy = deployment.policy();
-    let report = executor.run(&mut policy, &requests);
-
-    println!("\nServed {} requests under a {:.1} s SLO:", report.len(), slo.as_secs());
-    for outcome in &report.outcomes {
+    println!(
+        "\nServed {} requests under a {:.1} s SLO:",
+        janus.serving.len(),
+        report.slo.as_secs()
+    );
+    for outcome in &janus.serving.outcomes {
         println!(
             "  request {:>2}: E2E {:>7.1} ms, CPU {:>5} mc, SLO {}",
             outcome.request_id,
@@ -56,11 +51,15 @@ fn main() -> Result<(), String> {
         );
     }
     println!(
-        "\nmean CPU {:.1} mc, P99 E2E {:.2} s, hint hit rate {:.1}%, mean decision {:.1} µs",
-        report.mean_cpu_millicores(),
-        report.e2e_percentile(99.0).map(|d| d.as_secs()).unwrap_or(0.0),
-        policy.adapter().hit_rate() * 100.0,
-        policy.adapter().mean_decision_time_us(),
+        "\nmean CPU {:.1} mc, P99 E2E {:.2} s, SLO attainment {:.1}%, mean decision {:.1} µs",
+        janus.serving.mean_cpu_millicores(),
+        janus
+            .serving
+            .e2e_percentile(99.0)
+            .map(|d| d.as_secs())
+            .unwrap_or(0.0),
+        janus.slo_attainment() * 100.0,
+        janus.mean_decision_time_us.unwrap_or(0.0),
     );
     Ok(())
 }

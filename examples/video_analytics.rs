@@ -9,12 +9,39 @@
 use janus_core::adapter::feedback::{FeedbackChannel, FeedbackEvent};
 use janus_core::deployment::{DeploymentConfig, JanusDeployment};
 use janus_core::platform::executor::{ClosedLoopExecutor, ExecutorConfig};
+use janus_core::session::{Load, ServingSession};
 use janus_core::workloads::apps::PaperApp;
 use janus_core::workloads::request::RequestInputGenerator;
 use janus_simcore::time::SimDuration;
 
 fn main() -> Result<(), String> {
     let app = PaperApp::VideoAnalyze;
+
+    // Normal serving: the hints fit the observed distribution. The unified
+    // session builder runs the whole pipeline (profile, synthesize, serve).
+    let session_report = ServingSession::builder()
+        .app(app)
+        .policy("Janus")
+        .load(Load::Closed { requests: 200 })
+        .samples_per_point(400)
+        .budget_step_ms(2.0)
+        .seed(3)
+        .run()?;
+    let janus = session_report.report("Janus").expect("Janus ran");
+    println!(
+        "VA normal serving: mean CPU {:.1} mc, P99 E2E {:.2} s, SLO attainment {:.1}%",
+        janus.serving.mean_cpu_millicores(),
+        janus
+            .serving
+            .e2e_percentile(99.0)
+            .map(|d| d.as_secs())
+            .unwrap_or(0.0),
+        janus.slo_attainment() * 100.0
+    );
+
+    // The supervision demo below needs direct access to the adapter's
+    // hit/miss statistics and a hand-mutated request set, so it drives the
+    // deployment and executor underneath the session abstraction.
     let deployment = JanusDeployment::build(&DeploymentConfig {
         samples_per_point: 400,
         budget_step_ms: 2.0,
@@ -23,17 +50,6 @@ fn main() -> Result<(), String> {
     let workflow = deployment.workflow().clone();
     let slo = app.default_slo(1);
     let executor = ClosedLoopExecutor::new(workflow.clone(), ExecutorConfig::paper_serving(slo, 1));
-
-    // Normal serving: the hints fit the observed distribution.
-    let requests = RequestInputGenerator::new(3, SimDuration::ZERO).generate(&workflow, 200);
-    let mut policy = deployment.policy();
-    let report = executor.run(&mut policy, &requests);
-    println!(
-        "VA normal serving: mean CPU {:.1} mc, P99 E2E {:.2} s, miss rate {:.2}%",
-        report.mean_cpu_millicores(),
-        report.e2e_percentile(99.0).map(|d| d.as_secs()).unwrap_or(0.0),
-        policy.adapter().miss_rate() * 100.0
-    );
 
     // Distribution shift: requests suddenly take much longer than profiled
     // (e.g. higher-resolution videos). Budgets collapse below the tables'
@@ -49,7 +65,10 @@ fn main() -> Result<(), String> {
     let report = executor.run(&mut policy, &shifted);
     println!(
         "VA after workload shift: P99 E2E {:.2} s, miss rate {:.2}%, violations {:.1}%",
-        report.e2e_percentile(99.0).map(|d| d.as_secs()).unwrap_or(0.0),
+        report
+            .e2e_percentile(99.0)
+            .map(|d| d.as_secs())
+            .unwrap_or(0.0),
         policy.adapter().miss_rate() * 100.0,
         report.slo_violation_rate() * 100.0
     );

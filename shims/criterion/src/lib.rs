@@ -1,0 +1,187 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the subset of the criterion API the `janus-bench` benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, `Bencher::iter`,
+//! `BenchmarkId`) on top of plain `std::time::Instant` wall-clock timing.
+//! Results are printed as `group/name  mean ± spread` lines; no statistics
+//! beyond min/mean/max are attempted. Swap for the real crate by editing
+//! `[workspace.dependencies]` when network access is available.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named parameterised benchmark id (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Compose an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark (criterion's meaning, loosely).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time a closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Time a benchmark parameterised by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing already happened per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("  {}/{id}: no samples recorded", self.name);
+            return;
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "  {}/{id}: mean {mean:?} (min {min:?}, max {max:?}, n={})",
+            self.name,
+            samples.len()
+        );
+    }
+}
+
+/// Runs and times the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f` `sample_size` times (after one untimed warm-up call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Mirror of `criterion_group!`: define a runner invoking each benchmark fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: a `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_the_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // one warm-up + three timed samples
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("variant", "Janus+").to_string(),
+            "variant/Janus+"
+        );
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

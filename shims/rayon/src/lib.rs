@@ -1,0 +1,186 @@
+//! Offline shim for `rayon`.
+//!
+//! The workspace only uses the `into_par_iter().map(..).collect()` /
+//! `into_par_iter().filter_map(..).collect()` shape, so this shim implements
+//! exactly that: the source is materialised, split into one contiguous chunk
+//! per available core, mapped on scoped `std::thread`s and re-assembled **in
+//! input order** — callers observe the same determinism guarantees rayon's
+//! indexed parallel iterators give.
+
+use std::num::NonZeroUsize;
+
+/// Everything callers need in scope for `.into_par_iter()`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a (shim) parallel iterator. Blanket-implemented for every
+/// ordinary iterable whose items can cross threads.
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// Materialise the source and expose the parallel adapters.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A materialised source awaiting a map/filter_map adapter.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel order-preserving map.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Parallel order-preserving filter_map.
+    pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> Option<R> + Sync,
+    {
+        ParFilterMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Deferred parallel map; consumed by [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Run the map across threads and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        par_chunks(self.items, |item| Some(f(item)))
+            .into_iter()
+            .map(|r| r.expect("map produces a value for every item"))
+            .collect()
+    }
+}
+
+/// Deferred parallel filter_map; consumed by [`ParFilterMap::collect`].
+pub struct ParFilterMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParFilterMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Option<R> + Sync,
+{
+    /// Run the filter_map across threads and collect the hits in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        par_chunks(self.items, f).into_iter().flatten().collect()
+    }
+}
+
+/// Split `items` into one chunk per core, apply `f` on scoped threads and
+/// return the per-item results in the original order.
+fn par_chunks<T, R, F>(items: Vec<T>, f: F) -> Vec<Option<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Option<R> + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.into_iter().map(&f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shim worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let doubled: Vec<i64> = (0..10_000i64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as i64));
+    }
+
+    #[test]
+    fn filter_map_preserves_order_and_filters() {
+        let evens: Vec<i64> = (0..1000i64)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(evens.len(), 500);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn collects_into_maps_too() {
+        use std::collections::BTreeMap;
+        let m: BTreeMap<u32, u32> = vec![3u32, 1, 2]
+            .into_par_iter()
+            .map(|k| (k, k * k))
+            .collect();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[&3], 9);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(v.is_empty());
+    }
+}

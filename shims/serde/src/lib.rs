@@ -1,0 +1,32 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` *names* the workspace imports and
+//! derives, with blanket marker impls. No serialisation machinery is behind
+//! them — the only JSON artefact in the workspace (the hints bundle) is
+//! hand-encoded in `janus-synthesizer::hints`. Replace this shim with the
+//! real crates.io `serde` by editing `[workspace.dependencies]` when network
+//! access is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no data-model methods).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize` (no data-model methods).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+/// Mirror of serde's `de` module for code that names the traits through it.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of serde's `ser` module.
+pub mod ser {
+    pub use crate::Serialize;
+}

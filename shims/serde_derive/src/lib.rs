@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serialises through serde's data model (the one JSON
+//! artefact, the hints bundle, is hand-encoded in `janus-synthesizer`). The
+//! derives therefore expand to nothing; the matching `serde` shim provides
+//! blanket marker impls so `T: Serialize` bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,209 @@
+//! The acceptance test for the open serving API: a custom policy — defined
+//! entirely in this test, outside every `janus-*` crate — is registered
+//! through [`PolicyRegistry`] and served end-to-end through
+//! [`ServingSession`] in both closed- and open-loop modes, next to the
+//! built-ins, and the resulting [`SessionReport`] satisfies its invariants.
+
+use janus_core::registry::{BuiltPolicy, PolicyContext, PolicyFactory, PolicyRegistry};
+use janus_core::session::{Load, ServingSession, SessionReport};
+use janus_core::workloads::apps::PaperApp;
+use janus_platform::policy::{RequestContext, SizingPolicy};
+use janus_simcore::resources::Millicores;
+use janus_simcore::time::SimDuration;
+
+/// A toy late-binding policy: start at the grid midpoint and climb to the
+/// maximum once less than half of the SLO budget remains. Deliberately
+/// simple — the point is that it lives outside the workspace crates.
+#[derive(Debug)]
+struct PanicButtonPolicy {
+    mid: Millicores,
+    max: Millicores,
+    decisions: u64,
+}
+
+impl SizingPolicy for PanicButtonPolicy {
+    fn name(&self) -> &str {
+        "PanicButton"
+    }
+
+    fn is_late_binding(&self) -> bool {
+        true
+    }
+
+    fn size_next(
+        &mut self,
+        ctx: &RequestContext,
+        _index: usize,
+        remaining_budget: SimDuration,
+    ) -> Millicores {
+        self.decisions += 1;
+        if remaining_budget.as_millis() < ctx.slo.as_millis() / 2.0 {
+            self.max
+        } else {
+            self.mid
+        }
+    }
+}
+
+/// The factory that builds it from the session's [`PolicyContext`].
+struct PanicButtonFactory;
+
+impl PolicyFactory for PanicButtonFactory {
+    fn name(&self) -> &str {
+        "PanicButton"
+    }
+
+    fn build(&self, ctx: &PolicyContext<'_>) -> Result<BuiltPolicy, String> {
+        let mid = Millicores::new((ctx.grid.min.get() + ctx.grid.max.get()) / 2);
+        Ok(BuiltPolicy::plain(PanicButtonPolicy {
+            mid,
+            max: ctx.grid.max,
+            decisions: 0,
+        }))
+    }
+}
+
+fn custom_session(load: Load, seed: u64) -> SessionReport {
+    ServingSession::builder()
+        .app(PaperApp::IntelligentAssistant)
+        .register(std::sync::Arc::new(PanicButtonFactory))
+        .policy("PanicButton")
+        .policy("GrandSLAM")
+        .load(load)
+        .seed(seed)
+        .quick()
+        .run()
+        .expect("session with a custom policy runs")
+}
+
+fn assert_invariants(report: &SessionReport) {
+    report.validate().expect("report invariants hold");
+    for policy in &report.policies {
+        let attainment = policy.slo_attainment();
+        assert!(
+            (0.0..=1.0).contains(&attainment),
+            "{}: attainment {attainment}",
+            policy.name
+        );
+        assert!(
+            policy.serving.mean_cpu_millicores() > 0.0,
+            "{}: no resource usage",
+            policy.name
+        );
+        assert_eq!(policy.serving.len(), report.load.requests());
+        for outcome in &policy.serving.outcomes {
+            assert_eq!(outcome.allocations.len(), 3, "IA has three functions");
+            assert!(outcome.e2e.as_millis() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn custom_policy_serves_closed_loop_through_the_registry() {
+    let report = custom_session(Load::Closed { requests: 60 }, 21);
+    assert_eq!(report.names(), vec!["PanicButton", "GrandSLAM"]);
+    assert_invariants(&report);
+    // The custom policy is late-binding midpoint/max, so its CPU sits
+    // strictly between all-min and all-max.
+    let cpu = report.mean_cpu_millicores("PanicButton").unwrap();
+    assert!((3000.0..=9000.0).contains(&cpu), "cpu {cpu}");
+}
+
+#[test]
+fn custom_policy_serves_open_loop_through_the_registry() {
+    let report = custom_session(
+        Load::Open {
+            requests: 60,
+            rps: 2.0,
+        },
+        22,
+    );
+    assert_invariants(&report);
+    // Paired comparison: both policies saw exactly the same arrivals.
+    let a = report.serving("PanicButton").unwrap();
+    let b = report.serving("GrandSLAM").unwrap();
+    let ids = |r: &janus_platform::outcome::ServingReport| {
+        r.outcomes.iter().map(|o| o.request_id).collect::<Vec<_>>()
+    };
+    assert_eq!(ids(a), ids(b));
+}
+
+#[test]
+fn sessions_are_deterministic_per_policy_under_a_fixed_seed() {
+    for load in [
+        Load::Closed { requests: 40 },
+        Load::Open {
+            requests: 40,
+            rps: 3.0,
+        },
+    ] {
+        let r1 = custom_session(load, 77);
+        let r2 = custom_session(load, 77);
+        for name in ["PanicButton", "GrandSLAM"] {
+            assert_eq!(
+                r1.serving(name).unwrap(),
+                r2.serving(name).unwrap(),
+                "{name} must be deterministic under a fixed seed"
+            );
+        }
+        let r3 = custom_session(load, 78);
+        assert_ne!(
+            r1.serving("PanicButton").unwrap(),
+            r3.serving("PanicButton").unwrap(),
+            "different seeds change the request stream"
+        );
+    }
+}
+
+#[test]
+fn closure_registration_works_without_a_factory_type() {
+    let mut registry = PolicyRegistry::with_builtins();
+    registry.register_fn("FixedMax", |ctx| {
+        Ok(BuiltPolicy::plain(
+            janus_platform::policy::FixedSizingPolicy::uniform(
+                "FixedMax",
+                ctx.workflow,
+                ctx.grid.max,
+            )?,
+        ))
+    });
+    let report = ServingSession::builder()
+        .app(PaperApp::IntelligentAssistant)
+        .registry(registry)
+        .policy("FixedMax")
+        .load(Load::Closed { requests: 15 })
+        .quick()
+        .run()
+        .unwrap();
+    assert_invariants(&report);
+    // Every function ran at Kmax = 3000 mc.
+    assert!((report.mean_cpu_millicores("FixedMax").unwrap() - 9000.0).abs() < 1e-9);
+}
+
+#[test]
+fn the_builtin_seven_remain_available_next_to_custom_policies() {
+    let mut registry = PolicyRegistry::with_builtins();
+    registry.register_fn("Custom", |ctx| {
+        Ok(BuiltPolicy::plain(
+            janus_platform::policy::FixedSizingPolicy::uniform(
+                "Custom",
+                ctx.workflow,
+                Millicores::new(2000),
+            )?,
+        ))
+    });
+    assert_eq!(registry.len(), 8);
+    assert_eq!(
+        registry.names(),
+        vec![
+            "Optimal",
+            "ORION",
+            "GrandSLAM+",
+            "GrandSLAM",
+            "Janus-",
+            "Janus",
+            "Janus+",
+            "Custom"
+        ]
+    );
+}

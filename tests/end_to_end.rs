@@ -48,9 +48,17 @@ fn table1_headline_holds_for_ia() {
     }
 
     // The Table I reductions are positive for every early-binding baseline.
-    for other in [PolicyKind::Orion, PolicyKind::GrandSlamPlus, PolicyKind::GrandSlam] {
+    for other in [
+        PolicyKind::Orion,
+        PolicyKind::GrandSlamPlus,
+        PolicyKind::GrandSlam,
+    ] {
         let reduction = outcome.reduction_percent(PolicyKind::Janus, other).unwrap();
-        assert!(reduction > 0.0, "reduction vs {} was {reduction}", other.name());
+        assert!(
+            reduction > 0.0,
+            "reduction vs {} was {reduction}",
+            other.name()
+        );
     }
 }
 
@@ -63,10 +71,12 @@ fn table1_headline_holds_for_va() {
     assert!(janus.mean_cpu_millicores() < orion.mean_cpu_millicores());
     assert!(orion.mean_cpu_millicores() < grandslam.mean_cpu_millicores());
     assert!(janus.slo_violation_rate() <= 0.03);
-    assert!(outcome
-        .reduction_percent(PolicyKind::Janus, PolicyKind::GrandSlamPlus)
-        .unwrap()
-        > 0.0);
+    assert!(
+        outcome
+            .reduction_percent(PolicyKind::Janus, PolicyKind::GrandSlamPlus)
+            .unwrap()
+            > 0.0
+    );
 }
 
 #[test]
@@ -74,22 +84,40 @@ fn higher_concurrency_magnifies_early_binding_overprovisioning() {
     // §V-B: at concurrency 2–3 the early binders over-allocate even more
     // relative to Optimal, while Janus tracks the variance at runtime.
     let conc1 = comparison::run(&ComparisonConfig {
-        policies: vec![PolicyKind::Optimal, PolicyKind::GrandSlam, PolicyKind::Janus],
+        policies: vec![
+            PolicyKind::Optimal,
+            PolicyKind::GrandSlam,
+            PolicyKind::Janus,
+        ],
         ..quick(PaperApp::IntelligentAssistant, 1)
     })
     .unwrap();
     let conc2 = comparison::run(&ComparisonConfig {
-        policies: vec![PolicyKind::Optimal, PolicyKind::GrandSlam, PolicyKind::Janus],
+        policies: vec![
+            PolicyKind::Optimal,
+            PolicyKind::GrandSlam,
+            PolicyKind::Janus,
+        ],
         ..quick(PaperApp::IntelligentAssistant, 2)
     })
     .unwrap();
     let janus_norm_1 = conc1.normalized_cpu(PolicyKind::Janus).unwrap();
     let janus_norm_2 = conc2.normalized_cpu(PolicyKind::Janus).unwrap();
     let gs_norm_2 = conc2.normalized_cpu(PolicyKind::GrandSlam).unwrap();
-    assert!(gs_norm_2 > janus_norm_2, "GrandSLAM {gs_norm_2} vs Janus {janus_norm_2}");
-    assert!(janus_norm_1 < 1.6 && janus_norm_2 < 1.6, "Janus stays near Optimal");
     assert!(
-        conc2.report(PolicyKind::Janus).unwrap().slo_violation_rate() <= 0.03,
+        gs_norm_2 > janus_norm_2,
+        "GrandSLAM {gs_norm_2} vs Janus {janus_norm_2}"
+    );
+    assert!(
+        janus_norm_1 < 1.6 && janus_norm_2 < 1.6,
+        "Janus stays near Optimal"
+    );
+    assert!(
+        conc2
+            .report(PolicyKind::Janus)
+            .unwrap()
+            .slo_violation_rate()
+            <= 0.03,
         "Janus keeps the 4s SLO at concurrency 2"
     );
 }
@@ -104,7 +132,10 @@ fn janus_variants_differ_only_in_percentile_exploration() {
     };
     let standard = JanusDeployment::build(&base).unwrap();
     let minus = JanusDeployment::from_profile(
-        &DeploymentConfig { variant: JanusVariant::Minus, ..base.clone() },
+        &DeploymentConfig {
+            variant: JanusVariant::Minus,
+            ..base.clone()
+        },
         standard.workflow().clone(),
         standard.profile().clone(),
     )
@@ -158,7 +189,15 @@ fn adapter_decisions_stay_fast_at_serving_scale() {
     let requests = RequestInputGenerator::new(11, SimDuration::ZERO).generate(&workflow, 500);
     let mut policy = deployment.policy();
     let _report = executor.run(&mut policy, &requests);
-    assert_eq!(policy.adapter().decisions(), 1500, "3 decisions per request");
+    assert_eq!(
+        policy.adapter().decisions(),
+        1500,
+        "3 decisions per request"
+    );
     assert!(policy.adapter().mean_decision_time_us() < 3000.0);
-    assert!(policy.adapter().hit_rate() > 0.97, "hit rate {}", policy.adapter().hit_rate());
+    assert!(
+        policy.adapter().hit_rate() > 0.97,
+        "hit rate {}",
+        policy.adapter().hit_rate()
+    );
 }

@@ -49,8 +49,16 @@ fn condensed_tables_are_compact_like_the_paper() {
     // than ~100, with compression ratios above 90 %.
     let ia = deployment(PaperApp::IntelligentAssistant);
     let va = deployment(PaperApp::VideoAnalyze);
-    assert!(ia.bundle().total_hints() < 400, "IA hints {}", ia.bundle().total_hints());
-    assert!(va.bundle().total_hints() < 250, "VA hints {}", va.bundle().total_hints());
+    assert!(
+        ia.bundle().total_hints() < 400,
+        "IA hints {}",
+        ia.bundle().total_hints()
+    );
+    assert!(
+        va.bundle().total_hints() < 250,
+        "VA hints {}",
+        va.bundle().total_hints()
+    );
     assert!(ia.report().compression_ratio > 0.5);
     assert!(va.report().compression_ratio > 0.5);
     // Hints memory footprint stays tiny (paper: ~12 MB including the Python
@@ -103,7 +111,10 @@ fn weight_specific_tables_are_kept_separately() {
     };
     let w1 = JanusDeployment::build(&base).unwrap();
     let w3 = JanusDeployment::from_profile(
-        &DeploymentConfig { weight: 3.0, ..base.clone() },
+        &DeploymentConfig {
+            weight: 3.0,
+            ..base.clone()
+        },
         w1.workflow().clone(),
         w1.profile().clone(),
     )

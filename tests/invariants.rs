@@ -1,4 +1,9 @@
-//! Property-based invariants spanning the profiler, synthesizer and adapter.
+//! Randomised invariants spanning the profiler, synthesizer and adapter.
+//!
+//! Property-style tests driven by the workspace's own deterministic
+//! [`SimRng`] (the external property-testing framework is not in the allowed
+//! dependency set): each test replays a fixed number of seeded random cases,
+//! so failures reproduce bit-for-bit from the case index.
 
 use janus_core::profiler::percentiles::{Percentile, PercentileGrid};
 use janus_core::profiler::profile::FunctionProfile;
@@ -7,10 +12,12 @@ use janus_core::synthesizer::generation::{GenerationConfig, HintGenerator, RawHi
 use janus_core::synthesizer::hints::{HintsTable, LookupOutcome};
 use janus_profiler::profile::WorkflowProfile;
 use janus_simcore::resources::{CoreGrid, Millicores};
+use janus_simcore::rng::SimRng;
 use janus_simcore::stats::percentile;
 use janus_simcore::time::SimDuration;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+const CASES: usize = 64;
 
 /// Build a synthetic, deterministic profile whose latency shrinks with cores.
 fn synthetic_profile(base: f64, spread: f64) -> FunctionProfile {
@@ -26,32 +33,34 @@ fn synthetic_profile(base: f64, spread: f64) -> FunctionProfile {
     FunctionProfile::from_samples("f", 1, grid, samples).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The sample percentile is bounded by the sample min/max and monotone in p.
-    #[test]
-    fn percentile_is_bounded_and_monotone(
-        mut values in prop::collection::vec(0.1f64..10_000.0, 1..200),
-        p1 in 0.0f64..100.0,
-        p2 in 0.0f64..100.0,
-    ) {
+/// The sample percentile is bounded by the sample min/max and monotone in p.
+#[test]
+fn percentile_is_bounded_and_monotone() {
+    let mut rng = SimRng::seed_from_u64(0x1A01);
+    for case in 0..CASES {
+        let len = rng.int_range(1, 199) as usize;
+        let mut values: Vec<f64> = (0..len).map(|_| rng.uniform_range(0.1, 10_000.0)).collect();
+        let p1 = rng.uniform_range(0.0, 100.0);
+        let p2 = rng.uniform_range(0.0, 100.0);
         let lo = p1.min(p2);
         let hi = p1.max(p2);
         let q_lo = percentile(&values, lo).unwrap();
         let q_hi = percentile(&values, hi).unwrap();
         values.sort_by(|a, b| a.total_cmp(b));
-        prop_assert!(q_lo <= q_hi + 1e-9);
-        prop_assert!(q_lo >= values[0] - 1e-9);
-        prop_assert!(q_hi <= values[values.len() - 1] + 1e-9);
+        assert!(q_lo <= q_hi + 1e-9, "case {case}: {q_lo} > {q_hi}");
+        assert!(q_lo >= values[0] - 1e-9, "case {case}");
+        assert!(q_hi <= values[values.len() - 1] + 1e-9, "case {case}");
     }
+}
 
-    /// Condensing never changes any budget's head-size decision and always
-    /// produces sorted, non-overlapping rows.
-    #[test]
-    fn condensing_preserves_decisions(
-        sizes in prop::collection::vec(1u32..=20, 1..400),
-    ) {
+/// Condensing never changes any budget's head-size decision and always
+/// produces sorted, non-overlapping rows.
+#[test]
+fn condensing_preserves_decisions() {
+    let mut rng = SimRng::seed_from_u64(0x1A02);
+    for case in 0..CASES {
+        let len = rng.int_range(1, 399) as usize;
+        let sizes: Vec<u32> = (0..len).map(|_| rng.int_range(1, 20) as u32).collect();
         let raw: Vec<RawHint> = sizes
             .iter()
             .enumerate()
@@ -63,45 +72,52 @@ proptest! {
             })
             .collect();
         let rows = condense(&raw);
-        prop_assert!(rows.len() <= raw.len());
+        assert!(rows.len() <= raw.len(), "case {case}");
         for w in rows.windows(2) {
-            prop_assert!(w[0].end_ms < w[1].start_ms);
+            assert!(w[0].end_ms < w[1].start_ms, "case {case}: overlapping rows");
         }
         let table = HintsTable::new(0, raw.len(), rows).unwrap();
         for hint in &raw {
             match table.lookup(SimDuration::from_millis(hint.budget_ms)) {
                 LookupOutcome::Hit { head_cores } | LookupOutcome::AboveRange { head_cores } => {
-                    prop_assert_eq!(head_cores, hint.allocation[0]);
+                    assert_eq!(head_cores, hint.allocation[0], "case {case}");
                 }
-                LookupOutcome::Miss => prop_assert!(false, "raw budget must stay covered"),
+                LookupOutcome::Miss => panic!("case {case}: raw budget must stay covered"),
             }
         }
     }
+}
 
-    /// Timeout and resilience are non-negative for every (percentile, cores)
-    /// pair, and the generator's plans respect the budget constraint.
-    #[test]
-    fn generated_plans_respect_the_budget(
-        base in 100.0f64..600.0,
-        spread in 0.2f64..1.5,
-        budget_ms in 600.0f64..6000.0,
-    ) {
+/// Timeout and resilience are non-negative for every (percentile, cores)
+/// pair, and the generator's plans respect the budget constraint.
+#[test]
+fn generated_plans_respect_the_budget() {
+    let mut rng = SimRng::seed_from_u64(0x1A03);
+    for case in 0..CASES {
+        let base = rng.uniform_range(100.0, 600.0);
+        let spread = rng.uniform_range(0.2, 1.5);
+        let budget_ms = rng.uniform_range(600.0, 6000.0);
         let f1 = synthetic_profile(base, spread);
         let f2 = synthetic_profile(base * 0.8, spread);
-        let profile = WorkflowProfile::new("wf", 1, CoreGrid::paper_default(), vec![f1.clone(), f2]).unwrap();
+        let profile =
+            WorkflowProfile::new("wf", 1, CoreGrid::paper_default(), vec![f1.clone(), f2]).unwrap();
 
         // Metric invariants.
         for p in PercentileGrid::paper_default().iter() {
             for mc in CoreGrid::paper_default().iter() {
-                prop_assert!(f1.timeout(p, mc, Percentile::P99).as_millis() >= -1e-9);
-                prop_assert!(f1.resilience(p, mc).as_millis() >= -1e-9);
+                assert!(
+                    f1.timeout(p, mc, Percentile::P99).as_millis() >= -1e-9,
+                    "case {case}"
+                );
+                assert!(f1.resilience(p, mc).as_millis() >= -1e-9, "case {case}");
             }
         }
 
         let config = GenerationConfig::default();
-        let generator = HintGenerator::new(&profile, &config, SimDuration::from_millis(8000.0)).unwrap();
+        let generator =
+            HintGenerator::new(&profile, &config, SimDuration::from_millis(8000.0)).unwrap();
         if let Some(hint) = generator.generate(SimDuration::from_millis(budget_ms)) {
-            prop_assert_eq!(hint.allocation.len(), 2);
+            assert_eq!(hint.allocation.len(), 2, "case {case}");
             // The planned P99 latencies (head at its chosen percentile, tail at
             // P99) must fit within the requested budget.
             let head = profile.function(0).unwrap();
@@ -109,35 +125,58 @@ proptest! {
             let planned = head
                 .latency(hint.head_percentile, hint.allocation[0])
                 .as_millis()
-                + tail.latency(Percentile::P99, hint.allocation[1]).as_millis();
-            prop_assert!(planned <= budget_ms + 2.0, "planned {planned} > budget {budget_ms}");
+                + tail
+                    .latency(Percentile::P99, hint.allocation[1])
+                    .as_millis();
+            assert!(
+                planned <= budget_ms + 2.0,
+                "case {case}: planned {planned} > budget {budget_ms}"
+            );
             // And the timeout of the head is covered by the tail's resilience.
             let d = head
                 .timeout(hint.head_percentile, hint.allocation[0], Percentile::P99)
                 .as_millis();
-            let r = tail.resilience(Percentile::P99, hint.allocation[1]).as_millis();
-            prop_assert!(d <= r + 1e-6, "timeout {d} exceeds resilience {r}");
+            let r = tail
+                .resilience(Percentile::P99, hint.allocation[1])
+                .as_millis();
+            assert!(
+                d <= r + 1e-6,
+                "case {case}: timeout {d} exceeds resilience {r}"
+            );
         }
     }
+}
 
-    /// Hints-table lookups are total over [min, max]: any budget inside the
-    /// covered range is a hit, anything above resolves to the cheapest row.
-    #[test]
-    fn lookups_inside_the_range_never_miss(
-        base in 150.0f64..500.0,
-        budget_frac in 0.0f64..1.0,
-    ) {
+/// Hints-table lookups are total over [min, max]: any budget inside the
+/// covered range is a hit, anything above resolves to the cheapest row.
+#[test]
+fn lookups_inside_the_range_never_miss() {
+    let mut rng = SimRng::seed_from_u64(0x1A04);
+    for case in 0..CASES {
+        let base = rng.uniform_range(150.0, 500.0);
+        let budget_frac = rng.uniform();
         let f1 = synthetic_profile(base, 0.8);
         let profile = WorkflowProfile::new("wf", 1, CoreGrid::paper_default(), vec![f1]).unwrap();
         let config = GenerationConfig::default();
-        let generator = HintGenerator::new(&profile, &config, SimDuration::from_millis(4000.0)).unwrap();
+        let generator =
+            HintGenerator::new(&profile, &config, SimDuration::from_millis(4000.0)).unwrap();
         let (table, raw) = generator.build_table(0, None);
-        prop_assume!(!table.is_empty());
-        prop_assert!(table.len() <= raw.len());
+        if table.is_empty() {
+            continue;
+        }
+        assert!(table.len() <= raw.len(), "case {case}");
         let lo = table.min_budget_ms().unwrap();
         let hi = table.max_budget_ms().unwrap();
         let budget = lo + budget_frac * (hi - lo);
-        prop_assert!(table.lookup(SimDuration::from_millis(budget)).is_hit());
-        prop_assert!(table.lookup(SimDuration::from_millis(hi + 10_000.0)).is_hit());
+        assert!(
+            table.lookup(SimDuration::from_millis(budget)).is_hit(),
+            "case {case}: miss at {budget} in [{lo}, {hi}]"
+        );
+        assert!(
+            table
+                .lookup(SimDuration::from_millis(hi + 10_000.0))
+                .is_hit(),
+            "case {case}"
+        );
     }
 }
