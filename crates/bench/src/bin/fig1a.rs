@@ -7,4 +7,5 @@ fn main() {
     let flags = BenchFlags::parse();
     let result = fig1a_slack_cdf(flags.trace_invocations(), flags.seed_or(0xA2C5E));
     print!("{result}");
+    flags.write_out(&result);
 }

@@ -7,4 +7,5 @@ fn main() {
     let flags = BenchFlags::parse();
     let result = fig1b_workset_variance(flags.profile_samples(), flags.seed_or(0xF1B));
     print!("{result}");
+    flags.write_out(&result);
 }

@@ -1,7 +1,11 @@
 //! Figure 1c: performance interference from co-locating homogeneous functions.
 
+use janus_bench::BenchFlags;
 use janus_core::experiments::fig1c_interference;
 
 fn main() {
-    print!("{}", fig1c_interference());
+    let flags = BenchFlags::parse();
+    let result = fig1c_interference();
+    print!("{result}");
+    flags.write_out(&result);
 }

@@ -1,13 +1,11 @@
 //! Figure 2: per-request early-binding vs late-binding comparison.
 
-use janus_bench::{BenchFlags, Scale};
+use janus_bench::BenchFlags;
 use janus_core::experiments::fig2_binding_comparison;
 
 fn main() {
     let flags = BenchFlags::parse();
-    let requests = match flags.scale {
-        Scale::Paper => 50,
-        Scale::Quick => 25,
-    };
-    print!("{}", fig2_binding_comparison(requests, flags.seed_or(0xF2)));
+    let result = fig2_binding_comparison(flags.scale.fig2_requests(), flags.seed_or(0xF2));
+    print!("{result}");
+    flags.write_out(&result);
 }

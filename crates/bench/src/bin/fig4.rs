@@ -2,6 +2,7 @@
 
 use janus_bench::BenchFlags;
 use janus_core::experiments::fig4_latency_cdfs;
+use janus_synthesizer::json::Value;
 use janus_workloads::apps::PaperApp;
 
 fn main() {
@@ -12,6 +13,7 @@ fn main() {
         (PaperApp::IntelligentAssistant, 3),
         (PaperApp::VideoAnalyze, 1),
     ];
+    let mut out = Vec::new();
     for (app, conc) in setups {
         let config = flags.comparison(app, conc);
         match fig4_latency_cdfs(&config) {
@@ -30,8 +32,10 @@ fn main() {
                     println!();
                 }
                 println!();
+                flags.collect_out(&mut out, &result);
             }
             Err(e) => eprintln!("fig4 failed for {} conc {}: {e}", app.short_name(), conc),
         }
     }
+    flags.write_out_value(&Value::Arr(out));
 }

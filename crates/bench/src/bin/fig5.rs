@@ -4,10 +4,12 @@
 use janus_bench::BenchFlags;
 use janus_core::comparison::PolicyKind;
 use janus_core::experiments::fig5_resource_consumption;
+use janus_synthesizer::json::Value;
 use janus_workloads::apps::PaperApp;
 
 fn main() {
     let flags = BenchFlags::parse();
+    let mut out = Vec::new();
     println!("# Figure 5a: absolute CPU (millicores), concurrency 1");
     for app in PaperApp::ALL {
         let config = flags.comparison(app, 1);
@@ -17,6 +19,7 @@ fn main() {
                 for (policy, cpu) in result.fig5_row() {
                     println!("{policy:>12} {cpu:>10.1}");
                 }
+                flags.collect_out(&mut out, &result);
             }
             Err(e) => eprintln!("fig5a failed for {}: {e}", app.short_name()),
         }
@@ -46,8 +49,10 @@ fn main() {
                     );
                 }
                 let _ = result.outcome.report(PolicyKind::Optimal);
+                flags.collect_out(&mut out, &result);
             }
             Err(e) => eprintln!("fig5b failed at concurrency {conc}: {e}"),
         }
     }
+    flags.write_out_value(&Value::Arr(out));
 }

@@ -12,7 +12,10 @@ fn main() {
         Scale::Quick => &[3.0, 5.0, 7.0],
     };
     match fig6_exploration_cost(slos, &base) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            flags.write_out(&result);
+        }
         Err(e) => eprintln!("fig6 failed: {e}"),
     }
 }

@@ -5,8 +5,7 @@ use janus_core::experiments::fig7_timeout_resilience;
 
 fn main() {
     let flags = BenchFlags::parse();
-    print!(
-        "{}",
-        fig7_timeout_resilience(flags.profile_samples(), flags.seed_or(0xF7))
-    );
+    let result = fig7_timeout_resilience(flags.profile_samples(), flags.seed_or(0xF7));
+    print!("{result}");
+    flags.write_out(&result);
 }

@@ -7,7 +7,10 @@ fn main() {
     let flags = BenchFlags::parse();
     let weights = [1.0, 1.5, 2.0, 2.5, 3.0];
     match fig8_hint_counts(&weights, flags.profile_samples(), flags.seed_or(0xF8)) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            flags.write_out(&result);
+        }
         Err(e) => eprintln!("fig8 failed: {e}"),
     }
 }

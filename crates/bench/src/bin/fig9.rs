@@ -2,6 +2,7 @@
 
 use janus_bench::{BenchFlags, Scale};
 use janus_core::experiments::fig9_slo_sweep;
+use janus_synthesizer::json::Value;
 use janus_workloads::apps::PaperApp;
 
 fn main() {
@@ -14,14 +15,22 @@ fn main() {
         Scale::Paper => &[1.5, 1.6, 1.7, 1.8, 1.9, 2.0],
         Scale::Quick => &[1.5, 1.75, 2.0],
     };
+    let mut out = Vec::new();
     let base_ia = flags.comparison(PaperApp::IntelligentAssistant, 1);
     match fig9_slo_sweep(PaperApp::IntelligentAssistant, ia_slos, &base_ia) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            flags.collect_out(&mut out, &result);
+        }
         Err(e) => eprintln!("fig9 (IA) failed: {e}"),
     }
     let base_va = flags.comparison(PaperApp::VideoAnalyze, 1);
     match fig9_slo_sweep(PaperApp::VideoAnalyze, va_slos, &base_va) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            flags.collect_out(&mut out, &result);
+        }
         Err(e) => eprintln!("fig9 (VA) failed: {e}"),
     }
+    flags.write_out_value(&Value::Arr(out));
 }

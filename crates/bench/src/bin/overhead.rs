@@ -10,7 +10,10 @@ fn main() {
         Scale::Quick => 2_000,
     };
     match overhead_report(decisions, flags.profile_samples(), flags.seed_or(0x0B)) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            flags.write_out(&result);
+        }
         Err(e) => eprintln!("overhead report failed: {e}"),
     }
 }

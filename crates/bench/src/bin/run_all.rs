@@ -7,37 +7,60 @@
 
 use janus_bench::{BenchFlags, Scale};
 use janus_core::experiments as exp;
+use janus_core::experiments::ToJson;
+use janus_synthesizer::json::Value;
 use janus_workloads::apps::PaperApp;
 
 fn main() {
     let flags = BenchFlags::parse();
+    // With --out, every section's result is also collected into one JSON
+    // document: {"fig1a": {...}, "table1": [...], ...}.
+    let mut out: Vec<(String, Value)> = Vec::new();
+    let record = |out: &mut Vec<(String, Value)>, key: &str, result: &dyn ToJson| {
+        if flags.out.is_some() {
+            out.push((key.to_string(), result.to_json()));
+        }
+    };
+
     println!("===== Figure 1a =====");
-    print!(
-        "{}",
-        exp::fig1a_slack_cdf(flags.trace_invocations(), flags.seed_or(0xA2C5E))
-    );
+    let fig1a = exp::fig1a_slack_cdf(flags.trace_invocations(), flags.seed_or(0xA2C5E));
+    print!("{fig1a}");
+    record(&mut out, "fig1a", &fig1a);
     println!("\n===== Figure 1b =====");
-    print!(
-        "{}",
-        exp::fig1b_workset_variance(flags.profile_samples(), flags.seed_or(0xF1B))
-    );
+    let fig1b = exp::fig1b_workset_variance(flags.profile_samples(), flags.seed_or(0xF1B));
+    print!("{fig1b}");
+    record(&mut out, "fig1b", &fig1b);
     println!("\n===== Figure 1c =====");
-    print!("{}", exp::fig1c_interference());
+    let fig1c = exp::fig1c_interference();
+    print!("{fig1c}");
+    record(&mut out, "fig1c", &fig1c);
     println!("\n===== Figure 2 =====");
-    print!("{}", exp::fig2_binding_comparison(50, flags.seed_or(0xF2)));
+    let fig2 = exp::fig2_binding_comparison(flags.scale.fig2_requests(), flags.seed_or(0xF2));
+    print!("{fig2}");
+    record(&mut out, "fig2", &fig2);
 
     println!("\n===== Table I / Figures 4 & 5 =====");
+    let mut table1 = Vec::new();
     for app in PaperApp::ALL {
         match exp::table1_overall(&flags.comparison(app, 1)) {
-            Ok(result) => println!("{result}"),
+            Ok(result) => {
+                println!("{result}");
+                flags.collect_out(&mut table1, &result);
+            }
             Err(e) => eprintln!("table1 failed for {}: {e}", app.short_name()),
         }
     }
     for conc in [2u32, 3] {
         match exp::table1_overall(&flags.comparison(PaperApp::IntelligentAssistant, conc)) {
-            Ok(result) => println!("{result}"),
+            Ok(result) => {
+                println!("{result}");
+                flags.collect_out(&mut table1, &result);
+            }
             Err(e) => eprintln!("fig5b failed for concurrency {conc}: {e}"),
         }
+    }
+    if flags.out.is_some() {
+        out.push(("table1".to_string(), Value::Arr(table1)));
     }
 
     println!("\n===== Figure 6 =====");
@@ -46,15 +69,17 @@ fn main() {
         Scale::Quick => &[3.0, 5.0, 7.0],
     };
     match exp::fig6_exploration_cost(slos, &flags.comparison(PaperApp::IntelligentAssistant, 1)) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            record(&mut out, "fig6", &result);
+        }
         Err(e) => eprintln!("fig6 failed: {e}"),
     }
 
     println!("\n===== Figure 7 =====");
-    print!(
-        "{}",
-        exp::fig7_timeout_resilience(flags.profile_samples(), flags.seed_or(0xF7))
-    );
+    let fig7 = exp::fig7_timeout_resilience(flags.profile_samples(), flags.seed_or(0xF7));
+    print!("{fig7}");
+    record(&mut out, "fig7", &fig7);
 
     println!("\n===== Figure 8 =====");
     match exp::fig8_hint_counts(
@@ -62,13 +87,19 @@ fn main() {
         flags.profile_samples(),
         flags.seed_or(0xF8),
     ) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            record(&mut out, "fig8", &result);
+        }
         Err(e) => eprintln!("fig8 failed: {e}"),
     }
 
     println!("\n===== Table II =====");
     match exp::table2_weight_impact(&[1.0, 3.0], flags.profile_samples(), flags.seed_or(0x72)) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            record(&mut out, "table2", &result);
+        }
         Err(e) => eprintln!("table2 failed: {e}"),
     }
 
@@ -78,7 +109,10 @@ fn main() {
         slos,
         &flags.comparison(PaperApp::IntelligentAssistant, 1),
     ) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            record(&mut out, "fig9_ia", &result);
+        }
         Err(e) => eprintln!("fig9 IA failed: {e}"),
     }
     let va_slos: &[f64] = match flags.scale {
@@ -90,13 +124,30 @@ fn main() {
         va_slos,
         &flags.comparison(PaperApp::VideoAnalyze, 1),
     ) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            record(&mut out, "fig9_va", &result);
+        }
         Err(e) => eprintln!("fig9 VA failed: {e}"),
+    }
+
+    println!("\n===== Scenario sweep (load shapes × policies) =====");
+    match exp::scenario_sweep(&flags.scenario_sweep(PaperApp::IntelligentAssistant)) {
+        Ok(result) => {
+            print!("{result}");
+            record(&mut out, "scenarios", &result);
+        }
+        Err(e) => eprintln!("scenario sweep failed: {e}"),
     }
 
     println!("\n===== System overhead (§V-H) =====");
     match exp::overhead_report(5_000, flags.profile_samples(), flags.seed_or(0x0B)) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            record(&mut out, "overhead", &result);
+        }
         Err(e) => eprintln!("overhead failed: {e}"),
     }
+
+    flags.write_out_value(&Value::Obj(out));
 }

@@ -1,0 +1,31 @@
+//! Scenario sweep: every policy under every built-in load shape.
+//!
+//! The open extension of the paper's evaluation (§V drives everything with
+//! one constant-rate loop): the five built-in scenarios — `poisson`,
+//! `diurnal`, `bursty`, `flash-crowd`, `trace-replay` — each normalized to
+//! the same long-run arrival rate, served by the representative policy set,
+//! with one paired, invariant-checked session per scenario.
+//!
+//! ```text
+//! cargo run --release -p janus-bench --bin scenarios            # paper scale
+//! cargo run --release -p janus-bench --bin scenarios -- --quick # smoke scale
+//! ```
+
+use janus_bench::BenchFlags;
+use janus_core::experiments::scenario_sweep;
+use janus_workloads::apps::PaperApp;
+
+fn main() {
+    let flags = BenchFlags::parse();
+    let config = flags.scenario_sweep(PaperApp::IntelligentAssistant);
+    match scenario_sweep(&config) {
+        Ok(result) => {
+            print!("{result}");
+            flags.write_out(&result);
+        }
+        Err(e) => {
+            eprintln!("scenario sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

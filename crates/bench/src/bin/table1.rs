@@ -2,17 +2,21 @@
 
 use janus_bench::BenchFlags;
 use janus_core::experiments::table1_overall;
+use janus_synthesizer::json::Value;
 use janus_workloads::apps::PaperApp;
 
 fn main() {
     let flags = BenchFlags::parse();
+    let mut out = Vec::new();
     for app in PaperApp::ALL {
         let config = flags.comparison(app, 1);
         match table1_overall(&config) {
             Ok(result) => {
                 println!("{result}");
+                flags.collect_out(&mut out, &result);
             }
             Err(e) => eprintln!("table1 failed for {}: {e}", app.short_name()),
         }
     }
+    flags.write_out_value(&Value::Arr(out));
 }

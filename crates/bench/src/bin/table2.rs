@@ -6,7 +6,10 @@ use janus_core::experiments::table2_weight_impact;
 fn main() {
     let flags = BenchFlags::parse();
     match table2_weight_impact(&[1.0, 3.0], flags.profile_samples(), flags.seed_or(0x72)) {
-        Ok(result) => print!("{result}"),
+        Ok(result) => {
+            print!("{result}");
+            flags.write_out(&result);
+        }
         Err(e) => eprintln!("table2 failed: {e}"),
     }
 }

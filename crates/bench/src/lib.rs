@@ -11,7 +11,8 @@
 //!   `cargo run --release -p janus-bench --bin fig5`, or everything at once
 //!   with `--bin run_all`. Every binary accepts the shared [`BenchFlags`]
 //!   flags: `--quick` (reduced scale for smoke runs), `--seed N` (override
-//!   the serving/profiling seed) and `--help`.
+//!   the serving/profiling seed), `--out PATH` (write the result struct as
+//!   JSON next to the stdout tables) and `--help`.
 //! * **Criterion benches** (`benches/*.rs`) — micro-benchmarks of the system
 //!   costs the paper reports: online adaptation latency (§V-H), hint
 //!   synthesis time (Figure 6b), condensing, profiling throughput and
@@ -23,7 +24,9 @@
 //! configs produced here resolve to session runs.
 
 use janus_core::comparison::ComparisonConfig;
+use janus_core::experiments::{ScenarioSweepConfig, ToJson};
 use janus_core::session::ServingSessionBuilder;
+use janus_synthesizer::json::Value;
 use janus_workloads::apps::PaperApp;
 
 /// Shared experiment scale used by the figure/table binaries.
@@ -69,20 +72,40 @@ impl Scale {
             Scale::Quick => 15_000,
         }
     }
+
+    /// Figure 2 request-sample size at this scale.
+    pub fn fig2_requests(self) -> usize {
+        match self {
+            Scale::Paper => 50,
+            Scale::Quick => 25,
+        }
+    }
+
+    /// Scenario-sweep configuration for an application at this scale.
+    pub fn scenario_sweep(self, app: PaperApp) -> ScenarioSweepConfig {
+        match self {
+            Scale::Paper => ScenarioSweepConfig::paper_default(app),
+            Scale::Quick => ScenarioSweepConfig::quick(app),
+        }
+    }
 }
 
 /// The one flag parser every fig/table binary shares (replacing the old
 /// per-binary `std::env::args()` scanning).
 ///
 /// Recognised flags: `--quick`, `--paper` (default), `--seed <u64>`,
-/// `--help`/`-h`. Unknown flags abort with a usage message so typos cannot
-/// silently run a multi-minute experiment at the wrong scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `--out <path>`, `--help`/`-h`. Unknown flags abort with a usage message
+/// so typos cannot silently run a multi-minute experiment at the wrong
+/// scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchFlags {
     /// Experiment scale (`--quick` selects [`Scale::Quick`]).
     pub scale: Scale,
     /// Optional serving/profiling seed override (`--seed N`).
     pub seed: Option<u64>,
+    /// Optional path the binary writes its result to as JSON (`--out`),
+    /// next to the stdout tables.
+    pub out: Option<String>,
 }
 
 impl Default for BenchFlags {
@@ -90,16 +113,19 @@ impl Default for BenchFlags {
         BenchFlags {
             scale: Scale::Paper,
             seed: None,
+            out: None,
         }
     }
 }
 
 impl BenchFlags {
     /// Usage string shared by every binary.
-    pub const USAGE: &'static str = "usage: <bin> [--quick | --paper] [--seed N] [--help]\n\
+    pub const USAGE: &'static str =
+        "usage: <bin> [--quick | --paper] [--seed N] [--out PATH] [--help]\n\
         \x20 --quick    reduced scale (fewer requests / profile samples) for smoke runs\n\
         \x20 --paper    paper scale (default)\n\
         \x20 --seed N   override the serving/profiling seed\n\
+        \x20 --out PATH write the result struct as JSON to PATH (in addition to stdout)\n\
         \x20 --help     print this message";
 
     /// Parse the process arguments; prints usage and exits on `--help` or on
@@ -119,7 +145,8 @@ impl BenchFlags {
         }
     }
 
-    /// Parse from an explicit argument list (testable core of [`parse`]).
+    /// Parse from an explicit argument list (testable core of
+    /// [`parse`](Self::parse)).
     pub fn from_args<I>(args: I) -> Result<BenchFlags, String>
     where
         I: IntoIterator<Item = String>,
@@ -139,6 +166,10 @@ impl BenchFlags {
                             .parse::<u64>()
                             .map_err(|e| format!("invalid --seed `{value}`: {e}"))?,
                     );
+                }
+                "--out" => {
+                    let value = it.next().ok_or_else(|| "--out needs a path".to_string())?;
+                    flags.out = Some(value);
                 }
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -178,6 +209,53 @@ impl BenchFlags {
     /// Trace invocations for Figure 1a at the parsed scale.
     pub fn trace_invocations(&self) -> usize {
         self.scale.trace_invocations()
+    }
+
+    /// Scenario-sweep configuration at the parsed scale, with the seed
+    /// override applied.
+    pub fn scenario_sweep(&self, app: PaperApp) -> ScenarioSweepConfig {
+        let mut config = self.scale.scenario_sweep(app);
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+
+    /// Write one experiment result as pretty-printed JSON to the `--out`
+    /// path. Without `--out` this is a no-op (the result is not even
+    /// encoded). Reports the written path on stderr so the stdout tables
+    /// stay machine-clean; a failed write aborts the process with a
+    /// non-zero exit code — an explicitly requested artefact must not be
+    /// silently missing.
+    pub fn write_out(&self, result: &dyn ToJson) {
+        if self.out.is_some() {
+            self.write_out_value(&result.to_json());
+        }
+    }
+
+    /// Collect one result into an aggregation buffer, encoding it only when
+    /// `--out` was given — the shared helper for binaries that write several
+    /// results into one JSON array via
+    /// [`write_out_value`](Self::write_out_value).
+    pub fn collect_out(&self, out: &mut Vec<Value>, result: &dyn ToJson) {
+        if self.out.is_some() {
+            out.push(result.to_json());
+        }
+    }
+
+    /// [`write_out`](Self::write_out) for an already-assembled document —
+    /// used by binaries that aggregate several results into one file.
+    pub fn write_out_value(&self, value: &Value) {
+        let Some(path) = &self.out else { return };
+        let mut doc = value.to_pretty();
+        doc.push('\n');
+        match std::fs::write(path, doc) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -219,6 +297,26 @@ mod tests {
         assert!(parse(&["--seed", "abc"])
             .unwrap_err()
             .contains("invalid --seed"));
+        assert!(parse(&["--out"]).unwrap_err().contains("needs a path"));
+    }
+
+    #[test]
+    fn out_flag_writes_parseable_json_next_to_stdout() {
+        let path = std::env::temp_dir().join("janus_bench_out_flag_test.json");
+        let path_str = path.to_string_lossy().to_string();
+        let flags = parse(&["--quick", "--out", &path_str]).unwrap();
+        assert_eq!(flags.out.as_deref(), Some(path_str.as_str()));
+
+        let result = janus_core::experiments::fig1c_interference();
+        flags.write_out(&result);
+        let doc =
+            janus_synthesizer::json::parse(&std::fs::read_to_string(&path).expect("file written"))
+                .expect("valid JSON");
+        assert_eq!(doc.require("experiment").unwrap().as_str(), Some("fig1c"));
+        let _ = std::fs::remove_file(&path);
+
+        // No --out: a no-op, nothing written.
+        BenchFlags::default().write_out(&result);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Legacy paired-comparison surface, now a thin shim over
-//! [`ServingSession`](crate::session::ServingSession).
+//! [`ServingSession`].
 //!
 //! Every evaluation figure of the paper compares systems serving the *same*
 //! workload; the session runner generates one request set and replays it

@@ -9,6 +9,8 @@
 pub mod metrics;
 pub mod motivation;
 pub mod overall;
+pub mod report_json;
+pub mod scenario_sweep;
 pub mod slo_sweep;
 pub mod synthesis;
 
@@ -18,6 +20,10 @@ pub use motivation::{
     Fig1aResult, Fig1bResult, Fig1cResult, Fig2Result,
 };
 pub use overall::{fig4_latency_cdfs, fig5_resource_consumption, table1_overall, OverallResult};
+pub use report_json::ToJson;
+pub use scenario_sweep::{
+    scenario_sweep, scenario_sweep_with, ScenarioCell, ScenarioSweepConfig, ScenarioSweepResult,
+};
 pub use slo_sweep::{fig9_slo_sweep, Fig9Result};
 pub use synthesis::{
     fig6_exploration_cost, fig8_hint_counts, overhead_report, table2_weight_impact, Fig6Result,

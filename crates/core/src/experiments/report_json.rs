@@ -1,0 +1,445 @@
+//! Machine-readable views of the experiment results.
+//!
+//! The serde shim carries no serialisation machinery (see `DESIGN.md` §4),
+//! so results become JSON the same way the hints bundle does: through the
+//! hand-rolled encoder in [`janus_synthesizer::json`]. Every experiment
+//! result struct implements [`ToJson`]; the `janus-bench` binaries write the
+//! document next to their stdout tables when `--out <path>` is given, which
+//! makes performance trajectories diffable and plottable without scraping
+//! the tables.
+
+use super::{
+    Fig1aResult, Fig1bResult, Fig1cResult, Fig2Result, Fig6Result, Fig7Result, Fig8Result,
+    Fig9Result, OverallResult, OverheadResult, ScenarioSweepResult, Table2Result,
+};
+use janus_synthesizer::json::Value;
+
+/// A machine-readable (JSON) view of an experiment result.
+pub trait ToJson {
+    /// The result as a JSON document.
+    fn to_json(&self) -> Value;
+}
+
+fn num(n: f64) -> Value {
+    Value::Num(n)
+}
+
+fn count(n: usize) -> Value {
+    Value::Num(n as f64)
+}
+
+fn text(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn nums(values: &[f64]) -> Value {
+    Value::Arr(values.iter().copied().map(Value::Num).collect())
+}
+
+/// `(x, y)` point series as `[[x, y], …]`.
+fn points(series: &[(f64, f64)]) -> Value {
+    Value::Arr(
+        series
+            .iter()
+            .map(|&(x, y)| Value::Arr(vec![num(x), num(y)]))
+            .collect(),
+    )
+}
+
+fn obj(members: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl ToJson for Fig1aResult {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("experiment", text("fig1a")),
+            ("all_cdf", points(&self.all)),
+            ("popular_cdf", points(&self.popular)),
+            ("popular_fraction", num(self.popular_fraction)),
+            ("frac_all_above_60", num(self.frac_all_above_60)),
+            ("frac_popular_below_40", num(self.frac_popular_below_40)),
+        ])
+    }
+}
+
+impl ToJson for Fig1bResult {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("experiment", text("fig1b")),
+            (
+                "rows",
+                Value::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(name, p1, p99, ratio)| {
+                            obj(vec![
+                                ("function", text(name)),
+                                ("p1_s", num(*p1)),
+                                ("p99_s", num(*p99)),
+                                ("ratio", num(*ratio)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Fig1cResult {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("experiment", text("fig1c")),
+            (
+                "rows",
+                Value::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(dim, series)| {
+                            obj(vec![
+                                ("dimension", text(dim)),
+                                ("normalized_latency", nums(series)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Fig2Result {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("experiment", text("fig2")),
+            ("slo_s", num(self.slo_s)),
+            ("mean_cpu_reduction", num(self.mean_cpu_reduction)),
+            (
+                "rows",
+                Value::Arr(
+                    self.rows
+                        .iter()
+                        .map(|&(id, e_early, e_late, c_early, c_late)| {
+                            obj(vec![
+                                ("request", count(id as usize)),
+                                ("e2e_early_s", num(e_early)),
+                                ("e2e_late_s", num(e_late)),
+                                ("cpu_early_vs_optimal", num(c_early)),
+                                ("cpu_late_vs_optimal", num(c_late)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for OverallResult {
+    fn to_json(&self) -> Value {
+        let cfg = &self.outcome.config;
+        let policies = cfg
+            .policies
+            .iter()
+            .zip(&self.outcome.reports)
+            .map(|(kind, report)| {
+                obj(vec![
+                    ("name", text(kind.name())),
+                    ("mean_cpu_millicores", num(report.mean_cpu_millicores())),
+                    (
+                        "normalized_cpu",
+                        self.outcome
+                            .normalized_cpu(*kind)
+                            .map(num)
+                            .unwrap_or(Value::Null),
+                    ),
+                    (
+                        "p99_e2e_s",
+                        report
+                            .e2e_percentile(99.0)
+                            .map(|d| num(d.as_secs()))
+                            .unwrap_or(Value::Null),
+                    ),
+                    ("slo_violation_rate", num(report.slo_violation_rate())),
+                ])
+            })
+            .collect();
+        let table1 = self
+            .table1_row()
+            .into_iter()
+            .map(|(name, reduction)| {
+                obj(vec![
+                    ("baseline", text(&name)),
+                    ("janus_reduction_percent", num(reduction)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("experiment", text("overall")),
+            ("app", text(self.app_name())),
+            ("concurrency", count(cfg.concurrency as usize)),
+            ("slo_s", num(cfg.slo.as_secs())),
+            ("requests", count(cfg.requests)),
+            ("policies", Value::Arr(policies)),
+            ("table1", Value::Arr(table1)),
+        ])
+    }
+}
+
+impl ToJson for Fig6Result {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("experiment", text("fig6")),
+            ("slos_s", nums(&self.slos_s)),
+            ("janus_cpu", nums(&self.janus_cpu)),
+            ("janus_plus_cpu", nums(&self.janus_plus_cpu)),
+            ("janus_time_s", nums(&self.janus_time_s)),
+            ("janus_plus_time_s", nums(&self.janus_plus_time_s)),
+        ])
+    }
+}
+
+impl ToJson for Fig7Result {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("experiment", text("fig7")),
+            (
+                "cores",
+                Value::Arr(self.cores.iter().map(|&c| count(c as usize)).collect()),
+            ),
+            (
+                "timeout",
+                Value::Arr(
+                    self.timeout
+                        .iter()
+                        .map(|(pct, series)| {
+                            obj(vec![("percentile", num(*pct)), ("seconds", nums(series))])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "resilience",
+                Value::Arr(
+                    self.resilience
+                        .iter()
+                        .map(|(conc, series)| {
+                            obj(vec![
+                                ("concurrency", count(*conc as usize)),
+                                ("seconds", nums(series)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Fig8Result {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("experiment", text("fig8")),
+            ("weights", nums(&self.weights)),
+            (
+                "series",
+                Value::Arr(
+                    self.series
+                        .iter()
+                        .map(|(label, hints, compression)| {
+                            obj(vec![
+                                ("label", text(label)),
+                                (
+                                    "hints",
+                                    Value::Arr(hints.iter().map(|&h| count(h)).collect()),
+                                ),
+                                ("compression", nums(compression)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Fig9Result {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("experiment", text("fig9")),
+            ("app", text(&self.app)),
+            ("slos_s", nums(&self.slos_s)),
+            (
+                "series",
+                Value::Arr(
+                    self.series
+                        .iter()
+                        .map(|(policy, values)| {
+                            obj(vec![
+                                ("policy", text(policy)),
+                                ("normalized_cpu", nums(values)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Table2Result {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("experiment", text("table2")),
+            (
+                "rows",
+                Value::Arr(
+                    self.rows
+                        .iter()
+                        .map(|&(weight, cpu, pct)| {
+                            obj(vec![
+                                ("weight", num(weight)),
+                                ("head_millicores", num(cpu)),
+                                ("head_percentile", num(pct)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for OverheadResult {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("experiment", text("overhead")),
+            (
+                "rows",
+                Value::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(app, mean_us, max_us, bytes, hints, synth_ms)| {
+                            obj(vec![
+                                ("app", text(app)),
+                                ("mean_decision_us", num(*mean_us)),
+                                ("max_decision_us", num(*max_us)),
+                                ("bundle_bytes", count(*bytes)),
+                                ("condensed_hints", count(*hints)),
+                                ("synthesis_ms", num(*synth_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for ScenarioSweepResult {
+    fn to_json(&self) -> Value {
+        let grid = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let policies = cell
+                    .report
+                    .policies
+                    .iter()
+                    .map(|p| {
+                        obj(vec![
+                            ("name", text(&p.name)),
+                            ("slo_attainment", num(p.slo_attainment())),
+                            ("mean_cpu_millicores", num(p.serving.mean_cpu_millicores())),
+                            (
+                                "p99_e2e_s",
+                                p.serving
+                                    .e2e_percentile(99.0)
+                                    .map(|d| num(d.as_secs()))
+                                    .unwrap_or(Value::Null),
+                            ),
+                        ])
+                    })
+                    .collect();
+                obj(vec![
+                    ("scenario", text(&cell.scenario)),
+                    ("policies", Value::Arr(policies)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("experiment", text("scenario_sweep")),
+            ("app", text(self.config.app.short_name())),
+            ("concurrency", count(self.config.concurrency as usize)),
+            ("requests", count(self.config.requests)),
+            ("base_rps", num(self.config.rps)),
+            ("grid", Value::Arr(grid)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+    use janus_synthesizer::json;
+
+    #[test]
+    fn encoded_results_parse_back_and_carry_the_headline_numbers() {
+        let fig1a = experiments::fig1a_slack_cdf(5000, 3);
+        let doc = json::parse(&fig1a.to_json().to_pretty()).unwrap();
+        assert_eq!(doc.require("experiment").unwrap().as_str(), Some("fig1a"));
+        let frac = doc.require("popular_fraction").unwrap().as_f64().unwrap();
+        assert!((frac - fig1a.popular_fraction).abs() < 1e-9);
+        assert_eq!(
+            doc.require("all_cdf").unwrap().as_array().unwrap().len(),
+            fig1a.all.len()
+        );
+
+        let fig1c = experiments::fig1c_interference();
+        let doc = json::parse(&fig1c.to_json().to_pretty()).unwrap();
+        assert_eq!(
+            doc.require("rows").unwrap().as_array().unwrap().len(),
+            fig1c.rows.len()
+        );
+    }
+
+    #[test]
+    fn sweep_results_encode_the_full_grid() {
+        use janus_workloads::apps::PaperApp;
+        let config = experiments::ScenarioSweepConfig {
+            scenarios: vec!["poisson".into()],
+            policies: vec!["GrandSLAM".into()],
+            requests: 20,
+            rps: 2.0,
+            samples_per_point: 250,
+            budget_step_ms: 10.0,
+            ..experiments::ScenarioSweepConfig::quick(PaperApp::IntelligentAssistant)
+        };
+        let result = experiments::scenario_sweep(&config).unwrap();
+        let doc = json::parse(&result.to_json().to_pretty()).unwrap();
+        let grid = doc.require("grid").unwrap().as_array().unwrap();
+        assert_eq!(grid.len(), 1);
+        assert_eq!(
+            grid[0].require("scenario").unwrap().as_str(),
+            Some("poisson")
+        );
+        let policies = grid[0].require("policies").unwrap().as_array().unwrap();
+        assert_eq!(
+            policies[0].require("name").unwrap().as_str(),
+            Some("GrandSLAM")
+        );
+        let attainment = policies[0]
+            .require("slo_attainment")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((0.0..=1.0).contains(&attainment));
+    }
+}

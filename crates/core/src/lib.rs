@@ -26,6 +26,11 @@
 //! * [`registry`] — the open [`PolicyRegistry`]: the paper's seven policies
 //!   as pre-registered [`PolicyFactory`]s, plus registration of custom
 //!   policies from any downstream crate.
+//! * [`scenarios`] (re-exported `janus-scenarios`) — the workload axis:
+//!   pluggable arrival processes (`poisson`, `diurnal`, `bursty`,
+//!   `flash-crowd`, `trace-replay`) behind an open `ScenarioRegistry`,
+//!   selected per session with `.scenario(..)` / `.arrivals(..)` and swept
+//!   against the policy grid by [`fn@experiments::scenario_sweep`].
 //! * [`JanusDeployment`] — the end-to-end pipeline (profile → synthesize →
 //!   deploy adapter) for one workflow, concurrency and SLO.
 //! * [`JanusPolicy`] — the resulting late-binding
@@ -79,6 +84,7 @@ pub use janus_adapter as adapter;
 pub use janus_baselines as baselines;
 pub use janus_platform as platform;
 pub use janus_profiler as profiler;
+pub use janus_scenarios as scenarios;
 pub use janus_simcore as simcore;
 pub use janus_synthesizer as synthesizer;
 pub use janus_trace as trace;

@@ -3,7 +3,7 @@
 //! The paper's thesis is that the hints interface lets *any* provider-side
 //! policy plug into *any* developer-side workflow. The registry makes the
 //! reproduction's API live up to that: a policy is anything that can build a
-//! [`SizingPolicy`](janus_platform::policy::SizingPolicy) from a
+//! [`SizingPolicy`] from a
 //! [`PolicyContext`] (the workflow, its profile, the SLO, and the request
 //! set), registered under a display name. The seven policies of the paper's
 //! evaluation are pre-registered built-ins; downstream crates register their

@@ -3,8 +3,8 @@
 //! Before this module, running a policy against a workload meant choosing
 //! between three incompatible surfaces: `ComparisonConfig` + `comparison::run`
 //! for paired comparisons, a hand-wired
-//! [`ClosedLoopExecutor`](janus_platform::executor::ClosedLoopExecutor), or a
-//! hand-wired [`OpenLoopSimulation`](janus_platform::openloop::OpenLoopSimulation)
+//! [`ClosedLoopExecutor`], or a
+//! hand-wired [`OpenLoopSimulation`]
 //! for Poisson arrivals. A session unifies them:
 //!
 //! ```
@@ -28,17 +28,29 @@
 //! and serve it by name without touching any `janus-*` crate. Every policy in
 //! the session replays the *same* request set (paired comparison, as in the
 //! paper's evaluation), whether the load is closed- or open-loop.
+//!
+//! Open-loop sessions additionally choose *when* those requests arrive:
+//! [`arrivals`](ServingSessionBuilder::arrivals) accepts any
+//! [`ArrivalProcess`], and
+//! [`scenario`](ServingSessionBuilder::scenario) resolves one by name from a
+//! [`ScenarioRegistry`] (`"poisson"`, `"diurnal"`, `"bursty"`,
+//! `"flash-crowd"`, `"trace-replay"`, or anything registered downstream).
+//! `Load::Open { rps }` without a scenario stays the constant-rate Poisson
+//! special case, reproducing the historical request stream bit for bit.
 
 use crate::registry::{PolicyContext, PolicyFactory, PolicyRegistry, SynthesisSettings};
 use janus_platform::executor::{ClosedLoopExecutor, ExecutorConfig};
 use janus_platform::openloop::{OpenLoopConfig, OpenLoopSimulation};
 use janus_platform::outcome::ServingReport;
 use janus_profiler::profiler::{Profiler, ProfilerConfig};
+use janus_scenarios::{ArrivalProcess, ScenarioContext, ScenarioRegistry};
 use janus_simcore::resources::CoreGrid;
 use janus_simcore::time::SimDuration;
 use janus_synthesizer::synthesizer::SynthesisReport;
 use janus_workloads::apps::PaperApp;
-use janus_workloads::request::{RequestInput, RequestInputGenerator};
+use janus_workloads::request::{
+    InterArrivalSampler, PoissonGaps, RequestInput, RequestInputGenerator,
+};
 use janus_workloads::workflow::Workflow;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -84,6 +96,17 @@ impl Load {
     }
 }
 
+/// How an open-loop session decides request arrival times. `None` keeps the
+/// legacy constant-rate Poisson process of `Load::Open { rps }`.
+#[derive(Debug, Clone)]
+enum ArrivalSpec {
+    /// An explicit arrival process instance.
+    Process(Arc<dyn ArrivalProcess>),
+    /// A scenario name, resolved from the session's [`ScenarioRegistry`] at
+    /// run time (the registry needs the load's `rps` as base rate).
+    Named(String),
+}
+
 /// Builder for a [`ServingSession`]. Obtain with [`ServingSession::builder`].
 #[derive(Debug, Clone)]
 pub struct ServingSessionBuilder {
@@ -93,11 +116,13 @@ pub struct ServingSessionBuilder {
     concurrency: u32,
     policies: Vec<String>,
     load: Load,
+    arrivals: Option<ArrivalSpec>,
     seed: u64,
     samples_per_point: usize,
     synthesis: SynthesisSettings,
     count_startup_delays: bool,
     registry: PolicyRegistry,
+    scenarios: ScenarioRegistry,
 }
 
 impl Default for ServingSessionBuilder {
@@ -109,11 +134,13 @@ impl Default for ServingSessionBuilder {
             concurrency: 1,
             policies: Vec::new(),
             load: Load::Closed { requests: 1000 },
+            arrivals: None,
             seed: 7,
             samples_per_point: 1000,
             synthesis: SynthesisSettings::default(),
             count_startup_delays: true,
             registry: PolicyRegistry::with_builtins(),
+            scenarios: ScenarioRegistry::with_builtins(),
         }
     }
 }
@@ -164,6 +191,42 @@ impl ServingSessionBuilder {
     /// Request load. Default: `Load::Closed { requests: 1000 }`.
     pub fn load(mut self, load: Load) -> Self {
         self.load = load;
+        self
+    }
+
+    /// Drive an open-loop session with an explicit
+    /// [`ArrivalProcess`] instead of the
+    /// default constant-rate Poisson process. Requires `Load::Open` (its
+    /// `rps` documents the intended mean rate; the process defines the
+    /// shape). Overrides any earlier [`scenario`](Self::scenario) call.
+    pub fn arrivals(mut self, process: Arc<dyn ArrivalProcess>) -> Self {
+        self.arrivals = Some(ArrivalSpec::Process(process));
+        self
+    }
+
+    /// Drive an open-loop session with a named scenario from the session's
+    /// [`ScenarioRegistry`] (built-ins: `poisson`, `diurnal`, `bursty`,
+    /// `flash-crowd`, `trace-replay`). The scenario is built with
+    /// `Load::Open`'s `rps` as its base rate, so every scenario offers the
+    /// same long-run load in a different shape. Overrides any earlier
+    /// [`arrivals`](Self::arrivals) call.
+    pub fn scenario(mut self, name: impl Into<String>) -> Self {
+        self.arrivals = Some(ArrivalSpec::Named(name.into()));
+        self
+    }
+
+    /// Replace the scenario registry (default: the built-in five).
+    pub fn scenario_registry(mut self, scenarios: ScenarioRegistry) -> Self {
+        self.scenarios = scenarios;
+        self
+    }
+
+    /// Register an additional scenario factory on this session's registry.
+    pub fn register_scenario_fn<F>(mut self, name: impl Into<String>, build: F) -> Self
+    where
+        F: Fn(&ScenarioContext) -> Result<Box<dyn ArrivalProcess>, String> + Send + Sync + 'static,
+    {
+        self.scenarios.register_fn(name, build);
         self
     }
 
@@ -280,6 +343,18 @@ impl ServingSessionBuilder {
             return Err("load must offer at least one request".into());
         }
         self.load.mean_inter_arrival()?;
+        if let Some(spec) = &self.arrivals {
+            if matches!(self.load, Load::Closed { .. }) {
+                return Err(
+                    "arrival scenarios need .load(Load::Open { .. }) — a closed loop has no \
+                     arrival process"
+                        .into(),
+                );
+            }
+            if let ArrivalSpec::Named(name) = spec {
+                self.scenarios.ensure_known(name)?;
+            }
+        }
         if self.samples_per_point == 0 {
             return Err("samples_per_point must be at least 1".into());
         }
@@ -289,11 +364,13 @@ impl ServingSessionBuilder {
             concurrency: self.concurrency,
             policies: self.policies,
             load: self.load,
+            arrivals: self.arrivals,
             seed: self.seed,
             samples_per_point: self.samples_per_point,
             synthesis: self.synthesis,
             count_startup_delays: self.count_startup_delays,
             registry: self.registry,
+            scenarios: self.scenarios,
         })
     }
 
@@ -312,11 +389,13 @@ pub struct ServingSession {
     concurrency: u32,
     policies: Vec<String>,
     load: Load,
+    arrivals: Option<ArrivalSpec>,
     seed: u64,
     samples_per_point: usize,
     synthesis: SynthesisSettings,
     count_startup_delays: bool,
     registry: PolicyRegistry,
+    scenarios: ScenarioRegistry,
 }
 
 impl ServingSession {
@@ -345,6 +424,28 @@ impl ServingSession {
         &self.registry
     }
 
+    /// The arrival process of this session, if one was configured (either an
+    /// explicit process or a resolved scenario name).
+    fn arrival_process(&self) -> Result<Option<Arc<dyn ArrivalProcess>>, String> {
+        match &self.arrivals {
+            None => Ok(None),
+            Some(ArrivalSpec::Process(process)) => Ok(Some(Arc::clone(process))),
+            Some(ArrivalSpec::Named(name)) => {
+                let base_rps = match self.load {
+                    Load::Open { rps, .. } => rps,
+                    // build() rejects scenarios on closed loads.
+                    Load::Closed { .. } => unreachable!("validated in build()"),
+                };
+                let ctx = ScenarioContext {
+                    base_rps,
+                    requests: self.load.requests(),
+                    seed: self.seed,
+                };
+                Ok(Some(Arc::from(self.scenarios.build(name, &ctx)?)))
+            }
+        }
+    }
+
     /// Profile the workflow, generate one request set, and replay it under
     /// every configured policy. Deterministic in the session seed: running
     /// twice yields identical reports.
@@ -356,7 +457,16 @@ impl ServingSession {
         })?;
         let profile = profiler.profile_workflow(&self.workflow, self.concurrency);
 
-        let mut generator = RequestInputGenerator::new(self.seed, self.load.mean_inter_arrival()?);
+        // The arrival gaps share the generator's RNG stream, so the
+        // scenario-less cases reproduce the historical streams draw for
+        // draw (the Poisson sampler is the `Load::Open { rps }` shim) and a
+        // "poisson" scenario is bit-identical to plain `Load::Open`.
+        let process = self.arrival_process()?;
+        let sampler: Box<dyn InterArrivalSampler> = match &process {
+            Some(process) => process.sampler(),
+            None => Box::new(PoissonGaps::new(self.load.mean_inter_arrival()?)),
+        };
+        let mut generator = RequestInputGenerator::with_sampler(self.seed, sampler);
         let requests: Vec<RequestInput> = generator.generate(&self.workflow, self.load.requests());
 
         let exec_config = ExecutorConfig {
@@ -409,6 +519,7 @@ impl ServingSession {
             slo: self.slo,
             concurrency: self.concurrency,
             load: self.load,
+            scenario: process.map(|p| p.name().to_string()),
             seed: self.seed,
             policies,
         };
@@ -449,6 +560,9 @@ pub struct SessionReport {
     pub concurrency: u32,
     /// Load shape offered.
     pub load: Load,
+    /// Arrival-process name for scenario-driven open loops (`None` for
+    /// closed loops and the plain Poisson open loop).
+    pub scenario: Option<String>,
     /// Session seed.
     pub seed: u64,
     /// Per-policy results, in configuration order.
@@ -630,6 +744,128 @@ mod tests {
         let r3 = run(12);
         assert_eq!(r1.serving("Janus").unwrap(), r2.serving("Janus").unwrap());
         assert_ne!(r1.serving("Janus").unwrap(), r3.serving("Janus").unwrap());
+    }
+
+    #[test]
+    fn poisson_scenario_is_bit_identical_to_plain_open_load() {
+        // The proof that the arrival-process generalization preserved the
+        // historical behaviour: the "poisson" scenario and the scenario-less
+        // `Load::Open` draw the same RNG stream in the same order.
+        let open = quick_builder()
+            .policy("GrandSLAM")
+            .load(Load::Open {
+                requests: 40,
+                rps: 2.0,
+            })
+            .run()
+            .unwrap();
+        let scenario = quick_builder()
+            .policy("GrandSLAM")
+            .load(Load::Open {
+                requests: 40,
+                rps: 2.0,
+            })
+            .scenario("poisson")
+            .run()
+            .unwrap();
+        assert_eq!(
+            open.serving("GrandSLAM").unwrap(),
+            scenario.serving("GrandSLAM").unwrap()
+        );
+        assert_eq!(open.scenario, None);
+        assert_eq!(scenario.scenario.as_deref(), Some("poisson"));
+    }
+
+    #[test]
+    fn scenarios_change_the_load_shape_but_stay_paired() {
+        let run = |name: &str| {
+            quick_builder()
+                .policies(["GrandSLAM", "Janus"])
+                .load(Load::Open {
+                    requests: 50,
+                    rps: 2.0,
+                })
+                .scenario(name)
+                .run()
+                .unwrap()
+        };
+        let poisson = run("poisson");
+        let flash = run("flash-crowd");
+        assert_ne!(
+            poisson.serving("Janus").unwrap(),
+            flash.serving("Janus").unwrap(),
+            "a flash crowd must not serve like a constant-rate loop"
+        );
+        let ids: Vec<u64> = flash
+            .serving("GrandSLAM")
+            .unwrap()
+            .outcomes
+            .iter()
+            .map(|o| o.request_id)
+            .collect();
+        let ids_janus: Vec<u64> = flash
+            .serving("Janus")
+            .unwrap()
+            .outcomes
+            .iter()
+            .map(|o| o.request_id)
+            .collect();
+        assert_eq!(ids, ids_janus, "scenario runs stay paired across policies");
+    }
+
+    #[test]
+    fn scenario_validation_catches_misuse() {
+        let err = quick_builder()
+            .policy("Janus")
+            .scenario("bursty")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("Load::Open"), "{err}");
+        let err = quick_builder()
+            .policy("Janus")
+            .load(Load::Open {
+                requests: 10,
+                rps: 1.0,
+            })
+            .scenario("tsunami")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("unknown scenario `tsunami`"), "{err}");
+        assert!(err.contains("flash-crowd"), "{err}");
+    }
+
+    #[test]
+    fn custom_arrival_processes_and_scenarios_plug_in() {
+        use janus_scenarios::TraceReplay;
+        // An explicit process instance …
+        let lockstep = Arc::new(TraceReplay::from_gaps(vec![400.0]).unwrap());
+        let report = quick_builder()
+            .policy("GrandSLAM")
+            .load(Load::Open {
+                requests: 20,
+                rps: 2.5,
+            })
+            .arrivals(lockstep)
+            .run()
+            .unwrap();
+        assert_eq!(report.scenario.as_deref(), Some("trace-replay"));
+        // … and a registered custom factory, addressed by name.
+        let report = quick_builder()
+            .policy("GrandSLAM")
+            .load(Load::Open {
+                requests: 20,
+                rps: 2.5,
+            })
+            .register_scenario_fn("lockstep", |ctx| {
+                Ok(Box::new(TraceReplay::from_gaps(vec![
+                    1000.0 / ctx.base_rps,
+                ])?))
+            })
+            .scenario("lockstep")
+            .run()
+            .unwrap();
+        assert_eq!(report.scenario.as_deref(), Some("trace-replay"));
+        assert_eq!(report.serving("GrandSLAM").unwrap().len(), 20);
     }
 
     #[test]

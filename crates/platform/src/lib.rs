@@ -12,8 +12,8 @@
 //! executed by the same machinery, so resource/latency comparisons are
 //! apples-to-apples:
 //!
-//! * [`policy`] — the [`SizingPolicy`](policy::SizingPolicy) trait and the
-//!   per-request [`RequestContext`](policy::RequestContext).
+//! * [`policy`] — the [`policy::SizingPolicy`] trait and the
+//!   per-request [`policy::RequestContext`].
 //! * [`executor`] — the closed-loop executor used by the evaluation: replays
 //!   a fixed set of [`RequestInput`](janus_workloads::request::RequestInput)s
 //!   through the workflow on top of the pool manager and cluster, invoking

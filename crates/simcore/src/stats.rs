@@ -6,12 +6,14 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Compute the `p`-th percentile (0 < p <= 100) of a sample set using linear
-/// interpolation between closest ranks (the same convention as
+/// Compute the `p`-th percentile (0 <= p <= 100) of a sample set using
+/// linear interpolation between closest ranks (the same convention as
 /// `numpy.percentile(..., interpolation="linear")`, which the paper's pandas
-/// based prototype uses).
+/// based prototype uses). `p = 0` is the minimum and `p = 100` the maximum,
+/// as in numpy.
 ///
-/// Returns `None` for an empty sample set or an out-of-range percentile.
+/// Returns `None` for an empty sample set, a NaN percentile, or a
+/// percentile outside `[0, 100]`.
 pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     if samples.is_empty() || !(0.0..=100.0).contains(&p) || p.is_nan() {
         return None;
@@ -243,8 +245,11 @@ mod tests {
     #[test]
     fn percentile_interpolates_linearly() {
         let samples = [1.0, 2.0, 3.0, 4.0];
+        // The boundaries are inclusive (numpy convention): P0 is the
+        // minimum, P100 the maximum.
         assert_eq!(percentile(&samples, 0.0), Some(1.0));
         assert_eq!(percentile(&samples, 100.0), Some(4.0));
+        assert_eq!(percentile(&[7.5], 0.0), Some(7.5));
         assert_eq!(percentile(&samples, 50.0), Some(2.5));
         assert!((percentile(&samples, 25.0).unwrap() - 1.75).abs() < 1e-12);
     }

@@ -16,7 +16,7 @@
 //!   minimal. See [`generation`].
 //! * **Hints condensing (Algorithm 2)** — fuse adjacent budgets that share
 //!   the same head-function size into `⟨t_start, t_end, k⟩` rows and drop the
-//!   non-head fields (Insights 5–6). See [`condense`].
+//!   non-head fields (Insights 5–6). See [`mod@condense`].
 //!
 //! The [`Synthesizer`] front-end produces a [`HintsBundle`]: one condensed
 //! table per sub-workflow suffix (the table the adapter consults after the

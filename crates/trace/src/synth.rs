@@ -20,6 +20,14 @@ pub struct TraceConfig {
     /// Range of per-function median execution times in milliseconds
     /// (production functions are mostly sub-second).
     pub median_ms_range: (f64, f64),
+    /// Mean cluster-wide arrival rate (invocations per second). Arrivals are
+    /// a diurnally modulated Poisson process: the instantaneous rate swings
+    /// ±[`diurnal_amplitude`](Self::diurnal_amplitude) around this mean over
+    /// two full "days" compressed into the trace span, reproducing the bursty
+    /// day/night shape of the Azure production traces.
+    pub mean_rps: f64,
+    /// Relative amplitude of the diurnal rate modulation, in `[0, 1)`.
+    pub diurnal_amplitude: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -32,6 +40,8 @@ impl Default for TraceConfig {
             popularity_exponent: 1.2,
             sigma_range: (0.6, 1.6),
             median_ms_range: (20.0, 900.0),
+            mean_rps: 100.0,
+            diurnal_amplitude: 0.6,
             seed: 0xA2C5E,
         }
     }
@@ -49,6 +59,12 @@ impl TraceConfig {
         if self.median_ms_range.0 <= 0.0 || self.median_ms_range.1 < self.median_ms_range.0 {
             return Err("invalid median range".into());
         }
+        if !(self.mean_rps.is_finite() && self.mean_rps > 0.0) {
+            return Err("mean arrival rate must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.diurnal_amplitude) {
+            return Err("diurnal amplitude must be in [0, 1)".into());
+        }
         Ok(())
     }
 }
@@ -60,6 +76,9 @@ pub struct Invocation {
     pub function_id: usize,
     /// Observed execution time in milliseconds.
     pub duration_ms: f64,
+    /// Arrival timestamp in milliseconds since trace start (nondecreasing in
+    /// invocation order).
+    pub arrival_ms: f64,
 }
 
 /// A synthetic invocation trace.
@@ -85,7 +104,7 @@ impl Trace {
             .map(|_| rng.uniform_range(config.sigma_range.0, config.sigma_range.1))
             .collect();
 
-        let invocations = (0..config.invocations)
+        let mut invocations: Vec<Invocation> = (0..config.invocations)
             .map(|_| {
                 // zipf returns rank 1..=functions; rank 1 = most popular = id 0.
                 let function_id = rng.zipf(config.functions, config.popularity_exponent) - 1;
@@ -93,13 +112,60 @@ impl Trace {
                 Invocation {
                     function_id,
                     duration_ms,
+                    arrival_ms: 0.0,
                 }
             })
             .collect();
+
+        // Arrival timestamps: a non-homogeneous Poisson process, sampled by
+        // thinning against the peak rate. Drawn in a second pass so the
+        // duration/popularity stream above is unchanged by the rate knobs.
+        // The trace span compresses two diurnal cycles, so per-minute load
+        // swings the way the Azure dataset's does.
+        let expected_span_ms = config.invocations as f64 / config.mean_rps * 1000.0;
+        let period_ms = (expected_span_ms / 2.0).max(1.0);
+        let peak_rps = config.mean_rps * (1.0 + config.diurnal_amplitude);
+        let mut clock_ms = 0.0;
+        for inv in &mut invocations {
+            loop {
+                clock_ms += rng.exponential(1000.0 / peak_rps);
+                let phase = std::f64::consts::TAU * clock_ms / period_ms;
+                let rate = config.mean_rps * (1.0 + config.diurnal_amplitude * phase.sin());
+                if rng.uniform() * peak_rps < rate {
+                    break;
+                }
+            }
+            inv.arrival_ms = clock_ms;
+        }
         Ok(Trace {
             invocations,
             functions: config.functions,
         })
+    }
+
+    /// Inter-arrival gaps in milliseconds: the offset of the first invocation
+    /// followed by the gap between each consecutive pair. Empty traces have
+    /// no gaps.
+    pub fn inter_arrival_gaps_ms(&self) -> Vec<f64> {
+        let mut prev = 0.0;
+        self.invocations
+            .iter()
+            .map(|inv| {
+                let gap = (inv.arrival_ms - prev).max(0.0);
+                prev = inv.arrival_ms;
+                gap
+            })
+            .collect()
+    }
+
+    /// Realized mean arrival rate (invocations per second) over the trace
+    /// span; `None` for traces shorter than two invocations.
+    pub fn mean_rate_per_s(&self) -> Option<f64> {
+        if self.invocations.len() < 2 {
+            return None;
+        }
+        let span_ms = self.invocations.last()?.arrival_ms;
+        (span_ms > 0.0).then(|| self.invocations.len() as f64 / span_ms * 1000.0)
     }
 
     /// Number of invocations.
@@ -194,6 +260,65 @@ mod tests {
         .is_err());
         assert!(Trace::generate(&TraceConfig {
             median_ms_range: (0.0, 10.0),
+            ..TraceConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_match_the_configured_rate() {
+        let cfg = TraceConfig {
+            invocations: 20_000,
+            functions: 200,
+            mean_rps: 50.0,
+            ..TraceConfig::default()
+        };
+        let trace = Trace::generate(&cfg).unwrap();
+        let mut prev = 0.0;
+        for inv in &trace.invocations {
+            assert!(inv.arrival_ms >= prev, "arrivals must be nondecreasing");
+            prev = inv.arrival_ms;
+        }
+        let rate = trace.mean_rate_per_s().unwrap();
+        assert!(
+            (rate - 50.0).abs() / 50.0 < 0.15,
+            "realized rate {rate} vs configured 50"
+        );
+        let gaps = trace.inter_arrival_gaps_ms();
+        assert_eq!(gaps.len(), trace.len());
+        assert!(gaps.iter().all(|&g| g >= 0.0));
+        let reconstructed: f64 = gaps.iter().sum();
+        assert!((reconstructed - prev).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arrival_knobs_do_not_perturb_durations() {
+        // The duration/popularity stream is drawn before the arrival pass,
+        // so rate knobs only change timestamps — Figure 1a is unaffected.
+        let slow = Trace::generate(&TraceConfig {
+            invocations: 2000,
+            mean_rps: 10.0,
+            ..TraceConfig::default()
+        })
+        .unwrap();
+        let fast = Trace::generate(&TraceConfig {
+            invocations: 2000,
+            mean_rps: 400.0,
+            ..TraceConfig::default()
+        })
+        .unwrap();
+        for (a, b) in slow.invocations.iter().zip(&fast.invocations) {
+            assert_eq!(a.function_id, b.function_id);
+            assert_eq!(a.duration_ms, b.duration_ms);
+            assert!(a.arrival_ms >= b.arrival_ms);
+        }
+        assert!(Trace::generate(&TraceConfig {
+            mean_rps: 0.0,
+            ..TraceConfig::default()
+        })
+        .is_err());
+        assert!(Trace::generate(&TraceConfig {
+            diurnal_amplitude: 1.0,
             ..TraceConfig::default()
         })
         .is_err());

@@ -15,6 +15,49 @@ use crate::workflow::Workflow;
 use janus_simcore::rng::SimRng;
 use janus_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One step of an arrival process: the gap between consecutive requests.
+///
+/// The sampler draws from the *caller's* RNG, so the generator below can
+/// interleave gap draws with per-request factor draws in one reproducible
+/// stream — exactly the stream the original Poisson-only generator produced.
+/// Stateful processes (on/off phases, position in a replayed trace) keep
+/// their state in the sampler; a fresh sampler restarts the process.
+///
+/// Implementations live here (the closed-loop and Poisson built-ins) and in
+/// `janus-scenarios` (diurnal, bursty, flash-crowd, trace replay).
+pub trait InterArrivalSampler: fmt::Debug + Send {
+    /// The gap between the previous arrival and the next one. May consume
+    /// any number of RNG draws (including none).
+    fn next_gap(&mut self, rng: &mut SimRng) -> SimDuration;
+}
+
+/// Poisson arrivals with a fixed mean inter-arrival time: one exponential
+/// draw per request. A non-positive mean degenerates to the closed loop
+/// (all requests at t = 0) without touching the RNG, matching the historical
+/// `RequestInputGenerator::new(seed, SimDuration::ZERO)` behaviour.
+#[derive(Debug, Clone)]
+pub struct PoissonGaps {
+    mean_inter_arrival: SimDuration,
+}
+
+impl PoissonGaps {
+    /// Sampler with the given mean inter-arrival time.
+    pub fn new(mean_inter_arrival: SimDuration) -> Self {
+        PoissonGaps { mean_inter_arrival }
+    }
+}
+
+impl InterArrivalSampler for PoissonGaps {
+    fn next_gap(&mut self, rng: &mut SimRng) -> SimDuration {
+        if self.mean_inter_arrival.as_millis() > 0.0 {
+            SimDuration::from_millis(rng.exponential(self.mean_inter_arrival.as_millis()))
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}
 
 /// The immutable, policy-independent part of one workflow request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,7 +85,7 @@ pub struct RequestInputGenerator {
     rng: SimRng,
     next_id: u64,
     clock: SimDuration,
-    mean_inter_arrival: SimDuration,
+    sampler: Box<dyn InterArrivalSampler>,
 }
 
 impl RequestInputGenerator {
@@ -50,11 +93,19 @@ impl RequestInputGenerator {
     /// inter-arrival time. Use `SimDuration::ZERO` for a closed-loop
     /// (back-to-back) workload, matching the paper's 1000-request runs.
     pub fn new(seed: u64, mean_inter_arrival: SimDuration) -> Self {
+        Self::with_sampler(seed, Box::new(PoissonGaps::new(mean_inter_arrival)))
+    }
+
+    /// Create a generator whose arrival gaps come from an arbitrary
+    /// [`InterArrivalSampler`]. The sampler shares the generator's RNG
+    /// stream, so `with_sampler(seed, PoissonGaps::new(m))` is draw-for-draw
+    /// identical to `new(seed, m)`.
+    pub fn with_sampler(seed: u64, sampler: Box<dyn InterArrivalSampler>) -> Self {
         RequestInputGenerator {
             rng: SimRng::seed_from_u64(seed),
             next_id: 0,
             clock: SimDuration::ZERO,
-            mean_inter_arrival,
+            sampler,
         }
     }
 
@@ -62,10 +113,7 @@ impl RequestInputGenerator {
     pub fn next_request(&mut self, workflow: &Workflow) -> RequestInput {
         let id = self.next_id;
         self.next_id += 1;
-        if self.mean_inter_arrival.as_millis() > 0.0 {
-            let gap = self.rng.exponential(self.mean_inter_arrival.as_millis());
-            self.clock += SimDuration::from_millis(gap);
-        }
+        self.clock += self.sampler.next_gap(&mut self.rng).saturate();
         let mut fn_rng = self.rng.fork(id);
         let factors = workflow
             .functions()
@@ -126,6 +174,35 @@ mod tests {
         }
         let mean_gap = reqs.last().unwrap().arrival_offset.as_millis() / 200.0;
         assert!(mean_gap > 60.0 && mean_gap < 150.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn sampler_constructor_reproduces_the_poisson_stream_exactly() {
+        // The Poisson special case must stay bit-identical through the
+        // sampler generalization: same seed, same offsets, same factors.
+        let ia = intelligent_assistant();
+        let mean = SimDuration::from_millis(250.0);
+        let legacy = RequestInputGenerator::new(21, mean).generate(&ia, 100);
+        let sampled = RequestInputGenerator::with_sampler(21, Box::new(PoissonGaps::new(mean)))
+            .generate(&ia, 100);
+        assert_eq!(legacy, sampled);
+    }
+
+    #[test]
+    fn custom_samplers_drive_arrival_offsets() {
+        #[derive(Debug)]
+        struct EverysecondGaps;
+        impl InterArrivalSampler for EverysecondGaps {
+            fn next_gap(&mut self, _rng: &mut SimRng) -> SimDuration {
+                SimDuration::from_secs(1.0)
+            }
+        }
+        let ia = intelligent_assistant();
+        let reqs =
+            RequestInputGenerator::with_sampler(3, Box::new(EverysecondGaps)).generate(&ia, 5);
+        for (i, r) in reqs.iter().enumerate() {
+            assert!((r.arrival_offset.as_secs() - (i + 1) as f64).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! execution". The distributions here map an input drawn from a dataset-like
 //! distribution to a multiplicative latency scale factor with median ≈ 1.0.
 //!
-//! * COCO2014 images contain 1–15 objects (paper cites [57]); object
+//! * COCO2014 images contain 1–15 objects (paper cites \[57\]); object
 //!   detection and downstream QA latency grows with the object count.
 //! * SQuAD2.0 contexts contain 35–641 words; QA latency grows with length.
 //! * The VA pipeline's videos have "identical duration and resolution", so its
