@@ -1,0 +1,74 @@
+//! Perf trajectory of the simulator itself: events/sec of the serving hot
+//! path across the built-in arrival scenarios, under a constant-cost fixed
+//! sizing policy (so the event loop — queue, pool, cluster, interference,
+//! metric recording — is the quantity measured, not policy construction).
+//!
+//! ```text
+//! cargo run --release -p janus-bench --bin perf                  # paper scale
+//! cargo run --release -p janus-bench --bin perf -- --quick \
+//!     --out BENCH_perf.json                                      # CI smoke
+//! ```
+//!
+//! With `--out`, the written artefact is immediately read back and decoded
+//! with the synthesizer's JSON parser, so CI catches an unparseable
+//! `BENCH_perf.json` in the same step that produced it.
+
+use janus_bench::BenchFlags;
+use janus_core::experiments::perf_trajectory;
+
+fn main() {
+    let flags = BenchFlags::parse();
+    let config = flags.perf_config();
+    let result = match perf_trajectory(&config) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("perf trajectory failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{result}");
+    flags.write_out(&result);
+
+    if let Some(path) = &flags.out {
+        // The artefact is the perf baseline later PRs diff against; assert
+        // it decodes before calling the run a success.
+        let doc = match std::fs::read_to_string(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("failed to read back {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let parsed = match janus_synthesizer::json::parse(&doc) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("{path} is not valid JSON: {e}");
+                std::process::exit(1);
+            }
+        };
+        let experiment = parsed
+            .require("experiment")
+            .ok()
+            .and_then(|v| v.as_str().map(|s| s.to_string()));
+        if experiment.as_deref() != Some("perf") {
+            eprintln!("{path}: expected experiment \"perf\", got {experiment:?}");
+            std::process::exit(1);
+        }
+        match parsed.require("cells").ok().and_then(|v| v.as_array()) {
+            Some(cells) if cells.len() == result.cells.len() => {
+                eprintln!(
+                    "validated {path}: experiment=perf, {} cells decode cleanly",
+                    cells.len()
+                );
+            }
+            other => {
+                eprintln!(
+                    "{path}: expected {} cells, decoded {:?}",
+                    result.cells.len(),
+                    other.map(|c| c.len())
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

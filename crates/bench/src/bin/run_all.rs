@@ -140,6 +140,15 @@ fn main() {
         Err(e) => eprintln!("scenario sweep failed: {e}"),
     }
 
+    println!("\n===== Perf trajectory (simulator events/sec) =====");
+    match exp::perf_trajectory(&flags.perf_config()) {
+        Ok(result) => {
+            print!("{result}");
+            record(&mut out, "perf", &result);
+        }
+        Err(e) => eprintln!("perf trajectory failed: {e}"),
+    }
+
     println!("\n===== System overhead (§V-H) =====");
     match exp::overhead_report(5_000, flags.profile_samples(), flags.seed_or(0x0B)) {
         Ok(result) => {

@@ -24,7 +24,7 @@
 //! configs produced here resolve to session runs.
 
 use janus_core::comparison::ComparisonConfig;
-use janus_core::experiments::{ScenarioSweepConfig, ToJson};
+use janus_core::experiments::{PerfConfig, ScenarioSweepConfig, ToJson};
 use janus_core::session::ServingSessionBuilder;
 use janus_synthesizer::json::Value;
 use janus_workloads::apps::PaperApp;
@@ -86,6 +86,14 @@ impl Scale {
         match self {
             Scale::Paper => ScenarioSweepConfig::paper_default(app),
             Scale::Quick => ScenarioSweepConfig::quick(app),
+        }
+    }
+
+    /// Perf-trajectory configuration at this scale.
+    pub fn perf(self) -> PerfConfig {
+        match self {
+            Scale::Paper => PerfConfig::paper_default(),
+            Scale::Quick => PerfConfig::quick(),
         }
     }
 }
@@ -215,6 +223,16 @@ impl BenchFlags {
     /// override applied.
     pub fn scenario_sweep(&self, app: PaperApp) -> ScenarioSweepConfig {
         let mut config = self.scale.scenario_sweep(app);
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+
+    /// Perf-trajectory configuration at the parsed scale, with the seed
+    /// override applied.
+    pub fn perf_config(&self) -> PerfConfig {
+        let mut config = self.scale.perf();
         if let Some(seed) = self.seed {
             config.seed = seed;
         }

@@ -9,6 +9,7 @@
 pub mod metrics;
 pub mod motivation;
 pub mod overall;
+pub mod perf;
 pub mod report_json;
 pub mod scenario_sweep;
 pub mod slo_sweep;
@@ -20,6 +21,7 @@ pub use motivation::{
     Fig1aResult, Fig1bResult, Fig1cResult, Fig2Result,
 };
 pub use overall::{fig4_latency_cdfs, fig5_resource_consumption, table1_overall, OverallResult};
+pub use perf::{perf_trajectory, PerfCell, PerfConfig, PerfResult};
 pub use report_json::ToJson;
 pub use scenario_sweep::{
     scenario_sweep, scenario_sweep_with, ScenarioCell, ScenarioSweepConfig, ScenarioSweepResult,

@@ -1,0 +1,355 @@
+//! Perf trajectory: how fast the serving hot path itself runs.
+//!
+//! Every other experiment in this module measures *simulated* quantities
+//! (latencies, CPU, SLO attainment). This one measures the simulator: it
+//! drives a fixed grid of arrival scenarios through the open-loop engine
+//! under a constant-cost sizing policy and reports wall-clock events/sec,
+//! per-experiment wall time, peak event-queue depth and the number of metric
+//! samples recorded through the pre-interned handles. The `perf` bench
+//! binary writes the result as `BENCH_perf.json` — the perf baseline every
+//! later optimisation PR is measured against.
+//!
+//! The policy is a [`FixedSizingPolicy`] on purpose: profiling and hint
+//! synthesis would dominate the measurement, and the quantity under test is
+//! the event loop (queue, pool, cluster, interference model, metrics
+//! recording), not policy construction.
+
+use janus_platform::metrics::ServingMetrics;
+use janus_platform::openloop::{OpenLoopArena, OpenLoopConfig, OpenLoopSimulation};
+use janus_platform::policy::FixedSizingPolicy;
+use janus_scenarios::{ScenarioContext, ScenarioRegistry};
+use janus_simcore::metrics::{MetricsRegistry, MetricsSnapshot};
+use janus_simcore::resources::Millicores;
+use janus_simcore::stats::StreamingSummary;
+use janus_workloads::apps::PaperApp;
+use janus_workloads::request::{RequestInput, RequestInputGenerator};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+
+/// Configuration of one perf-trajectory run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfConfig {
+    /// Application whose workflow is served.
+    pub app: PaperApp,
+    /// Scenario names driven through the grid (resolved from the built-in
+    /// scenario registry).
+    pub scenarios: Vec<String>,
+    /// Requests generated per scenario.
+    pub requests: usize,
+    /// Long-run mean arrival rate every scenario is normalized to. High on
+    /// purpose: the bench wants deep queues and real event pressure.
+    pub rps: f64,
+    /// Fixed per-function CPU allocation of the serving policy.
+    pub allocation_mc: u32,
+    /// Timed repetitions per scenario; the fastest is reported (standard
+    /// min-of-N wall-clock noise rejection).
+    pub repetitions: usize,
+    /// Request-generation seed.
+    pub seed: u64,
+}
+
+impl PerfConfig {
+    /// Paper-scale grid: every built-in scenario, 5000 requests each.
+    pub fn paper_default() -> Self {
+        PerfConfig {
+            app: PaperApp::IntelligentAssistant,
+            scenarios: ScenarioRegistry::with_builtins()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            requests: 5000,
+            rps: 20.0,
+            allocation_mc: 2000,
+            repetitions: 3,
+            seed: 7,
+        }
+    }
+
+    /// Reduced scale for smoke runs and CI (`--quick`): same grid, fewer
+    /// requests, one repetition.
+    pub fn quick() -> Self {
+        PerfConfig {
+            requests: 500,
+            repetitions: 1,
+            ..Self::paper_default()
+        }
+    }
+}
+
+/// Measurements of one (scenario) grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfCell {
+    /// Scenario name the cell ran under.
+    pub scenario: String,
+    /// Requests served.
+    pub requests: usize,
+    /// Engine events processed per run.
+    pub events: u64,
+    /// Fastest wall time across the configured repetitions, in ms.
+    pub wall_ms: f64,
+    /// Events per wall-clock second (from the fastest repetition).
+    pub events_per_sec: f64,
+    /// Peak event-queue depth of the run.
+    pub peak_queue_depth: usize,
+}
+
+/// The outcome of a perf-trajectory run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfResult {
+    /// Configuration the run used.
+    pub config: PerfConfig,
+    /// Per-scenario measurements, in `config.scenarios` order.
+    pub cells: Vec<PerfCell>,
+    /// Sum of the per-cell (fastest-repetition) wall times, in ms.
+    pub total_wall_ms: f64,
+    /// Sum of per-cell events (one repetition each).
+    pub total_events: u64,
+    /// Metric samples recorded through the pre-interned handles across the
+    /// whole grid (all repetitions).
+    pub samples_recorded: u64,
+    /// Full metrics snapshot backing `samples_recorded`.
+    pub metrics: MetricsSnapshot,
+    /// Streaming summary of the per-cell events/sec figures.
+    pub events_per_sec_summary: StreamingSummary,
+}
+
+impl PerfResult {
+    /// Events/sec of one scenario's cell.
+    pub fn events_per_sec(&self, scenario: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.scenario == scenario)
+            .map(|c| c.events_per_sec)
+    }
+
+    /// Structural invariants of a well-formed result.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cells.len() != self.config.scenarios.len() {
+            return Err(format!(
+                "perf grid produced {} cells for {} scenarios",
+                self.cells.len(),
+                self.config.scenarios.len()
+            ));
+        }
+        for cell in &self.cells {
+            if cell.events == 0 {
+                return Err(format!("scenario `{}` processed no events", cell.scenario));
+            }
+            if !(cell.wall_ms.is_finite() && cell.wall_ms > 0.0) {
+                return Err(format!(
+                    "scenario `{}` reported non-positive wall time {}",
+                    cell.scenario, cell.wall_ms
+                ));
+            }
+            if cell.peak_queue_depth == 0 {
+                return Err(format!(
+                    "scenario `{}` reported an empty event queue",
+                    cell.scenario
+                ));
+            }
+        }
+        if self.samples_recorded == 0 {
+            return Err("perf run recorded no metric samples".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PerfResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# Perf trajectory: {} open loop, {} requests/scenario @ {} rps, {} mc fixed",
+            self.config.app.short_name(),
+            self.config.requests,
+            self.config.rps,
+            self.config.allocation_mc
+        )?;
+        writeln!(
+            f,
+            "{:>14} {:>9} {:>9} {:>11} {:>13} {:>10}",
+            "scenario", "requests", "events", "wall (ms)", "events/sec", "peak queue"
+        )?;
+        for cell in &self.cells {
+            writeln!(
+                f,
+                "{:>14} {:>9} {:>9} {:>11.2} {:>13.0} {:>10}",
+                cell.scenario,
+                cell.requests,
+                cell.events,
+                cell.wall_ms,
+                cell.events_per_sec,
+                cell.peak_queue_depth
+            )?;
+        }
+        writeln!(
+            f,
+            "total: {} events in {:.2} ms wall; {} metric samples recorded",
+            self.total_events, self.total_wall_ms, self.samples_recorded
+        )?;
+        Ok(())
+    }
+}
+
+/// Run the perf trajectory: serve `config.requests` under every scenario of
+/// the grid through one shared open-loop arena and pre-interned metrics,
+/// timing each cell with the wall clock.
+pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
+    if config.scenarios.is_empty() {
+        return Err("perf grid needs at least one scenario".into());
+    }
+    if config.requests == 0 {
+        return Err("perf grid needs at least one request per scenario".into());
+    }
+    if config.repetitions == 0 {
+        return Err("perf grid needs at least one repetition".into());
+    }
+    let workflow = config.app.workflow();
+    let slo = config.app.default_slo(1);
+    let registry = ScenarioRegistry::with_builtins();
+    // Setup-time interning; the timed loops below never resolve a name.
+    let metrics_registry = MetricsRegistry::new();
+    let metrics = ServingMetrics::intern(&metrics_registry);
+    let mut arena = OpenLoopArena::new();
+    let sim = OpenLoopSimulation::new(workflow.clone(), OpenLoopConfig::new(slo));
+
+    let mut cells = Vec::with_capacity(config.scenarios.len());
+    let mut events_per_sec_summary = StreamingSummary::new();
+    for scenario in &config.scenarios {
+        let ctx = ScenarioContext {
+            base_rps: config.rps,
+            requests: config.requests,
+            seed: config.seed,
+        };
+        let process = registry
+            .build(scenario, &ctx)
+            .map_err(|e| format!("scenario `{scenario}`: {e}"))?;
+        let mut generator = RequestInputGenerator::with_sampler(config.seed, process.sampler());
+        let requests: Vec<RequestInput> = generator.generate(&workflow, config.requests);
+
+        let mut wall_ms = f64::INFINITY;
+        let mut events = 0;
+        let mut peak = 0;
+        for _ in 0..config.repetitions {
+            let mut policy = FixedSizingPolicy::uniform(
+                "fixed",
+                &workflow,
+                Millicores::new(config.allocation_mc),
+            )
+            .map_err(|e| format!("perf policy: {e}"))?;
+            let started = Instant::now();
+            let report = sim.run_instrumented(&mut policy, &requests, &mut arena, Some(&metrics));
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+            if report.len() != config.requests {
+                return Err(format!(
+                    "scenario `{scenario}`: served {} of {} requests",
+                    report.len(),
+                    config.requests
+                ));
+            }
+            wall_ms = wall_ms.min(elapsed_ms);
+            events = arena.events_processed();
+            peak = arena.peak_queue_depth();
+        }
+        let events_per_sec = events as f64 / (wall_ms / 1000.0).max(1e-9);
+        events_per_sec_summary.record(events_per_sec);
+        cells.push(PerfCell {
+            scenario: scenario.clone(),
+            requests: config.requests,
+            events,
+            wall_ms,
+            events_per_sec,
+            peak_queue_depth: peak,
+        });
+    }
+
+    let snapshot = metrics_registry.snapshot();
+    let result = PerfResult {
+        config: config.clone(),
+        total_wall_ms: cells.iter().map(|c| c.wall_ms).sum(),
+        total_events: cells.iter().map(|c| c.events).sum(),
+        samples_recorded: snapshot.total_samples(),
+        metrics: snapshot,
+        events_per_sec_summary,
+        cells,
+    };
+    result.validate()?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> PerfConfig {
+        PerfConfig {
+            scenarios: vec!["poisson".into(), "flash-crowd".into()],
+            requests: 60,
+            repetitions: 2,
+            ..PerfConfig::quick()
+        }
+    }
+
+    #[test]
+    fn perf_trajectory_measures_every_cell() {
+        let config = tiny_config();
+        let result = perf_trajectory(&config).unwrap();
+        result.validate().unwrap();
+        assert_eq!(result.cells.len(), 2);
+        for cell in &result.cells {
+            // 60 arrivals + 3 function completions each (IA workflow).
+            assert_eq!(cell.events, 60 * 4);
+            assert!(cell.events_per_sec > 0.0);
+            assert!(cell.peak_queue_depth >= 1);
+        }
+        assert_eq!(result.total_events, 2 * 60 * 4);
+        // 2 scenarios × 2 repetitions × 60 e2e samples, plus the same again
+        // ×3 for per-function samples.
+        assert_eq!(
+            result.samples_recorded,
+            2 * 2 * 60 + 2 * 2 * 60 * 3,
+            "every run of every repetition records through the handles"
+        );
+        assert_eq!(
+            result
+                .metrics
+                .counter(janus_platform::metrics::ServingMetrics::REQUESTS),
+            2 * 2 * 60
+        );
+        assert!(result.events_per_sec("poisson").unwrap() > 0.0);
+        assert!(result.events_per_sec("tsunami").is_none());
+        let shown = format!("{result}");
+        assert!(shown.contains("events/sec"));
+        assert!(shown.contains("poisson"));
+    }
+
+    #[test]
+    fn perf_trajectory_rejects_degenerate_grids() {
+        let err = perf_trajectory(&PerfConfig {
+            scenarios: vec![],
+            ..tiny_config()
+        })
+        .unwrap_err();
+        assert!(err.contains("at least one scenario"), "{err}");
+        let err = perf_trajectory(&PerfConfig {
+            requests: 0,
+            ..tiny_config()
+        })
+        .unwrap_err();
+        assert!(err.contains("at least one request"), "{err}");
+        let err = perf_trajectory(&PerfConfig {
+            repetitions: 0,
+            ..tiny_config()
+        })
+        .unwrap_err();
+        assert!(err.contains("repetition"), "{err}");
+        let err = perf_trajectory(&PerfConfig {
+            scenarios: vec!["tsunami".into()],
+            ..tiny_config()
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+    }
+}

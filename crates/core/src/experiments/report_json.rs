@@ -10,7 +10,7 @@
 
 use super::{
     Fig1aResult, Fig1bResult, Fig1cResult, Fig2Result, Fig6Result, Fig7Result, Fig8Result,
-    Fig9Result, OverallResult, OverheadResult, ScenarioSweepResult, Table2Result,
+    Fig9Result, OverallResult, OverheadResult, PerfResult, ScenarioSweepResult, Table2Result,
 };
 use janus_synthesizer::json::Value;
 
@@ -384,6 +384,54 @@ impl ToJson for ScenarioSweepResult {
     }
 }
 
+impl ToJson for PerfResult {
+    fn to_json(&self) -> Value {
+        let cells = self
+            .cells
+            .iter()
+            .map(|cell| {
+                obj(vec![
+                    ("scenario", text(&cell.scenario)),
+                    ("requests", count(cell.requests)),
+                    ("events", count(cell.events as usize)),
+                    ("wall_ms", num(cell.wall_ms)),
+                    ("events_per_sec", num(cell.events_per_sec)),
+                    ("peak_queue_depth", count(cell.peak_queue_depth)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .metrics
+            .counters
+            .iter()
+            .map(|(name, value)| {
+                obj(vec![
+                    ("name", text(name)),
+                    ("value", count(*value as usize)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("experiment", text("perf")),
+            ("app", text(self.config.app.short_name())),
+            ("requests_per_scenario", count(self.config.requests)),
+            ("base_rps", num(self.config.rps)),
+            ("allocation_mc", count(self.config.allocation_mc as usize)),
+            ("repetitions", count(self.config.repetitions)),
+            ("seed", count(self.config.seed as usize)),
+            ("cells", Value::Arr(cells)),
+            ("total_wall_ms", num(self.total_wall_ms)),
+            ("total_events", count(self.total_events as usize)),
+            ("samples_recorded", count(self.samples_recorded as usize)),
+            ("counters", Value::Arr(counters)),
+            (
+                "mean_events_per_sec",
+                num(self.events_per_sec_summary.mean()),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,5 +489,36 @@ mod tests {
             .as_f64()
             .unwrap();
         assert!((0.0..=1.0).contains(&attainment));
+    }
+
+    #[test]
+    fn perf_results_round_trip_through_the_decoder() {
+        let config = experiments::PerfConfig {
+            scenarios: vec!["poisson".into(), "bursty".into()],
+            requests: 40,
+            repetitions: 1,
+            ..experiments::PerfConfig::quick()
+        };
+        let result = experiments::perf_trajectory(&config).unwrap();
+        let doc = json::parse(&result.to_json().to_pretty()).unwrap();
+        assert_eq!(doc.require("experiment").unwrap().as_str(), Some("perf"));
+        let cells = doc.require("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells.len(), 2);
+        for (cell, expected) in cells.iter().zip(&result.cells) {
+            assert_eq!(
+                cell.require("scenario").unwrap().as_str(),
+                Some(expected.scenario.as_str())
+            );
+            assert!(cell.require("events_per_sec").unwrap().as_f64().unwrap() > 0.0);
+            assert_eq!(
+                cell.require("events").unwrap().as_f64(),
+                Some(expected.events as f64)
+            );
+        }
+        assert_eq!(
+            doc.require("samples_recorded").unwrap().as_f64(),
+            Some(result.samples_recorded as f64)
+        );
+        assert!(doc.require("total_wall_ms").unwrap().as_f64().unwrap() > 0.0);
     }
 }

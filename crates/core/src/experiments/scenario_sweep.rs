@@ -14,6 +14,7 @@
 
 use crate::session::{Load, ServingSession, SessionReport};
 use janus_scenarios::ScenarioRegistry;
+use janus_simcore::stats::StreamingSummary;
 use janus_workloads::apps::PaperApp;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -120,6 +121,22 @@ impl ScenarioSweepResult {
         self.cell(scenario)?.mean_cpu_millicores(policy)
     }
 
+    /// Pooled end-to-end latency statistics of one policy across **every**
+    /// scenario of the sweep, folded through [`StreamingSummary::merge`] —
+    /// the whole-sweep tail without re-buffering or re-sorting the combined
+    /// per-request sample set. `None` if the policy ran in no cell.
+    pub fn pooled_e2e_streaming(&self, policy: &str) -> Option<StreamingSummary> {
+        let mut pooled = StreamingSummary::new();
+        for cell in &self.cells {
+            // Cells missing the policy (possible in hand-assembled partial
+            // sweeps) are skipped rather than zeroing out the whole pool.
+            if let Some(serving) = cell.report.serving(policy) {
+                pooled.merge(&serving.e2e_streaming());
+            }
+        }
+        (!pooled.is_empty()).then_some(pooled)
+    }
+
     /// Cross-cell invariants on top of each session's own validation: the
     /// grid is complete (every scenario ran every policy, in order) and each
     /// cell served the configured number of requests.
@@ -210,6 +227,25 @@ impl fmt::Display for ScenarioSweepResult {
             }
             writeln!(f)?;
         }
+        writeln!(
+            f,
+            "## Pooled E2E latency across all scenarios (ms, streaming)"
+        )?;
+        writeln!(
+            f,
+            "{:>14} {:>9} {:>10} {:>10} {:>10}",
+            "policy", "samples", "mean", "~P50", "~P99"
+        )?;
+        for policy in &self.config.policies {
+            match self.pooled_e2e_streaming(policy).and_then(|s| s.summary()) {
+                Some(s) => writeln!(
+                    f,
+                    "{:>14} {:>9} {:>10.1} {:>10.1} {:>10.1}",
+                    policy, s.count, s.mean, s.p50, s.p99
+                )?,
+                None => writeln!(f, "{policy:>14} {:>9}", "-")?,
+            }
+        }
         Ok(())
     }
 }
@@ -298,7 +334,23 @@ mod tests {
         let p = result.cell("poisson").unwrap().serving("Janus").unwrap();
         let b = result.cell("bursty").unwrap().serving("Janus").unwrap();
         assert_ne!(p, b);
-        assert!(format!("{result}").contains("SLO attainment"));
+        let shown = format!("{result}");
+        assert!(shown.contains("SLO attainment"));
+        assert!(shown.contains("Pooled E2E latency"));
+        // The pooled streaming view folds every cell of the row without
+        // re-buffering: 3 scenarios × 40 requests, mean equal to the exact
+        // pooled mean.
+        let pooled = result.pooled_e2e_streaming("Janus").unwrap();
+        assert_eq!(pooled.count(), 3 * 40);
+        let exact_mean: f64 = result
+            .cells
+            .iter()
+            .map(|c| c.report.serving("Janus").unwrap().e2e_summary().unwrap())
+            .map(|s| s.mean * s.count as f64)
+            .sum::<f64>()
+            / pooled.count() as f64;
+        assert!((pooled.mean() - exact_mean).abs() < 1e-9);
+        assert!(result.pooled_e2e_streaming("ORION").is_none());
     }
 
     #[test]

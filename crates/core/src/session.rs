@@ -40,10 +40,12 @@
 
 use crate::registry::{PolicyContext, PolicyFactory, PolicyRegistry, SynthesisSettings};
 use janus_platform::executor::{ClosedLoopExecutor, ExecutorConfig};
-use janus_platform::openloop::{OpenLoopConfig, OpenLoopSimulation};
+use janus_platform::metrics::ServingMetrics;
+use janus_platform::openloop::{OpenLoopArena, OpenLoopConfig, OpenLoopSimulation};
 use janus_platform::outcome::ServingReport;
 use janus_profiler::profiler::{Profiler, ProfilerConfig};
 use janus_scenarios::{ArrivalProcess, ScenarioContext, ScenarioRegistry};
+use janus_simcore::metrics::{MetricsRegistry, MetricsSnapshot};
 use janus_simcore::resources::CoreGrid;
 use janus_simcore::time::SimDuration;
 use janus_synthesizer::synthesizer::SynthesisReport;
@@ -485,13 +487,21 @@ impl ServingSession {
             synthesis: self.synthesis,
         };
 
+        // Metric names resolve exactly once per session; every policy run
+        // records through the same pre-interned handles, and the open-loop
+        // arena carries the engine/in-flight allocations across the paired
+        // runs.
+        let metrics_registry = MetricsRegistry::new();
+        let metrics = ServingMetrics::intern(&metrics_registry);
+        let mut arena = OpenLoopArena::new();
+
         let mut policies = Vec::with_capacity(self.policies.len());
         for name in &self.policies {
             let mut built = self.registry.build(name, &ctx)?;
             let serving = match self.load {
                 Load::Closed { .. } => {
                     ClosedLoopExecutor::new(self.workflow.clone(), exec_config.clone())
-                        .run(built.policy.as_mut(), &requests)
+                        .run_instrumented(built.policy.as_mut(), &requests, Some(&metrics))
                 }
                 Load::Open { .. } => {
                     let open_config = OpenLoopConfig {
@@ -502,8 +512,12 @@ impl ServingSession {
                         interference: exec_config.interference.clone(),
                         count_startup_delays: self.count_startup_delays,
                     };
-                    OpenLoopSimulation::new(self.workflow.clone(), open_config)
-                        .run(built.policy.as_mut(), &requests)
+                    OpenLoopSimulation::new(self.workflow.clone(), open_config).run_instrumented(
+                        built.policy.as_mut(),
+                        &requests,
+                        &mut arena,
+                        Some(&metrics),
+                    )
                 }
             };
             policies.push(PolicyReport {
@@ -522,6 +536,7 @@ impl ServingSession {
             scenario: process.map(|p| p.name().to_string()),
             seed: self.seed,
             policies,
+            metrics: metrics_registry.snapshot(),
         };
         report.validate()?;
         Ok(report)
@@ -567,6 +582,9 @@ pub struct SessionReport {
     pub seed: u64,
     /// Per-policy results, in configuration order.
     pub policies: Vec<PolicyReport>,
+    /// Session-wide serving metrics (counters and sample counts recorded
+    /// through the hot-path handles), pooled across every policy run.
+    pub metrics: MetricsSnapshot,
 }
 
 impl SessionReport {
@@ -734,6 +752,45 @@ mod tests {
         let ids_a: Vec<u64> = a.outcomes.iter().map(|o| o.request_id).collect();
         let ids_b: Vec<u64> = b.outcomes.iter().map(|o| o.request_id).collect();
         assert_eq!(ids_a, ids_b, "paired comparison replays identical requests");
+    }
+
+    #[test]
+    fn sessions_pool_hot_path_metrics_across_policies() {
+        use janus_platform::metrics::ServingMetrics;
+        let report = quick_builder()
+            .policies(["GrandSLAM", "Janus"])
+            .run()
+            .unwrap();
+        // 40 requests × 2 policies, 3 functions per IA request.
+        assert_eq!(report.metrics.counter(ServingMetrics::REQUESTS), 80);
+        assert_eq!(report.metrics.counter(ServingMetrics::FUNCTIONS), 240);
+        assert_eq!(report.metrics.series_count(ServingMetrics::E2E_MS), 80);
+        assert_eq!(
+            report.metrics.series_count(ServingMetrics::FUNCTION_MS),
+            240
+        );
+        assert_eq!(report.metrics.total_samples(), 320);
+        let violations: f64 = report
+            .policies
+            .iter()
+            .map(|p| p.serving.slo_violation_rate() * p.serving.len() as f64)
+            .sum();
+        assert_eq!(
+            report.metrics.counter(ServingMetrics::SLO_VIOLATIONS),
+            violations.round() as u64
+        );
+        // Open-loop sessions flow through the same handles (and the shared
+        // arena).
+        let open = quick_builder()
+            .policy("GrandSLAM")
+            .load(Load::Open {
+                requests: 30,
+                rps: 2.0,
+            })
+            .run()
+            .unwrap();
+        assert_eq!(open.metrics.counter(ServingMetrics::REQUESTS), 30);
+        assert_eq!(open.metrics.series_count(ServingMetrics::E2E_MS), 30);
     }
 
     #[test]

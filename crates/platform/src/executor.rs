@@ -17,6 +17,7 @@
 //! the same request set face exactly the same inputs — the comparison is
 //! paired, like the paper's.
 
+use crate::metrics::ServingMetrics;
 use crate::outcome::{RequestOutcome, ServingReport};
 use crate::policy::{RequestContext, SizingPolicy};
 use janus_simcore::cluster::{Cluster, ClusterConfig};
@@ -93,6 +94,7 @@ impl ClosedLoopExecutor {
         pool: &mut PoolManager,
         cluster: &mut Cluster,
         now: &mut SimTime,
+        metrics: Option<&ServingMetrics>,
     ) -> RequestOutcome {
         let ctx = RequestContext {
             request_id: request.id,
@@ -101,6 +103,9 @@ impl ClosedLoopExecutor {
             workflow_len: self.workflow.len(),
         };
         policy.on_admit(&ctx);
+        if let Some(m) = metrics {
+            m.requests.incr(1);
+        }
 
         let mut remaining = self.config.slo;
         let mut e2e = SimDuration::ZERO;
@@ -150,26 +155,51 @@ impl ClosedLoopExecutor {
             allocations.push(size);
             function_latencies.push(exec);
             policy.on_complete(&ctx, index, exec);
+            if let Some(m) = metrics {
+                // Per-event recording through pre-resolved handles only —
+                // no name lookup inside the replay loop.
+                m.functions.incr(1);
+                m.function_ms.record(exec.as_millis());
+                if acquisition.startup_delay > SimDuration::ZERO {
+                    m.cold_starts.incr(1);
+                }
+            }
         }
 
-        RequestOutcome {
+        let outcome = RequestOutcome {
             request_id: request.id,
             e2e,
             allocations,
             function_latencies,
             slo_met: e2e <= self.config.slo,
             adaptation_misses: 0,
+        };
+        if let Some(m) = metrics {
+            outcome.record_into(m);
         }
+        outcome
     }
 
     /// Replay `requests` under `policy` and aggregate the outcomes.
     pub fn run(&self, policy: &mut dyn SizingPolicy, requests: &[RequestInput]) -> ServingReport {
+        self.run_instrumented(policy, requests, None)
+    }
+
+    /// [`run`](Self::run), additionally folding every served event into
+    /// pre-interned [`ServingMetrics`] handles (resolved once by the caller
+    /// at session setup; per-event recording does no name lookup).
+    pub fn run_instrumented(
+        &self,
+        policy: &mut dyn SizingPolicy,
+        requests: &[RequestInput],
+        metrics: Option<&ServingMetrics>,
+    ) -> ServingReport {
         let mut pool = PoolManager::new(self.config.pool.clone());
         let mut cluster = Cluster::new(&self.config.cluster).expect("validated cluster config");
         let mut now = SimTime::ZERO;
         let outcomes = requests
             .iter()
-            .map(|r| self.serve_one(policy, r, &mut pool, &mut cluster, &mut now))
+            .map(|r| self.serve_one(policy, r, &mut pool, &mut cluster, &mut now, metrics))
             .collect();
         ServingReport {
             policy: policy.name().to_string(),
@@ -248,6 +278,36 @@ mod tests {
         let r1 = exec.run(&mut p1, &reqs);
         let r2 = exec.run(&mut p2, &reqs);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn instrumented_runs_record_through_preinterned_handles() {
+        use crate::metrics::ServingMetrics;
+        use janus_simcore::metrics::MetricsRegistry;
+        let exec = executor(3.0);
+        let registry = MetricsRegistry::new();
+        let metrics = ServingMetrics::intern(&registry);
+        let reqs = requests(50, 1);
+        let mut policy =
+            FixedSizingPolicy::uniform("max", exec.workflow(), Millicores::new(3000)).unwrap();
+        let report = exec.run_instrumented(&mut policy, &reqs, Some(&metrics));
+        assert_eq!(registry.counter(ServingMetrics::REQUESTS), 50);
+        assert_eq!(registry.counter(ServingMetrics::FUNCTIONS), 150);
+        assert_eq!(metrics.e2e_ms.count(), 50);
+        assert_eq!(metrics.function_ms.count(), 150);
+        assert!(registry.counter(ServingMetrics::COLD_STARTS) > 0);
+        assert_eq!(
+            registry.counter(ServingMetrics::SLO_VIOLATIONS) as f64,
+            report.slo_violation_rate() * 50.0
+        );
+        // The streaming stream agrees with the exact per-request data.
+        let streaming = metrics.e2e_ms.snapshot();
+        assert!((streaming.mean() - report.e2e_summary().unwrap().mean).abs() < 1e-9);
+        // Instrumentation is observation only: the report is bit-identical
+        // to an uninstrumented run.
+        let mut p2 =
+            FixedSizingPolicy::uniform("max", exec.workflow(), Millicores::new(3000)).unwrap();
+        assert_eq!(exec.run(&mut p2, &reqs), report);
     }
 
     #[test]

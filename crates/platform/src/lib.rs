@@ -22,16 +22,20 @@
 //!   Poisson arrivals and horizontal scaling, exercising the discrete-event
 //!   engine (used for the queueing/extension experiments).
 //! * [`outcome`] — per-request outcomes and aggregated serving reports.
+//! * [`metrics`] — the pre-interned [`metrics::ServingMetrics`] handle
+//!   bundle both serving loops record through on the per-event hot path.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod executor;
+pub mod metrics;
 pub mod openloop;
 pub mod outcome;
 pub mod policy;
 
 pub use executor::{ClosedLoopExecutor, ExecutorConfig};
-pub use openloop::{OpenLoopConfig, OpenLoopSimulation};
+pub use metrics::ServingMetrics;
+pub use openloop::{OpenLoopArena, OpenLoopConfig, OpenLoopSimulation};
 pub use outcome::{RequestOutcome, ServingReport};
 pub use policy::{FixedSizingPolicy, RequestContext, SizingPolicy};

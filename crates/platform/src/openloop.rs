@@ -16,6 +16,7 @@
 //! queueing / load / scenario-sweep experiments and by integration tests of
 //! the discrete-event substrate.
 
+use crate::metrics::ServingMetrics;
 use crate::outcome::{RequestOutcome, ServingReport};
 use crate::policy::{RequestContext, SizingPolicy};
 use janus_simcore::cluster::{Cluster, ClusterConfig};
@@ -82,6 +83,46 @@ struct InFlight {
     latencies: Vec<SimDuration>,
 }
 
+/// Reusable simulation state for paired open-loop runs.
+///
+/// A paired session replays the same request set under several policies;
+/// each run used to build a fresh engine heap and in-flight table. The
+/// arena keeps those allocations alive across runs (the engine's
+/// [`reset`](Engine::reset) retains its heap capacity) and exposes the
+/// run statistics — events processed, peak queue depth — that the perf
+/// trajectory bench reports.
+#[derive(Debug)]
+pub struct OpenLoopArena {
+    engine: Engine<Event>,
+    inflight: HashMap<u64, InFlight>,
+}
+
+impl Default for OpenLoopArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpenLoopArena {
+    /// Fresh arena; allocations grow on first use and are then reused.
+    pub fn new() -> Self {
+        OpenLoopArena {
+            engine: Engine::new(EngineConfig::default()),
+            inflight: HashMap::new(),
+        }
+    }
+
+    /// Events processed by the most recent run.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.processed()
+    }
+
+    /// Peak event-queue depth of the most recent run.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.engine.peak_pending()
+    }
+}
+
 /// Event-driven serving simulation.
 #[derive(Debug)]
 pub struct OpenLoopSimulation {
@@ -98,10 +139,31 @@ impl OpenLoopSimulation {
     /// Run the simulation: `requests` arrive at their `arrival_offset`s and
     /// are served concurrently under `policy`.
     pub fn run(&self, policy: &mut dyn SizingPolicy, requests: &[RequestInput]) -> ServingReport {
-        let mut engine: Engine<Event> = Engine::new(EngineConfig::default());
+        self.run_instrumented(policy, requests, &mut OpenLoopArena::new(), None)
+    }
+
+    /// [`run`](Self::run) with reusable state and optional metrics: the
+    /// `arena` carries engine/in-flight allocations (and run statistics)
+    /// across paired runs, and every served event folds into the
+    /// pre-interned [`ServingMetrics`] handles with no per-event name
+    /// lookup.
+    pub fn run_instrumented(
+        &self,
+        policy: &mut dyn SizingPolicy,
+        requests: &[RequestInput],
+        arena: &mut OpenLoopArena,
+        metrics: Option<&ServingMetrics>,
+    ) -> ServingReport {
+        arena.engine.reset();
+        // Every arrival sits in the queue before the first pop; pre-size so
+        // the heap never grows mid-run (completions at most add the
+        // in-flight count on top).
+        arena.engine.reserve(requests.len());
+        arena.inflight.clear();
+        let engine = &mut arena.engine;
+        let inflight = &mut arena.inflight;
         let mut pool = PoolManager::new(self.config.pool.clone());
         let mut cluster = Cluster::new(&self.config.cluster).expect("validated cluster config");
-        let mut inflight: HashMap<u64, InFlight> = HashMap::new();
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
 
         for req in requests {
@@ -122,6 +184,9 @@ impl OpenLoopSimulation {
                 Event::Arrival(input) => {
                     let ctx = self.ctx(&input);
                     policy.on_admit(&ctx);
+                    if let Some(m) = metrics {
+                        m.requests.incr(1);
+                    }
                     let state = InFlight {
                         input,
                         started_at: now,
@@ -133,13 +198,14 @@ impl OpenLoopSimulation {
                     inflight.insert(request_id, state);
                     self.start_function(
                         policy,
-                        &mut inflight,
+                        inflight,
                         request_id,
                         0,
                         now,
                         &mut pool,
                         &mut cluster,
-                        &mut engine,
+                        engine,
+                        metrics,
                     );
                 }
                 Event::FunctionComplete {
@@ -161,26 +227,35 @@ impl OpenLoopSimulation {
                     };
                     let ctx = self.ctx(&inflight[&request_id].input);
                     policy.on_complete(&ctx, index, exec);
+                    if let Some(m) = metrics {
+                        m.functions.incr(1);
+                        m.function_ms.record(exec.as_millis());
+                    }
                     if finished_len == self.workflow.len() {
                         let state = inflight.remove(&request_id).expect("in-flight request");
-                        outcomes.push(RequestOutcome {
+                        let outcome = RequestOutcome {
                             request_id,
                             e2e: state.e2e,
                             slo_met: state.e2e <= self.config.slo,
                             allocations: state.allocations,
                             function_latencies: state.latencies,
                             adaptation_misses: 0,
-                        });
+                        };
+                        if let Some(m) = metrics {
+                            outcome.record_into(m);
+                        }
+                        outcomes.push(outcome);
                     } else {
                         self.start_function(
                             policy,
-                            &mut inflight,
+                            inflight,
                             request_id,
                             index + 1,
                             now,
                             &mut pool,
                             &mut cluster,
-                            &mut engine,
+                            engine,
+                            metrics,
                         );
                     }
                 }
@@ -217,6 +292,7 @@ impl OpenLoopSimulation {
         pool: &mut PoolManager,
         cluster: &mut Cluster,
         engine: &mut Engine<Event>,
+        metrics: Option<&ServingMetrics>,
     ) {
         let state = inflight.get_mut(&request_id).expect("in-flight request");
         let ctx = RequestContext {
@@ -255,6 +331,11 @@ impl OpenLoopSimulation {
         } else {
             SimDuration::ZERO
         };
+        if let Some(m) = metrics {
+            if acquisition.startup_delay > SimDuration::ZERO {
+                m.cold_starts.incr(1);
+            }
+        }
         state.allocations.push(size);
         engine.schedule_in(
             exec + startup,
@@ -348,6 +429,47 @@ mod tests {
             "burst window {} should be slower than sparse baseline {}",
             mean(20..40),
             mean(0..20)
+        );
+    }
+
+    #[test]
+    fn arena_reuse_is_deterministic_and_exposes_run_stats() {
+        use crate::metrics::ServingMetrics;
+        use janus_simcore::metrics::MetricsRegistry;
+        let ia = intelligent_assistant();
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let reqs = RequestInputGenerator::new(9, SimDuration::from_millis(200.0)).generate(&ia, 80);
+        let registry = MetricsRegistry::new();
+        let metrics = ServingMetrics::intern(&registry);
+
+        // One arena shared by back-to-back ("paired") runs.
+        let mut arena = OpenLoopArena::new();
+        let mut p1 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
+        let first = sim.run_instrumented(&mut p1, &reqs, &mut arena, Some(&metrics));
+        let events_first = arena.events_processed();
+        let peak_first = arena.peak_queue_depth();
+        // 80 arrivals + 3 completions per request.
+        assert_eq!(events_first, 80 + 80 * 3);
+        assert!(peak_first > 0 && peak_first <= 160);
+
+        let mut p2 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
+        let second = sim.run_instrumented(&mut p2, &reqs, &mut arena, Some(&metrics));
+        assert_eq!(first, second, "arena reuse must not perturb the simulation");
+        assert_eq!(arena.events_processed(), events_first);
+        assert_eq!(arena.peak_queue_depth(), peak_first);
+        // And the reused-arena run matches a fresh-arena uninstrumented run.
+        let mut p3 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
+        assert_eq!(sim.run(&mut p3, &reqs), first);
+
+        // Both runs recorded through the same pre-interned handles.
+        assert_eq!(registry.counter(ServingMetrics::REQUESTS), 160);
+        assert_eq!(registry.counter(ServingMetrics::FUNCTIONS), 2 * 80 * 3);
+        assert_eq!(metrics.e2e_ms.count(), 160);
+        let streaming = metrics.e2e_ms.snapshot();
+        assert!(
+            (streaming.mean() - first.e2e_summary().unwrap().mean).abs() < 1e-9,
+            "both paired runs are identical, so the pooled mean equals each run's mean"
         );
     }
 

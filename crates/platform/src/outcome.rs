@@ -1,7 +1,8 @@
 //! Per-request outcomes and aggregated serving reports.
 
+use crate::metrics::ServingMetrics;
 use janus_simcore::resources::Millicores;
-use janus_simcore::stats::{Cdf, Summary};
+use janus_simcore::stats::{Cdf, StreamingSummary, Summary};
 use janus_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +30,18 @@ impl RequestOutcome {
     /// functions ran with — the "CPU (Millicore)" metric of Figure 5.
     pub fn total_cpu(&self) -> Millicores {
         self.allocations.iter().copied().sum()
+    }
+
+    /// Fold this finished request into pre-interned serving metrics: one
+    /// end-to-end latency sample plus the SLO-violation count. Called by
+    /// both serving loops at request completion — the per-event half of the
+    /// hot-path contract (no name lookups; see
+    /// [`ServingMetrics`]).
+    pub fn record_into(&self, metrics: &ServingMetrics) {
+        metrics.e2e_ms.record(self.e2e.as_millis());
+        if !self.slo_met {
+            metrics.slo_violations.incr(1);
+        }
     }
 }
 
@@ -98,6 +111,18 @@ impl ServingReport {
                 .map(|o| o.e2e.as_millis())
                 .collect::<Vec<_>>(),
         )
+    }
+
+    /// Streaming (fixed-memory, approximate-percentile) view of the
+    /// end-to-end latencies — the summary sweep-style consumers fold across
+    /// many reports via [`StreamingSummary::merge`] without buffering every
+    /// sample again.
+    pub fn e2e_streaming(&self) -> StreamingSummary {
+        let mut summary = StreamingSummary::new();
+        for o in &self.outcomes {
+            summary.record(o.e2e.as_millis());
+        }
+        summary
     }
 
     /// The end-to-end latency at a given percentile (e.g. 99.0 for the P99

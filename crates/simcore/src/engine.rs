@@ -17,8 +17,10 @@ pub struct EngineConfig {
     /// Hard cap on processed events; guards against runaway feedback loops in
     /// experiments. `None` disables the cap.
     pub max_events: Option<u64>,
-    /// Simulation horizon; events scheduled after this instant are dropped.
-    /// `None` runs until the queue drains.
+    /// Simulation horizon: the run terminates before delivering any event
+    /// that fires after this instant. Post-horizon events are **not**
+    /// consumed — they stay in the queue and remain observable through
+    /// [`Engine::pending`]. `None` runs until the queue drains.
     pub horizon: Option<SimTime>,
 }
 
@@ -56,6 +58,24 @@ impl<E> Engine<E> {
         Engine::new(EngineConfig::default())
     }
 
+    /// Engine pre-sized for `capacity` pending events (see
+    /// [`EventQueue::with_capacity`]).
+    pub fn with_capacity(config: EngineConfig, capacity: usize) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(capacity),
+            config,
+            processed: 0,
+        }
+    }
+
+    /// Reserve queue space for at least `additional` more pending events.
+    /// Callers that know their arrival count (replays, open-loop request
+    /// sets) reserve once up front instead of growing the heap on the fly.
+    pub fn reserve(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -69,6 +89,12 @@ impl<E> Engine<E> {
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// High-water mark of pending events since creation or the last
+    /// [`reset`](Self::reset) — the peak queue depth of the run.
+    pub fn peak_pending(&self) -> usize {
+        self.queue.peak_len()
     }
 
     /// Schedule `payload` to fire `delay` after the current time.
@@ -97,12 +123,16 @@ impl<E> Engine<E> {
                 return None;
             }
         }
-        let ev = self.queue.pop()?;
         if let Some(horizon) = self.config.horizon {
-            if ev.at > horizon {
+            // Peek before popping: a post-horizon event terminates the run
+            // but must stay in the queue — popping it here would silently
+            // consume one event and leave `pending()` lying about what the
+            // horizon cut off.
+            if self.queue.peek_time()? > horizon {
                 return None;
             }
         }
+        let ev = self.queue.pop()?;
         debug_assert!(
             ev.at >= self.now,
             "event queue produced an event in the past"
@@ -211,6 +241,49 @@ mod tests {
         let mut last = 0;
         engine.run(|_eng, ev| last = ev.payload);
         assert_eq!(last, 3, "events after the horizon are not delivered");
+    }
+
+    #[test]
+    fn horizon_leaves_post_horizon_events_pending() {
+        // Regression: next_event used to pop (and silently discard) the
+        // first post-horizon event before noticing it was out of range.
+        let mut engine: Engine<u32> = Engine::new(EngineConfig {
+            max_events: None,
+            horizon: Some(SimTime::from_millis(3.5)),
+        });
+        for i in 0..10 {
+            engine.schedule_in(SimDuration::from_millis(i as f64), i);
+        }
+        engine.run(|_eng, _ev| {});
+        assert_eq!(engine.processed(), 4, "events at 0..=3 ms are delivered");
+        assert_eq!(
+            engine.pending(),
+            6,
+            "events at 4..=9 ms stay un-consumed in the queue"
+        );
+        // A later next_event call still refuses to deliver them …
+        assert!(engine.next_event().is_none());
+        assert_eq!(engine.pending(), 6);
+        // … and the clock never advanced past the last delivered event.
+        assert_eq!(engine.now().as_millis(), 3.0);
+    }
+
+    #[test]
+    fn capacity_presizing_and_peak_depth_are_observable() {
+        let mut engine: Engine<u32> = Engine::with_capacity(EngineConfig::default(), 64);
+        engine.reserve(64);
+        for i in 0..10 {
+            engine.schedule_in(SimDuration::from_millis(f64::from(i)), i);
+        }
+        assert_eq!(engine.peak_pending(), 10);
+        engine.run(|_eng, _ev| {});
+        assert_eq!(engine.peak_pending(), 10);
+        assert_eq!(engine.processed(), 10);
+        // Reset reuses the allocation and starts a fresh peak statistic.
+        engine.reset();
+        assert_eq!(engine.peak_pending(), 0);
+        engine.schedule_in(SimDuration::from_millis(1.0), 0);
+        assert_eq!(engine.peak_pending(), 1);
     }
 
     #[test]

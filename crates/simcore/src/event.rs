@@ -49,6 +49,7 @@ impl<E> Ord for ScheduledEvent<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<ScheduledEvent<E>>,
     next_seq: u64,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -60,10 +61,24 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Empty queue pre-sized for `capacity` pending events, so simulations
+    /// that know their arrival count up front (open-loop replays schedule
+    /// every arrival before the first pop) skip the heap's growth
+    /// reallocations.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
+            peak: 0,
         }
+    }
+
+    /// Reserve space for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Schedule `payload` to fire at `at`. Returns the sequence number
@@ -72,6 +87,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(ScheduledEvent { at, seq, payload });
+        self.peak = self.peak.max(self.heap.len());
         seq
     }
 
@@ -95,9 +111,19 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drop all pending events.
+    /// High-water mark of pending events since creation (or the last
+    /// [`clear`](Self::clear)) — the queue-depth statistic the perf
+    /// trajectory bench reports.
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    /// Drop all pending events and reset the peak-depth statistic. The
+    /// backing allocation is kept, so a cleared queue can be reused across
+    /// runs without reallocating.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.peak = 0;
     }
 }
 
@@ -136,5 +162,28 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peak_len_tracks_the_high_water_mark() {
+        let mut q = EventQueue::with_capacity(8);
+        assert_eq!(q.peak_len(), 0);
+        for i in 0..5 {
+            q.schedule(SimTime::from_millis(f64::from(i)), i);
+        }
+        assert_eq!(q.peak_len(), 5);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 3);
+        // The peak survives pops …
+        assert_eq!(q.peak_len(), 5);
+        q.schedule(SimTime::from_millis(9.0), 9);
+        assert_eq!(q.peak_len(), 5, "4 pending never exceeded the peak of 5");
+        // … and resets with clear, while the allocation is reused.
+        q.clear();
+        assert_eq!(q.peak_len(), 0);
+        q.reserve(16);
+        q.schedule(SimTime::from_millis(1.0), 1);
+        assert_eq!(q.peak_len(), 1);
     }
 }

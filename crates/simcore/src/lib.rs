@@ -24,7 +24,8 @@
 //!   evaluation harness.
 //! * [`rng`] — deterministic random-number helpers (log-normal, Zipf,
 //!   truncated ranges) so every experiment is reproducible from a seed.
-//! * [`metrics`] — lightweight counters and sample recorders.
+//! * [`metrics`] — counters and sample recorders with pre-interned handles
+//!   so per-event recording pays no name lookup.
 //!
 //! Everything here is deliberately independent of Janus itself so that the
 //! baselines (ORION, GrandSLAM, …) run on the identical substrate.
@@ -51,13 +52,13 @@ pub use engine::{Engine, EngineConfig};
 pub use error::SimError;
 pub use event::{EventQueue, ScheduledEvent};
 pub use interference::{InterferenceModel, ResourceDimension};
-pub use metrics::MetricsRegistry;
+pub use metrics::{CounterHandle, MetricsRegistry, MetricsSnapshot, SeriesHandle, StreamingHandle};
 pub use node::{Node, NodeId};
 pub use pod::{Pod, PodId, PodState};
 pub use pool::{PoolConfig, PoolManager};
 pub use resources::{CoreGrid, Millicores};
 pub use rng::SimRng;
-pub use stats::{percentile, Cdf, Summary};
+pub use stats::{percentile, Cdf, RunningStats, StreamingSummary, Summary};
 pub use time::{SimDuration, SimTime};
 
 /// Result alias used across the simulator substrate.

@@ -1,21 +1,180 @@
-//! Lightweight metrics registry.
+//! Lightweight metrics registry with interned, pre-resolved handles.
 //!
 //! The evaluation harness records many named counters (SLO violations, hint
 //! misses, cold starts) and sample streams (E2E latency, per-request CPU).
-//! This registry is intentionally simple and thread-safe so the thread-parallel
-//! synthesizer and concurrent serving loops can share one instance.
+//! The registry is thread-safe so the thread-parallel synthesizer and
+//! concurrent serving loops can share one instance.
+//!
+//! # Hot-path contract
+//!
+//! Name-based lookups (`incr`, `record`, …) hash the metric name and take the
+//! registry's map lock on **every** call — fine for setup and reporting, too
+//! slow for the per-event path of a simulation serving millions of requests.
+//! Hot paths intern a handle **once** at setup time and record through it:
+//!
+//! ```
+//! use janus_simcore::metrics::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! // Session setup: one name resolution, one map lock.
+//! let violations = registry.counter_handle("slo_violations");
+//! let latency = registry.streaming_handle("e2e_ms");
+//! // Per-event: no string hashing, no map lookup.
+//! violations.incr(1);
+//! latency.record(812.5);
+//! assert_eq!(registry.counter("slo_violations"), 1);
+//! ```
+//!
+//! Three kinds of metric exist:
+//!
+//! * **counters** ([`CounterHandle`]) — lock-free atomic adds;
+//! * **buffered series** ([`SeriesHandle`]) — every sample kept, exact
+//!   percentiles; used by paper-figure paths that need full CDFs;
+//! * **streaming series** ([`StreamingHandle`]) — O(1) memory
+//!   [`StreamingSummary`] folding; used by sweep-style experiments and the
+//!   serving hot path where buffering every sample would be wasteful.
 
-use crate::stats::Summary;
+use crate::stats::{StreamingSummary, Summary};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
-/// A named, thread-safe metrics registry of counters and sample series.
+/// A pre-resolved, cheaply clonable handle to one named counter.
+///
+/// Obtained once from [`MetricsRegistry::counter_handle`]; increments are a
+/// single relaxed atomic add — no string hashing, no map lock.
+#[derive(Debug, Clone)]
+pub struct CounterHandle {
+    cell: Arc<AtomicU64>,
+}
+
+impl CounterHandle {
+    /// Increment the counter by `delta`.
+    #[inline]
+    pub fn incr(&self, delta: u64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current counter value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// True when both handles point at the same underlying counter (i.e.
+    /// they were interned under the same name on the same registry).
+    pub fn shares_storage(&self, other: &CounterHandle) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
+/// A pre-resolved handle to one named buffered sample series.
+///
+/// Every recorded sample is kept, so queries are exact; memory grows with
+/// the sample count. For unbounded streams prefer [`StreamingHandle`].
+#[derive(Debug, Clone)]
+pub struct SeriesHandle {
+    samples: Arc<RwLock<Vec<f64>>>,
+}
+
+impl SeriesHandle {
+    /// Append one observation.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        self.samples
+            .write()
+            .expect("metrics lock poisoned")
+            .push(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.samples.read().expect("metrics lock poisoned").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the recorded samples.
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.samples.read().expect("metrics lock poisoned").clone()
+    }
+
+    /// Exact summary statistics (None when empty).
+    pub fn summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.snapshot())
+    }
+
+    /// True when both handles point at the same underlying series.
+    pub fn shares_storage(&self, other: &SeriesHandle) -> bool {
+        Arc::ptr_eq(&self.samples, &other.samples)
+    }
+}
+
+/// A pre-resolved handle to one named streaming series.
+///
+/// Samples fold into a fixed-memory [`StreamingSummary`] (exact moments,
+/// approximate percentiles) — O(1) per record, no per-sample buffering.
+#[derive(Debug, Clone)]
+pub struct StreamingHandle {
+    inner: Arc<Mutex<StreamingSummary>>,
+}
+
+impl StreamingHandle {
+    /// Fold one observation into the stream.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        self.inner
+            .lock()
+            .expect("metrics lock poisoned")
+            .record(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().expect("metrics lock poisoned").count()
+    }
+
+    /// Copy of the accumulated summary.
+    pub fn snapshot(&self) -> StreamingSummary {
+        self.inner.lock().expect("metrics lock poisoned").clone()
+    }
+
+    /// True when both handles point at the same underlying stream.
+    pub fn shares_storage(&self, other: &StreamingHandle) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// A named, thread-safe metrics registry of counters, buffered sample series
+/// and streaming summaries. See the [module docs](self) for the hot-path
+/// handle contract.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
     samples: RwLock<HashMap<String, Arc<RwLock<Vec<f64>>>>>,
+    streams: RwLock<HashMap<String, Arc<Mutex<StreamingSummary>>>>,
+}
+
+/// Intern-or-get on one of the registry's maps: the read-lock fast path
+/// first, then an upgrade to the write lock where `entry` arbitrates racing
+/// interns so both threads end up with the same underlying cell.
+fn intern<V, F>(map: &RwLock<HashMap<String, Arc<V>>>, name: &str, init: F) -> Arc<V>
+where
+    F: FnOnce() -> V,
+{
+    if let Some(v) = map.read().expect("metrics lock poisoned").get(name) {
+        return Arc::clone(v);
+    }
+    let mut write = map.write().expect("metrics lock poisoned");
+    Arc::clone(
+        write
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(init())),
+    )
 }
 
 impl MetricsRegistry {
@@ -24,44 +183,31 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    fn counter_handle(&self, name: &str) -> Arc<AtomicU64> {
-        if let Some(c) = self
-            .counters
-            .read()
-            .expect("metrics lock poisoned")
-            .get(name)
-        {
-            return Arc::clone(c);
+    /// Intern `name` and return a pre-resolved counter handle. Call once at
+    /// setup; increment through the handle on the hot path.
+    pub fn counter_handle(&self, name: &str) -> CounterHandle {
+        CounterHandle {
+            cell: intern(&self.counters, name, || AtomicU64::new(0)),
         }
-        let mut write = self.counters.write().expect("metrics lock poisoned");
-        Arc::clone(
-            write
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
-        )
     }
 
-    fn series_handle(&self, name: &str) -> Arc<RwLock<Vec<f64>>> {
-        if let Some(s) = self
-            .samples
-            .read()
-            .expect("metrics lock poisoned")
-            .get(name)
-        {
-            return Arc::clone(s);
+    /// Intern `name` and return a pre-resolved buffered-series handle.
+    pub fn series_handle(&self, name: &str) -> SeriesHandle {
+        SeriesHandle {
+            samples: intern(&self.samples, name, || RwLock::new(Vec::new())),
         }
-        let mut write = self.samples.write().expect("metrics lock poisoned");
-        Arc::clone(
-            write
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(RwLock::new(Vec::new()))),
-        )
     }
 
-    /// Increment a counter by `delta`.
+    /// Intern `name` and return a pre-resolved streaming-series handle.
+    pub fn streaming_handle(&self, name: &str) -> StreamingHandle {
+        StreamingHandle {
+            inner: intern(&self.streams, name, || Mutex::new(StreamingSummary::new())),
+        }
+    }
+
+    /// Increment a counter by `delta` (name-based; interns on first use).
     pub fn incr(&self, name: &str, delta: u64) {
-        self.counter_handle(name)
-            .fetch_add(delta, Ordering::Relaxed);
+        self.counter_handle(name).incr(delta);
     }
 
     /// Read a counter (0 if it was never incremented).
@@ -74,15 +220,12 @@ impl MetricsRegistry {
             .unwrap_or(0)
     }
 
-    /// Append an observation to a sample series.
+    /// Append an observation to a buffered sample series (name-based).
     pub fn record(&self, name: &str, value: f64) {
-        self.series_handle(name)
-            .write()
-            .expect("metrics lock poisoned")
-            .push(value);
+        self.series_handle(name).record(value);
     }
 
-    /// Snapshot of a sample series (empty if never recorded).
+    /// Snapshot of a buffered sample series (empty if never recorded).
     pub fn series(&self, name: &str) -> Vec<f64> {
         self.samples
             .read()
@@ -92,10 +235,26 @@ impl MetricsRegistry {
             .unwrap_or_default()
     }
 
-    /// Summary statistics for a series, if it has any observations.
+    /// Exact summary statistics for a buffered series, if it has any
+    /// observations.
     pub fn summary(&self, name: &str) -> Option<Summary> {
         let series = self.series(name);
         Summary::from_samples(&series)
+    }
+
+    /// Fold an observation into a streaming series (name-based).
+    pub fn record_streaming(&self, name: &str, value: f64) {
+        self.streaming_handle(name).record(value);
+    }
+
+    /// Copy of a streaming series' accumulated summary (None if never
+    /// recorded).
+    pub fn streaming(&self, name: &str) -> Option<StreamingSummary> {
+        self.streams
+            .read()
+            .expect("metrics lock poisoned")
+            .get(name)
+            .map(|s| s.lock().expect("metrics lock poisoned").clone())
     }
 
     /// Names of all counters.
@@ -111,7 +270,7 @@ impl MetricsRegistry {
         names
     }
 
-    /// Names of all sample series.
+    /// Names of all buffered sample series.
     pub fn series_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self
             .samples
@@ -124,13 +283,101 @@ impl MetricsRegistry {
         names
     }
 
-    /// Reset everything (used between experiment repetitions).
-    pub fn reset(&self) {
-        self.counters
-            .write()
+    /// Names of all streaming series.
+    pub fn streaming_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .streams
+            .read()
             .expect("metrics lock poisoned")
-            .clear();
-        self.samples.write().expect("metrics lock poisoned").clear();
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Reset every metric **in place** (used between experiment
+    /// repetitions): counters drop to zero, series and streams empty, and —
+    /// crucially — previously interned handles stay attached, so hot paths
+    /// never re-intern after a reset.
+    pub fn reset(&self) {
+        for cell in self
+            .counters
+            .read()
+            .expect("metrics lock poisoned")
+            .values()
+        {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for series in self.samples.read().expect("metrics lock poisoned").values() {
+            series.write().expect("metrics lock poisoned").clear();
+        }
+        for stream in self.streams.read().expect("metrics lock poisoned").values() {
+            *stream.lock().expect("metrics lock poisoned") = StreamingSummary::new();
+        }
+    }
+
+    /// Point-in-time view of every metric, for reports: counter values plus
+    /// per-series sample counts, sorted by name. A name interned both as a
+    /// buffered and as a streaming series contributes one entry with the
+    /// summed sample count.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort();
+        let mut series: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for (name, s) in self.samples.read().expect("metrics lock poisoned").iter() {
+            *series.entry(name.clone()).or_default() +=
+                s.read().expect("metrics lock poisoned").len() as u64;
+        }
+        for (name, s) in self.streams.read().expect("metrics lock poisoned").iter() {
+            *series.entry(name.clone()).or_default() +=
+                s.lock().expect("metrics lock poisoned").count();
+        }
+        MetricsSnapshot {
+            counters,
+            series: series.into_iter().collect(),
+        }
+    }
+}
+
+/// A point-in-time view of a [`MetricsRegistry`], embeddable in reports.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, sample count)` for every buffered and streaming series,
+    /// sorted by name.
+    pub series: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of one counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Sample count of one series (0 if absent).
+    pub fn series_count(&self, name: &str) -> u64 {
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Total samples recorded across every series.
+    pub fn total_samples(&self) -> u64 {
+        self.series.iter().map(|(_, v)| v).sum()
     }
 }
 
@@ -163,13 +410,95 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_everything() {
+    fn streaming_series_fold_without_buffering() {
         let m = MetricsRegistry::new();
-        m.incr("a", 1);
-        m.record("b", 1.0);
+        assert!(m.streaming("lat").is_none());
+        let h = m.streaming_handle("lat");
+        for v in 1..=100 {
+            h.record(f64::from(v));
+        }
+        let s = m.streaming("lat").unwrap();
+        assert_eq!(s.count(), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-12);
+        assert_eq!(m.streaming_names(), vec!["lat".to_string()]);
+        // Streaming series do not show up in the buffered series map.
+        assert!(m.series_names().is_empty());
+    }
+
+    #[test]
+    fn handles_bypass_the_name_maps() {
+        let m = MetricsRegistry::new();
+        let c = m.counter_handle("hits");
+        let s = m.series_handle("lat");
+        c.incr(5);
+        s.record(1.5);
+        assert_eq!(c.get(), 5);
+        assert_eq!(m.counter("hits"), 5);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.snapshot(), vec![1.5]);
+        assert_eq!(m.series("lat"), vec![1.5]);
+        // Re-interning the same name yields the same underlying storage …
+        assert!(c.shares_storage(&m.counter_handle("hits")));
+        assert!(s.shares_storage(&m.series_handle("lat")));
+        // … and a different name does not.
+        assert!(!c.shares_storage(&m.counter_handle("misses")));
+        assert!(!s.shares_storage(&m.series_handle("cpu")));
+    }
+
+    #[test]
+    fn reset_clears_everything_but_keeps_handles_attached() {
+        let m = MetricsRegistry::new();
+        let c = m.counter_handle("a");
+        let s = m.series_handle("b");
+        let st = m.streaming_handle("c");
+        c.incr(1);
+        s.record(1.0);
+        st.record(2.0);
         m.reset();
         assert_eq!(m.counter("a"), 0);
         assert!(m.series("b").is_empty());
+        assert_eq!(m.streaming("c").unwrap().count(), 0);
+        // The pre-reset handles still feed the registry: no re-interning
+        // needed between experiment repetitions.
+        c.incr(7);
+        s.record(3.0);
+        st.record(4.0);
+        assert_eq!(m.counter("a"), 7);
+        assert_eq!(m.series("b"), vec![3.0]);
+        assert_eq!(m.streaming("c").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn concurrent_interning_yields_one_shared_metric() {
+        // Two threads racing to intern the same names must converge on the
+        // same underlying counter / series — nothing recorded may be lost
+        // to a shadowed duplicate.
+        let m = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    let c = m.counter_handle("hits");
+                    let s = m.series_handle("lat");
+                    let st = m.streaming_handle("stream");
+                    for i in 0..1000 {
+                        c.incr(1);
+                        s.record(f64::from(i));
+                        st.record(f64::from(i) + 1.0);
+                    }
+                    (c, s, st)
+                })
+            })
+            .collect();
+        let handles: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(m.counter("hits"), 4000);
+        assert_eq!(m.series("lat").len(), 4000);
+        assert_eq!(m.streaming("stream").unwrap().count(), 4000);
+        for (c, s, st) in &handles[1..] {
+            assert!(c.shares_storage(&handles[0].0));
+            assert!(s.shares_storage(&handles[0].1));
+            assert!(st.shares_storage(&handles[0].2));
+        }
     }
 
     #[test]
@@ -191,5 +520,41 @@ mod tests {
         }
         assert_eq!(m.counter("hits"), 4000);
         assert_eq!(m.series("lat").len(), 4000);
+    }
+
+    #[test]
+    fn snapshot_captures_counters_and_sample_counts() {
+        let m = MetricsRegistry::new();
+        m.incr("requests", 10);
+        m.incr("violations", 2);
+        for v in 0..5 {
+            m.record("exact", f64::from(v));
+        }
+        m.record_streaming("stream", 1.0);
+        m.record_streaming("stream", 2.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("requests"), 10);
+        assert_eq!(snap.counter("violations"), 2);
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.series_count("exact"), 5);
+        assert_eq!(snap.series_count("stream"), 2);
+        assert_eq!(snap.total_samples(), 7);
+        // Deterministically ordered for report diffing.
+        assert!(snap.counters.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(snap.series.windows(2).all(|w| w[0].0 < w[1].0));
+        // A name interned as both a buffered and a streaming series folds
+        // into one entry with the summed count — series_count and
+        // total_samples agree.
+        m.record("both", 1.0);
+        m.record_streaming("both", 2.0);
+        m.record_streaming("both", 3.0);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.series.iter().filter(|(n, _)| n == "both").count(),
+            1,
+            "no duplicate name entries"
+        );
+        assert_eq!(snap.series_count("both"), 3);
+        assert_eq!(snap.total_samples(), 10);
     }
 }

@@ -96,9 +96,17 @@ impl Summary {
 
     /// The P99/P50 tail-to-median ratio the paper uses to quantify runtime
     /// variability (e.g. 2.17× for QA at concurrency 1).
+    ///
+    /// A degenerate all-zero series (`p99 ≈ p50 ≈ 0`) has no tail and
+    /// returns 1.0; a zero median under a non-zero tail is genuinely
+    /// unbounded and returns `f64::INFINITY`.
     pub fn tail_ratio(&self) -> f64 {
         if self.p50 <= f64::EPSILON {
-            return f64::INFINITY;
+            return if self.p99 <= f64::EPSILON {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.p99 / self.p50
     }
@@ -236,6 +244,204 @@ impl RunningStats {
     pub fn max(&self) -> Option<f64> {
         (self.count > 0).then_some(self.max)
     }
+
+    /// Fold another accumulator into this one (Chan et al. parallel-Welford
+    /// merge), as if every observation of `other` had been [`record`]ed here.
+    ///
+    /// [`record`]: RunningStats::record
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Log-histogram resolution: buckets per decade. 128 buckets per factor of
+/// ten bounds the half-bucket quantile error at `10^(1/256) − 1 ≈ 0.9 %`
+/// relative.
+const BUCKETS_PER_DECADE: usize = 128;
+/// Smallest resolvable magnitude: `10^MIN_EXP`. Everything below (including
+/// exact zeros) lands in the dedicated zero bucket.
+const MIN_EXP: i32 = -9;
+/// Largest resolvable magnitude: `10^MAX_EXP`. Larger samples clamp into the
+/// top bucket (their exact maximum is still tracked by the Welford side).
+const MAX_EXP: i32 = 12;
+/// Total bucket count covering `[10^MIN_EXP, 10^MAX_EXP)`.
+const BUCKET_COUNT: usize = ((MAX_EXP - MIN_EXP) as usize) * BUCKETS_PER_DECADE;
+
+/// Streaming summary statistics: Welford moments plus a fixed-resolution
+/// log-bucketed histogram for approximate percentiles.
+///
+/// [`Summary`] buffers every sample and re-sorts on each query — exact, and
+/// the right tool for paper figures, but O(n) memory and O(n log n) per
+/// query. `StreamingSummary` is the hot-path alternative: O(1) per
+/// [`record`](StreamingSummary::record), fixed memory (one bucket array),
+/// and approximate quantiles (see
+/// [`quantile`](StreamingSummary::quantile) for the error model — on large
+/// streams about half a log bucket, `≈ 0.9 %` at 128 buckets/decade),
+/// suitable for sweep-style experiments and long-running serving loops.
+/// Mean, variance, min, max and count are exact (Welford); only the
+/// percentiles are approximate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamingSummary {
+    moments: RunningStats,
+    /// Samples `<= 0` (latencies: exact zeros); kept out of the log buckets.
+    zeros: u64,
+    /// Log-spaced counts over `[10^MIN_EXP, 10^MAX_EXP)`.
+    buckets: Vec<u64>,
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingSummary {
+    /// Fresh, empty accumulator.
+    pub fn new() -> Self {
+        StreamingSummary {
+            moments: RunningStats::new(),
+            zeros: 0,
+            buckets: vec![0; BUCKET_COUNT],
+        }
+    }
+
+    fn bucket_index(x: f64) -> usize {
+        let idx = ((x.log10() - f64::from(MIN_EXP)) * BUCKETS_PER_DECADE as f64).floor();
+        if idx < 0.0 {
+            0
+        } else {
+            (idx as usize).min(BUCKET_COUNT - 1)
+        }
+    }
+
+    /// Geometric midpoint of bucket `idx` — the representative value a
+    /// quantile query returns for ranks landing in that bucket.
+    fn bucket_value(idx: usize) -> f64 {
+        10f64.powf(f64::from(MIN_EXP) + (idx as f64 + 0.5) / BUCKETS_PER_DECADE as f64)
+    }
+
+    /// Fold one observation into the accumulator. O(1), no allocation.
+    pub fn record(&mut self, x: f64) {
+        self.moments.record(x);
+        if x <= 0.0 {
+            self.zeros += 1;
+        } else {
+            self.buckets[Self::bucket_index(x)] += 1;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Exact mean of the recorded observations (0 if none).
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Exact sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.moments.std_dev()
+    }
+
+    /// Exact minimum observation (None if empty).
+    pub fn min(&self) -> Option<f64> {
+        self.moments.min()
+    }
+
+    /// Exact maximum observation (None if empty).
+    pub fn max(&self) -> Option<f64> {
+        self.moments.max()
+    }
+
+    /// Approximate `p`-th percentile (`0 <= p <= 100`, inclusive bounds like
+    /// [`percentile`]).
+    ///
+    /// Two approximations stack: the requested percentile snaps to the
+    /// **nearest rank** (no linear interpolation between adjacent samples),
+    /// and the sample at that rank is represented by its log bucket's
+    /// geometric midpoint (half-bucket relative error, `≈ 0.9 %` at 128
+    /// buckets/decade). On the large streams this type is built for, the
+    /// rank snap is negligible and the bucket term dominates — the property
+    /// test in this module bounds the total streaming-vs-exact disagreement
+    /// at 2.5 % on 20 000-sample latency distributions. On *small* sample
+    /// sets the rank snap can dominate instead (with 2 samples, P50 returns
+    /// one of them rather than their midpoint); use the exact [`Summary`]
+    /// when the sample count is small enough to buffer anyway. The result
+    /// is clamped into the exact observed `[min, max]`. Returns `None` for
+    /// an empty accumulator or an invalid `p`.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 || !(0.0..=100.0).contains(&p) || p.is_nan() {
+            return None;
+        }
+        let (min, max) = (self.moments.min()?, self.moments.max()?);
+        // Rank of the requested percentile under the linear-interpolation
+        // convention; the bucket holding that rank bounds the exact value.
+        let rank = (p / 100.0 * (n - 1) as f64).round() as u64;
+        if rank < self.zeros {
+            return Some(min.min(0.0));
+        }
+        let mut seen = self.zeros;
+        for (idx, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if rank < seen {
+                return Some(Self::bucket_value(idx).clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
+    /// The streaming analogue of [`Summary::from_samples`]: exact count /
+    /// mean / min / max / std-dev, approximate P50 / P95 / P99. `None` when
+    /// empty.
+    pub fn summary(&self) -> Option<Summary> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            count: self.count() as usize,
+            mean: self.mean(),
+            min: self.min()?,
+            max: self.max()?,
+            p50: self.quantile(50.0)?,
+            p95: self.quantile(95.0)?,
+            p99: self.quantile(99.0)?,
+            std_dev: self.std_dev(),
+        })
+    }
+
+    /// Fold another accumulator into this one, as if every observation of
+    /// `other` had been recorded here (exact for the moments, lossless for
+    /// the histogram since both sides share the fixed bucket layout).
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        self.moments.merge(&other.moments);
+        self.zeros += other.zeros;
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -310,5 +516,143 @@ mod tests {
         samples.push(100.0);
         let s = Summary::from_samples(&samples).unwrap();
         assert!(s.tail_ratio() > 1.0);
+    }
+
+    #[test]
+    fn tail_ratio_of_an_all_zero_series_is_one() {
+        // Regression: 0/0 used to report an infinite tail for a series with
+        // no tail at all.
+        let s = Summary::from_samples(&[0.0; 50]).unwrap();
+        assert_eq!(s.tail_ratio(), 1.0);
+        // A zero median under a real tail is still unbounded.
+        let mut samples = vec![0.0; 99];
+        samples.push(42.0);
+        let s = Summary::from_samples(&samples).unwrap();
+        assert_eq!(s.tail_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn streaming_moments_are_exact() {
+        let samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut ss = StreamingSummary::new();
+        for s in samples {
+            ss.record(s);
+        }
+        let batch = Summary::from_samples(&samples).unwrap();
+        assert_eq!(ss.count(), 8);
+        assert!((ss.mean() - batch.mean).abs() < 1e-12);
+        assert!((ss.std_dev() - batch.std_dev).abs() < 1e-9);
+        assert_eq!(ss.min(), Some(1.0));
+        assert_eq!(ss.max(), Some(9.0));
+        assert!(StreamingSummary::new().summary().is_none());
+        assert_eq!(StreamingSummary::new().quantile(50.0), None);
+    }
+
+    #[test]
+    fn streaming_quantiles_track_exact_percentiles_on_seeded_distributions() {
+        // Property test for the streaming-vs-exact contract: across seeds
+        // and distribution shapes (the log-normal execution-time noise and
+        // exponential inter-arrival gaps the simulator actually produces),
+        // the log-bucketed quantile stays within the documented bucket
+        // resolution of the exact sorted percentile. The bound below is
+        // ~2.5× the theoretical half-bucket error to absorb rank rounding.
+        const REL_TOL: f64 = 0.025;
+        for seed in [1u64, 7, 42, 1234, 0xDEAD] {
+            let mut rng = crate::rng::SimRng::seed_from_u64(seed);
+            for shape in 0..2 {
+                let samples: Vec<f64> = (0..20_000)
+                    .map(|_| {
+                        if shape == 0 {
+                            rng.lognormal(3.0, 0.8) // ~20 ms median latency
+                        } else {
+                            rng.exponential(250.0) // 250 ms mean gap
+                        }
+                    })
+                    .collect();
+                let mut ss = StreamingSummary::new();
+                for &s in &samples {
+                    ss.record(s);
+                }
+                for p in [1.0, 25.0, 50.0, 90.0, 95.0, 99.0] {
+                    let exact = percentile(&samples, p).unwrap();
+                    let approx = ss.quantile(p).unwrap();
+                    let rel = (approx - exact).abs() / exact;
+                    assert!(
+                        rel <= REL_TOL,
+                        "seed {seed} shape {shape} P{p}: streaming {approx} vs exact {exact} \
+                         (rel err {rel:.4})"
+                    );
+                }
+                let summary = ss.summary().unwrap();
+                assert_eq!(summary.count, samples.len());
+                assert!(summary.p50 <= summary.p95 && summary.p95 <= summary.p99);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_handles_zeros_extremes_and_bounds() {
+        let mut ss = StreamingSummary::new();
+        for _ in 0..10 {
+            ss.record(0.0);
+        }
+        assert_eq!(ss.quantile(50.0), Some(0.0));
+        assert_eq!(ss.summary().unwrap().tail_ratio(), 1.0);
+        // Quantiles are clamped into the exact observed range even for
+        // samples outside the histogram's resolvable magnitudes.
+        let mut ss = StreamingSummary::new();
+        ss.record(1e-15);
+        ss.record(1e15);
+        assert!(ss.quantile(0.0).unwrap() >= 1e-15);
+        assert!(ss.quantile(100.0).unwrap() <= 1e15);
+        assert_eq!(ss.quantile(101.0), None);
+        assert_eq!(ss.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn streaming_merge_equals_sequential_recording() {
+        let mut rng = crate::rng::SimRng::seed_from_u64(99);
+        let samples: Vec<f64> = (0..5000).map(|_| rng.lognormal(2.0, 1.0)).collect();
+        let mut whole = StreamingSummary::new();
+        let mut left = StreamingSummary::new();
+        let mut right = StreamingSummary::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                left.record(s);
+            } else {
+                right.record(s);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.std_dev() - whole.std_dev()).abs() < 1e-9);
+        assert_eq!(left.quantile(95.0), whole.quantile(95.0));
+        // Merging into an empty accumulator copies, and merging an empty one
+        // is a no-op.
+        let mut empty = StreamingSummary::new();
+        empty.merge(&whole);
+        assert_eq!(empty.count(), whole.count());
+        whole.merge(&StreamingSummary::new());
+        assert_eq!(empty.quantile(50.0), whole.quantile(50.0));
+    }
+
+    #[test]
+    fn running_stats_merge_matches_batch() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let mut ra = RunningStats::new();
+        a.iter().for_each(|&x| ra.record(x));
+        let mut rb = RunningStats::new();
+        b.iter().for_each(|&x| rb.record(x));
+        ra.merge(&rb);
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let batch = Summary::from_samples(&all).unwrap();
+        assert_eq!(ra.count(), 7);
+        assert!((ra.mean() - batch.mean).abs() < 1e-12);
+        assert!((ra.std_dev() - batch.std_dev).abs() < 1e-9);
+        assert_eq!(ra.min(), Some(1.0));
+        assert_eq!(ra.max(), Some(40.0));
     }
 }

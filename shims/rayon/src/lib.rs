@@ -141,7 +141,13 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("shim worker thread panicked"))
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                // Re-raise the worker's own panic payload on the calling
+                // thread (matching rayon), instead of masking the original
+                // message behind a generic shim-level expect.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }
@@ -182,5 +188,32 @@ mod tests {
     fn empty_input_is_fine() {
         let v: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x + 1).collect();
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_payload_survives_to_the_caller() {
+        // Regression: worker panics used to be swallowed by the shim's own
+        // `expect("shim worker thread panicked")`, losing the original
+        // message. The payload must cross the join untouched, as it does
+        // under real rayon.
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<i64> = (0..1000i64)
+                .into_par_iter()
+                .map(|x| {
+                    assert!(x != 437, "boom at item {x}");
+                    x * 2
+                })
+                .collect();
+        });
+        let payload = result.expect_err("the worker panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        assert!(
+            message.contains("boom at item 437"),
+            "original panic message lost: {message:?}"
+        );
     }
 }
