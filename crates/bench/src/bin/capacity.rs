@@ -1,0 +1,32 @@
+//! Capacity sweep: every arrival scenario under every capacity regime —
+//! {static, utilization-threshold autoscaling} × {admit-all, queue-length
+//! shedding} on a small spread fleet, reporting SLO violation rate, shed
+//! rate, node-seconds consumed and peak queue depth per cell.
+//!
+//! ```text
+//! cargo run --release -p janus-bench --bin capacity            # paper scale
+//! cargo run --release -p janus-bench --bin capacity -- --quick # smoke scale
+//! ```
+//!
+//! With `--out`, the written artefact is immediately read back and decoded
+//! with the synthesizer's JSON parser, so CI catches an unparseable document
+//! in the same step that produced it.
+
+use janus_bench::BenchFlags;
+use janus_core::experiments::capacity_sweep;
+use janus_workloads::apps::PaperApp;
+
+fn main() {
+    let flags = BenchFlags::parse();
+    let config = flags.capacity_sweep(PaperApp::IntelligentAssistant);
+    let result = match capacity_sweep(&config) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("capacity sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{result}");
+    flags.write_out(&result);
+    flags.validate_out("capacity_sweep", "grid", result.cells.len());
+}

@@ -28,47 +28,7 @@ fn main() {
     };
     print!("{result}");
     flags.write_out(&result);
-
-    if let Some(path) = &flags.out {
-        // The artefact is the perf baseline later PRs diff against; assert
-        // it decodes before calling the run a success.
-        let doc = match std::fs::read_to_string(path) {
-            Ok(doc) => doc,
-            Err(e) => {
-                eprintln!("failed to read back {path}: {e}");
-                std::process::exit(1);
-            }
-        };
-        let parsed = match janus_synthesizer::json::parse(&doc) {
-            Ok(parsed) => parsed,
-            Err(e) => {
-                eprintln!("{path} is not valid JSON: {e}");
-                std::process::exit(1);
-            }
-        };
-        let experiment = parsed
-            .require("experiment")
-            .ok()
-            .and_then(|v| v.as_str().map(|s| s.to_string()));
-        if experiment.as_deref() != Some("perf") {
-            eprintln!("{path}: expected experiment \"perf\", got {experiment:?}");
-            std::process::exit(1);
-        }
-        match parsed.require("cells").ok().and_then(|v| v.as_array()) {
-            Some(cells) if cells.len() == result.cells.len() => {
-                eprintln!(
-                    "validated {path}: experiment=perf, {} cells decode cleanly",
-                    cells.len()
-                );
-            }
-            other => {
-                eprintln!(
-                    "{path}: expected {} cells, decoded {:?}",
-                    result.cells.len(),
-                    other.map(|c| c.len())
-                );
-                std::process::exit(1);
-            }
-        }
-    }
+    // The artefact is the perf baseline later PRs diff against; assert it
+    // decodes before calling the run a success.
+    flags.validate_out("perf", "cells", result.cells.len());
 }

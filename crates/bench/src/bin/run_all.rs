@@ -140,6 +140,15 @@ fn main() {
         Err(e) => eprintln!("scenario sweep failed: {e}"),
     }
 
+    println!("\n===== Capacity sweep (autoscaling × admission) =====");
+    match exp::capacity_sweep(&flags.capacity_sweep(PaperApp::IntelligentAssistant)) {
+        Ok(result) => {
+            print!("{result}");
+            record(&mut out, "capacity", &result);
+        }
+        Err(e) => eprintln!("capacity sweep failed: {e}"),
+    }
+
     println!("\n===== Perf trajectory (simulator events/sec) =====");
     match exp::perf_trajectory(&flags.perf_config()) {
         Ok(result) => {

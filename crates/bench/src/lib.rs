@@ -24,7 +24,7 @@
 //! configs produced here resolve to session runs.
 
 use janus_core::comparison::ComparisonConfig;
-use janus_core::experiments::{PerfConfig, ScenarioSweepConfig, ToJson};
+use janus_core::experiments::{CapacitySweepConfig, PerfConfig, ScenarioSweepConfig, ToJson};
 use janus_core::session::ServingSessionBuilder;
 use janus_synthesizer::json::Value;
 use janus_workloads::apps::PaperApp;
@@ -94,6 +94,14 @@ impl Scale {
         match self {
             Scale::Paper => PerfConfig::paper_default(),
             Scale::Quick => PerfConfig::quick(),
+        }
+    }
+
+    /// Capacity-sweep configuration for an application at this scale.
+    pub fn capacity_sweep(self, app: PaperApp) -> CapacitySweepConfig {
+        match self {
+            Scale::Paper => CapacitySweepConfig::paper_default(app),
+            Scale::Quick => CapacitySweepConfig::quick(app),
         }
     }
 }
@@ -239,6 +247,16 @@ impl BenchFlags {
         config
     }
 
+    /// Capacity-sweep configuration at the parsed scale, with the seed
+    /// override applied.
+    pub fn capacity_sweep(&self, app: PaperApp) -> CapacitySweepConfig {
+        let mut config = self.scale.capacity_sweep(app);
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+
     /// Write one experiment result as pretty-printed JSON to the `--out`
     /// path. Without `--out` this is a no-op (the result is not even
     /// encoded). Reports the written path on stderr so the stdout tables
@@ -258,6 +276,53 @@ impl BenchFlags {
     pub fn collect_out(&self, out: &mut Vec<Value>, result: &dyn ToJson) {
         if self.out.is_some() {
             out.push(result.to_json());
+        }
+    }
+
+    /// Re-read the artefact just written with `--out` and assert it decodes
+    /// with the synthesizer's JSON parser: the `experiment` tag must equal
+    /// `experiment` and the array under `array_key` must hold
+    /// `expected_len` entries. An artefact the caller explicitly requested
+    /// must not be silently unparseable, so any mismatch aborts the process
+    /// with a non-zero exit code. No-op without `--out`.
+    pub fn validate_out(&self, experiment: &str, array_key: &str, expected_len: usize) {
+        let Some(path) = &self.out else { return };
+        let doc = match std::fs::read_to_string(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("failed to read back {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let parsed = match janus_synthesizer::json::parse(&doc) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("{path} is not valid JSON: {e}");
+                std::process::exit(1);
+            }
+        };
+        let tag = parsed
+            .require("experiment")
+            .ok()
+            .and_then(|v| v.as_str().map(|s| s.to_string()));
+        if tag.as_deref() != Some(experiment) {
+            eprintln!("{path}: expected experiment \"{experiment}\", got {tag:?}");
+            std::process::exit(1);
+        }
+        match parsed.require(array_key).ok().and_then(|v| v.as_array()) {
+            Some(entries) if entries.len() == expected_len => {
+                eprintln!(
+                    "validated {path}: experiment={experiment}, {expected_len} {array_key} \
+                     decode cleanly"
+                );
+            }
+            other => {
+                eprintln!(
+                    "{path}: expected {expected_len} {array_key}, decoded {:?}",
+                    other.map(|c| c.len())
+                );
+                std::process::exit(1);
+            }
         }
     }
 

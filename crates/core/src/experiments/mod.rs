@@ -6,6 +6,7 @@
 //! with a single call. The experiment-to-module mapping is documented in
 //! `DESIGN.md` (§3, experiment index).
 
+pub mod capacity_sweep;
 pub mod metrics;
 pub mod motivation;
 pub mod overall;
@@ -15,13 +16,14 @@ pub mod scenario_sweep;
 pub mod slo_sweep;
 pub mod synthesis;
 
+pub use capacity_sweep::{capacity_sweep, CapacityCell, CapacitySweepConfig, CapacitySweepResult};
 pub use metrics::{fig7_timeout_resilience, Fig7Result};
 pub use motivation::{
     fig1a_slack_cdf, fig1b_workset_variance, fig1c_interference, fig2_binding_comparison,
     Fig1aResult, Fig1bResult, Fig1cResult, Fig2Result,
 };
 pub use overall::{fig4_latency_cdfs, fig5_resource_consumption, table1_overall, OverallResult};
-pub use perf::{perf_trajectory, PerfCell, PerfConfig, PerfResult};
+pub use perf::{perf_trajectory, rate_per_sec, PerfCell, PerfConfig, PerfResult};
 pub use report_json::ToJson;
 pub use scenario_sweep::{
     scenario_sweep, scenario_sweep_with, ScenarioCell, ScenarioSweepConfig, ScenarioSweepResult,

@@ -38,7 +38,12 @@ pub struct PerfConfig {
     /// Requests generated per scenario.
     pub requests: usize,
     /// Long-run mean arrival rate every scenario is normalized to. High on
-    /// purpose: the bench wants deep queues and real event pressure.
+    /// purpose: the bench wants deep queues and real event pressure, so the
+    /// paper-scale grid deliberately runs the single-node fleet in the
+    /// *overload* regime (overcommitted placement, near-total SLO
+    /// violations) — the committed `BENCH_perf.json` baseline measures
+    /// simulator throughput under that pressure, not steady-state serving
+    /// quality.
     pub rps: f64,
     /// Fixed per-function CPU allocation of the serving policy.
     pub allocation_mc: u32,
@@ -193,6 +198,23 @@ impl fmt::Display for PerfResult {
     }
 }
 
+/// Smallest wall-clock interval a cell is billed for, in ms (1 µs). Clamping
+/// keeps throughput figures finite on `--quick` runs whose measured wall
+/// time can round to ~0.
+pub const MIN_WALL_MS: f64 = 1e-3;
+
+/// `count` events over `wall_ms` as a per-second rate, guarded against
+/// degenerate timings: a ~0 wall time would produce `inf` (and a NaN input
+/// NaN), which the hand-rolled JSON writer encodes as `null` — breaking
+/// every typed reader of the emitted artefact. Wall time is clamped to
+/// [`MIN_WALL_MS`]; non-finite wall times yield a rate of 0.
+pub fn rate_per_sec(count: u64, wall_ms: f64) -> f64 {
+    if !wall_ms.is_finite() {
+        return 0.0;
+    }
+    count as f64 / (wall_ms.max(MIN_WALL_MS) / 1000.0)
+}
+
 /// Run the perf trajectory: serve `config.requests` under every scenario of
 /// the grid through one shared open-loop arena and pre-interned metrics,
 /// timing each cell with the wall clock.
@@ -253,7 +275,10 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
             events = arena.events_processed();
             peak = arena.peak_queue_depth();
         }
-        let events_per_sec = events as f64 / (wall_ms / 1000.0).max(1e-9);
+        // The same clamp keeps `wall_ms` itself positive, so validate()'s
+        // non-positive check cannot reject a legitimately-too-fast cell.
+        let wall_ms = wall_ms.max(MIN_WALL_MS);
+        let events_per_sec = rate_per_sec(events, wall_ms);
         events_per_sec_summary.record(events_per_sec);
         cells.push(PerfCell {
             scenario: scenario.clone(),
@@ -323,6 +348,38 @@ mod tests {
         let shown = format!("{result}");
         assert!(shown.contains("events/sec"));
         assert!(shown.contains("poisson"));
+    }
+
+    #[test]
+    fn zero_duration_rates_stay_finite_and_json_safe() {
+        use crate::experiments::ToJson;
+        use janus_synthesizer::json;
+        // The guard itself: zero, sub-clamp, non-finite.
+        assert!(rate_per_sec(1000, 0.0).is_finite());
+        assert_eq!(rate_per_sec(1000, 0.0), 1000.0 / (MIN_WALL_MS / 1000.0));
+        assert_eq!(rate_per_sec(0, 0.0), 0.0);
+        assert!(rate_per_sec(1000, 1e-9).is_finite());
+        assert_eq!(rate_per_sec(1000, f64::NAN), 0.0);
+        assert_eq!(rate_per_sec(1000, f64::INFINITY), 0.0);
+        // A result whose cell measured ~0 wall time still validates and
+        // round-trips through the hand-rolled JSON with numeric (non-null)
+        // rate fields.
+        let mut result = perf_trajectory(&PerfConfig {
+            scenarios: vec!["poisson".into()],
+            requests: 30,
+            repetitions: 1,
+            ..PerfConfig::quick()
+        })
+        .unwrap();
+        result.cells[0].wall_ms = MIN_WALL_MS; // what a ~0 timing clamps to
+        result.cells[0].events_per_sec = rate_per_sec(result.cells[0].events, 0.0);
+        result.validate().unwrap();
+        let doc = json::parse(&result.to_json().to_pretty()).unwrap();
+        let cell = &doc.require("cells").unwrap().as_array().unwrap()[0];
+        let rate = cell.require("events_per_sec").unwrap().as_f64();
+        assert!(rate.is_some(), "rate must decode as a number, not null");
+        assert!(rate.unwrap().is_finite() && rate.unwrap() > 0.0);
+        assert!(cell.require("wall_ms").unwrap().as_f64().unwrap() > 0.0);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! the tables.
 
 use super::{
-    Fig1aResult, Fig1bResult, Fig1cResult, Fig2Result, Fig6Result, Fig7Result, Fig8Result,
-    Fig9Result, OverallResult, OverheadResult, PerfResult, ScenarioSweepResult, Table2Result,
+    CapacitySweepResult, Fig1aResult, Fig1bResult, Fig1cResult, Fig2Result, Fig6Result, Fig7Result,
+    Fig8Result, Fig9Result, OverallResult, OverheadResult, PerfResult, ScenarioSweepResult,
+    Table2Result,
 };
 use janus_synthesizer::json::Value;
 
@@ -379,6 +380,47 @@ impl ToJson for ScenarioSweepResult {
             ("concurrency", count(self.config.concurrency as usize)),
             ("requests", count(self.config.requests)),
             ("base_rps", num(self.config.rps)),
+            ("grid", Value::Arr(grid)),
+        ])
+    }
+}
+
+impl ToJson for CapacitySweepResult {
+    fn to_json(&self) -> Value {
+        let grid = self
+            .cells
+            .iter()
+            .map(|cell| {
+                obj(vec![
+                    ("scenario", text(&cell.scenario)),
+                    ("autoscaler", text(&cell.autoscaler)),
+                    ("admission", text(&cell.admission)),
+                    ("slo_violation_rate", num(cell.slo_violation_rate)),
+                    ("shed_rate", num(cell.shed_rate)),
+                    ("admitted", count(cell.admitted)),
+                    ("shed", count(cell.shed)),
+                    ("node_seconds", num(cell.node_seconds)),
+                    ("peak_queue_depth", count(cell.peak_queue_depth)),
+                    ("peak_nodes", count(cell.peak_nodes)),
+                    ("scale_ups", count(cell.scale_ups)),
+                    ("scale_downs", count(cell.scale_downs)),
+                    ("wall_ms", num(cell.wall_ms)),
+                    ("requests_per_sec", num(cell.requests_per_sec)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("experiment", text("capacity_sweep")),
+            ("app", text(self.config.app.short_name())),
+            ("policy", text(&self.config.policy)),
+            ("requests", count(self.config.requests)),
+            ("base_rps", num(self.config.rps)),
+            ("initial_nodes", count(self.config.cluster.nodes)),
+            (
+                "node_capacity_mc",
+                count(self.config.cluster.node_capacity.get() as usize),
+            ),
+            ("seed", count(self.config.seed as usize)),
             ("grid", Value::Arr(grid)),
         ])
     }

@@ -39,12 +39,16 @@
 //! special case, reproducing the historical request stream bit for bit.
 
 use crate::registry::{PolicyContext, PolicyFactory, PolicyRegistry, SynthesisSettings};
+use janus_platform::capacity::{AdmissionRegistry, AutoscalerRegistry, CapacityContext};
 use janus_platform::executor::{ClosedLoopExecutor, ExecutorConfig};
 use janus_platform::metrics::ServingMetrics;
-use janus_platform::openloop::{OpenLoopArena, OpenLoopConfig, OpenLoopSimulation};
+use janus_platform::openloop::{
+    CapacityControls, OpenLoopArena, OpenLoopConfig, OpenLoopSimulation,
+};
 use janus_platform::outcome::ServingReport;
 use janus_profiler::profiler::{Profiler, ProfilerConfig};
 use janus_scenarios::{ArrivalProcess, ScenarioContext, ScenarioRegistry};
+use janus_simcore::cluster::ClusterConfig;
 use janus_simcore::metrics::{MetricsRegistry, MetricsSnapshot};
 use janus_simcore::resources::CoreGrid;
 use janus_simcore::time::SimDuration;
@@ -119,12 +123,17 @@ pub struct ServingSessionBuilder {
     policies: Vec<String>,
     load: Load,
     arrivals: Option<ArrivalSpec>,
+    cluster: Option<ClusterConfig>,
+    autoscaler: Option<String>,
+    admission: Option<String>,
     seed: u64,
     samples_per_point: usize,
     synthesis: SynthesisSettings,
     count_startup_delays: bool,
     registry: PolicyRegistry,
     scenarios: ScenarioRegistry,
+    autoscalers: AutoscalerRegistry,
+    admissions: AdmissionRegistry,
 }
 
 impl Default for ServingSessionBuilder {
@@ -137,12 +146,17 @@ impl Default for ServingSessionBuilder {
             policies: Vec::new(),
             load: Load::Closed { requests: 1000 },
             arrivals: None,
+            cluster: None,
+            autoscaler: None,
+            admission: None,
             seed: 7,
             samples_per_point: 1000,
             synthesis: SynthesisSettings::default(),
             count_startup_delays: true,
             registry: PolicyRegistry::with_builtins(),
             scenarios: ScenarioRegistry::with_builtins(),
+            autoscalers: AutoscalerRegistry::with_builtins(),
+            admissions: AdmissionRegistry::with_builtins(),
         }
     }
 }
@@ -220,6 +234,72 @@ impl ServingSessionBuilder {
     /// Replace the scenario registry (default: the built-in five).
     pub fn scenario_registry(mut self, scenarios: ScenarioRegistry) -> Self {
         self.scenarios = scenarios;
+        self
+    }
+
+    /// Serve on a custom cluster layout (node count, per-node capacity,
+    /// placement policy) instead of the paper's single 52-core node —
+    /// elasticity experiments start from a small multi-node fleet.
+    pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Drive an open-loop session under a named autoscaler from the
+    /// session's [`AutoscalerRegistry`] (built-ins: `static`, `utilization`,
+    /// `queue-depth`). Requires `Load::Open`; a fresh autoscaler is built
+    /// for every policy run so paired comparisons stay paired.
+    pub fn autoscaler(mut self, name: impl Into<String>) -> Self {
+        self.autoscaler = Some(name.into());
+        self
+    }
+
+    /// Gate open-loop arrivals with a named admission policy from the
+    /// session's [`AdmissionRegistry`] (built-ins: `admit-all`,
+    /// `token-bucket`, `queue-shed`). Requires `Load::Open`; shed requests
+    /// are recorded as `Shed` outcomes in every [`ServingReport`].
+    pub fn admission(mut self, name: impl Into<String>) -> Self {
+        self.admission = Some(name.into());
+        self
+    }
+
+    /// Replace the autoscaler registry (default: the built-in three).
+    pub fn autoscaler_registry(mut self, autoscalers: AutoscalerRegistry) -> Self {
+        self.autoscalers = autoscalers;
+        self
+    }
+
+    /// Replace the admission registry (default: the built-in three).
+    pub fn admission_registry(mut self, admissions: AdmissionRegistry) -> Self {
+        self.admissions = admissions;
+        self
+    }
+
+    /// Register an additional autoscaler factory on this session's registry.
+    pub fn register_autoscaler_fn<F>(mut self, name: impl Into<String>, build: F) -> Self
+    where
+        F: Fn(
+                &CapacityContext,
+            ) -> Result<Box<dyn janus_platform::capacity::AutoscalerPolicy>, String>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.autoscalers.register_fn(name, build);
+        self
+    }
+
+    /// Register an additional admission factory on this session's registry.
+    pub fn register_admission_fn<F>(mut self, name: impl Into<String>, build: F) -> Self
+    where
+        F: Fn(
+                &CapacityContext,
+            ) -> Result<Box<dyn janus_platform::capacity::AdmissionPolicy>, String>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.admissions.register_fn(name, build);
         self
     }
 
@@ -357,6 +437,23 @@ impl ServingSessionBuilder {
                 self.scenarios.ensure_known(name)?;
             }
         }
+        if let Some(cluster) = &self.cluster {
+            cluster.validate().map_err(|e| e.to_string())?;
+        }
+        if self.autoscaler.is_some() || self.admission.is_some() {
+            if matches!(self.load, Load::Closed { .. }) {
+                return Err("capacity control (.autoscaler(..) / .admission(..)) needs \
+                     .load(Load::Open { .. }) — a closed loop has no arrivals to gate or \
+                     fleet pressure to scale"
+                    .into());
+            }
+            if let Some(name) = &self.autoscaler {
+                self.autoscalers.ensure_known(name)?;
+            }
+            if let Some(name) = &self.admission {
+                self.admissions.ensure_known(name)?;
+            }
+        }
         if self.samples_per_point == 0 {
             return Err("samples_per_point must be at least 1".into());
         }
@@ -367,12 +464,17 @@ impl ServingSessionBuilder {
             policies: self.policies,
             load: self.load,
             arrivals: self.arrivals,
+            cluster: self.cluster,
+            autoscaler: self.autoscaler,
+            admission: self.admission,
             seed: self.seed,
             samples_per_point: self.samples_per_point,
             synthesis: self.synthesis,
             count_startup_delays: self.count_startup_delays,
             registry: self.registry,
             scenarios: self.scenarios,
+            autoscalers: self.autoscalers,
+            admissions: self.admissions,
         })
     }
 
@@ -392,12 +494,17 @@ pub struct ServingSession {
     policies: Vec<String>,
     load: Load,
     arrivals: Option<ArrivalSpec>,
+    cluster: Option<ClusterConfig>,
+    autoscaler: Option<String>,
+    admission: Option<String>,
     seed: u64,
     samples_per_point: usize,
     synthesis: SynthesisSettings,
     count_startup_delays: bool,
     registry: PolicyRegistry,
     scenarios: ScenarioRegistry,
+    autoscalers: AutoscalerRegistry,
+    admissions: AdmissionRegistry,
 }
 
 impl ServingSession {
@@ -471,10 +578,13 @@ impl ServingSession {
         let mut generator = RequestInputGenerator::with_sampler(self.seed, sampler);
         let requests: Vec<RequestInput> = generator.generate(&self.workflow, self.load.requests());
 
-        let exec_config = ExecutorConfig {
+        let mut exec_config = ExecutorConfig {
             count_startup_delays: self.count_startup_delays,
             ..ExecutorConfig::paper_serving(self.slo, self.concurrency)
         };
+        if let Some(cluster) = &self.cluster {
+            exec_config.cluster = cluster.clone();
+        }
         let ctx = PolicyContext {
             workflow: &self.workflow,
             profile: &profile,
@@ -503,7 +613,7 @@ impl ServingSession {
                     ClosedLoopExecutor::new(self.workflow.clone(), exec_config.clone())
                         .run_instrumented(built.policy.as_mut(), &requests, Some(&metrics))
                 }
-                Load::Open { .. } => {
+                Load::Open { rps, .. } => {
                     let open_config = OpenLoopConfig {
                         slo: self.slo,
                         concurrency: self.concurrency,
@@ -512,12 +622,48 @@ impl ServingSession {
                         interference: exec_config.interference.clone(),
                         count_startup_delays: self.count_startup_delays,
                     };
-                    OpenLoopSimulation::new(self.workflow.clone(), open_config).run_instrumented(
-                        built.policy.as_mut(),
-                        &requests,
-                        &mut arena,
-                        Some(&metrics),
-                    )
+                    let sim = OpenLoopSimulation::new(self.workflow.clone(), open_config);
+                    if self.autoscaler.is_some() || self.admission.is_some() {
+                        // Fresh capacity policies per policy run: every
+                        // column of the paired comparison faces identical
+                        // control loops with identical initial state.
+                        let capacity_ctx = CapacityContext {
+                            base_rps: rps,
+                            requests: self.load.requests(),
+                            initial_nodes: exec_config.cluster.nodes,
+                            slo: self.slo,
+                        };
+                        let autoscaler_name = self.autoscaler.as_deref().unwrap_or("static");
+                        let admission_name = self.admission.as_deref().unwrap_or("admit-all");
+                        let mut autoscaler =
+                            self.autoscalers.build(autoscaler_name, &capacity_ctx)?;
+                        let mut admission = self.admissions.build(admission_name, &capacity_ctx)?;
+                        let mut serving = sim.run_with_capacity(
+                            built.policy.as_mut(),
+                            &requests,
+                            &mut arena,
+                            Some(&metrics),
+                            Some(CapacityControls {
+                                autoscaler: autoscaler.as_mut(),
+                                admission: admission.as_mut(),
+                            }),
+                        );
+                        if let Some(capacity) = serving.capacity.as_mut() {
+                            // Report the *registered* names: a custom factory
+                            // may wrap a built-in whose self-reported name
+                            // differs from the name it was registered under.
+                            capacity.autoscaler = autoscaler_name.to_string();
+                            capacity.admission = admission_name.to_string();
+                        }
+                        serving
+                    } else {
+                        sim.run_instrumented(
+                            built.policy.as_mut(),
+                            &requests,
+                            &mut arena,
+                            Some(&metrics),
+                        )
+                    }
                 }
             };
             policies.push(PolicyReport {
@@ -534,6 +680,8 @@ impl ServingSession {
             concurrency: self.concurrency,
             load: self.load,
             scenario: process.map(|p| p.name().to_string()),
+            autoscaler: self.autoscaler.clone(),
+            admission: self.admission.clone(),
             seed: self.seed,
             policies,
             metrics: metrics_registry.snapshot(),
@@ -578,6 +726,10 @@ pub struct SessionReport {
     /// Arrival-process name for scenario-driven open loops (`None` for
     /// closed loops and the plain Poisson open loop).
     pub scenario: Option<String>,
+    /// Autoscaler name for capacity-controlled open loops.
+    pub autoscaler: Option<String>,
+    /// Admission-policy name for capacity-controlled open loops.
+    pub admission: Option<String>,
     /// Session seed.
     pub seed: u64,
     /// Per-policy results, in configuration order.
@@ -635,16 +787,47 @@ impl SessionReport {
                 ));
             }
             if p.serving.is_empty() {
-                return Err(format!("policy {}: served no requests", p.name));
+                return Err(format!("policy {}: accounted for no requests", p.name));
             }
-            if p.serving.mean_cpu_millicores() <= 0.0 {
+            // A run under aggressive admission control can legitimately shed
+            // everything; resource usage is only required once something ran.
+            if p.serving.served_len() > 0 && p.serving.mean_cpu_millicores() <= 0.0 {
                 return Err(format!("policy {}: non-positive resource usage", p.name));
             }
             for outcome in &p.serving.outcomes {
-                if outcome.allocations.is_empty() {
+                if outcome.is_served() && outcome.allocations.is_empty() {
                     return Err(format!(
                         "policy {}: request {} ran no functions",
                         p.name, outcome.request_id
+                    ));
+                }
+                if !outcome.is_served() && !outcome.allocations.is_empty() {
+                    return Err(format!(
+                        "policy {}: shed request {} ran functions",
+                        p.name, outcome.request_id
+                    ));
+                }
+            }
+            if let Some(capacity) = &p.serving.capacity {
+                // Conservation: every generated request is exactly one of
+                // admitted or shed, and the report agrees with itself.
+                if capacity.admitted + capacity.shed != capacity.generated {
+                    return Err(format!(
+                        "policy {}: admitted {} + shed {} != generated {}",
+                        p.name, capacity.admitted, capacity.shed, capacity.generated
+                    ));
+                }
+                if capacity.admitted != p.serving.served_len()
+                    || capacity.shed != p.serving.shed_len()
+                {
+                    return Err(format!(
+                        "policy {}: capacity report ({} admitted, {} shed) disagrees with \
+                         outcomes ({} served, {} shed)",
+                        p.name,
+                        capacity.admitted,
+                        capacity.shed,
+                        p.serving.served_len(),
+                        p.serving.shed_len()
                     ));
                 }
             }
@@ -923,6 +1106,118 @@ mod tests {
             .unwrap();
         assert_eq!(report.scenario.as_deref(), Some("trace-replay"));
         assert_eq!(report.serving("GrandSLAM").unwrap().len(), 20);
+    }
+
+    #[test]
+    fn capacity_controls_resolve_by_name_and_conserve_requests() {
+        use janus_simcore::cluster::PlacementPolicy;
+        let report = quick_builder()
+            .policies(["GrandSLAM", "Janus"])
+            .load(Load::Open {
+                requests: 60,
+                rps: 6.0,
+            })
+            .cluster(ClusterConfig {
+                nodes: 2,
+                node_capacity: janus_simcore::resources::Millicores::from_cores(8),
+                placement: PlacementPolicy::Spread,
+            })
+            .scenario("flash-crowd")
+            .autoscaler("utilization")
+            .admission("queue-shed")
+            .run()
+            .unwrap();
+        assert_eq!(report.autoscaler.as_deref(), Some("utilization"));
+        assert_eq!(report.admission.as_deref(), Some("queue-shed"));
+        for name in ["GrandSLAM", "Janus"] {
+            let serving = report.serving(name).unwrap();
+            let cap = serving.capacity.as_ref().expect("capacity report present");
+            assert_eq!(cap.autoscaler, "utilization");
+            assert_eq!(cap.admission, "queue-shed");
+            assert_eq!(cap.admitted + cap.shed, 60, "conservation");
+            assert_eq!(serving.len(), 60);
+            assert_eq!(serving.served_len(), cap.admitted);
+            assert!(cap.node_seconds > 0.0);
+        }
+        // Paired: both policies saw the same arrivals (same request ids).
+        let ids = |n: &str| {
+            report
+                .serving(n)
+                .unwrap()
+                .outcomes
+                .iter()
+                .map(|o| o.request_id)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids("GrandSLAM"), ids("Janus"));
+    }
+
+    #[test]
+    fn capacity_validation_catches_misuse() {
+        let err = quick_builder()
+            .policy("Janus")
+            .autoscaler("utilization")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("Load::Open"), "{err}");
+        let err = quick_builder()
+            .policy("Janus")
+            .load(Load::Open {
+                requests: 10,
+                rps: 1.0,
+            })
+            .autoscaler("hypergrowth")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("unknown autoscaler"), "{err}");
+        let err = quick_builder()
+            .policy("Janus")
+            .load(Load::Open {
+                requests: 10,
+                rps: 1.0,
+            })
+            .admission("bouncer")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("unknown admission policy"), "{err}");
+        let err = quick_builder()
+            .policy("Janus")
+            .cluster(ClusterConfig {
+                nodes: 0,
+                ..ClusterConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.contains("at least one node"), "{err}");
+    }
+
+    #[test]
+    fn custom_capacity_policies_register_by_name() {
+        use janus_platform::capacity::QueueLengthAdmission;
+        let report = quick_builder()
+            .policy("GrandSLAM")
+            .load(Load::Open {
+                requests: 30,
+                rps: 10.0,
+            })
+            .register_admission_fn("strict", |_ctx| Ok(Box::new(QueueLengthAdmission::new(1)?)))
+            .admission("strict")
+            .run()
+            .unwrap();
+        let cap = report
+            .serving("GrandSLAM")
+            .unwrap()
+            .capacity
+            .as_ref()
+            .unwrap()
+            .clone();
+        assert_eq!(
+            cap.admission, "strict",
+            "capacity reports carry the registered name, not the policy's \
+             self-reported one"
+        );
+        assert!(cap.shed > 0, "a depth-1 bound at 10 rps must shed");
+        assert_eq!(report.admission.as_deref(), Some("strict"));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! paired, like the paper's.
 
 use crate::metrics::ServingMetrics;
-use crate::outcome::{RequestOutcome, ServingReport};
+use crate::outcome::{RequestDisposition, RequestOutcome, ServingReport};
 use crate::policy::{RequestContext, SizingPolicy};
 use janus_simcore::cluster::{Cluster, ClusterConfig};
 use janus_simcore::interference::InterferenceModel;
@@ -168,6 +168,7 @@ impl ClosedLoopExecutor {
 
         let outcome = RequestOutcome {
             request_id: request.id,
+            disposition: RequestDisposition::Served,
             e2e,
             allocations,
             function_latencies,
@@ -207,6 +208,7 @@ impl ClosedLoopExecutor {
             concurrency: self.config.concurrency,
             slo: self.config.slo,
             outcomes,
+            capacity: None,
         }
     }
 }

@@ -24,18 +24,28 @@
 //! * [`outcome`] — per-request outcomes and aggregated serving reports.
 //! * [`metrics`] — the pre-interned [`metrics::ServingMetrics`] handle
 //!   bundle both serving loops record through on the per-event hot path.
+//! * [`capacity`] — elastic capacity: the [`capacity::AutoscalerPolicy`] and
+//!   [`capacity::AdmissionPolicy`] traits, their built-ins and the
+//!   name-addressable registries the open loop's capacity tick drives.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod capacity;
 pub mod executor;
 pub mod metrics;
 pub mod openloop;
 pub mod outcome;
 pub mod policy;
 
+pub use capacity::{
+    AdmissionPolicy, AdmissionRegistry, AutoscalerPolicy, AutoscalerRegistry, CapacityContext,
+    ScalingAction, ScalingObservation,
+};
 pub use executor::{ClosedLoopExecutor, ExecutorConfig};
 pub use metrics::ServingMetrics;
-pub use openloop::{OpenLoopArena, OpenLoopConfig, OpenLoopSimulation};
-pub use outcome::{RequestOutcome, ServingReport};
+pub use openloop::{CapacityControls, OpenLoopArena, OpenLoopConfig, OpenLoopSimulation};
+pub use outcome::{
+    CapacityReport, RequestDisposition, RequestOutcome, ScalingEvent, ServingReport,
+};
 pub use policy::{FixedSizingPolicy, RequestContext, SizingPolicy};

@@ -30,6 +30,12 @@ pub struct ServingMetrics {
     pub cold_starts: CounterHandle,
     /// Requests that finished over their SLO.
     pub slo_violations: CounterHandle,
+    /// Requests shed by admission control at arrival (never served).
+    pub shed: CounterHandle,
+    /// Autoscaler scale-up actions applied.
+    pub scale_ups: CounterHandle,
+    /// Autoscaler scale-down (drain) actions applied.
+    pub scale_downs: CounterHandle,
     /// Per-function execution times in milliseconds (streaming).
     pub function_ms: StreamingHandle,
     /// End-to-end request latencies in milliseconds (streaming).
@@ -45,6 +51,12 @@ impl ServingMetrics {
     pub const COLD_STARTS: &'static str = "serving.cold_starts";
     /// Registry name of [`slo_violations`](Self::slo_violations).
     pub const SLO_VIOLATIONS: &'static str = "serving.slo_violations";
+    /// Registry name of [`shed`](Self::shed).
+    pub const SHED: &'static str = "serving.shed";
+    /// Registry name of [`scale_ups`](Self::scale_ups).
+    pub const SCALE_UPS: &'static str = "serving.scale_ups";
+    /// Registry name of [`scale_downs`](Self::scale_downs).
+    pub const SCALE_DOWNS: &'static str = "serving.scale_downs";
     /// Registry name of [`function_ms`](Self::function_ms).
     pub const FUNCTION_MS: &'static str = "serving.function_ms";
     /// Registry name of [`e2e_ms`](Self::e2e_ms).
@@ -58,6 +70,9 @@ impl ServingMetrics {
             functions: registry.counter_handle(Self::FUNCTIONS),
             cold_starts: registry.counter_handle(Self::COLD_STARTS),
             slo_violations: registry.counter_handle(Self::SLO_VIOLATIONS),
+            shed: registry.counter_handle(Self::SHED),
+            scale_ups: registry.counter_handle(Self::SCALE_UPS),
+            scale_downs: registry.counter_handle(Self::SCALE_DOWNS),
             function_ms: registry.streaming_handle(Self::FUNCTION_MS),
             e2e_ms: registry.streaming_handle(Self::E2E_MS),
         }

@@ -16,8 +16,11 @@
 //! queueing / load / scenario-sweep experiments and by integration tests of
 //! the discrete-event substrate.
 
+use crate::capacity::{AdmissionPolicy, AutoscalerPolicy, ScalingAction, ScalingObservation};
 use crate::metrics::ServingMetrics;
-use crate::outcome::{RequestOutcome, ServingReport};
+use crate::outcome::{
+    CapacityReport, RequestDisposition, RequestOutcome, ScalingEvent, ServingReport,
+};
 use crate::policy::{RequestContext, SizingPolicy};
 use janus_simcore::cluster::{Cluster, ClusterConfig};
 use janus_simcore::engine::{Engine, EngineConfig};
@@ -72,6 +75,59 @@ enum Event {
         exec: SimDuration,
         elapsed: SimDuration,
     },
+    /// Periodic capacity evaluation: recycle idle pods, retarget the warm
+    /// pool, and let the autoscaler act. Only scheduled when the run has
+    /// [`CapacityControls`].
+    CapacityTick,
+}
+
+/// The elastic-capacity control loops of one open-loop run: the autoscaler
+/// evaluated at its tick cadence and the admission policy consulted at every
+/// arrival. Both are exclusive borrows — each run re-uses or re-builds its
+/// policies explicitly, keeping determinism in the caller's hands.
+#[derive(Debug)]
+pub struct CapacityControls<'a> {
+    /// Cluster autoscaling policy.
+    pub autoscaler: &'a mut dyn AutoscalerPolicy,
+    /// Request admission policy.
+    pub admission: &'a mut dyn AdmissionPolicy,
+}
+
+/// Book-keeping behind one run's [`CapacityReport`].
+struct CapacityAccounting {
+    events: Vec<ScalingEvent>,
+    scale_ups: usize,
+    scale_downs: usize,
+    node_seconds: f64,
+    billed_until: SimTime,
+    peak_nodes: usize,
+    peak_inflight: usize,
+    pods_recycled: usize,
+    shed: usize,
+}
+
+impl CapacityAccounting {
+    fn new(initial_nodes: usize) -> Self {
+        CapacityAccounting {
+            events: Vec::new(),
+            scale_ups: 0,
+            scale_downs: 0,
+            node_seconds: 0.0,
+            billed_until: SimTime::ZERO,
+            peak_nodes: initial_nodes,
+            peak_inflight: 0,
+            pods_recycled: 0,
+            shed: 0,
+        }
+    }
+
+    /// Bill the elapsed interval at the pre-event node count. Called before
+    /// anything can change the fleet, so the node-seconds integral is exact.
+    fn bill(&mut self, now: SimTime, nodes: usize) {
+        self.node_seconds += now.saturating_since(self.billed_until).as_secs() * nodes as f64;
+        self.billed_until = now;
+        self.peak_nodes = self.peak_nodes.max(nodes);
+    }
 }
 
 #[derive(Debug)]
@@ -154,6 +210,25 @@ impl OpenLoopSimulation {
         arena: &mut OpenLoopArena,
         metrics: Option<&ServingMetrics>,
     ) -> ServingReport {
+        self.run_with_capacity(policy, requests, arena, metrics, None)
+    }
+
+    /// The general serving loop: [`run_instrumented`](Self::run_instrumented)
+    /// plus optional elastic-capacity control. With [`CapacityControls`],
+    /// every arrival is gated by the admission policy (shed requests are
+    /// recorded as [`RequestDisposition::Shed`] outcomes and counted through
+    /// the `shed` metric), and a periodic capacity tick recycles idle pods,
+    /// retargets the warm pool to the fleet size, and applies the
+    /// autoscaler's decisions; the returned report then carries a
+    /// [`CapacityReport`].
+    pub fn run_with_capacity(
+        &self,
+        policy: &mut dyn SizingPolicy,
+        requests: &[RequestInput],
+        arena: &mut OpenLoopArena,
+        metrics: Option<&ServingMetrics>,
+        mut controls: Option<CapacityControls<'_>>,
+    ) -> ServingReport {
         arena.engine.reset();
         // Every arrival sits in the queue before the first pop; pre-size so
         // the heap never grows mid-run (completions at most add the
@@ -165,6 +240,21 @@ impl OpenLoopSimulation {
         let mut pool = PoolManager::new(self.config.pool.clone());
         let mut cluster = Cluster::new(&self.config.cluster).expect("validated cluster config");
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
+        let mut accounting = controls
+            .as_ref()
+            .map(|_| CapacityAccounting::new(cluster.node_count()));
+        // A degenerate (zero / negative) cadence from a custom autoscaler
+        // would reschedule the tick at the same instant forever, spinning
+        // the event loop to its max-events cap; clamp to 1 ms.
+        let tick = controls.as_ref().map(|c| {
+            let tick = c.autoscaler.tick();
+            let floor = SimDuration::from_millis(1.0);
+            if tick > floor {
+                tick
+            } else {
+                floor
+            }
+        });
 
         for req in requests {
             engine
@@ -174,14 +264,33 @@ impl OpenLoopSimulation {
                 )
                 .expect("arrivals are in the future");
         }
+        if let Some(tick) = tick {
+            engine.schedule_in(tick, Event::CapacityTick);
+        }
 
         // The event loop is written iteratively (rather than via Engine::run)
         // because each event needs mutable access to the policy, pool and
         // cluster in addition to the engine.
         while let Some(ev) = engine.next_event() {
             let now = engine.now();
+            // Bill elapsed node-seconds at the pre-event fleet size; every
+            // fleet change happens inside an event.
+            if let Some(acct) = accounting.as_mut() {
+                acct.bill(now, cluster.node_count());
+            }
             match ev.payload {
                 Event::Arrival(input) => {
+                    if let Some(c) = controls.as_mut() {
+                        if !c.admission.admit(now, inflight.len()) {
+                            let acct = accounting.as_mut().expect("controls imply accounting");
+                            acct.shed += 1;
+                            if let Some(m) = metrics {
+                                m.shed.incr(1);
+                            }
+                            outcomes.push(RequestOutcome::shed(input.id));
+                            continue;
+                        }
+                    }
                     let ctx = self.ctx(&input);
                     policy.on_admit(&ctx);
                     if let Some(m) = metrics {
@@ -196,6 +305,9 @@ impl OpenLoopSimulation {
                     };
                     let request_id = state.input.id;
                     inflight.insert(request_id, state);
+                    if let Some(acct) = accounting.as_mut() {
+                        acct.peak_inflight = acct.peak_inflight.max(inflight.len());
+                    }
                     self.start_function(
                         policy,
                         inflight,
@@ -217,7 +329,10 @@ impl OpenLoopSimulation {
                 } => {
                     pool.release(pod, now);
                     // Idle warm pods must not count towards co-location
-                    // interference; only running instances contend.
+                    // interference; only running instances contend. This also
+                    // releases the pod's cluster allocation, so a later
+                    // recycle of the idle pod cannot leak `total_allocated`
+                    // (and an eviction may retire a draining node).
                     let _ = cluster.remove(pod);
                     let finished_len = {
                         let state = inflight.get_mut(&request_id).expect("in-flight request");
@@ -235,6 +350,7 @@ impl OpenLoopSimulation {
                         let state = inflight.remove(&request_id).expect("in-flight request");
                         let outcome = RequestOutcome {
                             request_id,
+                            disposition: RequestDisposition::Served,
                             e2e: state.e2e,
                             slo_met: state.e2e <= self.config.slo,
                             allocations: state.allocations,
@@ -259,16 +375,100 @@ impl OpenLoopSimulation {
                         );
                     }
                 }
+                Event::CapacityTick => {
+                    let c = controls.as_mut().expect("tick implies controls");
+                    let acct = accounting.as_mut().expect("controls imply accounting");
+                    acct.pods_recycled += pool.recycle_idle(now);
+                    let observation = ScalingObservation {
+                        now,
+                        active_nodes: cluster.active_node_count(),
+                        utilization: cluster.utilization(),
+                        inflight: inflight.len(),
+                    };
+                    let before = cluster.node_count();
+                    match c.autoscaler.observe(&observation) {
+                        ScalingAction::Hold => {}
+                        ScalingAction::ScaleUp(nodes) => {
+                            for _ in 0..nodes {
+                                cluster
+                                    .add_node(self.config.cluster.node_capacity)
+                                    .expect("validated node capacity");
+                            }
+                            if nodes > 0 {
+                                acct.scale_ups += 1;
+                                acct.events.push(ScalingEvent {
+                                    at: now,
+                                    from_nodes: before,
+                                    to_nodes: cluster.node_count(),
+                                });
+                                if let Some(m) = metrics {
+                                    m.scale_ups.incr(1);
+                                }
+                            }
+                        }
+                        ScalingAction::ScaleDown(nodes) => {
+                            // Allocation-aware: busy nodes drain and retire
+                            // once their last pod leaves; the fleet never
+                            // drops below one active node.
+                            let drained = cluster.drain_least_allocated(nodes, 1);
+                            if !drained.is_empty() {
+                                acct.scale_downs += 1;
+                                acct.events.push(ScalingEvent {
+                                    at: now,
+                                    from_nodes: before,
+                                    to_nodes: cluster.node_count(),
+                                });
+                                if let Some(m) = metrics {
+                                    m.scale_downs.incr(1);
+                                }
+                            }
+                        }
+                    }
+                    acct.peak_nodes = acct.peak_nodes.max(cluster.node_count());
+                    // Warm-pool depth follows the fleet: the configured pool
+                    // size is the per-initial-fleet baseline, scaled to the
+                    // current active node count.
+                    let base_pool = self.config.pool.pool_size;
+                    let initial_nodes = self.config.cluster.nodes.max(1);
+                    let target = (base_pool * cluster.active_node_count()).div_ceil(initial_nodes);
+                    if target != pool.target_pool_size() {
+                        pool.set_target_pool_size(target, now);
+                    }
+                    // Keep ticking while anything can still happen.
+                    if engine.pending() > 0 || !inflight.is_empty() {
+                        engine.schedule_in(tick.expect("tick cadence set"), Event::CapacityTick);
+                    }
+                }
             }
         }
 
         outcomes.sort_by_key(|o| o.request_id);
+        let capacity = accounting.map(|acct| {
+            let c = controls.as_ref().expect("controls imply accounting");
+            CapacityReport {
+                autoscaler: c.autoscaler.name().to_string(),
+                admission: c.admission.name().to_string(),
+                generated: requests.len(),
+                admitted: requests.len() - acct.shed,
+                shed: acct.shed,
+                scale_ups: acct.scale_ups,
+                scale_downs: acct.scale_downs,
+                events: acct.events,
+                node_seconds: acct.node_seconds,
+                peak_nodes: acct.peak_nodes,
+                final_nodes: cluster.node_count(),
+                peak_inflight: acct.peak_inflight,
+                pods_recycled: acct.pods_recycled,
+                final_allocated_mc: u64::from(cluster.total_allocated().get()),
+            }
+        });
         ServingReport {
             policy: policy.name().to_string(),
             workflow: self.workflow.name().to_string(),
             concurrency: self.config.concurrency,
             slo: self.config.slo,
             outcomes,
+            capacity,
         }
     }
 
@@ -313,10 +513,15 @@ impl OpenLoopSimulation {
             .expect("index within workflow");
         let acquisition = pool.acquire(function.name(), size, now);
         let _ = cluster.resize(acquisition.pod, size);
-        if cluster.node_of(acquisition.pod).is_none() {
-            // If the cluster is saturated, fall back to running unplaced (no
-            // extra interference) rather than rejecting the request.
-            let _ = cluster.place(acquisition.pod, function.name(), size);
+        if cluster.node_of(acquisition.pod).is_none()
+            && cluster
+                .place(acquisition.pod, function.name(), size)
+                .is_err()
+        {
+            // Saturated cluster: overcommit the least-loaded node rather
+            // than dropping the request. The pod runs, but it contends —
+            // overload shows up as interference, not as free capacity.
+            let _ = cluster.place_overcommitted(acquisition.pod, function.name(), size);
         }
         let colocated = cluster.colocation_degree(acquisition.pod, function.name());
         let exec = function.execution_time(
@@ -470,6 +675,227 @@ mod tests {
         assert!(
             (streaming.mean() - first.e2e_summary().unwrap().mean).abs() < 1e-9,
             "both paired runs are identical, so the pooled mean equals each run's mean"
+        );
+    }
+
+    #[test]
+    fn admission_control_sheds_and_conserves_requests() {
+        use crate::capacity::{QueueLengthAdmission, StaticAutoscaler};
+        let ia = intelligent_assistant();
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        // 50 ms inter-arrival: far more than 2 requests overlap, so a
+        // max-inflight bound of 2 must shed.
+        let reqs = RequestInputGenerator::new(5, SimDuration::from_millis(50.0)).generate(&ia, 80);
+        let registry = janus_simcore::metrics::MetricsRegistry::new();
+        let metrics = ServingMetrics::intern(&registry);
+        let mut autoscaler = StaticAutoscaler;
+        let mut admission = QueueLengthAdmission::new(2).unwrap();
+        let report = sim.run_with_capacity(
+            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+            &reqs,
+            &mut OpenLoopArena::new(),
+            Some(&metrics),
+            Some(CapacityControls {
+                autoscaler: &mut autoscaler,
+                admission: &mut admission,
+            }),
+        );
+        let cap = report.capacity.as_ref().unwrap();
+        assert_eq!(cap.autoscaler, "static");
+        assert_eq!(cap.admission, "queue-shed");
+        // Conservation: every generated request is accounted exactly once.
+        assert_eq!(cap.admitted + cap.shed, cap.generated);
+        assert_eq!(cap.generated, 80);
+        assert!(cap.shed > 0, "overload must shed under a depth-2 bound");
+        assert_eq!(report.len(), 80);
+        assert_eq!(report.served_len(), cap.admitted);
+        assert_eq!(report.shed_len(), cap.shed);
+        assert!(cap.peak_inflight <= 2, "bound respected");
+        // Metrics agree with the report.
+        assert_eq!(registry.counter(ServingMetrics::SHED), cap.shed as u64);
+        assert_eq!(
+            registry.counter(ServingMetrics::REQUESTS),
+            cap.admitted as u64
+        );
+        // The static fleet never scales.
+        assert!(cap.events.is_empty());
+        assert_eq!(cap.peak_nodes, 1);
+        assert!(cap.node_seconds > 0.0);
+    }
+
+    #[test]
+    fn autoscaling_grows_the_fleet_and_reduces_interference() {
+        use crate::capacity::{AdmitAll, UtilizationThresholdAutoscaler};
+        use janus_simcore::cluster::{ClusterConfig, PlacementPolicy};
+        let ia = intelligent_assistant();
+        // Small spread nodes so co-location (and thus interference) tracks
+        // fleet size.
+        let config = OpenLoopConfig {
+            cluster: ClusterConfig {
+                nodes: 2,
+                node_capacity: Millicores::from_cores(8),
+                placement: PlacementPolicy::Spread,
+            },
+            ..OpenLoopConfig::new(SimDuration::from_secs(3.0))
+        };
+        let sim = OpenLoopSimulation::new(ia.clone(), config);
+        let reqs = RequestInputGenerator::new(7, SimDuration::from_millis(60.0)).generate(&ia, 120);
+
+        let run_static = sim.run(
+            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+            &reqs,
+        );
+        let mut autoscaler =
+            UtilizationThresholdAutoscaler::new(0.6, 0.1, 2, SimDuration::from_secs(2.0), 2, 12)
+                .unwrap();
+        let mut admission = AdmitAll;
+        let run_scaled = sim.run_with_capacity(
+            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+            &reqs,
+            &mut OpenLoopArena::new(),
+            None,
+            Some(CapacityControls {
+                autoscaler: &mut autoscaler,
+                admission: &mut admission,
+            }),
+        );
+        let cap = run_scaled.capacity.as_ref().unwrap();
+        assert!(cap.scale_ups > 0, "overload must trigger scale-ups");
+        assert!(cap.peak_nodes > 2);
+        assert_eq!(cap.admitted, 120, "admit-all sheds nothing");
+        // More nodes → lower co-location → faster service.
+        assert!(
+            run_scaled.e2e_summary().unwrap().mean < run_static.e2e_summary().unwrap().mean,
+            "autoscaled mean {} vs static {}",
+            run_scaled.e2e_summary().unwrap().mean,
+            run_static.e2e_summary().unwrap().mean
+        );
+        // Scaling events are monotone in time and internally consistent.
+        for w in cap.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for e in &cap.events {
+            assert_ne!(e.from_nodes, e.to_nodes);
+        }
+    }
+
+    #[test]
+    fn recycled_idle_pods_release_their_cluster_allocation() {
+        // Regression guard for the idle-recycling audit: a specialised pod
+        // recycled after `idle_recycle_after` must not leak cluster
+        // allocation. Pods release their node slot when execution finishes
+        // (before going idle), so after a long-idle tail the cluster must be
+        // back at its zero-allocation baseline — asserted through the
+        // capacity report of a run whose span is far longer than the recycle
+        // window.
+        use crate::capacity::{AdmitAll, StaticAutoscaler};
+        let ia = intelligent_assistant();
+        let mut config = OpenLoopConfig::new(SimDuration::from_secs(3.0));
+        config.pool.idle_recycle_after = SimDuration::from_secs(30.0);
+        let sim = OpenLoopSimulation::new(ia.clone(), config);
+        // A burst up front, then one straggler two minutes later: the
+        // burst's specialised pods sit idle well past the recycle window.
+        let mut reqs = RequestInputGenerator::new(13, SimDuration::ZERO).generate(&ia, 20);
+        for (i, r) in reqs.iter_mut().enumerate() {
+            r.arrival_offset = if i < 19 {
+                SimDuration::from_millis(40.0 * i as f64)
+            } else {
+                SimDuration::from_secs(120.0)
+            };
+        }
+        let mut autoscaler = StaticAutoscaler;
+        let mut admission = AdmitAll;
+        let report = sim.run_with_capacity(
+            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+            &reqs,
+            &mut OpenLoopArena::new(),
+            None,
+            Some(CapacityControls {
+                autoscaler: &mut autoscaler,
+                admission: &mut admission,
+            }),
+        );
+        let cap = report.capacity.as_ref().unwrap();
+        assert!(
+            cap.pods_recycled > 0,
+            "idle specialised pods must be recycled by the capacity tick"
+        );
+        assert_eq!(
+            cap.final_allocated_mc, 0,
+            "recycling must not leak cluster allocation"
+        );
+        assert_eq!(report.served_len(), 20, "recycling must not lose requests");
+    }
+
+    #[test]
+    fn degenerate_tick_cadences_are_clamped() {
+        use crate::capacity::{AdmitAll, AutoscalerPolicy, ScalingAction, ScalingObservation};
+        // A custom autoscaler with a zero cadence must not spin the event
+        // loop at one timestamp; the loop clamps the tick to 1 ms.
+        #[derive(Debug)]
+        struct SpinScaler;
+        impl AutoscalerPolicy for SpinScaler {
+            fn name(&self) -> &str {
+                "spin"
+            }
+            fn tick(&self) -> SimDuration {
+                SimDuration::ZERO
+            }
+            fn observe(&mut self, _obs: &ScalingObservation) -> ScalingAction {
+                ScalingAction::Hold
+            }
+        }
+        let ia = intelligent_assistant();
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let reqs = RequestInputGenerator::new(1, SimDuration::from_millis(500.0)).generate(&ia, 10);
+        let mut autoscaler = SpinScaler;
+        let mut admission = AdmitAll;
+        let report = sim.run_with_capacity(
+            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+            &reqs,
+            &mut OpenLoopArena::new(),
+            None,
+            Some(CapacityControls {
+                autoscaler: &mut autoscaler,
+                admission: &mut admission,
+            }),
+        );
+        assert_eq!(report.served_len(), 10, "every request still served");
+        assert_eq!(report.capacity.as_ref().unwrap().admitted, 10);
+    }
+
+    #[test]
+    fn capacity_runs_are_deterministic() {
+        use crate::capacity::{QueueLengthAdmission, UtilizationThresholdAutoscaler};
+        let ia = intelligent_assistant();
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let reqs = RequestInputGenerator::new(3, SimDuration::from_millis(80.0)).generate(&ia, 60);
+        let run = || {
+            let mut autoscaler =
+                UtilizationThresholdAutoscaler::new(0.5, 0.1, 1, SimDuration::from_secs(2.0), 1, 8)
+                    .unwrap();
+            let mut admission = QueueLengthAdmission::new(12).unwrap();
+            sim.run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+                &mut OpenLoopArena::new(),
+                None,
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                }),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical inputs must replay identically");
+        assert_eq!(
+            a.capacity.as_ref().unwrap().events,
+            b.capacity.as_ref().unwrap().events,
+            "scaling event sequences must be identical"
         );
     }
 

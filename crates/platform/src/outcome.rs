@@ -3,8 +3,17 @@
 use crate::metrics::ServingMetrics;
 use janus_simcore::resources::Millicores;
 use janus_simcore::stats::{Cdf, StreamingSummary, Summary};
-use janus_simcore::time::SimDuration;
+use janus_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// What happened to a request at the platform's front door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestDisposition {
+    /// Admitted and served to completion.
+    Served,
+    /// Rejected by admission control at arrival; never executed.
+    Shed,
+}
 
 /// The result of serving one workflow request under one sizing policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -13,19 +22,43 @@ pub struct RequestOutcome {
     ///
     /// [`RequestInput`]: janus_workloads::request::RequestInput
     pub request_id: u64,
-    /// End-to-end latency, including startup delays.
+    /// Whether the request was served or shed at admission.
+    pub disposition: RequestDisposition,
+    /// End-to-end latency, including startup delays (zero for shed requests).
     pub e2e: SimDuration,
-    /// CPU allocation each function actually executed with (head to tail).
+    /// CPU allocation each function actually executed with (head to tail;
+    /// empty for shed requests).
     pub allocations: Vec<Millicores>,
-    /// Observed execution time of each function.
+    /// Observed execution time of each function (empty for shed requests).
     pub function_latencies: Vec<SimDuration>,
-    /// Whether the end-to-end latency met the SLO.
+    /// Whether the end-to-end latency met the SLO (`false` for shed
+    /// requests, which are accounted separately via
+    /// [`ServingReport::shed_rate`], not as SLO violations).
     pub slo_met: bool,
     /// Number of hint-table misses (late-binding policies only; 0 otherwise).
     pub adaptation_misses: u32,
 }
 
 impl RequestOutcome {
+    /// The outcome of a request shed by admission control: no execution, no
+    /// latency, not an SLO violation.
+    pub fn shed(request_id: u64) -> Self {
+        RequestOutcome {
+            request_id,
+            disposition: RequestDisposition::Shed,
+            e2e: SimDuration::ZERO,
+            allocations: Vec::new(),
+            function_latencies: Vec::new(),
+            slo_met: false,
+            adaptation_misses: 0,
+        }
+    }
+
+    /// True when the request was served (not shed).
+    pub fn is_served(&self) -> bool {
+        self.disposition == RequestDisposition::Served
+    }
+
     /// Total CPU consumption of the request: the sum of the allocations its
     /// functions ran with — the "CPU (Millicore)" metric of Figure 5.
     pub fn total_cpu(&self) -> Millicores {
@@ -45,6 +78,63 @@ impl RequestOutcome {
     }
 }
 
+/// One applied autoscaler action, for determinism checks and event logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingEvent {
+    /// Simulated time the action was applied.
+    pub at: SimTime,
+    /// Non-retired node count before the action.
+    pub from_nodes: usize,
+    /// Non-retired node count after the action.
+    pub to_nodes: usize,
+}
+
+/// Capacity accounting of one open-loop run under elastic control: what the
+/// autoscaler and the admission policy did, and what it cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityReport {
+    /// Autoscaler name the run used.
+    pub autoscaler: String,
+    /// Admission policy name the run used.
+    pub admission: String,
+    /// Requests offered to the platform.
+    pub generated: usize,
+    /// Requests admitted (served to completion).
+    pub admitted: usize,
+    /// Requests shed at arrival.
+    pub shed: usize,
+    /// Applied scale-up actions.
+    pub scale_ups: usize,
+    /// Applied scale-down (drain) actions.
+    pub scale_downs: usize,
+    /// Every applied scaling action, in simulated-time order.
+    pub events: Vec<ScalingEvent>,
+    /// Integral of the non-retired node count over simulated time — the
+    /// capacity bill of the run.
+    pub node_seconds: f64,
+    /// Peak non-retired node count.
+    pub peak_nodes: usize,
+    /// Non-retired node count when the run ended.
+    pub final_nodes: usize,
+    /// Peak admitted-and-unfinished request count.
+    pub peak_inflight: usize,
+    /// Idle specialised pods recycled back to the generic pool.
+    pub pods_recycled: usize,
+    /// Cluster CPU still allocated when the run ended, in millicores. Zero
+    /// unless pods leak their cluster allocation (regression guard).
+    pub final_allocated_mc: u64,
+}
+
+impl CapacityReport {
+    /// Shed fraction of the offered load, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.generated == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.generated as f64
+    }
+}
+
 /// Aggregated results of serving a request set under one policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
@@ -56,87 +146,104 @@ pub struct ServingReport {
     pub concurrency: u32,
     /// SLO the requests were served under.
     pub slo: SimDuration,
-    /// Per-request outcomes (in request order).
+    /// Per-request outcomes (in request order), shed requests included.
     pub outcomes: Vec<RequestOutcome>,
+    /// Capacity accounting, for open-loop runs under elastic control
+    /// (`None` for closed loops and plain open loops).
+    pub capacity: Option<CapacityReport>,
 }
 
 impl ServingReport {
-    /// Number of requests served.
+    /// Number of requests accounted for (served **and** shed).
     pub fn len(&self) -> usize {
         self.outcomes.len()
     }
 
-    /// True when no requests were served.
+    /// True when no requests were accounted for.
     pub fn is_empty(&self) -> bool {
         self.outcomes.is_empty()
     }
 
-    /// Mean per-request CPU consumption in millicores (Figure 5 / Table I).
-    pub fn mean_cpu_millicores(&self) -> f64 {
+    /// Outcomes of requests that were actually served (shed ones excluded).
+    pub fn served(&self) -> impl Iterator<Item = &RequestOutcome> {
+        self.outcomes.iter().filter(|o| o.is_served())
+    }
+
+    /// Number of served requests.
+    pub fn served_len(&self) -> usize {
+        self.served().count()
+    }
+
+    /// Number of requests shed at admission.
+    pub fn shed_len(&self) -> usize {
+        self.outcomes.len() - self.served_len()
+    }
+
+    /// Shed fraction of the offered load, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        self.outcomes
-            .iter()
+        self.shed_len() as f64 / self.outcomes.len() as f64
+    }
+
+    fn served_e2e_ms(&self) -> Vec<f64> {
+        self.served().map(|o| o.e2e.as_millis()).collect()
+    }
+
+    /// Mean per-request CPU consumption in millicores over served requests
+    /// (Figure 5 / Table I).
+    pub fn mean_cpu_millicores(&self) -> f64 {
+        let served = self.served_len();
+        if served == 0 {
+            return 0.0;
+        }
+        self.served()
             .map(|o| f64::from(o.total_cpu().get()))
             .sum::<f64>()
-            / self.outcomes.len() as f64
+            / served as f64
     }
 
-    /// Fraction of requests that violated the SLO.
+    /// Fraction of **served** requests that violated the SLO (0.0 when
+    /// nothing was served; shed requests are reported via
+    /// [`shed_rate`](Self::shed_rate), not as violations).
     pub fn slo_violation_rate(&self) -> f64 {
-        if self.outcomes.is_empty() {
+        let served = self.served_len();
+        if served == 0 {
             return 0.0;
         }
-        self.outcomes.iter().filter(|o| !o.slo_met).count() as f64 / self.outcomes.len() as f64
+        self.served().filter(|o| !o.slo_met).count() as f64 / served as f64
     }
 
-    /// End-to-end latency CDF (Figure 4).
+    /// End-to-end latency CDF over served requests (Figure 4). Empty when
+    /// every request was shed.
     pub fn e2e_cdf(&self) -> Cdf {
-        Cdf::from_samples(
-            &self
-                .outcomes
-                .iter()
-                .map(|o| o.e2e.as_millis())
-                .collect::<Vec<_>>(),
-        )
+        Cdf::from_samples(&self.served_e2e_ms())
     }
 
-    /// End-to-end latency summary statistics.
+    /// End-to-end latency summary statistics over served requests. `None`
+    /// when nothing was served.
     pub fn e2e_summary(&self) -> Option<Summary> {
-        Summary::from_samples(
-            &self
-                .outcomes
-                .iter()
-                .map(|o| o.e2e.as_millis())
-                .collect::<Vec<_>>(),
-        )
+        Summary::from_samples(&self.served_e2e_ms())
     }
 
     /// Streaming (fixed-memory, approximate-percentile) view of the
-    /// end-to-end latencies — the summary sweep-style consumers fold across
-    /// many reports via [`StreamingSummary::merge`] without buffering every
-    /// sample again.
+    /// end-to-end latencies of served requests — the summary sweep-style
+    /// consumers fold across many reports via [`StreamingSummary::merge`]
+    /// without buffering every sample again. Empty (zero samples) when
+    /// every request was shed.
     pub fn e2e_streaming(&self) -> StreamingSummary {
         let mut summary = StreamingSummary::new();
-        for o in &self.outcomes {
+        for o in self.served() {
             summary.record(o.e2e.as_millis());
         }
         summary
     }
 
-    /// The end-to-end latency at a given percentile (e.g. 99.0 for the P99
-    /// SLO check).
+    /// The end-to-end latency of served requests at a given percentile
+    /// (e.g. 99.0 for the P99 SLO check). `None` when nothing was served.
     pub fn e2e_percentile(&self, p: f64) -> Option<SimDuration> {
-        janus_simcore::stats::percentile(
-            &self
-                .outcomes
-                .iter()
-                .map(|o| o.e2e.as_millis())
-                .collect::<Vec<_>>(),
-            p,
-        )
-        .map(SimDuration::from_millis)
+        janus_simcore::stats::percentile(&self.served_e2e_ms(), p).map(SimDuration::from_millis)
     }
 
     /// Total hint-table misses across all requests.
@@ -176,6 +283,7 @@ mod tests {
     fn outcome(id: u64, e2e_ms: f64, cpu: &[u32], slo_ms: f64) -> RequestOutcome {
         RequestOutcome {
             request_id: id,
+            disposition: RequestDisposition::Served,
             e2e: SimDuration::from_millis(e2e_ms),
             allocations: cpu.iter().map(|&c| Millicores::new(c)).collect(),
             function_latencies: vec![
@@ -198,6 +306,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, &e)| outcome(i as u64, e, cpus, 3000.0))
                 .collect(),
+            capacity: None,
         }
     }
 
@@ -240,9 +349,76 @@ mod tests {
             concurrency: 1,
             slo: SimDuration::from_secs(3.0),
             outcomes: vec![],
+            capacity: None,
         };
         assert_eq!(empty.mean_cpu_millicores(), 0.0);
         assert_eq!(empty.slo_violation_rate(), 0.0);
         assert!(empty.e2e_summary().is_none());
+    }
+
+    #[test]
+    fn shed_requests_are_excluded_from_latency_and_cpu_statistics() {
+        let mut r = report("janus", &[1000, 1000, 1000], &[2000.0, 3500.0]);
+        r.outcomes.push(RequestOutcome::shed(2));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.served_len(), 2);
+        assert_eq!(r.shed_len(), 1);
+        assert!((r.shed_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // Denominators are served-only: 1 violation of 2 served, not of 3.
+        assert!((r.slo_violation_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(r.mean_cpu_millicores(), 3000.0);
+        // The zero-latency shed outcome must not pollute the CDF/summary.
+        assert_eq!(r.e2e_cdf().len(), 2);
+        assert_eq!(r.e2e_summary().unwrap().count, 2);
+        assert!(r.e2e_summary().unwrap().min >= 2000.0);
+        assert_eq!(r.e2e_streaming().count(), 2);
+    }
+
+    #[test]
+    fn all_shed_reports_degrade_to_empty_statistics_not_panics() {
+        // Newly reachable via admission control: every request shed.
+        let r = ServingReport {
+            policy: "x".into(),
+            workflow: "IA".into(),
+            concurrency: 1,
+            slo: SimDuration::from_secs(3.0),
+            outcomes: (0..4).map(RequestOutcome::shed).collect(),
+            capacity: None,
+        };
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.served_len(), 0);
+        assert_eq!(r.shed_rate(), 1.0);
+        assert!(r.e2e_cdf().is_empty());
+        assert!(r.e2e_summary().is_none());
+        assert!(r.e2e_percentile(99.0).is_none());
+        assert_eq!(r.e2e_streaming().count(), 0);
+        assert_eq!(r.mean_cpu_millicores(), 0.0);
+        assert_eq!(r.slo_violation_rate(), 0.0);
+        assert!(!r.slo_violation_rate().is_nan());
+    }
+
+    #[test]
+    fn capacity_report_shed_rate_guards_the_empty_run() {
+        let mut cap = CapacityReport {
+            autoscaler: "static".into(),
+            admission: "queue-shed".into(),
+            generated: 0,
+            admitted: 0,
+            shed: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            events: vec![],
+            node_seconds: 0.0,
+            peak_nodes: 1,
+            final_nodes: 1,
+            peak_inflight: 0,
+            pods_recycled: 0,
+            final_allocated_mc: 0,
+        };
+        assert_eq!(cap.shed_rate(), 0.0);
+        cap.generated = 10;
+        cap.shed = 4;
+        cap.admitted = 6;
+        assert!((cap.shed_rate() - 0.4).abs() < 1e-12);
     }
 }

@@ -20,6 +20,24 @@ use crate::SimResult;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Lifecycle state of one cluster node.
+///
+/// The elastic-capacity extension makes the fleet dynamic: the autoscaler
+/// adds nodes ([`Cluster::add_node`]) and drains them
+/// ([`Cluster::drain_node`]). Draining is allocation-aware — a node that
+/// still hosts pods keeps serving them but accepts no new placements, and
+/// retires automatically once its last pod is evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Accepting placements and serving pods.
+    Active,
+    /// No new placements; retires when the last hosted pod leaves.
+    Draining,
+    /// Removed from the fleet. Its capacity no longer counts and its
+    /// [`NodeId`] is never reused.
+    Retired,
+}
+
 /// How pods are assigned to nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PlacementPolicy {
@@ -71,9 +89,14 @@ impl ClusterConfig {
 }
 
 /// A cluster of nodes tracking where every pod is placed.
+///
+/// The fleet is **dynamic**: nodes can be added and drained at run time.
+/// Retired nodes keep their slot (a [`NodeId`] is an index and is never
+/// reused) but contribute neither capacity nor placement targets.
 #[derive(Debug)]
 pub struct Cluster {
     nodes: Vec<Node>,
+    states: Vec<NodeState>,
     placement: PlacementPolicy,
     pod_to_node: HashMap<PodId, NodeId>,
 }
@@ -82,37 +105,136 @@ impl Cluster {
     /// Build a cluster from its configuration.
     pub fn new(config: &ClusterConfig) -> SimResult<Self> {
         config.validate()?;
-        let nodes = (0..config.nodes)
+        let nodes: Vec<Node> = (0..config.nodes)
             .map(|i| Node::new(NodeId(i as u32), config.node_capacity))
             .collect();
+        let states = vec![NodeState::Active; nodes.len()];
         Ok(Cluster {
             nodes,
+            states,
             placement: config.placement,
             pod_to_node: HashMap::new(),
         })
     }
 
-    /// Number of nodes.
+    /// Number of non-retired (active + draining) nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.states
+            .iter()
+            .filter(|s| **s != NodeState::Retired)
+            .count()
     }
 
-    /// Access a node by id.
+    /// Number of active nodes (placement targets).
+    pub fn active_node_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| **s == NodeState::Active)
+            .count()
+    }
+
+    /// Access a node by id (including draining and retired nodes).
     pub fn node(&self, id: NodeId) -> Option<&Node> {
         self.nodes.get(id.0 as usize)
     }
 
-    /// Total allocated CPU across all nodes.
+    /// Lifecycle state of a node.
+    pub fn node_state(&self, id: NodeId) -> Option<NodeState> {
+        self.states.get(id.0 as usize).copied()
+    }
+
+    /// Add a fresh active node with `capacity` CPU. Node ids are strictly
+    /// increasing; retired slots are never reused, so scaling event logs
+    /// stay unambiguous.
+    pub fn add_node(&mut self, capacity: Millicores) -> SimResult<NodeId> {
+        if capacity.get() == 0 {
+            return Err(SimError::InvalidConfig(
+                "node capacity must be positive".into(),
+            ));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(id, capacity));
+        self.states.push(NodeState::Active);
+        Ok(id)
+    }
+
+    /// Start draining a node: it accepts no new placements and retires as
+    /// soon as its last pod is evicted. Returns `true` if the node retired
+    /// immediately (it hosted nothing). Draining an already-draining node is
+    /// a no-op; retired or unknown nodes are an error.
+    pub fn drain_node(&mut self, id: NodeId) -> SimResult<bool> {
+        let idx = id.0 as usize;
+        match self.states.get(idx) {
+            None => return Err(SimError::UnknownEntity(format!("{id}"))),
+            Some(NodeState::Retired) => {
+                return Err(SimError::InvalidTransition {
+                    entity: format!("{id}"),
+                    detail: "drain of a retired node".into(),
+                })
+            }
+            Some(NodeState::Active) | Some(NodeState::Draining) => {}
+        }
+        self.states[idx] = NodeState::Draining;
+        Ok(self.try_retire(idx))
+    }
+
+    /// Drain the `count` least-allocated active nodes, never dropping the
+    /// fleet below `min_active` active nodes. Returns the drained node ids
+    /// (some may have retired immediately).
+    pub fn drain_least_allocated(&mut self, count: usize, min_active: usize) -> Vec<NodeId> {
+        let mut drained = Vec::new();
+        for _ in 0..count {
+            if self.active_node_count() <= min_active.max(1) {
+                break;
+            }
+            let Some(idx) = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.states[*i] == NodeState::Active)
+                .min_by_key(|(_, n)| (n.allocated().get(), n.id().0))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            self.states[idx] = NodeState::Draining;
+            let id = self.nodes[idx].id();
+            self.try_retire(idx);
+            drained.push(id);
+        }
+        drained
+    }
+
+    /// Retire a draining node once empty; returns whether it retired.
+    fn try_retire(&mut self, idx: usize) -> bool {
+        if self.states[idx] == NodeState::Draining && self.nodes[idx].pod_count() == 0 {
+            self.states[idx] = NodeState::Retired;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total allocated CPU across non-retired nodes.
     pub fn total_allocated(&self) -> Millicores {
-        self.nodes.iter().map(Node::allocated).sum()
+        self.live_nodes().map(Node::allocated).sum()
     }
 
-    /// Total capacity across all nodes.
+    /// Total capacity across non-retired nodes.
     pub fn total_capacity(&self) -> Millicores {
-        self.nodes.iter().map(Node::capacity).sum()
+        self.live_nodes().map(Node::capacity).sum()
     }
 
-    /// Cluster-wide utilisation in `[0, 1]`.
+    /// Non-retired nodes (active + draining).
+    fn live_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.states[*i] != NodeState::Retired)
+            .map(|(_, n)| n)
+    }
+
+    /// Cluster-wide utilisation in `[0, 1]` over non-retired nodes.
     pub fn utilization(&self) -> f64 {
         let cap = self.total_capacity().get();
         if cap == 0 {
@@ -126,7 +248,7 @@ impl Cluster {
             .nodes
             .iter()
             .enumerate()
-            .filter(|(_, n)| n.can_fit(allocation));
+            .filter(|(i, n)| self.states[*i] == NodeState::Active && n.can_fit(allocation));
         match self.placement {
             PlacementPolicy::PackSameFunction => fitting
                 .max_by_key(|(_, n)| (n.colocated_count(function), n.free().get()))
@@ -136,7 +258,7 @@ impl Cluster {
     }
 
     /// Place a pod running `function` with `allocation` CPU. Returns the node
-    /// chosen, or an error if no node can fit the allocation.
+    /// chosen, or an error if no active node can fit the allocation.
     pub fn place(
         &mut self,
         pod: PodId,
@@ -146,7 +268,9 @@ impl Cluster {
         let best_free = self
             .nodes
             .iter()
-            .map(|n| n.free())
+            .enumerate()
+            .filter(|(i, _)| self.states[*i] == NodeState::Active)
+            .map(|(_, n)| n.free())
             .max()
             .unwrap_or(Millicores::ZERO);
         let idx = self
@@ -161,13 +285,43 @@ impl Cluster {
         Ok(node_id)
     }
 
-    /// Remove a pod from its node.
+    /// Place a pod on a saturated cluster by overcommitting the least-loaded
+    /// active node (overload must contend, not disappear: an unplaced pod
+    /// would run interference-free, making saturation *faster* than a busy
+    /// fleet). Errors only when no node is active.
+    pub fn place_overcommitted(
+        &mut self,
+        pod: PodId,
+        function: &str,
+        allocation: Millicores,
+    ) -> SimResult<NodeId> {
+        let idx = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.states[*i] == NodeState::Active)
+            .min_by_key(|(_, n)| (n.allocated().get(), n.id().0))
+            .map(|(i, _)| i)
+            .ok_or(SimError::InsufficientCapacity {
+                requested: allocation,
+                available: Millicores::ZERO,
+            })?;
+        self.nodes[idx].place_overcommitted(pod, function, allocation)?;
+        let node_id = self.nodes[idx].id();
+        self.pod_to_node.insert(pod, node_id);
+        Ok(node_id)
+    }
+
+    /// Remove a pod from its node. If the node was draining and this was its
+    /// last pod, the node retires.
     pub fn remove(&mut self, pod: PodId) -> SimResult<()> {
         let node_id = self
             .pod_to_node
             .remove(&pod)
             .ok_or_else(|| SimError::UnknownEntity(format!("{pod}")))?;
-        self.nodes[node_id.0 as usize].evict(pod)?;
+        let idx = node_id.0 as usize;
+        self.nodes[idx].evict(pod)?;
+        self.try_retire(idx);
         Ok(())
     }
 
@@ -276,6 +430,96 @@ mod tests {
             placement: PlacementPolicy::Spread,
         })
         .is_err());
+    }
+
+    #[test]
+    fn added_nodes_become_placement_targets() {
+        let mut c = cluster(1, PlacementPolicy::Spread);
+        c.place(PodId(1), "od", Millicores::from_cores(8)).unwrap();
+        // Full cluster: next placement fails …
+        assert!(c.place(PodId(2), "od", Millicores::new(1000)).is_err());
+        // … until a node is added.
+        let added = c.add_node(Millicores::from_cores(8)).unwrap();
+        assert_eq!(added, NodeId(1));
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.active_node_count(), 2);
+        let placed = c.place(PodId(2), "od", Millicores::new(1000)).unwrap();
+        assert_eq!(placed, added);
+        assert_eq!(c.total_capacity(), Millicores::from_cores(16));
+        assert!(c.add_node(Millicores::ZERO).is_err());
+    }
+
+    #[test]
+    fn draining_is_allocation_aware() {
+        let mut c = cluster(2, PlacementPolicy::Spread);
+        c.place(PodId(1), "od", Millicores::new(2000)).unwrap();
+        let node = c.node_of(PodId(1)).unwrap();
+        // Draining a node with a pod does not retire it yet.
+        assert!(!c.drain_node(node).unwrap());
+        assert_eq!(c.node_state(node), Some(NodeState::Draining));
+        assert_eq!(c.node_count(), 2, "draining node still counts");
+        // No new placements land on the draining node.
+        c.place(PodId(2), "od", Millicores::new(1000)).unwrap();
+        assert_ne!(c.node_of(PodId(2)).unwrap(), node);
+        // Evicting the last pod retires it and releases its capacity.
+        c.remove(PodId(1)).unwrap();
+        assert_eq!(c.node_state(node), Some(NodeState::Retired));
+        assert_eq!(c.node_count(), 1);
+        assert_eq!(c.total_capacity(), Millicores::from_cores(8));
+        // Retired nodes cannot be drained again; unknown nodes error.
+        assert!(c.drain_node(node).is_err());
+        assert!(c.drain_node(NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn overcommit_places_on_the_least_loaded_active_node() {
+        let mut c = cluster(2, PlacementPolicy::Spread);
+        c.place(PodId(1), "od", Millicores::from_cores(8)).unwrap();
+        c.place(PodId(2), "od", Millicores::from_cores(8)).unwrap();
+        // Saturated: regular placement fails, overcommit lands anyway and
+        // the overloaded fleet reads as >100 % utilised.
+        assert!(c.place(PodId(3), "od", Millicores::new(2000)).is_err());
+        let node = c
+            .place_overcommitted(PodId(3), "od", Millicores::new(2000))
+            .unwrap();
+        assert_eq!(c.node_of(PodId(3)), Some(node));
+        assert!(c.utilization() > 1.0);
+        assert_eq!(c.colocation_degree(PodId(3), "od"), 2);
+        // Draining nodes are not overcommit targets either.
+        c.drain_node(NodeId(0)).unwrap();
+        c.drain_node(NodeId(1)).unwrap();
+        assert!(c
+            .place_overcommitted(PodId(4), "od", Millicores::new(1000))
+            .is_err());
+        // Eviction drains the overcommitted node back to retirement.
+        c.remove(PodId(3)).unwrap();
+        let host = c.node_of(PodId(1)).unwrap();
+        c.remove(PodId(1)).unwrap();
+        assert_eq!(c.node_state(host), Some(NodeState::Retired));
+    }
+
+    #[test]
+    fn empty_node_retires_immediately_on_drain() {
+        let mut c = cluster(3, PlacementPolicy::Spread);
+        assert!(c.drain_node(NodeId(2)).unwrap());
+        assert_eq!(c.node_state(NodeId(2)), Some(NodeState::Retired));
+        assert_eq!(c.active_node_count(), 2);
+    }
+
+    #[test]
+    fn drain_least_allocated_respects_the_floor() {
+        let mut c = cluster(3, PlacementPolicy::Spread);
+        c.place(PodId(1), "od", Millicores::new(3000)).unwrap();
+        c.place(PodId(2), "od", Millicores::new(2000)).unwrap();
+        // Three active nodes, floor of one: at most two drain, least
+        // allocated (the empty node) first.
+        let drained = c.drain_least_allocated(5, 1);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(c.active_node_count(), 1);
+        let busiest = c.node_of(PodId(1)).unwrap();
+        assert_eq!(c.node_state(busiest), Some(NodeState::Active));
+        // Draining below the floor is refused.
+        assert!(c.drain_least_allocated(1, 1).is_empty());
     }
 
     #[test]

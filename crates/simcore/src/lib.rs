@@ -47,7 +47,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use cluster::{Cluster, ClusterConfig, PlacementPolicy};
+pub use cluster::{Cluster, ClusterConfig, NodeState, PlacementPolicy};
 pub use engine::{Engine, EngineConfig};
 pub use error::SimError;
 pub use event::{EventQueue, ScheduledEvent};

@@ -105,6 +105,20 @@ impl Node {
                 available: self.free(),
             });
         }
+        self.place_overcommitted(pod, function, allocation)
+    }
+
+    /// [`place`](Self::place) without the capacity check: the overload path.
+    /// A saturated cluster still has to run the pod *somewhere*, and an
+    /// overcommitted node contends — `allocated` may exceed `capacity` and
+    /// the co-location count keeps growing, which is what drives the
+    /// interference model during overload.
+    pub fn place_overcommitted(
+        &mut self,
+        pod: PodId,
+        function: &str,
+        allocation: Millicores,
+    ) -> SimResult<()> {
         if self.pods.contains_key(&pod) {
             return Err(SimError::InvalidTransition {
                 entity: format!("{pod}"),

@@ -141,6 +141,32 @@ impl PoolManager {
         }
     }
 
+    /// Current target depth of the generic pool.
+    pub fn target_pool_size(&self) -> usize {
+        self.config.pool_size
+    }
+
+    /// Retarget the generic pool so warm-pool depth can follow load: grows
+    /// provision new generic pods immediately, shrinks terminate surplus
+    /// generic pods (idle specialised pods are untouched — they age out via
+    /// [`recycle_idle`](Self::recycle_idle)).
+    ///
+    /// Terminated surplus pods are dropped from the tracking map outright —
+    /// a generic pod was never specialised or handed out, so nothing can
+    /// reference it again, and an oscillating autoscaler retargeting every
+    /// tick must not grow the pod table with dead entries.
+    pub fn set_target_pool_size(&mut self, target: usize, now: SimTime) {
+        self.config.pool_size = target;
+        while self.generic.len() > target {
+            // Newest pods go first, keeping the oldest (warmest) provisioned.
+            let Some(pod_id) = self.generic.pop_back() else {
+                break;
+            };
+            self.pods.remove(&pod_id);
+        }
+        self.refill(now);
+    }
+
     /// Acquire a pod to run `function` with `allocation` CPU at time `now`.
     ///
     /// Preference order (mirroring Fission poolmgr):
@@ -225,9 +251,11 @@ impl PoolManager {
             for queue in self.warm_by_function.values_mut() {
                 queue.retain(|id| *id != pod_id);
             }
-            if let Some(pod) = self.pods.get_mut(&pod_id) {
-                let _ = pod.terminate();
-            }
+            // Recycled pods leave every queue above, so nothing can reach
+            // them again; drop them from the tracking map rather than
+            // keeping terminated entries forever (the open loop recycles on
+            // every capacity tick — long runs must stay bounded).
+            self.pods.remove(&pod_id);
             recycled += 1;
         }
         self.refill(now);
@@ -244,8 +272,15 @@ impl PoolManager {
         self.pods.get(&pod_id)
     }
 
-    /// Total pods ever created.
+    /// Total pods ever created (including surplus generic pods already
+    /// dropped by [`set_target_pool_size`](Self::set_target_pool_size)).
     pub fn total_pods(&self) -> usize {
+        self.next_pod as usize
+    }
+
+    /// Pods currently tracked (generic, specialised, running or terminated
+    /// but not yet dropped).
+    pub fn tracked_pods(&self) -> usize {
         self.pods.len()
     }
 }
@@ -332,5 +367,35 @@ mod tests {
     fn warm_hit_rate_defaults_to_one() {
         let mgr = pool(1);
         assert_eq!(mgr.warm_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn target_pool_size_follows_load_both_ways() {
+        let mut mgr = pool(2);
+        assert_eq!(mgr.target_pool_size(), 2);
+        // Grow: new generic pods are provisioned immediately.
+        mgr.set_target_pool_size(5, SimTime::from_secs(1.0));
+        assert_eq!(mgr.target_pool_size(), 5);
+        assert_eq!(mgr.generic_available(), 5);
+        // Shrink: surplus generic pods terminate, warm specialised pods stay.
+        let acq = mgr.acquire("od", Millicores::new(1000), SimTime::from_secs(2.0));
+        mgr.release(acq.pod, SimTime::from_secs(2.5));
+        mgr.set_target_pool_size(1, SimTime::from_secs(3.0));
+        assert_eq!(mgr.generic_available(), 1);
+        assert_eq!(mgr.warm_available("od"), 1, "specialised pod untouched");
+        // Shrink-terminated generic pods are dropped from the tracking map:
+        // retarget churn must not accumulate dead entries.
+        assert_eq!(mgr.tracked_pods(), 2, "1 generic + 1 warm specialised");
+        let before = mgr.tracked_pods();
+        for i in 0..10 {
+            mgr.set_target_pool_size(5, SimTime::from_secs(4.0 + i as f64));
+            mgr.set_target_pool_size(1, SimTime::from_secs(4.5 + i as f64));
+        }
+        assert_eq!(mgr.tracked_pods(), before, "oscillation leaks no pods");
+        assert!(mgr.total_pods() > before, "creation count keeps history");
+        // Subsequent recycling refills to the *new* target, not the old one.
+        let recycled = mgr.recycle_idle(SimTime::from_secs(300.0));
+        assert_eq!(recycled, 1);
+        assert_eq!(mgr.generic_available(), 1);
     }
 }

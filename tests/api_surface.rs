@@ -210,6 +210,61 @@ fn the_builtin_seven_remain_available_next_to_custom_policies() {
     );
 }
 
+#[test]
+fn autoscaled_sessions_are_deterministic_in_the_seed() {
+    // Same seed + scenario ⇒ identical scale-up/scale-down event sequence
+    // and identical per-policy serving reports — mirroring the existing
+    // session determinism tests, now across the capacity control loops.
+    let run = |seed: u64| {
+        ServingSession::builder()
+            .app(PaperApp::IntelligentAssistant)
+            .policies(["GrandSLAM", "Janus"])
+            .load(Load::Open {
+                requests: 60,
+                rps: 6.0,
+            })
+            .cluster(janus_simcore::cluster::ClusterConfig {
+                nodes: 2,
+                node_capacity: Millicores::from_cores(8),
+                placement: janus_simcore::cluster::PlacementPolicy::Spread,
+            })
+            .scenario("flash-crowd")
+            .autoscaler("utilization")
+            .admission("queue-shed")
+            .seed(seed)
+            .quick()
+            .run()
+            .expect("autoscaled session runs")
+    };
+    let r1 = run(31);
+    let r2 = run(31);
+    let r3 = run(32);
+    for name in ["GrandSLAM", "Janus"] {
+        let a = r1.serving(name).unwrap();
+        let b = r2.serving(name).unwrap();
+        assert_eq!(a, b, "{name} must replay identically under a fixed seed");
+        let cap_a = a.capacity.as_ref().expect("capacity report");
+        let cap_b = b.capacity.as_ref().expect("capacity report");
+        assert_eq!(
+            cap_a.events, cap_b.events,
+            "{name}: scaling event sequences must be identical"
+        );
+        assert_eq!(cap_a, cap_b);
+        // Conservation holds in every run.
+        assert_eq!(cap_a.admitted + cap_a.shed, 60);
+        assert!(
+            cap_a.scale_ups > 0,
+            "{name}: the flash crowd must scale the small fleet up"
+        );
+    }
+    assert_ne!(
+        r1.serving("Janus").unwrap(),
+        r3.serving("Janus").unwrap(),
+        "different seeds change the request stream"
+    );
+    r1.validate().expect("report invariants hold");
+}
+
 /// A custom arrival process defined entirely in this test: requests arrive
 /// in fixed-size convoys separated by long quiet gaps.
 #[derive(Debug)]
