@@ -1,171 +1,17 @@
-//! Regenerate every table and figure of the paper in one run.
+//! Regenerate every table and figure of the paper in one run — a thin alias
+//! for `janus all`, kept for muscle memory and existing scripts.
 //!
 //! ```text
 //! cargo run --release -p janus-bench --bin run_all            # paper scale
 //! cargo run --release -p janus-bench --bin run_all -- --quick # smoke scale
 //! ```
 
-use janus_bench::{BenchFlags, Scale};
-use janus_core::experiments as exp;
-use janus_core::experiments::ToJson;
-use janus_synthesizer::json::Value;
-use janus_workloads::apps::PaperApp;
+use janus_bench::{cli, BenchFlags};
 
 fn main() {
     let flags = BenchFlags::parse();
-    // With --out, every section's result is also collected into one JSON
-    // document: {"fig1a": {...}, "table1": [...], ...}.
-    let mut out: Vec<(String, Value)> = Vec::new();
-    let record = |out: &mut Vec<(String, Value)>, key: &str, result: &dyn ToJson| {
-        if flags.out.is_some() {
-            out.push((key.to_string(), result.to_json()));
-        }
-    };
-
-    println!("===== Figure 1a =====");
-    let fig1a = exp::fig1a_slack_cdf(flags.trace_invocations(), flags.seed_or(0xA2C5E));
-    print!("{fig1a}");
-    record(&mut out, "fig1a", &fig1a);
-    println!("\n===== Figure 1b =====");
-    let fig1b = exp::fig1b_workset_variance(flags.profile_samples(), flags.seed_or(0xF1B));
-    print!("{fig1b}");
-    record(&mut out, "fig1b", &fig1b);
-    println!("\n===== Figure 1c =====");
-    let fig1c = exp::fig1c_interference();
-    print!("{fig1c}");
-    record(&mut out, "fig1c", &fig1c);
-    println!("\n===== Figure 2 =====");
-    let fig2 = exp::fig2_binding_comparison(flags.scale.fig2_requests(), flags.seed_or(0xF2));
-    print!("{fig2}");
-    record(&mut out, "fig2", &fig2);
-
-    println!("\n===== Table I / Figures 4 & 5 =====");
-    let mut table1 = Vec::new();
-    for app in PaperApp::ALL {
-        match exp::table1_overall(&flags.comparison(app, 1)) {
-            Ok(result) => {
-                println!("{result}");
-                flags.collect_out(&mut table1, &result);
-            }
-            Err(e) => eprintln!("table1 failed for {}: {e}", app.short_name()),
-        }
+    if let Err(e) = cli::execute(&cli::Command::All, &flags) {
+        eprintln!("{e}");
+        std::process::exit(1);
     }
-    for conc in [2u32, 3] {
-        match exp::table1_overall(&flags.comparison(PaperApp::IntelligentAssistant, conc)) {
-            Ok(result) => {
-                println!("{result}");
-                flags.collect_out(&mut table1, &result);
-            }
-            Err(e) => eprintln!("fig5b failed for concurrency {conc}: {e}"),
-        }
-    }
-    if flags.out.is_some() {
-        out.push(("table1".to_string(), Value::Arr(table1)));
-    }
-
-    println!("\n===== Figure 6 =====");
-    let slos: &[f64] = match flags.scale {
-        Scale::Paper => &[3.0, 4.0, 5.0, 6.0, 7.0],
-        Scale::Quick => &[3.0, 5.0, 7.0],
-    };
-    match exp::fig6_exploration_cost(slos, &flags.comparison(PaperApp::IntelligentAssistant, 1)) {
-        Ok(result) => {
-            print!("{result}");
-            record(&mut out, "fig6", &result);
-        }
-        Err(e) => eprintln!("fig6 failed: {e}"),
-    }
-
-    println!("\n===== Figure 7 =====");
-    let fig7 = exp::fig7_timeout_resilience(flags.profile_samples(), flags.seed_or(0xF7));
-    print!("{fig7}");
-    record(&mut out, "fig7", &fig7);
-
-    println!("\n===== Figure 8 =====");
-    match exp::fig8_hint_counts(
-        &[1.0, 1.5, 2.0, 2.5, 3.0],
-        flags.profile_samples(),
-        flags.seed_or(0xF8),
-    ) {
-        Ok(result) => {
-            print!("{result}");
-            record(&mut out, "fig8", &result);
-        }
-        Err(e) => eprintln!("fig8 failed: {e}"),
-    }
-
-    println!("\n===== Table II =====");
-    match exp::table2_weight_impact(&[1.0, 3.0], flags.profile_samples(), flags.seed_or(0x72)) {
-        Ok(result) => {
-            print!("{result}");
-            record(&mut out, "table2", &result);
-        }
-        Err(e) => eprintln!("table2 failed: {e}"),
-    }
-
-    println!("\n===== Figure 9 =====");
-    match exp::fig9_slo_sweep(
-        PaperApp::IntelligentAssistant,
-        slos,
-        &flags.comparison(PaperApp::IntelligentAssistant, 1),
-    ) {
-        Ok(result) => {
-            print!("{result}");
-            record(&mut out, "fig9_ia", &result);
-        }
-        Err(e) => eprintln!("fig9 IA failed: {e}"),
-    }
-    let va_slos: &[f64] = match flags.scale {
-        Scale::Paper => &[1.5, 1.6, 1.7, 1.8, 1.9, 2.0],
-        Scale::Quick => &[1.5, 1.75, 2.0],
-    };
-    match exp::fig9_slo_sweep(
-        PaperApp::VideoAnalyze,
-        va_slos,
-        &flags.comparison(PaperApp::VideoAnalyze, 1),
-    ) {
-        Ok(result) => {
-            print!("{result}");
-            record(&mut out, "fig9_va", &result);
-        }
-        Err(e) => eprintln!("fig9 VA failed: {e}"),
-    }
-
-    println!("\n===== Scenario sweep (load shapes × policies) =====");
-    match exp::scenario_sweep(&flags.scenario_sweep(PaperApp::IntelligentAssistant)) {
-        Ok(result) => {
-            print!("{result}");
-            record(&mut out, "scenarios", &result);
-        }
-        Err(e) => eprintln!("scenario sweep failed: {e}"),
-    }
-
-    println!("\n===== Capacity sweep (autoscaling × admission) =====");
-    match exp::capacity_sweep(&flags.capacity_sweep(PaperApp::IntelligentAssistant)) {
-        Ok(result) => {
-            print!("{result}");
-            record(&mut out, "capacity", &result);
-        }
-        Err(e) => eprintln!("capacity sweep failed: {e}"),
-    }
-
-    println!("\n===== Perf trajectory (simulator events/sec) =====");
-    match exp::perf_trajectory(&flags.perf_config()) {
-        Ok(result) => {
-            print!("{result}");
-            record(&mut out, "perf", &result);
-        }
-        Err(e) => eprintln!("perf trajectory failed: {e}"),
-    }
-
-    println!("\n===== System overhead (§V-H) =====");
-    match exp::overhead_report(5_000, flags.profile_samples(), flags.seed_or(0x0B)) {
-        Ok(result) => {
-            print!("{result}");
-            record(&mut out, "overhead", &result);
-        }
-        Err(e) => eprintln!("overhead failed: {e}"),
-    }
-
-    flags.write_out_value(&Value::Obj(out));
 }

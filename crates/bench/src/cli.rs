@@ -1,0 +1,340 @@
+//! The `janus` driver CLI: one binary for the whole evaluation.
+//!
+//! ```text
+//! janus list                      # what can run, straight from the registries
+//! janus run <experiment> [flags]  # one experiment by name
+//! janus sweep <spec.json> [flags] # a declarative grid from a spec file
+//! janus all [flags]               # every registered experiment
+//! ```
+//!
+//! Parsing and execution are separated ([`parse`] / [`execute`]) so the
+//! command surface is unit-testable without spawning processes; the `janus`
+//! and `run_all` binaries are thin `main`s over this module.
+
+use crate::BenchFlags;
+use janus_core::experiments::{run_sweep_streaming, ExperimentRegistry, Scale, SweepSpec};
+use janus_core::registry::PolicyRegistry;
+use janus_json::Value;
+use janus_platform::capacity::{AdmissionRegistry, AutoscalerRegistry};
+use janus_scenarios::ScenarioRegistry;
+use std::str::FromStr as _;
+
+/// Usage string of the `janus` binary.
+pub const USAGE: &str = "usage: janus <command> [flags]\n\
+    commands:\n\
+    \x20 list                 enumerate registered experiments, policies, scenarios,\n\
+    \x20                      autoscalers and admission policies\n\
+    \x20 run <experiment>     run one experiment by name (see `janus list`)\n\
+    \x20 sweep <spec.json>    run a declarative sweep grid from a JSON spec file\n\
+    \x20 all                  run every registered experiment\n\
+    flags: [--quick | --paper] [--seed N] [--out PATH] [--help]\n\
+    \x20 --quick    reduced scale; sweeps clamp profiling cost (samples, budget step)\n\
+    \x20 --paper    paper scale (default)\n\
+    \x20 --seed N   override the experiment seed (sweeps: replaces the seed axis)\n\
+    \x20 --out PATH write the result as JSON to PATH, then decode-check it\n\
+    \x20 --help     print this message";
+
+/// A parsed `janus` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `janus list`
+    List,
+    /// `janus run <experiment>`
+    Run(String),
+    /// `janus sweep <spec.json>`
+    Sweep(String),
+    /// `janus all`
+    All,
+}
+
+/// Parse a `janus` argument list (without the program name) into a command
+/// and the shared flags. Errors carry the reason only; the binary appends
+/// [`USAGE`].
+pub fn parse<I>(args: I) -> Result<(Command, BenchFlags), String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter().peekable();
+    let command = match args.next().as_deref() {
+        None => return Err("missing command".into()),
+        Some("list") => Command::List,
+        Some("all") => Command::All,
+        Some("run") => {
+            let name = next_operand(&mut args, "run", "an experiment name")?;
+            Command::Run(name)
+        }
+        Some("sweep") => {
+            let path = next_operand(&mut args, "sweep", "a spec file path")?;
+            Command::Sweep(path)
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown command `{other}`; expected list, run, sweep or all"
+            ))
+        }
+    };
+    let rest: Vec<String> = args.collect();
+    if command == Command::List && !rest.is_empty() {
+        return Err("`janus list` takes no flags".into());
+    }
+    let flags = BenchFlags::from_args(rest)?;
+    Ok((command, flags))
+}
+
+fn next_operand<I>(
+    args: &mut std::iter::Peekable<I>,
+    command: &str,
+    what: &str,
+) -> Result<String, String>
+where
+    I: Iterator<Item = String>,
+{
+    match args.next() {
+        Some(value) if !value.starts_with("--") => Ok(value),
+        Some(flag) => Err(format!("`janus {command}` needs {what}, got flag `{flag}`")),
+        None => Err(format!("`janus {command}` needs {what}")),
+    }
+}
+
+/// Execute a parsed command. Returns `Err` with a human-readable message on
+/// failure; the caller maps it to the exit code.
+pub fn execute(command: &Command, flags: &BenchFlags) -> Result<(), String> {
+    match command {
+        Command::List => {
+            print!("{}", listing());
+            Ok(())
+        }
+        Command::Run(name) => run_experiment(name, flags),
+        Command::Sweep(path) => run_sweep_file(path, flags),
+        Command::All => run_all(flags),
+    }
+}
+
+/// The `janus list` text: every runnable name, straight from the registries
+/// (so discoverability cannot drift from the code).
+pub fn listing() -> String {
+    let mut out = String::new();
+    out.push_str("experiments (janus run <name>):\n");
+    for (name, describe) in ExperimentRegistry::with_builtins().catalog() {
+        out.push_str(&format!("  {name:<10} {describe}\n"));
+    }
+    let section = |out: &mut String, title: &str, names: Vec<&str>| {
+        out.push_str(&format!("{title}: {}\n", names.join(", ")));
+    };
+    section(
+        &mut out,
+        "policies",
+        PolicyRegistry::with_builtins().names(),
+    );
+    section(
+        &mut out,
+        "scenarios",
+        ScenarioRegistry::with_builtins().names(),
+    );
+    section(
+        &mut out,
+        "autoscalers",
+        AutoscalerRegistry::with_builtins().names(),
+    );
+    section(
+        &mut out,
+        "admission policies",
+        AdmissionRegistry::with_builtins().names(),
+    );
+    out
+}
+
+fn run_experiment(name: &str, flags: &BenchFlags) -> Result<(), String> {
+    let registry = ExperimentRegistry::with_builtins();
+    let output = registry.run(name, &flags.ctx())?;
+    print!("{}", output.summary());
+    let written = output.to_json();
+    flags.write_out_value(&written);
+    flags.verify_out(&written);
+    Ok(())
+}
+
+/// Apply the flags to a decoded sweep spec: `--seed` replaces the seed axis
+/// (one-off reproduction runs), `--quick` clamps the profiling cost knobs
+/// (`samples_per_point` ≤ 300, `budget_step_ms` ≥ 5) while leaving the grid
+/// axes exactly as written.
+pub fn apply_flags_to_spec(spec: &mut SweepSpec, flags: &BenchFlags) {
+    if let Some(seed) = flags.seed {
+        spec.seeds = vec![seed];
+    }
+    if flags.scale == Scale::Quick {
+        spec.samples_per_point = spec.samples_per_point.min(300);
+        spec.budget_step_ms = spec.budget_step_ms.max(5.0);
+    }
+}
+
+fn run_sweep_file(path: &str, flags: &BenchFlags) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read spec `{path}`: {e}"))?;
+    let mut spec = SweepSpec::from_str(&text).map_err(|e| format!("spec `{path}`: {e}"))?;
+    apply_flags_to_spec(&mut spec, flags);
+    let total = spec.grid_size();
+    println!(
+        "sweep `{}`: {} grid points x {} policies",
+        spec.name,
+        total,
+        spec.policies.len()
+    );
+    let result = run_sweep_streaming(&spec, &|point| {
+        println!("{}", point.progress_line(total));
+    })?;
+    print!("{result}");
+    let written = janus_core::experiments::ToJson::to_json(&result);
+    flags.write_out_value(&written);
+    flags.verify_out(&written);
+    Ok(())
+}
+
+fn run_all(flags: &BenchFlags) -> Result<(), String> {
+    let registry = ExperimentRegistry::with_builtins();
+    let ctx = flags.ctx();
+    let mut out: Vec<(String, Value)> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for experiment in registry.names() {
+        println!("===== {experiment} =====");
+        match registry.run(experiment, &ctx) {
+            Ok(output) => {
+                print!("{}", output.summary());
+                if flags.out.is_some() {
+                    out.push((experiment.to_string(), output.to_json()));
+                }
+            }
+            // One broken experiment must not hide the remaining results;
+            // collect and fail at the end.
+            Err(e) => {
+                eprintln!("{experiment} failed: {e}");
+                failures.push(format!("{experiment}: {e}"));
+            }
+        }
+        println!();
+    }
+    // Write whatever completed even when something failed: a paper-scale
+    // run is hours of compute, and the old `run_all` always wrote the
+    // collected document.
+    let written = Value::Obj(out);
+    flags.write_out_value(&written);
+    flags.verify_out(&written);
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} experiments failed:\n  {}",
+            failures.len(),
+            registry.len(),
+            failures.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_cli(args: &[&str]) -> Result<(Command, BenchFlags), String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn commands_parse_with_flags() {
+        assert_eq!(parse_cli(&["list"]).unwrap().0, Command::List);
+        assert_eq!(parse_cli(&["all"]).unwrap().0, Command::All);
+        let (cmd, flags) = parse_cli(&["run", "perf", "--quick", "--seed", "3"]).unwrap();
+        assert_eq!(cmd, Command::Run("perf".into()));
+        assert_eq!(flags.scale, Scale::Quick);
+        assert_eq!(flags.seed, Some(3));
+        let (cmd, _) = parse_cli(&["sweep", "specs/smoke.json"]).unwrap();
+        assert_eq!(cmd, Command::Sweep("specs/smoke.json".into()));
+    }
+
+    #[test]
+    fn bad_invocations_error_with_the_reason() {
+        assert!(parse_cli(&[]).unwrap_err().contains("missing command"));
+        let err = parse_cli(&["rnu"]).unwrap_err();
+        assert!(err.contains("unknown command `rnu`"), "{err}");
+        let err = parse_cli(&["run"]).unwrap_err();
+        assert!(err.contains("needs an experiment name"), "{err}");
+        let err = parse_cli(&["run", "--quick"]).unwrap_err();
+        assert!(err.contains("got flag `--quick`"), "{err}");
+        let err = parse_cli(&["sweep"]).unwrap_err();
+        assert!(err.contains("needs a spec file path"), "{err}");
+        let err = parse_cli(&["run", "perf", "--warp"]).unwrap_err();
+        assert!(err.contains("unknown flag `--warp`"), "{err}");
+        let err = parse_cli(&["list", "--quick"]).unwrap_err();
+        assert!(err.contains("takes no flags"), "{err}");
+        // Uniform across flag classes: even a no-op flag is rejected.
+        let err = parse_cli(&["list", "--paper"]).unwrap_err();
+        assert!(err.contains("takes no flags"), "{err}");
+    }
+
+    #[test]
+    fn unknown_experiments_fail_with_the_registered_list() {
+        let err = execute(&Command::Run("fig99".into()), &BenchFlags::default()).unwrap_err();
+        assert!(err.contains("unknown experiment `fig99`"), "{err}");
+        assert!(err.contains("perf"), "{err}");
+        let err = execute(
+            &Command::Sweep("specs/no_such_spec.json".into()),
+            &BenchFlags::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot read spec"), "{err}");
+    }
+
+    #[test]
+    fn listing_is_driven_by_the_registries() {
+        let listing = listing();
+        for needle in [
+            "experiments (janus run <name>):",
+            "fig1a",
+            "perf",
+            "policies: Optimal, ORION",
+            "scenarios: poisson",
+            "flash-crowd",
+            "autoscalers: static, utilization, queue-depth",
+            "admission policies: admit-all, token-bucket, queue-shed",
+        ] {
+            assert!(
+                listing.contains(needle),
+                "missing `{needle}` in:\n{listing}"
+            );
+        }
+    }
+
+    #[test]
+    fn quick_flag_clamps_spec_cost_knobs_but_not_axes() {
+        let mut spec = SweepSpec {
+            name: "x".into(),
+            app: janus_workloads::apps::PaperApp::IntelligentAssistant,
+            concurrency: 1,
+            policies: vec!["Janus".into()],
+            scenarios: vec!["poisson".into(), "bursty".into()],
+            loads_rps: vec![1.0, 4.0],
+            seeds: vec![1, 2, 3],
+            autoscalers: None,
+            admissions: None,
+            cluster: None,
+            requests: 500,
+            samples_per_point: 1000,
+            budget_step_ms: 1.0,
+        };
+        let quick = BenchFlags {
+            scale: Scale::Quick,
+            ..BenchFlags::default()
+        };
+        apply_flags_to_spec(&mut spec, &quick);
+        assert_eq!(spec.samples_per_point, 300);
+        assert!((spec.budget_step_ms - 5.0).abs() < 1e-12);
+        assert_eq!(spec.requests, 500, "grid axes stay as written");
+        assert_eq!(spec.seeds, vec![1, 2, 3]);
+        let seeded = BenchFlags {
+            seed: Some(42),
+            ..BenchFlags::default()
+        };
+        apply_flags_to_spec(&mut spec, &seeded);
+        assert_eq!(spec.seeds, vec![42], "--seed replaces the seed axis");
+    }
+}

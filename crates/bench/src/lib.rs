@@ -1,125 +1,52 @@
 //! # janus-bench
 //!
-//! Benchmark harness of the Janus reproduction.
+//! The benchmark harness of the Janus reproduction, built around one
+//! driver binary:
 //!
-//! Two kinds of targets live here:
-//!
-//! * **Figure / table binaries** (`src/bin/fig*.rs`, `src/bin/table*.rs`,
-//!   `src/bin/overhead.rs`, `src/bin/run_all.rs`) — each regenerates one
-//!   table or figure of the paper's evaluation and prints the corresponding
-//!   rows / series to stdout. Run them with
-//!   `cargo run --release -p janus-bench --bin fig5`, or everything at once
-//!   with `--bin run_all`. Every binary accepts the shared [`BenchFlags`]
-//!   flags: `--quick` (reduced scale for smoke runs), `--seed N` (override
-//!   the serving/profiling seed), `--out PATH` (write the result struct as
-//!   JSON next to the stdout tables) and `--help`.
+//! * **`janus`** (`src/bin/janus.rs`) — the single experiment CLI.
+//!   `janus list` enumerates every registered experiment, policy, scenario,
+//!   autoscaler and admission policy straight from the registries;
+//!   `janus run <experiment>` runs one of them; `janus sweep <spec.json>`
+//!   executes a declarative grid from a spec file; `janus all` regenerates
+//!   the full evaluation. The seventeen per-figure binaries this replaced
+//!   (`fig1a` … `table2`, `scenarios`, `capacity`, `perf`, `overhead`) are
+//!   gone — each one is now `janus run <same-name>`; `run_all` survives as a
+//!   thin alias for `janus all`.
 //! * **Criterion benches** (`benches/*.rs`) — micro-benchmarks of the system
 //!   costs the paper reports: online adaptation latency (§V-H), hint
 //!   synthesis time (Figure 6b), condensing, profiling throughput and
 //!   end-to-end serving under each policy.
 //!
-//! The mapping from experiment id to binary is listed in `DESIGN.md`;
-//! serving itself always goes through
-//! [`ServingSession`](janus_core::session::ServingSession) — the comparison
-//! configs produced here resolve to session runs.
+//! Every invocation accepts the shared [`BenchFlags`]: `--quick` (reduced
+//! scale for smoke runs), `--paper` (the default), `--seed N` (override the
+//! serving/profiling seed), `--out PATH` (write the result as JSON next to
+//! the stdout tables; the artefact is re-read and decode-checked before the
+//! process exits 0) and `--help`. Serving itself always goes through
+//! [`ServingSession`](janus_core::session::ServingSession).
+
+pub mod cli;
 
 use janus_core::comparison::ComparisonConfig;
-use janus_core::experiments::{CapacitySweepConfig, PerfConfig, ScenarioSweepConfig, ToJson};
+use janus_core::experiments::{ExperimentCtx, ToJson};
 use janus_core::session::ServingSessionBuilder;
-use janus_synthesizer::json::Value;
+use janus_json::Value;
 use janus_workloads::apps::PaperApp;
 
-/// Shared experiment scale used by the figure/table binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Paper-like scale: 1000 requests, 1000 profile samples, 1 ms sweep.
-    Paper,
-    /// Reduced scale for smoke runs and CI (`--quick`).
-    Quick,
-}
+pub use janus_core::experiments::Scale;
 
-impl Scale {
-    /// Comparison configuration for an application at this scale.
-    pub fn comparison(self, app: PaperApp, concurrency: u32) -> ComparisonConfig {
-        match self {
-            Scale::Paper => ComparisonConfig {
-                requests: 1000,
-                samples_per_point: 1000,
-                budget_step_ms: 1.0,
-                ..ComparisonConfig::paper_default(app, concurrency)
-            },
-            Scale::Quick => ComparisonConfig {
-                requests: 200,
-                samples_per_point: 300,
-                budget_step_ms: 5.0,
-                ..ComparisonConfig::paper_default(app, concurrency)
-            },
-        }
-    }
-
-    /// Profile samples per grid point at this scale.
-    pub fn profile_samples(self) -> usize {
-        match self {
-            Scale::Paper => 1000,
-            Scale::Quick => 300,
-        }
-    }
-
-    /// Trace invocations for the Figure 1a analysis at this scale.
-    pub fn trace_invocations(self) -> usize {
-        match self {
-            Scale::Paper => 50_000,
-            Scale::Quick => 15_000,
-        }
-    }
-
-    /// Figure 2 request-sample size at this scale.
-    pub fn fig2_requests(self) -> usize {
-        match self {
-            Scale::Paper => 50,
-            Scale::Quick => 25,
-        }
-    }
-
-    /// Scenario-sweep configuration for an application at this scale.
-    pub fn scenario_sweep(self, app: PaperApp) -> ScenarioSweepConfig {
-        match self {
-            Scale::Paper => ScenarioSweepConfig::paper_default(app),
-            Scale::Quick => ScenarioSweepConfig::quick(app),
-        }
-    }
-
-    /// Perf-trajectory configuration at this scale.
-    pub fn perf(self) -> PerfConfig {
-        match self {
-            Scale::Paper => PerfConfig::paper_default(),
-            Scale::Quick => PerfConfig::quick(),
-        }
-    }
-
-    /// Capacity-sweep configuration for an application at this scale.
-    pub fn capacity_sweep(self, app: PaperApp) -> CapacitySweepConfig {
-        match self {
-            Scale::Paper => CapacitySweepConfig::paper_default(app),
-            Scale::Quick => CapacitySweepConfig::quick(app),
-        }
-    }
-}
-
-/// The one flag parser every fig/table binary shares (replacing the old
-/// per-binary `std::env::args()` scanning).
+/// The one flag parser every invocation shares.
 ///
 /// Recognised flags: `--quick`, `--paper` (default), `--seed <u64>`,
-/// `--out <path>`, `--help`/`-h`. Unknown flags abort with a usage message
-/// so typos cannot silently run a multi-minute experiment at the wrong
-/// scale.
+/// `--out <path>`, `--help`/`-h`. Unknown or duplicated flags abort with a
+/// usage message so typos cannot silently run a multi-minute experiment at
+/// the wrong scale.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchFlags {
     /// Experiment scale (`--quick` selects [`Scale::Quick`]).
     pub scale: Scale,
     /// Optional serving/profiling seed override (`--seed N`).
     pub seed: Option<u64>,
-    /// Optional path the binary writes its result to as JSON (`--out`),
+    /// Optional path the invocation writes its result to as JSON (`--out`),
     /// next to the stdout tables.
     pub out: Option<String>,
 }
@@ -135,13 +62,12 @@ impl Default for BenchFlags {
 }
 
 impl BenchFlags {
-    /// Usage string shared by every binary.
-    pub const USAGE: &'static str =
-        "usage: <bin> [--quick | --paper] [--seed N] [--out PATH] [--help]\n\
+    /// Usage string shared by every invocation.
+    pub const USAGE: &'static str = "flags: [--quick | --paper] [--seed N] [--out PATH] [--help]\n\
         \x20 --quick    reduced scale (fewer requests / profile samples) for smoke runs\n\
         \x20 --paper    paper scale (default)\n\
         \x20 --seed N   override the serving/profiling seed\n\
-        \x20 --out PATH write the result struct as JSON to PATH (in addition to stdout)\n\
+        \x20 --out PATH write the result as JSON to PATH (in addition to stdout)\n\
         \x20 --help     print this message";
 
     /// Parse the process arguments; prints usage and exits on `--help` or on
@@ -162,18 +88,37 @@ impl BenchFlags {
     }
 
     /// Parse from an explicit argument list (testable core of
-    /// [`parse`](Self::parse)).
+    /// [`parse`](Self::parse)). Every flag may appear at most once —
+    /// a repeated or contradictory flag is an error, not a silent
+    /// last-one-wins.
     pub fn from_args<I>(args: I) -> Result<BenchFlags, String>
     where
         I: IntoIterator<Item = String>,
     {
+        let mut scale: Option<Scale> = None;
         let mut flags = BenchFlags::default();
+        let set_scale = |which: &str, value: Scale, scale: &mut Option<Scale>| {
+            if let Some(earlier) = scale {
+                return Err(format!(
+                    "{which} conflicts with the earlier {}",
+                    match earlier {
+                        Scale::Quick => "--quick",
+                        Scale::Paper => "--paper",
+                    }
+                ));
+            }
+            *scale = Some(value);
+            Ok(())
+        };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
-                "--quick" => flags.scale = Scale::Quick,
-                "--paper" => flags.scale = Scale::Paper,
+                "--quick" => set_scale("--quick", Scale::Quick, &mut scale)?,
+                "--paper" => set_scale("--paper", Scale::Paper, &mut scale)?,
                 "--seed" => {
+                    if flags.seed.is_some() {
+                        return Err("--seed given twice".into());
+                    }
                     let value = it
                         .next()
                         .ok_or_else(|| "--seed needs a value".to_string())?;
@@ -184,77 +129,45 @@ impl BenchFlags {
                     );
                 }
                 "--out" => {
+                    if flags.out.is_some() {
+                        return Err("--out given twice".into());
+                    }
                     let value = it.next().ok_or_else(|| "--out needs a path".to_string())?;
+                    if value.starts_with("--") {
+                        return Err(format!("--out needs a path, got flag `{value}`"));
+                    }
                     flags.out = Some(value);
                 }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
+        flags.scale = scale.unwrap_or(Scale::Paper);
         Ok(flags)
+    }
+
+    /// The experiment context these flags describe (scale + seed override).
+    pub fn ctx(&self) -> ExperimentCtx {
+        ExperimentCtx::new(self.scale).with_seed(self.seed)
     }
 
     /// Comparison configuration at the parsed scale, with the seed override
     /// applied.
     pub fn comparison(&self, app: PaperApp, concurrency: u32) -> ComparisonConfig {
-        let mut config = self.scale.comparison(app, concurrency);
-        if let Some(seed) = self.seed {
-            config.seed = seed;
-        }
-        config
+        self.ctx().comparison(app, concurrency)
     }
 
     /// The equivalent [`ServingSession`](janus_core::session::ServingSession)
-    /// builder for binaries that serve directly rather than through an
+    /// builder for callers that serve directly rather than through an
     /// experiment runner.
     pub fn session(&self, app: PaperApp, concurrency: u32) -> ServingSessionBuilder {
         self.comparison(app, concurrency).session()
     }
 
     /// The experiment seed: the `--seed` override when given, otherwise the
-    /// binary's default (each figure has its own, so figures stay
+    /// caller's default (each figure has its own, so figures stay
     /// independent).
     pub fn seed_or(&self, default: u64) -> u64 {
         self.seed.unwrap_or(default)
-    }
-
-    /// Profile samples per grid point at the parsed scale.
-    pub fn profile_samples(&self) -> usize {
-        self.scale.profile_samples()
-    }
-
-    /// Trace invocations for Figure 1a at the parsed scale.
-    pub fn trace_invocations(&self) -> usize {
-        self.scale.trace_invocations()
-    }
-
-    /// Scenario-sweep configuration at the parsed scale, with the seed
-    /// override applied.
-    pub fn scenario_sweep(&self, app: PaperApp) -> ScenarioSweepConfig {
-        let mut config = self.scale.scenario_sweep(app);
-        if let Some(seed) = self.seed {
-            config.seed = seed;
-        }
-        config
-    }
-
-    /// Perf-trajectory configuration at the parsed scale, with the seed
-    /// override applied.
-    pub fn perf_config(&self) -> PerfConfig {
-        let mut config = self.scale.perf();
-        if let Some(seed) = self.seed {
-            config.seed = seed;
-        }
-        config
-    }
-
-    /// Capacity-sweep configuration at the parsed scale, with the seed
-    /// override applied.
-    pub fn capacity_sweep(&self, app: PaperApp) -> CapacitySweepConfig {
-        let mut config = self.scale.capacity_sweep(app);
-        if let Some(seed) = self.seed {
-            config.seed = seed;
-        }
-        config
     }
 
     /// Write one experiment result as pretty-printed JSON to the `--out`
@@ -270,8 +183,8 @@ impl BenchFlags {
     }
 
     /// Collect one result into an aggregation buffer, encoding it only when
-    /// `--out` was given — the shared helper for binaries that write several
-    /// results into one JSON array via
+    /// `--out` was given — the shared helper for invocations that write
+    /// several results into one JSON document via
     /// [`write_out_value`](Self::write_out_value).
     pub fn collect_out(&self, out: &mut Vec<Value>, result: &dyn ToJson) {
         if self.out.is_some() {
@@ -279,55 +192,8 @@ impl BenchFlags {
         }
     }
 
-    /// Re-read the artefact just written with `--out` and assert it decodes
-    /// with the synthesizer's JSON parser: the `experiment` tag must equal
-    /// `experiment` and the array under `array_key` must hold
-    /// `expected_len` entries. An artefact the caller explicitly requested
-    /// must not be silently unparseable, so any mismatch aborts the process
-    /// with a non-zero exit code. No-op without `--out`.
-    pub fn validate_out(&self, experiment: &str, array_key: &str, expected_len: usize) {
-        let Some(path) = &self.out else { return };
-        let doc = match std::fs::read_to_string(path) {
-            Ok(doc) => doc,
-            Err(e) => {
-                eprintln!("failed to read back {path}: {e}");
-                std::process::exit(1);
-            }
-        };
-        let parsed = match janus_synthesizer::json::parse(&doc) {
-            Ok(parsed) => parsed,
-            Err(e) => {
-                eprintln!("{path} is not valid JSON: {e}");
-                std::process::exit(1);
-            }
-        };
-        let tag = parsed
-            .require("experiment")
-            .ok()
-            .and_then(|v| v.as_str().map(|s| s.to_string()));
-        if tag.as_deref() != Some(experiment) {
-            eprintln!("{path}: expected experiment \"{experiment}\", got {tag:?}");
-            std::process::exit(1);
-        }
-        match parsed.require(array_key).ok().and_then(|v| v.as_array()) {
-            Some(entries) if entries.len() == expected_len => {
-                eprintln!(
-                    "validated {path}: experiment={experiment}, {expected_len} {array_key} \
-                     decode cleanly"
-                );
-            }
-            other => {
-                eprintln!(
-                    "{path}: expected {expected_len} {array_key}, decoded {:?}",
-                    other.map(|c| c.len())
-                );
-                std::process::exit(1);
-            }
-        }
-    }
-
     /// [`write_out`](Self::write_out) for an already-assembled document —
-    /// used by binaries that aggregate several results into one file.
+    /// used by invocations that aggregate several results into one file.
     pub fn write_out_value(&self, value: &Value) {
         let Some(path) = &self.out else { return };
         let mut doc = value.to_pretty();
@@ -339,6 +205,35 @@ impl BenchFlags {
                 std::process::exit(1);
             }
         }
+    }
+
+    /// Re-read the artefact just written with `--out` and assert it decodes
+    /// with [`janus_json`]'s parser back to exactly the document that was
+    /// written. An artefact the caller explicitly requested must not be
+    /// silently unparseable, so any mismatch aborts the process with a
+    /// non-zero exit code. No-op without `--out`.
+    pub fn verify_out(&self, written: &Value) {
+        let Some(path) = &self.out else { return };
+        match self.verify_out_inner(path, written) {
+            Ok(()) => eprintln!("validated {path}: decodes back to the written document"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    fn verify_out_inner(&self, path: &str, written: &Value) -> Result<(), String> {
+        let doc = std::fs::read_to_string(path)
+            .map_err(|e| format!("failed to read back {path}: {e}"))?;
+        let parsed =
+            janus_json::parse(&doc).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+        if &parsed != written {
+            return Err(format!(
+                "{path}: decoded document differs from the written result"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -352,25 +247,15 @@ mod tests {
     }
 
     #[test]
-    fn scales_produce_consistent_configs() {
-        let paper = Scale::Paper.comparison(PaperApp::IntelligentAssistant, 1);
-        let quick = Scale::Quick.comparison(PaperApp::IntelligentAssistant, 1);
-        assert!(paper.requests > quick.requests);
-        assert!(paper.samples_per_point > quick.samples_per_point);
-        assert!(paper.budget_step_ms < quick.budget_step_ms);
-        assert_eq!(paper.slo, quick.slo);
-        assert!(Scale::Paper.profile_samples() > Scale::Quick.profile_samples());
-        assert!(Scale::Paper.trace_invocations() > Scale::Quick.trace_invocations());
-    }
-
-    #[test]
     fn flags_parse_scale_and_seed() {
         assert_eq!(parse(&[]).unwrap(), BenchFlags::default());
         assert_eq!(parse(&["--quick"]).unwrap().scale, Scale::Quick);
-        assert_eq!(parse(&["--quick", "--paper"]).unwrap().scale, Scale::Paper);
+        assert_eq!(parse(&["--paper"]).unwrap().scale, Scale::Paper);
         let flags = parse(&["--quick", "--seed", "99"]).unwrap();
         assert_eq!(flags.seed, Some(99));
         assert_eq!(flags.comparison(PaperApp::IntelligentAssistant, 1).seed, 99);
+        assert_eq!(flags.ctx().seed_or(1), 99);
+        assert_eq!(flags.ctx().scale, Scale::Quick);
     }
 
     #[test]
@@ -381,25 +266,50 @@ mod tests {
             .unwrap_err()
             .contains("invalid --seed"));
         assert!(parse(&["--out"]).unwrap_err().contains("needs a path"));
+        assert!(parse(&["--out", "--quick"])
+            .unwrap_err()
+            .contains("needs a path, got flag"));
     }
 
     #[test]
-    fn out_flag_writes_parseable_json_next_to_stdout() {
+    fn flags_reject_duplicates_and_conflicts() {
+        let err = parse(&["--seed", "1", "--seed", "2"]).unwrap_err();
+        assert!(err.contains("--seed given twice"), "{err}");
+        let err = parse(&["--out", "a.json", "--out", "b.json"]).unwrap_err();
+        assert!(err.contains("--out given twice"), "{err}");
+        let err = parse(&["--quick", "--paper"]).unwrap_err();
+        assert!(err.contains("--paper conflicts"), "{err}");
+        let err = parse(&["--quick", "--quick"]).unwrap_err();
+        assert!(err.contains("--quick conflicts"), "{err}");
+    }
+
+    #[test]
+    fn out_flag_writes_and_verifies_parseable_json() {
         let path = std::env::temp_dir().join("janus_bench_out_flag_test.json");
         let path_str = path.to_string_lossy().to_string();
         let flags = parse(&["--quick", "--out", &path_str]).unwrap();
         assert_eq!(flags.out.as_deref(), Some(path_str.as_str()));
 
         let result = janus_core::experiments::fig1c_interference();
+        let written = result.to_json();
         flags.write_out(&result);
-        let doc =
-            janus_synthesizer::json::parse(&std::fs::read_to_string(&path).expect("file written"))
-                .expect("valid JSON");
+        let doc = janus_json::parse(&std::fs::read_to_string(&path).expect("file written"))
+            .expect("valid JSON");
         assert_eq!(doc.require("experiment").unwrap().as_str(), Some("fig1c"));
+        // The read-back verification accepts its own artefact…
+        flags.verify_out_inner(&path_str, &written).unwrap();
+        // …and rejects a mismatching one.
+        let err = flags
+            .verify_out_inner(&path_str, &Value::Num(1.0))
+            .unwrap_err();
+        assert!(err.contains("differs"), "{err}");
         let _ = std::fs::remove_file(&path);
+        let err = flags.verify_out_inner(&path_str, &written).unwrap_err();
+        assert!(err.contains("failed to read back"), "{err}");
 
-        // No --out: a no-op, nothing written.
+        // No --out: write and verify are no-ops.
         BenchFlags::default().write_out(&result);
+        BenchFlags::default().verify_out(&written);
     }
 
     #[test]

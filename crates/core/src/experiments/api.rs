@@ -1,0 +1,549 @@
+//! The declarative experiment API: [`Experiment`], [`ExperimentCtx`],
+//! [`ExperimentOutput`] and the open [`ExperimentRegistry`].
+//!
+//! Policies, scenarios, autoscalers and admission controllers already sit
+//! behind open registries; this module gives the *experiment* layer the same
+//! shape. An experiment is anything that can turn an [`ExperimentCtx`] (the
+//! scale and seed knobs every runner shares) into an [`ExperimentOutput`] —
+//! a bundle of result structs that are simultaneously human-readable
+//! (`Display`) and machine-readable ([`ToJson`]). The paper's figures and
+//! tables, the scenario/capacity sweeps and the perf trajectory are
+//! pre-registered built-ins; downstream crates register their own with
+//! [`ExperimentRegistry::register`] (or the closure shorthand
+//! [`ExperimentRegistry::register_fn`]) and run them through the same
+//! `janus` CLI without touching any `janus-*` crate.
+//!
+//! ```
+//! use janus_core::experiments::{ExperimentCtx, ExperimentRegistry, Scale};
+//!
+//! let registry = ExperimentRegistry::with_builtins();
+//! assert!(registry.names().contains(&"fig1c"));
+//! let output = registry
+//!     .run("fig1c", &ExperimentCtx::new(Scale::Quick))
+//!     .expect("fig1c runs");
+//! assert!(output.summary().contains("Figure 1c"));
+//! assert!(output.to_json().get("experiment").is_some());
+//! ```
+
+use crate::comparison::ComparisonConfig;
+use crate::experiments::{CapacitySweepConfig, PerfConfig, ScenarioSweepConfig, ToJson};
+use janus_json::Value;
+use janus_workloads::apps::PaperApp;
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared experiment scale. Every runner interprets it the same way: `Paper`
+/// reproduces the paper's sample counts, `Quick` preserves every code path
+/// at a fraction of the cost (smoke runs, CI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-like scale: 1000 requests, 1000 profile samples, 1 ms sweep.
+    Paper,
+    /// Reduced scale for smoke runs and CI (`--quick`).
+    Quick,
+}
+
+impl Scale {
+    /// Comparison configuration for an application at this scale.
+    pub fn comparison(self, app: PaperApp, concurrency: u32) -> ComparisonConfig {
+        match self {
+            Scale::Paper => ComparisonConfig {
+                requests: 1000,
+                samples_per_point: 1000,
+                budget_step_ms: 1.0,
+                ..ComparisonConfig::paper_default(app, concurrency)
+            },
+            Scale::Quick => ComparisonConfig {
+                requests: 200,
+                samples_per_point: 300,
+                budget_step_ms: 5.0,
+                ..ComparisonConfig::paper_default(app, concurrency)
+            },
+        }
+    }
+
+    /// Profile samples per grid point at this scale.
+    pub fn profile_samples(self) -> usize {
+        match self {
+            Scale::Paper => 1000,
+            Scale::Quick => 300,
+        }
+    }
+
+    /// Trace invocations for the Figure 1a analysis at this scale.
+    pub fn trace_invocations(self) -> usize {
+        match self {
+            Scale::Paper => 50_000,
+            Scale::Quick => 15_000,
+        }
+    }
+
+    /// Figure 2 request-sample size at this scale.
+    pub fn fig2_requests(self) -> usize {
+        match self {
+            Scale::Paper => 50,
+            Scale::Quick => 25,
+        }
+    }
+
+    /// Scenario-sweep configuration for an application at this scale.
+    pub fn scenario_sweep(self, app: PaperApp) -> ScenarioSweepConfig {
+        match self {
+            Scale::Paper => ScenarioSweepConfig::paper_default(app),
+            Scale::Quick => ScenarioSweepConfig::quick(app),
+        }
+    }
+
+    /// Perf-trajectory configuration at this scale.
+    pub fn perf(self) -> PerfConfig {
+        match self {
+            Scale::Paper => PerfConfig::paper_default(),
+            Scale::Quick => PerfConfig::quick(),
+        }
+    }
+
+    /// Capacity-sweep configuration for an application at this scale.
+    pub fn capacity_sweep(self, app: PaperApp) -> CapacitySweepConfig {
+        match self {
+            Scale::Paper => CapacitySweepConfig::paper_default(app),
+            Scale::Quick => CapacitySweepConfig::quick(app),
+        }
+    }
+}
+
+/// Everything an experiment may consult when running: the scale and an
+/// optional seed override. The per-config helpers mirror the ones the bench
+/// flags used to provide, with the override already applied, so experiments
+/// stay one-liners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentCtx {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Seed override (`--seed N`); `None` keeps each experiment's default.
+    pub seed: Option<u64>,
+}
+
+impl ExperimentCtx {
+    /// A context at the given scale with no seed override.
+    pub fn new(scale: Scale) -> Self {
+        ExperimentCtx { scale, seed: None }
+    }
+
+    /// Apply a seed override.
+    pub fn with_seed(mut self, seed: Option<u64>) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The experiment seed: the override when given, otherwise the
+    /// experiment's own default (each figure has its own, so figures stay
+    /// independent).
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Comparison configuration at this scale, seed override applied.
+    pub fn comparison(&self, app: PaperApp, concurrency: u32) -> ComparisonConfig {
+        let mut config = self.scale.comparison(app, concurrency);
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+
+    /// Scenario-sweep configuration at this scale, seed override applied.
+    pub fn scenario_sweep(&self, app: PaperApp) -> ScenarioSweepConfig {
+        let mut config = self.scale.scenario_sweep(app);
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+
+    /// Capacity-sweep configuration at this scale, seed override applied.
+    pub fn capacity_sweep(&self, app: PaperApp) -> CapacitySweepConfig {
+        let mut config = self.scale.capacity_sweep(app);
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+
+    /// Perf-trajectory configuration at this scale, seed override applied.
+    pub fn perf_config(&self) -> PerfConfig {
+        let mut config = self.scale.perf();
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+
+    /// Profile samples per grid point at this scale.
+    pub fn profile_samples(&self) -> usize {
+        self.scale.profile_samples()
+    }
+
+    /// Trace invocations for Figure 1a at this scale.
+    pub fn trace_invocations(&self) -> usize {
+        self.scale.trace_invocations()
+    }
+}
+
+/// What every experiment result already is: a human-readable table
+/// (`Display`) that is also a machine-readable document ([`ToJson`]).
+/// Blanket-implemented, so the existing result structs qualify unchanged.
+pub trait ExperimentResult: ToJson + fmt::Display + Send {}
+
+impl<T: ToJson + fmt::Display + Send> ExperimentResult for T {}
+
+/// The outcome of one experiment run: one or more result parts, each a
+/// [`ToJson`] + `Display` bundle with an optional heading (multi-part
+/// experiments like Figure 4 run one comparison per setup).
+pub struct ExperimentOutput {
+    parts: Vec<(String, Box<dyn ExperimentResult>)>,
+}
+
+impl ExperimentOutput {
+    /// An output holding exactly one unlabelled result.
+    pub fn single(result: impl ExperimentResult + 'static) -> Self {
+        ExperimentOutput {
+            parts: vec![(String::new(), Box::new(result))],
+        }
+    }
+
+    /// An empty output, to be filled with [`push`](Self::push).
+    pub fn new() -> Self {
+        ExperimentOutput { parts: Vec::new() }
+    }
+
+    /// Append a labelled result part.
+    pub fn push(&mut self, heading: impl Into<String>, result: impl ExperimentResult + 'static) {
+        self.parts.push((heading.into(), Box::new(result)));
+    }
+
+    /// Number of result parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when the experiment produced no parts.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The human summary: every part's `Display` output, multi-part outputs
+    /// separated by their headings.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (heading, result) in &self.parts {
+            if !heading.is_empty() {
+                out.push_str(&format!("## {heading}\n"));
+            }
+            let rendered = result.to_string();
+            out.push_str(&rendered);
+            if !rendered.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The machine view: a single part's document verbatim (so e.g. the
+    /// perf artefact keeps its historical schema), or an array of part
+    /// documents for multi-part experiments.
+    pub fn to_json(&self) -> Value {
+        match self.parts.as_slice() {
+            [(_, only)] => only.to_json(),
+            parts => Value::Arr(parts.iter().map(|(_, r)| r.to_json()).collect()),
+        }
+    }
+}
+
+impl Default for ExperimentOutput {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ExperimentOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExperimentOutput")
+            .field("parts", &self.parts.len())
+            .finish()
+    }
+}
+
+/// An object-safe, runnable experiment: a name to address it by, a one-line
+/// description for discoverability, and a run function from context to
+/// output. Implementations live anywhere; the built-ins wrap the paper's
+/// figure/table runners and the sweep drivers.
+pub trait Experiment: Send + Sync {
+    /// The name the experiment is registered and invoked under
+    /// (`janus run <name>`).
+    fn name(&self) -> &str;
+
+    /// One-line human description, surfaced by `janus list`.
+    fn describe(&self) -> &str;
+
+    /// Run the experiment.
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, String>;
+}
+
+/// The open experiment registry, mirroring
+/// [`PolicyRegistry`](crate::registry::PolicyRegistry): ordered, open for
+/// registration, resolved by name with informative unknown-name errors.
+#[derive(Clone, Default)]
+pub struct ExperimentRegistry {
+    experiments: Vec<Arc<dyn Experiment>>,
+}
+
+impl ExperimentRegistry {
+    /// An empty registry (no built-ins).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with every experiment of the evaluation, in
+    /// paper order: the motivation figures, the overall comparison
+    /// tables/figures, the synthesis studies, the scenario/capacity sweeps
+    /// and the perf trajectory.
+    pub fn with_builtins() -> Self {
+        use crate::experiments::{capacity_sweep, metrics, motivation, overall, perf};
+        use crate::experiments::{scenario_sweep, slo_sweep, synthesis};
+        let mut registry = ExperimentRegistry::new();
+        registry.register(Arc::new(motivation::Fig1aExperiment));
+        registry.register(Arc::new(motivation::Fig1bExperiment));
+        registry.register(Arc::new(motivation::Fig1cExperiment));
+        registry.register(Arc::new(motivation::Fig2Experiment));
+        registry.register(Arc::new(overall::Table1Experiment));
+        registry.register(Arc::new(overall::Fig4Experiment));
+        registry.register(Arc::new(overall::Fig5Experiment));
+        registry.register(Arc::new(synthesis::Fig6Experiment));
+        registry.register(Arc::new(metrics::Fig7Experiment));
+        registry.register(Arc::new(synthesis::Fig8Experiment));
+        registry.register(Arc::new(slo_sweep::Fig9Experiment));
+        registry.register(Arc::new(synthesis::Table2Experiment));
+        registry.register(Arc::new(synthesis::OverheadExperiment));
+        registry.register(Arc::new(scenario_sweep::ScenarioSweepExperiment));
+        registry.register(Arc::new(capacity_sweep::CapacitySweepExperiment));
+        registry.register(Arc::new(perf::PerfExperiment));
+        registry
+    }
+
+    /// Register an experiment. Replaces any earlier experiment with the same
+    /// name (keeping its position), otherwise appends.
+    pub fn register(&mut self, experiment: Arc<dyn Experiment>) -> &mut Self {
+        match self
+            .experiments
+            .iter()
+            .position(|e| e.name() == experiment.name())
+        {
+            Some(i) => self.experiments[i] = experiment,
+            None => self.experiments.push(experiment),
+        }
+        self
+    }
+
+    /// Closure shorthand for [`register`](Self::register).
+    pub fn register_fn<F>(
+        &mut self,
+        name: impl Into<String>,
+        describe: impl Into<String>,
+        run: F,
+    ) -> &mut Self
+    where
+        F: Fn(&ExperimentCtx) -> Result<ExperimentOutput, String> + Send + Sync + 'static,
+    {
+        self.register(Arc::new(FnExperiment {
+            name: name.into(),
+            describe: describe.into(),
+            run,
+        }))
+    }
+
+    /// Look an experiment up by its registered name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Experiment>> {
+        self.experiments.iter().find(|e| e.name() == name).cloned()
+    }
+
+    /// Error early (with the registered names) if `name` is unknown.
+    pub fn ensure_known(&self, name: &str) -> Result<(), String> {
+        if self.get(name).is_some() {
+            Ok(())
+        } else {
+            Err(self.unknown(name))
+        }
+    }
+
+    /// Run the named experiment, with an informative error for unknown
+    /// names.
+    pub fn run(&self, name: &str, ctx: &ExperimentCtx) -> Result<ExperimentOutput, String> {
+        self.get(name).ok_or_else(|| self.unknown(name))?.run(ctx)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.experiments.iter().map(|e| e.name()).collect()
+    }
+
+    /// `(name, description)` pairs, in registration order — the `janus list`
+    /// view.
+    pub fn catalog(&self) -> Vec<(&str, &str)> {
+        self.experiments
+            .iter()
+            .map(|e| (e.name(), e.describe()))
+            .collect()
+    }
+
+    /// Number of registered experiments.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    fn unknown(&self, name: &str) -> String {
+        format!(
+            "unknown experiment `{name}`; registered experiments: {}",
+            self.names().join(", ")
+        )
+    }
+}
+
+impl fmt::Debug for ExperimentRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExperimentRegistry")
+            .field("experiments", &self.names())
+            .finish()
+    }
+}
+
+struct FnExperiment<F> {
+    name: String,
+    describe: String,
+    run: F,
+}
+
+impl<F> Experiment for FnExperiment<F>
+where
+    F: Fn(&ExperimentCtx) -> Result<ExperimentOutput, String> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn describe(&self) -> &str {
+        &self.describe
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, String> {
+        (self.run)(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_cover_every_retired_binary() {
+        let registry = ExperimentRegistry::with_builtins();
+        for name in [
+            "fig1a",
+            "fig1b",
+            "fig1c",
+            "fig2",
+            "table1",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "table2",
+            "overhead",
+            "scenarios",
+            "capacity",
+            "perf",
+        ] {
+            assert!(
+                registry.get(name).is_some(),
+                "experiment `{name}` is not registered"
+            );
+            registry.ensure_known(name).unwrap();
+        }
+        assert_eq!(registry.len(), 16);
+        for (name, describe) in registry.catalog() {
+            assert!(!describe.is_empty(), "`{name}` has no description");
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_the_registered_experiments() {
+        let registry = ExperimentRegistry::with_builtins();
+        let err = registry
+            .run("fig99", &ExperimentCtx::new(Scale::Quick))
+            .unwrap_err();
+        assert!(err.contains("unknown experiment `fig99`"), "{err}");
+        assert!(err.contains("fig1a"), "{err}");
+        assert_eq!(registry.ensure_known("fig99").unwrap_err(), err);
+    }
+
+    #[test]
+    fn custom_experiments_register_and_replace_by_name() {
+        let mut registry = ExperimentRegistry::new();
+        registry.register_fn("noop", "does nothing", |_ctx| {
+            Ok(ExperimentOutput::single(
+                crate::experiments::fig1c_interference(),
+            ))
+        });
+        assert_eq!(registry.names(), vec!["noop"]);
+        let out = registry
+            .run("noop", &ExperimentCtx::new(Scale::Quick))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(!out.is_empty());
+        // Same-name registration replaces in place.
+        registry.register_fn("noop", "still nothing", |_ctx| Err("boom".into()));
+        assert_eq!(registry.len(), 1);
+        let err = registry
+            .run("noop", &ExperimentCtx::new(Scale::Quick))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+    }
+
+    #[test]
+    fn multi_part_outputs_render_headings_and_json_arrays() {
+        let mut out = ExperimentOutput::new();
+        out.push("part one", crate::experiments::fig1c_interference());
+        out.push("part two", crate::experiments::fig1c_interference());
+        let summary = out.summary();
+        assert!(summary.contains("## part one"), "{summary}");
+        assert!(summary.contains("## part two"), "{summary}");
+        let json = out.to_json();
+        assert_eq!(json.as_array().map(|a| a.len()), Some(2));
+        // Single-part outputs keep the bare document (historical schema).
+        let single = ExperimentOutput::single(crate::experiments::fig1c_interference());
+        assert_eq!(
+            single.to_json().get("experiment").and_then(|v| v.as_str()),
+            Some("fig1c")
+        );
+    }
+
+    #[test]
+    fn ctx_applies_the_seed_override_everywhere() {
+        let ctx = ExperimentCtx::new(Scale::Quick).with_seed(Some(99));
+        assert_eq!(ctx.seed_or(5), 99);
+        assert_eq!(ctx.comparison(PaperApp::IntelligentAssistant, 1).seed, 99);
+        assert_eq!(ctx.scenario_sweep(PaperApp::IntelligentAssistant).seed, 99);
+        assert_eq!(ctx.capacity_sweep(PaperApp::IntelligentAssistant).seed, 99);
+        assert_eq!(ctx.perf_config().seed, 99);
+        let plain = ExperimentCtx::new(Scale::Paper);
+        assert_eq!(plain.seed_or(5), 5);
+        assert!(plain.profile_samples() > ctx.profile_samples());
+        assert!(plain.trace_invocations() > ctx.trace_invocations());
+    }
+}

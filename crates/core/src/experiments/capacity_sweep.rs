@@ -361,6 +361,28 @@ pub fn capacity_sweep(config: &CapacitySweepConfig) -> Result<CapacitySweepResul
     Ok(result)
 }
 
+use crate::experiments::api::{Experiment, ExperimentCtx, ExperimentOutput};
+
+/// `capacity` as a registered [`Experiment`]: the IA scenario × autoscaler ×
+/// admission grid at the configured scale.
+pub struct CapacitySweepExperiment;
+
+impl Experiment for CapacitySweepExperiment {
+    fn name(&self) -> &str {
+        "capacity"
+    }
+
+    fn describe(&self) -> &str {
+        "Capacity sweep: every arrival scenario under every capacity regime"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, String> {
+        Ok(ExperimentOutput::single(capacity_sweep(
+            &ctx.capacity_sweep(PaperApp::IntelligentAssistant),
+        )?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

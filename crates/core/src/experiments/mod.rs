@@ -1,11 +1,22 @@
-//! One runner per table / figure of the paper's evaluation.
+//! The experiment layer: one runner per table / figure of the paper's
+//! evaluation, unified behind a declarative API.
 //!
-//! Every runner returns a plain-data result struct (serde-serialisable) whose
-//! `Display` implementation prints the same rows / series the paper reports,
-//! so the `janus-bench` binaries and the examples can regenerate each artefact
-//! with a single call. The experiment-to-module mapping is documented in
-//! `DESIGN.md` (§3, experiment index).
+//! Every runner returns a plain-data result struct whose `Display`
+//! implementation prints the same rows / series the paper reports and whose
+//! [`ToJson`] view writes the machine-readable artefact. Three surfaces sit
+//! on top:
+//!
+//! * [`api`] — the object-safe [`Experiment`] trait and the open
+//!   [`ExperimentRegistry`] (every runner below is a registered built-in,
+//!   runnable by name via `janus run <name>`);
+//! * [`spec`] — the serializable [`SweepSpec`]/[`SessionSpec`] data model
+//!   (`janus sweep <spec.json>` describes a whole evaluation grid as JSON);
+//! * [`sweep`] — the rayon-parallel [`run_sweep`] driver executing those
+//!   grids with per-worker arena/metrics reuse.
+//!
+//! The experiment-to-module mapping is documented in `DESIGN.md` (§3).
 
+pub mod api;
 pub mod capacity_sweep;
 pub mod metrics;
 pub mod motivation;
@@ -14,8 +25,13 @@ pub mod perf;
 pub mod report_json;
 pub mod scenario_sweep;
 pub mod slo_sweep;
+pub mod spec;
+pub mod sweep;
 pub mod synthesis;
 
+pub use api::{
+    Experiment, ExperimentCtx, ExperimentOutput, ExperimentRegistry, ExperimentResult, Scale,
+};
 pub use capacity_sweep::{capacity_sweep, CapacityCell, CapacitySweepConfig, CapacitySweepResult};
 pub use metrics::{fig7_timeout_resilience, Fig7Result};
 pub use motivation::{
@@ -29,6 +45,8 @@ pub use scenario_sweep::{
     scenario_sweep, scenario_sweep_with, ScenarioCell, ScenarioSweepConfig, ScenarioSweepResult,
 };
 pub use slo_sweep::{fig9_slo_sweep, Fig9Result};
+pub use spec::{SessionSpec, SweepSpec};
+pub use sweep::{run_sweep, run_sweep_streaming, SweepPoint, SweepResult};
 pub use synthesis::{
     fig6_exploration_cost, fig8_hint_counts, overhead_report, table2_weight_impact, Fig6Result,
     Fig8Result, OverheadResult, Table2Result,

@@ -149,6 +149,192 @@ pub fn paper_config(app: PaperApp, concurrency: u32) -> ComparisonConfig {
     ComparisonConfig::paper_default(app, concurrency)
 }
 
+use crate::experiments::api::{Experiment, ExperimentCtx, ExperimentOutput};
+use crate::experiments::ToJson;
+use janus_json::Value;
+
+/// `table1` as a registered [`Experiment`]: the overall comparison for both
+/// paper applications at concurrency 1.
+pub struct Table1Experiment;
+
+impl Experiment for Table1Experiment {
+    fn name(&self) -> &str {
+        "table1"
+    }
+
+    fn describe(&self) -> &str {
+        "Table I: overall resource reduction of Janus vs baselines for IA and VA"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, String> {
+        let mut out = ExperimentOutput::new();
+        for app in PaperApp::ALL {
+            let result = table1_overall(&ctx.comparison(app, 1))
+                .map_err(|e| format!("{}: {e}", app.short_name()))?;
+            out.push(app.short_name(), result);
+        }
+        Ok(out)
+    }
+}
+
+/// The Figure 4 presentation of an [`OverallResult`]: one latency-CDF series
+/// per policy, instead of the Table I rows. JSON view delegates to the
+/// underlying result (same document the retired `fig4` binary wrote).
+pub struct Fig4Cdf(pub OverallResult);
+
+impl fmt::Display for Fig4Cdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cfg = &self.0.outcome.config;
+        writeln!(
+            f,
+            "# Figure 4: {} concurrency {} (SLO {:.1} s) E2E latency CDF",
+            self.0.app_name(),
+            cfg.concurrency,
+            cfg.slo.as_secs()
+        )?;
+        for (policy, points) in self.0.fig4_series(11) {
+            write!(f, "{policy:>12}:")?;
+            for (latency_ms, q) in points {
+                write!(f, " ({:.2}s,{q:.1})", latency_ms / 1000.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for Fig4Cdf {
+    fn to_json(&self) -> Value {
+        self.0.to_json()
+    }
+}
+
+/// `fig4` as a registered [`Experiment`]: IA at concurrency 1–3 plus VA.
+pub struct Fig4Experiment;
+
+impl Experiment for Fig4Experiment {
+    fn name(&self) -> &str {
+        "fig4"
+    }
+
+    fn describe(&self) -> &str {
+        "Figure 4: end-to-end latency CDFs of IA (concurrency 1-3) and VA"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, String> {
+        let setups = [
+            (PaperApp::IntelligentAssistant, 1u32),
+            (PaperApp::IntelligentAssistant, 2),
+            (PaperApp::IntelligentAssistant, 3),
+            (PaperApp::VideoAnalyze, 1),
+        ];
+        let mut out = ExperimentOutput::new();
+        for (app, conc) in setups {
+            let result = fig4_latency_cdfs(&ctx.comparison(app, conc))
+                .map_err(|e| format!("{} conc {conc}: {e}", app.short_name()))?;
+            out.push(
+                format!("{} concurrency {conc}", app.short_name()),
+                Fig4Cdf(result),
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// The Figure 5 presentation of an [`OverallResult`]: per-policy CPU, either
+/// absolute millicores (5a) or normalised by Optimal (5b).
+pub struct Fig5Consumption {
+    /// The underlying comparison.
+    pub result: OverallResult,
+    /// Normalise by the Optimal oracle (the Figure 5b presentation).
+    pub normalized: bool,
+}
+
+impl fmt::Display for Fig5Consumption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.normalized {
+            for (kind, report) in self
+                .result
+                .outcome
+                .config
+                .policies
+                .iter()
+                .zip(&self.result.outcome.reports)
+            {
+                let norm = self
+                    .result
+                    .outcome
+                    .normalized_cpu(*kind)
+                    .unwrap_or(f64::NAN);
+                writeln!(
+                    f,
+                    "{:>12} {:>8.3}  ({:.1} mc)",
+                    kind.name(),
+                    norm,
+                    report.mean_cpu_millicores()
+                )?;
+            }
+        } else {
+            for (policy, cpu) in self.result.fig5_row() {
+                writeln!(f, "{policy:>12} {cpu:>10.1}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for Fig5Consumption {
+    fn to_json(&self) -> Value {
+        self.result.to_json()
+    }
+}
+
+/// `fig5` as a registered [`Experiment`]: absolute CPU for IA and VA at
+/// concurrency 1, normalised CPU for IA at concurrency 2 and 3.
+pub struct Fig5Experiment;
+
+impl Experiment for Fig5Experiment {
+    fn name(&self) -> &str {
+        "fig5"
+    }
+
+    fn describe(&self) -> &str {
+        "Figure 5: resource consumption per policy, absolute and normalised by Optimal"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, String> {
+        let mut out = ExperimentOutput::new();
+        for app in PaperApp::ALL {
+            let result = fig5_resource_consumption(&ctx.comparison(app, 1))
+                .map_err(|e| format!("{}: {e}", app.short_name()))?;
+            out.push(
+                format!(
+                    "{} absolute CPU (millicores), concurrency 1",
+                    app.short_name()
+                ),
+                Fig5Consumption {
+                    result,
+                    normalized: false,
+                },
+            );
+        }
+        for conc in [2u32, 3] {
+            let config = ctx.comparison(PaperApp::IntelligentAssistant, conc);
+            let slo_s = config.slo.as_secs();
+            let result =
+                fig5_resource_consumption(&config).map_err(|e| format!("IA conc {conc}: {e}"))?;
+            out.push(
+                format!("IA normalised CPU, concurrency {conc} (SLO {slo_s:.1} s)"),
+                Fig5Consumption {
+                    result,
+                    normalized: true,
+                },
+            );
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,9 +5,9 @@
 //! drives a fixed grid of arrival scenarios through the open-loop engine
 //! under a constant-cost sizing policy and reports wall-clock events/sec,
 //! per-experiment wall time, peak event-queue depth and the number of metric
-//! samples recorded through the pre-interned handles. The `perf` bench
-//! binary writes the result as `BENCH_perf.json` — the perf baseline every
-//! later optimisation PR is measured against.
+//! samples recorded through the pre-interned handles. `janus run perf --out
+//! BENCH_perf.json` writes the result — the perf baseline every later
+//! optimisation PR is measured against.
 //!
 //! The policy is a [`FixedSizingPolicy`] on purpose: profiling and hint
 //! synthesis would dominate the measurement, and the quantity under test is
@@ -304,6 +304,28 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
     Ok(result)
 }
 
+use crate::experiments::api::{Experiment, ExperimentCtx, ExperimentOutput};
+
+/// `perf` as a registered [`Experiment`]: the simulator's events/sec
+/// trajectory across the built-in arrival scenarios.
+pub struct PerfExperiment;
+
+impl Experiment for PerfExperiment {
+    fn name(&self) -> &str {
+        "perf"
+    }
+
+    fn describe(&self) -> &str {
+        "Perf trajectory: simulator events/sec across the built-in arrival scenarios"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, String> {
+        Ok(ExperimentOutput::single(perf_trajectory(
+            &ctx.perf_config(),
+        )?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,7 +375,7 @@ mod tests {
     #[test]
     fn zero_duration_rates_stay_finite_and_json_safe() {
         use crate::experiments::ToJson;
-        use janus_synthesizer::json;
+        use janus_json as json;
         // The guard itself: zero, sub-clamp, non-finite.
         assert!(rate_per_sec(1000, 0.0).is_finite());
         assert_eq!(rate_per_sec(1000, 0.0), 1000.0 / (MIN_WALL_MS / 1000.0));

@@ -2,7 +2,7 @@
 //!
 //! The serde shim carries no serialisation machinery (see `DESIGN.md` §4),
 //! so results become JSON the same way the hints bundle does: through the
-//! hand-rolled encoder in [`janus_synthesizer::json`]. Every experiment
+//! hand-rolled encoder in [`janus_json`]. Every experiment
 //! result struct implements [`ToJson`]; the `janus-bench` binaries write the
 //! document next to their stdout tables when `--out <path>` is given, which
 //! makes performance trajectories diffable and plottable without scraping
@@ -13,7 +13,7 @@ use super::{
     Fig8Result, Fig9Result, OverallResult, OverheadResult, PerfResult, ScenarioSweepResult,
     Table2Result,
 };
-use janus_synthesizer::json::Value;
+use janus_json::Value;
 
 /// A machine-readable (JSON) view of an experiment result.
 pub trait ToJson {
@@ -478,7 +478,7 @@ impl ToJson for PerfResult {
 mod tests {
     use super::*;
     use crate::experiments;
-    use janus_synthesizer::json;
+    use janus_json as json;
 
     #[test]
     fn encoded_results_parse_back_and_carry_the_headline_numbers() {

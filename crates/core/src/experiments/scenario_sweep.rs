@@ -300,6 +300,28 @@ pub fn scenario_sweep_with(
     Ok(result)
 }
 
+use crate::experiments::api::{Experiment, ExperimentCtx, ExperimentOutput};
+
+/// `scenarios` as a registered [`Experiment`]: the IA scenario × policy
+/// sweep at the configured scale.
+pub struct ScenarioSweepExperiment;
+
+impl Experiment for ScenarioSweepExperiment {
+    fn name(&self) -> &str {
+        "scenarios"
+    }
+
+    fn describe(&self) -> &str {
+        "Scenario sweep: every policy under every built-in load shape"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, String> {
+        Ok(ExperimentOutput::single(scenario_sweep(
+            &ctx.scenario_sweep(PaperApp::IntelligentAssistant),
+        )?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

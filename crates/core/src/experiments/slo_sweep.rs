@@ -83,6 +83,41 @@ impl fmt::Display for Fig9Result {
     }
 }
 
+use crate::experiments::api::{Experiment, ExperimentCtx, ExperimentOutput, Scale};
+
+/// The SLO grids of the paper's Figure 9 at each scale.
+pub fn fig9_slos(app: PaperApp, scale: Scale) -> &'static [f64] {
+    match (app, scale) {
+        (PaperApp::IntelligentAssistant, Scale::Paper) => &[3.0, 4.0, 5.0, 6.0, 7.0],
+        (PaperApp::IntelligentAssistant, Scale::Quick) => &[3.0, 5.0, 7.0],
+        (PaperApp::VideoAnalyze, Scale::Paper) => &[1.5, 1.6, 1.7, 1.8, 1.9, 2.0],
+        (PaperApp::VideoAnalyze, Scale::Quick) => &[1.5, 1.75, 2.0],
+    }
+}
+
+/// `fig9` as a registered [`Experiment`]: the IA and VA sweeps.
+pub struct Fig9Experiment;
+
+impl Experiment for Fig9Experiment {
+    fn name(&self) -> &str {
+        "fig9"
+    }
+
+    fn describe(&self) -> &str {
+        "Figure 9: resource consumption (normalised by Optimal) under varying SLOs"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, String> {
+        let mut out = ExperimentOutput::new();
+        for app in PaperApp::ALL {
+            let result = fig9_slo_sweep(app, fig9_slos(app, ctx.scale), &ctx.comparison(app, 1))
+                .map_err(|e| format!("{}: {e}", app.short_name()))?;
+            out.push(app.short_name(), result);
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,755 @@
+//! The declarative, serializable experiment data model: [`SessionSpec`] (one
+//! serving session as data) and [`SweepSpec`] (a full evaluation grid as
+//! data).
+//!
+//! A spec is the textual twin of the [`ServingSession`] builder: everything
+//! the builder accepts programmatically — app, concurrency, policies, load,
+//! scenario, cluster, autoscaler, admission, seed, profiling knobs — can be
+//! written down as JSON, checked into `specs/`, and executed with
+//! `janus sweep <spec.json>` without writing a line of Rust. Encoding and
+//! decoding are hand-rolled over [`janus_json::Value`] (the workspace is
+//! shims-only; see `DESIGN.md` §4): [`SweepSpec::to_json`] and
+//! [`SweepSpec::from_json`] round-trip byte-identically, and the decoder is
+//! *strict* — unknown keys, wrong types and missing required fields all name
+//! the offending key, so a typo in a spec file fails loudly instead of
+//! silently running the wrong grid.
+//!
+//! [`SweepSpec::expand`] turns the axes into the cartesian grid of
+//! [`SessionSpec`] points (scenario-major, then load, seed, autoscaler,
+//! admission); the [`sweep`](crate::experiments::sweep) driver runs them in
+//! parallel.
+
+use crate::session::{Load, ServingSession, ServingSessionBuilder};
+use janus_json::{parse, Value};
+use janus_simcore::cluster::{ClusterConfig, PlacementPolicy};
+use janus_simcore::resources::Millicores;
+use janus_workloads::apps::PaperApp;
+use serde::{Deserialize, Serialize};
+
+/// One serving session described as data: a single point of a sweep grid,
+/// or a standalone session spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Application under test.
+    pub app: PaperApp,
+    /// Batch size (concurrency) requests are served at.
+    pub concurrency: u32,
+    /// Policy names served on the shared request set (paired comparison).
+    pub policies: Vec<String>,
+    /// Requests generated per policy.
+    pub requests: usize,
+    /// Open-loop mean arrival rate; `None` runs the closed loop.
+    pub rps: Option<f64>,
+    /// Arrival scenario name (open loop only; `None` keeps plain Poisson).
+    pub scenario: Option<String>,
+    /// Autoscaler name (open loop only; `None` leaves capacity uncontrolled).
+    pub autoscaler: Option<String>,
+    /// Admission-policy name (open loop only).
+    pub admission: Option<String>,
+    /// Cluster layout; `None` keeps the paper's single 52-core node.
+    pub cluster: Option<ClusterConfig>,
+    /// Request / profiling seed.
+    pub seed: u64,
+    /// Profiler samples per grid point.
+    pub samples_per_point: usize,
+    /// Synthesizer budget step in milliseconds.
+    pub budget_step_ms: f64,
+}
+
+impl SessionSpec {
+    /// The equivalent [`ServingSession`] builder: apply every field of the
+    /// spec, leave everything else at the builder's defaults.
+    pub fn builder(&self) -> ServingSessionBuilder {
+        let mut builder = ServingSession::builder()
+            .app(self.app)
+            .concurrency(self.concurrency)
+            .policies(self.policies.clone())
+            .seed(self.seed)
+            .samples_per_point(self.samples_per_point)
+            .budget_step_ms(self.budget_step_ms);
+        builder = match self.rps {
+            Some(rps) => builder.load(Load::Open {
+                requests: self.requests,
+                rps,
+            }),
+            None => builder.load(Load::Closed {
+                requests: self.requests,
+            }),
+        };
+        if let Some(scenario) = &self.scenario {
+            builder = builder.scenario(scenario);
+        }
+        if let Some(cluster) = &self.cluster {
+            builder = builder.cluster(cluster.clone());
+        }
+        if let Some(autoscaler) = &self.autoscaler {
+            builder = builder.autoscaler(autoscaler);
+        }
+        if let Some(admission) = &self.admission {
+            builder = builder.admission(admission);
+        }
+        builder
+    }
+
+    /// Encode as a JSON object (optional fields omitted when unset).
+    pub fn to_json(&self) -> Value {
+        let mut members = vec![
+            ("app".to_string(), Value::Str(self.app.short_name().into())),
+            (
+                "concurrency".to_string(),
+                Value::Num(self.concurrency as f64),
+            ),
+            (
+                "policies".to_string(),
+                Value::Arr(
+                    self.policies
+                        .iter()
+                        .map(|p| Value::Str(p.clone()))
+                        .collect(),
+                ),
+            ),
+            ("requests".to_string(), Value::Num(self.requests as f64)),
+        ];
+        if let Some(rps) = self.rps {
+            members.push(("rps".to_string(), Value::Num(rps)));
+        }
+        for (key, field) in [
+            ("scenario", &self.scenario),
+            ("autoscaler", &self.autoscaler),
+            ("admission", &self.admission),
+        ] {
+            if let Some(name) = field {
+                members.push((key.to_string(), Value::Str(name.clone())));
+            }
+        }
+        if let Some(cluster) = &self.cluster {
+            members.push(("cluster".to_string(), cluster_to_json(cluster)));
+        }
+        members.push(("seed".to_string(), Value::Num(self.seed as f64)));
+        members.push((
+            "samples_per_point".to_string(),
+            Value::Num(self.samples_per_point as f64),
+        ));
+        members.push((
+            "budget_step_ms".to_string(),
+            Value::Num(self.budget_step_ms),
+        ));
+        Value::Obj(members)
+    }
+}
+
+/// A full evaluation described as data: the cartesian grid of
+/// scenarios × loads × seeds × autoscalers × admissions, each point serving
+/// every listed policy on a shared request set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Human-readable sweep name (reported in the output document).
+    pub name: String,
+    /// Application under test.
+    pub app: PaperApp,
+    /// Batch size (concurrency) requests are served at.
+    pub concurrency: u32,
+    /// Policy names served at every grid point (the paired axis).
+    pub policies: Vec<String>,
+    /// Arrival-scenario axis.
+    pub scenarios: Vec<String>,
+    /// Open-loop mean-arrival-rate axis (requests per second).
+    pub loads_rps: Vec<f64>,
+    /// Seed axis.
+    pub seeds: Vec<u64>,
+    /// Autoscaler axis; `None` leaves capacity uncontrolled everywhere.
+    pub autoscalers: Option<Vec<String>>,
+    /// Admission-policy axis; `None` admits everything everywhere.
+    pub admissions: Option<Vec<String>>,
+    /// Cluster layout; `None` keeps the paper's single 52-core node.
+    pub cluster: Option<ClusterConfig>,
+    /// Requests generated per policy per grid point.
+    pub requests: usize,
+    /// Profiler samples per grid point.
+    pub samples_per_point: usize,
+    /// Synthesizer budget step in milliseconds.
+    pub budget_step_ms: f64,
+}
+
+impl SweepSpec {
+    /// Structural validity independent of any registry: every axis that must
+    /// be non-empty is, and numeric knobs are sane. Name resolution against
+    /// the policy/scenario/capacity registries happens in the sweep driver.
+    pub fn validate(&self) -> Result<(), String> {
+        for (key, empty) in [
+            ("policies", self.policies.is_empty()),
+            ("scenarios", self.scenarios.is_empty()),
+            ("loads_rps", self.loads_rps.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+            (
+                "autoscalers",
+                self.autoscalers.as_deref().is_some_and(<[_]>::is_empty),
+            ),
+            (
+                "admissions",
+                self.admissions.as_deref().is_some_and(<[_]>::is_empty),
+            ),
+        ] {
+            if empty {
+                return Err(format!("`{key}`: axis must not be empty"));
+            }
+        }
+        if let Some(bad) = self
+            .loads_rps
+            .iter()
+            .find(|rps| !(rps.is_finite() && **rps > 0.0))
+        {
+            return Err(format!("`loads_rps`: rate {bad} must be positive"));
+        }
+        if self.concurrency == 0 {
+            return Err("`concurrency`: must be at least 1".into());
+        }
+        if self.requests == 0 {
+            return Err("`requests`: must be at least 1".into());
+        }
+        if self.samples_per_point == 0 {
+            return Err("`samples_per_point`: must be at least 1".into());
+        }
+        if !(self.budget_step_ms.is_finite() && self.budget_step_ms > 0.0) {
+            return Err(format!(
+                "`budget_step_ms`: {} must be positive",
+                self.budget_step_ms
+            ));
+        }
+        if let Some(cluster) = &self.cluster {
+            cluster.validate().map_err(|e| format!("`cluster`: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Number of grid points the spec expands to.
+    pub fn grid_size(&self) -> usize {
+        self.scenarios.len()
+            * self.loads_rps.len()
+            * self.seeds.len()
+            * self.autoscalers.as_ref().map_or(1, Vec::len)
+            * self.admissions.as_ref().map_or(1, Vec::len)
+    }
+
+    /// Expand the axes into the cartesian grid of session specs, in
+    /// deterministic order: scenario-major, then load, seed, autoscaler,
+    /// admission.
+    pub fn expand(&self) -> Vec<SessionSpec> {
+        let autoscalers: Vec<Option<String>> = match &self.autoscalers {
+            Some(names) => names.iter().cloned().map(Some).collect(),
+            None => vec![None],
+        };
+        let admissions: Vec<Option<String>> = match &self.admissions {
+            Some(names) => names.iter().cloned().map(Some).collect(),
+            None => vec![None],
+        };
+        let mut points = Vec::with_capacity(self.grid_size());
+        for scenario in &self.scenarios {
+            for &rps in &self.loads_rps {
+                for &seed in &self.seeds {
+                    for autoscaler in &autoscalers {
+                        for admission in &admissions {
+                            points.push(SessionSpec {
+                                app: self.app,
+                                concurrency: self.concurrency,
+                                policies: self.policies.clone(),
+                                requests: self.requests,
+                                rps: Some(rps),
+                                scenario: Some(scenario.clone()),
+                                autoscaler: autoscaler.clone(),
+                                admission: admission.clone(),
+                                cluster: self.cluster.clone(),
+                                seed,
+                                samples_per_point: self.samples_per_point,
+                                budget_step_ms: self.budget_step_ms,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Encode as a JSON object. `parse(spec.to_json().to_pretty())` decodes
+    /// back to an equal spec, and re-encoding is byte-identical.
+    pub fn to_json(&self) -> Value {
+        let strings =
+            |names: &[String]| Value::Arr(names.iter().map(|n| Value::Str(n.clone())).collect());
+        let mut members = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("app".to_string(), Value::Str(self.app.short_name().into())),
+            (
+                "concurrency".to_string(),
+                Value::Num(self.concurrency as f64),
+            ),
+            ("policies".to_string(), strings(&self.policies)),
+            ("scenarios".to_string(), strings(&self.scenarios)),
+            (
+                "loads_rps".to_string(),
+                Value::Arr(self.loads_rps.iter().map(|&r| Value::Num(r)).collect()),
+            ),
+            (
+                "seeds".to_string(),
+                Value::Arr(self.seeds.iter().map(|&s| Value::Num(s as f64)).collect()),
+            ),
+        ];
+        if let Some(autoscalers) = &self.autoscalers {
+            members.push(("autoscalers".to_string(), strings(autoscalers)));
+        }
+        if let Some(admissions) = &self.admissions {
+            members.push(("admissions".to_string(), strings(admissions)));
+        }
+        if let Some(cluster) = &self.cluster {
+            members.push(("cluster".to_string(), cluster_to_json(cluster)));
+        }
+        members.push(("requests".to_string(), Value::Num(self.requests as f64)));
+        members.push((
+            "samples_per_point".to_string(),
+            Value::Num(self.samples_per_point as f64),
+        ));
+        members.push((
+            "budget_step_ms".to_string(),
+            Value::Num(self.budget_step_ms),
+        ));
+        Value::Obj(members)
+    }
+
+    /// Decode a spec from a parsed JSON document. Strict: unknown keys,
+    /// wrong types and missing required fields all report the offending key.
+    pub fn from_json(doc: &Value) -> Result<SweepSpec, String> {
+        let obj = Decoder::new(
+            doc,
+            &[
+                "name",
+                "app",
+                "concurrency",
+                "policies",
+                "scenarios",
+                "loads_rps",
+                "seeds",
+                "autoscalers",
+                "admissions",
+                "cluster",
+                "requests",
+                "samples_per_point",
+                "budget_step_ms",
+            ],
+        )?;
+        let spec = SweepSpec {
+            name: obj.string("name")?,
+            app: obj.app("app")?,
+            concurrency: obj.u32_or("concurrency", 1)?,
+            policies: obj.string_list("policies")?,
+            scenarios: obj.string_list("scenarios")?,
+            loads_rps: obj.f64_list("loads_rps")?,
+            seeds: obj.u64_list_or("seeds", &[7])?,
+            autoscalers: obj.optional_string_list("autoscalers")?,
+            admissions: obj.optional_string_list("admissions")?,
+            cluster: obj.cluster("cluster")?,
+            requests: obj.usize("requests")?,
+            samples_per_point: obj.usize_or("samples_per_point", 1000)?,
+            budget_step_ms: obj.f64_or("budget_step_ms", 1.0)?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+impl std::str::FromStr for SweepSpec {
+    type Err = String;
+
+    /// Decode a spec from JSON text (the `janus sweep <spec.json>` entry
+    /// point).
+    fn from_str(text: &str) -> Result<SweepSpec, String> {
+        SweepSpec::from_json(&parse(text).map_err(|e| format!("spec is not valid JSON: {e}"))?)
+    }
+}
+
+fn cluster_to_json(cluster: &ClusterConfig) -> Value {
+    Value::Obj(vec![
+        ("nodes".to_string(), Value::Num(cluster.nodes as f64)),
+        (
+            "node_capacity_mc".to_string(),
+            Value::Num(cluster.node_capacity.get() as f64),
+        ),
+        (
+            "placement".to_string(),
+            Value::Str(
+                match cluster.placement {
+                    PlacementPolicy::Spread => "spread",
+                    PlacementPolicy::PackSameFunction => "pack",
+                }
+                .to_string(),
+            ),
+        ),
+    ])
+}
+
+/// Strict object decoder with key-qualified error messages.
+struct Decoder<'a> {
+    obj: &'a [(String, Value)],
+}
+
+impl<'a> Decoder<'a> {
+    fn new(doc: &'a Value, known_keys: &[&str]) -> Result<Self, String> {
+        let Value::Obj(obj) = doc else {
+            return Err("spec must be a JSON object".into());
+        };
+        for (key, _) in obj {
+            if !known_keys.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown key `{key}`; expected one of: {}",
+                    known_keys.join(", ")
+                ));
+            }
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for (key, _) in obj {
+            if seen.contains(&key.as_str()) {
+                return Err(format!("duplicate key `{key}`"));
+            }
+            seen.push(key);
+        }
+        Ok(Decoder { obj })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a Value> {
+        self.obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn required(&self, key: &str) -> Result<&'a Value, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required key `{key}`"))
+    }
+
+    fn string(&self, key: &str) -> Result<String, String> {
+        self.required(key)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("`{key}`: expected a string"))
+    }
+
+    fn app(&self, key: &str) -> Result<PaperApp, String> {
+        let name = self.string(key)?;
+        PaperApp::ALL
+            .into_iter()
+            .find(|app| app.short_name() == name)
+            .ok_or_else(|| {
+                format!(
+                    "`{key}`: unknown app `{name}`; expected one of: {}",
+                    PaperApp::ALL.map(|a| a.short_name()).join(", ")
+                )
+            })
+    }
+
+    fn finite(&self, key: &str, value: &Value) -> Result<f64, String> {
+        value
+            .as_f64()
+            .ok_or_else(|| format!("`{key}`: expected a number"))
+    }
+
+    fn integer(&self, key: &str, value: &Value) -> Result<u64, String> {
+        // JSON numbers are f64s; above 2^53 an integer-looking value may
+        // already have been rounded, so a spec carrying one would silently
+        // run something other than what the file records. Reject it.
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        let n = self.finite(key, value)?;
+        if n < 0.0 || n.fract() != 0.0 || n > MAX_EXACT {
+            return Err(format!(
+                "`{key}`: expected a non-negative integer (at most 2^53), got {n}"
+            ));
+        }
+        Ok(n as u64)
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, String> {
+        Ok(self.integer(key, self.required(key)?)? as usize)
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            Some(value) => Ok(self.integer(key, value)? as usize),
+            None => Ok(default),
+        }
+    }
+
+    fn u32_or(&self, key: &str, default: u32) -> Result<u32, String> {
+        match self.get(key) {
+            Some(value) => {
+                let n = self.integer(key, value)?;
+                u32::try_from(n).map_err(|_| format!("`{key}`: {n} does not fit in u32"))
+            }
+            None => Ok(default),
+        }
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            Some(value) => self.finite(key, value),
+            None => Ok(default),
+        }
+    }
+
+    fn array(&self, key: &str, value: &'a Value) -> Result<&'a [Value], String> {
+        value
+            .as_array()
+            .ok_or_else(|| format!("`{key}`: expected an array"))
+    }
+
+    fn string_list_from(&self, key: &str, value: &'a Value) -> Result<Vec<String>, String> {
+        self.array(key, value)?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("`{key}[{i}]`: expected a string"))
+            })
+            .collect()
+    }
+
+    fn string_list(&self, key: &str) -> Result<Vec<String>, String> {
+        self.string_list_from(key, self.required(key)?)
+    }
+
+    fn optional_string_list(&self, key: &str) -> Result<Option<Vec<String>>, String> {
+        match self.get(key) {
+            Some(value) => Ok(Some(self.string_list_from(key, value)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn f64_list(&self, key: &str) -> Result<Vec<f64>, String> {
+        self.array(key, self.required(key)?)?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| self.finite(&format!("{key}[{i}]"), v))
+            .collect()
+    }
+
+    fn u64_list_or(&self, key: &str, default: &[u64]) -> Result<Vec<u64>, String> {
+        match self.get(key) {
+            Some(value) => self
+                .array(key, value)?
+                .iter()
+                .enumerate()
+                .map(|(i, v)| self.integer(&format!("{key}[{i}]"), v))
+                .collect(),
+            None => Ok(default.to_vec()),
+        }
+    }
+
+    fn cluster(&self, key: &str) -> Result<Option<ClusterConfig>, String> {
+        let Some(value) = self.get(key) else {
+            return Ok(None);
+        };
+        let obj = Decoder::new(value, &["nodes", "node_capacity_mc", "placement"])
+            .map_err(|e| format!("`{key}`: {e}"))?;
+        let placement = match obj.string("placement")?.as_str() {
+            "spread" => PlacementPolicy::Spread,
+            "pack" => PlacementPolicy::PackSameFunction,
+            other => {
+                return Err(format!(
+                    "`{key}.placement`: unknown placement `{other}`; expected `spread` or `pack`"
+                ))
+            }
+        };
+        let node_capacity = obj.usize("node_capacity_mc")?;
+        let node_capacity = u32::try_from(node_capacity).map_err(|_| {
+            format!("`{key}.node_capacity_mc`: {node_capacity} does not fit in u32")
+        })?;
+        Ok(Some(ClusterConfig {
+            nodes: obj.usize("nodes")?,
+            node_capacity: Millicores(node_capacity),
+            placement,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr as _;
+
+    pub(crate) fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            name: "tiny".into(),
+            app: PaperApp::IntelligentAssistant,
+            concurrency: 1,
+            policies: vec!["GrandSLAM".into(), "Janus".into()],
+            scenarios: vec!["poisson".into(), "flash-crowd".into()],
+            loads_rps: vec![2.0],
+            seeds: vec![7, 11],
+            autoscalers: None,
+            admissions: None,
+            cluster: None,
+            requests: 30,
+            samples_per_point: 250,
+            budget_step_ms: 10.0,
+        }
+    }
+
+    #[test]
+    fn expansion_is_the_ordered_cartesian_grid() {
+        let mut spec = tiny_spec();
+        spec.autoscalers = Some(vec!["static".into(), "queue-depth".into()]);
+        spec.admissions = Some(vec!["token-bucket".into()]);
+        assert_eq!(spec.grid_size(), 8);
+        let points = spec.expand();
+        assert_eq!(points.len(), spec.grid_size());
+        // Scenario-major order; within a scenario, seeds then autoscalers.
+        assert_eq!(points[0].scenario.as_deref(), Some("poisson"));
+        assert_eq!(points[0].seed, 7);
+        assert_eq!(points[0].autoscaler.as_deref(), Some("static"));
+        assert_eq!(points[1].autoscaler.as_deref(), Some("queue-depth"));
+        assert_eq!(points[2].seed, 11);
+        assert_eq!(points[4].scenario.as_deref(), Some("flash-crowd"));
+        for point in &points {
+            assert_eq!(point.policies, spec.policies);
+            assert_eq!(point.rps, Some(2.0));
+            assert_eq!(point.admission.as_deref(), Some("token-bucket"));
+        }
+        // Without capacity axes, the grid leaves capacity uncontrolled.
+        let plain = tiny_spec().expand();
+        assert_eq!(plain.len(), 4);
+        assert!(plain.iter().all(|p| p.autoscaler.is_none()));
+    }
+
+    #[test]
+    fn specs_round_trip_through_json_byte_identically() {
+        let mut spec = tiny_spec();
+        spec.autoscalers = Some(vec!["utilization".into()]);
+        spec.cluster = Some(ClusterConfig {
+            nodes: 2,
+            node_capacity: Millicores::from_cores(8),
+            placement: PlacementPolicy::Spread,
+        });
+        let first = spec.to_json().to_pretty();
+        let decoded = SweepSpec::from_str(&first).unwrap();
+        assert_eq!(decoded, spec);
+        assert_eq!(decoded.to_json().to_pretty(), first);
+        // Session specs round-trip structurally too (their JSON view is
+        // embedded in sweep outputs).
+        let point = spec.expand().remove(0);
+        let doc = point.to_json();
+        assert_eq!(
+            doc.get("scenario").and_then(|v| v.as_str()),
+            Some("poisson")
+        );
+        assert_eq!(
+            doc.get("cluster")
+                .and_then(|c| c.get("node_capacity_mc"))
+                .and_then(|v| v.as_f64()),
+            Some(8000.0)
+        );
+    }
+
+    #[test]
+    fn decoding_applies_defaults_and_stays_minimal() {
+        let spec = SweepSpec::from_str(
+            r#"{
+                "name": "minimal",
+                "app": "VA",
+                "policies": ["GrandSLAM"],
+                "scenarios": ["bursty"],
+                "loads_rps": [1.5],
+                "requests": 50
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.app, PaperApp::VideoAnalyze);
+        assert_eq!(spec.concurrency, 1);
+        assert_eq!(spec.seeds, vec![7]);
+        assert_eq!(spec.samples_per_point, 1000);
+        assert!((spec.budget_step_ms - 1.0).abs() < 1e-12);
+        assert!(spec.autoscalers.is_none() && spec.cluster.is_none());
+    }
+
+    #[test]
+    fn decode_errors_name_the_offending_key() {
+        let cases: &[(&str, &str)] = &[
+            (r#"[1, 2]"#, "spec must be a JSON object"),
+            (r#"{"nome": "x"}"#, "unknown key `nome`"),
+            (r#"{"app": "IA"}"#, "missing required key `name`"),
+            (
+                r#"{"name": "x", "app": "Lambda", "policies": ["Janus"],
+                    "scenarios": ["poisson"], "loads_rps": [1.0], "requests": 5}"#,
+                "`app`: unknown app `Lambda`",
+            ),
+            (
+                r#"{"name": "x", "app": "IA", "policies": ["Janus", 3],
+                    "scenarios": ["poisson"], "loads_rps": [1.0], "requests": 5}"#,
+                "`policies[1]`: expected a string",
+            ),
+            (
+                r#"{"name": "x", "app": "IA", "policies": ["Janus"],
+                    "scenarios": [], "loads_rps": [1.0], "requests": 5}"#,
+                "`scenarios`: axis must not be empty",
+            ),
+            (
+                r#"{"name": "x", "app": "IA", "policies": ["Janus"],
+                    "scenarios": ["poisson"], "loads_rps": [-1.0], "requests": 5}"#,
+                "`loads_rps`: rate -1 must be positive",
+            ),
+            (
+                r#"{"name": "x", "app": "IA", "policies": ["Janus"],
+                    "scenarios": ["poisson"], "loads_rps": [1.0], "requests": 5,
+                    "seeds": [1.5]}"#,
+                "`seeds[0]`: expected a non-negative integer",
+            ),
+            (
+                // 2^64: integer-shaped but outside what an f64 represents
+                // exactly; must be rejected, not saturated to u64::MAX.
+                r#"{"name": "x", "app": "IA", "policies": ["Janus"],
+                    "scenarios": ["poisson"], "loads_rps": [1.0], "requests": 5,
+                    "seeds": [18446744073709551616]}"#,
+                "`seeds[0]`: expected a non-negative integer",
+            ),
+            (
+                r#"{"name": "x", "app": "IA", "policies": ["Janus"],
+                    "scenarios": ["poisson"], "loads_rps": [1.0], "requests": 5,
+                    "concurrency": 0}"#,
+                "`concurrency`: must be at least 1",
+            ),
+            (
+                r#"{"name": "x", "app": "IA", "policies": ["Janus"],
+                    "scenarios": ["poisson"], "loads_rps": [1.0], "requests": 5,
+                    "cluster": {"nodes": 2, "node_capacity_mc": 8000,
+                                "placement": "tetris"}}"#,
+                "`cluster.placement`: unknown placement `tetris`",
+            ),
+            (
+                r#"{"name": "x", "app": "IA", "policies": ["Janus"],
+                    "scenarios": ["poisson"], "loads_rps": [1.0], "requests": 5,
+                    "cluster": {"nodes": 2}}"#,
+                "missing required key `placement`",
+            ),
+            (
+                r#"{"name": "x", "name": "y", "app": "IA", "policies": ["Janus"],
+                    "scenarios": ["poisson"], "loads_rps": [1.0], "requests": 5}"#,
+                "duplicate key `name`",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = SweepSpec::from_str(text).unwrap_err();
+            assert!(err.contains(needle), "expected `{needle}` in `{err}`");
+        }
+    }
+
+    #[test]
+    fn session_specs_build_runnable_sessions() {
+        let spec = tiny_spec();
+        let point = &spec.expand()[0];
+        let session = point.builder().build().unwrap();
+        assert_eq!(session.policies(), &["GrandSLAM", "Janus"]);
+        // Closed-loop spec: rps omitted.
+        let closed = SessionSpec {
+            rps: None,
+            scenario: None,
+            ..point.clone()
+        };
+        let report = closed.builder().run().unwrap();
+        assert_eq!(report.load, Load::Closed { requests: 30 });
+    }
+}

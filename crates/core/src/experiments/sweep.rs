@@ -1,0 +1,500 @@
+//! The generic sweep driver: execute a [`SweepSpec`] grid in parallel.
+//!
+//! [`run_sweep`] is the engine behind `janus sweep <spec.json>` — the
+//! data-driven generalization of the hand-written scenario/capacity sweeps.
+//! The spec's axes expand into [`SessionSpec`] grid points
+//! (scenario-major, then load, seed, autoscaler, admission); every point is
+//! one paired, invariant-checked [`ServingSession`]. Points fan out across
+//! threads in contiguous stripes, and each worker runs its stripe through
+//! [`run_in`](crate::session::ServingSession::run_in) with one
+//! [`OpenLoopArena`] and one set of
+//! interned metric handles, so engine heaps, in-flight tables and metric
+//! interning are paid once per worker instead of once per point. Results
+//! come back in grid order regardless of scheduling, and sessions are
+//! seed-deterministic, so a sweep is reproducible bit for bit.
+//!
+//! [`run_sweep_streaming`] additionally invokes a callback as each point
+//! completes (from the worker thread that ran it) — the `janus` CLI uses it
+//! to print progress lines while a long grid is still running.
+//!
+//! Every name in the spec is resolved against the built-in registries
+//! *before* anything runs, and the error points at the offending spec key
+//! (`` `policies[2]`: unknown policy … ``), so a typo fails in milliseconds
+//! instead of after the first half of the grid.
+//!
+//! [`ServingSession`]: crate::session::ServingSession
+
+use crate::experiments::perf::{rate_per_sec, MIN_WALL_MS};
+use crate::experiments::spec::{SessionSpec, SweepSpec};
+use crate::experiments::ToJson;
+use crate::registry::PolicyRegistry;
+use crate::session::SessionReport;
+use janus_json::Value;
+use janus_platform::capacity::{AdmissionRegistry, AutoscalerRegistry};
+use janus_platform::metrics::ServingMetrics;
+use janus_platform::openloop::OpenLoopArena;
+use janus_scenarios::ScenarioRegistry;
+use janus_simcore::metrics::MetricsRegistry;
+use rayon::prelude::*;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// One completed grid point: the session spec that described it and the
+/// invariant-checked report it produced.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Position in grid (expansion) order.
+    pub index: usize,
+    /// The resolved per-point spec.
+    pub session: SessionSpec,
+    /// The session report (one `PolicyReport` per policy).
+    pub report: SessionReport,
+    /// Wall-clock time of the point, in ms (clamped to stay positive).
+    pub wall_ms: f64,
+}
+
+impl SweepPoint {
+    /// One-line progress summary (`janus sweep` streams these as points
+    /// complete).
+    pub fn progress_line(&self, total: usize) -> String {
+        let axes = [
+            self.session.scenario.as_deref().map(|s| s.to_string()),
+            self.session.rps.map(|r| format!("{r} rps")),
+            Some(format!("seed {}", self.session.seed)),
+            self.session.autoscaler.as_deref().map(str::to_string),
+            self.session.admission.as_deref().map(str::to_string),
+        ];
+        let axes: Vec<String> = axes.into_iter().flatten().collect();
+        format!(
+            "[{}/{total}] {} ({:.0} ms)",
+            self.index + 1,
+            axes.join(" x "),
+            self.wall_ms
+        )
+    }
+}
+
+/// The outcome of a sweep: every grid point in expansion order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The spec the sweep ran from.
+    pub spec: SweepSpec,
+    /// Completed points, in grid order.
+    pub points: Vec<SweepPoint>,
+    /// Wall-clock time of the whole sweep, in ms.
+    pub total_wall_ms: f64,
+}
+
+impl SweepResult {
+    /// The point matching the given axes (`None` arguments match points
+    /// where that axis is unset).
+    pub fn point(
+        &self,
+        scenario: &str,
+        rps: f64,
+        seed: u64,
+        autoscaler: Option<&str>,
+        admission: Option<&str>,
+    ) -> Option<&SweepPoint> {
+        self.points.iter().find(|p| {
+            p.session.scenario.as_deref() == Some(scenario)
+                && p.session.rps == Some(rps)
+                && p.session.seed == seed
+                && p.session.autoscaler.as_deref() == autoscaler
+                && p.session.admission.as_deref() == admission
+        })
+    }
+
+    /// Cross-point invariants on top of each session's own validation: the
+    /// grid is complete, ordered exactly as the spec expands, and every
+    /// report served the spec's policies.
+    pub fn validate(&self) -> Result<(), String> {
+        let expected = self.spec.expand();
+        if self.points.len() != expected.len() {
+            return Err(format!(
+                "sweep produced {} points for a {}-point grid",
+                self.points.len(),
+                expected.len()
+            ));
+        }
+        for (i, (point, spec)) in self.points.iter().zip(&expected).enumerate() {
+            if point.index != i {
+                return Err(format!("point {i} carries index {}", point.index));
+            }
+            if &point.session != spec {
+                return Err(format!("point {i} ran a different spec than expanded"));
+            }
+            let names = point.report.names();
+            let expected_names: Vec<&str> = self.spec.policies.iter().map(String::as_str).collect();
+            if names != expected_names {
+                return Err(format!(
+                    "point {i} ran policies {names:?}, expected {expected_names:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SweepResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# Sweep `{}`: {} @ concurrency {}, {} requests/point, {} points in {:.0} ms",
+            self.spec.name,
+            self.spec.app.short_name(),
+            self.spec.concurrency,
+            self.spec.requests,
+            self.points.len(),
+            self.total_wall_ms
+        )?;
+        writeln!(
+            f,
+            "{:>14} {:>7} {:>6} {:>12} {:>12} {:>12} {:>10} {:>10} {:>9} {:>7}",
+            "scenario",
+            "rps",
+            "seed",
+            "autoscaler",
+            "admission",
+            "policy",
+            "attain %",
+            "cpu mc",
+            "p99 s",
+            "shed"
+        )?;
+        for point in &self.points {
+            for policy in &point.report.policies {
+                writeln!(
+                    f,
+                    "{:>14} {:>7} {:>6} {:>12} {:>12} {:>12} {:>10.1} {:>10.1} {:>9} {:>7}",
+                    point.session.scenario.as_deref().unwrap_or("-"),
+                    point.session.rps.unwrap_or(f64::NAN),
+                    point.session.seed,
+                    point.session.autoscaler.as_deref().unwrap_or("-"),
+                    point.session.admission.as_deref().unwrap_or("-"),
+                    policy.name,
+                    policy.slo_attainment() * 100.0,
+                    policy.serving.mean_cpu_millicores(),
+                    policy
+                        .serving
+                        .e2e_percentile(99.0)
+                        .map(|d| format!("{:.2}", d.as_secs()))
+                        .unwrap_or_else(|| "-".into()),
+                    policy.serving.shed_len(),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for SweepResult {
+    fn to_json(&self) -> Value {
+        let points = self
+            .points
+            .iter()
+            .map(|point| {
+                let policies = point
+                    .report
+                    .policies
+                    .iter()
+                    .map(|p| {
+                        Value::Obj(vec![
+                            ("name".to_string(), Value::Str(p.name.clone())),
+                            ("slo_attainment".to_string(), Value::Num(p.slo_attainment())),
+                            (
+                                "mean_cpu_millicores".to_string(),
+                                Value::Num(p.serving.mean_cpu_millicores()),
+                            ),
+                            (
+                                "p99_e2e_s".to_string(),
+                                p.serving
+                                    .e2e_percentile(99.0)
+                                    .map(|d| Value::Num(d.as_secs()))
+                                    .unwrap_or(Value::Null),
+                            ),
+                            (
+                                "served".to_string(),
+                                Value::Num(p.serving.served_len() as f64),
+                            ),
+                            ("shed".to_string(), Value::Num(p.serving.shed_len() as f64)),
+                        ])
+                    })
+                    .collect();
+                Value::Obj(vec![
+                    ("session".to_string(), point.session.to_json()),
+                    ("policies".to_string(), Value::Arr(policies)),
+                    ("wall_ms".to_string(), Value::Num(point.wall_ms)),
+                    (
+                        "points_per_sec".to_string(),
+                        Value::Num(rate_per_sec(1, point.wall_ms)),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("experiment".to_string(), Value::Str("sweep".to_string())),
+            ("name".to_string(), Value::Str(self.spec.name.clone())),
+            ("spec".to_string(), self.spec.to_json()),
+            ("points".to_string(), Value::Arr(points)),
+            ("total_wall_ms".to_string(), Value::Num(self.total_wall_ms)),
+        ])
+    }
+}
+
+/// Resolve every name in the spec against the built-in registries before
+/// running anything, reporting the offending spec key on failure.
+fn resolve_names(spec: &SweepSpec) -> Result<(), String> {
+    let policies = PolicyRegistry::with_builtins();
+    for (i, name) in spec.policies.iter().enumerate() {
+        if policies.get(name).is_none() {
+            return Err(format!(
+                "`policies[{i}]`: unknown policy `{name}`; registered policies: {}",
+                policies.names().join(", ")
+            ));
+        }
+    }
+    let scenarios = ScenarioRegistry::with_builtins();
+    for (i, name) in spec.scenarios.iter().enumerate() {
+        scenarios
+            .ensure_known(name)
+            .map_err(|e| format!("`scenarios[{i}]`: {e}"))?;
+    }
+    let autoscalers = AutoscalerRegistry::with_builtins();
+    for (i, name) in spec.autoscalers.iter().flatten().enumerate() {
+        autoscalers
+            .ensure_known(name)
+            .map_err(|e| format!("`autoscalers[{i}]`: {e}"))?;
+    }
+    let admissions = AdmissionRegistry::with_builtins();
+    for (i, name) in spec.admissions.iter().flatten().enumerate() {
+        admissions
+            .ensure_known(name)
+            .map_err(|e| format!("`admissions[{i}]`: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Run a sweep, invoking `on_point` as each grid point completes (from the
+/// worker thread that ran it; points of one stripe complete in order, but
+/// stripes interleave). The returned result is in grid order regardless.
+pub fn run_sweep_streaming(
+    spec: &SweepSpec,
+    on_point: &(dyn Fn(&SweepPoint) + Sync),
+) -> Result<SweepResult, String> {
+    spec.validate()?;
+    resolve_names(spec)?;
+    let started = Instant::now();
+    let points = spec.expand();
+    let total = points.len();
+
+    // Contiguous stripes, one per worker: each stripe shares one arena and
+    // one set of interned metric handles across all its points.
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(total.max(1));
+    let stripe_len = total.div_ceil(threads);
+    let indexed: Vec<(usize, SessionSpec)> = points.into_iter().enumerate().collect();
+    let stripes: Vec<Vec<(usize, SessionSpec)>> = indexed
+        .chunks(stripe_len.max(1))
+        .map(<[_]>::to_vec)
+        .collect();
+
+    let completed: Vec<Result<Vec<SweepPoint>, String>> = stripes
+        .into_par_iter()
+        .map(|stripe| {
+            let metrics_registry = MetricsRegistry::new();
+            let metrics = ServingMetrics::intern(&metrics_registry);
+            let mut arena = OpenLoopArena::new();
+            let mut done = Vec::with_capacity(stripe.len());
+            for (index, session_spec) in stripe {
+                let point_started = Instant::now();
+                let context = |e: String| {
+                    format!(
+                        "point {index} (scenario `{}`, {} rps, seed {}): {e}",
+                        session_spec.scenario.as_deref().unwrap_or("-"),
+                        session_spec.rps.unwrap_or(f64::NAN),
+                        session_spec.seed
+                    )
+                };
+                let session = session_spec.builder().build().map_err(context)?;
+                let report = session
+                    .run_in(&mut arena, &metrics_registry, &metrics)
+                    .map_err(context)?;
+                let point = SweepPoint {
+                    index,
+                    session: session_spec,
+                    report,
+                    wall_ms: (point_started.elapsed().as_secs_f64() * 1000.0).max(MIN_WALL_MS),
+                };
+                on_point(&point);
+                done.push(point);
+            }
+            Ok(done)
+        })
+        .collect();
+    let mut points = Vec::with_capacity(total);
+    for stripe in completed {
+        points.extend(stripe?);
+    }
+
+    let result = SweepResult {
+        spec: spec.clone(),
+        points,
+        total_wall_ms: (started.elapsed().as_secs_f64() * 1000.0).max(MIN_WALL_MS),
+    };
+    result.validate()?;
+    Ok(result)
+}
+
+/// Run a sweep without progress streaming.
+pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResult, String> {
+    run_sweep_streaming(spec, &|_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_workloads::apps::PaperApp;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            name: "tiny".into(),
+            app: PaperApp::IntelligentAssistant,
+            concurrency: 1,
+            policies: vec!["GrandSLAM".into(), "Janus".into()],
+            scenarios: vec!["poisson".into(), "flash-crowd".into()],
+            loads_rps: vec![2.0],
+            seeds: vec![7, 11],
+            autoscalers: None,
+            admissions: None,
+            cluster: None,
+            requests: 30,
+            samples_per_point: 250,
+            budget_step_ms: 10.0,
+        }
+    }
+
+    #[test]
+    fn sweeps_cover_the_grid_in_order_and_stream_every_point() {
+        let spec = tiny_spec();
+        let streamed = AtomicUsize::new(0);
+        let result = run_sweep_streaming(&spec, &|point| {
+            streamed.fetch_add(1, Ordering::SeqCst);
+            assert!(point.progress_line(4).contains("rps"));
+        })
+        .unwrap();
+        assert_eq!(streamed.load(Ordering::SeqCst), 4);
+        assert_eq!(result.points.len(), 4);
+        result.validate().unwrap();
+        // Grid order: poisson/7, poisson/11, flash-crowd/7, flash-crowd/11.
+        let scenarios: Vec<_> = result
+            .points
+            .iter()
+            .map(|p| (p.session.scenario.clone().unwrap(), p.session.seed))
+            .collect();
+        assert_eq!(
+            scenarios,
+            vec![
+                ("poisson".to_string(), 7),
+                ("poisson".to_string(), 11),
+                ("flash-crowd".to_string(), 7),
+                ("flash-crowd".to_string(), 11)
+            ]
+        );
+        // Seeds change the outcome; the same seed reproduces it.
+        let a = result.point("poisson", 2.0, 7, None, None).unwrap();
+        let b = result.point("poisson", 2.0, 11, None, None).unwrap();
+        assert_ne!(
+            a.report.serving("Janus").unwrap(),
+            b.report.serving("Janus").unwrap()
+        );
+        let rerun = run_sweep(&spec).unwrap();
+        for (x, y) in result.points.iter().zip(&rerun.points) {
+            assert_eq!(
+                x.report.serving("GrandSLAM").unwrap(),
+                y.report.serving("GrandSLAM").unwrap()
+            );
+        }
+        // Display and JSON views cover every point.
+        let shown = format!("{result}");
+        assert!(shown.contains("flash-crowd"), "{shown}");
+        let doc = janus_json::parse(&result.to_json().to_pretty()).unwrap();
+        assert_eq!(doc.require("points").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(doc.require("experiment").unwrap().as_str(), Some("sweep"));
+    }
+
+    #[test]
+    fn capacity_axes_flow_into_the_sessions() {
+        use janus_simcore::cluster::{ClusterConfig, PlacementPolicy};
+        use janus_simcore::resources::Millicores;
+        let spec = SweepSpec {
+            scenarios: vec!["flash-crowd".into()],
+            policies: vec!["GrandSLAM".into()],
+            loads_rps: vec![6.0],
+            seeds: vec![7],
+            autoscalers: Some(vec!["queue-depth".into()]),
+            admissions: Some(vec!["token-bucket".into()]),
+            cluster: Some(ClusterConfig {
+                nodes: 2,
+                node_capacity: Millicores::from_cores(8),
+                placement: PlacementPolicy::Spread,
+            }),
+            requests: 60,
+            ..tiny_spec()
+        };
+        let result = run_sweep(&spec).unwrap();
+        assert_eq!(result.points.len(), 1);
+        let report = &result.points[0].report;
+        assert_eq!(report.autoscaler.as_deref(), Some("queue-depth"));
+        assert_eq!(report.admission.as_deref(), Some("token-bucket"));
+        let capacity = report
+            .serving("GrandSLAM")
+            .unwrap()
+            .capacity
+            .as_ref()
+            .expect("capacity report present");
+        assert_eq!(capacity.admitted + capacity.shed, 60);
+    }
+
+    #[test]
+    fn bad_names_fail_fast_and_point_at_the_key() {
+        let err = run_sweep(&SweepSpec {
+            policies: vec!["GrandSLAM".into(), "Janux".into()],
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(
+            err.contains("`policies[1]`: unknown policy `Janux`"),
+            "{err}"
+        );
+        let err = run_sweep(&SweepSpec {
+            scenarios: vec!["tsunami".into()],
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(err.contains("`scenarios[0]`"), "{err}");
+        assert!(err.contains("unknown scenario `tsunami`"), "{err}");
+        let err = run_sweep(&SweepSpec {
+            autoscalers: Some(vec!["hypergrowth".into()]),
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(err.contains("`autoscalers[0]`"), "{err}");
+        let err = run_sweep(&SweepSpec {
+            admissions: Some(vec!["bouncer".into()]),
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(err.contains("`admissions[0]`"), "{err}");
+        let err = run_sweep(&SweepSpec {
+            loads_rps: vec![],
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(err.contains("`loads_rps`"), "{err}");
+    }
+}

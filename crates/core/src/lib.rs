@@ -39,8 +39,14 @@
 //! * [`comparison`] — the legacy paired-comparison surface, now a thin shim
 //!   over [`session`] (the closed `PolicyKind` enum maps one-to-one onto the
 //!   registry's built-in names).
-//! * [`experiments`] — one runner per table/figure of the paper's evaluation
-//!   (see `DESIGN.md` for the experiment index).
+//! * [`experiments`] — the declarative experiment layer: an object-safe
+//!   [`Experiment`](experiments::Experiment) trait behind an open
+//!   [`ExperimentRegistry`](experiments::ExperimentRegistry) (one built-in
+//!   per table/figure of the paper's evaluation, run by name through the
+//!   `janus` CLI), plus [`SweepSpec`](experiments::SweepSpec) — a
+//!   serializable grid of policies × scenarios × loads × seeds × capacity
+//!   configs executed in parallel by
+//!   [`run_sweep`](experiments::run_sweep). See `DESIGN.md` §3.
 //!
 //! ## Quickstart
 //!

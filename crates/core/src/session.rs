@@ -559,6 +559,28 @@ impl ServingSession {
     /// every configured policy. Deterministic in the session seed: running
     /// twice yields identical reports.
     pub fn run(&self) -> Result<SessionReport, String> {
+        // Metric names resolve exactly once per session; every policy run
+        // records through the same pre-interned handles.
+        let metrics_registry = MetricsRegistry::new();
+        let metrics = ServingMetrics::intern(&metrics_registry);
+        let mut arena = OpenLoopArena::new();
+        self.run_in(&mut arena, &metrics_registry, &metrics)
+    }
+
+    /// [`run`](Self::run) with caller-provided scratch state: the open-loop
+    /// arena and the interned metric handles. Sweep drivers running many
+    /// sessions back-to-back pass the same arena/handles for every grid
+    /// point, so the engine heap, in-flight table and metric interning are
+    /// paid once per worker thread instead of once per point. The registry
+    /// is reset on entry (handles stay attached), so the embedded snapshot
+    /// is identical to a fresh run's.
+    pub fn run_in(
+        &self,
+        arena: &mut OpenLoopArena,
+        metrics_registry: &MetricsRegistry,
+        metrics: &ServingMetrics,
+    ) -> Result<SessionReport, String> {
+        metrics_registry.reset();
         let profiler = Profiler::new(ProfilerConfig {
             samples_per_point: self.samples_per_point,
             seed: self.seed ^ 0x5EED,
@@ -597,21 +619,13 @@ impl ServingSession {
             synthesis: self.synthesis,
         };
 
-        // Metric names resolve exactly once per session; every policy run
-        // records through the same pre-interned handles, and the open-loop
-        // arena carries the engine/in-flight allocations across the paired
-        // runs.
-        let metrics_registry = MetricsRegistry::new();
-        let metrics = ServingMetrics::intern(&metrics_registry);
-        let mut arena = OpenLoopArena::new();
-
         let mut policies = Vec::with_capacity(self.policies.len());
         for name in &self.policies {
             let mut built = self.registry.build(name, &ctx)?;
             let serving = match self.load {
                 Load::Closed { .. } => {
                     ClosedLoopExecutor::new(self.workflow.clone(), exec_config.clone())
-                        .run_instrumented(built.policy.as_mut(), &requests, Some(&metrics))
+                        .run_instrumented(built.policy.as_mut(), &requests, Some(metrics))
                 }
                 Load::Open { rps, .. } => {
                     let open_config = OpenLoopConfig {
@@ -641,8 +655,8 @@ impl ServingSession {
                         let mut serving = sim.run_with_capacity(
                             built.policy.as_mut(),
                             &requests,
-                            &mut arena,
-                            Some(&metrics),
+                            &mut *arena,
+                            Some(metrics),
                             Some(CapacityControls {
                                 autoscaler: autoscaler.as_mut(),
                                 admission: admission.as_mut(),
@@ -660,8 +674,8 @@ impl ServingSession {
                         sim.run_instrumented(
                             built.policy.as_mut(),
                             &requests,
-                            &mut arena,
-                            Some(&metrics),
+                            &mut *arena,
+                            Some(metrics),
                         )
                     }
                 }

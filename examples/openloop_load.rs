@@ -88,7 +88,7 @@ fn main() -> Result<(), String> {
     }
     println!(
         "\nEvery scenario offers the same long-run 1.25 rps; burstiness alone moves the \
-         tail. `cargo run -p janus-bench --bin scenarios` sweeps the full \
+         tail. `cargo run -p janus-bench --bin janus -- run scenarios` sweeps the full \
          scenario × policy grid."
     );
     Ok(())

@@ -1,0 +1,213 @@
+//! End-to-end tests of the declarative experiment surface: the golden spec
+//! files under `specs/` decode, run, and reproduce — bit for bit — what the
+//! pre-redesign hand-written sweeps computed.
+
+use janus_core::experiments::{run_sweep, scenario_sweep, ScenarioSweepConfig, SweepSpec, ToJson};
+use janus_workloads::apps::PaperApp;
+use std::str::FromStr as _;
+
+/// Read a committed spec file from the repo-root `specs/` directory.
+fn golden_spec(file: &str) -> SweepSpec {
+    let path = format!("{}/../../specs/{file}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read committed spec {path}: {e}"));
+    SweepSpec::from_str(&text).unwrap_or_else(|e| panic!("{file} does not decode: {e}"))
+}
+
+#[test]
+fn smoke_spec_runs_end_to_end_and_is_deterministic() {
+    let spec = golden_spec("smoke.json");
+    assert_eq!(spec.name, "smoke");
+    let first = run_sweep(&spec).unwrap();
+    first.validate().unwrap();
+    assert_eq!(first.points.len(), spec.grid_size());
+    let second = run_sweep(&spec).unwrap();
+    for (a, b) in first.points.iter().zip(&second.points) {
+        assert_eq!(a.session, b.session);
+        for policy in &spec.policies {
+            assert_eq!(
+                a.report.serving(policy).unwrap(),
+                b.report.serving(policy).unwrap(),
+                "smoke sweep must be deterministic for its fixed seed"
+            );
+        }
+        assert_eq!(a.report.metrics, b.report.metrics);
+    }
+    // The machine view decodes cleanly.
+    let doc = janus_json::parse(&first.to_json().to_pretty()).unwrap();
+    assert_eq!(doc.require("experiment").unwrap().as_str(), Some("sweep"));
+    assert_eq!(
+        doc.require("points").unwrap().as_array().unwrap().len(),
+        first.points.len()
+    );
+}
+
+#[test]
+fn scenario_policy_spec_reproduces_the_handwritten_sweep_bit_for_bit() {
+    // The committed spec describes the same grid the hand-written
+    // `scenario_sweep` runner (PR 2) computes. The spec-driven driver must
+    // reproduce it exactly — same serving outcomes, same pooled metrics —
+    // even though it runs through `SessionSpec::builder` and reuses one
+    // arena + interned handles across grid points.
+    let spec = golden_spec("scenario_policy.json");
+    assert_eq!(spec.loads_rps.len(), 1);
+    assert_eq!(spec.seeds.len(), 1);
+    let config = ScenarioSweepConfig {
+        app: PaperApp::IntelligentAssistant,
+        concurrency: spec.concurrency,
+        scenarios: spec.scenarios.clone(),
+        policies: spec.policies.clone(),
+        requests: spec.requests,
+        rps: spec.loads_rps[0],
+        seed: spec.seeds[0],
+        samples_per_point: spec.samples_per_point,
+        budget_step_ms: spec.budget_step_ms,
+    };
+    let handwritten = scenario_sweep(&config).unwrap();
+    let spec_driven = run_sweep(&spec).unwrap();
+    assert_eq!(spec_driven.points.len(), handwritten.cells.len());
+    for (point, cell) in spec_driven.points.iter().zip(&handwritten.cells) {
+        assert_eq!(
+            point.session.scenario.as_deref(),
+            Some(cell.scenario.as_str())
+        );
+        assert_eq!(point.report.scenario, cell.report.scenario);
+        assert_eq!(point.report.names(), cell.report.names());
+        for policy in &spec.policies {
+            assert_eq!(
+                point.report.serving(policy).unwrap(),
+                cell.report.serving(policy).unwrap(),
+                "scenario `{}` / policy `{policy}` diverged from the \
+                 pre-redesign sweep",
+                cell.scenario
+            );
+            // Synthesis artefacts match on everything but wall-clock time.
+            let synth = |r: &janus_core::session::SessionReport| {
+                r.report(policy).unwrap().synthesis.as_ref().map(|s| {
+                    (
+                        s.raw_hints,
+                        s.condensed_hints,
+                        s.compression_ratio.to_bits(),
+                        s.variant.clone(),
+                    )
+                })
+            };
+            assert_eq!(synth(&point.report), synth(&cell.report));
+        }
+        assert_eq!(
+            point.report.metrics, cell.report.metrics,
+            "scenario `{}`: pooled hot-path metrics diverged",
+            cell.scenario
+        );
+    }
+}
+
+#[test]
+fn capacity_grid_spec_expresses_what_the_old_binaries_could_not() {
+    // flash-crowd × queue-depth autoscaler × token-bucket admission × 3
+    // seeds: the retired `capacity` binary hard-coded {static, utilization}
+    // × {admit-all, queue-shed} × 1 seed; this grid runs from a committed
+    // spec file alone.
+    let spec = golden_spec("capacity_grid.json");
+    assert_eq!(spec.seeds, vec![7, 11, 13]);
+    let result = run_sweep(&spec).unwrap();
+    result.validate().unwrap();
+    assert_eq!(result.points.len(), 3);
+    for point in &result.points {
+        let report = &point.report;
+        assert_eq!(report.autoscaler.as_deref(), Some("queue-depth"));
+        assert_eq!(report.admission.as_deref(), Some("token-bucket"));
+        let serving = report.serving("GrandSLAM").unwrap();
+        let capacity = serving.capacity.as_ref().expect("capacity-controlled run");
+        assert_eq!(
+            capacity.admitted + capacity.shed,
+            spec.requests,
+            "seed {}: requests not conserved",
+            point.session.seed
+        );
+        assert!(capacity.node_seconds > 0.0);
+    }
+    // Different seeds genuinely vary the outcome.
+    let by_seed = |seed| {
+        result
+            .point(
+                "flash-crowd",
+                6.0,
+                seed,
+                Some("queue-depth"),
+                Some("token-bucket"),
+            )
+            .unwrap()
+    };
+    assert_ne!(
+        by_seed(7).report.serving("GrandSLAM").unwrap(),
+        by_seed(11).report.serving("GrandSLAM").unwrap()
+    );
+    // Valid, decode-checked JSON output from the spec run alone.
+    let encoded = result.to_json().to_pretty();
+    let doc = janus_json::parse(&encoded).unwrap();
+    let points = doc.require("points").unwrap().as_array().unwrap();
+    assert_eq!(points.len(), 3);
+    for point in points {
+        let policies = point.require("policies").unwrap().as_array().unwrap();
+        assert_eq!(
+            policies[0].require("name").unwrap().as_str(),
+            Some("GrandSLAM")
+        );
+        assert!(policies[0]
+            .require("slo_attainment")
+            .unwrap()
+            .as_f64()
+            .is_some());
+    }
+}
+
+#[test]
+fn invalid_specs_point_at_the_offending_key() {
+    // Unknown names pass decoding (they are registry questions) but fail
+    // name resolution before anything runs, naming the offending key.
+    let unknown_policy = r#"{
+        "name": "bad", "app": "IA",
+        "policies": ["GrandSLAM", "Janux"],
+        "scenarios": ["poisson"], "loads_rps": [1], "requests": 10
+    }"#;
+    let err = run_sweep(&SweepSpec::from_str(unknown_policy).unwrap()).unwrap_err();
+    assert!(err.contains("`policies[1]`"), "{err}");
+    assert!(err.contains("unknown policy `Janux`"), "{err}");
+    assert!(err.contains("GrandSLAM"), "error lists the registry: {err}");
+
+    let unknown_scenario = r#"{
+        "name": "bad", "app": "IA",
+        "policies": ["GrandSLAM"],
+        "scenarios": ["poisson", "tsunami"], "loads_rps": [1], "requests": 10
+    }"#;
+    let err = run_sweep(&SweepSpec::from_str(unknown_scenario).unwrap()).unwrap_err();
+    assert!(err.contains("`scenarios[1]`"), "{err}");
+    assert!(err.contains("unknown scenario `tsunami`"), "{err}");
+
+    // Structural mistakes fail at decode time, also naming the key.
+    let err = SweepSpec::from_str(r#"{"name": "bad", "app": "IA"}"#).unwrap_err();
+    assert!(err.contains("missing required key `policies`"), "{err}");
+    let err = SweepSpec::from_str(
+        r#"{"name": "bad", "app": "IA", "policies": ["Janus"],
+            "scenarios": ["poisson"], "loads_rps": [1], "requests": 10,
+            "autoscaler": ["static"]}"#,
+    )
+    .unwrap_err();
+    assert!(err.contains("unknown key `autoscaler`"), "{err}");
+    assert!(err.contains("autoscalers"), "suggests the real key: {err}");
+}
+
+#[test]
+fn every_committed_spec_decodes_and_reencodes_canonically() {
+    for file in ["smoke.json", "scenario_policy.json", "capacity_grid.json"] {
+        let spec = golden_spec(file);
+        spec.validate().unwrap_or_else(|e| panic!("{file}: {e}"));
+        // Encode → decode → encode is stable, so artefacts embedding the
+        // spec (sweep outputs) stay diffable.
+        let encoded = spec.to_json().to_pretty();
+        let decoded = SweepSpec::from_str(&encoded).unwrap();
+        assert_eq!(decoded, spec, "{file} does not round-trip");
+        assert_eq!(decoded.to_json().to_pretty(), encoded);
+    }
+}
