@@ -12,6 +12,7 @@
 //! and `run_all` binaries are thin `main`s over this module.
 
 use crate::BenchFlags;
+use janus_chaos::FaultRegistry;
 use janus_core::experiments::{run_sweep_streaming, ExperimentRegistry, Scale, SweepSpec};
 use janus_core::registry::PolicyRegistry;
 use janus_json::Value;
@@ -23,7 +24,7 @@ use std::str::FromStr as _;
 pub const USAGE: &str = "usage: janus <command> [flags]\n\
     commands:\n\
     \x20 list                 enumerate registered experiments, policies, scenarios,\n\
-    \x20                      autoscalers and admission policies\n\
+    \x20                      autoscalers, admission policies and fault injectors\n\
     \x20 run <experiment>     run one experiment by name (see `janus list`)\n\
     \x20 sweep <spec.json>    run a declarative sweep grid from a JSON spec file\n\
     \x20 all                  run every registered experiment\n\
@@ -140,6 +141,11 @@ pub fn listing() -> String {
         &mut out,
         "admission policies",
         AdmissionRegistry::with_builtins().names(),
+    );
+    section(
+        &mut out,
+        "fault injectors",
+        FaultRegistry::with_builtins().names(),
     );
     out
 }
@@ -296,6 +302,8 @@ mod tests {
             "flash-crowd",
             "autoscalers: static, utilization, queue-depth",
             "admission policies: admit-all, token-bucket, queue-shed",
+            "fault injectors: node-crash, spot-preempt, zone-outage, slow-node",
+            "chaos_resilience",
         ] {
             assert!(
                 listing.contains(needle),
@@ -316,6 +324,7 @@ mod tests {
             seeds: vec![1, 2, 3],
             autoscalers: None,
             admissions: None,
+            faults: None,
             cluster: None,
             requests: 500,
             samples_per_point: 1000,

@@ -308,8 +308,8 @@ impl ExperimentRegistry {
     /// tables/figures, the synthesis studies, the scenario/capacity sweeps
     /// and the perf trajectory.
     pub fn with_builtins() -> Self {
-        use crate::experiments::{capacity_sweep, metrics, motivation, overall, perf};
-        use crate::experiments::{scenario_sweep, slo_sweep, synthesis};
+        use crate::experiments::{capacity_sweep, chaos_resilience, metrics, motivation};
+        use crate::experiments::{overall, perf, scenario_sweep, slo_sweep, synthesis};
         let mut registry = ExperimentRegistry::new();
         registry.register(Arc::new(motivation::Fig1aExperiment));
         registry.register(Arc::new(motivation::Fig1bExperiment));
@@ -326,6 +326,7 @@ impl ExperimentRegistry {
         registry.register(Arc::new(synthesis::OverheadExperiment));
         registry.register(Arc::new(scenario_sweep::ScenarioSweepExperiment));
         registry.register(Arc::new(capacity_sweep::CapacitySweepExperiment));
+        registry.register(Arc::new(chaos_resilience::ChaosResilienceExperiment));
         registry.register(Arc::new(perf::PerfExperiment));
         registry
     }
@@ -467,6 +468,7 @@ mod tests {
             "overhead",
             "scenarios",
             "capacity",
+            "chaos_resilience",
             "perf",
         ] {
             assert!(
@@ -475,7 +477,7 @@ mod tests {
             );
             registry.ensure_known(name).unwrap();
         }
-        assert_eq!(registry.len(), 16);
+        assert_eq!(registry.len(), 17);
         for (name, describe) in registry.catalog() {
             assert!(!describe.is_empty(), "`{name}` has no description");
         }

@@ -67,6 +67,7 @@ impl CapacitySweepConfig {
             nodes: 2,
             node_capacity: Millicores::from_cores(8),
             placement: PlacementPolicy::Spread,
+            zones: 1,
         }
     }
 

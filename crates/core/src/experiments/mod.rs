@@ -18,6 +18,7 @@
 
 pub mod api;
 pub mod capacity_sweep;
+pub mod chaos_resilience;
 pub mod metrics;
 pub mod motivation;
 pub mod overall;
@@ -33,6 +34,9 @@ pub use api::{
     Experiment, ExperimentCtx, ExperimentOutput, ExperimentRegistry, ExperimentResult, Scale,
 };
 pub use capacity_sweep::{capacity_sweep, CapacityCell, CapacitySweepConfig, CapacitySweepResult};
+pub use chaos_resilience::{
+    chaos_resilience, ChaosCell, ChaosResilienceConfig, ChaosResilienceResult,
+};
 pub use metrics::{fig7_timeout_resilience, Fig7Result};
 pub use motivation::{
     fig1a_slack_cdf, fig1b_workset_variance, fig1c_interference, fig2_binding_comparison,

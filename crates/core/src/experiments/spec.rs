@@ -46,6 +46,8 @@ pub struct SessionSpec {
     pub autoscaler: Option<String>,
     /// Admission-policy name (open loop only).
     pub admission: Option<String>,
+    /// Fault-injector name (open loop only; `None` runs fault-free).
+    pub fault: Option<String>,
     /// Cluster layout; `None` keeps the paper's single 52-core node.
     pub cluster: Option<ClusterConfig>,
     /// Request / profiling seed.
@@ -88,6 +90,9 @@ impl SessionSpec {
         if let Some(admission) = &self.admission {
             builder = builder.admission(admission);
         }
+        if let Some(fault) = &self.fault {
+            builder = builder.fault(fault);
+        }
         builder
     }
 
@@ -117,6 +122,7 @@ impl SessionSpec {
             ("scenario", &self.scenario),
             ("autoscaler", &self.autoscaler),
             ("admission", &self.admission),
+            ("fault", &self.fault),
         ] {
             if let Some(name) = field {
                 members.push((key.to_string(), Value::Str(name.clone())));
@@ -161,6 +167,8 @@ pub struct SweepSpec {
     pub autoscalers: Option<Vec<String>>,
     /// Admission-policy axis; `None` admits everything everywhere.
     pub admissions: Option<Vec<String>>,
+    /// Fault-injector axis; `None` runs every point fault-free.
+    pub faults: Option<Vec<String>>,
     /// Cluster layout; `None` keeps the paper's single 52-core node.
     pub cluster: Option<ClusterConfig>,
     /// Requests generated per policy per grid point.
@@ -188,6 +196,10 @@ impl SweepSpec {
             (
                 "admissions",
                 self.admissions.as_deref().is_some_and(<[_]>::is_empty),
+            ),
+            (
+                "faults",
+                self.faults.as_deref().is_some_and(<[_]>::is_empty),
             ),
         ] {
             if empty {
@@ -229,40 +241,45 @@ impl SweepSpec {
             * self.seeds.len()
             * self.autoscalers.as_ref().map_or(1, Vec::len)
             * self.admissions.as_ref().map_or(1, Vec::len)
+            * self.faults.as_ref().map_or(1, Vec::len)
     }
 
     /// Expand the axes into the cartesian grid of session specs, in
     /// deterministic order: scenario-major, then load, seed, autoscaler,
-    /// admission.
+    /// admission, fault.
     pub fn expand(&self) -> Vec<SessionSpec> {
-        let autoscalers: Vec<Option<String>> = match &self.autoscalers {
-            Some(names) => names.iter().cloned().map(Some).collect(),
-            None => vec![None],
+        let optionals = |axis: &Option<Vec<String>>| -> Vec<Option<String>> {
+            match axis {
+                Some(names) => names.iter().cloned().map(Some).collect(),
+                None => vec![None],
+            }
         };
-        let admissions: Vec<Option<String>> = match &self.admissions {
-            Some(names) => names.iter().cloned().map(Some).collect(),
-            None => vec![None],
-        };
+        let autoscalers = optionals(&self.autoscalers);
+        let admissions = optionals(&self.admissions);
+        let faults = optionals(&self.faults);
         let mut points = Vec::with_capacity(self.grid_size());
         for scenario in &self.scenarios {
             for &rps in &self.loads_rps {
                 for &seed in &self.seeds {
                     for autoscaler in &autoscalers {
                         for admission in &admissions {
-                            points.push(SessionSpec {
-                                app: self.app,
-                                concurrency: self.concurrency,
-                                policies: self.policies.clone(),
-                                requests: self.requests,
-                                rps: Some(rps),
-                                scenario: Some(scenario.clone()),
-                                autoscaler: autoscaler.clone(),
-                                admission: admission.clone(),
-                                cluster: self.cluster.clone(),
-                                seed,
-                                samples_per_point: self.samples_per_point,
-                                budget_step_ms: self.budget_step_ms,
-                            });
+                            for fault in &faults {
+                                points.push(SessionSpec {
+                                    app: self.app,
+                                    concurrency: self.concurrency,
+                                    policies: self.policies.clone(),
+                                    requests: self.requests,
+                                    rps: Some(rps),
+                                    scenario: Some(scenario.clone()),
+                                    autoscaler: autoscaler.clone(),
+                                    admission: admission.clone(),
+                                    fault: fault.clone(),
+                                    cluster: self.cluster.clone(),
+                                    seed,
+                                    samples_per_point: self.samples_per_point,
+                                    budget_step_ms: self.budget_step_ms,
+                                });
+                            }
                         }
                     }
                 }
@@ -300,6 +317,9 @@ impl SweepSpec {
         if let Some(admissions) = &self.admissions {
             members.push(("admissions".to_string(), strings(admissions)));
         }
+        if let Some(faults) = &self.faults {
+            members.push(("faults".to_string(), strings(faults)));
+        }
         if let Some(cluster) = &self.cluster {
             members.push(("cluster".to_string(), cluster_to_json(cluster)));
         }
@@ -330,6 +350,7 @@ impl SweepSpec {
                 "seeds",
                 "autoscalers",
                 "admissions",
+                "faults",
                 "cluster",
                 "requests",
                 "samples_per_point",
@@ -346,6 +367,7 @@ impl SweepSpec {
             seeds: obj.u64_list_or("seeds", &[7])?,
             autoscalers: obj.optional_string_list("autoscalers")?,
             admissions: obj.optional_string_list("admissions")?,
+            faults: obj.optional_string_list("faults")?,
             cluster: obj.cluster("cluster")?,
             requests: obj.usize("requests")?,
             samples_per_point: obj.usize_or("samples_per_point", 1000)?,
@@ -367,7 +389,7 @@ impl std::str::FromStr for SweepSpec {
 }
 
 fn cluster_to_json(cluster: &ClusterConfig) -> Value {
-    Value::Obj(vec![
+    let mut members = vec![
         ("nodes".to_string(), Value::Num(cluster.nodes as f64)),
         (
             "node_capacity_mc".to_string(),
@@ -383,7 +405,13 @@ fn cluster_to_json(cluster: &ClusterConfig) -> Value {
                 .to_string(),
             ),
         ),
-    ])
+    ];
+    // Emitted only for multi-zone topologies, so single-zone specs written
+    // before zones existed still round-trip byte-identically.
+    if cluster.zones > 1 {
+        members.push(("zones".to_string(), Value::Num(cluster.zones as f64)));
+    }
+    Value::Obj(members)
 }
 
 /// Strict object decoder with key-qualified error messages.
@@ -544,7 +572,7 @@ impl<'a> Decoder<'a> {
         let Some(value) = self.get(key) else {
             return Ok(None);
         };
-        let obj = Decoder::new(value, &["nodes", "node_capacity_mc", "placement"])
+        let obj = Decoder::new(value, &["nodes", "node_capacity_mc", "placement", "zones"])
             .map_err(|e| format!("`{key}`: {e}"))?;
         let placement = match obj.string("placement")?.as_str() {
             "spread" => PlacementPolicy::Spread,
@@ -563,6 +591,7 @@ impl<'a> Decoder<'a> {
             nodes: obj.usize("nodes")?,
             node_capacity: Millicores(node_capacity),
             placement,
+            zones: obj.usize_or("zones", 1)?,
         }))
     }
 }
@@ -583,6 +612,7 @@ mod tests {
             seeds: vec![7, 11],
             autoscalers: None,
             admissions: None,
+            faults: None,
             cluster: None,
             requests: 30,
             samples_per_point: 250,
@@ -624,6 +654,7 @@ mod tests {
             nodes: 2,
             node_capacity: Millicores::from_cores(8),
             placement: PlacementPolicy::Spread,
+            zones: 1,
         });
         let first = spec.to_json().to_pretty();
         let decoded = SweepSpec::from_str(&first).unwrap();
@@ -643,6 +674,55 @@ mod tests {
                 .and_then(|v| v.as_f64()),
             Some(8000.0)
         );
+    }
+
+    #[test]
+    fn fault_axis_and_zones_round_trip_and_expand_innermost() {
+        let mut spec = tiny_spec();
+        spec.scenarios = vec!["flash-crowd".into()];
+        spec.seeds = vec![7];
+        spec.autoscalers = Some(vec!["static".into(), "utilization".into()]);
+        spec.faults = Some(vec!["zone-outage".into(), "node-crash".into()]);
+        spec.cluster = Some(ClusterConfig {
+            nodes: 4,
+            node_capacity: Millicores::from_cores(8),
+            placement: PlacementPolicy::Spread,
+            zones: 2,
+        });
+        assert_eq!(spec.grid_size(), 4);
+        let points = spec.expand();
+        // Fault is the innermost axis.
+        assert_eq!(points[0].fault.as_deref(), Some("zone-outage"));
+        assert_eq!(points[1].fault.as_deref(), Some("node-crash"));
+        assert_eq!(points[0].autoscaler, points[1].autoscaler);
+        assert_eq!(points[2].autoscaler.as_deref(), Some("utilization"));
+        // Byte-identical JSON round-trip, zones included.
+        let text = spec.to_json().to_pretty();
+        let decoded = SweepSpec::from_str(&text).unwrap();
+        assert_eq!(decoded, spec);
+        assert_eq!(decoded.to_json().to_pretty(), text);
+        assert!(text.contains("\"zones\""), "{text}");
+        // Single-zone clusters keep the pre-zones encoding (no `zones` key).
+        let mut flat = tiny_spec();
+        flat.cluster = Some(ClusterConfig {
+            zones: 1,
+            ..spec.cluster.clone().unwrap()
+        });
+        assert!(!flat.to_json().to_pretty().contains("\"zones\""));
+        // Session specs carry the fault through to the JSON view.
+        let doc = points[0].to_json();
+        assert_eq!(
+            doc.get("fault").and_then(|v| v.as_str()),
+            Some("zone-outage")
+        );
+        // An empty faults axis is rejected like every other axis.
+        let err = SweepSpec {
+            faults: Some(vec![]),
+            ..tiny_spec()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("`faults`"), "{err}");
     }
 
     #[test]

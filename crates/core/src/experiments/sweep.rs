@@ -64,6 +64,7 @@ impl SweepPoint {
             Some(format!("seed {}", self.session.seed)),
             self.session.autoscaler.as_deref().map(str::to_string),
             self.session.admission.as_deref().map(str::to_string),
+            self.session.fault.as_deref().map(str::to_string),
         ];
         let axes: Vec<String> = axes.into_iter().flatten().collect();
         format!(
@@ -96,6 +97,7 @@ impl SweepResult {
         seed: u64,
         autoscaler: Option<&str>,
         admission: Option<&str>,
+        fault: Option<&str>,
     ) -> Option<&SweepPoint> {
         self.points.iter().find(|p| {
             p.session.scenario.as_deref() == Some(scenario)
@@ -103,6 +105,7 @@ impl SweepResult {
                 && p.session.seed == seed
                 && p.session.autoscaler.as_deref() == autoscaler
                 && p.session.admission.as_deref() == admission
+                && p.session.fault.as_deref() == fault
         })
     }
 
@@ -151,28 +154,32 @@ impl fmt::Display for SweepResult {
         )?;
         writeln!(
             f,
-            "{:>14} {:>7} {:>6} {:>12} {:>12} {:>12} {:>10} {:>10} {:>9} {:>7}",
+            "{:>14} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>9} {:>7} {:>7}",
             "scenario",
             "rps",
             "seed",
             "autoscaler",
             "admission",
+            "fault",
             "policy",
             "attain %",
             "cpu mc",
             "p99 s",
-            "shed"
+            "shed",
+            "failed"
         )?;
         for point in &self.points {
             for policy in &point.report.policies {
                 writeln!(
                     f,
-                    "{:>14} {:>7} {:>6} {:>12} {:>12} {:>12} {:>10.1} {:>10.1} {:>9} {:>7}",
+                    "{:>14} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12} {:>10.1} {:>10.1} {:>9} \
+                     {:>7} {:>7}",
                     point.session.scenario.as_deref().unwrap_or("-"),
                     point.session.rps.unwrap_or(f64::NAN),
                     point.session.seed,
                     point.session.autoscaler.as_deref().unwrap_or("-"),
                     point.session.admission.as_deref().unwrap_or("-"),
+                    point.session.fault.as_deref().unwrap_or("-"),
                     policy.name,
                     policy.slo_attainment() * 100.0,
                     policy.serving.mean_cpu_millicores(),
@@ -182,6 +189,7 @@ impl fmt::Display for SweepResult {
                         .map(|d| format!("{:.2}", d.as_secs()))
                         .unwrap_or_else(|| "-".into()),
                     policy.serving.shed_len(),
+                    policy.serving.failed_len(),
                 )?;
             }
         }
@@ -219,6 +227,30 @@ impl ToJson for SweepResult {
                                 Value::Num(p.serving.served_len() as f64),
                             ),
                             ("shed".to_string(), Value::Num(p.serving.shed_len() as f64)),
+                            (
+                                "failed".to_string(),
+                                Value::Num(p.serving.failed_len() as f64),
+                            ),
+                            (
+                                "retried".to_string(),
+                                Value::Num(
+                                    p.serving.capacity.as_ref().map_or(0, |c| c.retried) as f64
+                                ),
+                            ),
+                            (
+                                "nodes_lost".to_string(),
+                                Value::Num(
+                                    p.serving.capacity.as_ref().map_or(0, |c| c.nodes_lost) as f64
+                                ),
+                            ),
+                            (
+                                "node_seconds".to_string(),
+                                p.serving
+                                    .capacity
+                                    .as_ref()
+                                    .map(|c| Value::Num(c.node_seconds))
+                                    .unwrap_or(Value::Null),
+                            ),
                         ])
                     })
                     .collect();
@@ -272,6 +304,12 @@ fn resolve_names(spec: &SweepSpec) -> Result<(), String> {
         admissions
             .ensure_known(name)
             .map_err(|e| format!("`admissions[{i}]`: {e}"))?;
+    }
+    let faults = janus_chaos::FaultRegistry::with_builtins();
+    for (i, name) in spec.faults.iter().flatten().enumerate() {
+        faults
+            .ensure_known(name)
+            .map_err(|e| format!("`faults[{i}]`: {e}"))?;
     }
     Ok(())
 }
@@ -371,6 +409,7 @@ mod tests {
             seeds: vec![7, 11],
             autoscalers: None,
             admissions: None,
+            faults: None,
             cluster: None,
             requests: 30,
             samples_per_point: 250,
@@ -406,8 +445,8 @@ mod tests {
             ]
         );
         // Seeds change the outcome; the same seed reproduces it.
-        let a = result.point("poisson", 2.0, 7, None, None).unwrap();
-        let b = result.point("poisson", 2.0, 11, None, None).unwrap();
+        let a = result.point("poisson", 2.0, 7, None, None, None).unwrap();
+        let b = result.point("poisson", 2.0, 11, None, None, None).unwrap();
         assert_ne!(
             a.report.serving("Janus").unwrap(),
             b.report.serving("Janus").unwrap()
@@ -442,6 +481,7 @@ mod tests {
                 nodes: 2,
                 node_capacity: Millicores::from_cores(8),
                 placement: PlacementPolicy::Spread,
+                zones: 1,
             }),
             requests: 60,
             ..tiny_spec()
@@ -458,6 +498,70 @@ mod tests {
             .as_ref()
             .expect("capacity report present");
         assert_eq!(capacity.admitted + capacity.shed, 60);
+    }
+
+    #[test]
+    fn fault_axes_flow_into_the_sessions_and_stay_deterministic() {
+        use janus_simcore::cluster::{ClusterConfig, PlacementPolicy};
+        use janus_simcore::resources::Millicores;
+        let spec = SweepSpec {
+            scenarios: vec!["flash-crowd".into()],
+            policies: vec!["GrandSLAM".into()],
+            loads_rps: vec![6.0],
+            seeds: vec![7],
+            autoscalers: Some(vec!["static".into()]),
+            admissions: Some(vec!["admit-all".into()]),
+            faults: Some(vec!["zone-outage".into()]),
+            cluster: Some(ClusterConfig {
+                nodes: 4,
+                node_capacity: Millicores::from_cores(8),
+                placement: PlacementPolicy::Spread,
+                zones: 2,
+            }),
+            requests: 60,
+            ..tiny_spec()
+        };
+        let result = run_sweep(&spec).unwrap();
+        assert_eq!(result.points.len(), 1);
+        let point = result
+            .point(
+                "flash-crowd",
+                6.0,
+                7,
+                Some("static"),
+                Some("admit-all"),
+                Some("zone-outage"),
+            )
+            .unwrap();
+        assert!(point.progress_line(1).contains("zone-outage"));
+        let capacity = point
+            .report
+            .serving("GrandSLAM")
+            .unwrap()
+            .capacity
+            .clone()
+            .expect("capacity report present");
+        assert_eq!(capacity.injector.as_deref(), Some("zone-outage"));
+        // Static fleet: the 4 nodes stay round-robined 2 per zone, so the
+        // outage kills exactly the dying zone's pair.
+        assert_eq!(capacity.nodes_lost, 2, "exactly one 2-node zone dies");
+        assert_eq!(capacity.admitted + capacity.shed, 60);
+        // Rerunning the spec reproduces the fault run bit for bit.
+        let rerun = run_sweep(&spec).unwrap();
+        assert_eq!(
+            point.report.serving("GrandSLAM").unwrap(),
+            rerun.points[0].report.serving("GrandSLAM").unwrap()
+        );
+        // The JSON view carries the failure accounting.
+        let doc = janus_json::parse(&result.to_json().to_pretty()).unwrap();
+        let policy = &doc.require("points").unwrap().as_array().unwrap()[0]
+            .require("policies")
+            .unwrap()
+            .as_array()
+            .unwrap()[0];
+        for key in ["failed", "retried", "nodes_lost", "node_seconds"] {
+            assert!(policy.get(key).is_some(), "missing `{key}`");
+        }
     }
 
     #[test]
@@ -490,6 +594,13 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("`admissions[0]`"), "{err}");
+        let err = run_sweep(&SweepSpec {
+            faults: Some(vec!["meteor-strike".into()]),
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(err.contains("`faults[0]`"), "{err}");
+        assert!(err.contains("unknown fault injector"), "{err}");
         let err = run_sweep(&SweepSpec {
             loads_rps: vec![],
             ..tiny_spec()

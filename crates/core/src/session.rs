@@ -39,6 +39,7 @@
 //! special case, reproducing the historical request stream bit for bit.
 
 use crate::registry::{PolicyContext, PolicyFactory, PolicyRegistry, SynthesisSettings};
+use janus_chaos::{FaultContext, FaultRegistry, FaultSchedule};
 use janus_platform::capacity::{AdmissionRegistry, AutoscalerRegistry, CapacityContext};
 use janus_platform::executor::{ClosedLoopExecutor, ExecutorConfig};
 use janus_platform::metrics::ServingMetrics;
@@ -126,6 +127,7 @@ pub struct ServingSessionBuilder {
     cluster: Option<ClusterConfig>,
     autoscaler: Option<String>,
     admission: Option<String>,
+    fault: Option<String>,
     seed: u64,
     samples_per_point: usize,
     synthesis: SynthesisSettings,
@@ -134,6 +136,7 @@ pub struct ServingSessionBuilder {
     scenarios: ScenarioRegistry,
     autoscalers: AutoscalerRegistry,
     admissions: AdmissionRegistry,
+    faults: FaultRegistry,
 }
 
 impl Default for ServingSessionBuilder {
@@ -149,6 +152,7 @@ impl Default for ServingSessionBuilder {
             cluster: None,
             autoscaler: None,
             admission: None,
+            fault: None,
             seed: 7,
             samples_per_point: 1000,
             synthesis: SynthesisSettings::default(),
@@ -157,6 +161,7 @@ impl Default for ServingSessionBuilder {
             scenarios: ScenarioRegistry::with_builtins(),
             autoscalers: AutoscalerRegistry::with_builtins(),
             admissions: AdmissionRegistry::with_builtins(),
+            faults: FaultRegistry::with_builtins(),
         }
     }
 }
@@ -260,6 +265,32 @@ impl ServingSessionBuilder {
     /// are recorded as `Shed` outcomes in every [`ServingReport`].
     pub fn admission(mut self, name: impl Into<String>) -> Self {
         self.admission = Some(name.into());
+        self
+    }
+
+    /// Inject a named fault schedule from the session's [`FaultRegistry`]
+    /// (built-ins: `node-crash`, `spot-preempt`, `zone-outage`, `slow-node`).
+    /// Requires `Load::Open`; the schedule is rebuilt from the session seed
+    /// for every policy run, so paired comparisons face the identical,
+    /// bit-reproducible fault sequence. Interrupted requests are retried or
+    /// recorded as `Failed` outcomes in every [`ServingReport`].
+    pub fn fault(mut self, name: impl Into<String>) -> Self {
+        self.fault = Some(name.into());
+        self
+    }
+
+    /// Replace the fault-injector registry (default: the built-in four).
+    pub fn fault_registry(mut self, faults: FaultRegistry) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Register an additional fault injector on this session's registry.
+    pub fn register_fault_fn<F>(mut self, name: impl Into<String>, schedule: F) -> Self
+    where
+        F: Fn(&FaultContext) -> Result<FaultSchedule, String> + Send + Sync + 'static,
+    {
+        self.faults.register_fn(name, schedule);
         self
     }
 
@@ -454,6 +485,16 @@ impl ServingSessionBuilder {
                 self.admissions.ensure_known(name)?;
             }
         }
+        if let Some(name) = &self.fault {
+            if matches!(self.load, Load::Closed { .. }) {
+                return Err(
+                    "fault injection (.fault(..)) needs .load(Load::Open { .. }) — a \
+                     closed loop has no arrival timeline to schedule faults on"
+                        .into(),
+                );
+            }
+            self.faults.ensure_known(name)?;
+        }
         if self.samples_per_point == 0 {
             return Err("samples_per_point must be at least 1".into());
         }
@@ -467,6 +508,7 @@ impl ServingSessionBuilder {
             cluster: self.cluster,
             autoscaler: self.autoscaler,
             admission: self.admission,
+            fault: self.fault,
             seed: self.seed,
             samples_per_point: self.samples_per_point,
             synthesis: self.synthesis,
@@ -475,6 +517,7 @@ impl ServingSessionBuilder {
             scenarios: self.scenarios,
             autoscalers: self.autoscalers,
             admissions: self.admissions,
+            faults: self.faults,
         })
     }
 
@@ -497,6 +540,7 @@ pub struct ServingSession {
     cluster: Option<ClusterConfig>,
     autoscaler: Option<String>,
     admission: Option<String>,
+    fault: Option<String>,
     seed: u64,
     samples_per_point: usize,
     synthesis: SynthesisSettings,
@@ -505,6 +549,7 @@ pub struct ServingSession {
     scenarios: ScenarioRegistry,
     autoscalers: AutoscalerRegistry,
     admissions: AdmissionRegistry,
+    faults: FaultRegistry,
 }
 
 impl ServingSession {
@@ -637,7 +682,8 @@ impl ServingSession {
                         count_startup_delays: self.count_startup_delays,
                     };
                     let sim = OpenLoopSimulation::new(self.workflow.clone(), open_config);
-                    if self.autoscaler.is_some() || self.admission.is_some() {
+                    if self.autoscaler.is_some() || self.admission.is_some() || self.fault.is_some()
+                    {
                         // Fresh capacity policies per policy run: every
                         // column of the paired comparison faces identical
                         // control loops with identical initial state.
@@ -652,6 +698,23 @@ impl ServingSession {
                         let mut autoscaler =
                             self.autoscalers.build(autoscaler_name, &capacity_ctx)?;
                         let mut admission = self.admissions.build(admission_name, &capacity_ctx)?;
+                        // The fault schedule is rebuilt from the session seed
+                        // for each policy run, so every column of the paired
+                        // comparison replays the identical fault sequence.
+                        let fault_schedule = match &self.fault {
+                            Some(name) => {
+                                let fault_ctx = FaultContext {
+                                    seed: self.seed,
+                                    initial_nodes: exec_config.cluster.nodes,
+                                    zones: exec_config.cluster.zones,
+                                    base_rps: rps,
+                                    requests: self.load.requests(),
+                                    slo: self.slo,
+                                };
+                                Some(self.faults.build(name, &fault_ctx)?)
+                            }
+                            None => None,
+                        };
                         let mut serving = sim.run_with_capacity(
                             built.policy.as_mut(),
                             &requests,
@@ -660,6 +723,7 @@ impl ServingSession {
                             Some(CapacityControls {
                                 autoscaler: autoscaler.as_mut(),
                                 admission: admission.as_mut(),
+                                faults: fault_schedule,
                             }),
                         );
                         if let Some(capacity) = serving.capacity.as_mut() {
@@ -668,6 +732,9 @@ impl ServingSession {
                             // differs from the name it was registered under.
                             capacity.autoscaler = autoscaler_name.to_string();
                             capacity.admission = admission_name.to_string();
+                            if let Some(name) = &self.fault {
+                                capacity.injector = Some(name.clone());
+                            }
                         }
                         serving
                     } else {
@@ -696,6 +763,7 @@ impl ServingSession {
             scenario: process.map(|p| p.name().to_string()),
             autoscaler: self.autoscaler.clone(),
             admission: self.admission.clone(),
+            fault: self.fault.clone(),
             seed: self.seed,
             policies,
             metrics: metrics_registry.snapshot(),
@@ -744,6 +812,8 @@ pub struct SessionReport {
     pub autoscaler: Option<String>,
     /// Admission-policy name for capacity-controlled open loops.
     pub admission: Option<String>,
+    /// Fault-injector name for chaos-enabled open loops.
+    pub fault: Option<String>,
     /// Session seed.
     pub seed: u64,
     /// Per-policy results, in configuration order.
@@ -809,39 +879,49 @@ impl SessionReport {
                 return Err(format!("policy {}: non-positive resource usage", p.name));
             }
             for outcome in &p.serving.outcomes {
-                if outcome.is_served() && outcome.allocations.is_empty() {
-                    return Err(format!(
-                        "policy {}: request {} ran no functions",
-                        p.name, outcome.request_id
-                    ));
-                }
-                if !outcome.is_served() && !outcome.allocations.is_empty() {
-                    return Err(format!(
-                        "policy {}: shed request {} ran functions",
-                        p.name, outcome.request_id
-                    ));
+                use janus_platform::outcome::RequestDisposition;
+                match outcome.disposition {
+                    RequestDisposition::Served if outcome.allocations.is_empty() => {
+                        return Err(format!(
+                            "policy {}: request {} ran no functions",
+                            p.name, outcome.request_id
+                        ));
+                    }
+                    RequestDisposition::Shed if !outcome.allocations.is_empty() => {
+                        return Err(format!(
+                            "policy {}: shed request {} ran functions",
+                            p.name, outcome.request_id
+                        ));
+                    }
+                    // Failed requests were admitted and may have partially
+                    // executed before the fault, so either shape is legal.
+                    _ => {}
                 }
             }
             if let Some(capacity) = &p.serving.capacity {
                 // Conservation: every generated request is exactly one of
-                // admitted or shed, and the report agrees with itself.
+                // admitted or shed, every admitted request is exactly one of
+                // served or failed, and the report agrees with itself.
                 if capacity.admitted + capacity.shed != capacity.generated {
                     return Err(format!(
                         "policy {}: admitted {} + shed {} != generated {}",
                         p.name, capacity.admitted, capacity.shed, capacity.generated
                     ));
                 }
-                if capacity.admitted != p.serving.served_len()
+                if capacity.admitted != p.serving.served_len() + p.serving.failed_len()
                     || capacity.shed != p.serving.shed_len()
+                    || capacity.failed != p.serving.failed_len()
                 {
                     return Err(format!(
-                        "policy {}: capacity report ({} admitted, {} shed) disagrees with \
-                         outcomes ({} served, {} shed)",
+                        "policy {}: capacity report ({} admitted, {} shed, {} failed) disagrees \
+                         with outcomes ({} served, {} shed, {} failed)",
                         p.name,
                         capacity.admitted,
                         capacity.shed,
+                        capacity.failed,
                         p.serving.served_len(),
-                        p.serving.shed_len()
+                        p.serving.shed_len(),
+                        p.serving.failed_len()
                     ));
                 }
             }
@@ -1135,6 +1215,7 @@ mod tests {
                 nodes: 2,
                 node_capacity: janus_simcore::resources::Millicores::from_cores(8),
                 placement: PlacementPolicy::Spread,
+                zones: 1,
             })
             .scenario("flash-crowd")
             .autoscaler("utilization")
@@ -1232,6 +1313,123 @@ mod tests {
         );
         assert!(cap.shed > 0, "a depth-1 bound at 10 rps must shed");
         assert_eq!(report.admission.as_deref(), Some("strict"));
+    }
+
+    #[test]
+    fn fault_injection_resolves_by_name_and_conserves_requests() {
+        use janus_simcore::cluster::PlacementPolicy;
+        let run = |seed: u64| {
+            quick_builder()
+                .policies(["GrandSLAM", "Janus"])
+                .load(Load::Open {
+                    requests: 60,
+                    rps: 6.0,
+                })
+                .cluster(ClusterConfig {
+                    nodes: 4,
+                    node_capacity: janus_simcore::resources::Millicores::from_cores(8),
+                    placement: PlacementPolicy::Spread,
+                    zones: 2,
+                })
+                .scenario("flash-crowd")
+                .autoscaler("utilization")
+                .fault("zone-outage")
+                .seed(seed)
+                .run()
+                .unwrap()
+        };
+        let report = run(7);
+        assert_eq!(report.fault.as_deref(), Some("zone-outage"));
+        for name in ["GrandSLAM", "Janus"] {
+            let serving = report.serving(name).unwrap();
+            let cap = serving.capacity.as_ref().expect("capacity report present");
+            assert_eq!(cap.injector.as_deref(), Some("zone-outage"));
+            assert_eq!(cap.faults_applied, 1);
+            // The autoscaler may have grown (or shrunk) the dying zone by
+            // outage time, so the exact count varies; something must die.
+            assert!(cap.nodes_lost >= 1, "the outage killed no nodes");
+            assert_eq!(cap.admitted + cap.shed, 60, "conservation");
+            assert_eq!(cap.admitted, serving.served_len() + serving.failed_len());
+            assert_eq!(cap.failed, serving.failed_len());
+            assert_eq!(cap.final_allocated_mc, 0, "crashed pods release capacity");
+        }
+        // Paired: both policies replay the identical fault sequence.
+        let ids = |r: &SessionReport, n: &str| {
+            r.serving(n)
+                .unwrap()
+                .outcomes
+                .iter()
+                .map(|o| o.request_id)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&report, "GrandSLAM"), ids(&report, "Janus"));
+        // Deterministic in the seed, bit for bit.
+        let again = run(7);
+        assert_eq!(
+            report.serving("Janus").unwrap(),
+            again.serving("Janus").unwrap()
+        );
+        assert_ne!(
+            report.serving("Janus").unwrap(),
+            run(8).serving("Janus").unwrap()
+        );
+    }
+
+    #[test]
+    fn fault_validation_catches_misuse_and_custom_injectors_plug_in() {
+        let err = quick_builder()
+            .policy("Janus")
+            .fault("zone-outage")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("Load::Open"), "{err}");
+        let err = quick_builder()
+            .policy("Janus")
+            .load(Load::Open {
+                requests: 10,
+                rps: 1.0,
+            })
+            .fault("meteor-strike")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("unknown fault injector"), "{err}");
+        assert!(err.contains("zone-outage"), "{err}");
+        // A custom injector registers by name and reports under it.
+        use janus_chaos::{FaultAction, FaultEvent, FaultSchedule};
+        use janus_simcore::time::SimTime;
+        let report = quick_builder()
+            .policy("GrandSLAM")
+            .load(Load::Open {
+                requests: 30,
+                rps: 4.0,
+            })
+            .register_fault_fn("calm", |_ctx| {
+                Ok(FaultSchedule {
+                    injector: "calm".into(),
+                    victim_seed: 1,
+                    events: vec![FaultEvent {
+                        at: SimTime::ZERO + SimDuration::from_secs(1.0),
+                        action: FaultAction::SlowNodes {
+                            count: 1,
+                            factor: 1.0,
+                            duration: SimDuration::from_secs(1.0),
+                        },
+                    }],
+                })
+            })
+            .fault("calm")
+            .run()
+            .unwrap();
+        let cap = report
+            .serving("GrandSLAM")
+            .unwrap()
+            .capacity
+            .as_ref()
+            .unwrap()
+            .clone();
+        assert_eq!(cap.injector.as_deref(), Some("calm"));
+        assert_eq!(cap.faults_applied, 1);
+        assert_eq!(report.fault.as_deref(), Some("calm"));
     }
 
     #[test]

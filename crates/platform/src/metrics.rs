@@ -32,6 +32,10 @@ pub struct ServingMetrics {
     pub slo_violations: CounterHandle,
     /// Requests shed by admission control at arrival (never served).
     pub shed: CounterHandle,
+    /// Admitted requests lost to injected faults (retry budget exhausted).
+    pub failed: CounterHandle,
+    /// Fault-interrupted requests that re-enqueued and started over.
+    pub retried: CounterHandle,
     /// Autoscaler scale-up actions applied.
     pub scale_ups: CounterHandle,
     /// Autoscaler scale-down (drain) actions applied.
@@ -53,6 +57,10 @@ impl ServingMetrics {
     pub const SLO_VIOLATIONS: &'static str = "serving.slo_violations";
     /// Registry name of [`shed`](Self::shed).
     pub const SHED: &'static str = "serving.shed";
+    /// Registry name of [`failed`](Self::failed).
+    pub const FAILED: &'static str = "serving.failed";
+    /// Registry name of [`retried`](Self::retried).
+    pub const RETRIED: &'static str = "serving.retried";
     /// Registry name of [`scale_ups`](Self::scale_ups).
     pub const SCALE_UPS: &'static str = "serving.scale_ups";
     /// Registry name of [`scale_downs`](Self::scale_downs).
@@ -71,6 +79,8 @@ impl ServingMetrics {
             cold_starts: registry.counter_handle(Self::COLD_STARTS),
             slo_violations: registry.counter_handle(Self::SLO_VIOLATIONS),
             shed: registry.counter_handle(Self::SHED),
+            failed: registry.counter_handle(Self::FAILED),
+            retried: registry.counter_handle(Self::RETRIED),
             scale_ups: registry.counter_handle(Self::SCALE_UPS),
             scale_downs: registry.counter_handle(Self::SCALE_DOWNS),
             function_ms: registry.streaming_handle(Self::FUNCTION_MS),

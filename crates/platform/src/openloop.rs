@@ -22,17 +22,20 @@ use crate::outcome::{
     CapacityReport, RequestDisposition, RequestOutcome, ScalingEvent, ServingReport,
 };
 use crate::policy::{RequestContext, SizingPolicy};
-use janus_simcore::cluster::{Cluster, ClusterConfig};
+use janus_chaos::{FaultAction, FaultEvent, FaultSchedule};
+use janus_simcore::cluster::{Cluster, ClusterConfig, NodeState};
 use janus_simcore::engine::{Engine, EngineConfig};
 use janus_simcore::interference::InterferenceModel;
+use janus_simcore::node::NodeId;
 use janus_simcore::pod::PodId;
 use janus_simcore::pool::{PoolConfig, PoolManager};
 use janus_simcore::resources::Millicores;
+use janus_simcore::rng::SimRng;
 use janus_simcore::time::{SimDuration, SimTime};
 use janus_workloads::request::RequestInput;
 use janus_workloads::workflow::Workflow;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Open-loop simulation configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -91,6 +94,78 @@ pub struct CapacityControls<'a> {
     pub autoscaler: &'a mut dyn AutoscalerPolicy,
     /// Request admission policy.
     pub admission: &'a mut dyn AdmissionPolicy,
+    /// Compiled fault schedule to deliver through the capacity tick
+    /// (`None` for fault-free runs). Faults fire at the first tick at or
+    /// after their scheduled instant, so they interleave deterministically
+    /// with autoscaling and admission decisions.
+    pub faults: Option<FaultSchedule>,
+}
+
+/// A fault-interrupted request is restarted at most this many times before
+/// it is failed for good.
+const FAULT_RETRY_BUDGET: u32 = 1;
+
+/// Run-side state of one fault schedule: the delivery cursor, the
+/// seed-derived victim RNG, tombstones for stale completion events of pods
+/// lost mid-flight, and the fault counters folded into the final
+/// [`CapacityReport`].
+struct FaultRuntime {
+    injector: String,
+    events: Vec<FaultEvent>,
+    cursor: usize,
+    rng: SimRng,
+    lost_pods: HashSet<PodId>,
+    /// Preempted nodes and the instant their termination notice expires.
+    preempt_deadlines: Vec<(NodeId, SimTime)>,
+    /// Degraded nodes: `(node, service-time factor, degraded until)`.
+    slow: Vec<(NodeId, f64, SimTime)>,
+    applied: usize,
+    nodes_lost: usize,
+    failed: usize,
+    retried: usize,
+}
+
+impl FaultRuntime {
+    fn new(schedule: FaultSchedule) -> Self {
+        FaultRuntime {
+            injector: schedule.injector,
+            rng: SimRng::seed_from_u64(schedule.victim_seed),
+            events: schedule.events,
+            cursor: 0,
+            lost_pods: HashSet::new(),
+            preempt_deadlines: Vec::new(),
+            slow: Vec::new(),
+            applied: 0,
+            nodes_lost: 0,
+            failed: 0,
+            retried: 0,
+        }
+    }
+
+    /// Service-time multiplier the pod's node is currently subjected to
+    /// (1.0 when healthy or unplaced).
+    fn slow_factor(&self, node: Option<NodeId>, now: SimTime) -> f64 {
+        let Some(node) = node else { return 1.0 };
+        self.slow
+            .iter()
+            .filter(|(n, _, until)| *n == node && now < *until)
+            .map(|(_, factor, _)| *factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Pick up to `count` distinct victims among the active nodes, driven by
+    /// the schedule's victim seed. The candidate list is in id order, so the
+    /// same seed against the same fleet picks the same victims.
+    fn pick_victims(&mut self, cluster: &Cluster, count: usize) -> Vec<NodeId> {
+        let mut candidates = cluster.active_nodes();
+        let mut victims = Vec::new();
+        while victims.len() < count && !candidates.is_empty() {
+            let idx = self.rng.int_range(0, candidates.len() as u64 - 1) as usize;
+            victims.push(candidates.swap_remove(idx));
+        }
+        victims.sort_by_key(|id| id.0);
+        victims
+    }
 }
 
 /// Book-keeping behind one run's [`CapacityReport`].
@@ -137,6 +212,15 @@ struct InFlight {
     e2e: SimDuration,
     allocations: Vec<Millicores>,
     latencies: Vec<SimDuration>,
+    /// Fault-triggered restarts consumed so far.
+    retries: u32,
+    /// Pod the in-progress function runs on (fault victim lookup).
+    current_pod: Option<PodId>,
+    /// Index of the in-progress function (restart target after a crash).
+    current_index: usize,
+    /// When the in-progress function attempt started (its wall time still
+    /// counts against the request if a fault voids the attempt).
+    current_started: SimTime,
 }
 
 /// Reusable simulation state for paired open-loop runs.
@@ -220,7 +304,12 @@ impl OpenLoopSimulation {
     /// the `shed` metric), and a periodic capacity tick recycles idle pods,
     /// retargets the warm pool to the fleet size, and applies the
     /// autoscaler's decisions; the returned report then carries a
-    /// [`CapacityReport`].
+    /// [`CapacityReport`]. When the controls also carry a compiled
+    /// [`FaultSchedule`], each tick first delivers the faults due by then —
+    /// crashing, preempting or degrading nodes, dropping the lost pods from
+    /// pool and cluster tracking, and retrying (once) or failing the
+    /// requests that were running on them — so failures, autoscaling and
+    /// admission interleave on one deterministic timeline.
     pub fn run_with_capacity(
         &self,
         policy: &mut dyn SizingPolicy,
@@ -240,6 +329,12 @@ impl OpenLoopSimulation {
         let mut pool = PoolManager::new(self.config.pool.clone());
         let mut cluster = Cluster::new(&self.config.cluster).expect("validated cluster config");
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
+        // Detach the compiled fault schedule from the controls so delivery
+        // can borrow the rest of the run state freely.
+        let mut fault_rt = controls
+            .as_mut()
+            .and_then(|c| c.faults.take())
+            .map(FaultRuntime::new);
         let mut accounting = controls
             .as_ref()
             .map(|_| CapacityAccounting::new(cluster.node_count()));
@@ -291,6 +386,23 @@ impl OpenLoopSimulation {
                             continue;
                         }
                     }
+                    if cluster.node_count() == 0 {
+                        // The whole fleet is gone and nothing has scaled it
+                        // back up: an admitted request has nowhere to run.
+                        if let Some(rt) = fault_rt.as_mut() {
+                            rt.failed += 1;
+                            if let Some(m) = metrics {
+                                m.failed.incr(1);
+                            }
+                            outcomes.push(RequestOutcome::failed(
+                                input.id,
+                                SimDuration::ZERO,
+                                Vec::new(),
+                                Vec::new(),
+                            ));
+                            continue;
+                        }
+                    }
                     let ctx = self.ctx(&input);
                     policy.on_admit(&ctx);
                     if let Some(m) = metrics {
@@ -302,6 +414,10 @@ impl OpenLoopSimulation {
                         e2e: SimDuration::ZERO,
                         allocations: Vec::new(),
                         latencies: Vec::new(),
+                        retries: 0,
+                        current_pod: None,
+                        current_index: 0,
+                        current_started: now,
                     };
                     let request_id = state.input.id;
                     inflight.insert(request_id, state);
@@ -318,6 +434,7 @@ impl OpenLoopSimulation {
                         &mut cluster,
                         engine,
                         metrics,
+                        fault_rt.as_ref(),
                     );
                 }
                 Event::FunctionComplete {
@@ -327,6 +444,14 @@ impl OpenLoopSimulation {
                     exec,
                     elapsed,
                 } => {
+                    if let Some(rt) = fault_rt.as_mut() {
+                        if rt.lost_pods.remove(&pod) {
+                            // Stale completion of a pod lost to a fault; the
+                            // request was already retried or failed when the
+                            // node went down.
+                            continue;
+                        }
+                    }
                     pool.release(pod, now);
                     // Idle warm pods must not count towards co-location
                     // interference; only running instances contend. This also
@@ -372,12 +497,29 @@ impl OpenLoopSimulation {
                             &mut cluster,
                             engine,
                             metrics,
+                            fault_rt.as_ref(),
                         );
                     }
                 }
                 Event::CapacityTick => {
-                    let c = controls.as_mut().expect("tick implies controls");
                     let acct = accounting.as_mut().expect("controls imply accounting");
+                    // Faults land before the autoscaler observes, so the same
+                    // tick can already react to the loss.
+                    if let Some(rt) = fault_rt.as_mut() {
+                        self.deliver_faults(
+                            rt,
+                            policy,
+                            inflight,
+                            &mut outcomes,
+                            now,
+                            &mut pool,
+                            &mut cluster,
+                            engine,
+                            metrics,
+                            acct,
+                        );
+                    }
+                    let c = controls.as_mut().expect("tick implies controls");
                     acct.pods_recycled += pool.recycle_idle(now);
                     let observation = ScalingObservation {
                         now,
@@ -445,12 +587,15 @@ impl OpenLoopSimulation {
         outcomes.sort_by_key(|o| o.request_id);
         let capacity = accounting.map(|acct| {
             let c = controls.as_ref().expect("controls imply accounting");
+            let rt = fault_rt.as_ref();
             CapacityReport {
                 autoscaler: c.autoscaler.name().to_string(),
                 admission: c.admission.name().to_string(),
                 generated: requests.len(),
                 admitted: requests.len() - acct.shed,
                 shed: acct.shed,
+                failed: rt.map_or(0, |rt| rt.failed),
+                retried: rt.map_or(0, |rt| rt.retried),
                 scale_ups: acct.scale_ups,
                 scale_downs: acct.scale_downs,
                 events: acct.events,
@@ -460,6 +605,9 @@ impl OpenLoopSimulation {
                 peak_inflight: acct.peak_inflight,
                 pods_recycled: acct.pods_recycled,
                 final_allocated_mc: u64::from(cluster.total_allocated().get()),
+                injector: rt.map(|rt| rt.injector.clone()),
+                faults_applied: rt.map_or(0, |rt| rt.applied),
+                nodes_lost: rt.map_or(0, |rt| rt.nodes_lost),
             }
         });
         ServingReport {
@@ -481,6 +629,150 @@ impl OpenLoopSimulation {
         }
     }
 
+    /// Deliver every fault due at `now`: expire preemption notices, apply
+    /// scheduled events, and retry or fail the requests whose pods were
+    /// lost. Called at the top of each capacity tick, so fault effects and
+    /// the control loops interleave on the same deterministic cadence.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_faults(
+        &self,
+        rt: &mut FaultRuntime,
+        policy: &mut dyn SizingPolicy,
+        inflight: &mut HashMap<u64, InFlight>,
+        outcomes: &mut Vec<RequestOutcome>,
+        now: SimTime,
+        pool: &mut PoolManager,
+        cluster: &mut Cluster,
+        engine: &mut Engine<Event>,
+        metrics: Option<&ServingMetrics>,
+        acct: &mut CapacityAccounting,
+    ) {
+        // Preemption deadlines first: a victim still alive when its notice
+        // expires is force-killed; one that finished draining beat it.
+        let mut crashed: Vec<NodeId> = rt
+            .preempt_deadlines
+            .iter()
+            .filter(|(node, deadline)| {
+                *deadline <= now && cluster.node_state(*node) != Some(NodeState::Retired)
+            })
+            .map(|(node, _)| *node)
+            .collect();
+        rt.preempt_deadlines.retain(|(_, deadline)| *deadline > now);
+        while rt.cursor < rt.events.len() && rt.events[rt.cursor].at <= now {
+            let action = rt.events[rt.cursor].action.clone();
+            rt.cursor += 1;
+            rt.applied += 1;
+            match action {
+                FaultAction::Crash { count } => {
+                    crashed.extend(rt.pick_victims(cluster, count));
+                }
+                FaultAction::Preempt { count, notice } => {
+                    for node in rt.pick_victims(cluster, count) {
+                        let _ = cluster.drain_node(node);
+                        rt.preempt_deadlines.push((node, now + notice));
+                    }
+                }
+                FaultAction::ZoneOutage { zone } => {
+                    crashed.extend(cluster.zone_nodes(zone));
+                }
+                FaultAction::SlowNodes {
+                    count,
+                    factor,
+                    duration,
+                } => {
+                    for node in rt.pick_victims(cluster, count) {
+                        rt.slow.push((node, factor, now + duration));
+                    }
+                }
+            }
+        }
+        rt.slow.retain(|(_, _, until)| *until > now);
+        if crashed.is_empty() {
+            return;
+        }
+
+        let before = cluster.node_count();
+        let mut lost: Vec<PodId> = Vec::new();
+        for node in crashed {
+            // Err means the node already retired (e.g. listed twice, or it
+            // drained out just before its preemption deadline).
+            if let Ok(pods) = cluster.crash_node(node) {
+                rt.nodes_lost += 1;
+                lost.extend(pods.into_iter().map(|(pod, _)| pod));
+            }
+        }
+        if cluster.node_count() != before {
+            // Fault-induced fleet changes share the scaling event log (but
+            // not the scale_ups/scale_downs action counters) so determinism
+            // checks cover them.
+            acct.events.push(ScalingEvent {
+                at: now,
+                from_nodes: before,
+                to_nodes: cluster.node_count(),
+            });
+        }
+        if lost.is_empty() {
+            return;
+        }
+        lost.sort_unstable();
+        pool.drop_lost(&lost);
+        let lost_set: HashSet<PodId> = lost.into_iter().collect();
+        let mut affected: Vec<u64> = inflight
+            .iter()
+            .filter(|(_, s)| s.current_pod.is_some_and(|p| lost_set.contains(&p)))
+            .map(|(id, _)| *id)
+            .collect();
+        affected.sort_unstable();
+        rt.lost_pods.extend(lost_set);
+        for request_id in affected {
+            let (retry, index) = {
+                let state = inflight.get_mut(&request_id).expect("in-flight request");
+                // The in-progress attempt is void: its allocation entry goes
+                // (it never produced a latency sample), but the wall time it
+                // burned still counts against the request.
+                state.allocations.pop();
+                state.e2e += now.saturating_since(state.current_started);
+                state.current_pod = None;
+                if state.retries < FAULT_RETRY_BUDGET {
+                    state.retries += 1;
+                    (true, state.current_index)
+                } else {
+                    (false, 0)
+                }
+            };
+            if retry && cluster.node_count() > 0 {
+                rt.retried += 1;
+                if let Some(m) = metrics {
+                    m.retried.incr(1);
+                }
+                self.start_function(
+                    policy,
+                    inflight,
+                    request_id,
+                    index,
+                    now,
+                    pool,
+                    cluster,
+                    engine,
+                    metrics,
+                    Some(&*rt),
+                );
+            } else {
+                let state = inflight.remove(&request_id).expect("in-flight request");
+                rt.failed += 1;
+                if let Some(m) = metrics {
+                    m.failed.incr(1);
+                }
+                outcomes.push(RequestOutcome::failed(
+                    request_id,
+                    state.e2e,
+                    state.allocations,
+                    state.latencies,
+                ));
+            }
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn start_function(
         &self,
@@ -493,6 +785,7 @@ impl OpenLoopSimulation {
         cluster: &mut Cluster,
         engine: &mut Engine<Event>,
         metrics: Option<&ServingMetrics>,
+        fault_rt: Option<&FaultRuntime>,
     ) {
         let state = inflight.get_mut(&request_id).expect("in-flight request");
         let ctx = RequestContext {
@@ -524,13 +817,17 @@ impl OpenLoopSimulation {
             let _ = cluster.place_overcommitted(acquisition.pod, function.name(), size);
         }
         let colocated = cluster.colocation_degree(acquisition.pod, function.name());
-        let exec = function.execution_time(
+        let mut exec = function.execution_time(
             size,
             self.config.concurrency,
             state.input.factor(index),
             colocated,
             &self.config.interference,
         );
+        if let Some(rt) = fault_rt {
+            // A degraded (slow-node fault) host multiplies the service time.
+            exec = exec * rt.slow_factor(cluster.node_of(acquisition.pod), now);
+        }
         let startup = if self.config.count_startup_delays {
             acquisition.startup_delay
         } else {
@@ -542,6 +839,9 @@ impl OpenLoopSimulation {
             }
         }
         state.allocations.push(size);
+        state.current_pod = Some(acquisition.pod);
+        state.current_index = index;
+        state.current_started = now;
         engine.schedule_in(
             exec + startup,
             Event::FunctionComplete {
@@ -699,6 +999,7 @@ mod tests {
             Some(CapacityControls {
                 autoscaler: &mut autoscaler,
                 admission: &mut admission,
+                faults: None,
             }),
         );
         let cap = report.capacity.as_ref().unwrap();
@@ -736,6 +1037,7 @@ mod tests {
                 nodes: 2,
                 node_capacity: Millicores::from_cores(8),
                 placement: PlacementPolicy::Spread,
+                zones: 1,
             },
             ..OpenLoopConfig::new(SimDuration::from_secs(3.0))
         };
@@ -758,6 +1060,7 @@ mod tests {
             Some(CapacityControls {
                 autoscaler: &mut autoscaler,
                 admission: &mut admission,
+                faults: None,
             }),
         );
         let cap = run_scaled.capacity.as_ref().unwrap();
@@ -814,6 +1117,7 @@ mod tests {
             Some(CapacityControls {
                 autoscaler: &mut autoscaler,
                 admission: &mut admission,
+                faults: None,
             }),
         );
         let cap = report.capacity.as_ref().unwrap();
@@ -860,6 +1164,7 @@ mod tests {
             Some(CapacityControls {
                 autoscaler: &mut autoscaler,
                 admission: &mut admission,
+                faults: None,
             }),
         );
         assert_eq!(report.served_len(), 10, "every request still served");
@@ -886,6 +1191,7 @@ mod tests {
                 Some(CapacityControls {
                     autoscaler: &mut autoscaler,
                     admission: &mut admission,
+                    faults: None,
                 }),
             )
         };
@@ -896,6 +1202,380 @@ mod tests {
             a.capacity.as_ref().unwrap().events,
             b.capacity.as_ref().unwrap().events,
             "scaling event sequences must be identical"
+        );
+    }
+
+    fn crash_schedule(times_s: &[f64]) -> FaultSchedule {
+        FaultSchedule {
+            injector: "test-crash".into(),
+            victim_seed: 77,
+            events: times_s
+                .iter()
+                .map(|&s| FaultEvent {
+                    at: SimTime::from_secs(s),
+                    action: FaultAction::Crash { count: 1 },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn node_crashes_retry_in_flight_work_and_conserve_requests() {
+        use crate::capacity::{AdmitAll, UtilizationThresholdAutoscaler};
+        use janus_simcore::cluster::{ClusterConfig, PlacementPolicy};
+        use janus_simcore::metrics::MetricsRegistry;
+        let ia = intelligent_assistant();
+        let config = OpenLoopConfig {
+            cluster: ClusterConfig {
+                nodes: 3,
+                node_capacity: Millicores::from_cores(8),
+                placement: PlacementPolicy::Spread,
+                zones: 1,
+            },
+            ..OpenLoopConfig::new(SimDuration::from_secs(3.0))
+        };
+        let sim = OpenLoopSimulation::new(ia.clone(), config);
+        let reqs = RequestInputGenerator::new(7, SimDuration::from_millis(50.0)).generate(&ia, 80);
+        let registry = MetricsRegistry::new();
+        let metrics = ServingMetrics::intern(&registry);
+        let mut autoscaler =
+            UtilizationThresholdAutoscaler::new(0.6, 0.1, 2, SimDuration::from_secs(2.0), 2, 12)
+                .unwrap();
+        let mut admission = AdmitAll;
+        let report = sim.run_with_capacity(
+            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+            &reqs,
+            &mut OpenLoopArena::new(),
+            Some(&metrics),
+            Some(CapacityControls {
+                autoscaler: &mut autoscaler,
+                admission: &mut admission,
+                faults: Some(crash_schedule(&[1.5, 2.5, 3.5])),
+            }),
+        );
+        let cap = report.capacity.as_ref().unwrap();
+        assert_eq!(cap.injector.as_deref(), Some("test-crash"));
+        assert_eq!(cap.faults_applied, 3);
+        assert_eq!(cap.nodes_lost, 3);
+        assert!(cap.retried > 0, "mid-flight crashes must trigger retries");
+        // Conservation: every generated request accounted exactly once.
+        assert_eq!(report.len(), 80);
+        assert_eq!(cap.generated, 80);
+        assert_eq!(cap.admitted + cap.shed, 80);
+        assert_eq!(report.served_len() + report.failed_len(), cap.admitted);
+        assert_eq!(report.failed_len(), cap.failed);
+        let ids: std::collections::HashSet<u64> =
+            report.outcomes.iter().map(|o| o.request_id).collect();
+        assert_eq!(ids.len(), 80);
+        // The crash-path audit: abruptly lost pods must release their
+        // cluster allocation and leave the pool tracking maps.
+        assert_eq!(
+            cap.final_allocated_mc, 0,
+            "crashed pods must not leak cluster allocation"
+        );
+        // Metrics agree with the report.
+        assert_eq!(
+            registry.counter(ServingMetrics::RETRIED),
+            cap.retried as u64
+        );
+        assert_eq!(registry.counter(ServingMetrics::FAILED), cap.failed as u64);
+        // Served-after-retry requests keep the allocation/latency invariant.
+        for o in report.served() {
+            assert_eq!(o.allocations.len(), o.function_latencies.len());
+            assert_eq!(o.function_latencies.len(), 3);
+        }
+        for o in report.outcomes.iter().filter(|o| !o.is_served()) {
+            assert_eq!(o.allocations.len(), o.function_latencies.len());
+        }
+    }
+
+    #[test]
+    fn fault_runs_replay_bit_identically_per_seed() {
+        use crate::capacity::{QueueLengthAdmission, UtilizationThresholdAutoscaler};
+        let ia = intelligent_assistant();
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let reqs = RequestInputGenerator::new(3, SimDuration::from_millis(60.0)).generate(&ia, 70);
+        let run = || {
+            let mut autoscaler =
+                UtilizationThresholdAutoscaler::new(0.5, 0.1, 1, SimDuration::from_secs(2.0), 1, 8)
+                    .unwrap();
+            let mut admission = QueueLengthAdmission::new(12).unwrap();
+            sim.run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+                &mut OpenLoopArena::new(),
+                None,
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                    faults: Some(crash_schedule(&[1.0, 2.0])),
+                }),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same fault schedule must replay identically");
+        assert_eq!(
+            a.capacity.as_ref().unwrap().events,
+            b.capacity.as_ref().unwrap().events,
+            "the scaling/fault event log must be identical"
+        );
+    }
+
+    #[test]
+    fn zone_outage_kills_exactly_the_zones_nodes() {
+        use crate::capacity::{AdmitAll, StaticAutoscaler};
+        use janus_simcore::cluster::{ClusterConfig, PlacementPolicy};
+        let ia = intelligent_assistant();
+        let config = OpenLoopConfig {
+            cluster: ClusterConfig {
+                nodes: 4,
+                node_capacity: Millicores::from_cores(8),
+                placement: PlacementPolicy::Spread,
+                zones: 2,
+            },
+            ..OpenLoopConfig::new(SimDuration::from_secs(3.0))
+        };
+        let sim = OpenLoopSimulation::new(ia.clone(), config);
+        let reqs = RequestInputGenerator::new(11, SimDuration::from_millis(80.0)).generate(&ia, 60);
+        let schedule = FaultSchedule {
+            injector: "zone-outage".into(),
+            victim_seed: 5,
+            events: vec![FaultEvent {
+                at: SimTime::from_secs(2.0),
+                action: FaultAction::ZoneOutage { zone: 0 },
+            }],
+        };
+        let mut autoscaler = StaticAutoscaler;
+        let mut admission = AdmitAll;
+        let report = sim.run_with_capacity(
+            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+            &reqs,
+            &mut OpenLoopArena::new(),
+            None,
+            Some(CapacityControls {
+                autoscaler: &mut autoscaler,
+                admission: &mut admission,
+                faults: Some(schedule),
+            }),
+        );
+        let cap = report.capacity.as_ref().unwrap();
+        // Zones are assigned round-robin: 4 nodes over 2 zones puts exactly
+        // 2 nodes in zone 0, and the outage must kill exactly those.
+        assert_eq!(cap.nodes_lost, 2);
+        assert_eq!(cap.final_nodes, 2, "zone-1 nodes survive");
+        let outage = cap
+            .events
+            .iter()
+            .find(|e| e.from_nodes == 4 && e.to_nodes == 2)
+            .expect("the outage appears in the event log");
+        assert_eq!(outage.at, SimTime::from_secs(2.0));
+        assert_eq!(report.len(), 60);
+        assert_eq!(report.served_len() + report.failed_len(), cap.admitted);
+        assert_eq!(cap.final_allocated_mc, 0);
+    }
+
+    #[test]
+    fn preemption_notice_lets_draining_beat_the_deadline() {
+        use crate::capacity::{AdmitAll, AutoscalerPolicy, ScalingAction, ScalingObservation};
+        use janus_simcore::cluster::{ClusterConfig, PlacementPolicy};
+        #[derive(Debug)]
+        struct TickedStatic(f64);
+        impl AutoscalerPolicy for TickedStatic {
+            fn name(&self) -> &str {
+                "static"
+            }
+            fn tick(&self) -> SimDuration {
+                SimDuration::from_millis(self.0)
+            }
+            fn observe(&mut self, _obs: &ScalingObservation) -> ScalingAction {
+                ScalingAction::Hold
+            }
+        }
+        let ia = intelligent_assistant();
+        // Two spread nodes: the survivor picks up new work while the
+        // preempted victim drains.
+        let config = OpenLoopConfig {
+            cluster: ClusterConfig {
+                nodes: 2,
+                node_capacity: Millicores::from_cores(8),
+                placement: PlacementPolicy::Spread,
+                zones: 1,
+            },
+            ..OpenLoopConfig::new(SimDuration::from_secs(3.0))
+        };
+        let sim = OpenLoopSimulation::new(ia.clone(), config);
+        // Sparse arrivals: the preempted node drains long before a 30 s
+        // notice expires, so nothing is lost and nothing fails.
+        let reqs =
+            RequestInputGenerator::new(19, SimDuration::from_millis(500.0)).generate(&ia, 12);
+        let preempt = |notice_ms: f64| FaultSchedule {
+            injector: "spot-preempt".into(),
+            victim_seed: 9,
+            events: vec![FaultEvent {
+                at: SimTime::from_secs(1.0),
+                action: FaultAction::Preempt {
+                    count: 1,
+                    notice: SimDuration::from_millis(notice_ms),
+                },
+            }],
+        };
+        let mut autoscaler = TickedStatic(1000.0);
+        let mut admission = AdmitAll;
+        let graceful = sim.run_with_capacity(
+            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+            &reqs,
+            &mut OpenLoopArena::new(),
+            None,
+            Some(CapacityControls {
+                autoscaler: &mut autoscaler,
+                admission: &mut admission,
+                faults: Some(preempt(30_000.0)),
+            }),
+        );
+        let cap = graceful.capacity.as_ref().unwrap();
+        assert_eq!(cap.faults_applied, 1);
+        assert_eq!(cap.nodes_lost, 0, "draining beat the 30 s deadline");
+        assert_eq!(cap.failed, 0);
+        assert_eq!(graceful.served_len(), 12, "nothing lost under notice");
+
+        // A 1 ms notice under continuous overload cannot drain in time: the
+        // victim still hosts pods when the next (100 ms) tick passes the
+        // deadline and is force-killed.
+        let heavy =
+            RequestInputGenerator::new(19, SimDuration::from_millis(40.0)).generate(&ia, 80);
+        let mut autoscaler = TickedStatic(100.0);
+        let mut admission = AdmitAll;
+        let forced = sim.run_with_capacity(
+            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+            &heavy,
+            &mut OpenLoopArena::new(),
+            None,
+            Some(CapacityControls {
+                autoscaler: &mut autoscaler,
+                admission: &mut admission,
+                faults: Some(preempt(1.0)),
+            }),
+        );
+        let cap = forced.capacity.as_ref().unwrap();
+        assert_eq!(cap.nodes_lost, 1, "the notice expired mid-drain");
+        assert!(cap.retried > 0 || cap.failed > 0, "running work was lost");
+    }
+
+    #[test]
+    fn total_fleet_loss_fails_every_request_nan_free() {
+        use crate::capacity::{AdmitAll, AutoscalerPolicy, ScalingAction, ScalingObservation};
+        use janus_simcore::metrics::MetricsRegistry;
+        // A static fleet that loses every node before the first completion
+        // and never recovers: the all-failed degenerate case (satellite of
+        // the all-shed guards) must stay NaN-free.
+        #[derive(Debug)]
+        struct FastStatic;
+        impl AutoscalerPolicy for FastStatic {
+            fn name(&self) -> &str {
+                "fast-static"
+            }
+            fn tick(&self) -> SimDuration {
+                SimDuration::from_millis(5.0)
+            }
+            fn observe(&mut self, _obs: &ScalingObservation) -> ScalingAction {
+                ScalingAction::Hold
+            }
+        }
+        let ia = intelligent_assistant();
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let reqs =
+            RequestInputGenerator::new(23, SimDuration::from_millis(100.0)).generate(&ia, 40);
+        let registry = MetricsRegistry::new();
+        let metrics = ServingMetrics::intern(&registry);
+        let schedule = FaultSchedule {
+            injector: "total-loss".into(),
+            victim_seed: 3,
+            events: vec![FaultEvent {
+                at: SimTime::ZERO,
+                action: FaultAction::Crash { count: usize::MAX },
+            }],
+        };
+        let mut autoscaler = FastStatic;
+        let mut admission = AdmitAll;
+        let report = sim.run_with_capacity(
+            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+            &reqs,
+            &mut OpenLoopArena::new(),
+            Some(&metrics),
+            Some(CapacityControls {
+                autoscaler: &mut autoscaler,
+                admission: &mut admission,
+                faults: Some(schedule),
+            }),
+        );
+        let cap = report.capacity.as_ref().unwrap();
+        assert_eq!(cap.final_nodes, 0, "nothing survives, nothing recovers");
+        assert_eq!(report.served_len(), 0);
+        assert_eq!(report.failed_len(), 40);
+        assert_eq!(cap.failed, 40);
+        assert_eq!(cap.admitted, 40, "admit-all sheds nothing");
+        assert_eq!(cap.shed, 0);
+        // Statistics degrade to empty/None, never NaN.
+        assert!(report.e2e_summary().is_none());
+        assert!(report.e2e_cdf().is_empty());
+        assert!(report.e2e_percentile(99.0).is_none());
+        assert_eq!(report.e2e_streaming().count(), 0);
+        assert!(!report.slo_violation_rate().is_nan());
+        assert_eq!(report.slo_violation_rate(), 0.0);
+        assert_eq!(cap.final_allocated_mc, 0);
+        assert_eq!(registry.counter(ServingMetrics::FAILED), 40);
+    }
+
+    #[test]
+    fn slow_nodes_stretch_service_times_deterministically() {
+        use crate::capacity::{AdmitAll, StaticAutoscaler};
+        let ia = intelligent_assistant();
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let reqs =
+            RequestInputGenerator::new(29, SimDuration::from_millis(400.0)).generate(&ia, 30);
+        let slow_schedule = || FaultSchedule {
+            injector: "slow-node".into(),
+            victim_seed: 13,
+            events: vec![FaultEvent {
+                at: SimTime::ZERO,
+                action: FaultAction::SlowNodes {
+                    count: usize::MAX,
+                    factor: 4.0,
+                    duration: SimDuration::from_secs(600.0),
+                },
+            }],
+        };
+        let run = |faults: Option<FaultSchedule>| {
+            let mut autoscaler = StaticAutoscaler;
+            let mut admission = AdmitAll;
+            sim.run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+                &mut OpenLoopArena::new(),
+                None,
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                    faults,
+                }),
+            )
+        };
+        let baseline = run(None);
+        let degraded = run(Some(slow_schedule()));
+        let again = run(Some(slow_schedule()));
+        assert_eq!(degraded, again, "degradation is seed-deterministic");
+        let cap = degraded.capacity.as_ref().unwrap();
+        assert_eq!(cap.nodes_lost, 0, "slow nodes stay up");
+        assert_eq!(degraded.served_len(), 30, "slow nodes still serve");
+        assert!(
+            degraded.e2e_summary().unwrap().mean > 1.5 * baseline.e2e_summary().unwrap().mean,
+            "4x degraded service must be visibly slower: {} vs {}",
+            degraded.e2e_summary().unwrap().mean,
+            baseline.e2e_summary().unwrap().mean
         );
     }
 

@@ -13,6 +13,9 @@ pub enum RequestDisposition {
     Served,
     /// Rejected by admission control at arrival; never executed.
     Shed,
+    /// Admitted but lost to a fault (e.g. its node crashed) after the retry
+    /// budget was exhausted; partially executed.
+    Failed,
 }
 
 /// The result of serving one workflow request under one sizing policy.
@@ -54,7 +57,29 @@ impl RequestOutcome {
         }
     }
 
-    /// True when the request was served (not shed).
+    /// The outcome of an admitted request killed by a fault after its retry
+    /// budget ran out: whatever executed is accounted (time spent, CPU the
+    /// finished functions ran with), but it is not an SLO violation — failed
+    /// requests are reported via [`ServingReport::failed_len`], mirroring how
+    /// shed requests are kept out of the served statistics.
+    pub fn failed(
+        request_id: u64,
+        e2e: SimDuration,
+        allocations: Vec<Millicores>,
+        function_latencies: Vec<SimDuration>,
+    ) -> Self {
+        RequestOutcome {
+            request_id,
+            disposition: RequestDisposition::Failed,
+            e2e,
+            allocations,
+            function_latencies,
+            slo_met: false,
+            adaptation_misses: 0,
+        }
+    }
+
+    /// True when the request was served (not shed or failed).
     pub fn is_served(&self) -> bool {
         self.disposition == RequestDisposition::Served
     }
@@ -99,10 +124,15 @@ pub struct CapacityReport {
     pub admission: String,
     /// Requests offered to the platform.
     pub generated: usize,
-    /// Requests admitted (served to completion).
+    /// Requests admitted (served to completion or lost to a fault).
     pub admitted: usize,
     /// Requests shed at arrival.
     pub shed: usize,
+    /// Admitted requests lost to injected faults after exhausting their
+    /// retry budget.
+    pub failed: usize,
+    /// Fault-interrupted requests that re-enqueued and started over.
+    pub retried: usize,
     /// Applied scale-up actions.
     pub scale_ups: usize,
     /// Applied scale-down (drain) actions.
@@ -123,6 +153,12 @@ pub struct CapacityReport {
     /// Cluster CPU still allocated when the run ended, in millicores. Zero
     /// unless pods leak their cluster allocation (regression guard).
     pub final_allocated_mc: u64,
+    /// Fault injector the run was subjected to (`None` for fault-free runs).
+    pub injector: Option<String>,
+    /// Fault events actually delivered to the fleet.
+    pub faults_applied: usize,
+    /// Nodes lost to crashes, preemption deadlines and zone outages.
+    pub nodes_lost: usize,
 }
 
 impl CapacityReport {
@@ -176,7 +212,26 @@ impl ServingReport {
 
     /// Number of requests shed at admission.
     pub fn shed_len(&self) -> usize {
-        self.outcomes.len() - self.served_len()
+        self.outcomes
+            .iter()
+            .filter(|o| o.disposition == RequestDisposition::Shed)
+            .count()
+    }
+
+    /// Number of admitted requests lost to faults.
+    pub fn failed_len(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.disposition == RequestDisposition::Failed)
+            .count()
+    }
+
+    /// Failed fraction of the offered load, in `[0, 1]`.
+    pub fn failed_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.failed_len() as f64 / self.outcomes.len() as f64
     }
 
     /// Shed fraction of the offered load, in `[0, 1]`.
@@ -398,6 +453,42 @@ mod tests {
     }
 
     #[test]
+    fn all_failed_reports_degrade_to_empty_statistics_not_panics() {
+        // Newly reachable via fault injection: a total zone loss with no
+        // recovery fails every admitted request mid-flight.
+        let r = ServingReport {
+            policy: "x".into(),
+            workflow: "IA".into(),
+            concurrency: 1,
+            slo: SimDuration::from_secs(3.0),
+            outcomes: (0..4)
+                .map(|i| {
+                    RequestOutcome::failed(
+                        i,
+                        SimDuration::from_millis(120.0),
+                        vec![Millicores::new(1000)],
+                        vec![SimDuration::from_millis(120.0)],
+                    )
+                })
+                .collect(),
+            capacity: None,
+        };
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.served_len(), 0);
+        assert_eq!(r.failed_len(), 4);
+        assert_eq!(r.shed_len(), 0);
+        assert_eq!(r.failed_rate(), 1.0);
+        assert_eq!(r.shed_rate(), 0.0);
+        assert!(r.e2e_cdf().is_empty());
+        assert!(r.e2e_summary().is_none());
+        assert!(r.e2e_percentile(99.0).is_none());
+        assert_eq!(r.e2e_streaming().count(), 0);
+        assert_eq!(r.mean_cpu_millicores(), 0.0);
+        assert_eq!(r.slo_violation_rate(), 0.0);
+        assert!(!r.slo_violation_rate().is_nan());
+    }
+
+    #[test]
     fn capacity_report_shed_rate_guards_the_empty_run() {
         let mut cap = CapacityReport {
             autoscaler: "static".into(),
@@ -405,6 +496,8 @@ mod tests {
             generated: 0,
             admitted: 0,
             shed: 0,
+            failed: 0,
+            retried: 0,
             scale_ups: 0,
             scale_downs: 0,
             events: vec![],
@@ -414,6 +507,9 @@ mod tests {
             peak_inflight: 0,
             pods_recycled: 0,
             final_allocated_mc: 0,
+            injector: None,
+            faults_applied: 0,
+            nodes_lost: 0,
         };
         assert_eq!(cap.shed_rate(), 0.0);
         cap.generated = 10;

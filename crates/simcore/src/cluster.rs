@@ -58,6 +58,11 @@ pub struct ClusterConfig {
     pub node_capacity: Millicores,
     /// Placement policy.
     pub placement: PlacementPolicy,
+    /// Number of availability zones nodes are spread over (round-robin by
+    /// node id). A single zone reproduces the original flat topology; more
+    /// zones enable correlated-failure experiments (zone outages) and
+    /// zone-aware spread placement.
+    pub zones: usize,
 }
 
 impl Default for ClusterConfig {
@@ -67,6 +72,7 @@ impl Default for ClusterConfig {
             nodes: 1,
             node_capacity: Millicores::from_cores(52),
             placement: PlacementPolicy::PackSameFunction,
+            zones: 1,
         }
     }
 }
@@ -84,6 +90,11 @@ impl ClusterConfig {
                 "node capacity must be positive".into(),
             ));
         }
+        if self.zones == 0 {
+            return Err(SimError::InvalidConfig(
+                "cluster needs at least one zone".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -97,6 +108,10 @@ impl ClusterConfig {
 pub struct Cluster {
     nodes: Vec<Node>,
     states: Vec<NodeState>,
+    /// Zone label of each node slot (parallel to `nodes`); node `i` lives in
+    /// zone `i % zone_count`, and added nodes continue the round-robin.
+    node_zones: Vec<usize>,
+    zone_count: usize,
     placement: PlacementPolicy,
     pod_to_node: HashMap<PodId, NodeId>,
 }
@@ -109,9 +124,12 @@ impl Cluster {
             .map(|i| Node::new(NodeId(i as u32), config.node_capacity))
             .collect();
         let states = vec![NodeState::Active; nodes.len()];
+        let node_zones = (0..config.nodes).map(|i| i % config.zones).collect();
         Ok(Cluster {
             nodes,
             states,
+            node_zones,
+            zone_count: config.zones,
             placement: config.placement,
             pod_to_node: HashMap::new(),
         })
@@ -131,6 +149,18 @@ impl Cluster {
             .iter()
             .filter(|s| **s == NodeState::Active)
             .count()
+    }
+
+    /// Ids of active nodes (placement targets), in id order. The stable
+    /// ordering makes seed-driven victim selection (fault injection)
+    /// reproducible.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.states[*i] == NodeState::Active)
+            .map(|(_, n)| n.id())
+            .collect()
     }
 
     /// Access a node by id (including draining and retired nodes).
@@ -153,9 +183,61 @@ impl Cluster {
             ));
         }
         let id = NodeId(self.nodes.len() as u32);
+        self.node_zones.push(self.nodes.len() % self.zone_count);
         self.nodes.push(Node::new(id, capacity));
         self.states.push(NodeState::Active);
         Ok(id)
+    }
+
+    /// Number of availability zones the cluster was configured with.
+    pub fn zone_count(&self) -> usize {
+        self.zone_count
+    }
+
+    /// Zone label of a node (retired nodes keep their label).
+    pub fn zone_of(&self, id: NodeId) -> Option<usize> {
+        self.node_zones.get(id.0 as usize).copied()
+    }
+
+    /// Ids of non-retired nodes in `zone`.
+    pub fn zone_nodes(&self, zone: usize) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.node_zones[*i] == zone && self.states[*i] != NodeState::Retired)
+            .map(|(_, n)| n.id())
+            .collect()
+    }
+
+    /// Abruptly kill a node: every hosted pod is lost on the spot (no
+    /// draining), the node retires immediately and its [`NodeId`] is never
+    /// reused. Returns the `(pod, function)` pairs that were lost so the
+    /// caller can fail or retry the in-flight work and drop the pods from
+    /// any warm-pool tracking. Crashing a draining node is allowed; retired
+    /// or unknown nodes are an error.
+    pub fn crash_node(&mut self, id: NodeId) -> SimResult<Vec<(PodId, String)>> {
+        let idx = id.0 as usize;
+        match self.states.get(idx) {
+            None => return Err(SimError::UnknownEntity(format!("{id}"))),
+            Some(NodeState::Retired) => {
+                return Err(SimError::InvalidTransition {
+                    entity: format!("{id}"),
+                    detail: "crash of a retired node".into(),
+                })
+            }
+            Some(NodeState::Active) | Some(NodeState::Draining) => {}
+        }
+        let mut lost: Vec<(PodId, String)> = self.nodes[idx]
+            .pods()
+            .map(|(pod, function, _)| (pod, function.to_string()))
+            .collect();
+        lost.sort_by_key(|(pod, _)| *pod);
+        for (pod, _) in &lost {
+            self.nodes[idx].evict(*pod).expect("hosted pod evicts");
+            self.pod_to_node.remove(pod);
+        }
+        self.states[idx] = NodeState::Retired;
+        Ok(lost)
     }
 
     /// Start draining a node: it accepts no new placements and retires as
@@ -243,6 +325,17 @@ impl Cluster {
         f64::from(self.total_allocated().get()) / f64::from(cap)
     }
 
+    /// Instances of `function` hosted on non-retired nodes of `zone` — the
+    /// correlated-failure exposure zone-aware spread placement minimises.
+    fn zone_function_count(&self, zone: usize, function: &str) -> usize {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.node_zones[*i] == zone && self.states[*i] != NodeState::Retired)
+            .map(|(_, n)| n.colocated_count(function))
+            .sum()
+    }
+
     fn pick_node(&self, function: &str, allocation: Millicores) -> Option<usize> {
         let fitting = self
             .nodes
@@ -253,7 +346,19 @@ impl Cluster {
             PlacementPolicy::PackSameFunction => fitting
                 .max_by_key(|(_, n)| (n.colocated_count(function), n.free().get()))
                 .map(|(i, _)| i),
-            PlacementPolicy::Spread => fitting.max_by_key(|(_, n)| n.free().get()).map(|(i, _)| i),
+            // Zone-aware spread: first keep instances of the same function
+            // out of each other's blast radius (fewest copies in the node's
+            // zone), then balance load (most free capacity). With one zone
+            // the first criterion ties everywhere, degenerating to the
+            // original most-free-capacity spread.
+            PlacementPolicy::Spread => fitting
+                .max_by_key(|(i, n)| {
+                    (
+                        std::cmp::Reverse(self.zone_function_count(self.node_zones[*i], function)),
+                        n.free().get(),
+                    )
+                })
+                .map(|(i, _)| i),
         }
     }
 
@@ -361,6 +466,17 @@ mod tests {
             nodes,
             node_capacity: Millicores::from_cores(8),
             placement: policy,
+            zones: 1,
+        })
+        .unwrap()
+    }
+
+    fn zoned(nodes: usize, zones: usize) -> Cluster {
+        Cluster::new(&ClusterConfig {
+            nodes,
+            node_capacity: Millicores::from_cores(8),
+            placement: PlacementPolicy::Spread,
+            zones,
         })
         .unwrap()
     }
@@ -422,14 +538,81 @@ mod tests {
             nodes: 0,
             node_capacity: Millicores::from_cores(1),
             placement: PlacementPolicy::Spread,
+            zones: 1,
         })
         .is_err());
         assert!(Cluster::new(&ClusterConfig {
             nodes: 1,
             node_capacity: Millicores::ZERO,
             placement: PlacementPolicy::Spread,
+            zones: 1,
         })
         .is_err());
+        assert!(Cluster::new(&ClusterConfig {
+            nodes: 1,
+            node_capacity: Millicores::from_cores(1),
+            placement: PlacementPolicy::Spread,
+            zones: 0,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn zones_are_assigned_round_robin_and_survive_growth() {
+        let mut c = zoned(4, 2);
+        assert_eq!(c.zone_count(), 2);
+        assert_eq!(c.zone_of(NodeId(0)), Some(0));
+        assert_eq!(c.zone_of(NodeId(1)), Some(1));
+        assert_eq!(c.zone_of(NodeId(2)), Some(0));
+        assert_eq!(c.zone_of(NodeId(3)), Some(1));
+        assert_eq!(c.zone_of(NodeId(9)), None);
+        assert_eq!(c.zone_nodes(0), vec![NodeId(0), NodeId(2)]);
+        // Added nodes continue the round-robin, so zones stay balanced.
+        let added = c.add_node(Millicores::from_cores(8)).unwrap();
+        assert_eq!(c.zone_of(added), Some(0));
+        assert_eq!(c.zone_nodes(0), vec![NodeId(0), NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn zone_aware_spread_separates_same_function_instances() {
+        // Four nodes, two zones: the first two instances of a function must
+        // land in different zones, not merely on different nodes.
+        let mut c = zoned(4, 2);
+        c.place(PodId(1), "od", Millicores::new(1000)).unwrap();
+        c.place(PodId(2), "od", Millicores::new(1000)).unwrap();
+        let z1 = c.zone_of(c.node_of(PodId(1)).unwrap()).unwrap();
+        let z2 = c.zone_of(c.node_of(PodId(2)).unwrap()).unwrap();
+        assert_ne!(z1, z2, "spread must cross zones first");
+    }
+
+    #[test]
+    fn crash_loses_pods_and_retires_the_node_for_good() {
+        let mut c = zoned(2, 2);
+        c.place(PodId(1), "od", Millicores::new(2000)).unwrap();
+        c.place(PodId(2), "qa", Millicores::new(1000)).unwrap();
+        let victim = c.node_of(PodId(1)).unwrap();
+        let mut lost = c.crash_node(victim).unwrap();
+        lost.sort_by_key(|(pod, _)| *pod);
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].0, PodId(1));
+        assert_eq!(lost[0].1, "od");
+        // The pod is gone, the node is retired, its allocation released.
+        assert_eq!(c.node_of(PodId(1)), None);
+        assert_eq!(c.node_state(victim), Some(NodeState::Retired));
+        assert_eq!(c.node_count(), 1);
+        assert_eq!(c.total_allocated().get(), 1000);
+        // Crashing again (or an unknown node) is an error; the id is never
+        // reused by growth.
+        assert!(c.crash_node(victim).is_err());
+        assert!(c.crash_node(NodeId(9)).is_err());
+        let added = c.add_node(Millicores::from_cores(8)).unwrap();
+        assert_ne!(added, victim);
+        // A draining node can still crash (preemption deadline beats drain).
+        let survivor = c.node_of(PodId(2)).unwrap();
+        c.drain_node(survivor).unwrap();
+        let lost = c.crash_node(survivor).unwrap();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(c.total_allocated().get(), 0);
     }
 
     #[test]

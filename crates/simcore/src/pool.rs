@@ -262,6 +262,28 @@ impl PoolManager {
         recycled
     }
 
+    /// Forget pods lost abruptly (a node crash, not a drain): each is
+    /// removed from the generic pool, every warm queue, the idle tracker and
+    /// the pod table, so nothing can hand a dead pod out again and the
+    /// tracking map cannot grow dead entries across a crash-heavy run.
+    /// Unknown ids are ignored (the pod may already have been recycled).
+    /// Returns how many pods were actually dropped.
+    pub fn drop_lost(&mut self, lost: &[PodId]) -> usize {
+        let mut dropped = 0;
+        for pod_id in lost {
+            if self.pods.remove(pod_id).is_none() {
+                continue;
+            }
+            self.generic.retain(|id| id != pod_id);
+            for queue in self.warm_by_function.values_mut() {
+                queue.retain(|id| id != pod_id);
+            }
+            self.idle_since.remove(pod_id);
+            dropped += 1;
+        }
+        dropped
+    }
+
     /// Mutable access to a pod (e.g. for a resize while it is idle or running).
     pub fn pod_mut(&mut self, pod_id: PodId) -> Option<&mut Pod> {
         self.pods.get_mut(&pod_id)
@@ -361,6 +383,25 @@ mod tests {
             1,
             "generic pool refilled after recycling"
         );
+    }
+
+    #[test]
+    fn lost_pods_are_dropped_from_every_tracking_structure() {
+        let mut mgr = pool(2);
+        let running = mgr.acquire("od", Millicores::new(1000), SimTime::ZERO);
+        // One pod running, one generic; lose both plus an unknown id.
+        let generic_id = PodId(mgr.total_pods() as u64 - 1);
+        assert_ne!(running.pod, generic_id);
+        let dropped = mgr.drop_lost(&[running.pod, generic_id, PodId(999)]);
+        assert_eq!(dropped, 2, "unknown ids are ignored");
+        assert_eq!(mgr.tracked_pods(), 0);
+        assert_eq!(mgr.generic_available(), 0);
+        // A release of a lost running pod is a safe no-op …
+        mgr.release(running.pod, SimTime::from_millis(10.0));
+        assert_eq!(mgr.warm_available("od"), 0);
+        // … and recycling later never resurrects it.
+        assert_eq!(mgr.recycle_idle(SimTime::from_secs(500.0)), 0);
+        assert_eq!(mgr.tracked_pods(), 2, "refill provisions fresh pods only");
     }
 
     #[test]

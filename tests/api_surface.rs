@@ -227,6 +227,7 @@ fn autoscaled_sessions_are_deterministic_in_the_seed() {
                 nodes: 2,
                 node_capacity: Millicores::from_cores(8),
                 placement: janus_simcore::cluster::PlacementPolicy::Spread,
+                zones: 1,
             })
             .scenario("flash-crowd")
             .autoscaler("utilization")

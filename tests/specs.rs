@@ -136,6 +136,7 @@ fn capacity_grid_spec_expresses_what_the_old_binaries_could_not() {
                 seed,
                 Some("queue-depth"),
                 Some("token-bucket"),
+                None,
             )
             .unwrap()
     };
@@ -159,6 +160,86 @@ fn capacity_grid_spec_expresses_what_the_old_binaries_could_not() {
             .unwrap()
             .as_f64()
             .is_some());
+    }
+}
+
+#[test]
+fn chaos_grid_spec_kills_a_zone_in_every_cell_and_stays_deterministic() {
+    // flash-crowd × {static, utilization} × {admit-all, queue-shed} ×
+    // zone-outage × 3 seeds, from the committed spec file alone. Every
+    // cell loses nodes mid-run, every request is accounted for (served,
+    // failed or shed — never silently dropped), and the whole grid is
+    // bit-reproducible per seed.
+    let spec = golden_spec("chaos_grid.json");
+    assert_eq!(spec.faults.as_deref(), Some(&["zone-outage".into()][..]));
+    assert_eq!(spec.seeds, vec![7, 11, 13]);
+    let result = run_sweep(&spec).unwrap();
+    result.validate().unwrap();
+    assert_eq!(
+        result.points.len(),
+        12,
+        "3 seeds x 2 autoscalers x 2 admissions"
+    );
+    for point in &result.points {
+        let report = &point.report;
+        assert_eq!(report.fault.as_deref(), Some("zone-outage"));
+        let serving = report.serving("GrandSLAM").unwrap();
+        let capacity = serving.capacity.as_ref().expect("capacity-controlled run");
+        assert_eq!(capacity.injector.as_deref(), Some("zone-outage"));
+        assert_eq!(capacity.faults_applied, 1, "one outage per run");
+        assert!(
+            capacity.nodes_lost >= 1,
+            "the outage must land on live nodes"
+        );
+        assert_eq!(
+            capacity.admitted + capacity.shed,
+            spec.requests,
+            "seed {}: requests not conserved at admission",
+            point.session.seed
+        );
+        assert_eq!(
+            capacity.admitted,
+            serving.served_len() + serving.failed_len(),
+            "seed {}: admitted requests must end served or failed",
+            point.session.seed
+        );
+        assert_eq!(
+            capacity.final_allocated_mc, 0,
+            "seed {}: lost pods must release their allocations",
+            point.session.seed
+        );
+    }
+    // Bit-reproducible: a second run of the same spec matches exactly.
+    let again = run_sweep(&spec).unwrap();
+    for (a, b) in result.points.iter().zip(&again.points) {
+        assert_eq!(a.session, b.session);
+        assert_eq!(
+            a.report.serving("GrandSLAM").unwrap(),
+            b.report.serving("GrandSLAM").unwrap(),
+            "chaos grid must replay identically under fixed seeds"
+        );
+    }
+    // The machine view decodes cleanly and is NaN-free even where cells
+    // failed requests (JSON has no NaN literal, so a decode pass proves it).
+    let encoded = result.to_json().to_pretty();
+    let doc = janus_json::parse(&encoded).unwrap();
+    let points = doc.require("points").unwrap().as_array().unwrap();
+    assert_eq!(points.len(), 12);
+    for point in points {
+        let session = point.require("session").unwrap();
+        assert_eq!(
+            session.require("fault").unwrap().as_str(),
+            Some("zone-outage")
+        );
+        let policies = point.require("policies").unwrap().as_array().unwrap();
+        let cell = &policies[0];
+        for key in ["failed", "retried", "nodes_lost"] {
+            assert!(
+                cell.require(key).unwrap().as_f64().is_some(),
+                "cell is missing `{key}`"
+            );
+        }
+        assert!(cell.require("node_seconds").unwrap().as_f64().unwrap() > 0.0);
     }
 }
 
@@ -200,7 +281,12 @@ fn invalid_specs_point_at_the_offending_key() {
 
 #[test]
 fn every_committed_spec_decodes_and_reencodes_canonically() {
-    for file in ["smoke.json", "scenario_policy.json", "capacity_grid.json"] {
+    for file in [
+        "smoke.json",
+        "scenario_policy.json",
+        "capacity_grid.json",
+        "chaos_grid.json",
+    ] {
         let spec = golden_spec(file);
         spec.validate().unwrap_or_else(|e| panic!("{file}: {e}"));
         // Encode → decode → encode is stable, so artefacts embedding the
