@@ -5,6 +5,8 @@
 //! janus run <experiment> [flags]  # one experiment by name
 //! janus sweep <spec.json> [flags] # a declarative grid from a spec file
 //! janus all [flags]               # every registered experiment
+//! janus report <trace.jsonl>      # summarise a flight trace (--out writes CSV)
+//! janus perf-check [path]         # gate a fresh perf run against the history
 //! ```
 //!
 //! Parsing and execution are separated ([`parse`] / [`execute`]) so the
@@ -13,9 +15,13 @@
 
 use crate::BenchFlags;
 use janus_chaos::FaultRegistry;
-use janus_core::experiments::{run_sweep_streaming, ExperimentRegistry, Scale, SweepSpec};
+use janus_core::experiments::{
+    check_against, history_with_entry, latest_baseline, run_sweep_streaming, today_utc,
+    ExperimentRegistry, Scale, SweepSpec, TraceSink,
+};
 use janus_core::registry::PolicyRegistry;
 use janus_json::Value;
+use janus_observe::{ObserverRegistry, TraceReport};
 use janus_platform::capacity::{AdmissionRegistry, AutoscalerRegistry};
 use janus_scenarios::ScenarioRegistry;
 use std::str::FromStr as _;
@@ -24,16 +30,22 @@ use std::str::FromStr as _;
 pub const USAGE: &str = "usage: janus <command> [flags]\n\
     commands:\n\
     \x20 list                 enumerate registered experiments, policies, scenarios,\n\
-    \x20                      autoscalers, admission policies and fault injectors\n\
+    \x20                      autoscalers, admission policies, fault injectors and\n\
+    \x20                      observers\n\
     \x20 run <experiment>     run one experiment by name (see `janus list`)\n\
     \x20 sweep <spec.json>    run a declarative sweep grid from a JSON spec file\n\
     \x20 all                  run every registered experiment\n\
-    flags: [--quick | --paper] [--seed N] [--out PATH] [--help]\n\
-    \x20 --quick    reduced scale; sweeps clamp profiling cost (samples, budget step)\n\
-    \x20 --paper    paper scale (default)\n\
-    \x20 --seed N   override the experiment seed (sweeps: replaces the seed axis)\n\
-    \x20 --out PATH write the result as JSON to PATH, then decode-check it\n\
-    \x20 --help     print this message";
+    \x20 report <trace.jsonl> summarise a JSONL flight trace (--out writes CSV)\n\
+    \x20 perf-check [path]    rerun perf and fail on regression against the history\n\
+    \x20                      at path (default BENCH_perf.json)\n\
+    flags: [--quick | --paper] [--seed N] [--out PATH] [--trace PATH] [--help]\n\
+    \x20 --quick      reduced scale; sweeps clamp profiling cost (samples, budget step)\n\
+    \x20 --paper      paper scale (default)\n\
+    \x20 --seed N     override the experiment seed (sweeps: replaces the seed axis)\n\
+    \x20 --out PATH   write the result as JSON to PATH, then decode-check it\n\
+    \x20 --trace PATH write the run's JSONL flight trace to PATH (implies the\n\
+    \x20              flight-recorder observer; trace-capable experiments only)\n\
+    \x20 --help       print this message";
 
 /// A parsed `janus` invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +58,10 @@ pub enum Command {
     Sweep(String),
     /// `janus all`
     All,
+    /// `janus report <trace.jsonl>`
+    Report(String),
+    /// `janus perf-check [path]`
+    PerfCheck(Option<String>),
 }
 
 /// Parse a `janus` argument list (without the program name) into a command
@@ -68,9 +84,22 @@ where
             let path = next_operand(&mut args, "sweep", "a spec file path")?;
             Command::Sweep(path)
         }
+        Some("report") => {
+            let path = next_operand(&mut args, "report", "a trace artefact path")?;
+            Command::Report(path)
+        }
+        Some("perf-check") => {
+            // The history path is optional: bare `janus perf-check` gates
+            // against the committed BENCH_perf.json.
+            let path = match args.peek() {
+                Some(value) if !value.starts_with("--") => args.next(),
+                _ => None,
+            };
+            Command::PerfCheck(path)
+        }
         Some(other) => {
             return Err(format!(
-                "unknown command `{other}`; expected list, run, sweep or all"
+                "unknown command `{other}`; expected list, run, sweep, all, report or perf-check"
             ))
         }
     };
@@ -108,6 +137,8 @@ pub fn execute(command: &Command, flags: &BenchFlags) -> Result<(), String> {
         Command::Run(name) => run_experiment(name, flags),
         Command::Sweep(path) => run_sweep_file(path, flags),
         Command::All => run_all(flags),
+        Command::Report(path) => run_report(path, flags),
+        Command::PerfCheck(path) => run_perf_check(path.as_deref(), flags),
     }
 }
 
@@ -147,16 +178,117 @@ pub fn listing() -> String {
         "fault injectors",
         FaultRegistry::with_builtins().names(),
     );
+    section(
+        &mut out,
+        "observers",
+        ObserverRegistry::with_builtins().names(),
+    );
     out
 }
 
 fn run_experiment(name: &str, flags: &BenchFlags) -> Result<(), String> {
     let registry = ExperimentRegistry::with_builtins();
-    let output = registry.run(name, &flags.ctx())?;
+    let mut ctx = flags.ctx();
+    // `--trace` hands the experiment a shared sink; the context derives the
+    // flight-recorder observer from its presence.
+    let sink = flags.trace.as_ref().map(|_| TraceSink::new());
+    if let Some(sink) = &sink {
+        ctx = ctx.with_trace(sink.clone());
+    }
+    let output = registry.run(name, &ctx)?;
     print!("{}", output.summary());
-    let written = output.to_json();
+    if let (Some(path), Some(sink)) = (&flags.trace, &sink) {
+        write_trace(path, name, sink)?;
+    }
+    // `janus run perf --out` appends a dated entry to the perf history
+    // rather than overwriting the committed baseline.
+    let written = if name == "perf" && flags.out.is_some() {
+        perf_history_doc(flags, output.to_json())?
+    } else {
+        output.to_json()
+    };
     flags.write_out_value(&written);
     flags.verify_out(&written);
+    Ok(())
+}
+
+/// Drain the trace sink to the `--trace` path. An empty sink is an error:
+/// the user explicitly asked for a trace and silently writing nothing would
+/// hide that the experiment never emits one.
+fn write_trace(path: &str, name: &str, sink: &TraceSink) -> Result<(), String> {
+    let lines = sink.take();
+    if lines.is_empty() {
+        return Err(format!(
+            "--trace: experiment `{name}` emitted no trace lines \
+             (trace-capable experiments: capacity, chaos_resilience)"
+        ));
+    }
+    std::fs::write(path, &lines).map_err(|e| format!("failed to write trace {path}: {e}"))?;
+    eprintln!("traced {path} ({} lines)", lines.lines().count());
+    Ok(())
+}
+
+/// The document `janus run perf --out PATH` writes: the existing artefact
+/// at PATH (a history, or the pre-history flat baseline) with the fresh
+/// result appended as a dated entry of the current scale.
+fn perf_history_doc(flags: &BenchFlags, result: Value) -> Result<Value, String> {
+    let path = flags.out.as_deref().expect("caller checked --out");
+    let existing = match std::fs::read_to_string(path) {
+        Ok(text) => Some(
+            janus_json::parse(&text)
+                .map_err(|e| format!("existing {path} is not valid JSON: {e}"))?,
+        ),
+        Err(_) => None,
+    };
+    history_with_entry(existing.as_ref(), &result, flags.scale.name(), &today_utc())
+}
+
+fn run_report(path: &str, flags: &BenchFlags) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+    let report = TraceReport::from_jsonl(&text).map_err(|e| format!("trace `{path}`: {e}"))?;
+    print!("{}", report.render());
+    // `--out` writes the telemetry as CSV (not JSON: the artefact is a
+    // spreadsheet-ready table, already decode-checked via from_jsonl).
+    if let Some(out) = &flags.out {
+        let csv = report.to_csv();
+        std::fs::write(out, &csv).map_err(|e| format!("failed to write {out}: {e}"))?;
+        eprintln!(
+            "wrote {out} (CSV, {} data rows)",
+            csv.lines().count().saturating_sub(1)
+        );
+    }
+    Ok(())
+}
+
+fn run_perf_check(path: Option<&str>, flags: &BenchFlags) -> Result<(), String> {
+    let path = path.unwrap_or("BENCH_perf.json");
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read perf history `{path}`: {e}"))?;
+    let history = janus_json::parse(&text)
+        .map_err(|e| format!("perf history `{path}` is not valid JSON: {e}"))?;
+    let scale = flags.scale.name();
+    let baseline = latest_baseline(&history, scale)?.ok_or_else(|| {
+        format!(
+            "perf history `{path}` has no {scale}-scale entry; record one with \
+             `janus run perf{} --out {path}`",
+            if flags.scale == Scale::Quick {
+                " --quick"
+            } else {
+                ""
+            }
+        )
+    })?;
+    let output = ExperimentRegistry::with_builtins().run("perf", &flags.ctx())?;
+    print!("{}", output.summary());
+    let fresh = output
+        .to_json()
+        .require("mean_events_per_sec")
+        .map_err(|e| format!("fresh perf result: {e}"))?
+        .as_f64()
+        .ok_or("fresh perf result: mean_events_per_sec not a number")?;
+    let verdict = check_against(&baseline, fresh)?;
+    println!("{verdict}");
     Ok(())
 }
 
@@ -255,6 +387,20 @@ mod tests {
         assert_eq!(flags.seed, Some(3));
         let (cmd, _) = parse_cli(&["sweep", "specs/smoke.json"]).unwrap();
         assert_eq!(cmd, Command::Sweep("specs/smoke.json".into()));
+        let (cmd, flags) = parse_cli(&["run", "capacity", "--trace", "out.jsonl"]).unwrap();
+        assert_eq!(cmd, Command::Run("capacity".into()));
+        assert_eq!(flags.trace.as_deref(), Some("out.jsonl"));
+        let (cmd, _) = parse_cli(&["report", "out.jsonl"]).unwrap();
+        assert_eq!(cmd, Command::Report("out.jsonl".into()));
+        // perf-check's history path is optional; flags still parse after it.
+        let (cmd, _) = parse_cli(&["perf-check"]).unwrap();
+        assert_eq!(cmd, Command::PerfCheck(None));
+        let (cmd, flags) = parse_cli(&["perf-check", "h.json", "--quick"]).unwrap();
+        assert_eq!(cmd, Command::PerfCheck(Some("h.json".into())));
+        assert_eq!(flags.scale, Scale::Quick);
+        let (cmd, flags) = parse_cli(&["perf-check", "--quick"]).unwrap();
+        assert_eq!(cmd, Command::PerfCheck(None));
+        assert_eq!(flags.scale, Scale::Quick);
     }
 
     #[test]
@@ -268,6 +414,10 @@ mod tests {
         assert!(err.contains("got flag `--quick`"), "{err}");
         let err = parse_cli(&["sweep"]).unwrap_err();
         assert!(err.contains("needs a spec file path"), "{err}");
+        let err = parse_cli(&["report"]).unwrap_err();
+        assert!(err.contains("needs a trace artefact path"), "{err}");
+        let err = parse_cli(&["report", "--quick"]).unwrap_err();
+        assert!(err.contains("got flag `--quick`"), "{err}");
         let err = parse_cli(&["run", "perf", "--warp"]).unwrap_err();
         assert!(err.contains("unknown flag `--warp`"), "{err}");
         let err = parse_cli(&["list", "--quick"]).unwrap_err();
@@ -303,6 +453,7 @@ mod tests {
             "autoscalers: static, utilization, queue-depth",
             "admission policies: admit-all, token-bucket, queue-shed",
             "fault injectors: node-crash, spot-preempt, zone-outage, slow-node",
+            "observers: ring, trace, spans, time-series, flight-recorder",
             "chaos_resilience",
         ] {
             assert!(
@@ -325,6 +476,7 @@ mod tests {
             autoscalers: None,
             admissions: None,
             faults: None,
+            observers: None,
             cluster: None,
             requests: 500,
             samples_per_point: 1000,
@@ -345,5 +497,136 @@ mod tests {
         };
         apply_flags_to_spec(&mut spec, &seeded);
         assert_eq!(spec.seeds, vec![42], "--seed replaces the seed axis");
+    }
+
+    fn temp_path(name: &str) -> String {
+        std::env::temp_dir()
+            .join(name)
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn trace_flag_writes_a_reportable_artefact_and_the_csv_has_no_degenerate_cells() {
+        let trace_path = temp_path("janus_cli_trace_test.jsonl");
+        let csv_path = temp_path("janus_cli_trace_test.csv");
+        let flags = BenchFlags {
+            scale: Scale::Quick,
+            seed: Some(7),
+            trace: Some(trace_path.clone()),
+            ..BenchFlags::default()
+        };
+        execute(&Command::Run("capacity".into()), &flags).unwrap();
+        let text = std::fs::read_to_string(&trace_path).expect("trace written");
+        let decoded = TraceReport::from_jsonl(&text).expect("trace decodes");
+        assert!(!decoded.policies.is_empty());
+
+        // `janus report` renders the artefact and `--out` writes its CSV.
+        let report_flags = BenchFlags {
+            out: Some(csv_path.clone()),
+            ..BenchFlags::default()
+        };
+        execute(&Command::Report(trace_path.clone()), &report_flags).unwrap();
+        let csv = std::fs::read_to_string(&csv_path).expect("csv written");
+        let mut lines = csv.lines();
+        let header = lines.next().expect("csv header");
+        assert!(header.starts_with("policy,at_ms,"), "{header}");
+        let mut cells = 0usize;
+        for line in lines {
+            // Every numeric cell must round-trip as a finite f64 — a NaN or
+            // inf cell would silently poison a spreadsheet import.
+            for cell in line.split(',').skip(1) {
+                let value: f64 = cell
+                    .parse()
+                    .unwrap_or_else(|e| panic!("cell `{cell}` in `{line}` is not a number: {e}"));
+                assert!(value.is_finite(), "cell `{cell}` in `{line}`");
+                cells += 1;
+            }
+        }
+        assert!(cells > 0, "csv has data rows");
+
+        // Experiments without a trace hook refuse --trace loudly.
+        let err = execute(&Command::Run("fig1a".into()), &flags).unwrap_err();
+        assert!(err.contains("emitted no trace lines"), "{err}");
+        let _ = std::fs::remove_file(&trace_path);
+        let _ = std::fs::remove_file(&csv_path);
+    }
+
+    #[test]
+    fn perf_out_appends_dated_entries_to_the_history() {
+        let path = temp_path("janus_cli_perf_history_append_test.json");
+        let _ = std::fs::remove_file(&path);
+        let flags = BenchFlags {
+            scale: Scale::Quick,
+            seed: Some(11),
+            out: Some(path.clone()),
+            ..BenchFlags::default()
+        };
+        execute(&Command::Run("perf".into()), &flags).unwrap();
+        execute(&Command::Run("perf".into()), &flags).unwrap();
+        let doc = janus_json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.require("experiment").unwrap().as_str(),
+            Some("perf-history")
+        );
+        let entries = doc.require("entries").unwrap().as_array().unwrap().to_vec();
+        assert_eq!(entries.len(), 2, "second run appends, not overwrites");
+        for entry in &entries {
+            assert_eq!(entry.require("scale").unwrap().as_str(), Some("quick"));
+            assert!(entry
+                .require("result")
+                .and_then(|r| r.require("mean_events_per_sec"))
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .is_finite());
+        }
+        // The gate finds the appended entry as its quick baseline.
+        let baseline = latest_baseline(&doc, "quick").unwrap().unwrap();
+        assert!(baseline.mean_events_per_sec > 0.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn perf_check_gates_against_the_history_at_the_given_path() {
+        let quick = BenchFlags {
+            scale: Scale::Quick,
+            seed: Some(3),
+            ..BenchFlags::default()
+        };
+        // Missing file and missing matching-scale entry fail with guidance
+        // before any perf run is spent.
+        let err = execute(
+            &Command::PerfCheck(Some(temp_path("janus_no_such_history.json"))),
+            &quick,
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot read perf history"), "{err}");
+        let paper_only = temp_path("janus_cli_perf_check_paper_only.json");
+        let flat = Value::Obj(vec![
+            ("experiment".to_string(), Value::Str("perf".to_string())),
+            ("mean_events_per_sec".to_string(), Value::Num(1e6)),
+        ]);
+        std::fs::write(&paper_only, flat.to_pretty()).unwrap();
+        let err = execute(&Command::PerfCheck(Some(paper_only.clone())), &quick).unwrap_err();
+        assert!(err.contains("no quick-scale entry"), "{err}");
+        assert!(err.contains("janus run perf --quick"), "{err}");
+
+        // An absurdly fast committed baseline makes any fresh run a
+        // regression — the failure carries both figures.
+        let impossible = temp_path("janus_cli_perf_check_impossible.json");
+        let history = history_with_entry(
+            None,
+            &Value::Obj(vec![("mean_events_per_sec".to_string(), Value::Num(1e18))]),
+            "quick",
+            "2026-08-07",
+        )
+        .unwrap();
+        std::fs::write(&impossible, history.to_pretty()).unwrap();
+        let err = execute(&Command::PerfCheck(Some(impossible.clone())), &quick).unwrap_err();
+        assert!(err.contains("perf regression"), "{err}");
+        assert!(err.contains("2026-08-07"), "{err}");
+        let _ = std::fs::remove_file(&paper_only);
+        let _ = std::fs::remove_file(&impossible);
     }
 }

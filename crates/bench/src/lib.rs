@@ -21,7 +21,9 @@
 //! scale for smoke runs), `--paper` (the default), `--seed N` (override the
 //! serving/profiling seed), `--out PATH` (write the result as JSON next to
 //! the stdout tables; the artefact is re-read and decode-checked before the
-//! process exits 0) and `--help`. Serving itself always goes through
+//! process exits 0), `--trace PATH` (write a JSONL flight trace, implying
+//! the flight-recorder observer) and `--help`. Serving itself always goes
+//! through
 //! [`ServingSession`](janus_core::session::ServingSession).
 
 pub mod cli;
@@ -49,6 +51,9 @@ pub struct BenchFlags {
     /// Optional path the invocation writes its result to as JSON (`--out`),
     /// next to the stdout tables.
     pub out: Option<String>,
+    /// Optional path a trace-capable experiment writes its JSONL flight
+    /// trace to (`--trace`); implies the `flight-recorder` observer.
+    pub trace: Option<String>,
 }
 
 impl Default for BenchFlags {
@@ -57,18 +62,21 @@ impl Default for BenchFlags {
             scale: Scale::Paper,
             seed: None,
             out: None,
+            trace: None,
         }
     }
 }
 
 impl BenchFlags {
     /// Usage string shared by every invocation.
-    pub const USAGE: &'static str = "flags: [--quick | --paper] [--seed N] [--out PATH] [--help]\n\
-        \x20 --quick    reduced scale (fewer requests / profile samples) for smoke runs\n\
-        \x20 --paper    paper scale (default)\n\
-        \x20 --seed N   override the serving/profiling seed\n\
-        \x20 --out PATH write the result as JSON to PATH (in addition to stdout)\n\
-        \x20 --help     print this message";
+    pub const USAGE: &'static str =
+        "flags: [--quick | --paper] [--seed N] [--out PATH] [--trace PATH] [--help]\n\
+        \x20 --quick      reduced scale (fewer requests / profile samples) for smoke runs\n\
+        \x20 --paper      paper scale (default)\n\
+        \x20 --seed N     override the serving/profiling seed\n\
+        \x20 --out PATH   write the result as JSON to PATH (in addition to stdout)\n\
+        \x20 --trace PATH write a JSONL flight trace to PATH (trace-capable experiments)\n\
+        \x20 --help       print this message";
 
     /// Parse the process arguments; prints usage and exits on `--help` or on
     /// an invalid invocation.
@@ -137,6 +145,18 @@ impl BenchFlags {
                         return Err(format!("--out needs a path, got flag `{value}`"));
                     }
                     flags.out = Some(value);
+                }
+                "--trace" => {
+                    if flags.trace.is_some() {
+                        return Err("--trace given twice".into());
+                    }
+                    let value = it
+                        .next()
+                        .ok_or_else(|| "--trace needs a path".to_string())?;
+                    if value.starts_with("--") {
+                        return Err(format!("--trace needs a path, got flag `{value}`"));
+                    }
+                    flags.trace = Some(value);
                 }
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -269,6 +289,10 @@ mod tests {
         assert!(parse(&["--out", "--quick"])
             .unwrap_err()
             .contains("needs a path, got flag"));
+        assert!(parse(&["--trace"]).unwrap_err().contains("needs a path"));
+        assert!(parse(&["--trace", "--quick"])
+            .unwrap_err()
+            .contains("needs a path, got flag"));
     }
 
     #[test]
@@ -277,6 +301,8 @@ mod tests {
         assert!(err.contains("--seed given twice"), "{err}");
         let err = parse(&["--out", "a.json", "--out", "b.json"]).unwrap_err();
         assert!(err.contains("--out given twice"), "{err}");
+        let err = parse(&["--trace", "a.jsonl", "--trace", "b.jsonl"]).unwrap_err();
+        assert!(err.contains("--trace given twice"), "{err}");
         let err = parse(&["--quick", "--paper"]).unwrap_err();
         assert!(err.contains("--paper conflicts"), "{err}");
         let err = parse(&["--quick", "--quick"]).unwrap_err();

@@ -122,6 +122,19 @@ pub enum FaultAction {
     },
 }
 
+impl FaultAction {
+    /// Stable short name of the action variant, used by trace records (the
+    /// `fault` field of a flight-recorder line) and human-readable output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultAction::Crash { .. } => "crash",
+            FaultAction::Preempt { .. } => "preempt",
+            FaultAction::ZoneOutage { .. } => "zone-outage",
+            FaultAction::SlowNodes { .. } => "slow-nodes",
+        }
+    }
+}
+
 /// One scheduled fault: an action and the simulated instant it fires.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {

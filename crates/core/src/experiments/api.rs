@@ -30,7 +30,7 @@ use crate::experiments::{CapacitySweepConfig, PerfConfig, ScenarioSweepConfig, T
 use janus_json::Value;
 use janus_workloads::apps::PaperApp;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Shared experiment scale. Every runner interprets it the same way: `Paper`
 /// reproduces the paper's sample counts, `Quick` preserves every code path
@@ -44,6 +44,15 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// The scale's canonical name — what perf-history entries are tagged
+    /// with, so baselines only ever gate runs of the same scale.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        }
+    }
+
     /// Comparison configuration for an application at this scale.
     pub fn comparison(self, app: PaperApp, concurrency: u32) -> ComparisonConfig {
         match self {
@@ -111,28 +120,124 @@ impl Scale {
     }
 }
 
-/// Everything an experiment may consult when running: the scale and an
-/// optional seed override. The per-config helpers mirror the ones the bench
+/// A shared, thread-safe accumulator for JSONL trace lines. `janus run
+/// <experiment> --trace PATH` hands one of these to the experiment through
+/// the [`ExperimentCtx`]; trace-capable experiments append each observed
+/// session's trace and the CLI writes the collected lines to `PATH`.
+/// Cloning shares the underlying buffer.
+#[derive(Clone, Default)]
+pub struct TraceSink(Arc<Mutex<String>>);
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a block of JSONL lines, ensuring it stays newline-terminated.
+    pub fn append(&self, lines: &str) {
+        if lines.is_empty() {
+            return;
+        }
+        let mut buf = self.0.lock().expect("trace sink poisoned");
+        buf.push_str(lines);
+        if !lines.ends_with('\n') {
+            buf.push('\n');
+        }
+    }
+
+    /// Take the collected lines out, leaving the sink empty.
+    pub fn take(&self) -> String {
+        std::mem::take(&mut *self.0.lock().expect("trace sink poisoned"))
+    }
+
+    /// True while nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().expect("trace sink poisoned").is_empty()
+    }
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let len = self.0.lock().map(|b| b.len()).unwrap_or(0);
+        f.debug_struct("TraceSink").field("bytes", &len).finish()
+    }
+}
+
+/// Everything an experiment may consult when running: the scale, an
+/// optional seed override, and the optional observability hookup (observer
+/// name + trace sink). The per-config helpers mirror the ones the bench
 /// flags used to provide, with the override already applied, so experiments
 /// stay one-liners.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExperimentCtx {
     /// Experiment scale.
     pub scale: Scale,
     /// Seed override (`--seed N`); `None` keeps each experiment's default.
     pub seed: Option<u64>,
+    /// Observer to attach to trace-capable experiments' sessions; `None`
+    /// leaves observation off (the zero-cost default).
+    pub observer: Option<String>,
+    /// Where trace-capable experiments append their JSONL trace lines
+    /// (`--trace PATH`). Setting a sink without an observer implies the
+    /// `flight-recorder` built-in — see [`observer_name`](Self::observer_name).
+    pub trace: Option<TraceSink>,
 }
 
 impl ExperimentCtx {
     /// A context at the given scale with no seed override.
     pub fn new(scale: Scale) -> Self {
-        ExperimentCtx { scale, seed: None }
+        ExperimentCtx {
+            scale,
+            seed: None,
+            observer: None,
+            trace: None,
+        }
     }
 
     /// Apply a seed override.
     pub fn with_seed(mut self, seed: Option<u64>) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Attach a trace sink (implies the `flight-recorder` observer unless
+    /// one was named explicitly).
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Name an observer for trace-capable experiments to attach.
+    pub fn with_observer(mut self, observer: Option<String>) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// The observer trace-capable experiments should attach: the explicit
+    /// choice when named, otherwise `flight-recorder` when a trace sink is
+    /// present (a trace needs an observer to produce lines), otherwise none.
+    pub fn observer_name(&self) -> Option<&str> {
+        match (&self.observer, &self.trace) {
+            (Some(name), _) => Some(name),
+            (None, Some(_)) => Some("flight-recorder"),
+            (None, None) => None,
+        }
+    }
+
+    /// Append a session trace to the sink, if one is attached. `qualifier`
+    /// distinguishes grid cells that serve the same policies (the trace's
+    /// `policy` field becomes `<policy>@<qualifier>`); pass `None` for
+    /// single-session experiments.
+    pub fn append_trace(&self, trace: &str, qualifier: Option<&str>) -> Result<(), String> {
+        let Some(sink) = &self.trace else {
+            return Ok(());
+        };
+        match qualifier {
+            Some(suffix) => sink.append(&janus_observe::qualify_policy(trace, suffix)?),
+            None => sink.append(trace),
+        }
+        Ok(())
     }
 
     /// The experiment seed: the override when given, otherwise the

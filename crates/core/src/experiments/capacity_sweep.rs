@@ -292,6 +292,17 @@ impl fmt::Display for CapacitySweepResult {
 /// autoscaler, admission) cell, fanned out across threads. Deterministic in
 /// the seed; results come back in configuration order.
 pub fn capacity_sweep(config: &CapacitySweepConfig) -> Result<CapacitySweepResult, String> {
+    capacity_sweep_observed(config, None)
+}
+
+/// [`capacity_sweep`] with an observer attached to every cell's session
+/// (`janus run capacity --trace`): each cell's [`SessionReport`] then
+/// carries a flight report, and the per-cell traces can be collected via
+/// [`SessionReport::trace`](crate::session::SessionReport::trace).
+pub fn capacity_sweep_observed(
+    config: &CapacitySweepConfig,
+    observer: Option<&str>,
+) -> Result<CapacitySweepResult, String> {
     if config.scenarios.is_empty() {
         return Err("capacity sweep needs at least one scenario".into());
     }
@@ -310,7 +321,7 @@ pub fn capacity_sweep(config: &CapacitySweepConfig) -> Result<CapacitySweepResul
         .into_par_iter()
         .map(|(scenario, autoscaler, admission)| {
             let started = Instant::now();
-            let report = ServingSession::builder()
+            let mut builder = ServingSession::builder()
                 .app(config.app)
                 .concurrency(config.concurrency)
                 .policy(&config.policy)
@@ -324,7 +335,11 @@ pub fn capacity_sweep(config: &CapacitySweepConfig) -> Result<CapacitySweepResul
                 .admission(&admission)
                 .seed(config.seed)
                 .samples_per_point(config.samples_per_point)
-                .budget_step_ms(config.budget_step_ms)
+                .budget_step_ms(config.budget_step_ms);
+            if let Some(observer) = observer {
+                builder = builder.observe(observer);
+            }
+            let report = builder
                 .run()
                 .map_err(|e| format!("cell ({scenario}, {autoscaler}, {admission}): {e}"))?;
             let wall_ms = (started.elapsed().as_secs_f64() * 1000.0).max(MIN_WALL_MS);
@@ -378,9 +393,17 @@ impl Experiment for CapacitySweepExperiment {
     }
 
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, String> {
-        Ok(ExperimentOutput::single(capacity_sweep(
-            &ctx.capacity_sweep(PaperApp::IntelligentAssistant),
-        )?))
+        let config = ctx.capacity_sweep(PaperApp::IntelligentAssistant);
+        let result = capacity_sweep_observed(&config, ctx.observer_name())?;
+        // Cells all serve the same policy, so cell traces are qualified with
+        // their grid coordinates before they share one artefact.
+        for cell in &result.cells {
+            if let Some(trace) = cell.report.trace() {
+                let at = format!("{}/{}/{}", cell.scenario, cell.autoscaler, cell.admission);
+                ctx.append_trace(&trace, Some(&at))?;
+            }
+        }
+        Ok(ExperimentOutput::single(result))
     }
 }
 
@@ -442,6 +465,48 @@ mod tests {
         let shown = format!("{result}");
         assert!(shown.contains("viol rate"));
         assert!(shown.contains("flash-crowd"));
+    }
+
+    #[test]
+    fn traced_capacity_runs_fill_the_sink_with_qualified_cells() {
+        use crate::experiments::api::{Experiment, Scale, TraceSink};
+        use janus_observe::TraceReport;
+
+        let sink = TraceSink::new();
+        assert!(sink.is_empty());
+        let ctx = ExperimentCtx::new(Scale::Quick)
+            .with_seed(Some(7))
+            .with_trace(sink.clone());
+        assert_eq!(ctx.observer_name(), Some("flight-recorder"));
+        CapacitySweepExperiment.run(&ctx).unwrap();
+        let trace = sink.take();
+        assert!(sink.is_empty(), "take drains the sink");
+        let report = TraceReport::from_jsonl(&trace).unwrap();
+        // One qualified label per grid cell: 2 scenarios x 2 x 2 at --quick.
+        assert_eq!(report.policies.len(), 8);
+        let labels: Vec<&str> = report.policies.iter().map(|p| p.policy.as_str()).collect();
+        assert!(
+            labels.contains(&"GrandSLAM@flash-crowd/static/admit-all"),
+            "{labels:?}"
+        );
+        for policy in &report.policies {
+            assert!(
+                policy.spans.arrivals > 0,
+                "{}: empty cell trace",
+                policy.policy
+            );
+            assert!(
+                !policy.time_series.points.is_empty(),
+                "{}: no telemetry ticks",
+                policy.policy
+            );
+        }
+        // Same seed, same sink contents, byte for byte.
+        let again = TraceSink::new();
+        CapacitySweepExperiment
+            .run(&ctx.clone().with_trace(again.clone()))
+            .unwrap();
+        assert_eq!(again.take(), trace);
     }
 
     #[test]

@@ -324,6 +324,16 @@ impl ToJson for ChaosResilienceResult {
 /// (autoscaler, admission) cell, every cell under the same fault schedule,
 /// fanned out across threads. Deterministic in the seed.
 pub fn chaos_resilience(config: &ChaosResilienceConfig) -> Result<ChaosResilienceResult, String> {
+    chaos_resilience_observed(config, None)
+}
+
+/// [`chaos_resilience`] with an observer attached to every cell's session
+/// (`janus run chaos_resilience --trace`): the fault deliveries then show up
+/// as typed records in each cell's flight report.
+pub fn chaos_resilience_observed(
+    config: &ChaosResilienceConfig,
+    observer: Option<&str>,
+) -> Result<ChaosResilienceResult, String> {
     if config.policies.is_empty() {
         return Err("chaos resilience needs at least one policy".into());
     }
@@ -342,7 +352,7 @@ pub fn chaos_resilience(config: &ChaosResilienceConfig) -> Result<ChaosResilienc
     let reports: Vec<Result<SessionReport, String>> = grid
         .into_par_iter()
         .map(|(autoscaler, admission)| {
-            ServingSession::builder()
+            let mut builder = ServingSession::builder()
                 .app(config.app)
                 .concurrency(config.concurrency)
                 .policies(config.policies.clone())
@@ -357,7 +367,11 @@ pub fn chaos_resilience(config: &ChaosResilienceConfig) -> Result<ChaosResilienc
                 .fault(&config.fault)
                 .seed(config.seed)
                 .samples_per_point(config.samples_per_point)
-                .budget_step_ms(config.budget_step_ms)
+                .budget_step_ms(config.budget_step_ms);
+            if let Some(observer) = observer {
+                builder = builder.observe(observer);
+            }
+            builder
                 .run()
                 .map_err(|e| format!("cell ({autoscaler}, {admission}): {e}"))
         })
@@ -422,7 +436,19 @@ impl Experiment for ChaosResilienceExperiment {
             Scale::Quick => ChaosResilienceConfig::quick(PaperApp::IntelligentAssistant),
         };
         config.seed = ctx.seed_or(config.seed);
-        Ok(ExperimentOutput::single(chaos_resilience(&config)?))
+        let result = chaos_resilience_observed(&config, ctx.observer_name())?;
+        // Reports come back in grid order (autoscaler-major, then
+        // admission); both policies of one cell share its qualifier.
+        let mut reports = result.reports.iter();
+        for autoscaler in &config.autoscalers {
+            for admission in &config.admissions {
+                let Some(report) = reports.next() else { break };
+                if let Some(trace) = report.trace() {
+                    ctx.append_trace(&trace, Some(&format!("{autoscaler}/{admission}")))?;
+                }
+            }
+        }
+        Ok(ExperimentOutput::single(result))
     }
 }
 
@@ -475,6 +501,32 @@ mod tests {
             Some("chaos_resilience")
         );
         assert_eq!(doc.require("cells").unwrap().as_array().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn traced_chaos_runs_carry_the_fault_deliveries() {
+        use crate::experiments::api::TraceSink;
+        use janus_observe::TraceReport;
+
+        let sink = TraceSink::new();
+        let ctx = ExperimentCtx::new(Scale::Quick)
+            .with_seed(Some(7))
+            .with_observer(Some("trace".into()))
+            .with_trace(sink.clone());
+        assert_eq!(ctx.observer_name(), Some("trace"));
+        ChaosResilienceExperiment.run(&ctx).unwrap();
+        let trace = sink.take();
+        assert!(
+            trace.contains("\"type\":\"fault\"") && trace.contains("zone-outage"),
+            "fault deliveries must appear in the trace"
+        );
+        let report = TraceReport::from_jsonl(&trace).unwrap();
+        // 2 policies x 4 (autoscaler, admission) cells, each qualified.
+        assert_eq!(report.policies.len(), 8);
+        assert!(report
+            .policies
+            .iter()
+            .any(|p| p.policy == "GrandSLAM@static/admit-all"));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod metrics;
 pub mod motivation;
 pub mod overall;
 pub mod perf;
+pub mod perf_history;
 pub mod report_json;
 pub mod scenario_sweep;
 pub mod slo_sweep;
@@ -32,10 +33,14 @@ pub mod synthesis;
 
 pub use api::{
     Experiment, ExperimentCtx, ExperimentOutput, ExperimentRegistry, ExperimentResult, Scale,
+    TraceSink,
 };
-pub use capacity_sweep::{capacity_sweep, CapacityCell, CapacitySweepConfig, CapacitySweepResult};
+pub use capacity_sweep::{
+    capacity_sweep, capacity_sweep_observed, CapacityCell, CapacitySweepConfig, CapacitySweepResult,
+};
 pub use chaos_resilience::{
-    chaos_resilience, ChaosCell, ChaosResilienceConfig, ChaosResilienceResult,
+    chaos_resilience, chaos_resilience_observed, ChaosCell, ChaosResilienceConfig,
+    ChaosResilienceResult,
 };
 pub use metrics::{fig7_timeout_resilience, Fig7Result};
 pub use motivation::{
@@ -44,6 +49,10 @@ pub use motivation::{
 };
 pub use overall::{fig4_latency_cdfs, fig5_resource_consumption, table1_overall, OverallResult};
 pub use perf::{perf_trajectory, rate_per_sec, PerfCell, PerfConfig, PerfResult};
+pub use perf_history::{
+    check_against, history_with_entry, latest_baseline, today_utc, PerfBaseline,
+    HISTORY_EXPERIMENT, REGRESSION_TOLERANCE,
+};
 pub use report_json::ToJson;
 pub use scenario_sweep::{
     scenario_sweep, scenario_sweep_with, ScenarioCell, ScenarioSweepConfig, ScenarioSweepResult,

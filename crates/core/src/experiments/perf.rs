@@ -14,6 +14,7 @@
 //! the event loop (queue, pool, cluster, interference model, metrics
 //! recording), not policy construction.
 
+use janus_observe::{FlightRecorder, ObserverContext};
 use janus_platform::metrics::ServingMetrics;
 use janus_platform::openloop::{OpenLoopArena, OpenLoopConfig, OpenLoopSimulation};
 use janus_platform::policy::FixedSizingPolicy;
@@ -92,12 +93,22 @@ pub struct PerfCell {
     pub requests: usize,
     /// Engine events processed per run.
     pub events: u64,
-    /// Fastest wall time across the configured repetitions, in ms.
+    /// Fastest wall time across the configured repetitions, in ms —
+    /// observers disabled, i.e. the zero-cost path every session pays.
     pub wall_ms: f64,
     /// Events per wall-clock second (from the fastest repetition).
     pub events_per_sec: f64,
     /// Peak event-queue depth of the run.
     pub peak_queue_depth: usize,
+    /// Fastest wall time with a full flight recorder attached, in ms — the
+    /// overhead-guard companion measurement of `wall_ms`.
+    pub observed_wall_ms: f64,
+    /// Events per wall-clock second with the flight recorder attached.
+    pub observed_events_per_sec: f64,
+    /// Observation overhead in percent:
+    /// `(observed_wall_ms / wall_ms - 1) * 100`. Can dip below zero within
+    /// wall-clock noise; must stay finite.
+    pub observer_overhead_pct: f64,
 }
 
 /// The outcome of a perf-trajectory run.
@@ -118,6 +129,9 @@ pub struct PerfResult {
     pub metrics: MetricsSnapshot,
     /// Streaming summary of the per-cell events/sec figures.
     pub events_per_sec_summary: StreamingSummary,
+    /// Mean of the per-cell `observer_overhead_pct` figures — what a full
+    /// flight recorder costs relative to the observer-off path.
+    pub mean_observer_overhead_pct: f64,
 }
 
 impl PerfResult {
@@ -154,6 +168,24 @@ impl PerfResult {
                     cell.scenario
                 ));
             }
+            if !(cell.observed_wall_ms.is_finite() && cell.observed_wall_ms > 0.0) {
+                return Err(format!(
+                    "scenario `{}` reported non-positive observed wall time {}",
+                    cell.scenario, cell.observed_wall_ms
+                ));
+            }
+            if !(cell.observed_events_per_sec.is_finite() && cell.observed_events_per_sec > 0.0) {
+                return Err(format!(
+                    "scenario `{}` reported a degenerate observed rate {}",
+                    cell.scenario, cell.observed_events_per_sec
+                ));
+            }
+            if !cell.observer_overhead_pct.is_finite() {
+                return Err(format!(
+                    "scenario `{}` reported a non-finite observer overhead",
+                    cell.scenario
+                ));
+            }
         }
         if self.samples_recorded == 0 {
             return Err("perf run recorded no metric samples".into());
@@ -174,25 +206,38 @@ impl fmt::Display for PerfResult {
         )?;
         writeln!(
             f,
-            "{:>14} {:>9} {:>9} {:>11} {:>13} {:>10}",
-            "scenario", "requests", "events", "wall (ms)", "events/sec", "peak queue"
+            "{:>14} {:>9} {:>9} {:>11} {:>13} {:>10} {:>13} {:>7}",
+            "scenario",
+            "requests",
+            "events",
+            "wall (ms)",
+            "events/sec",
+            "peak queue",
+            "observed/s",
+            "ovh %"
         )?;
         for cell in &self.cells {
             writeln!(
                 f,
-                "{:>14} {:>9} {:>9} {:>11.2} {:>13.0} {:>10}",
+                "{:>14} {:>9} {:>9} {:>11.2} {:>13.0} {:>10} {:>13.0} {:>7.1}",
                 cell.scenario,
                 cell.requests,
                 cell.events,
                 cell.wall_ms,
                 cell.events_per_sec,
-                cell.peak_queue_depth
+                cell.peak_queue_depth,
+                cell.observed_events_per_sec,
+                cell.observer_overhead_pct
             )?;
         }
         writeln!(
             f,
-            "total: {} events in {:.2} ms wall; {} metric samples recorded",
-            self.total_events, self.total_wall_ms, self.samples_recorded
+            "total: {} events in {:.2} ms wall; {} metric samples recorded; \
+             flight-recorder overhead {:.1}% mean",
+            self.total_events,
+            self.total_wall_ms,
+            self.samples_recorded,
+            self.mean_observer_overhead_pct
         )?;
         Ok(())
     }
@@ -239,6 +284,7 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
 
     let mut cells = Vec::with_capacity(config.scenarios.len());
     let mut events_per_sec_summary = StreamingSummary::new();
+    let mut overhead_summary = StreamingSummary::new();
     for scenario in &config.scenarios {
         let ctx = ScenarioContext {
             base_rps: config.rps,
@@ -252,6 +298,7 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
         let requests: Vec<RequestInput> = generator.generate(&workflow, config.requests);
 
         let mut wall_ms = f64::INFINITY;
+        let mut observed_wall_ms = f64::INFINITY;
         let mut events = 0;
         let mut peak = 0;
         for _ in 0..config.repetitions {
@@ -274,12 +321,52 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
             wall_ms = wall_ms.min(elapsed_ms);
             events = arena.events_processed();
             peak = arena.peak_queue_depth();
+
+            // The overhead-guard companion: the identical run with a full
+            // flight recorder attached. Timed under the same min-of-N
+            // discipline, so `observed_wall_ms / wall_ms` quantifies what
+            // observation costs — and the baseline `wall_ms` above keeps
+            // measuring the observer-off path the regression gate watches.
+            let mut policy = FixedSizingPolicy::uniform(
+                "fixed",
+                &workflow,
+                Millicores::new(config.allocation_mc),
+            )
+            .map_err(|e| format!("perf policy: {e}"))?;
+            let mut recorder = FlightRecorder::new(&ObserverContext {
+                seed: config.seed,
+                policy: "fixed".to_string(),
+                requests: config.requests,
+                zones: 1,
+                slo,
+            });
+            let started = Instant::now();
+            let observed = sim.run_traced(
+                &mut policy,
+                &requests,
+                &mut arena,
+                Some(&metrics),
+                None,
+                Some(&mut recorder),
+            );
+            let observed_ms = started.elapsed().as_secs_f64() * 1000.0;
+            if observed.len() != config.requests {
+                return Err(format!(
+                    "scenario `{scenario}` (observed): served {} of {} requests",
+                    observed.len(),
+                    config.requests
+                ));
+            }
+            observed_wall_ms = observed_wall_ms.min(observed_ms);
         }
         // The same clamp keeps `wall_ms` itself positive, so validate()'s
         // non-positive check cannot reject a legitimately-too-fast cell.
         let wall_ms = wall_ms.max(MIN_WALL_MS);
+        let observed_wall_ms = observed_wall_ms.max(MIN_WALL_MS);
         let events_per_sec = rate_per_sec(events, wall_ms);
         events_per_sec_summary.record(events_per_sec);
+        let overhead = (observed_wall_ms / wall_ms - 1.0) * 100.0;
+        overhead_summary.record(overhead);
         cells.push(PerfCell {
             scenario: scenario.clone(),
             requests: config.requests,
@@ -287,6 +374,9 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
             wall_ms,
             events_per_sec,
             peak_queue_depth: peak,
+            observed_wall_ms,
+            observed_events_per_sec: rate_per_sec(events, observed_wall_ms),
+            observer_overhead_pct: overhead,
         });
     }
 
@@ -298,6 +388,7 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
         samples_recorded: snapshot.total_samples(),
         metrics: snapshot,
         events_per_sec_summary,
+        mean_observer_overhead_pct: overhead_summary.mean(),
         cells,
     };
     result.validate()?;
@@ -352,19 +443,26 @@ mod tests {
             assert!(cell.peak_queue_depth >= 1);
         }
         assert_eq!(result.total_events, 2 * 60 * 4);
-        // 2 scenarios × 2 repetitions × 60 e2e samples, plus the same again
-        // ×3 for per-function samples.
+        // 2 scenarios × 2 repetitions × 2 runs (baseline + observed) × 60
+        // e2e samples, plus the same again ×3 for per-function samples.
         assert_eq!(
             result.samples_recorded,
-            2 * 2 * 60 + 2 * 2 * 60 * 3,
+            2 * 2 * 2 * 60 + 2 * 2 * 2 * 60 * 3,
             "every run of every repetition records through the handles"
         );
         assert_eq!(
             result
                 .metrics
                 .counter(janus_platform::metrics::ServingMetrics::REQUESTS),
-            2 * 2 * 60
+            2 * 2 * 2 * 60
         );
+        // The overhead guard: the observed companion processes the same
+        // events, and the disabled-path figures stay the headline numbers.
+        for cell in &result.cells {
+            assert!(cell.observed_events_per_sec > 0.0);
+            assert!(cell.observer_overhead_pct.is_finite());
+        }
+        assert!(result.mean_observer_overhead_pct.is_finite());
         assert!(result.events_per_sec("poisson").unwrap() > 0.0);
         assert!(result.events_per_sec("tsunami").is_none());
         let shown = format!("{result}");

@@ -1,0 +1,302 @@
+//! The perf history: `BENCH_perf.json` as a dated series of perf runs, and
+//! the regression gate over it.
+//!
+//! A single flat perf artefact answers *how fast is the simulator now* but
+//! not *is it getting slower* — every optimisation PR had to eyeball the
+//! previous number out of git history. This module turns the committed
+//! artefact into an append-only document:
+//!
+//! ```json
+//! { "experiment": "perf-history",
+//!   "entries": [ { "date": "2026-08-07", "scale": "paper", "result": {…} }, … ] }
+//! ```
+//!
+//! `janus run perf --out BENCH_perf.json` appends one dated entry per run
+//! (wrapping a pre-history flat artefact as its first, undated entry), and
+//! `janus perf-check` runs a fresh perf trajectory and fails when its
+//! `mean_events_per_sec` regresses more than [`REGRESSION_TOLERANCE`]
+//! against the newest committed entry of the same scale. Entries of
+//! different scales never gate each other — a `--quick` smoke figure is not
+//! comparable to the paper-scale baseline.
+
+use janus_json::Value;
+
+/// The `experiment` tag of a history document.
+pub const HISTORY_EXPERIMENT: &str = "perf-history";
+
+/// The fraction of `mean_events_per_sec` a fresh run may fall below the
+/// committed baseline before `janus perf-check` fails (15%).
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// One decoded history entry: when it ran, at what scale, and the headline
+/// throughput of its embedded perf result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBaseline {
+    /// ISO date (`YYYY-MM-DD`) the entry was recorded, or `"pre-history"`
+    /// for a wrapped legacy artefact.
+    pub date: String,
+    /// Scale name the entry ran at (`paper` / `quick`).
+    pub scale: String,
+    /// The entry's `mean_events_per_sec`.
+    pub mean_events_per_sec: f64,
+}
+
+/// Append one perf result to a history document, creating or upgrading the
+/// document as needed: `None` starts a fresh history, an existing history
+/// is appended to, and a legacy flat perf artefact is wrapped as the first
+/// (undated, paper-scale) entry before the new one is appended.
+pub fn history_with_entry(
+    existing: Option<&Value>,
+    result: &Value,
+    scale: &str,
+    date: &str,
+) -> Result<Value, String> {
+    let mut entries = match existing {
+        None => Vec::new(),
+        Some(doc) => history_entries(doc)?,
+    };
+    entries.push(entry(date, scale, result.clone()));
+    Ok(Value::Obj(vec![
+        (
+            "experiment".to_string(),
+            Value::Str(HISTORY_EXPERIMENT.to_string()),
+        ),
+        ("entries".to_string(), Value::Arr(entries)),
+    ]))
+}
+
+/// The newest history entry of the given scale, decoded for comparison.
+/// `Ok(None)` when the history has no entry at that scale.
+pub fn latest_baseline(history: &Value, scale: &str) -> Result<Option<PerfBaseline>, String> {
+    let entries = history_entries(history)?;
+    for entry in entries.iter().rev() {
+        let entry_scale = entry
+            .require("scale")
+            .map_err(|e| format!("history entry: {e}"))?
+            .as_str()
+            .ok_or("history entry `scale` not a string")?;
+        if entry_scale != scale {
+            continue;
+        }
+        let date = entry
+            .require("date")
+            .map_err(|e| format!("history entry: {e}"))?
+            .as_str()
+            .unwrap_or("pre-history")
+            .to_string();
+        let mean = entry
+            .require("result")
+            .and_then(|r| r.require("mean_events_per_sec"))
+            .map_err(|e| format!("history entry ({date}): {e}"))?
+            .as_f64()
+            .ok_or_else(|| format!("history entry ({date}): mean_events_per_sec not a number"))?;
+        return Ok(Some(PerfBaseline {
+            date,
+            scale: entry_scale.to_string(),
+            mean_events_per_sec: mean,
+        }));
+    }
+    Ok(None)
+}
+
+/// The regression gate: compare a freshly measured `mean_events_per_sec`
+/// against a committed baseline. Returns the human verdict line on success
+/// and a regression description (with both figures) on failure.
+pub fn check_against(baseline: &PerfBaseline, fresh_mean: f64) -> Result<String, String> {
+    if !(fresh_mean.is_finite() && fresh_mean > 0.0) {
+        return Err(format!(
+            "fresh perf run produced a degenerate mean_events_per_sec {fresh_mean}"
+        ));
+    }
+    let floor = baseline.mean_events_per_sec * (1.0 - REGRESSION_TOLERANCE);
+    if fresh_mean < floor {
+        return Err(format!(
+            "perf regression: fresh {:.0} events/sec is {:.1}% below the {} baseline \
+             {:.0} (from {}; tolerance {:.0}%)",
+            fresh_mean,
+            (1.0 - fresh_mean / baseline.mean_events_per_sec) * 100.0,
+            baseline.scale,
+            baseline.mean_events_per_sec,
+            baseline.date,
+            REGRESSION_TOLERANCE * 100.0,
+        ));
+    }
+    Ok(format!(
+        "perf-check OK: fresh {:.0} events/sec vs {} baseline {:.0} (from {}; \
+         {:+.1}%, tolerance -{:.0}%)",
+        fresh_mean,
+        baseline.scale,
+        baseline.mean_events_per_sec,
+        baseline.date,
+        (fresh_mean / baseline.mean_events_per_sec - 1.0) * 100.0,
+        REGRESSION_TOLERANCE * 100.0,
+    ))
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no calendar
+/// dependency; days-since-epoch converted via the standard civil-from-days
+/// algorithm).
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    date_from_days((secs / 86_400) as i64)
+}
+
+/// Convert days since 1970-01-01 to a civil `YYYY-MM-DD` date.
+fn date_from_days(days: i64) -> String {
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn entry(date: &str, scale: &str, result: Value) -> Value {
+    Value::Obj(vec![
+        ("date".to_string(), Value::Str(date.to_string())),
+        ("scale".to_string(), Value::Str(scale.to_string())),
+        ("result".to_string(), result),
+    ])
+}
+
+/// Decode a history document's entries, wrapping a legacy flat perf
+/// artefact (`"experiment": "perf"`) as a single pre-history, paper-scale
+/// entry.
+fn history_entries(doc: &Value) -> Result<Vec<Value>, String> {
+    let tag = doc
+        .require("experiment")
+        .map_err(|e| format!("perf artefact: {e}"))?
+        .as_str()
+        .ok_or("perf artefact `experiment` not a string")?;
+    match tag {
+        HISTORY_EXPERIMENT => Ok(doc
+            .require("entries")
+            .map_err(|e| format!("perf history: {e}"))?
+            .as_array()
+            .ok_or("perf history `entries` not an array")?
+            .to_vec()),
+        // The flat artefact predates the history format; its committed
+        // baseline ran at paper scale.
+        "perf" => Ok(vec![entry("pre-history", "paper", doc.clone())]),
+        other => Err(format!(
+            "perf artefact has experiment `{other}`, expected `perf` or `{HISTORY_EXPERIMENT}`"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(mean: f64) -> Value {
+        Value::Obj(vec![
+            ("experiment".to_string(), Value::Str("perf".to_string())),
+            ("mean_events_per_sec".to_string(), Value::Num(mean)),
+        ])
+    }
+
+    #[test]
+    fn histories_grow_from_nothing_and_from_legacy_artefacts() {
+        // Fresh history: one entry.
+        let history = history_with_entry(None, &flat(1e6), "paper", "2026-08-07").unwrap();
+        assert_eq!(
+            history.require("experiment").unwrap().as_str(),
+            Some(HISTORY_EXPERIMENT)
+        );
+        assert_eq!(
+            history
+                .require("entries")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            1
+        );
+        // Appending keeps earlier entries in order.
+        let history =
+            history_with_entry(Some(&history), &flat(1.1e6), "quick", "2026-08-08").unwrap();
+        let entries = history
+            .require("entries")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .to_vec();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0].require("date").unwrap().as_str(),
+            Some("2026-08-07")
+        );
+        assert_eq!(entries[1].require("scale").unwrap().as_str(), Some("quick"));
+        // A legacy flat artefact is wrapped as the first, pre-history entry.
+        let upgraded =
+            history_with_entry(Some(&flat(9e5)), &flat(1e6), "paper", "2026-08-07").unwrap();
+        let entries = upgraded
+            .require("entries")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .to_vec();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0].require("date").unwrap().as_str(),
+            Some("pre-history")
+        );
+        assert_eq!(entries[0].require("scale").unwrap().as_str(), Some("paper"));
+        // Unrecognised documents are rejected, not silently replaced.
+        let err = history_with_entry(
+            Some(&Value::Obj(vec![(
+                "experiment".to_string(),
+                Value::Str("fig1a".to_string()),
+            )])),
+            &flat(1e6),
+            "paper",
+            "2026-08-07",
+        )
+        .unwrap_err();
+        assert!(err.contains("expected `perf`"), "{err}");
+    }
+
+    #[test]
+    fn the_gate_picks_the_newest_matching_scale_and_enforces_the_tolerance() {
+        let h = history_with_entry(Some(&flat(9e5)), &flat(1e6), "paper", "2026-08-07").unwrap();
+        let h = history_with_entry(Some(&h), &flat(4e5), "quick", "2026-08-07").unwrap();
+        // Paper lookups skip the quick entry and find the newest paper one.
+        let baseline = latest_baseline(&h, "paper").unwrap().unwrap();
+        assert_eq!(baseline.mean_events_per_sec, 1e6);
+        assert_eq!(baseline.date, "2026-08-07");
+        let quick = latest_baseline(&h, "quick").unwrap().unwrap();
+        assert_eq!(quick.mean_events_per_sec, 4e5);
+        assert_eq!(latest_baseline(&h, "galactic").unwrap(), None);
+        // A legacy flat artefact is itself a usable paper baseline.
+        let legacy = latest_baseline(&flat(9e5), "paper").unwrap().unwrap();
+        assert_eq!(legacy.date, "pre-history");
+        // Within tolerance passes (even slightly below baseline)…
+        assert!(check_against(&baseline, 1.05e6)
+            .unwrap()
+            .contains("perf-check OK"));
+        assert!(check_against(&baseline, 0.86e6).is_ok());
+        // …but a >15% drop fails with both figures in the message.
+        let err = check_against(&baseline, 0.84e6).unwrap_err();
+        assert!(err.contains("perf regression"), "{err}");
+        assert!(err.contains("1000000"), "{err}");
+        let err = check_against(&baseline, f64::NAN).unwrap_err();
+        assert!(err.contains("degenerate"), "{err}");
+    }
+
+    #[test]
+    fn civil_dates_convert_correctly() {
+        assert_eq!(date_from_days(0), "1970-01-01");
+        assert_eq!(date_from_days(19_782), "2024-02-29");
+        assert_eq!(date_from_days(20_672), "2026-08-07");
+        let today = today_utc();
+        assert_eq!(today.len(), 10, "{today}");
+        assert!(today.as_str() >= "2026-01-01", "{today}");
+    }
+}

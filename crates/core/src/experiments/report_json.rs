@@ -439,6 +439,9 @@ impl ToJson for PerfResult {
                     ("wall_ms", num(cell.wall_ms)),
                     ("events_per_sec", num(cell.events_per_sec)),
                     ("peak_queue_depth", count(cell.peak_queue_depth)),
+                    ("observed_wall_ms", num(cell.observed_wall_ms)),
+                    ("observed_events_per_sec", num(cell.observed_events_per_sec)),
+                    ("observer_overhead_pct", num(cell.observer_overhead_pct)),
                 ])
             })
             .collect();
@@ -469,6 +472,10 @@ impl ToJson for PerfResult {
             (
                 "mean_events_per_sec",
                 num(self.events_per_sec_summary.mean()),
+            ),
+            (
+                "mean_observer_overhead_pct",
+                num(self.mean_observer_overhead_pct),
             ),
         ])
     }

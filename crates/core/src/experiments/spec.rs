@@ -48,6 +48,8 @@ pub struct SessionSpec {
     pub admission: Option<String>,
     /// Fault-injector name (open loop only; `None` runs fault-free).
     pub fault: Option<String>,
+    /// Observer name (`None` runs unobserved — the zero-cost default).
+    pub observer: Option<String>,
     /// Cluster layout; `None` keeps the paper's single 52-core node.
     pub cluster: Option<ClusterConfig>,
     /// Request / profiling seed.
@@ -93,6 +95,9 @@ impl SessionSpec {
         if let Some(fault) = &self.fault {
             builder = builder.fault(fault);
         }
+        if let Some(observer) = &self.observer {
+            builder = builder.observe(observer);
+        }
         builder
     }
 
@@ -123,6 +128,7 @@ impl SessionSpec {
             ("autoscaler", &self.autoscaler),
             ("admission", &self.admission),
             ("fault", &self.fault),
+            ("observer", &self.observer),
         ] {
             if let Some(name) = field {
                 members.push((key.to_string(), Value::Str(name.clone())));
@@ -169,6 +175,8 @@ pub struct SweepSpec {
     pub admissions: Option<Vec<String>>,
     /// Fault-injector axis; `None` runs every point fault-free.
     pub faults: Option<Vec<String>>,
+    /// Observer axis; `None` runs every point unobserved.
+    pub observers: Option<Vec<String>>,
     /// Cluster layout; `None` keeps the paper's single 52-core node.
     pub cluster: Option<ClusterConfig>,
     /// Requests generated per policy per grid point.
@@ -200,6 +208,10 @@ impl SweepSpec {
             (
                 "faults",
                 self.faults.as_deref().is_some_and(<[_]>::is_empty),
+            ),
+            (
+                "observers",
+                self.observers.as_deref().is_some_and(<[_]>::is_empty),
             ),
         ] {
             if empty {
@@ -242,6 +254,7 @@ impl SweepSpec {
             * self.autoscalers.as_ref().map_or(1, Vec::len)
             * self.admissions.as_ref().map_or(1, Vec::len)
             * self.faults.as_ref().map_or(1, Vec::len)
+            * self.observers.as_ref().map_or(1, Vec::len)
     }
 
     /// Expand the axes into the cartesian grid of session specs, in
@@ -257,6 +270,7 @@ impl SweepSpec {
         let autoscalers = optionals(&self.autoscalers);
         let admissions = optionals(&self.admissions);
         let faults = optionals(&self.faults);
+        let observers = optionals(&self.observers);
         let mut points = Vec::with_capacity(self.grid_size());
         for scenario in &self.scenarios {
             for &rps in &self.loads_rps {
@@ -264,21 +278,24 @@ impl SweepSpec {
                     for autoscaler in &autoscalers {
                         for admission in &admissions {
                             for fault in &faults {
-                                points.push(SessionSpec {
-                                    app: self.app,
-                                    concurrency: self.concurrency,
-                                    policies: self.policies.clone(),
-                                    requests: self.requests,
-                                    rps: Some(rps),
-                                    scenario: Some(scenario.clone()),
-                                    autoscaler: autoscaler.clone(),
-                                    admission: admission.clone(),
-                                    fault: fault.clone(),
-                                    cluster: self.cluster.clone(),
-                                    seed,
-                                    samples_per_point: self.samples_per_point,
-                                    budget_step_ms: self.budget_step_ms,
-                                });
+                                for observer in &observers {
+                                    points.push(SessionSpec {
+                                        app: self.app,
+                                        concurrency: self.concurrency,
+                                        policies: self.policies.clone(),
+                                        requests: self.requests,
+                                        rps: Some(rps),
+                                        scenario: Some(scenario.clone()),
+                                        autoscaler: autoscaler.clone(),
+                                        admission: admission.clone(),
+                                        fault: fault.clone(),
+                                        observer: observer.clone(),
+                                        cluster: self.cluster.clone(),
+                                        seed,
+                                        samples_per_point: self.samples_per_point,
+                                        budget_step_ms: self.budget_step_ms,
+                                    });
+                                }
                             }
                         }
                     }
@@ -320,6 +337,9 @@ impl SweepSpec {
         if let Some(faults) = &self.faults {
             members.push(("faults".to_string(), strings(faults)));
         }
+        if let Some(observers) = &self.observers {
+            members.push(("observers".to_string(), strings(observers)));
+        }
         if let Some(cluster) = &self.cluster {
             members.push(("cluster".to_string(), cluster_to_json(cluster)));
         }
@@ -351,6 +371,7 @@ impl SweepSpec {
                 "autoscalers",
                 "admissions",
                 "faults",
+                "observers",
                 "cluster",
                 "requests",
                 "samples_per_point",
@@ -368,6 +389,7 @@ impl SweepSpec {
             autoscalers: obj.optional_string_list("autoscalers")?,
             admissions: obj.optional_string_list("admissions")?,
             faults: obj.optional_string_list("faults")?,
+            observers: obj.optional_string_list("observers")?,
             cluster: obj.cluster("cluster")?,
             requests: obj.usize("requests")?,
             samples_per_point: obj.usize_or("samples_per_point", 1000)?,
@@ -613,6 +635,7 @@ mod tests {
             autoscalers: None,
             admissions: None,
             faults: None,
+            observers: None,
             cluster: None,
             requests: 30,
             samples_per_point: 250,
@@ -723,6 +746,40 @@ mod tests {
         .validate()
         .unwrap_err();
         assert!(err.contains("`faults`"), "{err}");
+    }
+
+    #[test]
+    fn observer_axis_rides_innermost_and_round_trips() {
+        let mut spec = tiny_spec();
+        spec.scenarios = vec!["flash-crowd".into()];
+        spec.seeds = vec![7];
+        spec.faults = Some(vec!["zone-outage".into()]);
+        spec.observers = Some(vec!["flight-recorder".into(), "spans".into()]);
+        assert_eq!(spec.grid_size(), 2);
+        let points = spec.expand();
+        assert_eq!(points[0].observer.as_deref(), Some("flight-recorder"));
+        assert_eq!(points[1].observer.as_deref(), Some("spans"));
+        assert_eq!(points[0].fault, points[1].fault);
+        // Byte-identical JSON round-trip.
+        let text = spec.to_json().to_pretty();
+        let decoded = SweepSpec::from_str(&text).unwrap();
+        assert_eq!(decoded, spec);
+        assert_eq!(decoded.to_json().to_pretty(), text);
+        // Session specs carry the observer through to the JSON view.
+        let doc = points[0].to_json();
+        assert_eq!(
+            doc.get("observer").and_then(|v| v.as_str()),
+            Some("flight-recorder")
+        );
+        // Unobserved specs keep the pre-observer encoding.
+        assert!(!tiny_spec().to_json().to_pretty().contains("observers"));
+        let err = SweepSpec {
+            observers: Some(vec![]),
+            ..tiny_spec()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("`observers`"), "{err}");
     }
 
     #[test]

@@ -65,6 +65,7 @@ impl SweepPoint {
             self.session.autoscaler.as_deref().map(str::to_string),
             self.session.admission.as_deref().map(str::to_string),
             self.session.fault.as_deref().map(str::to_string),
+            self.session.observer.as_deref().map(str::to_string),
         ];
         let axes: Vec<String> = axes.into_iter().flatten().collect();
         format!(
@@ -311,6 +312,12 @@ fn resolve_names(spec: &SweepSpec) -> Result<(), String> {
             .ensure_known(name)
             .map_err(|e| format!("`faults[{i}]`: {e}"))?;
     }
+    let observers = janus_observe::ObserverRegistry::with_builtins();
+    for (i, name) in spec.observers.iter().flatten().enumerate() {
+        observers
+            .ensure_known(name)
+            .map_err(|e| format!("`observers[{i}]`: {e}"))?;
+    }
     Ok(())
 }
 
@@ -410,6 +417,7 @@ mod tests {
             autoscalers: None,
             admissions: None,
             faults: None,
+            observers: None,
             cluster: None,
             requests: 30,
             samples_per_point: 250,
@@ -601,6 +609,13 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("`faults[0]`"), "{err}");
         assert!(err.contains("unknown fault injector"), "{err}");
+        let err = run_sweep(&SweepSpec {
+            observers: Some(vec!["black-box".into()]),
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(err.contains("`observers[0]`"), "{err}");
+        assert!(err.contains("unknown observer `black-box`"), "{err}");
         let err = run_sweep(&SweepSpec {
             loads_rps: vec![],
             ..tiny_spec()

@@ -40,6 +40,7 @@
 
 use crate::registry::{PolicyContext, PolicyFactory, PolicyRegistry, SynthesisSettings};
 use janus_chaos::{FaultContext, FaultRegistry, FaultSchedule};
+use janus_observe::{Observer, ObserverContext, ObserverRegistry, ObserverReport};
 use janus_platform::capacity::{AdmissionRegistry, AutoscalerRegistry, CapacityContext};
 use janus_platform::executor::{ClosedLoopExecutor, ExecutorConfig};
 use janus_platform::metrics::ServingMetrics;
@@ -128,6 +129,7 @@ pub struct ServingSessionBuilder {
     autoscaler: Option<String>,
     admission: Option<String>,
     fault: Option<String>,
+    observer: Option<String>,
     seed: u64,
     samples_per_point: usize,
     synthesis: SynthesisSettings,
@@ -137,6 +139,7 @@ pub struct ServingSessionBuilder {
     autoscalers: AutoscalerRegistry,
     admissions: AdmissionRegistry,
     faults: FaultRegistry,
+    observers: ObserverRegistry,
 }
 
 impl Default for ServingSessionBuilder {
@@ -153,6 +156,7 @@ impl Default for ServingSessionBuilder {
             autoscaler: None,
             admission: None,
             fault: None,
+            observer: None,
             seed: 7,
             samples_per_point: 1000,
             synthesis: SynthesisSettings::default(),
@@ -162,6 +166,7 @@ impl Default for ServingSessionBuilder {
             autoscalers: AutoscalerRegistry::with_builtins(),
             admissions: AdmissionRegistry::with_builtins(),
             faults: FaultRegistry::with_builtins(),
+            observers: ObserverRegistry::with_builtins(),
         }
     }
 }
@@ -291,6 +296,34 @@ impl ServingSessionBuilder {
         F: Fn(&FaultContext) -> Result<FaultSchedule, String> + Send + Sync + 'static,
     {
         self.faults.register_fn(name, schedule);
+        self
+    }
+
+    /// Attach a named observer from the session's [`ObserverRegistry`]
+    /// (built-ins: `ring`, `trace`, `spans`, `time-series`,
+    /// `flight-recorder`). A fresh observer is built per policy run and
+    /// receives every lifecycle record (and, on capacity-controlled open
+    /// loops, every capacity-tick telemetry sample); its
+    /// [`ObserverReport`] lands in the policy's
+    /// [`PolicyReport::flight`]. Sessions without an observer pay nothing:
+    /// the serving loops never construct a record.
+    pub fn observe(mut self, name: impl Into<String>) -> Self {
+        self.observer = Some(name.into());
+        self
+    }
+
+    /// Replace the observer registry (default: the built-in five).
+    pub fn observer_registry(mut self, observers: ObserverRegistry) -> Self {
+        self.observers = observers;
+        self
+    }
+
+    /// Register an additional observer factory on this session's registry.
+    pub fn register_observer_fn<F>(mut self, name: impl Into<String>, build: F) -> Self
+    where
+        F: Fn(&ObserverContext) -> Result<Box<dyn Observer>, String> + Send + Sync + 'static,
+    {
+        self.observers.register_fn(name, build);
         self
     }
 
@@ -495,6 +528,11 @@ impl ServingSessionBuilder {
             }
             self.faults.ensure_known(name)?;
         }
+        if let Some(name) = &self.observer {
+            // Observers attach to closed loops too (record streams without
+            // tick telemetry), so no Load::Open requirement here.
+            self.observers.ensure_known(name)?;
+        }
         if self.samples_per_point == 0 {
             return Err("samples_per_point must be at least 1".into());
         }
@@ -509,6 +547,7 @@ impl ServingSessionBuilder {
             autoscaler: self.autoscaler,
             admission: self.admission,
             fault: self.fault,
+            observer: self.observer,
             seed: self.seed,
             samples_per_point: self.samples_per_point,
             synthesis: self.synthesis,
@@ -518,12 +557,28 @@ impl ServingSessionBuilder {
             autoscalers: self.autoscalers,
             admissions: self.admissions,
             faults: self.faults,
+            observers: self.observers,
         })
     }
 
     /// Build and immediately run the session.
     pub fn run(self) -> Result<SessionReport, String> {
         self.build()?.run()
+    }
+}
+
+/// Reborrow an owned per-policy observer as the `Option<&mut dyn Observer>`
+/// hook the serving loops take. A named function (rather than
+/// `as_deref_mut()` inline) so the trait-object lifetime coercion from
+/// `dyn Observer + 'static` to the loop-local lifetime has an explicit
+/// coercion site — and so the borrow ends with the call, letting the
+/// session `finish()` the observer afterwards.
+fn observer_hook<'a>(
+    observer: &'a mut Option<Box<dyn Observer>>,
+) -> Option<&'a mut (dyn Observer + 'a)> {
+    match observer.as_deref_mut() {
+        Some(o) => Some(o),
+        None => None,
     }
 }
 
@@ -541,6 +596,7 @@ pub struct ServingSession {
     autoscaler: Option<String>,
     admission: Option<String>,
     fault: Option<String>,
+    observer: Option<String>,
     seed: u64,
     samples_per_point: usize,
     synthesis: SynthesisSettings,
@@ -550,6 +606,7 @@ pub struct ServingSession {
     autoscalers: AutoscalerRegistry,
     admissions: AdmissionRegistry,
     faults: FaultRegistry,
+    observers: ObserverRegistry,
 }
 
 impl ServingSession {
@@ -667,10 +724,32 @@ impl ServingSession {
         let mut policies = Vec::with_capacity(self.policies.len());
         for name in &self.policies {
             let mut built = self.registry.build(name, &ctx)?;
+            // A fresh observer per policy run, seeded from the session: the
+            // trace of every column of a paired comparison samples the same
+            // request ids, and reruns are byte-identical. Sessions without
+            // an observer skip the build entirely — the serving loops see
+            // `None` and never construct a record.
+            let mut observer: Option<Box<dyn Observer>> = match &self.observer {
+                Some(observer_name) => {
+                    let observer_ctx = ObserverContext {
+                        seed: self.seed,
+                        policy: name.clone(),
+                        requests: self.load.requests(),
+                        zones: exec_config.cluster.zones,
+                        slo: self.slo,
+                    };
+                    Some(self.observers.build(observer_name, &observer_ctx)?)
+                }
+                None => None,
+            };
             let serving = match self.load {
                 Load::Closed { .. } => {
-                    ClosedLoopExecutor::new(self.workflow.clone(), exec_config.clone())
-                        .run_instrumented(built.policy.as_mut(), &requests, Some(metrics))
+                    ClosedLoopExecutor::new(self.workflow.clone(), exec_config.clone()).run_traced(
+                        built.policy.as_mut(),
+                        &requests,
+                        Some(metrics),
+                        observer_hook(&mut observer),
+                    )
                 }
                 Load::Open { rps, .. } => {
                     let open_config = OpenLoopConfig {
@@ -715,7 +794,7 @@ impl ServingSession {
                             }
                             None => None,
                         };
-                        let mut serving = sim.run_with_capacity(
+                        let mut serving = sim.run_traced(
                             built.policy.as_mut(),
                             &requests,
                             &mut *arena,
@@ -725,6 +804,7 @@ impl ServingSession {
                                 admission: admission.as_mut(),
                                 faults: fault_schedule,
                             }),
+                            observer_hook(&mut observer),
                         );
                         if let Some(capacity) = serving.capacity.as_mut() {
                             // Report the *registered* names: a custom factory
@@ -738,11 +818,13 @@ impl ServingSession {
                         }
                         serving
                     } else {
-                        sim.run_instrumented(
+                        sim.run_traced(
                             built.policy.as_mut(),
                             &requests,
                             &mut *arena,
                             Some(metrics),
+                            None,
+                            observer_hook(&mut observer),
                         )
                     }
                 }
@@ -752,6 +834,7 @@ impl ServingSession {
                 mean_decision_time_us: built.policy.mean_decision_time_us(),
                 serving,
                 synthesis: built.synthesis,
+                flight: observer.as_mut().map(|o| o.finish()),
             });
         }
 
@@ -764,6 +847,7 @@ impl ServingSession {
             autoscaler: self.autoscaler.clone(),
             admission: self.admission.clone(),
             fault: self.fault.clone(),
+            observer: self.observer.clone(),
             seed: self.seed,
             policies,
             metrics: metrics_registry.snapshot(),
@@ -784,6 +868,9 @@ pub struct PolicyReport {
     pub serving: ServingReport,
     /// Offline synthesis statistics (hint-based policies only).
     pub synthesis: Option<SynthesisReport>,
+    /// Flight-recorder output (observer-attached sessions only): the
+    /// observer's trace, span breakdown and/or telemetry time series.
+    pub flight: Option<ObserverReport>,
 }
 
 impl PolicyReport {
@@ -814,6 +901,8 @@ pub struct SessionReport {
     pub admission: Option<String>,
     /// Fault-injector name for chaos-enabled open loops.
     pub fault: Option<String>,
+    /// Observer name for flight-recorded sessions.
+    pub observer: Option<String>,
     /// Session seed.
     pub seed: u64,
     /// Per-policy results, in configuration order.
@@ -837,6 +926,28 @@ impl SessionReport {
     /// One policy's serving report.
     pub fn serving(&self, name: &str) -> Option<&ServingReport> {
         self.report(name).map(|p| &p.serving)
+    }
+
+    /// One policy's flight-recorder report (observer-attached sessions only).
+    pub fn flight(&self, name: &str) -> Option<&ObserverReport> {
+        self.report(name)?.flight.as_ref()
+    }
+
+    /// The session's full JSONL trace artefact: every policy's trace lines
+    /// concatenated in configuration order (each line carries its policy
+    /// label). `None` unless an observer with a trace sink was attached.
+    pub fn trace(&self) -> Option<String> {
+        let mut out = String::new();
+        for p in &self.policies {
+            if let Some(trace) = p.flight.as_ref().and_then(|f| f.trace.as_deref()) {
+                out.push_str(trace);
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
     }
 
     /// One policy's SLO attainment in `[0, 1]`.
@@ -1430,6 +1541,127 @@ mod tests {
         assert_eq!(cap.injector.as_deref(), Some("calm"));
         assert_eq!(cap.faults_applied, 1);
         assert_eq!(report.fault.as_deref(), Some("calm"));
+    }
+
+    #[test]
+    fn observers_resolve_by_name_and_record_full_flights() {
+        use janus_simcore::cluster::PlacementPolicy;
+        let run = || {
+            quick_builder()
+                .policies(["GrandSLAM", "Janus"])
+                .load(Load::Open {
+                    requests: 60,
+                    rps: 6.0,
+                })
+                .cluster(ClusterConfig {
+                    nodes: 4,
+                    node_capacity: janus_simcore::resources::Millicores::from_cores(8),
+                    placement: PlacementPolicy::Spread,
+                    zones: 2,
+                })
+                .scenario("flash-crowd")
+                // Static fleet: nodes killed by the outage stay dead, so the
+                // telemetry must show the zone emptying (an autoscaler could
+                // refill it within one tick).
+                .fault("zone-outage")
+                .observe("flight-recorder")
+                .run()
+                .unwrap()
+        };
+        let report = run();
+        assert_eq!(report.observer.as_deref(), Some("flight-recorder"));
+        let trace = report.trace().expect("flight recorder writes a trace");
+        for name in ["GrandSLAM", "Janus"] {
+            let flight = report.flight(name).expect("flight report present");
+            assert_eq!(flight.observer, "flight-recorder");
+            let spans = flight.spans.as_ref().expect("span summary present");
+            // Every generated request arrived, and the span ledger agrees
+            // with the serving report's dispositions.
+            let serving = report.serving(name).unwrap();
+            assert_eq!(spans.arrivals, 60);
+            assert_eq!(spans.served, serving.served_len() as u64);
+            assert_eq!(spans.shed, serving.shed_len() as u64);
+            assert_eq!(spans.failed, serving.failed_len() as u64);
+            let series = flight.time_series.as_ref().expect("telemetry present");
+            assert!(!series.is_empty(), "capacity ticks sampled");
+            // Two-zone cluster: every sample carries per-zone node counts,
+            // and the zone outage must show up as a zone dropping nodes.
+            assert!(series.points.iter().all(|p| p.nodes_per_zone.len() == 2));
+            assert!(
+                series.points.iter().any(|p| p.nodes_per_zone.contains(&0)),
+                "the zone outage never emptied a zone in the telemetry"
+            );
+        }
+        // The trace artefact carries both policies and replays cleanly.
+        let decoded = janus_observe::report::TraceReport::from_jsonl(&trace).unwrap();
+        assert_eq!(
+            decoded
+                .policies
+                .iter()
+                .map(|p| p.policy.as_str())
+                .collect::<Vec<_>>(),
+            vec!["GrandSLAM", "Janus"]
+        );
+        // Determinism: the same seed reproduces the trace byte for byte.
+        let again = run();
+        assert_eq!(trace, again.trace().unwrap());
+        assert_eq!(
+            report.flight("Janus").unwrap(),
+            again.flight("Janus").unwrap()
+        );
+    }
+
+    #[test]
+    fn closed_loop_observers_record_spans_without_telemetry() {
+        let report = quick_builder()
+            .policy("GrandSLAM")
+            .observe("spans")
+            .run()
+            .unwrap();
+        let flight = report.flight("GrandSLAM").unwrap();
+        let spans = flight.spans.as_ref().unwrap();
+        assert_eq!(spans.arrivals, 40);
+        assert_eq!(spans.served, 40);
+        assert!(spans.mean_exec_ms > 0.0);
+        // A closed loop has no capacity tick, so no time series (and no
+        // trace: the spans observer keeps no lines).
+        assert!(flight.time_series.is_none());
+        assert!(report.trace().is_none());
+    }
+
+    #[test]
+    fn sessions_without_an_observer_never_build_one() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let builds = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&builds);
+        let builder =
+            quick_builder()
+                .policy("GrandSLAM")
+                .register_observer_fn("counting", move |_ctx| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    Ok(Box::new(janus_observe::RingObserver::with_capacity(8)))
+                });
+        let report = builder.run().unwrap();
+        assert_eq!(
+            builds.load(Ordering::SeqCst),
+            0,
+            "no .observe(..) => the factory must never run"
+        );
+        assert!(report.observer.is_none());
+        assert!(report.flight("GrandSLAM").is_none());
+        assert!(report.trace().is_none());
+    }
+
+    #[test]
+    fn observer_validation_catches_unknown_names() {
+        let err = quick_builder()
+            .policy("Janus")
+            .observe("black-box")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("unknown observer `black-box`"), "{err}");
+        assert!(err.contains("flight-recorder"), "{err}");
     }
 
     #[test]

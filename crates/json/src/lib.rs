@@ -80,6 +80,51 @@ impl Value {
         out
     }
 
+    /// Serialise on a single line with no whitespace (mirrors `to_string`).
+    /// Uses the same canonical number/string formatting as [`to_pretty`],
+    /// so `parse(v.to_compact()) == parse(v.to_pretty())`. This is the
+    /// encoder JSONL artefacts (one document per line) must use.
+    ///
+    /// [`to_pretty`]: Value::to_pretty
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(n) => write_number(out, *n),
+            Value::Str(s) => write_string(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent);
         let pad_in = "  ".repeat(indent + 1);
@@ -369,6 +414,26 @@ mod tests {
     }
 
     #[test]
+    fn compact_encoding_is_one_line_and_parses_back() {
+        let doc = Value::Obj(vec![
+            ("type".into(), Value::Str("arrival\n".into())),
+            ("at_ms".into(), Value::Num(12.5)),
+            (
+                "rows".into(),
+                Value::Arr(vec![Value::Num(1.0), Value::Bool(false), Value::Null]),
+            ),
+            ("empty".into(), Value::Arr(vec![])),
+        ]);
+        let line = doc.to_compact();
+        assert!(!line.contains('\n'), "compact output must stay one line");
+        assert_eq!(
+            line,
+            "{\"type\":\"arrival\\n\",\"at_ms\":12.5,\"rows\":[1,false,null],\"empty\":[]}"
+        );
+        assert_eq!(parse(&line).unwrap(), doc);
+    }
+
+    #[test]
     fn parses_whitespace_and_escapes() {
         let v = parse(" { \"a\" : [ 1 , -2.5e1 ] , \"b\" : \"x\\u0041\\t\" } ").unwrap();
         assert_eq!(
@@ -458,6 +523,14 @@ mod tests {
                 assert_eq!(
                     first, second,
                     "case {case}: re-encoding was not byte-identical"
+                );
+                let compact = value.to_compact();
+                let from_compact = parse(&compact).unwrap_or_else(|e| {
+                    panic!("case {case}: compact emitted invalid JSON ({e}): {compact}")
+                });
+                assert_eq!(
+                    from_compact, value,
+                    "case {case}: compact decode changed the value"
                 );
             }
         }

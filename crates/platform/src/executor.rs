@@ -20,6 +20,7 @@
 use crate::metrics::ServingMetrics;
 use crate::outcome::{RequestDisposition, RequestOutcome, ServingReport};
 use crate::policy::{RequestContext, SizingPolicy};
+use janus_observe::{Observer, Record, RecordKind};
 use janus_simcore::cluster::{Cluster, ClusterConfig};
 use janus_simcore::interference::InterferenceModel;
 use janus_simcore::pool::{PoolConfig, PoolManager};
@@ -87,6 +88,7 @@ impl ClosedLoopExecutor {
 
     /// Serve one request under `policy`, starting at simulated time `now`,
     /// using the shared `pool` and `cluster`.
+    #[allow(clippy::too_many_arguments)]
     fn serve_one(
         &self,
         policy: &mut dyn SizingPolicy,
@@ -95,6 +97,7 @@ impl ClosedLoopExecutor {
         cluster: &mut Cluster,
         now: &mut SimTime,
         metrics: Option<&ServingMetrics>,
+        observer: &mut Option<&mut dyn Observer>,
     ) -> RequestOutcome {
         let ctx = RequestContext {
             request_id: request.id,
@@ -106,6 +109,13 @@ impl ClosedLoopExecutor {
         if let Some(m) = metrics {
             m.requests.incr(1);
         }
+        emit!(
+            observer,
+            *now,
+            RecordKind::Arrival {
+                request: request.id,
+            }
+        );
 
         let mut remaining = self.config.slo;
         let mut e2e = SimDuration::ZERO;
@@ -129,6 +139,15 @@ impl ClosedLoopExecutor {
                     .expect("paper-scale cluster always fits one pod per function");
             }
             let colocated = cluster.colocation_degree(acquisition.pod, function.name());
+            emit!(
+                observer,
+                *now,
+                RecordKind::Placement {
+                    request: request.id,
+                    function: index,
+                    overcommitted: false,
+                }
+            );
 
             let exec = function.execution_time(
                 size,
@@ -143,6 +162,25 @@ impl ClosedLoopExecutor {
                 SimDuration::ZERO
             };
             let elapsed = exec + startup;
+            if acquisition.startup_delay > SimDuration::ZERO {
+                emit!(
+                    observer,
+                    *now,
+                    RecordKind::ColdStart {
+                        request: request.id,
+                        function: index,
+                        delay: startup,
+                    }
+                );
+            }
+            emit!(
+                observer,
+                *now,
+                RecordKind::ExecStart {
+                    request: request.id,
+                    function: index,
+                }
+            );
 
             *now += elapsed;
             pool.release(acquisition.pod, *now);
@@ -164,6 +202,15 @@ impl ClosedLoopExecutor {
                     m.cold_starts.incr(1);
                 }
             }
+            emit!(
+                observer,
+                *now,
+                RecordKind::ExecEnd {
+                    request: request.id,
+                    function: index,
+                    exec,
+                }
+            );
         }
 
         let outcome = RequestOutcome {
@@ -178,6 +225,15 @@ impl ClosedLoopExecutor {
         if let Some(m) = metrics {
             outcome.record_into(m);
         }
+        emit!(
+            observer,
+            *now,
+            RecordKind::Completion {
+                request: request.id,
+                e2e: outcome.e2e,
+                slo_met: outcome.slo_met,
+            }
+        );
         outcome
     }
 
@@ -195,12 +251,37 @@ impl ClosedLoopExecutor {
         requests: &[RequestInput],
         metrics: Option<&ServingMetrics>,
     ) -> ServingReport {
+        self.run_traced(policy, requests, metrics, None)
+    }
+
+    /// [`run_instrumented`](Self::run_instrumented) with an optional attached
+    /// [`Observer`] receiving the per-request lifecycle records. With
+    /// `observer: None` this is exactly the uninstrumented hot path — the
+    /// `emit!` sites never construct a record.
+    pub fn run_traced(
+        &self,
+        policy: &mut dyn SizingPolicy,
+        requests: &[RequestInput],
+        metrics: Option<&ServingMetrics>,
+        observer: Option<&mut dyn Observer>,
+    ) -> ServingReport {
+        let mut observer = observer;
         let mut pool = PoolManager::new(self.config.pool.clone());
         let mut cluster = Cluster::new(&self.config.cluster).expect("validated cluster config");
         let mut now = SimTime::ZERO;
         let outcomes = requests
             .iter()
-            .map(|r| self.serve_one(policy, r, &mut pool, &mut cluster, &mut now, metrics))
+            .map(|r| {
+                self.serve_one(
+                    policy,
+                    r,
+                    &mut pool,
+                    &mut cluster,
+                    &mut now,
+                    metrics,
+                    &mut observer,
+                )
+            })
             .collect();
         ServingReport {
             policy: policy.name().to_string(),
@@ -310,6 +391,30 @@ mod tests {
         let mut p2 =
             FixedSizingPolicy::uniform("max", exec.workflow(), Millicores::new(3000)).unwrap();
         assert_eq!(exec.run(&mut p2, &reqs), report);
+    }
+
+    #[test]
+    fn traced_runs_emit_full_lifecycles_without_changing_the_report() {
+        use janus_observe::SpanObserver;
+        let exec = executor(3.0);
+        let reqs = requests(30, 5);
+        let mut policy =
+            FixedSizingPolicy::uniform("max", exec.workflow(), Millicores::new(3000)).unwrap();
+        let mut spans = SpanObserver::default();
+        let traced = exec.run_traced(&mut policy, &reqs, None, Some(&mut spans));
+        let summary = spans.finish().spans.unwrap();
+        assert_eq!(summary.arrivals, 30);
+        assert_eq!(summary.served, 30);
+        assert_eq!(summary.shed + summary.failed, 0);
+        // Every request runs the whole 3-function workflow; the rebuilt span
+        // phases must agree with the report's own E2E aggregation.
+        let mean_e2e = traced.e2e_summary().unwrap().mean;
+        assert!((summary.mean_e2e_ms - mean_e2e).abs() < 1e-9);
+        assert!(summary.mean_exec_ms > 0.0);
+        // Observation is side-effect free on the serving path.
+        let mut p2 =
+            FixedSizingPolicy::uniform("max", exec.workflow(), Millicores::new(3000)).unwrap();
+        assert_eq!(exec.run(&mut p2, &reqs), traced);
     }
 
     #[test]

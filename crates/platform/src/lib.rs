@@ -31,6 +31,23 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+/// Offer one lifecycle record to an optional attached observer. A macro
+/// (not a function) so the disabled path is statically zero-cost: with no
+/// observer the record expression is never evaluated — no allocation, no
+/// virtual call, nothing but a branch on an `Option` discriminant. Both
+/// serving loops use it; textual macro scoping makes it visible to the
+/// modules declared below.
+macro_rules! emit {
+    ($observer:expr, $at:expr, $kind:expr) => {
+        if let Some(o) = $observer.as_deref_mut() {
+            o.record(&Record {
+                at: $at,
+                kind: $kind,
+            });
+        }
+    };
+}
+
 pub mod capacity;
 pub mod executor;
 pub mod metrics;

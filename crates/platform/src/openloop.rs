@@ -23,6 +23,7 @@ use crate::outcome::{
 };
 use crate::policy::{RequestContext, SizingPolicy};
 use janus_chaos::{FaultAction, FaultEvent, FaultSchedule};
+use janus_observe::{Observer, Record, RecordKind, TickSample};
 use janus_simcore::cluster::{Cluster, ClusterConfig, NodeState};
 use janus_simcore::engine::{Engine, EngineConfig};
 use janus_simcore::interference::InterferenceModel;
@@ -316,7 +317,30 @@ impl OpenLoopSimulation {
         requests: &[RequestInput],
         arena: &mut OpenLoopArena,
         metrics: Option<&ServingMetrics>,
+        controls: Option<CapacityControls<'_>>,
+    ) -> ServingReport {
+        self.run_traced(policy, requests, arena, metrics, controls, None)
+    }
+
+    /// The fully-instrumented serving loop:
+    /// [`run_with_capacity`](Self::run_with_capacity) plus an optional
+    /// flight-recorder hook. With an [`Observer`] attached, every request
+    /// lifecycle step (arrival, admission verdict, placement, cold start,
+    /// execution, retry, fault delivery, scaling, shed/fail/completion)
+    /// is offered as a typed record stamped with simulated time, and every
+    /// capacity tick contributes a fleet-telemetry sample. With `None` the
+    /// hooks compile down to a branch on the `Option` discriminant — no
+    /// record is constructed and nothing is allocated, so untraced runs
+    /// cost what they did before the hooks existed (the perf bench guards
+    /// this).
+    pub fn run_traced(
+        &self,
+        policy: &mut dyn SizingPolicy,
+        requests: &[RequestInput],
+        arena: &mut OpenLoopArena,
+        metrics: Option<&ServingMetrics>,
         mut controls: Option<CapacityControls<'_>>,
+        mut observer: Option<&mut dyn Observer>,
     ) -> ServingReport {
         arena.engine.reset();
         // Every arrival sits in the queue before the first pop; pre-size so
@@ -375,13 +399,24 @@ impl OpenLoopSimulation {
             }
             match ev.payload {
                 Event::Arrival(input) => {
+                    emit!(observer, now, RecordKind::Arrival { request: input.id });
                     if let Some(c) = controls.as_mut() {
-                        if !c.admission.admit(now, inflight.len()) {
+                        let admitted = c.admission.admit(now, inflight.len());
+                        emit!(
+                            observer,
+                            now,
+                            RecordKind::Admission {
+                                request: input.id,
+                                admitted,
+                            }
+                        );
+                        if !admitted {
                             let acct = accounting.as_mut().expect("controls imply accounting");
                             acct.shed += 1;
                             if let Some(m) = metrics {
                                 m.shed.incr(1);
                             }
+                            emit!(observer, now, RecordKind::Shed { request: input.id });
                             outcomes.push(RequestOutcome::shed(input.id));
                             continue;
                         }
@@ -394,6 +429,14 @@ impl OpenLoopSimulation {
                             if let Some(m) = metrics {
                                 m.failed.incr(1);
                             }
+                            emit!(
+                                observer,
+                                now,
+                                RecordKind::Failed {
+                                    request: input.id,
+                                    e2e: SimDuration::ZERO,
+                                }
+                            );
                             outcomes.push(RequestOutcome::failed(
                                 input.id,
                                 SimDuration::ZERO,
@@ -435,6 +478,7 @@ impl OpenLoopSimulation {
                         engine,
                         metrics,
                         fault_rt.as_ref(),
+                        &mut observer,
                     );
                 }
                 Event::FunctionComplete {
@@ -471,6 +515,15 @@ impl OpenLoopSimulation {
                         m.functions.incr(1);
                         m.function_ms.record(exec.as_millis());
                     }
+                    emit!(
+                        observer,
+                        now,
+                        RecordKind::ExecEnd {
+                            request: request_id,
+                            function: index,
+                            exec,
+                        }
+                    );
                     if finished_len == self.workflow.len() {
                         let state = inflight.remove(&request_id).expect("in-flight request");
                         let outcome = RequestOutcome {
@@ -485,6 +538,15 @@ impl OpenLoopSimulation {
                         if let Some(m) = metrics {
                             outcome.record_into(m);
                         }
+                        emit!(
+                            observer,
+                            now,
+                            RecordKind::Completion {
+                                request: request_id,
+                                e2e: outcome.e2e,
+                                slo_met: outcome.slo_met,
+                            }
+                        );
                         outcomes.push(outcome);
                     } else {
                         self.start_function(
@@ -498,6 +560,7 @@ impl OpenLoopSimulation {
                             engine,
                             metrics,
                             fault_rt.as_ref(),
+                            &mut observer,
                         );
                     }
                 }
@@ -517,6 +580,7 @@ impl OpenLoopSimulation {
                             engine,
                             metrics,
                             acct,
+                            &mut observer,
                         );
                     }
                     let c = controls.as_mut().expect("tick implies controls");
@@ -546,6 +610,14 @@ impl OpenLoopSimulation {
                                 if let Some(m) = metrics {
                                     m.scale_ups.incr(1);
                                 }
+                                emit!(
+                                    observer,
+                                    now,
+                                    RecordKind::Scaling {
+                                        from_nodes: before,
+                                        to_nodes: cluster.node_count(),
+                                    }
+                                );
                             }
                         }
                         ScalingAction::ScaleDown(nodes) => {
@@ -563,6 +635,14 @@ impl OpenLoopSimulation {
                                 if let Some(m) = metrics {
                                     m.scale_downs.incr(1);
                                 }
+                                emit!(
+                                    observer,
+                                    now,
+                                    RecordKind::Scaling {
+                                        from_nodes: before,
+                                        to_nodes: cluster.node_count(),
+                                    }
+                                );
                             }
                         }
                     }
@@ -575,6 +655,24 @@ impl OpenLoopSimulation {
                     let target = (base_pool * cluster.active_node_count()).div_ceil(initial_nodes);
                     if target != pool.target_pool_size() {
                         pool.set_target_pool_size(target, now);
+                    }
+                    // One telemetry sample per tick, after faults and the
+                    // autoscaler have acted — the flight recorder's
+                    // time-series axis. Only built when an observer is
+                    // attached (the per-zone breakdown allocates).
+                    if let Some(o) = observer.as_deref_mut() {
+                        o.tick(&TickSample {
+                            at: now,
+                            queue_depth: engine.pending(),
+                            inflight: inflight.len(),
+                            active_nodes: cluster.active_node_count(),
+                            nodes_per_zone: cluster.active_nodes_per_zone(),
+                            utilization: cluster.utilization(),
+                            pool_size: pool.generic_available(),
+                            shed: acct.shed as u64,
+                            failed: fault_rt.as_ref().map_or(0, |rt| rt.failed) as u64,
+                            retried: fault_rt.as_ref().map_or(0, |rt| rt.retried) as u64,
+                        });
                     }
                     // Keep ticking while anything can still happen.
                     if engine.pending() > 0 || !inflight.is_empty() {
@@ -646,6 +744,7 @@ impl OpenLoopSimulation {
         engine: &mut Engine<Event>,
         metrics: Option<&ServingMetrics>,
         acct: &mut CapacityAccounting,
+        observer: &mut Option<&mut dyn Observer>,
     ) {
         // Preemption deadlines first: a victim still alive when its notice
         // expires is force-killed; one that finished draining beat it.
@@ -662,6 +761,13 @@ impl OpenLoopSimulation {
             let action = rt.events[rt.cursor].action.clone();
             rt.cursor += 1;
             rt.applied += 1;
+            emit!(
+                observer,
+                now,
+                RecordKind::Fault {
+                    kind: action.kind(),
+                }
+            );
             match action {
                 FaultAction::Crash { count } => {
                     crashed.extend(rt.pick_victims(cluster, count));
@@ -710,6 +816,14 @@ impl OpenLoopSimulation {
                 from_nodes: before,
                 to_nodes: cluster.node_count(),
             });
+            emit!(
+                observer,
+                now,
+                RecordKind::Scaling {
+                    from_nodes: before,
+                    to_nodes: cluster.node_count(),
+                }
+            );
         }
         if lost.is_empty() {
             return;
@@ -725,19 +839,20 @@ impl OpenLoopSimulation {
         affected.sort_unstable();
         rt.lost_pods.extend(lost_set);
         for request_id in affected {
-            let (retry, index) = {
+            let (retry, index, attempt, lost) = {
                 let state = inflight.get_mut(&request_id).expect("in-flight request");
                 // The in-progress attempt is void: its allocation entry goes
                 // (it never produced a latency sample), but the wall time it
                 // burned still counts against the request.
                 state.allocations.pop();
-                state.e2e += now.saturating_since(state.current_started);
+                let lost = now.saturating_since(state.current_started);
+                state.e2e += lost;
                 state.current_pod = None;
                 if state.retries < FAULT_RETRY_BUDGET {
                     state.retries += 1;
-                    (true, state.current_index)
+                    (true, state.current_index, state.retries, lost)
                 } else {
-                    (false, 0)
+                    (false, 0, state.retries, lost)
                 }
             };
             if retry && cluster.node_count() > 0 {
@@ -745,6 +860,15 @@ impl OpenLoopSimulation {
                 if let Some(m) = metrics {
                     m.retried.incr(1);
                 }
+                emit!(
+                    observer,
+                    now,
+                    RecordKind::Retry {
+                        request: request_id,
+                        attempt,
+                        lost,
+                    }
+                );
                 self.start_function(
                     policy,
                     inflight,
@@ -756,6 +880,7 @@ impl OpenLoopSimulation {
                     engine,
                     metrics,
                     Some(&*rt),
+                    observer,
                 );
             } else {
                 let state = inflight.remove(&request_id).expect("in-flight request");
@@ -763,6 +888,14 @@ impl OpenLoopSimulation {
                 if let Some(m) = metrics {
                     m.failed.incr(1);
                 }
+                emit!(
+                    observer,
+                    now,
+                    RecordKind::Failed {
+                        request: request_id,
+                        e2e: state.e2e,
+                    }
+                );
                 outcomes.push(RequestOutcome::failed(
                     request_id,
                     state.e2e,
@@ -786,6 +919,7 @@ impl OpenLoopSimulation {
         engine: &mut Engine<Event>,
         metrics: Option<&ServingMetrics>,
         fault_rt: Option<&FaultRuntime>,
+        observer: &mut Option<&mut dyn Observer>,
     ) {
         let state = inflight.get_mut(&request_id).expect("in-flight request");
         let ctx = RequestContext {
@@ -806,7 +940,7 @@ impl OpenLoopSimulation {
             .expect("index within workflow");
         let acquisition = pool.acquire(function.name(), size, now);
         let _ = cluster.resize(acquisition.pod, size);
-        if cluster.node_of(acquisition.pod).is_none()
+        let overcommitted = if cluster.node_of(acquisition.pod).is_none()
             && cluster
                 .place(acquisition.pod, function.name(), size)
                 .is_err()
@@ -815,7 +949,19 @@ impl OpenLoopSimulation {
             // than dropping the request. The pod runs, but it contends —
             // overload shows up as interference, not as free capacity.
             let _ = cluster.place_overcommitted(acquisition.pod, function.name(), size);
-        }
+            true
+        } else {
+            false
+        };
+        emit!(
+            observer,
+            now,
+            RecordKind::Placement {
+                request: request_id,
+                function: index,
+                overcommitted,
+            }
+        );
         let colocated = cluster.colocation_degree(acquisition.pod, function.name());
         let mut exec = function.execution_time(
             size,
@@ -838,6 +984,28 @@ impl OpenLoopSimulation {
                 m.cold_starts.incr(1);
             }
         }
+        if acquisition.startup_delay > SimDuration::ZERO {
+            // `delay` is the startup time that counts against latency
+            // (zero when the config excludes startup delays), matching the
+            // span builder's phase accounting.
+            emit!(
+                observer,
+                now,
+                RecordKind::ColdStart {
+                    request: request_id,
+                    function: index,
+                    delay: startup,
+                }
+            );
+        }
+        emit!(
+            observer,
+            now,
+            RecordKind::ExecStart {
+                request: request_id,
+                function: index,
+            }
+        );
         state.allocations.push(size);
         state.current_pod = Some(acquisition.pod);
         state.current_index = index;

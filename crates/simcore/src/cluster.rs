@@ -199,6 +199,19 @@ impl Cluster {
         self.node_zones.get(id.0 as usize).copied()
     }
 
+    /// Active-node count per availability zone, indexed by zone. This is
+    /// the per-zone breakdown the flight recorder samples at every
+    /// capacity tick (a zone outage shows up as its column dropping to 0).
+    pub fn active_nodes_per_zone(&self) -> Vec<usize> {
+        let mut per_zone = vec![0usize; self.zone_count];
+        for (i, state) in self.states.iter().enumerate() {
+            if *state == NodeState::Active {
+                per_zone[self.node_zones[i]] += 1;
+            }
+        }
+        per_zone
+    }
+
     /// Ids of non-retired nodes in `zone`.
     pub fn zone_nodes(&self, zone: usize) -> Vec<NodeId> {
         self.nodes
@@ -571,6 +584,18 @@ mod tests {
         let added = c.add_node(Millicores::from_cores(8)).unwrap();
         assert_eq!(c.zone_of(added), Some(0));
         assert_eq!(c.zone_nodes(0), vec![NodeId(0), NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn active_nodes_per_zone_tracks_crashes() {
+        let mut c = zoned(4, 2);
+        assert_eq!(c.active_nodes_per_zone(), vec![2, 2]);
+        c.crash_node(NodeId(1)).unwrap();
+        assert_eq!(c.active_nodes_per_zone(), vec![2, 1]);
+        assert_eq!(
+            c.active_nodes_per_zone().iter().sum::<usize>(),
+            c.active_node_count()
+        );
     }
 
     #[test]
