@@ -104,6 +104,7 @@ impl Adapter {
     /// `finished = 0` is the admission-time decision sizing the first
     /// function; `finished = N-1` sizes the last function.
     pub fn decide(&mut self, finished: usize, remaining_budget: SimDuration) -> AdaptationDecision {
+        // janus-lint: allow(nondeterminism) — measures the adapter's own decision latency (§V-H); never feeds simulated time
         let started = Instant::now();
         let outcome = self
             .bundle

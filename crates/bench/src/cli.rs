@@ -7,6 +7,7 @@
 //! janus all [flags]               # every registered experiment
 //! janus report <trace.jsonl>      # summarise a flight trace (--out writes CSV)
 //! janus perf-check [path]         # gate a fresh perf run against the history
+//! janus lint [--json]             # static analysis against the repo invariants
 //! ```
 //!
 //! Parsing and execution are separated ([`parse`] / [`execute`]) so the
@@ -38,6 +39,10 @@ pub const USAGE: &str = "usage: janus <command> [flags]\n\
     \x20 report <trace.jsonl> summarise a JSONL flight trace (--out writes CSV)\n\
     \x20 perf-check [path]    rerun perf and fail on regression against the history\n\
     \x20                      at path (default BENCH_perf.json)\n\
+    \x20 lint [--json]        scan crates/*/src against the workspace lint rules and\n\
+    \x20                      the committed specs/lint_baseline.json; --json prints\n\
+    \x20                      the machine-readable artefact, --out writes and\n\
+    \x20                      decode-checks it\n\
     flags: [--quick | --paper] [--seed N] [--out PATH] [--trace PATH] [--help]\n\
     \x20 --quick      reduced scale; sweeps clamp profiling cost (samples, budget step)\n\
     \x20 --paper      paper scale (default)\n\
@@ -62,6 +67,11 @@ pub enum Command {
     Report(String),
     /// `janus perf-check [path]`
     PerfCheck(Option<String>),
+    /// `janus lint [--json]`
+    Lint {
+        /// Print the machine-readable artefact instead of rendered findings.
+        json: bool,
+    },
 }
 
 /// Parse a `janus` argument list (without the program name) into a command
@@ -72,7 +82,7 @@ where
     I: IntoIterator<Item = String>,
 {
     let mut args = args.into_iter().peekable();
-    let command = match args.next().as_deref() {
+    let mut command = match args.next().as_deref() {
         None => return Err("missing command".into()),
         Some("list") => Command::List,
         Some("all") => Command::All,
@@ -97,15 +107,38 @@ where
             };
             Command::PerfCheck(path)
         }
+        Some("lint") => Command::Lint { json: false },
         Some(other) => {
             return Err(format!(
-                "unknown command `{other}`; expected list, run, sweep, all, report or perf-check"
+                "unknown command `{other}`; expected list, run, sweep, all, report, \
+                 perf-check or lint"
             ))
         }
     };
-    let rest: Vec<String> = args.collect();
+    let mut rest: Vec<String> = args.collect();
     if command == Command::List && !rest.is_empty() {
         return Err("`janus list` takes no flags".into());
+    }
+    if let Command::Lint { json } = &mut command {
+        // Lint shares only `--out` with the experiment flags; scale, seed
+        // and trace are meaningless for a static pass and are rejected so a
+        // typo cannot silently no-op.
+        let before = rest.len();
+        rest.retain(|a| a != "--json");
+        *json = rest.len() < before;
+        if before - rest.len() > 1 {
+            return Err("--json given twice".into());
+        }
+        let mut it = rest.iter();
+        while let Some(arg) = it.next() {
+            if arg == "--out" {
+                it.next();
+            } else {
+                return Err(format!(
+                    "`janus lint` takes only --json and --out, got `{arg}`"
+                ));
+            }
+        }
     }
     let flags = BenchFlags::from_args(rest)?;
     Ok((command, flags))
@@ -139,6 +172,7 @@ pub fn execute(command: &Command, flags: &BenchFlags) -> Result<(), String> {
         Command::All => run_all(flags),
         Command::Report(path) => run_report(path, flags),
         Command::PerfCheck(path) => run_perf_check(path.as_deref(), flags),
+        Command::Lint { json } => run_lint(*json, flags),
     }
 }
 
@@ -183,6 +217,10 @@ pub fn listing() -> String {
         "observers",
         ObserverRegistry::with_builtins().names(),
     );
+    out.push_str("lint rules (janus lint):\n");
+    for (name, describe) in janus_lint::LintRegistry::with_builtins().catalog() {
+        out.push_str(&format!("  {name:<17} {describe}\n"));
+    }
     out
 }
 
@@ -202,10 +240,9 @@ fn run_experiment(name: &str, flags: &BenchFlags) -> Result<(), String> {
     }
     // `janus run perf --out` appends a dated entry to the perf history
     // rather than overwriting the committed baseline.
-    let written = if name == "perf" && flags.out.is_some() {
-        perf_history_doc(flags, output.to_json())?
-    } else {
-        output.to_json()
+    let written = match (name, flags.out.as_deref()) {
+        ("perf", Some(path)) => perf_history_doc(path, flags, output.to_json())?,
+        _ => output.to_json(),
     };
     flags.write_out_value(&written);
     flags.verify_out(&written);
@@ -231,8 +268,7 @@ fn write_trace(path: &str, name: &str, sink: &TraceSink) -> Result<(), String> {
 /// The document `janus run perf --out PATH` writes: the existing artefact
 /// at PATH (a history, or the pre-history flat baseline) with the fresh
 /// result appended as a dated entry of the current scale.
-fn perf_history_doc(flags: &BenchFlags, result: Value) -> Result<Value, String> {
-    let path = flags.out.as_deref().expect("caller checked --out");
+fn perf_history_doc(path: &str, flags: &BenchFlags, result: Value) -> Result<Value, String> {
     let existing = match std::fs::read_to_string(path) {
         Ok(text) => Some(
             janus_json::parse(&text)
@@ -290,6 +326,80 @@ fn run_perf_check(path: Option<&str>, flags: &BenchFlags) -> Result<(), String> 
     let verdict = check_against(&baseline, fresh)?;
     println!("{verdict}");
     Ok(())
+}
+
+/// `janus lint`: scan the workspace sources with the rule registry, apply
+/// inline directives, and gate against the committed burn-down baseline.
+/// `--json` prints the machine-readable artefact instead of rendered
+/// findings; `--out` writes it and decode-checks the read-back (both the
+/// raw JSON and the typed diagnostic decode).
+fn run_lint(json: bool, flags: &BenchFlags) -> Result<(), String> {
+    // The front end lints whichever workspace the user invoked it in, so
+    // the cwd lookup is the sanctioned entry-point read.
+    // janus-lint: allow(nondeterminism) — locating the workspace to lint, not simulation state
+    let cwd = std::env::current_dir();
+    let cwd = cwd.map_err(|e| format!("cannot read the current directory: {e}"))?;
+    let root = janus_lint::find_workspace_root(&cwd).ok_or(
+        "no workspace root (a directory holding Cargo.toml and crates/) above the current directory",
+    )?;
+    let registry = janus_lint::LintRegistry::with_builtins();
+    let config = janus_lint::LintConfig::workspace_default();
+    let run = janus_lint::lint_workspace(&root, &registry, &config)?;
+    let baseline = janus_lint::load_baseline(&root)?;
+    let verdict = janus_lint::compare_to_baseline(&run.diagnostics, &baseline);
+    let artefact = janus_lint::run_to_json(&run);
+    if json {
+        println!("{}", artefact.to_pretty());
+    } else {
+        for diagnostic in &run.diagnostics {
+            println!("{}", diagnostic.render());
+        }
+        println!(
+            "linted {} files with {} rules: {} finding{} ({} suppressed by directives)",
+            run.files_scanned,
+            run.rules.len(),
+            run.diagnostics.len(),
+            if run.diagnostics.len() == 1 { "" } else { "s" },
+            run.suppressed
+        );
+    }
+    flags.write_out_value(&artefact);
+    flags.verify_out(&artefact);
+    if flags.out.is_some() {
+        // Beyond the raw JSON round-trip: the typed decode must reproduce
+        // the diagnostics exactly.
+        let decoded = janus_lint::diagnostics_from_json(&artefact)?;
+        if decoded != run.diagnostics {
+            return Err("lint artefact did not decode back to the reported diagnostics".into());
+        }
+    }
+    for (rule, path, current, allowed) in &verdict.improved {
+        eprintln!(
+            "baseline is stale: `{rule}` at {path} is down to {current} \
+             (baseline tolerates {allowed}); tighten {}",
+            janus_lint::BASELINE_PATH
+        );
+    }
+    if verdict.is_clean() {
+        Ok(())
+    } else {
+        let lines: Vec<String> = verdict
+            .regressions
+            .iter()
+            .map(|(rule, path, current, allowed)| {
+                format!("{path}: {current}x {rule} (baseline tolerates {allowed})")
+            })
+            .collect();
+        Err(format!(
+            "lint found {} (rule, file) group{} over the baseline:\n  {}\n\
+             fix the findings, justify them with `// janus-lint: allow(rule)`, \
+             or extend {}",
+            lines.len(),
+            if lines.len() == 1 { "" } else { "s" },
+            lines.join("\n  "),
+            janus_lint::BASELINE_PATH
+        ))
+    }
 }
 
 /// Apply the flags to a decoded sweep spec: `--seed` replaces the seed axis
@@ -401,6 +511,13 @@ mod tests {
         let (cmd, flags) = parse_cli(&["perf-check", "--quick"]).unwrap();
         assert_eq!(cmd, Command::PerfCheck(None));
         assert_eq!(flags.scale, Scale::Quick);
+        // lint: bare, --json, and --out all parse; --json is its own flag.
+        let (cmd, flags) = parse_cli(&["lint"]).unwrap();
+        assert_eq!(cmd, Command::Lint { json: false });
+        assert_eq!(flags, BenchFlags::default());
+        let (cmd, flags) = parse_cli(&["lint", "--json", "--out", "lint.json"]).unwrap();
+        assert_eq!(cmd, Command::Lint { json: true });
+        assert_eq!(flags.out.as_deref(), Some("lint.json"));
     }
 
     #[test]
@@ -425,6 +542,14 @@ mod tests {
         // Uniform across flag classes: even a no-op flag is rejected.
         let err = parse_cli(&["list", "--paper"]).unwrap_err();
         assert!(err.contains("takes no flags"), "{err}");
+        // lint rejects the experiment flags — a static pass has no scale,
+        // seed or trace — and duplicate --json.
+        let err = parse_cli(&["lint", "--quick"]).unwrap_err();
+        assert!(err.contains("takes only --json and --out"), "{err}");
+        let err = parse_cli(&["lint", "--seed", "3"]).unwrap_err();
+        assert!(err.contains("takes only --json and --out"), "{err}");
+        let err = parse_cli(&["lint", "--json", "--json"]).unwrap_err();
+        assert!(err.contains("--json given twice"), "{err}");
     }
 
     #[test]
@@ -455,6 +580,10 @@ mod tests {
             "fault injectors: node-crash, spot-preempt, zone-outage, slow-node",
             "observers: ring, trace, spans, time-series, flight-recorder",
             "chaos_resilience",
+            "lint rules (janus lint):",
+            "nondeterminism",
+            "unwrap-discipline",
+            "emit-discipline",
         ] {
             assert!(
                 listing.contains(needle),
@@ -550,6 +679,27 @@ mod tests {
         assert!(err.contains("emitted no trace lines"), "{err}");
         let _ = std::fs::remove_file(&trace_path);
         let _ = std::fs::remove_file(&csv_path);
+    }
+
+    #[test]
+    fn lint_runs_clean_and_writes_a_decodable_artefact() {
+        let out = temp_path("janus_cli_lint_artefact_test.json");
+        let flags = BenchFlags {
+            out: Some(out.clone()),
+            ..BenchFlags::default()
+        };
+        // Clean against the committed baseline, or this (and CI) fails.
+        execute(&Command::Lint { json: false }, &flags).unwrap();
+        let doc = janus_json::parse(&std::fs::read_to_string(&out).expect("artefact written"))
+            .expect("artefact is valid JSON");
+        assert_eq!(doc.require("tool").unwrap().as_str(), Some("janus-lint"));
+        assert_eq!(
+            doc.require("rules").unwrap().as_array().map(<[_]>::len),
+            Some(5)
+        );
+        // The typed decode accepts the artefact it just wrote.
+        janus_lint::diagnostics_from_json(&doc).expect("artefact decodes to diagnostics");
+        let _ = std::fs::remove_file(&out);
     }
 
     #[test]

@@ -81,6 +81,7 @@ impl BenchFlags {
     /// Parse the process arguments; prints usage and exits on `--help` or on
     /// an invalid invocation.
     pub fn parse() -> BenchFlags {
+        // janus-lint: allow(nondeterminism) — CLI argument intake; the seed the args carry is what determinism is defined over
         let args: Vec<String> = std::env::args().skip(1).collect();
         if args.iter().any(|a| a == "--help" || a == "-h") {
             println!("{}", Self::USAGE);

@@ -320,6 +320,7 @@ pub fn capacity_sweep_observed(
     let cells: Vec<Result<CapacityCell, String>> = grid
         .into_par_iter()
         .map(|(scenario, autoscaler, admission)| {
+            // janus-lint: allow(nondeterminism) — wall-clock cost of the cell, reported as metadata; cell results are seed-pure
             let started = Instant::now();
             let mut builder = ServingSession::builder()
                 .app(config.app)

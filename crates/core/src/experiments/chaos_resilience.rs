@@ -342,6 +342,7 @@ pub fn chaos_resilience_observed(
             "chaos resilience needs at least one autoscaler and one admission policy".into(),
         );
     }
+    // janus-lint: allow(nondeterminism) — wall-clock cost of the grid, reported as metadata; grid results are seed-pure
     let started = Instant::now();
     let mut grid = Vec::new();
     for autoscaler in &config.autoscalers {

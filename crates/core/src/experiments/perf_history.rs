@@ -137,6 +137,7 @@ pub fn check_against(baseline: &PerfBaseline, fresh_mean: f64) -> Result<String,
 /// dependency; days-since-epoch converted via the standard civil-from-days
 /// algorithm).
 pub fn today_utc() -> String {
+    // janus-lint: allow(nondeterminism) — history entries are date-stamped provenance, not simulation results
     let secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())

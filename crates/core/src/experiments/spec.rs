@@ -505,6 +505,7 @@ impl<'a> Decoder<'a> {
         // run something other than what the file records. Reject it.
         const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
         let n = self.finite(key, value)?;
+        // janus-lint: allow(float-cmp) — exactness is the point: fract() must be exactly zero for an integer-valued f64
         if n < 0.0 || n.fract() != 0.0 || n > MAX_EXACT {
             return Err(format!(
                 "`{key}`: expected a non-negative integer (at most 2^53), got {n}"

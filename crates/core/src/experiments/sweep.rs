@@ -330,6 +330,7 @@ pub fn run_sweep_streaming(
 ) -> Result<SweepResult, String> {
     spec.validate()?;
     resolve_names(spec)?;
+    // janus-lint: allow(nondeterminism) — wall-clock sweep cost, reported as metadata; point results are seed-pure
     let started = Instant::now();
     let points = spec.expand();
     let total = points.len();
@@ -355,6 +356,7 @@ pub fn run_sweep_streaming(
             let mut arena = OpenLoopArena::new();
             let mut done = Vec::with_capacity(stripe.len());
             for (index, session_spec) in stripe {
+                // janus-lint: allow(nondeterminism) — per-point wall cost for progress lines only
                 let point_started = Instant::now();
                 let context = |e: String| {
                     format!(

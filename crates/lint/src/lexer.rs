@@ -1,0 +1,461 @@
+//! A hand-rolled Rust lexer: enough of the language's lexical grammar to
+//! drive syntactic lint rules, with line/column positions on every token.
+//!
+//! The lexer is deliberately *lexical only* — no parse tree, no name
+//! resolution. It understands the token shapes that matter to the rules:
+//! identifiers (including raw `r#idents`), lifetimes vs. char literals,
+//! integer vs. float literals (suffixes, exponents, `1..2` ranges), string
+//! literals in every flavour (`"…"`, `r#"…"#`, `b"…"`), nested block
+//! comments, and a greedy multi-character operator table so `==` / `!=`
+//! arrive as single tokens. Comments are kept as tokens (not skipped)
+//! because `// janus-lint: allow(rule)` directives live in them.
+//!
+//! Invariant (property-tested): tokens are non-overlapping, in source
+//! order, and the bytes between consecutive tokens are pure whitespace —
+//! so the token stream plus whitespace reconstructs the file exactly.
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#idents`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal (any base, with optional suffix).
+    Int,
+    /// Float literal (has a decimal point, exponent, or `f32`/`f64` suffix).
+    Float,
+    /// String literal: `"…"`, raw `r"…"` / `r#"…"#`, or byte `b"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A `// …` comment (doc comments included), excluding the newline.
+    LineComment,
+    /// A `/* … */` comment, nesting included.
+    BlockComment,
+    /// Punctuation / operator, multi-character operators as one token.
+    Punct,
+}
+
+/// One token: kind plus its byte span and 1-based position in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte length.
+    pub len: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.start + self.len]
+    }
+}
+
+/// Multi-character operators, longest first so the match is greedy.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(ahead)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src[self.pos..].chars().next()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += c.len_utf8() as u32;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Lex a source file into tokens. Errors carry a 1-based `line:col`
+/// position and describe the unterminated construct.
+pub fn lex(src: &str) -> Result<Vec<Token>, String> {
+    let mut cur = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = lex_one(&mut cur, c)?;
+        tokens.push(Token {
+            kind,
+            start,
+            len: cur.pos - start,
+            line,
+            col,
+        });
+    }
+    Ok(tokens)
+}
+
+fn lex_one(cur: &mut Cursor<'_>, c: char) -> Result<TokenKind, String> {
+    // Comments before punctuation: `//` and `/*` share a first byte with `/`.
+    if cur.starts_with("//") {
+        cur.eat_while(|c| c != '\n');
+        return Ok(TokenKind::LineComment);
+    }
+    if cur.starts_with("/*") {
+        return lex_block_comment(cur);
+    }
+    // String flavours and raw identifiers share prefixes with plain idents.
+    if c == 'r' && (cur.starts_with("r\"") || cur.starts_with("r#")) {
+        // `r#"…"#` (raw string, hashes end in a quote) vs `r#ident` (raw
+        // identifier).
+        if cur.starts_with("r\"") || raw_string_follows(cur, 1) {
+            return lex_raw_string(cur, 1);
+        }
+        cur.bump();
+        cur.bump();
+        cur.eat_while(is_ident_continue);
+        return Ok(TokenKind::Ident);
+    }
+    if c == 'b' {
+        if cur.starts_with("b\"") {
+            cur.bump();
+            return lex_quoted(cur, '"', TokenKind::Str);
+        }
+        if cur.starts_with("b'") {
+            cur.bump();
+            return lex_quoted(cur, '\'', TokenKind::Char);
+        }
+        if cur.starts_with("br\"") || cur.starts_with("br#") {
+            return lex_raw_string(cur, 2);
+        }
+    }
+    if is_ident_start(c) {
+        cur.eat_while(is_ident_continue);
+        return Ok(TokenKind::Ident);
+    }
+    if c.is_ascii_digit() {
+        return Ok(lex_number(cur));
+    }
+    if c == '"' {
+        return lex_quoted(cur, '"', TokenKind::Str);
+    }
+    if c == '\'' {
+        return lex_quote_or_lifetime(cur);
+    }
+    // Greedy multi-character operators, then any single char.
+    for op in MULTI_PUNCT {
+        if cur.starts_with(op) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            return Ok(TokenKind::Punct);
+        }
+    }
+    cur.bump();
+    Ok(TokenKind::Punct)
+}
+
+/// Whether the cursor (sitting on `r` or `br`) starts a raw string: the run
+/// of `#`s after the prefix must end in a double quote.
+fn raw_string_follows(cur: &Cursor<'_>, prefix: usize) -> bool {
+    let mut i = cur.pos + prefix;
+    while i < cur.bytes.len() && cur.bytes[i] == b'#' {
+        i += 1;
+    }
+    i < cur.bytes.len() && cur.bytes[i] == b'"'
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> Result<TokenKind, String> {
+    let (line, col) = (cur.line, cur.col);
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        if cur.starts_with("/*") {
+            cur.bump();
+            cur.bump();
+            depth += 1;
+        } else if cur.starts_with("*/") {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+        } else if cur.bump().is_none() {
+            return Err(format!("{line}:{col}: unterminated block comment"));
+        }
+    }
+    Ok(TokenKind::BlockComment)
+}
+
+/// Lex `"…"` / `'…'` content with escapes; the opening delimiter has not
+/// been consumed yet (except for byte literals, where the caller consumed
+/// the `b`).
+fn lex_quoted(cur: &mut Cursor<'_>, close: char, kind: TokenKind) -> Result<TokenKind, String> {
+    let (line, col) = (cur.line, cur.col);
+    cur.bump(); // opening delimiter
+    loop {
+        match cur.bump() {
+            None => {
+                let what = if close == '"' { "string" } else { "char" };
+                return Err(format!("{line}:{col}: unterminated {what} literal"));
+            }
+            Some('\\') => {
+                cur.bump();
+            }
+            Some(c) if c == close => return Ok(kind),
+            Some(_) => {}
+        }
+    }
+}
+
+/// Lex `r"…"`, `r#"…"#`, `br#"…"#`: `prefix` is the length of the `r` /
+/// `br` introducer.
+fn lex_raw_string(cur: &mut Cursor<'_>, prefix: usize) -> Result<TokenKind, String> {
+    let (line, col) = (cur.line, cur.col);
+    for _ in 0..prefix {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.bump() != Some('"') {
+        return Err(format!("{line}:{col}: malformed raw string"));
+    }
+    let closing: String = std::iter::once('"')
+        .chain("#".repeat(hashes).chars())
+        .collect();
+    loop {
+        if cur.starts_with(&closing) {
+            for _ in 0..closing.len() {
+                cur.bump();
+            }
+            return Ok(TokenKind::Str);
+        }
+        if cur.bump().is_none() {
+            return Err(format!("{line}:{col}: unterminated raw string"));
+        }
+    }
+}
+
+/// `'a` (lifetime) vs `'a'` (char literal): after the quote, an identifier
+/// character followed by anything but a closing quote is a lifetime.
+fn lex_quote_or_lifetime(cur: &mut Cursor<'_>) -> Result<TokenKind, String> {
+    let next = cur.peek(1);
+    let after = cur.peek(2);
+    if next.is_some_and(is_ident_start) && after != Some('\'') {
+        cur.bump();
+        cur.eat_while(is_ident_continue);
+        return Ok(TokenKind::Lifetime);
+    }
+    lex_quoted(cur, '\'', TokenKind::Char)
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    if cur.starts_with("0x") || cur.starts_with("0o") || cur.starts_with("0b") {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_hexdigit() || c == '_');
+        cur.eat_while(is_ident_continue); // suffix (u8, usize, …)
+        return TokenKind::Int;
+    }
+    cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    let mut float = false;
+    // A `.` continues the literal only when not starting a range (`1..2`)
+    // or a method call on the literal (`1.max(2)`).
+    if cur.peek(0) == Some('.') {
+        let after = cur.peek(1);
+        let is_range_or_method = after == Some('.') || after.is_some_and(is_ident_start);
+        if !is_range_or_method {
+            float = true;
+            cur.bump();
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Exponent: `1e3`, `2.5E-7`. Only when digits actually follow.
+    if let Some('e' | 'E') = cur.peek(0) {
+        let (sign, digit) = (cur.peek(1), cur.peek(2));
+        let has_exponent = sign.is_some_and(|c| c.is_ascii_digit())
+            || (matches!(sign, Some('+' | '-')) && digit.is_some_and(|c| c.is_ascii_digit()));
+        if has_exponent {
+            float = true;
+            cur.bump();
+            if matches!(cur.peek(0), Some('+' | '-')) {
+                cur.bump();
+            }
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Suffix: `u64`, `f32`, … — an `f` suffix makes it a float.
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let suffix_start = cur.pos;
+        cur.eat_while(is_ident_continue);
+        if cur.src[suffix_start..cur.pos].starts_with('f') {
+            float = true;
+        }
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_operators_tokenize() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("let x = a.unwrap();"),
+            vec![
+                (Ident, "let".into()),
+                (Ident, "x".into()),
+                (Punct, "=".into()),
+                (Ident, "a".into()),
+                (Punct, ".".into()),
+                (Ident, "unwrap".into()),
+                (Punct, "(".into()),
+                (Punct, ")".into()),
+                (Punct, ";".into()),
+            ]
+        );
+        assert_eq!(
+            kinds("x == 1.5 && y != 2e-3"),
+            vec![
+                (Ident, "x".into()),
+                (Punct, "==".into()),
+                (Float, "1.5".into()),
+                (Punct, "&&".into()),
+                (Ident, "y".into()),
+                (Punct, "!=".into()),
+                (Float, "2e-3".into()),
+            ]
+        );
+        // Ranges and method calls on int literals stay integers.
+        assert_eq!(
+            kinds("0..10"),
+            vec![(Int, "0".into()), (Punct, "..".into()), (Int, "10".into()),]
+        );
+        assert_eq!(kinds("1.max(2)")[0], (Int, "1".into()));
+        assert_eq!(kinds("1.")[0], (Float, "1.".into()));
+        assert_eq!(kinds("3f64")[0], (Float, "3f64".into()));
+        assert_eq!(kinds("3u64")[0], (Int, "3u64".into()));
+        assert_eq!(kinds("0xFF_u8")[0], (Int, "0xFF_u8".into()));
+        assert_eq!(kinds("1_000.5")[0], (Float, "1_000.5".into()));
+    }
+
+    #[test]
+    fn strings_chars_lifetimes_and_comments_tokenize() {
+        use TokenKind::*;
+        assert_eq!(kinds(r#""a \" b""#), vec![(Str, r#""a \" b""#.into())]);
+        assert_eq!(
+            kinds(r##"r#"raw "inner" text"#"##),
+            vec![(Str, r##"r#"raw "inner" text"#"##.into())]
+        );
+        assert_eq!(kinds("b\"bytes\"")[0].0, Str);
+        assert_eq!(kinds("'c'"), vec![(Char, "'c'".into())]);
+        assert_eq!(kinds(r"'\n'"), vec![(Char, r"'\n'".into())]);
+        assert_eq!(kinds("'a")[0], (Lifetime, "'a".into()));
+        assert_eq!(kinds("&'static str")[1], (Lifetime, "'static".into()));
+        assert_eq!(kinds("r#fn")[0], (Ident, "r#fn".into()));
+        assert_eq!(
+            kinds("x // trailing\ny"),
+            vec![
+                (Ident, "x".into()),
+                (LineComment, "// trailing".into()),
+                (Ident, "y".into()),
+            ]
+        );
+        assert_eq!(kinds("/* outer /* nested */ still */ x")[0].0, BlockComment);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let src = "fn main() {\n    let x = 1;\n}\n";
+        let tokens = lex(src).unwrap();
+        let x = tokens.iter().find(|t| t.text(src) == "x").expect("x token");
+        assert_eq!((x.line, x.col), (2, 9));
+        let close = tokens.last().unwrap();
+        assert_eq!((close.line, close.col), (3, 1));
+    }
+
+    #[test]
+    fn unterminated_constructs_error_with_positions() {
+        assert!(lex("\"abc").unwrap_err().contains("unterminated string"));
+        assert!(lex("/* abc").unwrap_err().contains("block comment"));
+        assert!(lex("r#\"abc").unwrap_err().contains("raw string"));
+        let err = lex("x\n  \"oops").unwrap_err();
+        assert!(err.starts_with("2:3:"), "{err}");
+    }
+
+    #[test]
+    fn tokens_cover_the_source_up_to_whitespace() {
+        let src = "fn f(a: &'a str) -> f64 { a.len() as f64 * 1.5 // x\n}";
+        let tokens = lex(src).unwrap();
+        let mut pos = 0usize;
+        for t in &tokens {
+            assert!(t.start >= pos, "tokens in order");
+            assert!(src[pos..t.start].chars().all(char::is_whitespace));
+            pos = t.start + t.len;
+        }
+        assert!(src[pos..].chars().all(char::is_whitespace));
+    }
+}

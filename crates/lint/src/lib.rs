@@ -1,0 +1,243 @@
+//! Determinism & hot-path static analysis for the workspace.
+//!
+//! The simulator's core guarantee — same seed ⇒ byte-identical reports,
+//! traces, and fault schedules — and the zero-allocation ambition for the
+//! per-event path are invariants clippy cannot express. `janus-lint`
+//! enforces them syntactically: a hand-rolled Rust lexer (no external
+//! dependencies, in the spirit of `janus-json`), a per-file source model
+//! (test regions, inline directives, item spans), and an ordered open
+//! [`LintRegistry`] of rules mirroring the Policy/Scenario/Fault/Observer
+//! registries.
+//!
+//! Built-in rules:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `nondeterminism` | no wall-clock/env reads; no `HashMap`/`HashSet` in simulation-state crates |
+//! | `hot-path-alloc` | no allocation-shaped calls in the configured hot-path functions |
+//! | `unwrap-discipline` | no `.unwrap()` / `.expect()` in non-test library code |
+//! | `float-cmp` | no `==` / `!=` against float literals |
+//! | `emit-discipline` | observer `Record`s constructed only through `emit!` |
+//!
+//! Findings render rustc-style (`path:line:col: rule: message`). Two
+//! suppression channels exist: inline `// janus-lint: allow(rule)`
+//! directives (same line or the line above, with a justification), and the
+//! committed burn-down baseline `specs/lint_baseline.json`, which CI
+//! compares against so only *new* violations fail. `janus lint` in the
+//! bench CLI is the front end.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod model;
+pub mod registry;
+pub mod report;
+pub mod rules;
+
+pub use lexer::{lex, Token, TokenKind};
+pub use model::SourceFile;
+pub use registry::{LintRegistry, LintRule};
+pub use report::{
+    compare_to_baseline, diagnostics_from_json, run_to_json, Baseline, BaselineVerdict,
+};
+pub use rules::{Diagnostic, HotPath, LintConfig};
+
+use std::path::{Path, PathBuf};
+
+/// The workspace-relative path of the committed burn-down baseline.
+pub const BASELINE_PATH: &str = "specs/lint_baseline.json";
+
+/// The outcome of linting a set of files.
+#[derive(Debug, Clone, Default)]
+pub struct LintRun {
+    /// How many files were scanned.
+    pub files_scanned: usize,
+    /// Findings after directive suppression, sorted by path, line, col.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many findings inline `allow` directives suppressed.
+    pub suppressed: usize,
+    /// The rule names that ran, in registry order.
+    pub rules: Vec<String>,
+}
+
+/// Ascend from `start` to the workspace root: the first directory holding
+/// both a `Cargo.toml` and a `crates/` directory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Enumerate the lintable sources under `root`: every `.rs` file in
+/// `crates/*/src`, recursively, in sorted (deterministic) order. `shims/`
+/// is excluded by construction — shim crates imitate external APIs and do
+/// not carry the workspace's invariants.
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let mut crates: Vec<PathBuf> = Vec::new();
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list crates/: {e}"))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            crates.push(src);
+        }
+    }
+    crates.sort();
+    let mut files = Vec::new();
+    for src in crates {
+        collect_rs(&src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint one parsed file: run every registered rule, then apply the file's
+/// inline `allow` directives. Returns the surviving diagnostics and the
+/// suppressed count.
+pub fn lint_file(
+    file: &SourceFile,
+    registry: &LintRegistry,
+    config: &LintConfig,
+) -> (Vec<Diagnostic>, usize) {
+    let all = registry.check_file(file, config);
+    let total = all.len();
+    let kept: Vec<Diagnostic> = all
+        .into_iter()
+        .filter(|d| !file.allows(&d.rule, d.line))
+        .collect();
+    let suppressed = total - kept.len();
+    (kept, suppressed)
+}
+
+/// Lint the whole workspace under `root` with the given registry and
+/// configuration. Paths in diagnostics are workspace-relative with forward
+/// slashes; diagnostics are sorted by path, line, column.
+pub fn lint_workspace(
+    root: &Path,
+    registry: &LintRegistry,
+    config: &LintConfig,
+) -> Result<LintRun, String> {
+    let paths = workspace_files(root)?;
+    if paths.is_empty() {
+        return Err(format!("no sources under {}/crates/*/src", root.display()));
+    }
+    let mut run = LintRun {
+        rules: registry.names().iter().map(|s| s.to_string()).collect(),
+        ..LintRun::default()
+    };
+    for path in &paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let file = SourceFile::parse(rel, text)?;
+        let (mut diagnostics, suppressed) = lint_file(&file, registry, config);
+        run.diagnostics.append(&mut diagnostics);
+        run.suppressed += suppressed;
+        run.files_scanned += 1;
+    }
+    run.diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    Ok(run)
+}
+
+/// Load the committed baseline under `root`, treating a missing file as an
+/// empty baseline (the goal state).
+pub fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    let path = root.join(BASELINE_PATH);
+    match std::fs::read_to_string(&path) {
+        Err(_) => Ok(Baseline::default()),
+        Ok(text) => {
+            let doc = janus_json::parse(&text)
+                .map_err(|e| format!("{}: not valid JSON: {e}", path.display()))?;
+            Baseline::from_json(&doc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directive_suppression_is_per_rule_and_counted() {
+        let src = "\
+fn f(v: Option<u32>) -> u32 {
+    // janus-lint: allow(unwrap-discipline) — constructed two lines up, provably Some
+    v.unwrap()
+}
+
+fn g(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+";
+        let file = SourceFile::parse("crates/x/src/a.rs", src).unwrap();
+        let registry = LintRegistry::with_builtins();
+        let config = LintConfig::workspace_default();
+        let (diagnostics, suppressed) = lint_file(&file, &registry, &config);
+        assert_eq!(suppressed, 1);
+        assert_eq!(diagnostics.len(), 1);
+        assert_eq!(diagnostics[0].line, 7);
+        // A directive for one rule does not blanket others.
+        let wrong = "// janus-lint: allow(float-cmp)\nlet t = Instant::now();\n";
+        let file = SourceFile::parse("crates/x/src/b.rs", wrong).unwrap();
+        let (diagnostics, suppressed) = lint_file(&file, &registry, &config);
+        assert_eq!(suppressed, 0);
+        assert_eq!(diagnostics.len(), 1);
+        assert_eq!(diagnostics[0].rule, "nondeterminism");
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_nested_dirs() {
+        let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(&manifest_dir).expect("workspace root");
+        assert!(root.join("crates/lint/src/lib.rs").is_file());
+        assert_eq!(
+            find_workspace_root(&root).as_deref(),
+            Some(root.as_path()),
+            "already at the root is a fixed point"
+        );
+    }
+
+    #[test]
+    fn workspace_files_are_sorted_and_exclude_shims() {
+        let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(&manifest_dir).unwrap();
+        let files = workspace_files(&root).unwrap();
+        assert!(files.len() > 30, "found {} files", files.len());
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "deterministic scan order");
+        assert!(files.iter().all(|p| !p.to_string_lossy().contains("shims")));
+        assert!(files
+            .iter()
+            .any(|p| p.ends_with("crates/lint/src/lexer.rs")));
+    }
+}

@@ -1,0 +1,497 @@
+//! The built-in lint rules: repo invariants clippy cannot express.
+//!
+//! Every rule is a single pass over a [`SourceFile`]'s token stream with
+//! the precomputed context (test regions, item spans). Rules are
+//! *syntactic heuristics*, not type analysis — each one documents exactly
+//! which token shapes it fires on, so a silent pass is interpretable.
+//! Suppressions (`// janus-lint: allow(rule)` directives and the committed
+//! baseline) are applied by the driver, not here.
+
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+/// One finding: which rule fired, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (registry key).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Rustc-style rendering: `path:line:col: rule: message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// One hot-path entry: a function (or `macro_rules!`) name inside a file,
+/// matched by path suffix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotPath {
+    /// Path suffix the file must end with (forward slashes).
+    pub file_suffix: String,
+    /// `fn` or `macro_rules!` item name whose body is a hot path.
+    pub item: String,
+}
+
+/// Configuration shared by the built-in rules.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crate names (the directory under `crates/`) whose state feeds
+    /// simulation results: `HashMap`/`HashSet` iteration order there can
+    /// leak into reports.
+    pub sim_state_crates: Vec<String>,
+    /// The hot-path function list for `hot-path-alloc`.
+    pub hot_paths: Vec<HotPath>,
+    /// Path suffixes where observer `Record` construction is legitimate
+    /// (the observe crate itself and the `emit!` macro definition).
+    pub record_construction_allowed: Vec<String>,
+}
+
+impl LintConfig {
+    /// The workspace's own configuration: the five simulation-state crates,
+    /// the per-event serving loops + `emit!` + metrics handles as hot
+    /// paths, and `Record` construction confined to observe and the macro.
+    pub fn workspace_default() -> Self {
+        let hot = |file_suffix: &str, item: &str| HotPath {
+            file_suffix: file_suffix.to_string(),
+            item: item.to_string(),
+        };
+        LintConfig {
+            sim_state_crates: ["simcore", "platform", "chaos", "scenarios", "observe"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            hot_paths: vec![
+                // The open-loop event loop and its per-event helpers.
+                hot("platform/src/openloop.rs", "run_traced"),
+                hot("platform/src/openloop.rs", "start_function"),
+                hot("platform/src/openloop.rs", "deliver_faults"),
+                // The closed-loop serving path.
+                hot("platform/src/executor.rs", "run_traced"),
+                // The zero-cost-when-off observer hook.
+                hot("platform/src/lib.rs", "emit"),
+                // Pre-interned metric handles: every event records through
+                // these.
+                hot("simcore/src/metrics.rs", "incr"),
+                hot("simcore/src/metrics.rs", "record"),
+            ],
+            record_construction_allowed: vec![
+                "crates/observe/src".to_string(),
+                "crates/platform/src/lib.rs".to_string(),
+            ],
+        }
+    }
+
+    fn crate_of<'a>(&self, path: &'a str) -> Option<&'a str> {
+        let rest = path.strip_prefix("crates/")?;
+        rest.split('/').next()
+    }
+
+    fn is_sim_state(&self, path: &str) -> bool {
+        self.crate_of(path)
+            .is_some_and(|c| self.sim_state_crates.iter().any(|s| s == c))
+    }
+}
+
+fn diag(file: &SourceFile, i: usize, rule: &str, message: String) -> Diagnostic {
+    let t = &file.tokens[i];
+    Diagnostic {
+        rule: rule.to_string(),
+        path: file.path.clone(),
+        line: t.line,
+        col: t.col,
+        message,
+    }
+}
+
+/// Whether token `i` is a non-test, non-comment identifier equal to `name`.
+fn is_code_ident(file: &SourceFile, i: usize, name: &str) -> bool {
+    file.tokens[i].kind == TokenKind::Ident
+        && file.token_text(i) == name
+        && !file.is_test_line(file.tokens[i].line)
+}
+
+fn prev_text(file: &SourceFile, i: usize) -> Option<&str> {
+    file.prev_code(i).map(|p| file.token_text(p))
+}
+
+fn next_text(file: &SourceFile, i: usize) -> Option<&str> {
+    file.next_code(i).map(|n| file.token_text(n))
+}
+
+/// `nondeterminism` — wall-clock / environment reads anywhere in library
+/// code, plus `HashMap`/`HashSet` in simulation-state crates.
+///
+/// Fires on: `Instant::`/`SystemTime::` path uses and `std::env` reads in
+/// any scanned file outside `src/bin/` (entry points own the real world);
+/// `HashMap`/`HashSet` mentioned in a `use` declaration or qualified with
+/// `::` inside a simulation-state crate. Bare uses of an imported name are
+/// intentionally silent — the flagged import is the single audit point.
+pub fn nondeterminism(file: &SourceFile, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "nondeterminism";
+    if file.path.contains("/bin/") {
+        return;
+    }
+    let sim_state = config.is_sim_state(&file.path);
+    let mut in_use = false;
+    for i in 0..file.tokens.len() {
+        let text = file.token_text(i);
+        if file.tokens[i].kind == TokenKind::Ident && !file.is_test_line(file.tokens[i].line) {
+            match text {
+                "use" => in_use = true,
+                "Instant" | "SystemTime" if next_text(file, i) == Some("::") => {
+                    out.push(diag(
+                        file,
+                        i,
+                        RULE,
+                        format!(
+                            "`{text}::` reads the wall clock; results must be a function of \
+                             the seed alone"
+                        ),
+                    ));
+                }
+                "env" if prev_text(file, i) == Some("::") => {
+                    out.push(diag(
+                        file,
+                        i,
+                        RULE,
+                        "`std::env` reads process state the seed does not control".to_string(),
+                    ));
+                }
+                "HashMap" | "HashSet"
+                    if sim_state && (in_use || prev_text(file, i) == Some("::")) =>
+                {
+                    out.push(diag(
+                        file,
+                        i,
+                        RULE,
+                        format!(
+                            "`{text}` iteration order is randomized per process; simulation \
+                             state wants `BTreeMap`/`Vec` or a documented allow"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if text == ";" {
+            in_use = false;
+        }
+    }
+}
+
+/// `hot-path-alloc` — allocation-shaped calls inside the configured
+/// hot-path items.
+///
+/// Fires on `format!` / `vec!`, `.to_string()` / `.to_owned()` /
+/// `.to_vec()` / `.clone()`, and `Vec::new` / `String::new` / `Box::new`
+/// inside the body of any configured `fn`/`macro_rules!` item.
+pub fn hot_path_alloc(file: &SourceFile, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "hot-path-alloc";
+    let mut ranges: Vec<(u32, u32, &str)> = Vec::new();
+    for hot in &config.hot_paths {
+        if !file.path.ends_with(&hot.file_suffix) {
+            continue;
+        }
+        for (lo, hi) in file.item_ranges(&hot.item) {
+            ranges.push((lo, hi, hot.item.as_str()));
+        }
+    }
+    if ranges.is_empty() {
+        return;
+    }
+    for i in 0..file.tokens.len() {
+        let line = file.tokens[i].line;
+        let Some((_, _, item)) = ranges
+            .iter()
+            .find(|&&(lo, hi, _)| (lo..=hi).contains(&line))
+        else {
+            continue;
+        };
+        if file.tokens[i].kind != TokenKind::Ident || file.is_test_line(line) {
+            continue;
+        }
+        let text = file.token_text(i);
+        let flagged = match text {
+            "format" | "vec" => next_text(file, i) == Some("!"),
+            "to_string" | "to_owned" | "to_vec" | "clone" => {
+                prev_text(file, i) == Some(".") && next_text(file, i) == Some("(")
+            }
+            "Vec" | "String" | "Box" => {
+                next_text(file, i) == Some("::")
+                    && file
+                        .next_code(i)
+                        .and_then(|n| file.next_code(n))
+                        .is_some_and(|n2| file.token_text(n2) == "new")
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(diag(
+                file,
+                i,
+                RULE,
+                format!("`{text}` allocates inside hot path `{item}`"),
+            ));
+        }
+    }
+}
+
+/// `unwrap-discipline` — no `.unwrap()` / `.expect(..)` in non-test
+/// library code; propagate the error or prove infallibility with a
+/// documented allow directive.
+pub fn unwrap_discipline(file: &SourceFile, _config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "unwrap-discipline";
+    for i in 0..file.tokens.len() {
+        let is_hit = (is_code_ident(file, i, "unwrap") || is_code_ident(file, i, "expect"))
+            && prev_text(file, i) == Some(".")
+            && next_text(file, i) == Some("(");
+        if is_hit {
+            out.push(diag(
+                file,
+                i,
+                RULE,
+                format!(
+                    "`.{}()` panics in library code; propagate the error or document \
+                     provable infallibility with an allow directive",
+                    file.token_text(i)
+                ),
+            ));
+        }
+    }
+}
+
+/// `float-cmp` — `==` / `!=` adjacent to a float literal.
+///
+/// A literal-adjacency heuristic (no type inference): fires when either
+/// operand token next to the operator is a float literal. Exactness checks
+/// like `fract() == 0.0` are legitimate and carry allow directives.
+pub fn float_cmp(file: &SourceFile, _config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "float-cmp";
+    for i in 0..file.tokens.len() {
+        let t = &file.tokens[i];
+        if t.kind != TokenKind::Punct || file.is_test_line(t.line) {
+            continue;
+        }
+        let op = file.token_text(i);
+        if op != "==" && op != "!=" {
+            continue;
+        }
+        let float_beside =
+            |j: Option<usize>| j.is_some_and(|j| file.tokens[j].kind == TokenKind::Float);
+        if float_beside(file.prev_code(i)) || float_beside(file.next_code(i)) {
+            out.push(diag(
+                file,
+                i,
+                RULE,
+                format!(
+                    "`{op}` against a float literal; compare with a tolerance or document \
+                     the exactness requirement"
+                ),
+            ));
+        }
+    }
+}
+
+/// `emit-discipline` — observer `Record { .. }` construction outside the
+/// observe crate and the `emit!` macro definition.
+///
+/// Serving loops must offer records through `emit!` so sessions without an
+/// observer pay nothing; a bare `Record {` elsewhere bypasses that
+/// zero-cost guarantee.
+pub fn emit_discipline(file: &SourceFile, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "emit-discipline";
+    if config.record_construction_allowed.iter().any(|allowed| {
+        file.path.starts_with(allowed.as_str()) || file.path.contains(allowed.as_str())
+    }) {
+        return;
+    }
+    for i in 0..file.tokens.len() {
+        if is_code_ident(file, i, "Record") && next_text(file, i) == Some("{") {
+            out.push(diag(
+                file,
+                i,
+                RULE,
+                "observer records are constructed only through `emit!` (zero-cost when \
+                 no observer is attached)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(
+        rule: fn(&SourceFile, &LintConfig, &mut Vec<Diagnostic>),
+        path: &str,
+        src: &str,
+    ) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(path, src).unwrap();
+        let mut out = Vec::new();
+        rule(&file, &LintConfig::workspace_default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn nondeterminism_fires_on_clocks_env_and_sim_state_maps() {
+        let hits = run(
+            nondeterminism,
+            "crates/core/src/lib.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("wall clock"), "{:?}", hits[0]);
+        assert_eq!((hits[0].line, hits[0].col), (1, 18));
+
+        let hits = run(
+            nondeterminism,
+            "crates/core/src/lib.rs",
+            "fn f() -> u64 { std::time::SystemTime::now(); std::env::var(\"X\"); 0 }",
+        );
+        assert_eq!(hits.len(), 2);
+
+        // HashMap: only in sim-state crates, and only imports / qualified
+        // paths.
+        let import = "use std::collections::{HashMap, HashSet};\nfn f() {}\n";
+        assert_eq!(
+            run(nondeterminism, "crates/simcore/src/cluster.rs", import).len(),
+            2
+        );
+        assert!(run(nondeterminism, "crates/core/src/lib.rs", import).is_empty());
+        let qualified =
+            "fn f() { let m: std::collections::HashMap<u32, u32> = Default::default(); m.len(); }";
+        assert_eq!(
+            run(nondeterminism, "crates/observe/src/lib.rs", qualified).len(),
+            1
+        );
+        // Bare mentions of an imported name stay silent.
+        let bare = "fn f(m: &HashMap<u32, u32>) -> usize { m.len() }";
+        assert!(run(nondeterminism, "crates/simcore/src/pool.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_skips_tests_bins_and_imports_of_clocks() {
+        let test_code = "#[cfg(test)]\nmod tests {\n    fn f() { Instant::now(); }\n}\n";
+        assert!(run(nondeterminism, "crates/core/src/lib.rs", test_code).is_empty());
+        let entry = "fn main() { let args = std::env::args(); }";
+        assert!(run(nondeterminism, "crates/bench/src/bin/janus.rs", entry).is_empty());
+        // Importing the type is fine; *reading* the clock is the violation.
+        let import_only = "use std::time::Instant;\nfn f(t: Instant) -> Instant { t }\n";
+        assert!(run(nondeterminism, "crates/core/src/lib.rs", import_only).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_only_inside_configured_items() {
+        let src = "\
+impl Sim {
+    fn run_traced(&mut self) {
+        let label = format!(\"{}\", self.id);
+        let name = self.name.to_string();
+        let scratch = Vec::new();
+        let copy = self.state.clone();
+    }
+
+    fn setup(&mut self) {
+        let fine = format!(\"setup is cold: {}\", self.id);
+    }
+}
+";
+        let hits = run(hot_path_alloc, "crates/platform/src/openloop.rs", src);
+        assert_eq!(hits.len(), 4, "{hits:#?}");
+        assert!(hits.iter().all(|h| h.message.contains("run_traced")));
+        // The same source in an unconfigured file is silent.
+        assert!(run(hot_path_alloc, "crates/platform/src/capacity.rs", src).is_empty());
+        // macro_rules bodies are matched too.
+        let emit = "macro_rules! emit {\n    ($x:expr) => { $x.to_string() };\n}\n";
+        let hits = run(hot_path_alloc, "crates/platform/src/lib.rs", emit);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("`to_string`"), "{:?}", hits[0]);
+    }
+
+    #[test]
+    fn unwrap_discipline_separates_library_from_test_code() {
+        let src = "\
+fn lib_code(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn also_lib(r: Result<u32, String>) -> u32 {
+    r.expect(\"present\")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        super::lib_code(Some(1)).to_string().parse::<u32>().unwrap();
+    }
+}
+";
+        let hits = run(unwrap_discipline, "crates/core/src/x.rs", src);
+        assert_eq!(hits.len(), 2, "{hits:#?}");
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[1].line, 6);
+        // `unwrap_or` and friends are different identifiers: silent.
+        let fine = "fn f(v: Option<u32>) -> u32 { v.unwrap_or(0) }";
+        assert!(run(unwrap_discipline, "crates/core/src/x.rs", fine).is_empty());
+        // Doc-comment examples are comments, not code: silent.
+        let doc = "/// ```\n/// x.unwrap();\n/// ```\nfn f() {}\n";
+        assert!(run(unwrap_discipline, "crates/core/src/x.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn float_cmp_fires_on_literal_comparisons_only() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }";
+        let hits = run(float_cmp, "crates/core/src/x.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("tolerance"));
+        assert_eq!(
+            run(
+                float_cmp,
+                "crates/core/src/x.rs",
+                "fn f(x: f64) -> bool { 1.5 != x }"
+            )
+            .len(),
+            1
+        );
+        for fine in [
+            "fn f(x: u32) -> bool { x == 0 }",
+            "fn f(x: f64) -> bool { (x - 1.0).abs() < 1e-9 }",
+            "fn f(x: f64) -> bool { x <= 0.0 }",
+            "#[test]\nfn t() { assert!(x == 0.0); }",
+        ] {
+            assert!(
+                run(float_cmp, "crates/core/src/x.rs", fine).is_empty(),
+                "{fine}"
+            );
+        }
+    }
+
+    #[test]
+    fn emit_discipline_confines_record_construction() {
+        let src = "fn leak(o: &mut dyn Observer) { o.record(&Record { at, kind }); }";
+        let hits = run(emit_discipline, "crates/platform/src/openloop.rs", src);
+        assert_eq!(hits.len(), 1);
+        // The observe crate and the macro's home file are exempt.
+        assert!(run(emit_discipline, "crates/observe/src/lib.rs", src).is_empty());
+        assert!(run(emit_discipline, "crates/platform/src/lib.rs", src).is_empty());
+        // Passing a RecordKind *to* emit! is the sanctioned path.
+        let fine = "fn ok() { emit!(observer, now, RecordKind::Arrival { request_id }); }";
+        assert!(run(emit_discipline, "crates/platform/src/openloop.rs", fine).is_empty());
+    }
+}

@@ -48,6 +48,7 @@ pub use report::{qualify_policy, PolicyTrace, TraceReport};
 use janus_json::Value;
 use janus_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+// janus-lint: allow(nondeterminism) — request-keyed span index; report rows are sorted by id before any output
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -404,6 +405,7 @@ fn decode_num(value: &Value, key: &str) -> Result<f64, String> {
 
 fn decode_uint(value: &Value, key: &str) -> Result<u64, String> {
     let n = decode_num(value, key)?;
+    // janus-lint: allow(float-cmp) — exactness is the point: fract() must be exactly zero for an integer-valued f64
     if n < 0.0 || n.fract() != 0.0 {
         return Err(format!("`{key}` not a non-negative integer, got {n}"));
     }

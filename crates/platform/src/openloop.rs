@@ -36,6 +36,7 @@ use janus_simcore::time::{SimDuration, SimTime};
 use janus_workloads::request::RequestInput;
 use janus_workloads::workflow::Workflow;
 use serde::{Deserialize, Serialize};
+// janus-lint: allow(nondeterminism) — in-flight/pod indices for keyed lookup; event order comes from the BinaryHeap, never map iteration
 use std::collections::{HashMap, HashSet};
 
 /// Open-loop simulation configuration.
@@ -351,6 +352,7 @@ impl OpenLoopSimulation {
         let engine = &mut arena.engine;
         let inflight = &mut arena.inflight;
         let mut pool = PoolManager::new(self.config.pool.clone());
+        // janus-lint: allow(unwrap-discipline) — the builder validated this exact config before the run started
         let mut cluster = Cluster::new(&self.config.cluster).expect("validated cluster config");
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
         // Detach the compiled fault schedule from the controls so delivery
@@ -381,6 +383,7 @@ impl OpenLoopSimulation {
                     SimTime::ZERO + req.arrival_offset,
                     Event::Arrival(req.clone()),
                 )
+                // janus-lint: allow(unwrap-discipline) — offsets are non-negative and the engine clock is at ZERO
                 .expect("arrivals are in the future");
         }
         if let Some(tick) = tick {
@@ -411,6 +414,7 @@ impl OpenLoopSimulation {
                             }
                         );
                         if !admitted {
+                            // janus-lint: allow(unwrap-discipline) — accounting is built whenever controls are (ten lines up)
                             let acct = accounting.as_mut().expect("controls imply accounting");
                             acct.shed += 1;
                             if let Some(m) = metrics {
@@ -504,6 +508,7 @@ impl OpenLoopSimulation {
                     // (and an eviction may retire a draining node).
                     let _ = cluster.remove(pod);
                     let finished_len = {
+                        // janus-lint: allow(unwrap-discipline) — completions only fire for requests this loop inserted; fault loss is filtered above
                         let state = inflight.get_mut(&request_id).expect("in-flight request");
                         state.e2e += elapsed;
                         state.latencies.push(exec);
@@ -525,6 +530,7 @@ impl OpenLoopSimulation {
                         }
                     );
                     if finished_len == self.workflow.len() {
+                        // janus-lint: allow(unwrap-discipline) — present: get_mut on the same key succeeded just above
                         let state = inflight.remove(&request_id).expect("in-flight request");
                         let outcome = RequestOutcome {
                             request_id,
@@ -565,6 +571,7 @@ impl OpenLoopSimulation {
                     }
                 }
                 Event::CapacityTick => {
+                    // janus-lint: allow(unwrap-discipline) — ticks are only scheduled when controls (hence accounting) exist
                     let acct = accounting.as_mut().expect("controls imply accounting");
                     // Faults land before the autoscaler observes, so the same
                     // tick can already react to the loss.
@@ -583,6 +590,7 @@ impl OpenLoopSimulation {
                             &mut observer,
                         );
                     }
+                    // janus-lint: allow(unwrap-discipline) — same invariant: no controls, no CapacityTick ever scheduled
                     let c = controls.as_mut().expect("tick implies controls");
                     acct.pods_recycled += pool.recycle_idle(now);
                     let observation = ScalingObservation {
@@ -598,6 +606,7 @@ impl OpenLoopSimulation {
                             for _ in 0..nodes {
                                 cluster
                                     .add_node(self.config.cluster.node_capacity)
+                                    // janus-lint: allow(unwrap-discipline) — capacity came from the validated config; add_node only rejects zero
                                     .expect("validated node capacity");
                             }
                             if nodes > 0 {
@@ -676,6 +685,7 @@ impl OpenLoopSimulation {
                     }
                     // Keep ticking while anything can still happen.
                     if engine.pending() > 0 || !inflight.is_empty() {
+                        // janus-lint: allow(unwrap-discipline) — a tick event implies the cadence was computed at startup
                         engine.schedule_in(tick.expect("tick cadence set"), Event::CapacityTick);
                     }
                 }
@@ -684,6 +694,7 @@ impl OpenLoopSimulation {
 
         outcomes.sort_by_key(|o| o.request_id);
         let capacity = accounting.map(|acct| {
+            // janus-lint: allow(unwrap-discipline) — accounting exists only when controls were passed in
             let c = controls.as_ref().expect("controls imply accounting");
             let rt = fault_rt.as_ref();
             CapacityReport {
@@ -840,6 +851,7 @@ impl OpenLoopSimulation {
         rt.lost_pods.extend(lost_set);
         for request_id in affected {
             let (retry, index, attempt, lost) = {
+                // janus-lint: allow(unwrap-discipline) — `affected` ids were collected from this very map a few lines up
                 let state = inflight.get_mut(&request_id).expect("in-flight request");
                 // The in-progress attempt is void: its allocation entry goes
                 // (it never produced a latency sample), but the wall time it
@@ -883,6 +895,7 @@ impl OpenLoopSimulation {
                     observer,
                 );
             } else {
+                // janus-lint: allow(unwrap-discipline) — present: get_mut on the same key succeeded in this iteration
                 let state = inflight.remove(&request_id).expect("in-flight request");
                 rt.failed += 1;
                 if let Some(m) = metrics {
@@ -921,6 +934,7 @@ impl OpenLoopSimulation {
         fault_rt: Option<&FaultRuntime>,
         observer: &mut Option<&mut dyn Observer>,
     ) {
+        // janus-lint: allow(unwrap-discipline) — every caller inserts or verifies the entry before starting a function
         let state = inflight.get_mut(&request_id).expect("in-flight request");
         let ctx = RequestContext {
             request_id,
@@ -937,6 +951,7 @@ impl OpenLoopSimulation {
         let function = self
             .workflow
             .function(index)
+            // janus-lint: allow(unwrap-discipline) — callers advance index only while < workflow.len()
             .expect("index within workflow");
         let acquisition = pool.acquire(function.name(), size, now);
         let _ = cluster.resize(acquisition.pod, size);

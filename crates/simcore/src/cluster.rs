@@ -18,6 +18,7 @@ use crate::pod::PodId;
 use crate::resources::Millicores;
 use crate::SimResult;
 use serde::{Deserialize, Serialize};
+// janus-lint: allow(nondeterminism) — pod→node index for keyed lookup only; outputs iterate nodes by Vec order (golden trace holds)
 use std::collections::HashMap;
 
 /// Lifecycle state of one cluster node.
@@ -246,7 +247,7 @@ impl Cluster {
             .collect();
         lost.sort_by_key(|(pod, _)| *pod);
         for (pod, _) in &lost {
-            self.nodes[idx].evict(*pod).expect("hosted pod evicts");
+            self.nodes[idx].evict(*pod)?;
             self.pod_to_node.remove(pod);
         }
         self.states[idx] = NodeState::Retired;

@@ -36,6 +36,7 @@
 
 use crate::stats::{StreamingSummary, Summary};
 use serde::{Deserialize, Serialize};
+// janus-lint: allow(nondeterminism) — name→series registry for keyed lookup; snapshots sort names before rendering
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -10,6 +10,7 @@ use crate::pod::PodId;
 use crate::resources::Millicores;
 use crate::SimResult;
 use serde::{Deserialize, Serialize};
+// janus-lint: allow(nondeterminism) — per-node pod map for keyed lookup only; capacity math folds over values commutatively
 use std::collections::HashMap;
 
 /// Identifier of a worker node.

@@ -9,6 +9,7 @@ use crate::pod::{Pod, PodId, PodState};
 use crate::resources::Millicores;
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+// janus-lint: allow(nondeterminism) — pod registry for keyed lookup; eviction/scheduling order comes from the VecDeque, never map iteration
 use std::collections::{HashMap, VecDeque};
 
 /// Pool-manager configuration.

@@ -268,6 +268,7 @@ impl HintsBundle {
         // reject them instead, like a typed deserializer would.
         let uint = |v: &crate::json::Value, field: &str| -> Result<u64, String> {
             let n = num(v, field)?;
+            // janus-lint: allow(float-cmp) — exactness is the point: fract() must be exactly zero for an integer-valued f64
             if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64) {
                 return Err(format!(
                     "field `{field}` must be a non-negative integer, got {n}"

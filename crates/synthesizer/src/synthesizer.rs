@@ -152,6 +152,7 @@ impl Synthesizer {
     /// table per sub-workflow suffix (the table consulted after `i` functions
     /// finished), generated with Algorithm 1 and condensed with Algorithm 2.
     pub fn synthesize(&self, profile: &WorkflowProfile) -> (HintsBundle, SynthesisReport) {
+        // janus-lint: allow(nondeterminism) — times hint synthesis itself (Figure 6b); the bundle is a pure function of the profile
         let started = Instant::now();
         let gen_config = self.config.generation_config();
         let tail = self.config.percentiles.tail();
