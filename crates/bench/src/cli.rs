@@ -17,8 +17,8 @@
 use crate::BenchFlags;
 use janus_chaos::FaultRegistry;
 use janus_core::experiments::{
-    check_against, history_with_entry, latest_baseline, run_sweep_streaming, today_utc,
-    ExperimentRegistry, Scale, SweepSpec, TraceSink,
+    check_against, comparable_mean, history_with_entry, latest_baseline, run_sweep_streaming,
+    today_utc, ExperimentRegistry, Scale, SweepSpec, TraceSink,
 };
 use janus_core::registry::PolicyRegistry;
 use janus_json::Value;
@@ -317,12 +317,9 @@ fn run_perf_check(path: Option<&str>, flags: &BenchFlags) -> Result<(), String> 
     })?;
     let output = ExperimentRegistry::with_builtins().run("perf", &flags.ctx())?;
     print!("{}", output.summary());
-    let fresh = output
-        .to_json()
-        .require("mean_events_per_sec")
-        .map_err(|e| format!("fresh perf result: {e}"))?
-        .as_f64()
-        .ok_or("fresh perf result: mean_events_per_sec not a number")?;
+    // Same-shape comparison on both sides: slice-backed cells only, so the
+    // streaming cell never gates (or excuses) a slice-path regression.
+    let fresh = comparable_mean(&output.to_json()).map_err(|e| format!("fresh perf run: {e}"))?;
     let verdict = check_against(&baseline, fresh)?;
     println!("{verdict}");
     Ok(())
@@ -607,6 +604,7 @@ mod tests {
             faults: None,
             observers: None,
             cluster: None,
+            tenants: None,
             requests: 500,
             samples_per_point: 1000,
             budget_step_ms: 1.0,

@@ -413,8 +413,8 @@ impl ExperimentRegistry {
     /// tables/figures, the synthesis studies, the scenario/capacity sweeps
     /// and the perf trajectory.
     pub fn with_builtins() -> Self {
-        use crate::experiments::{capacity_sweep, chaos_resilience, metrics, motivation};
-        use crate::experiments::{overall, perf, scenario_sweep, slo_sweep, synthesis};
+        use crate::experiments::{capacity_sweep, chaos_resilience, flash_scale, metrics};
+        use crate::experiments::{motivation, overall, perf, scenario_sweep, slo_sweep, synthesis};
         let mut registry = ExperimentRegistry::new();
         registry.register(Arc::new(motivation::Fig1aExperiment));
         registry.register(Arc::new(motivation::Fig1bExperiment));
@@ -433,6 +433,7 @@ impl ExperimentRegistry {
         registry.register(Arc::new(capacity_sweep::CapacitySweepExperiment));
         registry.register(Arc::new(chaos_resilience::ChaosResilienceExperiment));
         registry.register(Arc::new(perf::PerfExperiment));
+        registry.register(Arc::new(flash_scale::FlashScaleExperiment));
         registry
     }
 
@@ -575,6 +576,7 @@ mod tests {
             "capacity",
             "chaos_resilience",
             "perf",
+            "flash_scale",
         ] {
             assert!(
                 registry.get(name).is_some(),
@@ -582,7 +584,7 @@ mod tests {
             );
             registry.ensure_known(name).unwrap();
         }
-        assert_eq!(registry.len(), 17);
+        assert_eq!(registry.len(), 18);
         for (name, describe) in registry.catalog() {
             assert!(!describe.is_empty(), "`{name}` has no description");
         }

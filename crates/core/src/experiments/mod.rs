@@ -19,6 +19,7 @@
 pub mod api;
 pub mod capacity_sweep;
 pub mod chaos_resilience;
+pub mod flash_scale;
 pub mod metrics;
 pub mod motivation;
 pub mod overall;
@@ -42,6 +43,7 @@ pub use chaos_resilience::{
     chaos_resilience, chaos_resilience_observed, ChaosCell, ChaosResilienceConfig,
     ChaosResilienceResult,
 };
+pub use flash_scale::{flash_scale_run, FlashScaleConfig, FlashScaleResult};
 pub use metrics::{fig7_timeout_resilience, Fig7Result};
 pub use motivation::{
     fig1a_slack_cdf, fig1b_workset_variance, fig1c_interference, fig2_binding_comparison,
@@ -50,7 +52,7 @@ pub use motivation::{
 pub use overall::{fig4_latency_cdfs, fig5_resource_consumption, table1_overall, OverallResult};
 pub use perf::{perf_trajectory, rate_per_sec, PerfCell, PerfConfig, PerfResult};
 pub use perf_history::{
-    check_against, history_with_entry, latest_baseline, today_utc, PerfBaseline,
+    check_against, comparable_mean, history_with_entry, latest_baseline, today_utc, PerfBaseline,
     HISTORY_EXPERIMENT, REGRESSION_TOLERANCE,
 };
 pub use report_json::ToJson;

@@ -23,7 +23,8 @@ use janus_simcore::metrics::{MetricsRegistry, MetricsSnapshot};
 use janus_simcore::resources::Millicores;
 use janus_simcore::stats::StreamingSummary;
 use janus_workloads::apps::PaperApp;
-use janus_workloads::request::{RequestInput, RequestInputGenerator};
+use janus_workloads::request::{GeneratorSource, RequestInput, RequestInputGenerator};
+use janus_workloads::workflow::Workflow;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
@@ -74,11 +75,13 @@ impl PerfConfig {
     }
 
     /// Reduced scale for smoke runs and CI (`--quick`): same grid, fewer
-    /// requests, one repetition.
+    /// requests. A quick cell finishes in ~2 ms, so a single timing is
+    /// noise-dominated on a shared CI machine; min-of-5 keeps the
+    /// regression gate stable for ~100 ms of extra wall time.
     pub fn quick() -> Self {
         PerfConfig {
             requests: 500,
-            repetitions: 1,
+            repetitions: 5,
             ..Self::paper_default()
         }
     }
@@ -100,6 +103,18 @@ pub struct PerfCell {
     pub events_per_sec: f64,
     /// Peak event-queue depth of the run.
     pub peak_queue_depth: usize,
+    /// Peak number of arrivals resident in memory at once: requests buffered
+    /// inside the source plus the one pending arrival in the event queue.
+    /// Slice-backed cells sit at ≈ the request count (the slice is already
+    /// materialized); the streaming cell stays at ≈ 1 — the bounded-memory
+    /// invariant `validate` enforces.
+    pub peak_resident_arrivals: usize,
+    /// Whether the cell drew arrivals lazily from a generator stream
+    /// (`true`) or replayed a materialized slice (`false`). Cells of
+    /// different shapes are never compared against each other: the headline
+    /// `mean_events_per_sec` summarizes slice-backed cells only, keeping it
+    /// comparable with pre-streaming history entries.
+    pub streaming: bool,
     /// Fastest wall time with a full flight recorder attached, in ms — the
     /// overhead-guard companion measurement of `wall_ms`.
     pub observed_wall_ms: f64,
@@ -135,22 +150,49 @@ pub struct PerfResult {
 }
 
 impl PerfResult {
-    /// Events/sec of one scenario's cell.
+    /// Events/sec of one scenario's slice-backed cell.
     pub fn events_per_sec(&self, scenario: &str) -> Option<f64> {
         self.cells
             .iter()
-            .find(|c| c.scenario == scenario)
+            .find(|c| c.scenario == scenario && !c.streaming)
             .map(|c| c.events_per_sec)
     }
 
     /// Structural invariants of a well-formed result.
     pub fn validate(&self) -> Result<(), String> {
-        if self.cells.len() != self.config.scenarios.len() {
+        // One slice-backed cell per scenario plus the streaming cell.
+        if self.cells.len() != self.config.scenarios.len() + 1 {
             return Err(format!(
-                "perf grid produced {} cells for {} scenarios",
+                "perf grid produced {} cells for {} scenarios (+1 streaming)",
                 self.cells.len(),
                 self.config.scenarios.len()
             ));
+        }
+        match self.cells.iter().filter(|c| c.streaming).count() {
+            1 if self.cells.last().is_some_and(|c| c.streaming) => {}
+            1 => return Err("the streaming cell must come last".into()),
+            n => {
+                return Err(format!(
+                    "perf grid produced {n} streaming cells, expected 1"
+                ))
+            }
+        }
+        for cell in &self.cells {
+            if cell.peak_resident_arrivals == 0 {
+                return Err(format!(
+                    "scenario `{}` reported zero resident arrivals",
+                    cell.scenario
+                ));
+            }
+            // The bounded-memory invariant: a streaming cell that buffers
+            // more than its single stream's head has lost the lazy pull.
+            if cell.streaming && cell.peak_resident_arrivals > 2 {
+                return Err(format!(
+                    "streaming cell materialized {} arrivals at once; \
+                     the lazy pull is broken",
+                    cell.peak_resident_arrivals
+                ));
+            }
         }
         for cell in &self.cells {
             if cell.events == 0 {
@@ -206,26 +248,30 @@ impl fmt::Display for PerfResult {
         )?;
         writeln!(
             f,
-            "{:>14} {:>9} {:>9} {:>11} {:>13} {:>10} {:>13} {:>7}",
+            "{:>14} {:>6} {:>9} {:>9} {:>11} {:>13} {:>10} {:>9} {:>13} {:>7}",
             "scenario",
+            "mode",
             "requests",
             "events",
             "wall (ms)",
             "events/sec",
             "peak queue",
+            "resident",
             "observed/s",
             "ovh %"
         )?;
         for cell in &self.cells {
             writeln!(
                 f,
-                "{:>14} {:>9} {:>9} {:>11.2} {:>13.0} {:>10} {:>13.0} {:>7.1}",
+                "{:>14} {:>6} {:>9} {:>9} {:>11.2} {:>13.0} {:>10} {:>9} {:>13.0} {:>7.1}",
                 cell.scenario,
+                if cell.streaming { "stream" } else { "slice" },
                 cell.requests,
                 cell.events,
                 cell.wall_ms,
                 cell.events_per_sec,
                 cell.peak_queue_depth,
+                cell.peak_resident_arrivals,
                 cell.observed_events_per_sec,
                 cell.observer_overhead_pct
             )?;
@@ -301,6 +347,7 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
         let mut observed_wall_ms = f64::INFINITY;
         let mut events = 0;
         let mut peak = 0;
+        let mut resident = 0;
         for _ in 0..config.repetitions {
             let mut policy = FixedSizingPolicy::uniform(
                 "fixed",
@@ -310,7 +357,8 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
             .map_err(|e| format!("perf policy: {e}"))?;
             // janus-lint: allow(nondeterminism) — min-of-N wall timing IS the measurement; the simulated report stays seed-pure
             let started = Instant::now();
-            let report = sim.run_instrumented(&mut policy, &requests, &mut arena, Some(&metrics));
+            let report =
+                sim.run_instrumented(&mut policy, &requests, &mut arena, Some(&metrics))?;
             let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
             if report.len() != config.requests {
                 return Err(format!(
@@ -322,6 +370,7 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
             wall_ms = wall_ms.min(elapsed_ms);
             events = arena.events_processed();
             peak = arena.peak_queue_depth();
+            resident = arena.peak_resident_arrivals();
 
             // The overhead-guard companion: the identical run with a full
             // flight recorder attached. Timed under the same min-of-N
@@ -350,7 +399,7 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
                 Some(&metrics),
                 None,
                 Some(&mut recorder),
-            );
+            )?;
             let observed_ms = started.elapsed().as_secs_f64() * 1000.0;
             if observed.len() != config.requests {
                 return Err(format!(
@@ -376,11 +425,23 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
             wall_ms,
             events_per_sec,
             peak_queue_depth: peak,
+            peak_resident_arrivals: resident,
+            streaming: false,
             observed_wall_ms,
             observed_events_per_sec: rate_per_sec(events, observed_wall_ms),
             observer_overhead_pct: overhead,
         });
     }
+    // The streaming-shape cell: the first grid scenario again, but with
+    // arrivals drawn lazily from the generator as simulated time advances
+    // instead of replaying a materialized slice. Deliberately excluded from
+    // both summaries (it is a different shape of work — per-arrival RNG
+    // draws live inside the timed region), so `mean_events_per_sec` stays
+    // comparable with pre-streaming history entries; the regression gate
+    // compares like against like.
+    cells.push(streaming_cell(
+        config, &workflow, &registry, &sim, &mut arena,
+    )?);
 
     let snapshot = metrics_registry.snapshot();
     let result = PerfResult {
@@ -395,6 +456,111 @@ pub fn perf_trajectory(config: &PerfConfig) -> Result<PerfResult, String> {
     };
     result.validate()?;
     Ok(result)
+}
+
+/// Measure the streaming-shape cell: the first grid scenario served through
+/// [`GeneratorSource`] — arrivals drawn one at a time as simulated time
+/// advances, nothing materialized up front. The generator shares the seed
+/// and sampler construction of the slice-backed cell, so it is draw-for-draw
+/// the same workload; only the arrival *residency* differs, which is exactly
+/// what `peak_resident_arrivals` captures (≈ 1 here vs ≈ `requests` for the
+/// slice). Metrics stay detached so the slice-backed cells keep owning the
+/// recorded-sample accounting.
+fn streaming_cell(
+    config: &PerfConfig,
+    workflow: &Workflow,
+    registry: &ScenarioRegistry,
+    sim: &OpenLoopSimulation,
+    arena: &mut OpenLoopArena,
+) -> Result<PerfCell, String> {
+    let scenario = &config.scenarios[0];
+    let ctx = ScenarioContext {
+        base_rps: config.rps,
+        requests: config.requests,
+        seed: config.seed,
+    };
+    let process = registry
+        .build(scenario, &ctx)
+        .map_err(|e| format!("scenario `{scenario}` (streaming): {e}"))?;
+    let mut wall_ms = f64::INFINITY;
+    let mut observed_wall_ms = f64::INFINITY;
+    let mut events = 0;
+    let mut peak = 0;
+    let mut resident = 0;
+    for _ in 0..config.repetitions {
+        let mut policy =
+            FixedSizingPolicy::uniform("fixed", workflow, Millicores::new(config.allocation_mc))
+                .map_err(|e| format!("perf policy: {e}"))?;
+        let mut source = GeneratorSource::new(
+            RequestInputGenerator::with_sampler(config.seed, process.sampler()),
+            config.requests,
+        );
+        // janus-lint: allow(nondeterminism) — min-of-N wall timing IS the measurement; the simulated report stays seed-pure
+        let started = Instant::now();
+        let report = sim.run_from_source(&mut policy, &mut source, arena, None, None, None)?;
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+        if report.len() != config.requests {
+            return Err(format!(
+                "scenario `{scenario}` (streaming): served {} of {} requests",
+                report.len(),
+                config.requests
+            ));
+        }
+        wall_ms = wall_ms.min(elapsed_ms);
+        events = arena.events_processed();
+        peak = arena.peak_queue_depth();
+        resident = arena.peak_resident_arrivals();
+
+        // The observed companion, same discipline as the slice-backed cells.
+        let mut policy =
+            FixedSizingPolicy::uniform("fixed", workflow, Millicores::new(config.allocation_mc))
+                .map_err(|e| format!("perf policy: {e}"))?;
+        let mut recorder = FlightRecorder::new(&ObserverContext {
+            seed: config.seed,
+            policy: "fixed".to_string(),
+            requests: config.requests,
+            zones: 1,
+            slo: config.app.default_slo(1),
+        });
+        let mut source = GeneratorSource::new(
+            RequestInputGenerator::with_sampler(config.seed, process.sampler()),
+            config.requests,
+        );
+        // janus-lint: allow(nondeterminism) — same min-of-N wall timing for the observer-on companion run
+        let started = Instant::now();
+        let observed = sim.run_from_source(
+            &mut policy,
+            &mut source,
+            arena,
+            None,
+            None,
+            Some(&mut recorder),
+        )?;
+        let observed_ms = started.elapsed().as_secs_f64() * 1000.0;
+        if observed.len() != config.requests {
+            return Err(format!(
+                "scenario `{scenario}` (streaming, observed): served {} of {} requests",
+                observed.len(),
+                config.requests
+            ));
+        }
+        observed_wall_ms = observed_wall_ms.min(observed_ms);
+    }
+    let wall_ms = wall_ms.max(MIN_WALL_MS);
+    let observed_wall_ms = observed_wall_ms.max(MIN_WALL_MS);
+    Ok(PerfCell {
+        scenario: scenario.clone(),
+        requests: config.requests,
+        events,
+        wall_ms,
+        events_per_sec: rate_per_sec(events, wall_ms),
+        peak_queue_depth: peak,
+        peak_resident_arrivals: resident,
+        streaming: true,
+        observed_wall_ms,
+        observed_events_per_sec: rate_per_sec(events, observed_wall_ms),
+        observer_overhead_pct: (observed_wall_ms / wall_ms - 1.0) * 100.0,
+    })
 }
 
 use crate::experiments::api::{Experiment, ExperimentCtx, ExperimentOutput};
@@ -437,14 +603,34 @@ mod tests {
         let config = tiny_config();
         let result = perf_trajectory(&config).unwrap();
         result.validate().unwrap();
-        assert_eq!(result.cells.len(), 2);
+        // One slice-backed cell per scenario plus the streaming cell.
+        assert_eq!(result.cells.len(), 3);
         for cell in &result.cells {
             // 60 arrivals + 3 function completions each (IA workflow).
             assert_eq!(cell.events, 60 * 4);
             assert!(cell.events_per_sec > 0.0);
             assert!(cell.peak_queue_depth >= 1);
         }
-        assert_eq!(result.total_events, 2 * 60 * 4);
+        // Slice-backed cells hold the whole request set resident; the
+        // streaming cell holds one pending arrival — the bounded-memory
+        // invariant of the lazy pull.
+        let (stream, slices) = result.cells.split_last().unwrap();
+        assert!(stream.streaming);
+        assert_eq!(stream.scenario, "poisson");
+        assert_eq!(stream.peak_resident_arrivals, 1);
+        for cell in slices {
+            assert!(!cell.streaming);
+            assert_eq!(cell.peak_resident_arrivals, 60);
+        }
+        // Same seed, same sampler construction: the streaming cell is
+        // draw-for-draw the slice-backed poisson cell.
+        assert_eq!(stream.events, slices[0].events);
+        // The streaming cell stays out of the headline summary, which keeps
+        // the regression gate comparing slice-shaped runs against the
+        // pre-streaming history.
+        assert_eq!(result.events_per_sec_summary.count(), 2);
+        // Summed totals cover all three cells.
+        assert_eq!(result.total_events, 3 * 60 * 4);
         // 2 scenarios × 2 repetitions × 2 runs (baseline + observed) × 60
         // e2e samples, plus the same again ×3 for per-function samples.
         assert_eq!(

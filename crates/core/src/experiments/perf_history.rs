@@ -84,12 +84,10 @@ pub fn latest_baseline(history: &Value, scale: &str) -> Result<Option<PerfBaseli
             .as_str()
             .unwrap_or("pre-history")
             .to_string();
-        let mean = entry
+        let result = entry
             .require("result")
-            .and_then(|r| r.require("mean_events_per_sec"))
-            .map_err(|e| format!("history entry ({date}): {e}"))?
-            .as_f64()
-            .ok_or_else(|| format!("history entry ({date}): mean_events_per_sec not a number"))?;
+            .map_err(|e| format!("history entry ({date}): {e}"))?;
+        let mean = comparable_mean(result).map_err(|e| format!("history entry ({date}): {e}"))?;
         return Ok(Some(PerfBaseline {
             date,
             scale: entry_scale.to_string(),
@@ -97,6 +95,42 @@ pub fn latest_baseline(history: &Value, scale: &str) -> Result<Option<PerfBaseli
         }));
     }
     Ok(None)
+}
+
+/// The throughput figure two perf results can be gated on: the mean
+/// `events_per_sec` over slice-backed cells only. Streaming cells are a
+/// different shape of work (per-arrival RNG draws run inside the timed
+/// region) and are excluded on both sides of the comparison. Pre-streaming
+/// artefacts carry no `streaming` flag, so every cell counts — exactly what
+/// their committed `mean_events_per_sec` summarized, so old and new entries
+/// gate each other on identical terms. Results without a `cells` array
+/// (legacy flat summaries) fall back to `mean_events_per_sec`.
+pub fn comparable_mean(result: &Value) -> Result<f64, String> {
+    let Some(cells) = result.get("cells") else {
+        return result
+            .require("mean_events_per_sec")
+            .map_err(|e| format!("perf result: {e}"))?
+            .as_f64()
+            .ok_or_else(|| "perf result: mean_events_per_sec not a number".to_string());
+    };
+    let cells = cells.as_array().ok_or("perf result `cells` not an array")?;
+    let mut sum = 0.0;
+    let mut comparable = 0usize;
+    for cell in cells {
+        if cell.get("streaming").and_then(Value::as_bool) == Some(true) {
+            continue;
+        }
+        sum += cell
+            .require("events_per_sec")
+            .map_err(|e| format!("perf cell: {e}"))?
+            .as_f64()
+            .ok_or("perf cell `events_per_sec` not a number")?;
+        comparable += 1;
+    }
+    if comparable == 0 {
+        return Err("perf result has no slice-backed cells to compare".into());
+    }
+    Ok(sum / comparable as f64)
 }
 
 /// The regression gate: compare a freshly measured `mean_events_per_sec`
@@ -289,6 +323,54 @@ mod tests {
         assert!(err.contains("1000000"), "{err}");
         let err = check_against(&baseline, f64::NAN).unwrap_err();
         assert!(err.contains("degenerate"), "{err}");
+    }
+
+    fn cell(rate: f64, streaming: bool) -> Value {
+        Value::Obj(vec![
+            ("events_per_sec".to_string(), Value::Num(rate)),
+            ("streaming".to_string(), Value::Bool(streaming)),
+        ])
+    }
+
+    #[test]
+    fn the_gate_compares_slice_shaped_cells_only() {
+        // A post-streaming result: the streaming cell's (much faster or
+        // slower) figure never contaminates the comparison.
+        let result = Value::Obj(vec![
+            ("experiment".to_string(), Value::Str("perf".to_string())),
+            (
+                "cells".to_string(),
+                Value::Arr(vec![
+                    cell(100.0, false),
+                    cell(200.0, false),
+                    cell(1e9, true),
+                ]),
+            ),
+            ("mean_events_per_sec".to_string(), Value::Num(150.0)),
+        ]);
+        assert_eq!(comparable_mean(&result).unwrap(), 150.0);
+        // Pre-streaming cells carry no flag; every cell counts.
+        let legacy_cells = Value::Obj(vec![(
+            "cells".to_string(),
+            Value::Arr(vec![
+                Value::Obj(vec![("events_per_sec".to_string(), Value::Num(300.0))]),
+                Value::Obj(vec![("events_per_sec".to_string(), Value::Num(500.0))]),
+            ]),
+        )]);
+        assert_eq!(comparable_mean(&legacy_cells).unwrap(), 400.0);
+        // Flat summaries (no cells at all) fall back to the headline mean.
+        assert_eq!(comparable_mean(&flat(9e5)).unwrap(), 9e5);
+        // A result with nothing comparable is an error, not a silent pass.
+        let only_streaming = Value::Obj(vec![(
+            "cells".to_string(),
+            Value::Arr(vec![cell(1e9, true)]),
+        )]);
+        let err = comparable_mean(&only_streaming).unwrap_err();
+        assert!(err.contains("no slice-backed cells"), "{err}");
+        // And the baseline lookup itself goes through the same shape filter.
+        let h = history_with_entry(None, &result, "paper", "2026-08-07").unwrap();
+        let baseline = latest_baseline(&h, "paper").unwrap().unwrap();
+        assert_eq!(baseline.mean_events_per_sec, 150.0);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use super::{
     CapacitySweepResult, Fig1aResult, Fig1bResult, Fig1cResult, Fig2Result, Fig6Result, Fig7Result,
-    Fig8Result, Fig9Result, OverallResult, OverheadResult, PerfResult, ScenarioSweepResult,
-    Table2Result,
+    Fig8Result, Fig9Result, FlashScaleResult, OverallResult, OverheadResult, PerfResult,
+    ScenarioSweepResult, Table2Result,
 };
 use janus_json::Value;
 
@@ -439,6 +439,8 @@ impl ToJson for PerfResult {
                     ("wall_ms", num(cell.wall_ms)),
                     ("events_per_sec", num(cell.events_per_sec)),
                     ("peak_queue_depth", count(cell.peak_queue_depth)),
+                    ("peak_resident_arrivals", count(cell.peak_resident_arrivals)),
+                    ("streaming", Value::Bool(cell.streaming)),
                     ("observed_wall_ms", num(cell.observed_wall_ms)),
                     ("observed_events_per_sec", num(cell.observed_events_per_sec)),
                     ("observer_overhead_pct", num(cell.observer_overhead_pct)),
@@ -477,6 +479,38 @@ impl ToJson for PerfResult {
                 "mean_observer_overhead_pct",
                 num(self.mean_observer_overhead_pct),
             ),
+        ])
+    }
+}
+
+impl ToJson for FlashScaleResult {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("experiment", text("flash_scale")),
+            ("app", text(self.config.app.short_name())),
+            ("scenario", text(&self.config.scenario)),
+            ("streams", count(self.config.streams)),
+            ("requests", count(self.config.requests)),
+            ("rps_per_stream", num(self.config.rps_per_stream)),
+            ("allocation_mc", count(self.config.allocation_mc as usize)),
+            ("autoscaler", text(&self.config.autoscaler)),
+            ("admission", text(&self.config.admission)),
+            ("seed", count(self.config.seed as usize)),
+            ("generated", count(self.generated)),
+            ("served", count(self.served)),
+            ("shed", count(self.shed)),
+            ("failed", count(self.failed)),
+            ("slo_attainment", num(self.slo_attainment())),
+            ("shed_rate", num(self.shed_rate())),
+            ("mean_served_e2e_ms", num(self.mean_served_e2e_ms)),
+            ("peak_resident_arrivals", count(self.peak_resident_arrivals)),
+            ("peak_queue_depth", count(self.peak_queue_depth)),
+            ("peak_inflight", count(self.peak_inflight)),
+            ("peak_nodes", count(self.peak_nodes)),
+            ("events", count(self.events as usize)),
+            ("wall_ms", num(self.wall_ms)),
+            ("events_per_sec", num(self.events_per_sec)),
+            ("arrivals_per_sec", num(self.arrivals_per_sec)),
         ])
     }
 }
@@ -552,7 +586,17 @@ mod tests {
         let doc = json::parse(&result.to_json().to_pretty()).unwrap();
         assert_eq!(doc.require("experiment").unwrap().as_str(), Some("perf"));
         let cells = doc.require("cells").unwrap().as_array().unwrap();
-        assert_eq!(cells.len(), 2);
+        // Two slice-backed scenario cells plus the streaming-shape cell.
+        assert_eq!(cells.len(), 3);
+        assert_eq!(
+            cells[0].require("streaming").unwrap().as_bool(),
+            Some(false)
+        );
+        assert_eq!(cells[2].require("streaming").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            cells[2].require("peak_resident_arrivals").unwrap().as_f64(),
+            Some(1.0)
+        );
         for (cell, expected) in cells.iter().zip(&result.cells) {
             assert_eq!(
                 cell.require("scenario").unwrap().as_str(),

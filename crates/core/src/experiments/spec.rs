@@ -19,7 +19,7 @@
 //! admission); the [`sweep`](crate::experiments::sweep) driver runs them in
 //! parallel.
 
-use crate::session::{Load, ServingSession, ServingSessionBuilder};
+use crate::session::{Load, ServingSession, ServingSessionBuilder, TenantLoad};
 use janus_json::{parse, Value};
 use janus_simcore::cluster::{ClusterConfig, PlacementPolicy};
 use janus_simcore::resources::Millicores;
@@ -52,6 +52,9 @@ pub struct SessionSpec {
     pub observer: Option<String>,
     /// Cluster layout; `None` keeps the paper's single 52-core node.
     pub cluster: Option<ClusterConfig>,
+    /// Tenant classes merged into the arrival stream (open loop only;
+    /// `None` runs the single-stream session).
+    pub tenants: Option<Vec<TenantLoad>>,
     /// Request / profiling seed.
     pub seed: u64,
     /// Profiler samples per grid point.
@@ -85,6 +88,9 @@ impl SessionSpec {
         }
         if let Some(cluster) = &self.cluster {
             builder = builder.cluster(cluster.clone());
+        }
+        if let Some(tenants) = &self.tenants {
+            builder = builder.tenants(tenants.iter().cloned());
         }
         if let Some(autoscaler) = &self.autoscaler {
             builder = builder.autoscaler(autoscaler);
@@ -137,6 +143,9 @@ impl SessionSpec {
         if let Some(cluster) = &self.cluster {
             members.push(("cluster".to_string(), cluster_to_json(cluster)));
         }
+        if let Some(tenants) = &self.tenants {
+            members.push(("tenants".to_string(), tenants_to_json(tenants)));
+        }
         members.push(("seed".to_string(), Value::Num(self.seed as f64)));
         members.push((
             "samples_per_point".to_string(),
@@ -179,6 +188,10 @@ pub struct SweepSpec {
     pub observers: Option<Vec<String>>,
     /// Cluster layout; `None` keeps the paper's single 52-core node.
     pub cluster: Option<ClusterConfig>,
+    /// Tenant classes merged into every grid point's arrival stream
+    /// (`None` runs single-stream sessions). Applies uniformly, like
+    /// `cluster` — it multiplies the load at each point, not the grid.
+    pub tenants: Option<Vec<TenantLoad>>,
     /// Requests generated per policy per grid point.
     pub requests: usize,
     /// Profiler samples per grid point.
@@ -243,6 +256,27 @@ impl SweepSpec {
         if let Some(cluster) = &self.cluster {
             cluster.validate().map_err(|e| format!("`cluster`: {e}"))?;
         }
+        if let Some(tenants) = &self.tenants {
+            if tenants.is_empty() {
+                return Err("`tenants`: must list at least one tenant".into());
+            }
+            for (i, tenant) in tenants.iter().enumerate() {
+                if tenant.count == 0 {
+                    return Err(format!("`tenants[{i}].count`: must be at least 1"));
+                }
+                if !(tenant.rps.is_finite() && tenant.rps > 0.0) {
+                    return Err(format!(
+                        "`tenants[{i}].rps`: rate {} must be positive",
+                        tenant.rps
+                    ));
+                }
+                if let Some(ms) = tenant.slo_ms {
+                    if !(ms.is_finite() && ms > 0.0) {
+                        return Err(format!("`tenants[{i}].slo_ms`: {ms} must be positive"));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -291,6 +325,7 @@ impl SweepSpec {
                                         fault: fault.clone(),
                                         observer: observer.clone(),
                                         cluster: self.cluster.clone(),
+                                        tenants: self.tenants.clone(),
                                         seed,
                                         samples_per_point: self.samples_per_point,
                                         budget_step_ms: self.budget_step_ms,
@@ -343,6 +378,9 @@ impl SweepSpec {
         if let Some(cluster) = &self.cluster {
             members.push(("cluster".to_string(), cluster_to_json(cluster)));
         }
+        if let Some(tenants) = &self.tenants {
+            members.push(("tenants".to_string(), tenants_to_json(tenants)));
+        }
         members.push(("requests".to_string(), Value::Num(self.requests as f64)));
         members.push((
             "samples_per_point".to_string(),
@@ -373,6 +411,7 @@ impl SweepSpec {
                 "faults",
                 "observers",
                 "cluster",
+                "tenants",
                 "requests",
                 "samples_per_point",
                 "budget_step_ms",
@@ -391,6 +430,7 @@ impl SweepSpec {
             faults: obj.optional_string_list("faults")?,
             observers: obj.optional_string_list("observers")?,
             cluster: obj.cluster("cluster")?,
+            tenants: obj.tenants("tenants")?,
             requests: obj.usize("requests")?,
             samples_per_point: obj.usize_or("samples_per_point", 1000)?,
             budget_step_ms: obj.f64_or("budget_step_ms", 1.0)?,
@@ -434,6 +474,27 @@ fn cluster_to_json(cluster: &ClusterConfig) -> Value {
         members.push(("zones".to_string(), Value::Num(cluster.zones as f64)));
     }
     Value::Obj(members)
+}
+
+fn tenants_to_json(tenants: &[TenantLoad]) -> Value {
+    Value::Arr(
+        tenants
+            .iter()
+            .map(|tenant| {
+                let mut members = vec![
+                    ("count".to_string(), Value::Num(tenant.count as f64)),
+                    ("scenario".to_string(), Value::Str(tenant.scenario.clone())),
+                    ("rps".to_string(), Value::Num(tenant.rps)),
+                ];
+                // Emitted only when set, so SLO-less tenant specs round-trip
+                // byte-identically.
+                if let Some(ms) = tenant.slo_ms {
+                    members.push(("slo_ms".to_string(), Value::Num(ms)));
+                }
+                Value::Obj(members)
+            })
+            .collect(),
+    )
 }
 
 /// Strict object decoder with key-qualified error messages.
@@ -591,6 +652,34 @@ impl<'a> Decoder<'a> {
         }
     }
 
+    fn tenants(&self, key: &str) -> Result<Option<Vec<TenantLoad>>, String> {
+        let Some(value) = self.get(key) else {
+            return Ok(None);
+        };
+        let items = self.array(key, value)?;
+        let mut tenants = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let label = format!("{key}[{i}]");
+            let qualify = |e: String| format!("`{label}`: {e}");
+            let obj = Decoder::new(item, &["count", "scenario", "rps", "slo_ms"])
+                .map_err(|e| qualify(format!("tenant {e}")))?;
+            let slo_ms = match obj.get("slo_ms") {
+                Some(v) => Some(obj.finite(&format!("{label}.slo_ms"), v)?),
+                None => None,
+            };
+            tenants.push(TenantLoad {
+                count: obj.usize("count").map_err(qualify)?,
+                scenario: obj.string("scenario").map_err(qualify)?,
+                rps: obj.finite(
+                    &format!("{label}.rps"),
+                    obj.required("rps").map_err(qualify)?,
+                )?,
+                slo_ms,
+            });
+        }
+        Ok(Some(tenants))
+    }
+
     fn cluster(&self, key: &str) -> Result<Option<ClusterConfig>, String> {
         let Some(value) = self.get(key) else {
             return Ok(None);
@@ -638,6 +727,7 @@ mod tests {
             faults: None,
             observers: None,
             cluster: None,
+            tenants: None,
             requests: 30,
             samples_per_point: 250,
             budget_step_ms: 10.0,
@@ -781,6 +871,71 @@ mod tests {
         .validate()
         .unwrap_err();
         assert!(err.contains("`observers`"), "{err}");
+    }
+
+    #[test]
+    fn tenant_specs_round_trip_and_errors_name_the_tenant_key() {
+        let mut spec = tiny_spec();
+        spec.tenants = Some(vec![
+            TenantLoad {
+                count: 2,
+                scenario: "bursty".into(),
+                rps: 1.5,
+                slo_ms: Some(1500.0),
+            },
+            TenantLoad {
+                count: 1,
+                scenario: "flash-crowd".into(),
+                rps: 3.0,
+                slo_ms: None,
+            },
+        ]);
+        let text = spec.to_json().to_pretty();
+        let decoded = SweepSpec::from_str(&text).unwrap();
+        assert_eq!(decoded, spec);
+        assert_eq!(decoded.to_json().to_pretty(), text);
+        // Every expanded point carries the tenants through to its session
+        // spec and JSON view.
+        let points = spec.expand();
+        assert!(points.iter().all(|p| p.tenants == spec.tenants));
+        let doc = points[0].to_json();
+        let tenants = doc.get("tenants").unwrap().as_array().unwrap();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].get("count").and_then(|v| v.as_f64()), Some(2.0));
+        assert!(tenants[1].get("slo_ms").is_none());
+        // Tenant-less specs keep the pre-tenancy encoding.
+        assert!(!tiny_spec().to_json().to_pretty().contains("tenants"));
+        // Strict decoding points at the offending tenant key.
+        let base = r#""name": "x", "app": "IA", "policies": ["Janus"],
+                       "scenarios": ["poisson"], "loads_rps": [1.0], "requests": 5"#;
+        let cases: &[(&str, &str)] = &[
+            (
+                r#""tenants": [{"scenario": "bursty", "rps": 1.0}]"#,
+                "`tenants[0]`: missing required key `count`",
+            ),
+            (
+                r#""tenants": [{"count": 1, "scenario": "bursty", "rps": 1.0, "burst": 2}]"#,
+                "`tenants[0]`: tenant unknown key `burst`",
+            ),
+            (
+                r#""tenants": [{"count": 1, "scenario": "bursty", "rps": "fast"}]"#,
+                "`tenants[0].rps`: expected a number",
+            ),
+            (
+                r#""tenants": [{"count": 0, "scenario": "bursty", "rps": 1.0}]"#,
+                "`tenants[0].count`: must be at least 1",
+            ),
+            (
+                r#""tenants": [{"count": 1, "scenario": "bursty", "rps": 1.0,
+                               "slo_ms": -5}]"#,
+                "`tenants[0].slo_ms`: -5 must be positive",
+            ),
+            (r#""tenants": []"#, "`tenants`: must list at least one"),
+        ];
+        for (tenants, needle) in cases {
+            let err = SweepSpec::from_str(&format!("{{{base}, {tenants}}}")).unwrap_err();
+            assert!(err.contains(needle), "expected `{needle}` in `{err}`");
+        }
     }
 
     #[test]

@@ -294,6 +294,11 @@ fn resolve_names(spec: &SweepSpec) -> Result<(), String> {
             .ensure_known(name)
             .map_err(|e| format!("`scenarios[{i}]`: {e}"))?;
     }
+    for (i, tenant) in spec.tenants.iter().flatten().enumerate() {
+        scenarios
+            .ensure_known(&tenant.scenario)
+            .map_err(|e| format!("`tenants[{i}].scenario`: {e}"))?;
+    }
     let autoscalers = AutoscalerRegistry::with_builtins();
     for (i, name) in spec.autoscalers.iter().flatten().enumerate() {
         autoscalers
@@ -421,6 +426,7 @@ mod tests {
             faults: None,
             observers: None,
             cluster: None,
+            tenants: None,
             requests: 30,
             samples_per_point: 250,
             budget_step_ms: 10.0,
@@ -572,6 +578,43 @@ mod tests {
         for key in ["failed", "retried", "nodes_lost", "node_seconds"] {
             assert!(policy.get(key).is_some(), "missing `{key}`");
         }
+    }
+
+    #[test]
+    fn tenant_specs_flow_into_every_grid_point() {
+        use crate::session::TenantLoad;
+        let spec = SweepSpec {
+            scenarios: vec!["poisson".into()],
+            policies: vec!["GrandSLAM".into()],
+            seeds: vec![7],
+            tenants: Some(vec![TenantLoad {
+                count: 2,
+                scenario: "bursty".into(),
+                rps: 1.0,
+                slo_ms: None,
+            }]),
+            requests: 40,
+            ..tiny_spec()
+        };
+        // Tenants multiply the load at each point, not the grid.
+        assert_eq!(spec.grid_size(), 1);
+        let result = run_sweep(&spec).unwrap();
+        let report = &result.points[0].report;
+        assert_eq!(report.tenants.as_ref().map(Vec::len), Some(1));
+        assert_eq!(report.serving("GrandSLAM").unwrap().len(), 40);
+        // Unknown tenant scenarios fail fast, pointing at the key.
+        let err = run_sweep(&SweepSpec {
+            tenants: Some(vec![TenantLoad {
+                count: 1,
+                scenario: "tsunami".into(),
+                rps: 1.0,
+                slo_ms: None,
+            }]),
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(err.contains("`tenants[0].scenario`"), "{err}");
+        assert!(err.contains("unknown scenario `tsunami`"), "{err}");
     }
 
     #[test]

@@ -49,7 +49,9 @@ use janus_platform::openloop::{
 };
 use janus_platform::outcome::ServingReport;
 use janus_profiler::profiler::{Profiler, ProfilerConfig};
-use janus_scenarios::{ArrivalProcess, ScenarioContext, ScenarioRegistry};
+use janus_scenarios::{
+    tenant_stream_seed, ArrivalProcess, MergedRequestSource, ScenarioContext, ScenarioRegistry,
+};
 use janus_simcore::cluster::ClusterConfig;
 use janus_simcore::metrics::{MetricsRegistry, MetricsSnapshot};
 use janus_simcore::resources::CoreGrid;
@@ -57,7 +59,7 @@ use janus_simcore::time::SimDuration;
 use janus_synthesizer::synthesizer::SynthesisReport;
 use janus_workloads::apps::PaperApp;
 use janus_workloads::request::{
-    InterArrivalSampler, PoissonGaps, RequestInput, RequestInputGenerator,
+    InterArrivalSampler, PoissonGaps, RequestInput, RequestInputGenerator, RequestSource as _,
 };
 use janus_workloads::workflow::Workflow;
 use serde::{Deserialize, Serialize};
@@ -104,6 +106,30 @@ impl Load {
     }
 }
 
+/// One tenant class sharing an open-loop session: `count` independent
+/// arrival streams, each drawing the named scenario at `rps` requests per
+/// second. Tenant streams are merged with the session's primary stream by
+/// next-arrival time (see [`MergedRequestSource`]); every stream derives its
+/// own RNG stream from the session seed via [`tenant_stream_seed`], so
+/// adding a tenant never perturbs another tenant's draws and the merged run
+/// is reproducible bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantLoad {
+    /// Number of identical independent streams this tenant contributes.
+    pub count: usize,
+    /// Arrival-scenario name, resolved from the session's
+    /// [`ScenarioRegistry`] (built-ins: `poisson`, `diurnal`, `bursty`,
+    /// `flash-crowd`, `trace-replay`).
+    pub scenario: String,
+    /// Mean arrival rate per stream (requests per second).
+    pub rps: f64,
+    /// Optional per-tenant end-to-end SLO in milliseconds. The session
+    /// serves every request under one SLO, so the *strictest* tenant wins:
+    /// the run SLO becomes the minimum of the session SLO and every tenant
+    /// SLO present.
+    pub slo_ms: Option<f64>,
+}
+
 /// How an open-loop session decides request arrival times. `None` keeps the
 /// legacy constant-rate Poisson process of `Load::Open { rps }`.
 #[derive(Debug, Clone)]
@@ -125,6 +151,7 @@ pub struct ServingSessionBuilder {
     policies: Vec<String>,
     load: Load,
     arrivals: Option<ArrivalSpec>,
+    tenants: Option<Vec<TenantLoad>>,
     cluster: Option<ClusterConfig>,
     autoscaler: Option<String>,
     admission: Option<String>,
@@ -152,6 +179,7 @@ impl Default for ServingSessionBuilder {
             policies: Vec::new(),
             load: Load::Closed { requests: 1000 },
             arrivals: None,
+            tenants: None,
             cluster: None,
             autoscaler: None,
             admission: None,
@@ -238,6 +266,22 @@ impl ServingSessionBuilder {
     /// [`arrivals`](Self::arrivals) call.
     pub fn scenario(mut self, name: impl Into<String>) -> Self {
         self.arrivals = Some(ArrivalSpec::Named(name.into()));
+        self
+    }
+
+    /// Share the open loop with additional tenant classes: each
+    /// [`TenantLoad`] contributes `count` independent arrival streams of its
+    /// own scenario at its own rate, merged with the session's primary
+    /// stream by next-arrival time. The session's `Load::Open { requests }`
+    /// is the *total* budget across all streams, so a faster tenant
+    /// naturally contributes proportionally more of the run. Requires
+    /// `Load::Open`; every policy still replays the identical merged
+    /// request set (paired comparison).
+    pub fn tenants<I>(mut self, tenants: I) -> Self
+    where
+        I: IntoIterator<Item = TenantLoad>,
+    {
+        self.tenants = Some(tenants.into_iter().collect());
         self
     }
 
@@ -501,6 +545,43 @@ impl ServingSessionBuilder {
                 self.scenarios.ensure_known(name)?;
             }
         }
+        let mut slo = slo;
+        if let Some(tenants) = &self.tenants {
+            if matches!(self.load, Load::Closed { .. }) {
+                return Err(
+                    "tenant streams (.tenants(..)) need .load(Load::Open { .. }) — a closed \
+                     loop has no arrival timeline to merge streams on"
+                        .into(),
+                );
+            }
+            if tenants.is_empty() {
+                return Err("`tenants`: must list at least one tenant".into());
+            }
+            for (i, tenant) in tenants.iter().enumerate() {
+                if tenant.count == 0 {
+                    return Err(format!("`tenants[{i}].count`: must be at least 1"));
+                }
+                if !(tenant.rps.is_finite() && tenant.rps > 0.0) {
+                    return Err(format!(
+                        "`tenants[{i}].rps`: rate {} must be positive",
+                        tenant.rps
+                    ));
+                }
+                self.scenarios
+                    .ensure_known(&tenant.scenario)
+                    .map_err(|e| format!("`tenants[{i}].scenario`: {e}"))?;
+                if let Some(ms) = tenant.slo_ms {
+                    if !(ms.is_finite() && ms > 0.0) {
+                        return Err(format!("`tenants[{i}].slo_ms`: {ms} must be positive"));
+                    }
+                    // The strictest tenant SLO governs the whole run.
+                    let tenant_slo = SimDuration::from_millis(ms);
+                    if tenant_slo < slo {
+                        slo = tenant_slo;
+                    }
+                }
+            }
+        }
         if let Some(cluster) = &self.cluster {
             cluster.validate().map_err(|e| e.to_string())?;
         }
@@ -543,6 +624,7 @@ impl ServingSessionBuilder {
             policies: self.policies,
             load: self.load,
             arrivals: self.arrivals,
+            tenants: self.tenants,
             cluster: self.cluster,
             autoscaler: self.autoscaler,
             admission: self.admission,
@@ -592,6 +674,7 @@ pub struct ServingSession {
     policies: Vec<String>,
     load: Load,
     arrivals: Option<ArrivalSpec>,
+    tenants: Option<Vec<TenantLoad>>,
     cluster: Option<ClusterConfig>,
     autoscaler: Option<String>,
     admission: Option<String>,
@@ -695,12 +778,52 @@ impl ServingSession {
         // draw (the Poisson sampler is the `Load::Open { rps }` shim) and a
         // "poisson" scenario is bit-identical to plain `Load::Open`.
         let process = self.arrival_process()?;
-        let sampler: Box<dyn InterArrivalSampler> = match &process {
-            Some(process) => process.sampler(),
-            None => Box::new(PoissonGaps::new(self.load.mean_inter_arrival()?)),
+        let primary_sampler = |load: &Load| -> Result<Box<dyn InterArrivalSampler>, String> {
+            Ok(match &process {
+                Some(process) => process.sampler(),
+                None => Box::new(PoissonGaps::new(load.mean_inter_arrival()?)),
+            })
         };
-        let mut generator = RequestInputGenerator::with_sampler(self.seed, sampler);
-        let requests: Vec<RequestInput> = generator.generate(&self.workflow, self.load.requests());
+        let requests: Vec<RequestInput> = match &self.tenants {
+            None => RequestInputGenerator::with_sampler(self.seed, primary_sampler(&self.load)?)
+                .generate(&self.workflow, self.load.requests()),
+            Some(tenants) => {
+                // Stream 0 is the session's own arrival process; each tenant
+                // replica is an independent stream with a well-separated RNG
+                // stream. The merge yields the total request budget in
+                // global arrival order with globally re-sequenced ids, so
+                // the session stays a drop-in replacement for a
+                // single-stream run downstream — the policy context, the
+                // paired comparison and the profiling path all see one
+                // contiguous request set. (The bounded-memory streaming
+                // path skips this materialization; see the `flash_scale`
+                // experiment.)
+                let mut generators = vec![RequestInputGenerator::with_sampler(
+                    tenant_stream_seed(self.seed, 0),
+                    primary_sampler(&self.load)?,
+                )];
+                let mut stream: u64 = 1;
+                for tenant in tenants {
+                    for _ in 0..tenant.count {
+                        let seed = tenant_stream_seed(self.seed, stream);
+                        let ctx = ScenarioContext {
+                            base_rps: tenant.rps,
+                            requests: self.load.requests(),
+                            seed,
+                        };
+                        let sampler = self.scenarios.build(&tenant.scenario, &ctx)?.sampler();
+                        generators.push(RequestInputGenerator::with_sampler(seed, sampler));
+                        stream += 1;
+                    }
+                }
+                let mut merged = MergedRequestSource::new(generators, self.load.requests())?;
+                let mut requests = Vec::with_capacity(self.load.requests());
+                while let Some(req) = merged.next_request(&self.workflow) {
+                    requests.push(req);
+                }
+                requests
+            }
+        };
 
         let mut exec_config = ExecutorConfig {
             count_startup_delays: self.count_startup_delays,
@@ -805,7 +928,7 @@ impl ServingSession {
                                 faults: fault_schedule,
                             }),
                             observer_hook(&mut observer),
-                        );
+                        )?;
                         if let Some(capacity) = serving.capacity.as_mut() {
                             // Report the *registered* names: a custom factory
                             // may wrap a built-in whose self-reported name
@@ -825,7 +948,7 @@ impl ServingSession {
                             Some(metrics),
                             None,
                             observer_hook(&mut observer),
-                        )
+                        )?
                     }
                 }
             };
@@ -844,6 +967,7 @@ impl ServingSession {
             concurrency: self.concurrency,
             load: self.load,
             scenario: process.map(|p| p.name().to_string()),
+            tenants: self.tenants.clone(),
             autoscaler: self.autoscaler.clone(),
             admission: self.admission.clone(),
             fault: self.fault.clone(),
@@ -895,6 +1019,11 @@ pub struct SessionReport {
     /// Arrival-process name for scenario-driven open loops (`None` for
     /// closed loops and the plain Poisson open loop).
     pub scenario: Option<String>,
+    /// Tenant classes merged into the arrival stream, for multi-tenant
+    /// sessions (`None` for single-stream runs; absent in pre-tenancy
+    /// reports, which decode as `None`).
+    #[serde(default)]
+    pub tenants: Option<Vec<TenantLoad>>,
     /// Autoscaler name for capacity-controlled open loops.
     pub autoscaler: Option<String>,
     /// Admission-policy name for capacity-controlled open loops.
@@ -1662,6 +1791,149 @@ mod tests {
             .unwrap_err();
         assert!(err.contains("unknown observer `black-box`"), "{err}");
         assert!(err.contains("flight-recorder"), "{err}");
+    }
+
+    #[test]
+    fn multi_tenant_sessions_merge_streams_and_stay_paired() {
+        let tenants = vec![
+            TenantLoad {
+                count: 2,
+                scenario: "bursty".into(),
+                rps: 1.5,
+                slo_ms: None,
+            },
+            TenantLoad {
+                count: 1,
+                scenario: "flash-crowd".into(),
+                rps: 2.0,
+                slo_ms: None,
+            },
+        ];
+        let run = |seed: u64| {
+            quick_builder()
+                .policies(["GrandSLAM", "Janus"])
+                .load(Load::Open {
+                    requests: 60,
+                    rps: 2.0,
+                })
+                .tenants(tenants.clone())
+                .seed(seed)
+                .run()
+                .unwrap()
+        };
+        let report = run(7);
+        assert_eq!(report.tenants.as_deref(), Some(tenants.as_slice()));
+        // The budget is the *total* across all four streams, and every
+        // policy replays the identical merged set.
+        let ids = |r: &SessionReport, n: &str| {
+            r.serving(n)
+                .unwrap()
+                .outcomes
+                .iter()
+                .map(|o| o.request_id)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(report.serving("Janus").unwrap().len(), 60);
+        assert_eq!(ids(&report, "GrandSLAM"), ids(&report, "Janus"));
+        // Deterministic in the seed, and genuinely different from the
+        // single-stream run (stream 0 re-derives its RNG stream).
+        let again = run(7);
+        assert_eq!(
+            report.serving("Janus").unwrap(),
+            again.serving("Janus").unwrap()
+        );
+        assert_ne!(
+            report.serving("Janus").unwrap(),
+            run(8).serving("Janus").unwrap()
+        );
+        let single = quick_builder()
+            .policies(["GrandSLAM", "Janus"])
+            .load(Load::Open {
+                requests: 60,
+                rps: 2.0,
+            })
+            .seed(7)
+            .run()
+            .unwrap();
+        assert_ne!(
+            single.serving("Janus").unwrap(),
+            report.serving("Janus").unwrap(),
+            "a multi-tenant run must not replay the single-stream request set"
+        );
+        assert_eq!(single.tenants, None);
+    }
+
+    #[test]
+    fn tenant_validation_catches_misuse_and_the_strictest_slo_wins() {
+        let tenant = |scenario: &str| TenantLoad {
+            count: 1,
+            scenario: scenario.into(),
+            rps: 1.0,
+            slo_ms: None,
+        };
+        let open = || {
+            quick_builder().policy("Janus").load(Load::Open {
+                requests: 10,
+                rps: 1.0,
+            })
+        };
+        let err = quick_builder()
+            .policy("Janus")
+            .tenants(vec![tenant("poisson")])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("Load::Open"), "{err}");
+        let err = open().tenants(vec![]).build().unwrap_err();
+        assert!(err.contains("at least one tenant"), "{err}");
+        let err = open()
+            .tenants(vec![TenantLoad {
+                count: 0,
+                ..tenant("poisson")
+            }])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("`tenants[0].count`"), "{err}");
+        let err = open()
+            .tenants(vec![
+                tenant("poisson"),
+                TenantLoad {
+                    rps: -2.0,
+                    ..tenant("poisson")
+                },
+            ])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("`tenants[1].rps`"), "{err}");
+        let err = open().tenants(vec![tenant("tsunami")]).build().unwrap_err();
+        assert!(err.contains("`tenants[0].scenario`"), "{err}");
+        assert!(err.contains("unknown scenario `tsunami`"), "{err}");
+        let err = open()
+            .tenants(vec![TenantLoad {
+                slo_ms: Some(0.0),
+                ..tenant("poisson")
+            }])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("`tenants[0].slo_ms`"), "{err}");
+        // A tenant SLO tighter than the session's governs the whole run; a
+        // looser one changes nothing.
+        let session = open()
+            .tenants(vec![TenantLoad {
+                slo_ms: Some(100.0),
+                ..tenant("poisson")
+            }])
+            .build()
+            .unwrap();
+        assert_eq!(session.slo(), SimDuration::from_millis(100.0));
+        let default_slo = open().build().unwrap().slo();
+        let session = open()
+            .tenants(vec![TenantLoad {
+                slo_ms: Some(default_slo.as_millis() * 10.0),
+                ..tenant("poisson")
+            }])
+            .build()
+            .unwrap();
+        assert_eq!(session.slo(), default_slo);
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl LintConfig {
                 .map(|s| s.to_string())
                 .collect(),
             hot_paths: vec![
-                // The open-loop event loop and its per-event helpers.
+                // The open-loop event loop and its per-event helpers (the
+                // slice-backed `run_traced` wrapper stays listed so an
+                // allocation sneaking back into it is caught).
+                hot("platform/src/openloop.rs", "run_streaming"),
                 hot("platform/src/openloop.rs", "run_traced"),
                 hot("platform/src/openloop.rs", "start_function"),
                 hot("platform/src/openloop.rs", "deliver_faults"),

@@ -15,6 +15,24 @@
 //! threads them into the request generator; this module is used by the
 //! queueing / load / scenario-sweep experiments and by integration tests of
 //! the discrete-event substrate.
+//!
+//! ## Streaming arrivals
+//!
+//! Arrivals are pulled lazily from a [`RequestSource`]: the event queue
+//! holds **one pending arrival per source** (plus in-flight completions and
+//! the capacity tick), not the whole request set. Popping an arrival
+//! immediately draws and schedules the source's next one, so a run over a
+//! lazy generator completes in memory bounded by in-flight work regardless
+//! of the request count — the regime the `flash_scale` experiment proves at
+//! 10⁸ requests. Arrivals are scheduled in a lower tie-break class than
+//! completions and ticks, which provably reproduces the pop order of the
+//! historical pre-seeded queue (where arrivals always carried the globally
+//! smallest sequence numbers), so streaming and materialized runs are
+//! bit-identical. The slice-backed entry points ([`run`] and friends) wrap
+//! their requests in a [`SliceSource`] and serve them through the same lazy
+//! core.
+//!
+//! [`run`]: OpenLoopSimulation::run
 
 use crate::capacity::{AdmissionPolicy, AutoscalerPolicy, ScalingAction, ScalingObservation};
 use crate::metrics::ServingMetrics;
@@ -33,7 +51,7 @@ use janus_simcore::pool::{PoolConfig, PoolManager};
 use janus_simcore::resources::Millicores;
 use janus_simcore::rng::SimRng;
 use janus_simcore::time::{SimDuration, SimTime};
-use janus_workloads::request::RequestInput;
+use janus_workloads::request::{RequestInput, RequestSource, SliceSource};
 use janus_workloads::workflow::Workflow;
 use serde::{Deserialize, Serialize};
 // janus-lint: allow(nondeterminism) — in-flight/pod indices for keyed lookup; event order comes from the BinaryHeap, never map iteration
@@ -69,6 +87,14 @@ impl OpenLoopConfig {
         }
     }
 }
+
+/// Tie-break class of arrival events: a same-timestamp arrival pops before
+/// any completion or tick, exactly as in the pre-seeded queue where
+/// arrivals carried the globally smallest sequence numbers.
+const CLASS_ARRIVAL: u8 = 0;
+/// Tie-break class of follow-up work scheduled from inside the run
+/// (function completions, capacity ticks).
+const CLASS_FOLLOWUP: u8 = 1;
 
 #[derive(Debug, Clone)]
 enum Event {
@@ -237,6 +263,7 @@ struct InFlight {
 pub struct OpenLoopArena {
     engine: Engine<Event>,
     inflight: HashMap<u64, InFlight>,
+    peak_resident: usize,
 }
 
 impl Default for OpenLoopArena {
@@ -248,9 +275,17 @@ impl Default for OpenLoopArena {
 impl OpenLoopArena {
     /// Fresh arena; allocations grow on first use and are then reused.
     pub fn new() -> Self {
+        Self::with_engine_config(EngineConfig::default())
+    }
+
+    /// Arena with an explicit engine configuration. The default caps a run
+    /// at 50M events; paper-scale streaming runs (`flash_scale` processes
+    /// 4×10⁸) lift the cap with `max_events: None`.
+    pub fn with_engine_config(config: EngineConfig) -> Self {
         OpenLoopArena {
-            engine: Engine::new(EngineConfig::default()),
+            engine: Engine::new(config),
             inflight: HashMap::new(),
+            peak_resident: 0,
         }
     }
 
@@ -262,6 +297,15 @@ impl OpenLoopArena {
     /// Peak event-queue depth of the most recent run.
     pub fn peak_queue_depth(&self) -> usize {
         self.engine.peak_pending()
+    }
+
+    /// Peak number of arrivals held materialized at once during the most
+    /// recent run: the requests resident inside the source plus the one
+    /// pending arrival in the event queue. Slice-backed runs report ≈ the
+    /// request count (the slice is already in memory); streaming runs
+    /// report ≈ the stream count — the bounded-memory invariant.
+    pub fn peak_resident_arrivals(&self) -> usize {
+        self.peak_resident
     }
 }
 
@@ -279,8 +323,13 @@ impl OpenLoopSimulation {
     }
 
     /// Run the simulation: `requests` arrive at their `arrival_offset`s and
-    /// are served concurrently under `policy`.
-    pub fn run(&self, policy: &mut dyn SizingPolicy, requests: &[RequestInput]) -> ServingReport {
+    /// are served concurrently under `policy`. Fails if the request set
+    /// cannot be scheduled (an arrival behind the already-advanced clock).
+    pub fn run(
+        &self,
+        policy: &mut dyn SizingPolicy,
+        requests: &[RequestInput],
+    ) -> Result<ServingReport, String> {
         self.run_instrumented(policy, requests, &mut OpenLoopArena::new(), None)
     }
 
@@ -295,7 +344,7 @@ impl OpenLoopSimulation {
         requests: &[RequestInput],
         arena: &mut OpenLoopArena,
         metrics: Option<&ServingMetrics>,
-    ) -> ServingReport {
+    ) -> Result<ServingReport, String> {
         self.run_with_capacity(policy, requests, arena, metrics, None)
     }
 
@@ -319,7 +368,7 @@ impl OpenLoopSimulation {
         arena: &mut OpenLoopArena,
         metrics: Option<&ServingMetrics>,
         controls: Option<CapacityControls<'_>>,
-    ) -> ServingReport {
+    ) -> Result<ServingReport, String> {
         self.run_traced(policy, requests, arena, metrics, controls, None)
     }
 
@@ -340,21 +389,85 @@ impl OpenLoopSimulation {
         requests: &[RequestInput],
         arena: &mut OpenLoopArena,
         metrics: Option<&ServingMetrics>,
+        controls: Option<CapacityControls<'_>>,
+        observer: Option<&mut dyn Observer>,
+    ) -> Result<ServingReport, String> {
+        // The slice is served through the same lazy core as a true stream;
+        // [`SliceSource`] yields it in stable arrival-time order, which is
+        // exactly the order the historical pre-seeded queue popped it in.
+        let mut source = SliceSource::new(requests);
+        self.run_from_source(policy, &mut source, arena, metrics, controls, observer)
+    }
+
+    /// Serve requests pulled lazily from a [`RequestSource`], collecting
+    /// outcomes into a [`ServingReport`] (sorted by request id, as the
+    /// slice-backed entry points always reported). Memory stays bounded by
+    /// in-flight work plus whatever the source itself holds resident — but
+    /// the report still materializes one outcome per request; callers that
+    /// must stay bounded at paper scale aggregate through
+    /// [`run_streaming`](Self::run_streaming) instead.
+    pub fn run_from_source(
+        &self,
+        policy: &mut dyn SizingPolicy,
+        source: &mut dyn RequestSource,
+        arena: &mut OpenLoopArena,
+        metrics: Option<&ServingMetrics>,
+        controls: Option<CapacityControls<'_>>,
+        observer: Option<&mut dyn Observer>,
+    ) -> Result<ServingReport, String> {
+        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(source.len_hint().unwrap_or(0));
+        let capacity = self.run_streaming(
+            policy,
+            source,
+            arena,
+            metrics,
+            controls,
+            observer,
+            &mut |outcome| outcomes.push(outcome),
+        )?;
+        // Streamed outcomes surface in completion order; reports keep the
+        // historical id order.
+        outcomes.sort_by_key(|o| o.request_id);
+        Ok(ServingReport {
+            policy: policy.name().to_string(),
+            workflow: self.workflow.name().to_string(),
+            concurrency: self.config.concurrency,
+            slo: self.config.slo,
+            outcomes,
+            capacity,
+        })
+    }
+
+    /// The streaming core behind every entry point: arrivals are drawn from
+    /// `source` one at a time as simulated time advances (one pending
+    /// arrival in the queue while the source has more), and every finished
+    /// request is handed to `on_outcome` in completion order and then
+    /// dropped — nothing is retained per request, so aggregating callers
+    /// run 10⁸-request workloads in memory bounded by in-flight work. The
+    /// capacity report (when controls are attached) is returned directly;
+    /// its `generated` count is the number of arrivals drawn.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_streaming(
+        &self,
+        policy: &mut dyn SizingPolicy,
+        source: &mut dyn RequestSource,
+        arena: &mut OpenLoopArena,
+        metrics: Option<&ServingMetrics>,
         mut controls: Option<CapacityControls<'_>>,
         mut observer: Option<&mut dyn Observer>,
-    ) -> ServingReport {
-        arena.engine.reset();
-        // Every arrival sits in the queue before the first pop; pre-size so
-        // the heap never grows mid-run (completions at most add the
-        // in-flight count on top).
-        arena.engine.reserve(requests.len());
-        arena.inflight.clear();
-        let engine = &mut arena.engine;
-        let inflight = &mut arena.inflight;
+        on_outcome: &mut dyn FnMut(RequestOutcome),
+    ) -> Result<Option<CapacityReport>, String> {
+        let OpenLoopArena {
+            engine,
+            inflight,
+            peak_resident,
+        } = arena;
+        engine.reset();
+        inflight.clear();
+        *peak_resident = 0;
         let mut pool = PoolManager::new(self.config.pool.clone());
         // janus-lint: allow(unwrap-discipline) — the builder validated this exact config before the run started
         let mut cluster = Cluster::new(&self.config.cluster).expect("validated cluster config");
-        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
         // Detach the compiled fault schedule from the controls so delivery
         // can borrow the rest of the run state freely.
         let mut fault_rt = controls
@@ -377,17 +490,24 @@ impl OpenLoopSimulation {
             }
         });
 
-        for req in requests {
+        // Lazy arrival discipline: exactly one pending arrival sits in the
+        // queue while the source has more to give. CLASS_ARRIVAL keeps a
+        // same-timestamp arrival ahead of completions and ticks scheduled
+        // before it, reproducing the pre-seeded pop order bit-for-bit.
+        let mut drawn: usize = 0;
+        if let Some(req) = source.next_request(&self.workflow) {
+            drawn += 1;
+            *peak_resident = (*peak_resident).max(source.resident() + 1);
             engine
-                .schedule_at(
+                .schedule_at_class(
                     SimTime::ZERO + req.arrival_offset,
-                    Event::Arrival(req.clone()),
+                    CLASS_ARRIVAL,
+                    Event::Arrival(req),
                 )
-                // janus-lint: allow(unwrap-discipline) — offsets are non-negative and the engine clock is at ZERO
-                .expect("arrivals are in the future");
+                .map_err(arrival_order_error)?;
         }
         if let Some(tick) = tick {
-            engine.schedule_in(tick, Event::CapacityTick);
+            engine.schedule_in_class(tick, CLASS_FOLLOWUP, Event::CapacityTick);
         }
 
         // The event loop is written iteratively (rather than via Engine::run)
@@ -402,6 +522,21 @@ impl OpenLoopSimulation {
             }
             match ev.payload {
                 Event::Arrival(input) => {
+                    // Refill before serving: the source's next arrival (if
+                    // any) must be pending before anything can observe the
+                    // queue, keeping the one-pending-arrival invariant and
+                    // the tick reschedule condition exact.
+                    if let Some(next) = source.next_request(&self.workflow) {
+                        drawn += 1;
+                        *peak_resident = (*peak_resident).max(source.resident() + 1);
+                        engine
+                            .schedule_at_class(
+                                SimTime::ZERO + next.arrival_offset,
+                                CLASS_ARRIVAL,
+                                Event::Arrival(next),
+                            )
+                            .map_err(arrival_order_error)?;
+                    }
                     emit!(observer, now, RecordKind::Arrival { request: input.id });
                     if let Some(c) = controls.as_mut() {
                         let admitted = c.admission.admit(now, inflight.len());
@@ -421,7 +556,7 @@ impl OpenLoopSimulation {
                                 m.shed.incr(1);
                             }
                             emit!(observer, now, RecordKind::Shed { request: input.id });
-                            outcomes.push(RequestOutcome::shed(input.id));
+                            on_outcome(RequestOutcome::shed(input.id));
                             continue;
                         }
                     }
@@ -441,7 +576,7 @@ impl OpenLoopSimulation {
                                     e2e: SimDuration::ZERO,
                                 }
                             );
-                            outcomes.push(RequestOutcome::failed(
+                            on_outcome(RequestOutcome::failed(
                                 input.id,
                                 SimDuration::ZERO,
                                 Vec::new(),
@@ -553,7 +688,7 @@ impl OpenLoopSimulation {
                                 slo_met: outcome.slo_met,
                             }
                         );
-                        outcomes.push(outcome);
+                        on_outcome(outcome);
                     } else {
                         self.start_function(
                             policy,
@@ -580,7 +715,7 @@ impl OpenLoopSimulation {
                             rt,
                             policy,
                             inflight,
-                            &mut outcomes,
+                            &mut *on_outcome,
                             now,
                             &mut pool,
                             &mut cluster,
@@ -672,7 +807,10 @@ impl OpenLoopSimulation {
                     if let Some(o) = observer.as_deref_mut() {
                         o.tick(&TickSample {
                             at: now,
-                            queue_depth: engine.pending(),
+                            // Arrivals the lazy discipline has not drawn yet
+                            // still count as queued work, so streaming and
+                            // pre-seeded runs report identical depths.
+                            queue_depth: engine.pending() + source.len_hint().unwrap_or(0),
                             inflight: inflight.len(),
                             active_nodes: cluster.active_node_count(),
                             nodes_per_zone: cluster.active_nodes_per_zone(),
@@ -686,13 +824,13 @@ impl OpenLoopSimulation {
                     // Keep ticking while anything can still happen.
                     if engine.pending() > 0 || !inflight.is_empty() {
                         // janus-lint: allow(unwrap-discipline) — a tick event implies the cadence was computed at startup
-                        engine.schedule_in(tick.expect("tick cadence set"), Event::CapacityTick);
+                        let cadence = tick.expect("tick cadence set");
+                        engine.schedule_in_class(cadence, CLASS_FOLLOWUP, Event::CapacityTick);
                     }
                 }
             }
         }
 
-        outcomes.sort_by_key(|o| o.request_id);
         let capacity = accounting.map(|acct| {
             // janus-lint: allow(unwrap-discipline) — accounting exists only when controls were passed in
             let c = controls.as_ref().expect("controls imply accounting");
@@ -700,8 +838,8 @@ impl OpenLoopSimulation {
             CapacityReport {
                 autoscaler: c.autoscaler.name().to_string(),
                 admission: c.admission.name().to_string(),
-                generated: requests.len(),
-                admitted: requests.len() - acct.shed,
+                generated: drawn,
+                admitted: drawn - acct.shed,
                 shed: acct.shed,
                 failed: rt.map_or(0, |rt| rt.failed),
                 retried: rt.map_or(0, |rt| rt.retried),
@@ -719,14 +857,7 @@ impl OpenLoopSimulation {
                 nodes_lost: rt.map_or(0, |rt| rt.nodes_lost),
             }
         });
-        ServingReport {
-            policy: policy.name().to_string(),
-            workflow: self.workflow.name().to_string(),
-            concurrency: self.config.concurrency,
-            slo: self.config.slo,
-            outcomes,
-            capacity,
-        }
+        Ok(capacity)
     }
 
     fn ctx(&self, input: &RequestInput) -> RequestContext {
@@ -748,7 +879,7 @@ impl OpenLoopSimulation {
         rt: &mut FaultRuntime,
         policy: &mut dyn SizingPolicy,
         inflight: &mut HashMap<u64, InFlight>,
-        outcomes: &mut Vec<RequestOutcome>,
+        on_outcome: &mut dyn FnMut(RequestOutcome),
         now: SimTime,
         pool: &mut PoolManager,
         cluster: &mut Cluster,
@@ -909,7 +1040,7 @@ impl OpenLoopSimulation {
                         e2e: state.e2e,
                     }
                 );
-                outcomes.push(RequestOutcome::failed(
+                on_outcome(RequestOutcome::failed(
                     request_id,
                     state.e2e,
                     state.allocations,
@@ -1025,8 +1156,9 @@ impl OpenLoopSimulation {
         state.current_pod = Some(acquisition.pod);
         state.current_index = index;
         state.current_started = now;
-        engine.schedule_in(
+        engine.schedule_in_class(
             exec + startup,
+            CLASS_FOLLOWUP,
             Event::FunctionComplete {
                 request_id,
                 index,
@@ -1036,6 +1168,13 @@ impl OpenLoopSimulation {
             },
         );
     }
+}
+
+/// Cold path: render a [`SimError`](janus_simcore::error::SimError) from a
+/// source that yielded an arrival behind the already-advanced clock —
+/// sources must produce non-decreasing `arrival_offset`s.
+fn arrival_order_error(e: janus_simcore::error::SimError) -> String {
+    format!("request source yielded an out-of-order arrival: {e}")
 }
 
 #[cfg(test)]
@@ -1052,7 +1191,7 @@ mod tests {
             OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
         let reqs = RequestInputGenerator::new(9, SimDuration::from_millis(200.0)).generate(&ia, 80);
         let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
-        let report = sim.run(&mut policy, &reqs);
+        let report = sim.run(&mut policy, &reqs).unwrap();
         assert_eq!(report.len(), 80);
         let ids: std::collections::HashSet<u64> =
             report.outcomes.iter().map(|o| o.request_id).collect();
@@ -1072,9 +1211,9 @@ mod tests {
             RequestInputGenerator::new(5, SimDuration::from_millis(3000.0)).generate(&ia, 60);
         let heavy = RequestInputGenerator::new(5, SimDuration::from_millis(50.0)).generate(&ia, 60);
         let mut p1 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
-        let light_report = sim.run(&mut p1, &light);
+        let light_report = sim.run(&mut p1, &light).unwrap();
         let mut p2 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
-        let heavy_report = sim.run(&mut p2, &heavy);
+        let heavy_report = sim.run(&mut p2, &heavy).unwrap();
         // With 50 ms inter-arrival many requests overlap, co-locating pods of
         // the same function and prolonging execution.
         assert!(
@@ -1101,7 +1240,7 @@ mod tests {
             };
         }
         let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
-        let report = sim.run(&mut policy, &reqs);
+        let report = sim.run(&mut policy, &reqs).unwrap();
         assert_eq!(report.len(), 60);
         let mean = |ids: std::ops::Range<usize>| {
             let sel: Vec<f64> = report
@@ -1134,7 +1273,9 @@ mod tests {
         // One arena shared by back-to-back ("paired") runs.
         let mut arena = OpenLoopArena::new();
         let mut p1 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
-        let first = sim.run_instrumented(&mut p1, &reqs, &mut arena, Some(&metrics));
+        let first = sim
+            .run_instrumented(&mut p1, &reqs, &mut arena, Some(&metrics))
+            .unwrap();
         let events_first = arena.events_processed();
         let peak_first = arena.peak_queue_depth();
         // 80 arrivals + 3 completions per request.
@@ -1142,13 +1283,15 @@ mod tests {
         assert!(peak_first > 0 && peak_first <= 160);
 
         let mut p2 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
-        let second = sim.run_instrumented(&mut p2, &reqs, &mut arena, Some(&metrics));
+        let second = sim
+            .run_instrumented(&mut p2, &reqs, &mut arena, Some(&metrics))
+            .unwrap();
         assert_eq!(first, second, "arena reuse must not perturb the simulation");
         assert_eq!(arena.events_processed(), events_first);
         assert_eq!(arena.peak_queue_depth(), peak_first);
         // And the reused-arena run matches a fresh-arena uninstrumented run.
         let mut p3 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
-        assert_eq!(sim.run(&mut p3, &reqs), first);
+        assert_eq!(sim.run(&mut p3, &reqs).unwrap(), first);
 
         // Both runs recorded through the same pre-interned handles.
         assert_eq!(registry.counter(ServingMetrics::REQUESTS), 160);
@@ -1174,17 +1317,19 @@ mod tests {
         let metrics = ServingMetrics::intern(&registry);
         let mut autoscaler = StaticAutoscaler;
         let mut admission = QueueLengthAdmission::new(2).unwrap();
-        let report = sim.run_with_capacity(
-            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
-            &reqs,
-            &mut OpenLoopArena::new(),
-            Some(&metrics),
-            Some(CapacityControls {
-                autoscaler: &mut autoscaler,
-                admission: &mut admission,
-                faults: None,
-            }),
-        );
+        let report = sim
+            .run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+                &mut OpenLoopArena::new(),
+                Some(&metrics),
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                    faults: None,
+                }),
+            )
+            .unwrap();
         let cap = report.capacity.as_ref().unwrap();
         assert_eq!(cap.autoscaler, "static");
         assert_eq!(cap.admission, "queue-shed");
@@ -1227,25 +1372,29 @@ mod tests {
         let sim = OpenLoopSimulation::new(ia.clone(), config);
         let reqs = RequestInputGenerator::new(7, SimDuration::from_millis(60.0)).generate(&ia, 120);
 
-        let run_static = sim.run(
-            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
-            &reqs,
-        );
+        let run_static = sim
+            .run(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+            )
+            .unwrap();
         let mut autoscaler =
             UtilizationThresholdAutoscaler::new(0.6, 0.1, 2, SimDuration::from_secs(2.0), 2, 12)
                 .unwrap();
         let mut admission = AdmitAll;
-        let run_scaled = sim.run_with_capacity(
-            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
-            &reqs,
-            &mut OpenLoopArena::new(),
-            None,
-            Some(CapacityControls {
-                autoscaler: &mut autoscaler,
-                admission: &mut admission,
-                faults: None,
-            }),
-        );
+        let run_scaled = sim
+            .run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+                &mut OpenLoopArena::new(),
+                None,
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                    faults: None,
+                }),
+            )
+            .unwrap();
         let cap = run_scaled.capacity.as_ref().unwrap();
         assert!(cap.scale_ups > 0, "overload must trigger scale-ups");
         assert!(cap.peak_nodes > 2);
@@ -1292,17 +1441,19 @@ mod tests {
         }
         let mut autoscaler = StaticAutoscaler;
         let mut admission = AdmitAll;
-        let report = sim.run_with_capacity(
-            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
-            &reqs,
-            &mut OpenLoopArena::new(),
-            None,
-            Some(CapacityControls {
-                autoscaler: &mut autoscaler,
-                admission: &mut admission,
-                faults: None,
-            }),
-        );
+        let report = sim
+            .run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+                &mut OpenLoopArena::new(),
+                None,
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                    faults: None,
+                }),
+            )
+            .unwrap();
         let cap = report.capacity.as_ref().unwrap();
         assert!(
             cap.pods_recycled > 0,
@@ -1339,17 +1490,19 @@ mod tests {
         let reqs = RequestInputGenerator::new(1, SimDuration::from_millis(500.0)).generate(&ia, 10);
         let mut autoscaler = SpinScaler;
         let mut admission = AdmitAll;
-        let report = sim.run_with_capacity(
-            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
-            &reqs,
-            &mut OpenLoopArena::new(),
-            None,
-            Some(CapacityControls {
-                autoscaler: &mut autoscaler,
-                admission: &mut admission,
-                faults: None,
-            }),
-        );
+        let report = sim
+            .run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+                &mut OpenLoopArena::new(),
+                None,
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                    faults: None,
+                }),
+            )
+            .unwrap();
         assert_eq!(report.served_len(), 10, "every request still served");
         assert_eq!(report.capacity.as_ref().unwrap().admitted, 10);
     }
@@ -1377,6 +1530,7 @@ mod tests {
                     faults: None,
                 }),
             )
+            .unwrap()
         };
         let a = run();
         let b = run();
@@ -1425,17 +1579,19 @@ mod tests {
             UtilizationThresholdAutoscaler::new(0.6, 0.1, 2, SimDuration::from_secs(2.0), 2, 12)
                 .unwrap();
         let mut admission = AdmitAll;
-        let report = sim.run_with_capacity(
-            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
-            &reqs,
-            &mut OpenLoopArena::new(),
-            Some(&metrics),
-            Some(CapacityControls {
-                autoscaler: &mut autoscaler,
-                admission: &mut admission,
-                faults: Some(crash_schedule(&[1.5, 2.5, 3.5])),
-            }),
-        );
+        let report = sim
+            .run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+                &mut OpenLoopArena::new(),
+                Some(&metrics),
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                    faults: Some(crash_schedule(&[1.5, 2.5, 3.5])),
+                }),
+            )
+            .unwrap();
         let cap = report.capacity.as_ref().unwrap();
         assert_eq!(cap.injector.as_deref(), Some("test-crash"));
         assert_eq!(cap.faults_applied, 3);
@@ -1495,6 +1651,7 @@ mod tests {
                     faults: Some(crash_schedule(&[1.0, 2.0])),
                 }),
             )
+            .unwrap()
         };
         let a = run();
         let b = run();
@@ -1532,17 +1689,19 @@ mod tests {
         };
         let mut autoscaler = StaticAutoscaler;
         let mut admission = AdmitAll;
-        let report = sim.run_with_capacity(
-            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
-            &reqs,
-            &mut OpenLoopArena::new(),
-            None,
-            Some(CapacityControls {
-                autoscaler: &mut autoscaler,
-                admission: &mut admission,
-                faults: Some(schedule),
-            }),
-        );
+        let report = sim
+            .run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+                &mut OpenLoopArena::new(),
+                None,
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                    faults: Some(schedule),
+                }),
+            )
+            .unwrap();
         let cap = report.capacity.as_ref().unwrap();
         // Zones are assigned round-robin: 4 nodes over 2 zones puts exactly
         // 2 nodes in zone 0, and the outage must kill exactly those.
@@ -1606,17 +1765,19 @@ mod tests {
         };
         let mut autoscaler = TickedStatic(1000.0);
         let mut admission = AdmitAll;
-        let graceful = sim.run_with_capacity(
-            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
-            &reqs,
-            &mut OpenLoopArena::new(),
-            None,
-            Some(CapacityControls {
-                autoscaler: &mut autoscaler,
-                admission: &mut admission,
-                faults: Some(preempt(30_000.0)),
-            }),
-        );
+        let graceful = sim
+            .run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+                &mut OpenLoopArena::new(),
+                None,
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                    faults: Some(preempt(30_000.0)),
+                }),
+            )
+            .unwrap();
         let cap = graceful.capacity.as_ref().unwrap();
         assert_eq!(cap.faults_applied, 1);
         assert_eq!(cap.nodes_lost, 0, "draining beat the 30 s deadline");
@@ -1630,17 +1791,19 @@ mod tests {
             RequestInputGenerator::new(19, SimDuration::from_millis(40.0)).generate(&ia, 80);
         let mut autoscaler = TickedStatic(100.0);
         let mut admission = AdmitAll;
-        let forced = sim.run_with_capacity(
-            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
-            &heavy,
-            &mut OpenLoopArena::new(),
-            None,
-            Some(CapacityControls {
-                autoscaler: &mut autoscaler,
-                admission: &mut admission,
-                faults: Some(preempt(1.0)),
-            }),
-        );
+        let forced = sim
+            .run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &heavy,
+                &mut OpenLoopArena::new(),
+                None,
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                    faults: Some(preempt(1.0)),
+                }),
+            )
+            .unwrap();
         let cap = forced.capacity.as_ref().unwrap();
         assert_eq!(cap.nodes_lost, 1, "the notice expired mid-drain");
         assert!(cap.retried > 0 || cap.failed > 0, "running work was lost");
@@ -1683,17 +1846,19 @@ mod tests {
         };
         let mut autoscaler = FastStatic;
         let mut admission = AdmitAll;
-        let report = sim.run_with_capacity(
-            &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
-            &reqs,
-            &mut OpenLoopArena::new(),
-            Some(&metrics),
-            Some(CapacityControls {
-                autoscaler: &mut autoscaler,
-                admission: &mut admission,
-                faults: Some(schedule),
-            }),
-        );
+        let report = sim
+            .run_with_capacity(
+                &mut FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap(),
+                &reqs,
+                &mut OpenLoopArena::new(),
+                Some(&metrics),
+                Some(CapacityControls {
+                    autoscaler: &mut autoscaler,
+                    admission: &mut admission,
+                    faults: Some(schedule),
+                }),
+            )
+            .unwrap();
         let cap = report.capacity.as_ref().unwrap();
         assert_eq!(cap.final_nodes, 0, "nothing survives, nothing recovers");
         assert_eq!(report.served_len(), 0);
@@ -1746,6 +1911,7 @@ mod tests {
                     faults,
                 }),
             )
+            .unwrap()
         };
         let baseline = run(None);
         let degraded = run(Some(slow_schedule()));
@@ -1763,6 +1929,107 @@ mod tests {
     }
 
     #[test]
+    fn streaming_source_is_bit_identical_to_materialized_requests() {
+        use janus_workloads::request::GeneratorSource;
+        let ia = intelligent_assistant();
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        for seed in [1, 9, 42] {
+            let reqs =
+                RequestInputGenerator::new(seed, SimDuration::from_millis(120.0)).generate(&ia, 80);
+            let mut p1 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
+            let mut arena = OpenLoopArena::new();
+            let materialized = sim
+                .run_instrumented(&mut p1, &reqs, &mut arena, None)
+                .unwrap();
+            // The slice is resident by definition: peak ≈ N.
+            assert_eq!(arena.peak_resident_arrivals(), 80);
+            let slice_events = arena.events_processed();
+
+            let mut source = GeneratorSource::new(
+                RequestInputGenerator::new(seed, SimDuration::from_millis(120.0)),
+                80,
+            );
+            let mut p2 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
+            let streamed = sim
+                .run_from_source(&mut p2, &mut source, &mut arena, None, None, None)
+                .unwrap();
+            assert_eq!(materialized, streamed, "seed {seed}: streams must replay");
+            assert_eq!(arena.events_processed(), slice_events);
+            // Bounded memory: one pending arrival, nothing resident in the
+            // generator — and the queue never holds the whole request set.
+            assert_eq!(arena.peak_resident_arrivals(), 1);
+            assert!(
+                arena.peak_queue_depth() < 80,
+                "queue depth {} must be bounded by in-flight work, not N",
+                arena.peak_queue_depth()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_outcomes_arrive_in_completion_order_and_aggregate() {
+        let ia = intelligent_assistant();
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let reqs = RequestInputGenerator::new(9, SimDuration::from_millis(200.0)).generate(&ia, 40);
+        let mut arena = OpenLoopArena::new();
+        let mut served = 0usize;
+        let mut e2e_sum = 0.0f64;
+        let mut p = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
+        let mut source = janus_workloads::request::SliceSource::new(&reqs);
+        let capacity = sim
+            .run_streaming(
+                &mut p,
+                &mut source,
+                &mut arena,
+                None,
+                None,
+                None,
+                &mut |o| {
+                    served += 1;
+                    e2e_sum += o.e2e.as_millis();
+                },
+            )
+            .unwrap();
+        assert!(capacity.is_none(), "no controls, no capacity report");
+        assert_eq!(served, 40, "every outcome flows through the callback");
+        let mut p2 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
+        let report = sim.run(&mut p2, &reqs).unwrap();
+        let report_sum: f64 = report.outcomes.iter().map(|o| o.e2e.as_millis()).sum();
+        assert!((e2e_sum - report_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_engine_config_lifts_the_event_cap() {
+        use janus_simcore::engine::EngineConfig;
+        let ia = intelligent_assistant();
+        let sim =
+            OpenLoopSimulation::new(ia.clone(), OpenLoopConfig::new(SimDuration::from_secs(3.0)));
+        let reqs = RequestInputGenerator::new(2, SimDuration::from_millis(300.0)).generate(&ia, 10);
+        // A pathologically low cap truncates the run …
+        let mut capped = OpenLoopArena::with_engine_config(EngineConfig {
+            max_events: Some(5),
+            horizon: None,
+        });
+        let mut p = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
+        let truncated = sim
+            .run_instrumented(&mut p, &reqs, &mut capped, None)
+            .unwrap();
+        assert!(truncated.len() < 10);
+        // … and an uncapped arena serves everything.
+        let mut uncapped = OpenLoopArena::with_engine_config(EngineConfig {
+            max_events: None,
+            horizon: None,
+        });
+        let mut p2 = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2000)).unwrap();
+        let full = sim
+            .run_instrumented(&mut p2, &reqs, &mut uncapped, None)
+            .unwrap();
+        assert_eq!(full.len(), 10);
+    }
+
+    #[test]
     fn closed_and_open_loop_agree_for_serial_arrivals() {
         // When arrivals are so sparse that requests never overlap, the open
         // loop degenerates to the closed loop's behaviour (modulo warm-pool
@@ -1776,7 +2043,7 @@ mod tests {
             r.arrival_offset = SimDuration::from_secs(100.0 * i as f64);
         }
         let mut policy = FixedSizingPolicy::uniform("fixed", &ia, Millicores::new(2500)).unwrap();
-        let open = sim.run(&mut policy, &reqs);
+        let open = sim.run(&mut policy, &reqs).unwrap();
         let exec = crate::executor::ClosedLoopExecutor::new(
             ia.clone(),
             crate::executor::ExecutorConfig::paper_serving(SimDuration::from_secs(3.0), 1),

@@ -21,6 +21,10 @@
 //!   `janus-core`'s `PolicyRegistry`: the built-ins are pre-registered and
 //!   custom processes plug in through [`ScenarioRegistry::register_fn`]
 //!   without touching any `janus-*` crate.
+//! * [`MergedRequestSource`] — multi-tenant serving: k per-tenant arrival
+//!   streams (one lazy generator each, seeded via [`tenant_stream_seed`])
+//!   merged by next-arrival time into one bounded-memory request source
+//!   holding exactly one pending arrival per stream.
 //!
 //! Every built-in scenario built through the registry is normalized to the
 //! [`ScenarioContext`]'s base arrival rate: the long-run mean rate is the
@@ -34,8 +38,10 @@
 
 pub mod arrival;
 pub mod registry;
+pub mod tenancy;
 
 pub use arrival::{
     ArrivalProcess, BurstyArrivals, DiurnalArrivals, FlashCrowd, PoissonArrivals, TraceReplay,
 };
 pub use registry::{ScenarioContext, ScenarioFactory, ScenarioRegistry};
+pub use tenancy::{tenant_stream_seed, MergedRequestSource};

@@ -102,6 +102,14 @@ impl<E> Engine<E> {
         self.queue.schedule(self.now + delay.saturate(), payload)
     }
 
+    /// [`schedule_in`](Self::schedule_in) with an explicit tie-break class:
+    /// among same-timestamp events, lower classes pop first regardless of
+    /// insertion order (see [`crate::event`] for when this matters).
+    pub fn schedule_in_class(&mut self, delay: SimDuration, class: u8, payload: E) -> u64 {
+        self.queue
+            .schedule_class(self.now + delay.saturate(), class, payload)
+    }
+
     /// Schedule `payload` at an absolute instant. Scheduling in the past is a
     /// logic error and returns [`SimError::TimeTravel`].
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> SimResult<u64> {
@@ -112,6 +120,17 @@ impl<E> Engine<E> {
             });
         }
         Ok(self.queue.schedule(at, payload))
+    }
+
+    /// [`schedule_at`](Self::schedule_at) with an explicit tie-break class.
+    pub fn schedule_at_class(&mut self, at: SimTime, class: u8, payload: E) -> SimResult<u64> {
+        if at < self.now {
+            return Err(SimError::TimeTravel {
+                now_ms: self.now.as_millis(),
+                requested_ms: at.as_millis(),
+            });
+        }
+        Ok(self.queue.schedule_class(at, class, payload))
     }
 
     /// Pop the next event, advancing the clock to its firing time. Returns

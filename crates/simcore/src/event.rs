@@ -1,8 +1,19 @@
 //! Event queue for the discrete-event engine.
 //!
-//! Events are ordered by firing time; ties are broken by insertion sequence so
-//! the simulation is fully deterministic regardless of floating-point equal
-//! timestamps.
+//! Events are ordered by firing time; ties are broken first by an explicit
+//! scheduling *class* and then by insertion sequence, so the simulation is
+//! fully deterministic regardless of floating-point equal timestamps.
+//!
+//! Classes exist for one reason: lazily scheduled event streams. A replay
+//! that seeds every arrival up front gives arrivals the globally smallest
+//! sequence numbers, so a same-timestamp arrival always pops before a
+//! completion scheduled later from inside the run. A streaming run that
+//! draws arrivals on demand schedules them *after* in-flight completions,
+//! which would flip those ties. Scheduling arrivals in a lower class than
+//! follow-up work reproduces the seeded pop order exactly; callers that
+//! never mix scheduling disciplines can ignore classes entirely (everything
+//! defaults to class 0, where ordering degenerates to the historical
+//! time-then-sequence rule).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -14,7 +25,10 @@ use std::collections::BinaryHeap;
 pub struct ScheduledEvent<E> {
     /// When the event fires.
     pub at: SimTime,
-    /// Monotone sequence number used as a deterministic tie-breaker.
+    /// Same-timestamp tie-break class: lower classes pop first. Defaults to
+    /// 0; see the module docs for when a non-zero class matters.
+    pub class: u8,
+    /// Monotone sequence number used as the final deterministic tie-breaker.
     pub seq: u64,
     /// Caller-defined payload.
     pub payload: E,
@@ -22,7 +36,7 @@ pub struct ScheduledEvent<E> {
 
 impl<E> PartialEq for ScheduledEvent<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.class == other.class && self.seq == other.seq
     }
 }
 
@@ -40,6 +54,7 @@ impl<E> Ord for ScheduledEvent<E> {
         other
             .at
             .total_cmp(&self.at)
+            .then_with(|| other.class.cmp(&self.class))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -81,12 +96,24 @@ impl<E> EventQueue<E> {
         self.heap.reserve(additional);
     }
 
-    /// Schedule `payload` to fire at `at`. Returns the sequence number
-    /// assigned to the event.
+    /// Schedule `payload` to fire at `at` in the default class 0. Returns
+    /// the sequence number assigned to the event.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> u64 {
+        self.schedule_class(at, 0, payload)
+    }
+
+    /// Schedule `payload` to fire at `at` in an explicit tie-break `class`
+    /// (lower classes pop first among same-timestamp events). Returns the
+    /// sequence number assigned to the event.
+    pub fn schedule_class(&mut self, at: SimTime, class: u8, payload: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { at, seq, payload });
+        self.heap.push(ScheduledEvent {
+            at,
+            class,
+            seq,
+            payload,
+        });
         self.peak = self.peak.max(self.heap.len());
         seq
     }
@@ -151,6 +178,20 @@ mod tests {
         q.schedule(t, 3);
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
         assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn classes_break_ties_before_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5.0);
+        // A later-inserted class-0 event beats earlier class-1 events at the
+        // same timestamp — the lazy-arrival discipline.
+        q.schedule_class(t, 1, "completion");
+        q.schedule_class(t, 1, "tick");
+        q.schedule_class(t, 0, "arrival");
+        q.schedule(SimTime::from_millis(1.0), "early");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["early", "arrival", "completion", "tick"]);
     }
 
     #[test]

@@ -133,6 +133,127 @@ impl RequestInputGenerator {
     }
 }
 
+/// A pull-based stream of requests in non-decreasing arrival order — the
+/// streaming counterpart of [`RequestInputGenerator::generate`].
+///
+/// The open-loop simulation draws one request at a time as simulated time
+/// advances, so a source backed by a generator holds **no** materialized
+/// arrivals and a run's memory footprint is bounded by in-flight work
+/// instead of the total request count. [`resident`](Self::resident) makes
+/// that footprint observable: it reports how many arrivals the source holds
+/// materialized *right now*, which the platform folds into its
+/// `peak_resident_arrivals` statistic.
+pub trait RequestSource: fmt::Debug + Send {
+    /// Draw the next request, or `None` when the stream is exhausted.
+    /// Successive requests must have non-decreasing `arrival_offset`s.
+    fn next_request(&mut self, workflow: &Workflow) -> Option<RequestInput>;
+
+    /// Number of requests currently held materialized by the source (heads
+    /// of merged streams, remaining slice entries, …). A lazy generator
+    /// reports 0.
+    fn resident(&self) -> usize;
+
+    /// Total requests the source will yield, when known up front. Used only
+    /// to pre-size result buffers; `None` for unbounded or unknown streams.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A [`RequestSource`] drawing lazily from a [`RequestInputGenerator`]:
+/// the bounded-memory path. Draws are bit-identical to
+/// `generator.generate(workflow, limit)` — same RNG stream, same ids, same
+/// offsets — they just happen on demand.
+#[derive(Debug)]
+pub struct GeneratorSource {
+    generator: RequestInputGenerator,
+    remaining: usize,
+}
+
+impl GeneratorSource {
+    /// Stream at most `limit` requests from `generator`.
+    pub fn new(generator: RequestInputGenerator, limit: usize) -> Self {
+        GeneratorSource {
+            generator,
+            remaining: limit,
+        }
+    }
+}
+
+impl RequestSource for GeneratorSource {
+    fn next_request(&mut self, workflow: &Workflow) -> Option<RequestInput> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.generator.next_request(workflow))
+    }
+
+    fn resident(&self) -> usize {
+        0
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+/// A [`RequestSource`] over a pre-materialized slice: the compatibility
+/// path behind the historical `&[RequestInput]` APIs.
+///
+/// Yields the slice in **stable arrival-time order** (equal offsets keep
+/// slice order), exactly the order a pre-seeded event queue would pop
+/// hand-crafted, possibly unsorted request sets in. Every entry is already
+/// resident in the caller's memory, so [`resident`](RequestSource::resident)
+/// honestly reports the not-yet-yielded count — materialized runs show
+/// `peak_resident_arrivals ≈ N` where streaming runs show ≈ the stream
+/// count.
+#[derive(Debug)]
+pub struct SliceSource<'a> {
+    requests: &'a [RequestInput],
+    /// Indices of `requests` in stable arrival-time order.
+    order: Vec<usize>,
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Source over `requests`, yielded in stable arrival-time order.
+    pub fn new(requests: &'a [RequestInput]) -> Self {
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        if requests
+            .windows(2)
+            .any(|w| w[1].arrival_offset < w[0].arrival_offset)
+        {
+            order.sort_by(|&a, &b| {
+                requests[a]
+                    .arrival_offset
+                    .total_cmp(&requests[b].arrival_offset)
+            });
+        }
+        SliceSource {
+            requests,
+            order,
+            pos: 0,
+        }
+    }
+}
+
+impl RequestSource for SliceSource<'_> {
+    fn next_request(&mut self, _workflow: &Workflow) -> Option<RequestInput> {
+        let &index = self.order.get(self.pos)?;
+        self.pos += 1;
+        Some(self.requests[index].clone())
+    }
+
+    fn resident(&self) -> usize {
+        self.requests.len() - self.pos
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.requests.len() - self.pos)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +324,45 @@ mod tests {
         for (i, r) in reqs.iter().enumerate() {
             assert!((r.arrival_offset.as_secs() - (i + 1) as f64).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn generator_source_streams_the_materialized_order_bit_for_bit() {
+        let ia = intelligent_assistant();
+        let mean = SimDuration::from_millis(40.0);
+        let materialized = RequestInputGenerator::new(9, mean).generate(&ia, 50);
+        let mut source = GeneratorSource::new(RequestInputGenerator::new(9, mean), 50);
+        assert_eq!(source.len_hint(), Some(50));
+        assert_eq!(source.resident(), 0, "a lazy generator holds nothing");
+        let mut streamed = Vec::new();
+        while let Some(req) = source.next_request(&ia) {
+            streamed.push(req);
+        }
+        assert_eq!(materialized, streamed);
+        assert_eq!(source.len_hint(), Some(0));
+        assert!(
+            source.next_request(&ia).is_none(),
+            "exhausted stays exhausted"
+        );
+    }
+
+    #[test]
+    fn slice_source_yields_stable_arrival_time_order() {
+        let make = |id: u64, ms: f64| RequestInput {
+            id,
+            arrival_offset: SimDuration::from_millis(ms),
+            factors: vec![1.0],
+        };
+        // Unsorted hand-crafted set with an equal-offset pair: the yield
+        // order is by arrival time, ties in slice order — exactly how a
+        // pre-seeded event queue would pop them.
+        let requests = vec![make(0, 30.0), make(1, 10.0), make(2, 30.0), make(3, 0.0)];
+        let ia = intelligent_assistant();
+        let mut source = SliceSource::new(&requests);
+        assert_eq!(source.resident(), 4, "a slice is fully materialized");
+        let ids: Vec<u64> = std::iter::from_fn(|| source.next_request(&ia).map(|r| r.id)).collect();
+        assert_eq!(ids, vec![3, 1, 0, 2]);
+        assert_eq!(source.resident(), 0);
     }
 
     #[test]

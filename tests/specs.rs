@@ -419,6 +419,57 @@ fn golden_trace_artefact_is_reproducible_and_reportable() {
 }
 
 #[test]
+fn multi_tenant_spec_merges_streams_at_every_point() {
+    let spec = golden_spec("multi_tenant.json");
+    // The committed file is the canonical encoder output byte for byte, so
+    // the `tenants` formatting (and the copy-pasteable README example built
+    // on it) never drifts from what the encoder writes.
+    let path = format!(
+        "{}/../../specs/multi_tenant.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let committed = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(
+        committed,
+        format!("{}\n", spec.to_json().to_pretty()),
+        "specs/multi_tenant.json is not the canonical encoding of itself"
+    );
+
+    let tenants = spec.tenants.as_deref().expect("tenant axis set");
+    assert_eq!(tenants.len(), 2);
+    let result = run_sweep(&spec).unwrap();
+    result.validate().unwrap();
+    // Tenants multiply the load at each point, not the grid.
+    assert_eq!(result.points.len(), 1);
+    let point = &result.points[0];
+    assert_eq!(point.report.tenants.as_deref(), Some(tenants));
+    let serving = point.report.serving("GrandSLAM").unwrap();
+    // `requests` is the total budget across all merged streams.
+    assert_eq!(serving.len(), spec.requests);
+    // The strictest tenant SLO (1500 ms from the bursty class) clamps the
+    // run below the app default.
+    assert_eq!(
+        serving.slo,
+        janus_simcore::time::SimDuration::from_millis(1500.0)
+    );
+    // The merged timeline genuinely differs from the single-stream run of
+    // the otherwise-identical spec…
+    let mut single = spec.clone();
+    single.tenants = None;
+    let single = run_sweep(&single).unwrap();
+    assert_ne!(
+        serving,
+        single.points[0].report.serving("GrandSLAM").unwrap()
+    );
+    // …and replays bit-identically under the fixed seed.
+    let again = run_sweep(&spec).unwrap();
+    assert_eq!(
+        serving,
+        again.points[0].report.serving("GrandSLAM").unwrap()
+    );
+}
+
+#[test]
 fn every_committed_spec_decodes_and_reencodes_canonically() {
     for file in [
         "smoke.json",
@@ -426,6 +477,7 @@ fn every_committed_spec_decodes_and_reencodes_canonically() {
         "capacity_grid.json",
         "chaos_grid.json",
         "observe_grid.json",
+        "multi_tenant.json",
     ] {
         let spec = golden_spec(file);
         spec.validate().unwrap_or_else(|e| panic!("{file}: {e}"));
