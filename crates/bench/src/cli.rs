@@ -4,8 +4,11 @@
 //! janus list                      # what can run, straight from the registries
 //! janus run <experiment> [flags]  # one experiment by name
 //! janus sweep <spec.json> [flags] # a declarative grid from a spec file
+//!       [--results DIR]           # cache completed cells, skip warm ones
+//!       [--resume] [--force]      # resume an interrupted sweep / rerun all
 //! janus all [flags]               # every registered experiment
 //! janus report <trace.jsonl>      # summarise a flight trace (--out writes CSV)
+//! janus report <results-dir>      # aggregate a results store (--out writes CSV)
 //! janus perf-check [path]         # gate a fresh perf run against the history
 //! janus lint [--json]             # static analysis against the repo invariants
 //! ```
@@ -17,8 +20,8 @@
 use crate::BenchFlags;
 use janus_chaos::FaultRegistry;
 use janus_core::experiments::{
-    check_against, comparable_mean, history_with_entry, latest_baseline, run_sweep_streaming,
-    today_utc, ExperimentRegistry, Scale, SweepSpec, TraceSink,
+    check_against, comparable_mean, history_with_entry, latest_baseline, run_sweep_stored,
+    today_utc, ExperimentRegistry, ResultsReport, Scale, StoreMode, SweepSpec, TraceSink,
 };
 use janus_core::registry::PolicyRegistry;
 use janus_json::Value;
@@ -34,9 +37,15 @@ pub const USAGE: &str = "usage: janus <command> [flags]\n\
     \x20                      autoscalers, admission policies, fault injectors and\n\
     \x20                      observers\n\
     \x20 run <experiment>     run one experiment by name (see `janus list`)\n\
-    \x20 sweep <spec.json>    run a declarative sweep grid from a JSON spec file\n\
+    \x20 sweep <spec.json>    run a declarative sweep grid from a JSON spec file;\n\
+    \x20                      --results DIR caches completed cells content-addressed\n\
+    \x20                      and skips warm ones, --resume requires DIR to exist\n\
+    \x20                      (continue an interrupted sweep), --force reruns and\n\
+    \x20                      overwrites every cell\n\
     \x20 all                  run every registered experiment\n\
-    \x20 report <trace.jsonl> summarise a JSONL flight trace (--out writes CSV)\n\
+    \x20 report <path>        summarise a JSONL flight trace, or aggregate a\n\
+    \x20                      --results directory into per-axis tables (--out\n\
+    \x20                      writes CSV either way)\n\
     \x20 perf-check [path]    rerun perf and fail on regression against the history\n\
     \x20                      at path (default BENCH_perf.json)\n\
     \x20 lint [--json]        scan crates/*/src against the workspace lint rules and\n\
@@ -59,8 +68,17 @@ pub enum Command {
     List,
     /// `janus run <experiment>`
     Run(String),
-    /// `janus sweep <spec.json>`
-    Sweep(String),
+    /// `janus sweep <spec.json> [--results DIR] [--resume] [--force]`
+    Sweep {
+        /// Spec file path.
+        spec: String,
+        /// Results-store directory (`--results DIR`).
+        results: Option<String>,
+        /// Require the store directory to already exist (`--resume`).
+        resume: bool,
+        /// Rerun and overwrite every cell (`--force`).
+        force: bool,
+    },
     /// `janus all`
     All,
     /// `janus report <trace.jsonl>`
@@ -92,7 +110,12 @@ where
         }
         Some("sweep") => {
             let path = next_operand(&mut args, "sweep", "a spec file path")?;
-            Command::Sweep(path)
+            Command::Sweep {
+                spec: path,
+                results: None,
+                resume: false,
+                force: false,
+            }
         }
         Some("report") => {
             let path = next_operand(&mut args, "report", "a trace artefact path")?;
@@ -118,6 +141,61 @@ where
     let mut rest: Vec<String> = args.collect();
     if command == Command::List && !rest.is_empty() {
         return Err("`janus list` takes no flags".into());
+    }
+    if let Command::Sweep {
+        results,
+        resume,
+        force,
+        ..
+    } = &mut command
+    {
+        // The store flags belong to the sweep command, not the shared
+        // experiment flags: strip them here before BenchFlags sees the rest.
+        let mut kept = Vec::with_capacity(rest.len());
+        let mut it = rest.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--results" => {
+                    if results.is_some() {
+                        return Err("--results given twice".into());
+                    }
+                    let value = it
+                        .next()
+                        .ok_or_else(|| "--results needs a directory".to_string())?;
+                    if value.starts_with("--") {
+                        return Err(format!("--results needs a directory, got flag `{value}`"));
+                    }
+                    *results = Some(value);
+                }
+                "--resume" => {
+                    if *resume {
+                        return Err("--resume given twice".into());
+                    }
+                    *resume = true;
+                }
+                "--force" => {
+                    if *force {
+                        return Err("--force given twice".into());
+                    }
+                    *force = true;
+                }
+                _ => kept.push(arg),
+            }
+        }
+        rest = kept;
+        if results.is_none() && (*resume || *force) {
+            return Err(format!(
+                "--{} needs --results DIR (there is no store to {} without one)",
+                if *resume { "resume" } else { "force" },
+                if *resume { "resume from" } else { "overwrite" },
+            ));
+        }
+        if *resume && *force {
+            return Err(
+                "--resume and --force conflict: resume replays warm cells, force reruns them"
+                    .into(),
+            );
+        }
     }
     if let Command::Lint { json } = &mut command {
         // Lint shares only `--out` with the experiment flags; scale, seed
@@ -168,7 +246,12 @@ pub fn execute(command: &Command, flags: &BenchFlags) -> Result<(), String> {
             Ok(())
         }
         Command::Run(name) => run_experiment(name, flags),
-        Command::Sweep(path) => run_sweep_file(path, flags),
+        Command::Sweep {
+            spec,
+            results,
+            resume,
+            force,
+        } => run_sweep_file(spec, results.as_deref(), *resume, *force, flags),
         Command::All => run_all(flags),
         Command::Report(path) => run_report(path, flags),
         Command::PerfCheck(path) => run_perf_check(path.as_deref(), flags),
@@ -260,7 +343,8 @@ fn write_trace(path: &str, name: &str, sink: &TraceSink) -> Result<(), String> {
              (trace-capable experiments: capacity, chaos_resilience)"
         ));
     }
-    std::fs::write(path, &lines).map_err(|e| format!("failed to write trace {path}: {e}"))?;
+    janus_results::write_atomic(std::path::Path::new(path), &lines)
+        .map_err(|e| format!("failed to write trace {path}: {e}"))?;
     eprintln!("traced {path} ({} lines)", lines.lines().count());
     Ok(())
 }
@@ -280,20 +364,32 @@ fn perf_history_doc(path: &str, flags: &BenchFlags, result: Value) -> Result<Val
 }
 
 fn run_report(path: &str, flags: &BenchFlags) -> Result<(), String> {
+    // A directory is a results store (`janus sweep --results DIR`); a file
+    // is a JSONL flight trace. Either way `--out` writes CSV.
+    if std::path::Path::new(path).is_dir() {
+        let store = janus_results::ResultsStore::open_existing(std::path::Path::new(path))?;
+        let report = ResultsReport::from_store(&store)?;
+        print!("{}", report.render());
+        write_csv_out(flags, &report.to_csv())?;
+        return Ok(());
+    }
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
     let report = TraceReport::from_jsonl(&text).map_err(|e| format!("trace `{path}`: {e}"))?;
     print!("{}", report.render());
-    // `--out` writes the telemetry as CSV (not JSON: the artefact is a
-    // spreadsheet-ready table, already decode-checked via from_jsonl).
-    if let Some(out) = &flags.out {
-        let csv = report.to_csv();
-        std::fs::write(out, &csv).map_err(|e| format!("failed to write {out}: {e}"))?;
-        eprintln!(
-            "wrote {out} (CSV, {} data rows)",
-            csv.lines().count().saturating_sub(1)
-        );
-    }
+    // The telemetry artefact is CSV, not JSON: a spreadsheet-ready table,
+    // already decode-checked via from_jsonl.
+    write_csv_out(flags, &report.to_csv())
+}
+
+fn write_csv_out(flags: &BenchFlags, csv: &str) -> Result<(), String> {
+    let Some(out) = &flags.out else { return Ok(()) };
+    janus_results::write_atomic(std::path::Path::new(out), csv)
+        .map_err(|e| format!("failed to write {out}: {e}"))?;
+    eprintln!(
+        "wrote {out} (CSV, {} data rows)",
+        csv.lines().count().saturating_sub(1)
+    );
     Ok(())
 }
 
@@ -413,10 +509,30 @@ pub fn apply_flags_to_spec(spec: &mut SweepSpec, flags: &BenchFlags) {
     }
 }
 
-fn run_sweep_file(path: &str, flags: &BenchFlags) -> Result<(), String> {
+fn run_sweep_file(
+    path: &str,
+    results: Option<&str>,
+    resume: bool,
+    force: bool,
+    flags: &BenchFlags,
+) -> Result<(), String> {
+    let store = match results {
+        // `--resume` insists the directory exists: resuming a sweep that
+        // never started is almost always a mistyped path.
+        Some(dir) if resume => Some(janus_results::ResultsStore::open_existing(
+            std::path::Path::new(dir),
+        )?),
+        Some(dir) => Some(janus_results::ResultsStore::open(std::path::Path::new(
+            dir,
+        ))?),
+        None => None,
+    };
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read spec `{path}`: {e}"))?;
     let mut spec = SweepSpec::from_str(&text).map_err(|e| format!("spec `{path}`: {e}"))?;
+    // Flags apply before the store lookup so the cache is keyed by the
+    // *effective* per-point spec: `--quick` and `--seed` runs hash to their
+    // own cells rather than colliding with paper-scale ones.
     apply_flags_to_spec(&mut spec, flags);
     let total = spec.grid_size();
     println!(
@@ -425,10 +541,28 @@ fn run_sweep_file(path: &str, flags: &BenchFlags) -> Result<(), String> {
         total,
         spec.policies.len()
     );
-    let result = run_sweep_streaming(&spec, &|point| {
+    let mode = if force {
+        StoreMode::Force
+    } else {
+        StoreMode::Reuse
+    };
+    let result = run_sweep_stored(&spec, store.as_ref().map(|s| (s, mode)), &|point| {
         println!("{}", point.progress_line(total));
     })?;
     print!("{result}");
+    if let Some(dir) = results {
+        let hits = result.cache_hits;
+        let ran = result.points.len() - hits;
+        let pct = if result.points.is_empty() {
+            100.0
+        } else {
+            hits as f64 * 100.0 / result.points.len() as f64
+        };
+        println!(
+            "results {dir}: {hits}/{} cells cached ({pct:.0}%), {ran} run",
+            result.points.len()
+        );
+    }
     let written = janus_core::experiments::ToJson::to_json(&result);
     flags.write_out_value(&written);
     flags.verify_out(&written);
@@ -493,7 +627,40 @@ mod tests {
         assert_eq!(flags.scale, Scale::Quick);
         assert_eq!(flags.seed, Some(3));
         let (cmd, _) = parse_cli(&["sweep", "specs/smoke.json"]).unwrap();
-        assert_eq!(cmd, Command::Sweep("specs/smoke.json".into()));
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                spec: "specs/smoke.json".into(),
+                results: None,
+                resume: false,
+                force: false,
+            }
+        );
+        // The store flags are sweep-specific and compose with shared flags.
+        let (cmd, flags) =
+            parse_cli(&["sweep", "s.json", "--results", "results", "--quick"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                spec: "s.json".into(),
+                results: Some("results".into()),
+                resume: false,
+                force: false,
+            }
+        );
+        assert_eq!(flags.scale, Scale::Quick);
+        let (cmd, _) = parse_cli(&["sweep", "s.json", "--resume", "--results", "results"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                spec: "s.json".into(),
+                results: Some("results".into()),
+                resume: true,
+                force: false,
+            }
+        );
+        let (cmd, _) = parse_cli(&["sweep", "s.json", "--results", "r", "--force"]).unwrap();
+        assert!(matches!(cmd, Command::Sweep { force: true, .. }));
         let (cmd, flags) = parse_cli(&["run", "capacity", "--trace", "out.jsonl"]).unwrap();
         assert_eq!(cmd, Command::Run("capacity".into()));
         assert_eq!(flags.trace.as_deref(), Some("out.jsonl"));
@@ -528,6 +695,23 @@ mod tests {
         assert!(err.contains("got flag `--quick`"), "{err}");
         let err = parse_cli(&["sweep"]).unwrap_err();
         assert!(err.contains("needs a spec file path"), "{err}");
+        // Store-flag misuse fails in parse, before any session is spent.
+        let err = parse_cli(&["sweep", "s.json", "--results"]).unwrap_err();
+        assert!(err.contains("--results needs a directory"), "{err}");
+        let err = parse_cli(&["sweep", "s.json", "--results", "--quick"]).unwrap_err();
+        assert!(err.contains("got flag `--quick`"), "{err}");
+        let err = parse_cli(&["sweep", "s.json", "--resume"]).unwrap_err();
+        assert!(err.contains("--resume needs --results"), "{err}");
+        let err = parse_cli(&["sweep", "s.json", "--force"]).unwrap_err();
+        assert!(err.contains("--force needs --results"), "{err}");
+        let err =
+            parse_cli(&["sweep", "s.json", "--results", "r", "--resume", "--force"]).unwrap_err();
+        assert!(err.contains("--resume and --force conflict"), "{err}");
+        let err = parse_cli(&["sweep", "s.json", "--results", "r", "--results", "r"]).unwrap_err();
+        assert!(err.contains("--results given twice"), "{err}");
+        // Run/report do not accept the sweep-only store flags.
+        let err = parse_cli(&["run", "perf", "--results", "r"]).unwrap_err();
+        assert!(err.contains("unknown flag `--results`"), "{err}");
         let err = parse_cli(&["report"]).unwrap_err();
         assert!(err.contains("needs a trace artefact path"), "{err}");
         let err = parse_cli(&["report", "--quick"]).unwrap_err();
@@ -555,11 +739,29 @@ mod tests {
         assert!(err.contains("unknown experiment `fig99`"), "{err}");
         assert!(err.contains("perf"), "{err}");
         let err = execute(
-            &Command::Sweep("specs/no_such_spec.json".into()),
+            &Command::Sweep {
+                spec: "specs/no_such_spec.json".into(),
+                results: None,
+                resume: false,
+                force: false,
+            },
             &BenchFlags::default(),
         )
         .unwrap_err();
         assert!(err.contains("cannot read spec"), "{err}");
+        // `--resume` against a directory that was never created is an
+        // error, caught before any cell runs.
+        let err = execute(
+            &Command::Sweep {
+                spec: "specs/smoke.json".into(),
+                results: Some(temp_path("janus_cli_never_created_store")),
+                resume: true,
+                force: false,
+            },
+            &BenchFlags::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("nothing to resume"), "{err}");
     }
 
     #[test]
@@ -677,6 +879,70 @@ mod tests {
         assert!(err.contains("emitted no trace lines"), "{err}");
         let _ = std::fs::remove_file(&trace_path);
         let _ = std::fs::remove_file(&csv_path);
+    }
+
+    #[test]
+    fn sweep_results_store_resumes_and_reports_end_to_end() {
+        let spec_path = temp_path("janus_cli_store_spec.json");
+        let dir = temp_path("janus_cli_store_results");
+        let csv_path = temp_path("janus_cli_store_report.csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::write(
+            &spec_path,
+            r#"{
+                "name": "cli-store",
+                "app": "IA",
+                "concurrency": 1,
+                "policies": ["GrandSLAM"],
+                "scenarios": ["poisson"],
+                "loads_rps": [2],
+                "seeds": [7, 11],
+                "requests": 30,
+                "samples_per_point": 250,
+                "budget_step_ms": 10
+            }"#,
+        )
+        .unwrap();
+        let flags = BenchFlags {
+            scale: Scale::Quick,
+            ..BenchFlags::default()
+        };
+        let cold = Command::Sweep {
+            spec: spec_path.clone(),
+            results: Some(dir.clone()),
+            resume: false,
+            force: false,
+        };
+        execute(&cold, &flags).unwrap();
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            2,
+            "one cell file per grid point"
+        );
+        // A warm `--resume` replays both cells without touching the store.
+        let warm = Command::Sweep {
+            spec: spec_path.clone(),
+            results: Some(dir.clone()),
+            resume: true,
+            force: false,
+        };
+        execute(&warm, &flags).unwrap();
+
+        // `janus report <dir>` aggregates the store; `--out` writes CSV.
+        let report_flags = BenchFlags {
+            out: Some(csv_path.clone()),
+            ..BenchFlags::default()
+        };
+        execute(&Command::Report(dir.clone()), &report_flags).unwrap();
+        let csv = std::fs::read_to_string(&csv_path).expect("csv written");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one row per (cell, policy): {csv}");
+        assert!(lines[0].starts_with("scenario,rps,seed,"), "{csv}");
+        assert!(lines[1].contains("GrandSLAM"), "{csv}");
+
+        let _ = std::fs::remove_file(&spec_path);
+        let _ = std::fs::remove_file(&csv_path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -219,7 +219,10 @@ impl BenchFlags {
         let Some(path) = &self.out else { return };
         let mut doc = value.to_pretty();
         doc.push('\n');
-        match std::fs::write(path, doc) {
+        // Atomic (temp-file + rename): an interrupted run never truncates an
+        // existing artefact — in particular the appended BENCH_perf.json
+        // history keeps either the old entries or old + new, never neither.
+        match janus_results::write_atomic(std::path::Path::new(path), &doc) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");

@@ -134,12 +134,21 @@ impl TraceSink {
         Self::default()
     }
 
+    // The buffer is a plain String, valid at every intermediate state, so a
+    // panic on another thread cannot leave it torn: recover the guard from a
+    // poisoned lock instead of propagating the panic into trace writing.
+    fn lock(&self) -> std::sync::MutexGuard<'_, String> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Append a block of JSONL lines, ensuring it stays newline-terminated.
     pub fn append(&self, lines: &str) {
         if lines.is_empty() {
             return;
         }
-        let mut buf = self.0.lock().expect("trace sink poisoned");
+        let mut buf = self.lock();
         buf.push_str(lines);
         if !lines.ends_with('\n') {
             buf.push('\n');
@@ -148,12 +157,12 @@ impl TraceSink {
 
     /// Take the collected lines out, leaving the sink empty.
     pub fn take(&self) -> String {
-        std::mem::take(&mut *self.0.lock().expect("trace sink poisoned"))
+        std::mem::take(&mut *self.lock())
     }
 
     /// True while nothing has been appended.
     pub fn is_empty(&self) -> bool {
-        self.0.lock().expect("trace sink poisoned").is_empty()
+        self.lock().is_empty()
     }
 }
 

@@ -26,6 +26,7 @@ pub mod overall;
 pub mod perf;
 pub mod perf_history;
 pub mod report_json;
+pub mod results_report;
 pub mod scenario_sweep;
 pub mod slo_sweep;
 pub mod spec;
@@ -56,12 +57,16 @@ pub use perf_history::{
     HISTORY_EXPERIMENT, REGRESSION_TOLERANCE,
 };
 pub use report_json::ToJson;
+pub use results_report::{ResultsReport, ResultsRow};
 pub use scenario_sweep::{
     scenario_sweep, scenario_sweep_with, ScenarioCell, ScenarioSweepConfig, ScenarioSweepResult,
 };
 pub use slo_sweep::{fig9_slo_sweep, Fig9Result};
 pub use spec::{SessionSpec, SweepSpec};
-pub use sweep::{run_sweep, run_sweep_streaming, SweepPoint, SweepResult};
+pub use sweep::{
+    run_sweep, run_sweep_stored, run_sweep_streaming, PolicyCell, StoreMode, SweepPoint,
+    SweepResult, RESULTS_EPOCH,
+};
 pub use synthesis::{
     fig6_exploration_cost, fig8_hint_counts, overhead_report, table2_weight_impact, Fig6Result,
     Fig8Result, OverheadResult, Table2Result,

@@ -17,6 +17,15 @@
 //! completes (from the worker thread that ran it) — the `janus` CLI uses it
 //! to print progress lines while a long grid is still running.
 //!
+//! [`run_sweep_stored`] adds the content-addressed results store
+//! (`janus-results`): before a point runs, the store is consulted under the
+//! hash of the point's fully-resolved [`SessionSpec`] document plus
+//! [`RESULTS_EPOCH`]; hits are replayed from disk without building a
+//! session, and misses are written back atomically as they complete. A
+//! replayed grid reproduces the cold run's [`SweepResult`] byte for byte:
+//! every figure the aggregate carries — including per-point `wall_ms` — is
+//! persisted in the cell file, not recomputed.
+//!
 //! Every name in the spec is resolved against the built-in registries
 //! *before* anything runs, and the error points at the offending spec key
 //! (`` `policies[2]`: unknown policy … ``), so a typo fails in milliseconds
@@ -28,11 +37,12 @@ use crate::experiments::perf::{rate_per_sec, MIN_WALL_MS};
 use crate::experiments::spec::{SessionSpec, SweepSpec};
 use crate::experiments::ToJson;
 use crate::registry::PolicyRegistry;
-use crate::session::SessionReport;
+use crate::session::{PolicyReport, SessionReport};
 use janus_json::Value;
 use janus_platform::capacity::{AdmissionRegistry, AutoscalerRegistry};
 use janus_platform::metrics::ServingMetrics;
 use janus_platform::openloop::OpenLoopArena;
+use janus_results::ResultsStore;
 use janus_scenarios::ScenarioRegistry;
 use janus_simcore::metrics::MetricsRegistry;
 use rayon::prelude::*;
@@ -40,21 +50,203 @@ use std::fmt;
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
+/// Cache epoch covered by every cell hash. Bump this when engine semantics
+/// change — scheduler behaviour, metric definitions, scenario generators —
+/// so every previously stored cell stops matching at once. Old-epoch files
+/// are unreachable rather than invalid: the epoch is inside the hash, so a
+/// stale file is simply never looked up again.
+pub const RESULTS_EPOCH: u32 = 1;
+
+/// How a results store participates in a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreMode {
+    /// Consult the store before each point; replay hits, run and save misses.
+    Reuse,
+    /// Ignore existing cells, run everything, overwrite the store.
+    Force,
+}
+
+/// The summary figures one policy produced at one grid point — exactly the
+/// numbers the sweep's table and JSON views publish. This is the unit the
+/// results store persists: small enough to keep thousands of cells on disk,
+/// complete enough that a cache replay renders identically to a live run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCell {
+    /// Registered policy name.
+    pub name: String,
+    /// Fraction of served requests inside SLO.
+    pub slo_attainment: f64,
+    /// Mean per-request CPU in millicores.
+    pub mean_cpu_millicores: f64,
+    /// p99 end-to-end latency in seconds (`None` when nothing was served).
+    pub p99_e2e_s: Option<f64>,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Requests failed by faults.
+    pub failed: u64,
+    /// Requests retried after node loss.
+    pub retried: u64,
+    /// Nodes lost to injected faults.
+    pub nodes_lost: u64,
+    /// Node-seconds of fleet capacity (`None` without a capacity report).
+    pub node_seconds: Option<f64>,
+}
+
+fn field_num(doc: &Value, key: &str) -> Result<f64, String> {
+    doc.require(key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` must be a number"))
+}
+
+fn field_opt_num(doc: &Value, key: &str) -> Result<Option<f64>, String> {
+    match doc.require(key)? {
+        Value::Null => Ok(None),
+        v => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a number or null")),
+    }
+}
+
+fn field_count(doc: &Value, key: &str) -> Result<u64, String> {
+    let n = field_num(doc, key)?;
+    // janus-lint: allow(float-cmp) — exactness is the point: fract() must be exactly zero for an integer-valued f64
+    if !n.is_finite() || n < 0.0 || n.fract() != 0.0 || n >= 9_007_199_254_740_992.0 {
+        return Err(format!(
+            "field `{key}` must be a non-negative integer, got {n}"
+        ));
+    }
+    Ok(n as u64)
+}
+
+impl PolicyCell {
+    /// Extract the published figures from a live policy report.
+    pub fn from_report(report: &PolicyReport) -> Self {
+        Self {
+            name: report.name.clone(),
+            slo_attainment: report.slo_attainment(),
+            mean_cpu_millicores: report.serving.mean_cpu_millicores(),
+            p99_e2e_s: report.serving.e2e_percentile(99.0).map(|d| d.as_secs()),
+            served: report.serving.served_len() as u64,
+            shed: report.serving.shed_len() as u64,
+            failed: report.serving.failed_len() as u64,
+            retried: report
+                .serving
+                .capacity
+                .as_ref()
+                .map_or(0, |c| c.retried as u64),
+            nodes_lost: report
+                .serving
+                .capacity
+                .as_ref()
+                .map_or(0, |c| c.nodes_lost as u64),
+            node_seconds: report.serving.capacity.as_ref().map(|c| c.node_seconds),
+        }
+    }
+
+    /// The JSON object published per policy per point (the schema `--out`
+    /// files have always carried; the results store reuses it verbatim).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            (
+                "slo_attainment".to_string(),
+                Value::Num(self.slo_attainment),
+            ),
+            (
+                "mean_cpu_millicores".to_string(),
+                Value::Num(self.mean_cpu_millicores),
+            ),
+            (
+                "p99_e2e_s".to_string(),
+                self.p99_e2e_s.map(Value::Num).unwrap_or(Value::Null),
+            ),
+            ("served".to_string(), Value::Num(self.served as f64)),
+            ("shed".to_string(), Value::Num(self.shed as f64)),
+            ("failed".to_string(), Value::Num(self.failed as f64)),
+            ("retried".to_string(), Value::Num(self.retried as f64)),
+            ("nodes_lost".to_string(), Value::Num(self.nodes_lost as f64)),
+            (
+                "node_seconds".to_string(),
+                self.node_seconds.map(Value::Num).unwrap_or(Value::Null),
+            ),
+        ])
+    }
+
+    /// Strict inverse of [`to_json`](PolicyCell::to_json): every field
+    /// present and well-typed, errors naming the offending key.
+    pub fn from_json(doc: &Value) -> Result<Self, String> {
+        Ok(Self {
+            name: doc
+                .require("name")?
+                .as_str()
+                .ok_or_else(|| "field `name` must be a string".to_string())?
+                .to_string(),
+            slo_attainment: field_num(doc, "slo_attainment")?,
+            mean_cpu_millicores: field_num(doc, "mean_cpu_millicores")?,
+            p99_e2e_s: field_opt_num(doc, "p99_e2e_s")?,
+            served: field_count(doc, "served")?,
+            shed: field_count(doc, "shed")?,
+            failed: field_count(doc, "failed")?,
+            retried: field_count(doc, "retried")?,
+            nodes_lost: field_count(doc, "nodes_lost")?,
+            node_seconds: field_opt_num(doc, "node_seconds")?,
+        })
+    }
+}
+
+/// The result document a stored cell carries: the per-policy figures of one
+/// grid point.
+fn cell_result_json(policies: &[PolicyCell]) -> Value {
+    Value::Obj(vec![(
+        "policies".to_string(),
+        Value::Arr(policies.iter().map(PolicyCell::to_json).collect()),
+    )])
+}
+
+fn decode_cell_result(result: &Value) -> Result<Vec<PolicyCell>, String> {
+    let arr = result
+        .require("policies")?
+        .as_array()
+        .ok_or_else(|| "field `policies` must be an array".to_string())?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, v)| PolicyCell::from_json(v).map_err(|e| format!("`policies[{i}]`: {e}")))
+        .collect()
+}
+
 /// One completed grid point: the session spec that described it and the
-/// invariant-checked report it produced.
+/// per-policy figures it produced — live or replayed from the results store.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Position in grid (expansion) order.
     pub index: usize,
     /// The resolved per-point spec.
     pub session: SessionSpec,
-    /// The session report (one `PolicyReport` per policy).
-    pub report: SessionReport,
-    /// Wall-clock time of the point, in ms (clamped to stay positive).
+    /// Published figures, one [`PolicyCell`] per policy in spec order.
+    pub policies: Vec<PolicyCell>,
+    /// The full session report — present only when the point actually ran
+    /// this process (`None` for cache replays, which carry just the
+    /// published figures).
+    pub report: Option<SessionReport>,
+    /// Wall-clock time of the point, in ms (clamped to stay positive). For
+    /// replayed points this is the *original* run's cost, read back from the
+    /// store, so aggregates reproduce byte-identically.
     pub wall_ms: f64,
+    /// Whether this point was replayed from the results store.
+    pub cached: bool,
 }
 
 impl SweepPoint {
+    /// The full report of a point that ran live in this process. Cache
+    /// replays return `None`: the store keeps published figures, not raw
+    /// per-request outcome vectors.
+    pub fn live_report(&self) -> Option<&SessionReport> {
+        self.report.as_ref()
+    }
+
     /// One-line progress summary (`janus sweep` streams these as points
     /// complete).
     pub fn progress_line(&self, total: usize) -> String {
@@ -68,12 +260,12 @@ impl SweepPoint {
             self.session.observer.as_deref().map(str::to_string),
         ];
         let axes: Vec<String> = axes.into_iter().flatten().collect();
-        format!(
-            "[{}/{total}] {} ({:.0} ms)",
-            self.index + 1,
-            axes.join(" x "),
-            self.wall_ms
-        )
+        let cost = if self.cached {
+            "cached".to_string()
+        } else {
+            format!("{:.0} ms", self.wall_ms)
+        };
+        format!("[{}/{total}] {} ({cost})", self.index + 1, axes.join(" x "))
     }
 }
 
@@ -84,8 +276,14 @@ pub struct SweepResult {
     pub spec: SweepSpec,
     /// Completed points, in grid order.
     pub points: Vec<SweepPoint>,
-    /// Wall-clock time of the whole sweep, in ms.
+    /// Aggregate compute cost in ms: the sum of per-point wall time. Cached
+    /// points contribute their *original* cost, so a fully warm replay
+    /// reports the same total as the cold run it reproduces.
     pub total_wall_ms: f64,
+    /// How many points were replayed from the results store (0 for
+    /// storeless runs). Not serialised: the JSON view must be byte-identical
+    /// between cold and warm runs.
+    pub cache_hits: usize,
 }
 
 impl SweepResult {
@@ -112,7 +310,7 @@ impl SweepResult {
 
     /// Cross-point invariants on top of each session's own validation: the
     /// grid is complete, ordered exactly as the spec expands, and every
-    /// report served the spec's policies.
+    /// point carries the spec's policies.
     pub fn validate(&self) -> Result<(), String> {
         let expected = self.spec.expand();
         if self.points.len() != expected.len() {
@@ -129,7 +327,7 @@ impl SweepResult {
             if &point.session != spec {
                 return Err(format!("point {i} ran a different spec than expanded"));
             }
-            let names = point.report.names();
+            let names: Vec<&str> = point.policies.iter().map(|c| c.name.as_str()).collect();
             let expected_names: Vec<&str> = self.spec.policies.iter().map(String::as_str).collect();
             if names != expected_names {
                 return Err(format!(
@@ -170,7 +368,7 @@ impl fmt::Display for SweepResult {
             "failed"
         )?;
         for point in &self.points {
-            for policy in &point.report.policies {
+            for cell in &point.policies {
                 writeln!(
                     f,
                     "{:>14} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12} {:>10.1} {:>10.1} {:>9} \
@@ -181,16 +379,14 @@ impl fmt::Display for SweepResult {
                     point.session.autoscaler.as_deref().unwrap_or("-"),
                     point.session.admission.as_deref().unwrap_or("-"),
                     point.session.fault.as_deref().unwrap_or("-"),
-                    policy.name,
-                    policy.slo_attainment() * 100.0,
-                    policy.serving.mean_cpu_millicores(),
-                    policy
-                        .serving
-                        .e2e_percentile(99.0)
-                        .map(|d| format!("{:.2}", d.as_secs()))
+                    cell.name,
+                    cell.slo_attainment * 100.0,
+                    cell.mean_cpu_millicores,
+                    cell.p99_e2e_s
+                        .map(|s| format!("{s:.2}"))
                         .unwrap_or_else(|| "-".into()),
-                    policy.serving.shed_len(),
-                    policy.serving.failed_len(),
+                    cell.shed,
+                    cell.failed,
                 )?;
             }
         }
@@ -204,60 +400,12 @@ impl ToJson for SweepResult {
             .points
             .iter()
             .map(|point| {
-                let policies = point
-                    .report
-                    .policies
-                    .iter()
-                    .map(|p| {
-                        Value::Obj(vec![
-                            ("name".to_string(), Value::Str(p.name.clone())),
-                            ("slo_attainment".to_string(), Value::Num(p.slo_attainment())),
-                            (
-                                "mean_cpu_millicores".to_string(),
-                                Value::Num(p.serving.mean_cpu_millicores()),
-                            ),
-                            (
-                                "p99_e2e_s".to_string(),
-                                p.serving
-                                    .e2e_percentile(99.0)
-                                    .map(|d| Value::Num(d.as_secs()))
-                                    .unwrap_or(Value::Null),
-                            ),
-                            (
-                                "served".to_string(),
-                                Value::Num(p.serving.served_len() as f64),
-                            ),
-                            ("shed".to_string(), Value::Num(p.serving.shed_len() as f64)),
-                            (
-                                "failed".to_string(),
-                                Value::Num(p.serving.failed_len() as f64),
-                            ),
-                            (
-                                "retried".to_string(),
-                                Value::Num(
-                                    p.serving.capacity.as_ref().map_or(0, |c| c.retried) as f64
-                                ),
-                            ),
-                            (
-                                "nodes_lost".to_string(),
-                                Value::Num(
-                                    p.serving.capacity.as_ref().map_or(0, |c| c.nodes_lost) as f64
-                                ),
-                            ),
-                            (
-                                "node_seconds".to_string(),
-                                p.serving
-                                    .capacity
-                                    .as_ref()
-                                    .map(|c| Value::Num(c.node_seconds))
-                                    .unwrap_or(Value::Null),
-                            ),
-                        ])
-                    })
-                    .collect();
                 Value::Obj(vec![
                     ("session".to_string(), point.session.to_json()),
-                    ("policies".to_string(), Value::Arr(policies)),
+                    (
+                        "policies".to_string(),
+                        Value::Arr(point.policies.iter().map(PolicyCell::to_json).collect()),
+                    ),
                     ("wall_ms".to_string(), Value::Num(point.wall_ms)),
                     (
                         "points_per_sec".to_string(),
@@ -326,29 +474,65 @@ fn resolve_names(spec: &SweepSpec) -> Result<(), String> {
     Ok(())
 }
 
-/// Run a sweep, invoking `on_point` as each grid point completes (from the
-/// worker thread that ran it; points of one stripe complete in order, but
-/// stripes interleave). The returned result is in grid order regardless.
-pub fn run_sweep_streaming(
+/// Run a sweep against an optional results store, invoking `on_point` as
+/// each grid point completes (cache replays first, in grid order from the
+/// calling thread; live points from the worker threads that ran them).
+///
+/// With `Some((store, StoreMode::Reuse))`, each expanded point is looked up
+/// under `hash(session spec doc + RESULTS_EPOCH)` before anything is built:
+/// hits replay from disk (no session, no arena), misses run as usual and
+/// are written back atomically on completion. With `StoreMode::Force`, the
+/// lookup is skipped and every completed point overwrites its cell. The
+/// returned result is in grid order and byte-identical (Display and JSON)
+/// whether points ran live or replayed.
+pub fn run_sweep_stored(
     spec: &SweepSpec,
+    store: Option<(&ResultsStore, StoreMode)>,
     on_point: &(dyn Fn(&SweepPoint) + Sync),
 ) -> Result<SweepResult, String> {
     spec.validate()?;
     resolve_names(spec)?;
-    // janus-lint: allow(nondeterminism) — wall-clock sweep cost, reported as metadata; point results are seed-pure
-    let started = Instant::now();
-    let points = spec.expand();
-    let total = points.len();
+    let expanded = spec.expand();
+    let total = expanded.len();
+
+    // Partition the grid: replayable hits vs points that must run. The
+    // lookup hashes the fully-resolved per-point document, so any edit to
+    // any axis value changes the key and re-runs exactly the changed cells.
+    let mut replayed: Vec<SweepPoint> = Vec::new();
+    let mut to_run: Vec<(usize, SessionSpec)> = Vec::new();
+    for (index, session_spec) in expanded.into_iter().enumerate() {
+        let hit = match store {
+            Some((s, StoreMode::Reuse)) => s.load(&session_spec.to_json(), RESULTS_EPOCH)?,
+            _ => None,
+        };
+        match hit {
+            Some(stored) => {
+                let policies = decode_cell_result(&stored.result)
+                    .map_err(|e| format!("cached point {index} (key `{}`): {e}", stored.key))?;
+                let point = SweepPoint {
+                    index,
+                    session: session_spec,
+                    policies,
+                    report: None,
+                    wall_ms: stored.wall_ms,
+                    cached: true,
+                };
+                on_point(&point);
+                replayed.push(point);
+            }
+            None => to_run.push((index, session_spec)),
+        }
+    }
+    let cache_hits = replayed.len();
 
     // Contiguous stripes, one per worker: each stripe shares one arena and
     // one set of interned metric handles across all its points.
     let threads = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
-        .min(total.max(1));
-    let stripe_len = total.div_ceil(threads);
-    let indexed: Vec<(usize, SessionSpec)> = points.into_iter().enumerate().collect();
-    let stripes: Vec<Vec<(usize, SessionSpec)>> = indexed
+        .min(to_run.len().max(1));
+    let stripe_len = to_run.len().div_ceil(threads);
+    let stripes: Vec<Vec<(usize, SessionSpec)>> = to_run
         .chunks(stripe_len.max(1))
         .map(<[_]>::to_vec)
         .collect();
@@ -375,11 +559,28 @@ pub fn run_sweep_streaming(
                 let report = session
                     .run_in(&mut arena, &metrics_registry, &metrics)
                     .map_err(context)?;
+                let policies: Vec<PolicyCell> = report
+                    .policies
+                    .iter()
+                    .map(PolicyCell::from_report)
+                    .collect();
+                let wall_ms = (point_started.elapsed().as_secs_f64() * 1000.0).max(MIN_WALL_MS);
+                if let Some((s, _)) = store {
+                    s.save(
+                        &session_spec.to_json(),
+                        RESULTS_EPOCH,
+                        wall_ms,
+                        &cell_result_json(&policies),
+                    )
+                    .map_err(context)?;
+                }
                 let point = SweepPoint {
                     index,
                     session: session_spec,
-                    report,
-                    wall_ms: (point_started.elapsed().as_secs_f64() * 1000.0).max(MIN_WALL_MS),
+                    policies,
+                    report: Some(report),
+                    wall_ms,
+                    cached: false,
                 };
                 on_point(&point);
                 done.push(point);
@@ -387,21 +588,39 @@ pub fn run_sweep_streaming(
             Ok(done)
         })
         .collect();
-    let mut points = Vec::with_capacity(total);
+
+    let mut points = replayed;
+    points.reserve(total.saturating_sub(points.len()));
     for stripe in completed {
         points.extend(stripe?);
     }
+    points.sort_by_key(|p| p.index);
 
     let result = SweepResult {
         spec: spec.clone(),
+        total_wall_ms: points
+            .iter()
+            .map(|p| p.wall_ms)
+            .sum::<f64>()
+            .max(MIN_WALL_MS),
         points,
-        total_wall_ms: (started.elapsed().as_secs_f64() * 1000.0).max(MIN_WALL_MS),
+        cache_hits,
     };
     result.validate()?;
     Ok(result)
 }
 
-/// Run a sweep without progress streaming.
+/// Run a sweep with no results store, invoking `on_point` as each point
+/// completes (from the worker thread that ran it; points of one stripe
+/// complete in order, but stripes interleave).
+pub fn run_sweep_streaming(
+    spec: &SweepSpec,
+    on_point: &(dyn Fn(&SweepPoint) + Sync),
+) -> Result<SweepResult, String> {
+    run_sweep_stored(spec, None, on_point)
+}
+
+/// Run a sweep without progress streaming or a results store.
 pub fn run_sweep(spec: &SweepSpec) -> Result<SweepResult, String> {
     run_sweep_streaming(spec, &|_| {})
 }
@@ -444,6 +663,7 @@ mod tests {
         .unwrap();
         assert_eq!(streamed.load(Ordering::SeqCst), 4);
         assert_eq!(result.points.len(), 4);
+        assert_eq!(result.cache_hits, 0);
         result.validate().unwrap();
         // Grid order: poisson/7, poisson/11, flash-crowd/7, flash-crowd/11.
         let scenarios: Vec<_> = result
@@ -464,14 +684,14 @@ mod tests {
         let a = result.point("poisson", 2.0, 7, None, None, None).unwrap();
         let b = result.point("poisson", 2.0, 11, None, None, None).unwrap();
         assert_ne!(
-            a.report.serving("Janus").unwrap(),
-            b.report.serving("Janus").unwrap()
+            a.live_report().unwrap().serving("Janus").unwrap(),
+            b.live_report().unwrap().serving("Janus").unwrap()
         );
         let rerun = run_sweep(&spec).unwrap();
         for (x, y) in result.points.iter().zip(&rerun.points) {
             assert_eq!(
-                x.report.serving("GrandSLAM").unwrap(),
-                y.report.serving("GrandSLAM").unwrap()
+                x.live_report().unwrap().serving("GrandSLAM").unwrap(),
+                y.live_report().unwrap().serving("GrandSLAM").unwrap()
             );
         }
         // Display and JSON views cover every point.
@@ -480,6 +700,135 @@ mod tests {
         let doc = janus_json::parse(&result.to_json().to_pretty()).unwrap();
         assert_eq!(doc.require("points").unwrap().as_array().unwrap().len(), 4);
         assert_eq!(doc.require("experiment").unwrap().as_str(), Some("sweep"));
+    }
+
+    #[test]
+    fn policy_cells_round_trip_through_json() {
+        let cell = PolicyCell {
+            name: "Janus".into(),
+            slo_attainment: 0.9725,
+            mean_cpu_millicores: 412.03125,
+            p99_e2e_s: Some(1.75),
+            served: 58,
+            shed: 2,
+            failed: 0,
+            retried: 3,
+            nodes_lost: 1,
+            node_seconds: Some(360.5),
+        };
+        let doc = janus_json::parse(&cell.to_json().to_pretty()).unwrap();
+        assert_eq!(PolicyCell::from_json(&doc).unwrap(), cell);
+        // Optional fields survive as null.
+        let sparse = PolicyCell {
+            p99_e2e_s: None,
+            node_seconds: None,
+            ..cell.clone()
+        };
+        let doc = janus_json::parse(&sparse.to_json().to_pretty()).unwrap();
+        assert_eq!(PolicyCell::from_json(&doc).unwrap(), sparse);
+        // Corrupt counts fail with the key named.
+        let mut bad = doc.clone();
+        if let Value::Obj(members) = &mut bad {
+            for (k, v) in members.iter_mut() {
+                if k == "served" {
+                    *v = Value::Num(-3.0);
+                }
+            }
+        }
+        let err = PolicyCell::from_json(&bad).unwrap_err();
+        assert!(err.contains("`served`"), "{err}");
+    }
+
+    fn temp_store(tag: &str) -> (ResultsStore, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("janus-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultsStore::open(&dir).expect("open store");
+        (store, dir)
+    }
+
+    #[test]
+    fn warm_store_replays_byte_identically_with_zero_sessions_run() {
+        let spec = tiny_spec();
+        let (store, dir) = temp_store("replay");
+
+        let cold = run_sweep_stored(&spec, Some((&store, StoreMode::Reuse)), &|_| {}).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(store.load_all().unwrap().len(), 4);
+
+        let ran = AtomicUsize::new(0);
+        let warm = run_sweep_stored(&spec, Some((&store, StoreMode::Reuse)), &|point| {
+            if !point.cached {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }
+            assert!(point.progress_line(4).contains("cached"));
+        })
+        .unwrap();
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            0,
+            "warm run must not run sessions"
+        );
+        assert_eq!(warm.cache_hits, 4);
+        assert!(warm.points.iter().all(|p| p.live_report().is_none()));
+
+        // The aggregate views are byte-identical between cold and warm.
+        assert_eq!(format!("{cold}"), format!("{warm}"));
+        assert_eq!(cold.to_json().to_pretty(), warm.to_json().to_pretty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn editing_one_axis_reruns_only_the_changed_cells() {
+        let spec = tiny_spec();
+        let (store, dir) = temp_store("edit");
+        run_sweep_stored(&spec, Some((&store, StoreMode::Reuse)), &|_| {}).unwrap();
+
+        // Adding a seed keeps the original 4 cells warm and runs only the
+        // 2 new (scenario x new-seed) points.
+        let edited = SweepSpec {
+            seeds: vec![7, 11, 13],
+            ..tiny_spec()
+        };
+        let ran = AtomicUsize::new(0);
+        let result = run_sweep_stored(&edited, Some((&store, StoreMode::Reuse)), &|point| {
+            if !point.cached {
+                ran.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(point.session.seed, 13, "only the new seed should run");
+            }
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+        assert_eq!(result.cache_hits, 4);
+        assert_eq!(result.points.len(), 6);
+        assert_eq!(store.load_all().unwrap().len(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn force_mode_reruns_everything_and_overwrites() {
+        let spec = SweepSpec {
+            scenarios: vec!["poisson".into()],
+            seeds: vec![7],
+            ..tiny_spec()
+        };
+        let (store, dir) = temp_store("force");
+        run_sweep_stored(&spec, Some((&store, StoreMode::Reuse)), &|_| {}).unwrap();
+
+        let ran = AtomicUsize::new(0);
+        let forced = run_sweep_stored(&spec, Some((&store, StoreMode::Force)), &|point| {
+            assert!(!point.cached);
+            ran.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(forced.cache_hits, 0);
+        assert!(forced.points[0].live_report().is_some());
+        assert_eq!(
+            store.load_all().unwrap().len(),
+            1,
+            "cell overwritten, not duplicated"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -504,7 +853,7 @@ mod tests {
         };
         let result = run_sweep(&spec).unwrap();
         assert_eq!(result.points.len(), 1);
-        let report = &result.points[0].report;
+        let report = result.points[0].live_report().unwrap();
         assert_eq!(report.autoscaler.as_deref(), Some("queue-depth"));
         assert_eq!(report.admission.as_deref(), Some("token-bucket"));
         let capacity = report
@@ -551,7 +900,8 @@ mod tests {
             .unwrap();
         assert!(point.progress_line(1).contains("zone-outage"));
         let capacity = point
-            .report
+            .live_report()
+            .unwrap()
             .serving("GrandSLAM")
             .unwrap()
             .capacity
@@ -565,8 +915,12 @@ mod tests {
         // Rerunning the spec reproduces the fault run bit for bit.
         let rerun = run_sweep(&spec).unwrap();
         assert_eq!(
-            point.report.serving("GrandSLAM").unwrap(),
-            rerun.points[0].report.serving("GrandSLAM").unwrap()
+            point.live_report().unwrap().serving("GrandSLAM").unwrap(),
+            rerun.points[0]
+                .live_report()
+                .unwrap()
+                .serving("GrandSLAM")
+                .unwrap()
         );
         // The JSON view carries the failure accounting.
         let doc = janus_json::parse(&result.to_json().to_pretty()).unwrap();
@@ -599,7 +953,7 @@ mod tests {
         // Tenants multiply the load at each point, not the grid.
         assert_eq!(spec.grid_size(), 1);
         let result = run_sweep(&spec).unwrap();
-        let report = &result.points[0].report;
+        let report = result.points[0].live_report().unwrap();
         assert_eq!(report.tenants.as_ref().map(Vec::len), Some(1));
         assert_eq!(report.serving("GrandSLAM").unwrap().len(), 40);
         // Unknown tenant scenarios fail fast, pointing at the key.

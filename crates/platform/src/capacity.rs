@@ -464,17 +464,21 @@ macro_rules! capacity_registry {
                 self.factories.iter().find(|f| f.name() == name).cloned()
             }
 
+            fn unknown_name_error(&self, name: &str) -> String {
+                format!(
+                    concat!("unknown ", $kind, " `{}`; registered: {}"),
+                    name,
+                    self.names().join(", ")
+                )
+            }
+
             /// Check that `name` is registered, with an informative error
             /// listing the known names otherwise.
             pub fn ensure_known(&self, name: &str) -> Result<(), String> {
                 if self.get(name).is_some() {
                     Ok(())
                 } else {
-                    Err(format!(
-                        concat!("unknown ", $kind, " `{}`; registered: {}"),
-                        name,
-                        self.names().join(", ")
-                    ))
+                    Err(self.unknown_name_error(name))
                 }
             }
 
@@ -486,9 +490,10 @@ macro_rules! capacity_registry {
                 ctx: &CapacityContext,
             ) -> Result<Box<dyn $policy>, String> {
                 ctx.validate()?;
-                self.ensure_known(name)?;
-                let factory = self.get(name).expect("checked by ensure_known");
-                factory.build(ctx)
+                match self.get(name) {
+                    Some(factory) => factory.build(ctx),
+                    None => Err(self.unknown_name_error(name)),
+                }
             }
 
             /// Registered names, in registration order.

@@ -169,6 +169,13 @@ impl ScenarioRegistry {
         self.factories.iter().find(|f| f.name() == name).cloned()
     }
 
+    fn unknown_name_error(&self, name: &str) -> String {
+        format!(
+            "unknown scenario `{name}`; registered scenarios: {}",
+            self.names().join(", ")
+        )
+    }
+
     /// Check that `name` is registered, with an informative error listing
     /// the known scenarios otherwise. Lets callers validate names early
     /// (e.g. at session build time) without a [`ScenarioContext`].
@@ -176,10 +183,7 @@ impl ScenarioRegistry {
         if self.get(name).is_some() {
             Ok(())
         } else {
-            Err(format!(
-                "unknown scenario `{name}`; registered scenarios: {}",
-                self.names().join(", ")
-            ))
+            Err(self.unknown_name_error(name))
         }
     }
 
@@ -191,9 +195,10 @@ impl ScenarioRegistry {
         ctx: &ScenarioContext,
     ) -> Result<Box<dyn ArrivalProcess>, String> {
         ctx.validate()?;
-        self.ensure_known(name)?;
-        let factory = self.get(name).expect("checked by ensure_known");
-        factory.build(ctx)
+        match self.get(name) {
+            Some(factory) => factory.build(ctx),
+            None => Err(self.unknown_name_error(name)),
+        }
     }
 
     /// Registered names, in registration order.

@@ -28,14 +28,15 @@ fn smoke_spec_runs_end_to_end_and_is_deterministic() {
     let second = run_sweep(&spec).unwrap();
     for (a, b) in first.points.iter().zip(&second.points) {
         assert_eq!(a.session, b.session);
+        let (ra, rb) = (a.live_report().unwrap(), b.live_report().unwrap());
         for policy in &spec.policies {
             assert_eq!(
-                a.report.serving(policy).unwrap(),
-                b.report.serving(policy).unwrap(),
+                ra.serving(policy).unwrap(),
+                rb.serving(policy).unwrap(),
                 "smoke sweep must be deterministic for its fixed seed"
             );
         }
-        assert_eq!(a.report.metrics, b.report.metrics);
+        assert_eq!(ra.metrics, rb.metrics);
     }
     // The machine view decodes cleanly.
     let doc = janus_json::parse(&first.to_json().to_pretty()).unwrap();
@@ -75,11 +76,12 @@ fn scenario_policy_spec_reproduces_the_handwritten_sweep_bit_for_bit() {
             point.session.scenario.as_deref(),
             Some(cell.scenario.as_str())
         );
-        assert_eq!(point.report.scenario, cell.report.scenario);
-        assert_eq!(point.report.names(), cell.report.names());
+        let report = point.live_report().unwrap();
+        assert_eq!(report.scenario, cell.report.scenario);
+        assert_eq!(report.names(), cell.report.names());
         for policy in &spec.policies {
             assert_eq!(
-                point.report.serving(policy).unwrap(),
+                report.serving(policy).unwrap(),
                 cell.report.serving(policy).unwrap(),
                 "scenario `{}` / policy `{policy}` diverged from the \
                  pre-redesign sweep",
@@ -96,10 +98,10 @@ fn scenario_policy_spec_reproduces_the_handwritten_sweep_bit_for_bit() {
                     )
                 })
             };
-            assert_eq!(synth(&point.report), synth(&cell.report));
+            assert_eq!(synth(report), synth(&cell.report));
         }
         assert_eq!(
-            point.report.metrics, cell.report.metrics,
+            report.metrics, cell.report.metrics,
             "scenario `{}`: pooled hot-path metrics diverged",
             cell.scenario
         );
@@ -118,7 +120,7 @@ fn capacity_grid_spec_expresses_what_the_old_binaries_could_not() {
     result.validate().unwrap();
     assert_eq!(result.points.len(), 3);
     for point in &result.points {
-        let report = &point.report;
+        let report = point.live_report().unwrap();
         assert_eq!(report.autoscaler.as_deref(), Some("queue-depth"));
         assert_eq!(report.admission.as_deref(), Some("token-bucket"));
         let serving = report.serving("GrandSLAM").unwrap();
@@ -145,8 +147,16 @@ fn capacity_grid_spec_expresses_what_the_old_binaries_could_not() {
             .unwrap()
     };
     assert_ne!(
-        by_seed(7).report.serving("GrandSLAM").unwrap(),
-        by_seed(11).report.serving("GrandSLAM").unwrap()
+        by_seed(7)
+            .live_report()
+            .unwrap()
+            .serving("GrandSLAM")
+            .unwrap(),
+        by_seed(11)
+            .live_report()
+            .unwrap()
+            .serving("GrandSLAM")
+            .unwrap()
     );
     // Valid, decode-checked JSON output from the spec run alone.
     let encoded = result.to_json().to_pretty();
@@ -185,7 +195,7 @@ fn chaos_grid_spec_kills_a_zone_in_every_cell_and_stays_deterministic() {
         "3 seeds x 2 autoscalers x 2 admissions"
     );
     for point in &result.points {
-        let report = &point.report;
+        let report = point.live_report().unwrap();
         assert_eq!(report.fault.as_deref(), Some("zone-outage"));
         let serving = report.serving("GrandSLAM").unwrap();
         let capacity = serving.capacity.as_ref().expect("capacity-controlled run");
@@ -218,8 +228,8 @@ fn chaos_grid_spec_kills_a_zone_in_every_cell_and_stays_deterministic() {
     for (a, b) in result.points.iter().zip(&again.points) {
         assert_eq!(a.session, b.session);
         assert_eq!(
-            a.report.serving("GrandSLAM").unwrap(),
-            b.report.serving("GrandSLAM").unwrap(),
+            a.live_report().unwrap().serving("GrandSLAM").unwrap(),
+            b.live_report().unwrap().serving("GrandSLAM").unwrap(),
             "chaos grid must replay identically under fixed seeds"
         );
     }
@@ -306,7 +316,8 @@ fn observe_grid_spec_sweeps_the_observer_axis_without_perturbing_serving() {
             .as_deref()
             .expect("observer axis populates the session spec");
         let flight = point
-            .report
+            .live_report()
+            .unwrap()
             .flight("GrandSLAM")
             .expect("observed cell must carry a flight report");
         assert_eq!(flight.observer, observer);
@@ -330,11 +341,15 @@ fn observe_grid_spec_sweeps_the_observer_axis_without_perturbing_serving() {
     }
     // Observation is read-only: every observer cell serves identically to
     // the others (same seed, same grid point otherwise).
-    let first = result.points[0].report.serving("GrandSLAM").unwrap();
+    let first = result.points[0]
+        .live_report()
+        .unwrap()
+        .serving("GrandSLAM")
+        .unwrap();
     for point in &result.points[1..] {
         assert_eq!(
             first,
-            point.report.serving("GrandSLAM").unwrap(),
+            point.live_report().unwrap().serving("GrandSLAM").unwrap(),
             "observer `{}` perturbed the serving outcome",
             point.session.observer.as_deref().unwrap_or("?")
         );
@@ -442,8 +457,9 @@ fn multi_tenant_spec_merges_streams_at_every_point() {
     // Tenants multiply the load at each point, not the grid.
     assert_eq!(result.points.len(), 1);
     let point = &result.points[0];
-    assert_eq!(point.report.tenants.as_deref(), Some(tenants));
-    let serving = point.report.serving("GrandSLAM").unwrap();
+    let report = point.live_report().unwrap();
+    assert_eq!(report.tenants.as_deref(), Some(tenants));
+    let serving = report.serving("GrandSLAM").unwrap();
     // `requests` is the total budget across all merged streams.
     assert_eq!(serving.len(), spec.requests);
     // The strictest tenant SLO (1500 ms from the bursty class) clamps the
@@ -459,13 +475,21 @@ fn multi_tenant_spec_merges_streams_at_every_point() {
     let single = run_sweep(&single).unwrap();
     assert_ne!(
         serving,
-        single.points[0].report.serving("GrandSLAM").unwrap()
+        single.points[0]
+            .live_report()
+            .unwrap()
+            .serving("GrandSLAM")
+            .unwrap()
     );
     // …and replays bit-identically under the fixed seed.
     let again = run_sweep(&spec).unwrap();
     assert_eq!(
         serving,
-        again.points[0].report.serving("GrandSLAM").unwrap()
+        again.points[0]
+            .live_report()
+            .unwrap()
+            .serving("GrandSLAM")
+            .unwrap()
     );
 }
 
